@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+The harness regenerates every table and figure of the paper.  The
+expensive part — the full measurement campaign against the noisy
+simulator — runs once per session; each per-figure benchmark then
+renders its artefact from both the paper's values and the re-measured
+ones, writes the report under ``benchmarks/reports/`` and times the
+regeneration step with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import measure_component_times
+from repro.core.components import ComponentTimes
+from repro.node import SystemConfig
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def paper_times() -> ComponentTimes:
+    """The paper's published component times."""
+    return ComponentTimes.paper()
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """One full methodology run against the noisy simulated testbed."""
+    return measure_component_times(SystemConfig.paper_testbed(seed=2019), quick=False)
+
+
+@pytest.fixture(scope="session")
+def measured_times(campaign) -> ComponentTimes:
+    """Component times re-measured by the §§3-6 methodology."""
+    return campaign.to_component_times()
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+def write_report(directory: pathlib.Path, name: str, text: str) -> None:
+    """Persist one regenerated artefact and echo it to stdout."""
+    path = directory / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)

@@ -1,0 +1,46 @@
+"""Ablation — polling vs interrupt-driven completion notification.
+
+§2: "The user could also request to be notified with an interrupt
+regarding the completion.  However, the polling approach is
+latency-oriented since there is no context switch to the kernel in the
+critical path."  This ablation quantifies the claim the paper states
+qualitatively: the interrupt path adds a context-switch round trip
+(~1.8 µs here) to every one-way latency.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.bench import run_am_lat
+from repro.node import SystemConfig
+
+
+def run_both():
+    config = SystemConfig.paper_testbed(deterministic=True)
+    polling = run_am_lat(config=config, iterations=150, warmup=30)
+    interrupt = run_am_lat(
+        config=config, iterations=150, warmup=30, completion_mode="interrupt"
+    )
+    return polling, interrupt
+
+
+def test_polling_vs_interrupt(benchmark, report_dir):
+    polling, interrupt = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    penalty = interrupt.observed_latency_ns - polling.observed_latency_ns
+    report = "\n".join(
+        [
+            f"polling latency:   {polling.observed_latency_ns:8.2f} ns",
+            f"interrupt latency: {interrupt.observed_latency_ns:8.2f} ns",
+            f"interrupt penalty: {penalty:8.2f} ns per one-way "
+            "(the context switch §2 says polling avoids)",
+        ]
+    )
+    write_report(report_dir, "ablation_interrupt", report)
+
+    # The penalty is one interrupt wakeup per one-way (both sides pay
+    # one per round trip).
+    wakeup = SystemConfig.paper_testbed().costs.interrupt_wakeup
+    assert penalty == pytest.approx(wakeup, rel=0.05)
+    # And it swamps the entire software budget of the polling path —
+    # why the paper only considers polling.
+    assert penalty > 3 * (polling.observed_latency_ns / 4)

@@ -1,0 +1,68 @@
+"""Ablation — fault injection on the PCIe Data Link layer.
+
+§2 describes the ACK/NACK machinery that "ensures the successful
+execution of all transactions"; on the paper's healthy testbed it never
+fires.  This ablation injects LCRC corruption and measures how the
+go-back-N replay taxes the end-to-end latency while preserving
+exactly-once delivery.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.bench import run_am_lat
+from repro.node import SystemConfig
+from repro.pcie.config import PcieConfig
+from repro.pcie.link import Direction
+
+CORRUPTION = (0.0, 0.01, 0.05, 0.2)
+
+
+def run_sweep():
+    rows = []
+    for prob in CORRUPTION:
+        config = SystemConfig.paper_testbed(deterministic=True).evolve(
+            pcie=PcieConfig(tlp_corruption_prob=prob)
+        )
+        result = run_am_lat(config=config, iterations=150, warmup=30)
+        link = result.testbed.node1.link
+        corrupted, retransmissions = link.corruption_stats(Direction.DOWNSTREAM)
+        up_corrupted, up_retx = link.corruption_stats(Direction.UPSTREAM)
+        rows.append(
+            (
+                prob,
+                result.observed_latency_ns,
+                corrupted + up_corrupted,
+                retransmissions + up_retx,
+            )
+        )
+    return rows
+
+
+def test_lossy_pcie_sweep(benchmark, report_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'corruption':>11} {'am_lat (ns)':>13} {'corrupted':>10} {'retransmits':>12}"
+    ]
+    lines += [
+        f"{prob:>11.2%} {latency:>13.2f} {corrupted:>10} {retx:>12}"
+        for prob, latency, corrupted, retx in rows
+    ]
+    write_report(report_dir, "ablation_lossy_pcie", "\n".join(lines))
+
+    by_prob = {prob: (lat, cor, retx) for prob, lat, cor, retx in rows}
+    # Healthy link: no Data Link recovery at all.
+    assert by_prob[0.0][1] == 0
+    assert by_prob[0.0][2] == 0
+    # Lossy links recover (the benchmark completed) at a latency cost
+    # that grows with the corruption probability.
+    latencies = [by_prob[p][0] for p in CORRUPTION]
+    assert latencies == sorted(latencies)
+    assert by_prob[0.2][1] > 0
+    # Expected per-one-way tax at 1%: ~prob × replay round trip (NACK
+    # return + delay + retransmit ≈ 325 ns) per TLP crossing — tiny.
+    assert by_prob[0.01][0] - by_prob[0.0][0] < 40.0
+    # At 20% the tax is an order of magnitude bigger — several TLPs per
+    # iteration each pay the ~325 ns replay round trip with probability
+    # 0.2, plus go-back-N cascades — but recovery still converges.
+    assert 300.0 < by_prob[0.2][0] - by_prob[0.0][0] < 900.0

@@ -1,0 +1,64 @@
+"""Extension — message-size sweep across the PIO/DMA boundary.
+
+The paper motivates PIO+inlining by the cost of DMA-read round trips
+(§2).  This sweep runs the latency model and the simulator across
+payload sizes, demonstrating the crossover the paper describes
+qualitatively: beyond the inline limit the doorbell+DMA path pays two
+extra PCIe round trips plus memory reads.
+"""
+
+from conftest import write_report
+
+from repro.llp.uct import UCS_OK, UctWorker
+from repro.node import SystemConfig, Testbed
+
+SIZES = (8, 32, 64, 256, 1024, 4096)
+
+
+def one_way_put_latency(payload_bytes: int) -> float:
+    """Time from post start to payload visible in target memory."""
+    tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
+    worker = UctWorker(tb.node1)
+    iface = worker.create_iface()
+    remote = UctWorker(tb.node2).create_iface()
+    ep = iface.create_ep(remote)
+
+    def body():
+        if payload_bytes <= tb.config.nic.inline_max_bytes:
+            status = yield from ep.put_short(payload_bytes)
+        else:
+            status = yield from ep.put_zcopy(payload_bytes)
+        assert status == UCS_OK
+
+    tb.env.run(until=tb.env.process(body(), name="post"))
+    tb.run()
+    message = iface.last_message
+    return message.interval("posted", "payload_visible")
+
+
+def run_sweep():
+    return [(size, one_way_put_latency(size)) for size in SIZES]
+
+
+def test_message_size_sweep(benchmark, report_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'payload (B)':>12} {'one-way latency (ns)':>22} {'path':>10}"]
+    for size, latency in rows:
+        path = "PIO+inline" if size <= 64 else "DB+DMA"
+        lines.append(f"{size:>12} {latency:>22.2f} {path:>10}")
+    write_report(report_dir, "ablation_message_size", "\n".join(lines))
+
+    latencies = dict(rows)
+    # Within one PIO chunk count the latency is nearly flat (32 B and
+    # 64 B payloads both need two 64-byte chunks with the 48-byte WQE
+    # header); crossing a chunk boundary (8 B → 32 B) costs one extra
+    # PIO copy, ~94 ns.
+    assert abs(latencies[32] - latencies[64]) < 40.0
+    assert 50.0 < latencies[32] - latencies[8] < 150.0
+    # Crossing the inline limit costs two PCIe round trips + memory
+    # reads: a step of roughly 2×(2×137.49 + 90) ≈ 730 ns.
+    step = latencies[256] - latencies[64]
+    assert 500.0 < step < 1000.0
+    # Latency is monotone in size across the sweep.
+    values = [latencies[s] for s in SIZES]
+    assert values == sorted(values)

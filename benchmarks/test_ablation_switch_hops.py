@@ -1,0 +1,45 @@
+"""Ablation — multi-hop topologies.
+
+The paper measures one switch hop (108 ns) and §7.2 discusses how far
+switch latency could fall (Gen-Z's forecast 30-50 ns).  Real fat-tree
+fabrics traverse 3 or 5 hops; this sweep extends the latency model and
+the simulator to k hops and verifies they agree: each extra hop adds
+exactly one switch latency to the one-way path.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.bench import run_am_lat
+from repro.network.config import NetworkConfig
+from repro.node import SystemConfig
+
+HOPS = (0, 1, 2, 3, 5)
+
+
+def run_sweep():
+    rows = []
+    for hops in HOPS:
+        config = SystemConfig.paper_testbed(deterministic=True).evolve(
+            network=NetworkConfig(switch_count=hops)
+        )
+        result = run_am_lat(config=config, iterations=100, warmup=20)
+        rows.append((hops, result.observed_latency_ns))
+    return rows
+
+
+def test_switch_hop_sweep(benchmark, report_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'switch hops':>12} {'am_lat latency (ns)':>22} {'delta':>8}"]
+    previous = None
+    for hops, latency in rows:
+        delta = f"{latency - previous:+7.2f}" if previous is not None else "       "
+        lines.append(f"{hops:>12} {latency:>22.2f} {delta:>8}")
+        previous = latency
+    write_report(report_dir, "ablation_switch_hops", "\n".join(lines))
+
+    latencies = dict(rows)
+    # Each hop adds exactly one switch latency to the one-way path.
+    for a, b in zip(HOPS, HOPS[1:]):
+        expected = 108.0 * (b - a)
+        assert latencies[b] - latencies[a] == pytest.approx(expected, abs=2.0)

@@ -1,0 +1,46 @@
+"""Ablation — transmit-queue depth (§4.2's finite-TxQ argument).
+
+With a deep TxQ the put_bw steady state is CPU-paced; shrinking the
+queue towards p = 1 turns posts synchronous — "the user will be able to
+post the next message only after the previous message has reached the
+target node" — and injection collapses to gen_completion.
+"""
+
+from conftest import write_report
+
+from repro.bench import run_put_bw
+from repro.core.components import ComponentTimes
+from repro.core.models import gen_completion
+from repro.nic.config import NicConfig
+from repro.node import SystemConfig
+
+DEPTHS = (1, 2, 8, 32, 128)
+
+
+def run_sweep():
+    rows = []
+    for depth in DEPTHS:
+        config = SystemConfig.paper_testbed(deterministic=True).evolve(
+            nic=NicConfig(txq_depth=depth)
+        )
+        result = run_put_bw(config=config, n_messages=300, warmup=150)
+        rows.append((depth, result.mean_injection_overhead_ns))
+    return rows
+
+
+def test_txq_depth_sweep(benchmark, report_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'TxQ depth':>10} {'injection overhead (ns)':>26}"]
+    lines += [f"{depth:>10} {overhead:>26.2f}" for depth, overhead in rows]
+    write_report(report_dir, "ablation_txq_depth", "\n".join(lines))
+
+    overheads = dict(rows)
+    # Depth 1 = synchronous posting: the inter-arrival must be at least
+    # gen_completion (the CQE round trip) plus the CPU post time.
+    sync_floor = gen_completion(ComponentTimes.paper())
+    assert overheads[1] > sync_floor
+    # Deep queues decouple posting from completion: near the Eq. 1 pace.
+    assert overheads[128] < 320.0
+    # Monotone improvement with depth.
+    values = [overheads[d] for d in DEPTHS]
+    assert values == sorted(values, reverse=True)

@@ -1,0 +1,46 @@
+"""Extension — the uni-directional bandwidth curve (osu_bw shape).
+
+The §1 dichotomy quantified end to end: CPU-rate-bound small messages
+(the regime the paper dissects) rolling over into the wire-bandwidth
+asymptote for large ones.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.bench import run_uct_bandwidth
+
+SIZES = (8, 64, 512, 4096, 32768, 262144)
+WIRE_LIMIT = 12.5  # B/ns, the configured EDR serialisation rate
+
+
+def run_sweep():
+    return [
+        run_uct_bandwidth(size, n_messages=60, warmup=16) for size in SIZES
+    ]
+
+
+def test_bandwidth_curve(benchmark, report_dir):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'size (B)':>10} {'bandwidth (GB/s)':>17} {'rate (M msg/s)':>15}"]
+    for result in results:
+        lines.append(
+            f"{result.message_bytes:>10} {result.bandwidth_bytes_per_ns:>17.3f} "
+            f"{result.message_rate_per_s / 1e6:>15.3f}"
+        )
+    lines.append(f"(wire serialisation limit: {WIRE_LIMIT} GB/s)")
+    write_report(report_dir, "bandwidth_curve", "\n".join(lines))
+
+    by_size = {r.message_bytes: r for r in results}
+    # Bandwidth grows monotonically with size.
+    curve = [by_size[s].bandwidth_bytes_per_ns for s in SIZES]
+    assert curve == sorted(curve)
+    # Large messages reach >90% of the wire limit but never exceed it.
+    top = by_size[262144].bandwidth_bytes_per_ns
+    assert 0.90 * WIRE_LIMIT < top <= WIRE_LIMIT + 1e-9
+    # Small messages are rate-bound, far below the wire limit — the
+    # regime where the paper's CPU/IO breakdown is the whole story.
+    assert by_size[8].bandwidth_bytes_per_ns < 0.01 * WIRE_LIMIT
+    # The message rate at 8 B exceeds 1/gen_completion thanks to the
+    # 16-deep window (pipelining), and stays in the M msg/s range.
+    assert by_size[8].message_rate_per_s == pytest.approx(4.1e6, rel=0.15)

@@ -1,0 +1,26 @@
+"""Figure 4 — breakdown of time in an LLP_post."""
+
+from conftest import write_report
+
+from repro.core.breakdown import fig4_llp_post
+from repro.reporting.experiments import experiment_fig4
+
+
+def test_fig04(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES\n" + experiment_fig4(paper_times),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig4(measured_times),
+        ]
+    )
+    write_report(report_dir, "fig04_llp_post", report)
+
+    breakdown = benchmark(fig4_llp_post, measured_times)
+    percentages = breakdown.percentages()
+    # Shape: the PIO copy dominates the LLP_post (53.79% in the paper).
+    assert percentages["pio_copy"] > 45.0
+    assert max(percentages, key=percentages.get) == "pio_copy"
+    # All five constituents present and ordered as in the paper's bar.
+    assert breakdown.labels == (
+        "md_setup", "barrier_md", "barrier_dbc", "pio_copy", "other",
+    )

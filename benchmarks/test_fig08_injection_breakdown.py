@@ -1,0 +1,24 @@
+"""Figure 8 — breakdown of injection overhead with the LLP."""
+
+from conftest import write_report
+
+from repro.core.breakdown import fig8_injection_llp
+from repro.reporting.experiments import experiment_fig8
+
+
+def test_fig08(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES (figure variant)\n" + experiment_fig8(paper_times, "figure"),
+            "PAPER VALUES (Eq. 1 model variant)\n" + experiment_fig8(paper_times, "model"),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig8(measured_times, "figure"),
+        ]
+    )
+    write_report(report_dir, "fig08_injection_breakdown", report)
+
+    breakdown = benchmark(fig8_injection_llp, measured_times, "figure")
+    percentages = breakdown.percentages()
+    # Shape: LLP_post dominates (61.18% in the paper), then LLP_prog,
+    # then Misc.
+    assert percentages["llp_post"] > percentages["llp_prog"] > percentages["misc"]
+    assert percentages["llp_post"] > 55.0

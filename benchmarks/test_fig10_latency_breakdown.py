@@ -1,0 +1,24 @@
+"""Figure 10 — breakdown of latency with the LLP."""
+
+from conftest import write_report
+
+from repro.core.breakdown import fig10_latency_llp
+from repro.reporting.experiments import experiment_fig10
+
+
+def test_fig10(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES\n" + experiment_fig10(paper_times),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig10(measured_times),
+        ]
+    )
+    write_report(report_dir, "fig10_latency_breakdown", report)
+
+    breakdown = benchmark(fig10_latency_llp, measured_times)
+    percentages = breakdown.percentages()
+    # Shape: the wire is the single largest stage (25.58% in the paper);
+    # the two PCIe crossings are equal; RC-to-MEM beats LLP_post.
+    assert max(percentages, key=percentages.get) == "wire"
+    assert percentages["tx_pcie"] == percentages["rx_pcie"]
+    assert percentages["rc_to_mem"] > percentages["switch"]

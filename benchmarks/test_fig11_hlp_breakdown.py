@@ -1,0 +1,25 @@
+"""Figure 11 — breakdown of time in the HLP (UCP vs MPICH)."""
+
+from conftest import write_report
+
+from repro.core.breakdown import fig11_hlp
+from repro.reporting.experiments import experiment_fig11
+
+
+def test_fig11(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES\n" + experiment_fig11(paper_times),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig11(measured_times),
+        ]
+    )
+    write_report(report_dir, "fig11_hlp_breakdown", report)
+
+    parts = benchmark(fig11_hlp, measured_times)
+    isend = parts["mpi_isend"].percentages()
+    wait = parts["rx_mpi_wait"].percentages()
+    # Shape: MPICH dominates both bars (91.76% and 66.09% in the paper),
+    # but UCP's share is much larger on the receive side.
+    assert isend["mpich"] > 80.0
+    assert wait["mpich"] > 50.0
+    assert wait["ucp"] > isend["ucp"]

@@ -1,0 +1,23 @@
+"""Figure 12 — breakdown of the overall injection overhead."""
+
+from conftest import write_report
+
+from repro.core.breakdown import fig12_overall_injection
+from repro.reporting.experiments import experiment_fig12
+
+
+def test_fig12(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES\n" + experiment_fig12(paper_times),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig12(measured_times),
+        ]
+    )
+    write_report(report_dir, "fig12_overall_injection", report)
+
+    breakdown = benchmark(fig12_overall_injection, measured_times)
+    percentages = breakdown.percentages()
+    # Insight 1's shape: Post dominates (>70%), Misc is marginal.
+    assert percentages["post"] > 70.0
+    assert percentages["post_prog"] > percentages["misc"]
+    assert percentages["misc"] < 5.0

@@ -1,0 +1,27 @@
+"""Figure 13 — breakdown of the end-to-end latency (nine components)."""
+
+from conftest import write_report
+
+from repro.core.breakdown import fig13_end_to_end
+from repro.reporting.experiments import experiment_fig13
+
+
+def test_fig13(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES\n" + experiment_fig13(paper_times),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig13(measured_times),
+        ]
+    )
+    write_report(report_dir, "fig13_e2e_latency", report)
+
+    breakdown = benchmark(fig13_end_to_end, measured_times)
+    # Total within 5% of the paper's 1387.02 ns model.
+    assert abs(breakdown.total_ns - 1387.02) / 1387.02 < 0.05
+    percentages = breakdown.percentages()
+    # Shape: the wire is the largest single bar; RC-to-MEM and
+    # HLP_rx_prog are the next tier; HLP_post is the smallest.
+    assert max(percentages, key=percentages.get) == "wire"
+    assert min(percentages, key=percentages.get) == "hlp_post"
+    assert percentages["rc_to_mem"] > 14.0
+    assert percentages["hlp_rx_prog"] > 14.0

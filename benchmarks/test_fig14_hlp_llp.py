@@ -1,0 +1,25 @@
+"""Figure 14 — HLP vs LLP during initiation and progress."""
+
+from conftest import write_report
+
+from repro.core.breakdown import fig14_hlp_vs_llp
+from repro.reporting.experiments import experiment_fig14
+
+
+def test_fig14(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES\n" + experiment_fig14(paper_times),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig14(measured_times),
+        ]
+    )
+    write_report(report_dir, "fig14_hlp_llp", report)
+
+    parts = benchmark(fig14_hlp_vs_llp, measured_times)
+    # Shape: LLP dominates initiation; HLP dominates both progress bars;
+    # receive progress is several times the send progress (4.78× paper).
+    assert parts["initiation"].percent("llp") > 80.0
+    assert parts["tx_progress"].percent("hlp") > 90.0
+    assert parts["rx_progress"].percent("hlp") > 60.0
+    ratio = parts["rx_progress"].total_ns / parts["tx_progress"].total_ns
+    assert 3.0 < ratio < 7.0

@@ -1,0 +1,27 @@
+"""Figure 15 — high-level breakdown of the end-to-end latency."""
+
+from conftest import write_report
+
+from repro.core.breakdown import fig15_categories
+from repro.reporting.experiments import experiment_fig15
+
+
+def test_fig15(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES\n" + experiment_fig15(paper_times),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig15(measured_times),
+        ]
+    )
+    write_report(report_dir, "fig15_categories", report)
+
+    parts = benchmark(fig15_categories, measured_times)
+    top = parts["top"].percentages()
+    # Insight 2's shape: no category dominates; the network is less than
+    # a third; CPU + I/O carry ~72% of the latency.
+    assert max(top.values()) < 50.0
+    assert top["Network"] < 100.0 / 3.0
+    assert top["CPU"] + top["I/O"] > 65.0
+    # Sub-breakdown shapes.
+    assert parts["network"].percent("wire") > parts["network"].percent("switch")
+    assert abs(parts["cpu"].percent("llp") - parts["cpu"].percent("hlp")) < 15.0

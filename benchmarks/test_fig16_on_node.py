@@ -1,0 +1,25 @@
+"""Figure 16 — breakdown of time spent on node."""
+
+from conftest import write_report
+
+from repro.core.breakdown import fig16_on_node
+from repro.reporting.experiments import experiment_fig16
+
+
+def test_fig16(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES\n" + experiment_fig16(paper_times),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig16(measured_times),
+        ]
+    )
+    write_report(report_dir, "fig16_on_node", report)
+
+    parts = benchmark(fig16_on_node, measured_times)
+    # Insight 3's shape: the target dominates on-node time; the
+    # initiator is software-heavy (PIO), the target I/O-heavy
+    # (RC-to-MEM the largest piece).
+    assert parts["top"].percent("target") > 55.0
+    assert parts["initiator"].percent("cpu") > 50.0
+    assert parts["target"].percent("io") > 50.0
+    assert parts["target_io"].percent("rc_to_mem") > 50.0

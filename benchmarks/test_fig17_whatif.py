@@ -1,0 +1,80 @@
+"""Figure 17 — simulated optimizations (the §7 what-if analysis).
+
+Regenerates all four panels and re-checks every quantitative claim the
+paper makes about them, on both the paper's values and the
+methodology-measured ones.
+"""
+
+from conftest import write_report
+
+from repro.core.whatif import Metric, WhatIfAnalysis
+from repro.reporting.experiments import experiment_fig17
+
+
+def test_fig17_panels(benchmark, measured_times, paper_times, report_dir):
+    report = "\n\n".join(
+        [
+            "PAPER VALUES\n" + experiment_fig17(paper_times),
+            "SIMULATOR (methodology-measured)\n" + experiment_fig17(measured_times),
+        ]
+    )
+    write_report(report_dir, "fig17_whatif", report)
+
+    analysis = WhatIfAnalysis(measured_times)
+    panels = benchmark(
+        lambda: (
+            analysis.figure17a(),
+            analysis.figure17b(),
+            analysis.figure17c(),
+            analysis.figure17d(),
+        )
+    )
+    fig_a, fig_b, fig_c, fig_d = panels
+
+    # Panel shapes: aggregate lines dominate their constituents, and the
+    # ordering of lines matches the paper at the 90% reduction point.
+    assert fig_a["LLP"][-1][1] > fig_a["HLP"][-1][1]
+    assert fig_a["LLP_post"][-1][1] > fig_a["PIO"][-1][1]
+    assert fig_b["HLP"][-1][1] > fig_b["LLP_post"][-1][1]
+    assert fig_c["Integrated NIC"][-1][1] > fig_c["PCIe"][-1][1] > fig_c["RC-to-MEM"][-1][1]
+    assert fig_d["Wire"][-1][1] > fig_d["Switch"][-1][1]
+
+
+def test_section7_claims(benchmark, measured_times, report_dir):
+    """§7's numbered claims re-derived from the measured system."""
+    analysis = benchmark(WhatIfAnalysis, measured_times)
+    inj = analysis.injection_components()
+    cpu = analysis.latency_cpu_components()
+    io = analysis.latency_io_components()
+    net = analysis.latency_network_components()
+
+    claims = [
+        # (description, actual, predicate)
+        ("20% HLP -> injection ~6.4%",
+         analysis.speedup(Metric.INJECTION, inj["HLP"], 0.20),
+         lambda v: 0.04 < v < 0.09),
+        ("20% LLP -> injection ~13.3%",
+         analysis.speedup(Metric.INJECTION, inj["LLP"], 0.20),
+         lambda v: 0.11 < v < 0.16),
+        ("84% PIO -> injection >25%",
+         analysis.speedup(Metric.INJECTION, inj["PIO"], 0.84),
+         lambda v: v > 0.25),
+        ("84% PIO -> latency >5%",
+         analysis.speedup(Metric.LATENCY, cpu["PIO"], 0.84),
+         lambda v: v > 0.05),
+        ("50% I/O -> latency >15%",
+         analysis.speedup(Metric.LATENCY, io["Integrated NIC"], 0.50),
+         lambda v: v > 0.15),
+        ("72% switch -> latency ~5.5%",
+         analysis.speedup(Metric.LATENCY, net["Switch"], 0.72),
+         lambda v: 0.04 < v < 0.07),
+        ("20% software (HLP) -> latency <5%",
+         analysis.speedup(Metric.LATENCY, cpu["HLP"], 0.20),
+         lambda v: v < 0.05),
+    ]
+    lines = []
+    for description, actual, predicate in claims:
+        verdict = "OK" if predicate(actual) else "FAIL"
+        lines.append(f"{description}: {actual * 100:.2f}% [{verdict}]")
+        assert predicate(actual), description
+    write_report(report_dir, "fig17_section7_claims", "\n".join(lines))

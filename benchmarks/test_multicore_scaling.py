@@ -1,0 +1,61 @@
+"""Extension — many-core fine-grained injection (the paper's intro
+scenario) and the credit-exhaustion wall its model excludes.
+
+One put_bw sender per core, each with its own queue pair, sharing one
+PCIe link.  While posted credits suffice the aggregate rate scales
+linearly (each core is independent, per Figure 5's overlap argument);
+past the credit wall the NIC-side rate saturates even though the CPUs
+keep posting into the Root Complex's backlog.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.bench import run_multicore_put_bw
+from repro.node import SystemConfig
+
+CORES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def run_sweep():
+    rows = []
+    for n_cores in CORES:
+        result = run_multicore_put_bw(
+            n_cores,
+            config=SystemConfig.paper_testbed(deterministic=True),
+            n_messages_per_core=200,
+            warmup_per_core=100,
+        )
+        rows.append(
+            (
+                n_cores,
+                result.aggregate_rate_per_s / 1e6,
+                result.nic_rate_per_s / 1e6,
+                result.credit_stalls,
+            )
+        )
+    return rows
+
+
+def test_multicore_scaling(benchmark, report_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'cores':>6} {'CPU rate (M/s)':>16} {'NIC rate (M/s)':>16} {'credit stalls':>14}"
+    ]
+    lines += [
+        f"{cores:>6} {cpu_rate:>16.2f} {nic_rate:>16.2f} {stalls:>14}"
+        for cores, cpu_rate, nic_rate, stalls in rows
+    ]
+    write_report(report_dir, "multicore_scaling", "\n".join(lines))
+
+    by_cores = {cores: (cpu, nic, stalls) for cores, cpu, nic, stalls in rows}
+    # Linear regime: 16 cores ≈ 16× the single-core rate, no stalls.
+    single = by_cores[1][0]
+    assert by_cores[16][0] == pytest.approx(16 * single, rel=0.05)
+    assert by_cores[16][2] == 0
+    # Credit wall: 64 cores stall heavily and the NIC-side rate falls
+    # well below the CPU-side demand.
+    assert by_cores[64][2] > 0
+    assert by_cores[64][1] < 0.8 * by_cores[64][0]
+    # The wall is a ceiling: NIC rate at 64 cores is not much above 32.
+    assert by_cores[64][1] < 1.5 * by_cores[32][1]

@@ -1,0 +1,37 @@
+"""Simulator throughput — how fast the DES core itself runs.
+
+Not a paper artefact, but a harness health metric: the full
+reproduction depends on simulating hundreds of thousands of events per
+campaign, so regressions here make every experiment slower.
+"""
+
+from repro.bench import run_am_lat, run_put_bw
+from repro.node import SystemConfig
+
+
+def test_put_bw_simulation_speed(benchmark):
+    result = benchmark.pedantic(
+        run_put_bw,
+        kwargs=dict(
+            config=SystemConfig.paper_testbed(deterministic=True),
+            n_messages=200,
+            warmup=100,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_measured == 200
+
+
+def test_am_lat_simulation_speed(benchmark):
+    result = benchmark.pedantic(
+        run_am_lat,
+        kwargs=dict(
+            config=SystemConfig.paper_testbed(deterministic=True),
+            iterations=100,
+            warmup=20,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.iterations == 100

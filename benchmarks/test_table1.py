@@ -1,0 +1,31 @@
+"""Table 1 — measured times of various components.
+
+Regenerates the paper's Table 1 from the simulator via the full
+measurement methodology and prints it beside the published values.
+"""
+
+from conftest import write_report
+
+from repro.reporting.experiments import experiment_table1
+from repro.reporting.tables import table1_rows
+
+
+def test_table1(benchmark, measured_times, paper_times, report_dir):
+    report = experiment_table1(measured_times, reference=paper_times)
+    write_report(report_dir, "table1", report)
+
+    rows = benchmark(table1_rows, measured_times)
+    assert len(rows) == 21
+
+    # Reproduction criterion: every Table 1 row within 15% of the paper
+    # (subtraction-based rows like RC-to-MEM carry methodology bias; the
+    # directly profiled ones land within a few percent).
+    reference = dict(table1_rows(paper_times))
+    for label, value in rows:
+        expected = reference[label]
+        if expected >= 20.0:
+            assert abs(value - expected) / expected < 0.15, label
+        else:
+            # Tiny rows (UCP isend 2.19, busy post 8.99) are dominated
+            # by profiling-overhead subtraction noise; bound absolutely.
+            assert abs(value - expected) < 8.0, label

@@ -1,0 +1,63 @@
+"""The paper's model-validation claims: modeled vs observed, all four.
+
+§4.2: Eq. 1 within 5% of the put_bw trace observation.
+§4.3: the LLP latency model within 5% of am_lat (minus half a
+measurement update).
+§6:   Eq. 2 within 1% of the OSU message-rate observation (we assert
+the paper's overall 5% envelope; the paper's own gap was 0.4%), and the
+end-to-end model within 4-5% of the OSU latency observation.
+"""
+
+from conftest import write_report
+
+from repro.core.models import (
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+)
+from repro.core.validation import validate
+from repro.reporting.experiments import experiment_insights, experiment_validation
+
+
+def test_model_validation(benchmark, measured_times, campaign, report_dir):
+    report = experiment_validation(measured_times, campaign.observed)
+    write_report(report_dir, "validation", report)
+
+    checks = benchmark(
+        lambda: [
+            validate(
+                "LLP injection (Eq. 1)",
+                InjectionModelLlp(measured_times).predicted_ns,
+                campaign.observed["llp_injection_overhead"],
+                margin=0.05,
+            ),
+            validate(
+                "LLP latency (§4.3)",
+                LatencyModelLlp(measured_times).predicted_ns,
+                campaign.observed["llp_latency"],
+                margin=0.05,
+            ),
+            validate(
+                "Overall injection (Eq. 2)",
+                OverallInjectionModel(measured_times).predicted_ns,
+                campaign.observed["overall_injection_overhead"],
+                margin=0.05,
+            ),
+            validate(
+                "End-to-end latency (§6)",
+                EndToEndLatencyModel(measured_times).predicted_ns,
+                campaign.observed["end_to_end_latency"],
+                margin=0.05,
+            ),
+        ]
+    )
+    for check in checks:
+        assert check.within_margin, str(check)
+
+
+def test_insights(benchmark, measured_times, report_dir):
+    """The four §6 insights must hold on the measured system too."""
+    report = benchmark(experiment_insights, measured_times)
+    write_report(report_dir, "insights", report)
+    assert report.count("[HOLDS]") == 4

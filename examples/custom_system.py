@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Model a system of your own: an x86 + 400G RoCE hypothetical.
+
+The paper closes: "researchers and engineers can identify bottlenecks
+on their own systems using our detailed methodology".  This example
+shows the workflow on a system that is *not* the paper's testbed — a
+hypothetical x86 server with a 400 GbE RoCE NIC:
+
+1. describe the system as a :class:`SystemConfig` (faster device-memory
+   writes, slower switch, higher wire latency from FEC — the §7.2
+   trade-off);
+2. simulate it and re-measure the components with the methodology;
+3. run the same breakdowns and what-if analysis the paper ran, and see
+   how the optimization guidance *changes*.
+
+Run:  python examples/custom_system.py   (~60 s)
+"""
+
+from repro.analysis import measure_component_times
+from repro.core.breakdown import fig15_categories
+from repro.core.insights import all_insights
+from repro.core.whatif import Metric, WhatIfAnalysis
+from repro.cpu.costs import SegmentCosts
+from repro.cpu.memory import MemoryModel
+from repro.network.config import NetworkConfig
+from repro.node.config import SystemConfig
+from repro.pcie.config import PcieConfig
+from repro.reporting.figures import render_breakdown_bar
+
+
+def x86_roce_config() -> SystemConfig:
+    """A plausible x86 + 400G RoCE system (illustrative numbers)."""
+    return SystemConfig(
+        costs=SegmentCosts(
+            md_setup=15.0,        # stronger single-thread perf
+            barrier_md=2.0,       # x86-TSO: store fences are cheap
+            barrier_dbc=2.0,
+            pio_copy_64b=40.0,    # faster WC-buffer write combining
+            llp_post_misc=10.0,
+            llp_prog=35.0,
+        ),
+        memory=MemoryModel(normal_write_64b=0.5, device_write_64b=40.0),
+        pcie=PcieConfig(base_latency_ns=110.0, rc_to_mem_base_ns=160.0),
+        network=NetworkConfig(
+            wire_latency_ns=450.0,   # PAM4 + FEC latency tax (§7.2)
+            switch_latency_ns=300.0,  # Ethernet switch, not InfiniBand
+        ),
+        seed=123,
+    )
+
+
+def main() -> None:
+    config = x86_roce_config()
+    print("Measuring the hypothetical x86 + 400G RoCE system "
+          "(full methodology)...")
+    campaign = measure_component_times(config, quick=True)
+    times = campaign.to_component_times()
+
+    print("\n== Where does the time go on this system? ==")
+    print(render_breakdown_bar(fig15_categories(times)["top"]))
+
+    print("\n== Do the paper's insights still hold? ==")
+    for insight in all_insights(times):
+        print(insight)
+
+    print("\n== What should this system's owners optimize? ==")
+    analysis = WhatIfAnalysis(times)
+    candidates = {
+        **analysis.latency_cpu_components(),
+        **analysis.latency_io_components(),
+        **analysis.latency_network_components(),
+    }
+    ranked = sorted(
+        (
+            (name, analysis.speedup(Metric.LATENCY, value, 0.5))
+            for name, value in candidates.items()
+        ),
+        key=lambda pair: -pair[1],
+    )
+    print("latency speedup from a 50% reduction, best first:")
+    for name, speedup in ranked[:6]:
+        print(f"  {name:<16} {speedup * 100:6.2f}%")
+    print("\nOn the paper's testbed the on-node components dominate; on this"
+          "\nEthernet-based system the network does — the same methodology,"
+          "\na different optimization target, which is exactly the point.")
+
+
+if __name__ == "__main__":
+    main()

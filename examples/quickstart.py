@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: model, simulate, and break down small-message latency.
+
+This walks the three levels of the library in ~50 lines:
+
+1. the analytical models with the paper's published component times;
+2. the simulated two-node testbed running the same benchmarks the
+   paper ran (UCX put_bw / am_lat, OSU message rate / latency);
+3. the breakdown figures that tell you *where* the time goes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ComponentTimes,
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    OverallInjectionModel,
+    SystemConfig,
+)
+from repro.bench import run_am_lat, run_osu_latency, run_osu_message_rate, run_put_bw
+from repro.core.breakdown import fig13_end_to_end, fig15_categories
+from repro.reporting.figures import render_breakdown_bar
+from repro.reporting.tables import render_breakdown_table
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The analytical models with the paper's measured values.
+    # ------------------------------------------------------------------
+    times = ComponentTimes.paper()
+    print("== Analytical models (paper values) ==")
+    print(f"LLP injection overhead (Eq. 1): {InjectionModelLlp(times).predicted_ns:8.2f} ns")
+    print(f"Overall injection overhead (Eq. 2): {OverallInjectionModel(times).predicted_ns:8.2f} ns")
+    print(f"End-to-end latency (§6):        {EndToEndLatencyModel(times).predicted_ns:8.2f} ns")
+
+    # ------------------------------------------------------------------
+    # 2. Observe the same quantities on the simulated testbed.
+    # ------------------------------------------------------------------
+    config = SystemConfig.paper_testbed(seed=1)
+    print("\n== Simulated observations (noisy testbed) ==")
+    put = run_put_bw(config=config, n_messages=500, warmup=256)
+    print(f"put_bw NIC-observed injection:   {put.mean_injection_overhead_ns:8.2f} ns")
+    am = run_am_lat(config=config, iterations=300, warmup=50)
+    print(f"am_lat observed latency:         {am.observed_latency_ns:8.2f} ns")
+    mr = run_osu_message_rate(config=config, windows=20, warmup_windows=6)
+    print(f"OSU message rate:                {mr.message_rate_per_s / 1e6:8.3f} M msg/s "
+          f"(1/rate = {mr.cpu_side_injection_overhead_ns:.2f} ns)")
+    lat = run_osu_latency(config=config, iterations=300, warmup=50)
+    print(f"OSU MPI latency:                 {lat.observed_latency_ns:8.2f} ns")
+
+    # ------------------------------------------------------------------
+    # 3. Where does the time go?  (Figures 13 and 15.)
+    # ------------------------------------------------------------------
+    print("\n== Breakdown of the end-to-end latency ==")
+    print(render_breakdown_table(fig13_end_to_end(times)))
+    print()
+    print(render_breakdown_bar(fig15_categories(times)["top"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Extension study: RDMA read (get) vs RDMA write (put).
+
+The paper measures writes and send-receive; reads are the other half of
+one-sided communication.  A read pays an extra network traversal plus a
+full PCIe round trip and memory read at the *target* — this example
+walks a get through the simulator stage by stage and compares against
+the extension model (``RdmaReadLatencyModel``) and the paper's write
+latency.
+
+Run:  python examples/rdma_read.py
+"""
+
+from repro import ComponentTimes
+from repro.core.models import LatencyModelLlp, RdmaReadLatencyModel
+from repro.llp.uct import UCS_OK, UctWorker
+from repro.node import SystemConfig, Testbed
+
+
+def simulate_get(payload_bytes: int = 8):
+    tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
+    worker = UctWorker(tb.node1)
+    iface = worker.create_iface()
+    remote = UctWorker(tb.node2).create_iface()
+    ep = iface.create_ep(remote)
+
+    def body():
+        status = yield from ep.get_bcopy(payload_bytes)
+        assert status == UCS_OK
+
+    tb.env.run(until=tb.env.process(body(), name="get"))
+    tb.run()
+    return iface.last_message, tb
+
+
+def main() -> None:
+    message, tb = simulate_get()
+    print("== One RDMA read (8 B), stage by stage ==")
+    previous = 0.0
+    for stage in (
+        "posted", "pio_written", "nic_arrival", "target_nic",
+        "read_served", "response_rx", "payload_visible", "cqe_visible",
+    ):
+        when = message.timestamps[stage]
+        print(f"{stage:>18}: {when:9.2f} ns  (+{when - previous:.2f})")
+        previous = when
+    print(f"\ntarget CPU busy time: {tb.node2.cpu.busy_ns:.2f} ns "
+          "(one-sided: the target processor never runs)")
+
+    times = ComponentTimes.paper()
+    read = RdmaReadLatencyModel(times)
+    write = LatencyModelLlp(times)
+    print("\n== Analytical comparison (LLP level, 8 B) ==")
+    print(f"RDMA write latency: {write.predicted_ns:8.2f} ns")
+    print(f"RDMA read latency:  {read.predicted_ns:8.2f} ns")
+    print(f"read premium:       {read.predicted_ns - write.predicted_ns:8.2f} ns "
+          "(one extra Network + target PCIe round trip + memory read)")
+
+    print("\n== Read latency components ==")
+    for name, value in read.components().items():
+        print(f"  {name:<24} {value:8.2f} ns")
+
+
+if __name__ == "__main__":
+    main()

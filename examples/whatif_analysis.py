@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""What-if analysis: "if we optimize component X by Y%, what happens?"
+
+Reproduces the paper's Figure 17 panels and then goes beyond them: a
+custom combined-optimization scenario (faster PIO *and* an on-package
+NIC) evaluated both analytically and by re-running the simulator with
+the optimized parameters — demonstrating §7's claim that the two
+approaches agree exactly.
+
+Run:  python examples/whatif_analysis.py
+"""
+
+from repro import ComponentTimes, Metric, SystemConfig, WhatIfAnalysis
+from repro.bench import run_osu_latency
+from repro.cpu.costs import SegmentCosts
+from repro.cpu.memory import MemoryModel
+from repro.pcie.config import PcieConfig
+from repro.reporting.figures import render_series
+
+
+def main() -> None:
+    times = ComponentTimes.paper()
+    analysis = WhatIfAnalysis(times)
+
+    # ------------------------------------------------------------------
+    # The four published panels.
+    # ------------------------------------------------------------------
+    print(render_series(
+        "Figure 17a — injection speedup vs CPU reduction", analysis.figure17a()))
+    print()
+    print(render_series(
+        "Figure 17c — latency speedup vs I/O reduction", analysis.figure17c()))
+
+    # ------------------------------------------------------------------
+    # A custom scenario: §7.1's two on-node optimizations combined.
+    #   * PIO copy reduced to 15 ns (writes to Device memory as fast as
+    #     Normal memory),
+    #   * an SoC-integrated NIC cutting PCIe to 20 ns per crossing and
+    #     RC-to-MEM to 80 ns.
+    # ------------------------------------------------------------------
+    pio_target = 15.0
+    pcie_target = 20.0
+    rc_target = 80.0
+
+    predicted = (
+        (times.pio_copy - pio_target)
+        + 2 * (times.pcie - pcie_target)
+        + (times.rc_to_mem_8b - rc_target)
+    )
+    baseline_latency = analysis.total(Metric.LATENCY)
+    print("\n== Combined on-node optimization (analytical) ==")
+    print(f"baseline end-to-end latency: {baseline_latency:8.2f} ns")
+    print(f"predicted saving:            {predicted:8.2f} ns "
+          f"({100 * predicted / baseline_latency:.1f}% speedup)")
+
+    # Re-simulate with the optimized hardware and compare.
+    fast_config = SystemConfig.paper_testbed(deterministic=True).evolve(
+        costs=SegmentCosts(pio_copy_64b=pio_target),
+        memory=MemoryModel(device_write_64b=pio_target),
+        pcie=PcieConfig(
+            base_latency_ns=pcie_target,
+            rc_to_mem_base_ns=rc_target - 0.27 * 8,
+        ),
+    )
+    baseline = run_osu_latency(
+        config=SystemConfig.paper_testbed(deterministic=True),
+        iterations=200, warmup=40,
+    )
+    optimized = run_osu_latency(config=fast_config, iterations=200, warmup=40)
+    observed = baseline.observed_latency_ns - optimized.observed_latency_ns
+    print("\n== Same scenario, re-simulated ==")
+    print(f"baseline observed latency:   {baseline.observed_latency_ns:8.2f} ns")
+    print(f"optimized observed latency:  {optimized.observed_latency_ns:8.2f} ns")
+    print(f"observed saving:             {observed:8.2f} ns "
+          f"({100 * observed / baseline.observed_latency_ns:.1f}% speedup)")
+    print(f"model-vs-simulation gap:     {abs(observed - predicted):8.2f} ns")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Breaking Band reproduction: a breakdown of high-performance communication.
+
+A full-system reproduction of *Breaking Band: A Breakdown of
+High-performance Communication* (Zambre, Grodowitz, Chandramowlishwaran,
+Shamis — ICPP 2019) built on a discrete-event simulator of the whole
+communication stack: CPU software layers (MPICH/UCP/UCT-like), the PCIe
+subsystem with credit-based flow control and a passive protocol
+analyzer, a ConnectX-4-like NIC, and an InfiniBand-like fabric.
+
+Quickstart::
+
+    from repro import ComponentTimes, EndToEndLatencyModel
+    from repro.bench import run_am_lat
+
+    # Analytical model with the paper's measured values.
+    model = EndToEndLatencyModel(ComponentTimes.paper())
+    print(model.predicted_ns)                 # 1387.02 ns
+
+    # Observe the same quantity on the simulated testbed.
+    result = run_am_lat(iterations=200)
+    print(result.observed_latency_ns)
+
+    # Or re-measure every component with the paper's methodology:
+    from repro.analysis import measure_component_times
+    campaign = measure_component_times()
+    times = campaign.to_component_times()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-reproduction record of every table and figure.
+"""
+
+from repro.core.components import Category, ComponentTimes
+from repro.core.models import (
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+    gen_completion,
+    min_poll_interval,
+)
+from repro.core.validation import ValidationResult, validate
+from repro.core.whatif import Metric, WhatIfAnalysis
+from repro.node.config import SystemConfig
+from repro.node.testbed import Testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Category",
+    "ComponentTimes",
+    "EndToEndLatencyModel",
+    "InjectionModelLlp",
+    "LatencyModelLlp",
+    "Metric",
+    "OverallInjectionModel",
+    "SystemConfig",
+    "Testbed",
+    "ValidationResult",
+    "WhatIfAnalysis",
+    "__version__",
+    "gen_completion",
+    "min_poll_interval",
+    "validate",
+]

@@ -1,0 +1,57 @@
+"""The paper's measurement methodology, executed against the simulator.
+
+This package reproduces §§3-5's *method*, not just its numbers: it
+re-derives every Table 1 component from noisy benchmark runs using
+exactly the paper's techniques —
+
+* software segments via UCS-profiled regions, one component at a time,
+  with the 49.69 ns infrastructure overhead subtracted (§3);
+* PCIe from NIC-initiated MWr → ACK-DLLP round trips on the analyzer
+  trace, halved (§4.3);
+* Network from ping-arrival → completion-departure deltas, halved, and
+  Switch by differencing switched vs direct runs (§4.3);
+* RC-to-MEM(8B) from inbound-pong → outbound-ping deltas minus the
+  already-measured components (§4.3, Figure 9);
+* the HLP layer split via layered-region subtraction (§5).
+
+The flagship entry point is :func:`measure_component_times`, which runs
+the whole campaign and returns a
+:class:`~repro.core.components.ComponentTimes` ready for the models.
+"""
+
+from repro.analysis.stats import DistributionSummary, summarize
+from repro.analysis.traces import (
+    arrival_deltas,
+    mwr_ack_round_trips,
+    ping_completion_deltas,
+    pong_ping_deltas,
+)
+from repro.analysis.compare import SystemComparison, compare_systems
+from repro.analysis.replication import ReplicationStudy, run_replication_study
+from repro.analysis.methodology import (
+    MeasurementCampaign,
+    measure_component_times,
+    measure_hardware,
+    measure_hlp_segments,
+    measure_llp_segments,
+    measure_send_progress,
+)
+
+__all__ = [
+    "DistributionSummary",
+    "MeasurementCampaign",
+    "ReplicationStudy",
+    "SystemComparison",
+    "compare_systems",
+    "run_replication_study",
+    "arrival_deltas",
+    "measure_component_times",
+    "measure_hardware",
+    "measure_hlp_segments",
+    "measure_llp_segments",
+    "measure_send_progress",
+    "mwr_ack_round_trips",
+    "ping_completion_deltas",
+    "pong_ping_deltas",
+    "summarize",
+]

@@ -1,0 +1,132 @@
+"""Side-by-side comparison of two systems' component times.
+
+The workflow the paper's conclusion invites — "identify bottlenecks on
+their own systems" — usually ends in a comparison: my system vs the
+paper's, before vs after an optimization, vendor A vs vendor B.  This
+module renders the breakdown deltas, flags insight flips, and ranks the
+differing components by end-to-end impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.components import ComponentTimes
+from repro.core.insights import all_insights
+from repro.core.models import EndToEndLatencyModel, OverallInjectionModel
+
+__all__ = ["SystemComparison", "compare_systems"]
+
+#: The latency-bearing pieces compared, as (label, extractor).
+_LATENCY_PIECES = (
+    ("HLP_post", lambda t: t.hlp_post),
+    ("LLP_post", lambda t: t.llp_post),
+    ("TX PCIe", lambda t: t.pcie),
+    ("Wire", lambda t: t.wire),
+    ("Switch", lambda t: t.switch),
+    ("RX PCIe", lambda t: t.pcie),
+    ("RC-to-MEM(8B)", lambda t: t.rc_to_mem_8b),
+    ("LLP_prog", lambda t: t.llp_prog),
+    ("HLP_rx_prog", lambda t: t.hlp_rx_prog),
+)
+
+
+@dataclass(frozen=True)
+class SystemComparison:
+    """The comparison of a baseline system against a candidate."""
+
+    baseline: ComponentTimes
+    candidate: ComponentTimes
+    baseline_name: str = "baseline"
+    candidate_name: str = "candidate"
+
+    # -- headline deltas -----------------------------------------------------
+    @property
+    def latency_delta_ns(self) -> float:
+        """Candidate minus baseline end-to-end latency (negative = faster)."""
+        return (
+            EndToEndLatencyModel(self.candidate).predicted_ns
+            - EndToEndLatencyModel(self.baseline).predicted_ns
+        )
+
+    @property
+    def injection_delta_ns(self) -> float:
+        """Candidate minus baseline overall injection overhead."""
+        return (
+            OverallInjectionModel(self.candidate).predicted_ns
+            - OverallInjectionModel(self.baseline).predicted_ns
+        )
+
+    @property
+    def latency_speedup(self) -> float:
+        """Fractional latency improvement of the candidate (may be <0)."""
+        base = EndToEndLatencyModel(self.baseline).predicted_ns
+        return -self.latency_delta_ns / base if base else 0.0
+
+    # -- per-component attribution ----------------------------------------------
+    def component_deltas(self) -> list[tuple[str, float, float, float]]:
+        """(label, baseline ns, candidate ns, delta ns), biggest |delta| first."""
+        rows = [
+            (label, get(self.baseline), get(self.candidate),
+             get(self.candidate) - get(self.baseline))
+            for label, get in _LATENCY_PIECES
+        ]
+        return sorted(rows, key=lambda row: -abs(row[3]))
+
+    def insight_flips(self) -> list[tuple[int, bool, bool]]:
+        """(insight number, holds on baseline, holds on candidate) where
+        the verdict differs."""
+        flips = []
+        for base, cand in zip(
+            all_insights(self.baseline), all_insights(self.candidate)
+        ):
+            if base.holds != cand.holds:
+                flips.append((base.number, base.holds, cand.holds))
+        return flips
+
+    def render(self) -> str:
+        """A full comparison report."""
+        base_latency = EndToEndLatencyModel(self.baseline).predicted_ns
+        cand_latency = EndToEndLatencyModel(self.candidate).predicted_ns
+        base_inj = OverallInjectionModel(self.baseline).predicted_ns
+        cand_inj = OverallInjectionModel(self.candidate).predicted_ns
+        lines = [
+            f"{self.baseline_name} vs {self.candidate_name}",
+            "-" * 64,
+            f"end-to-end latency: {base_latency:9.2f} → {cand_latency:9.2f} ns "
+            f"({self.latency_speedup * 100:+.1f}%)",
+            f"injection overhead: {base_inj:9.2f} → {cand_inj:9.2f} ns",
+            "",
+            f"{'component':<16} {self.baseline_name:>12} {self.candidate_name:>12}"
+            f" {'delta':>10}",
+        ]
+        for label, base, cand, delta in self.component_deltas():
+            lines.append(f"{label:<16} {base:>12.2f} {cand:>12.2f} {delta:>+10.2f}")
+        flips = self.insight_flips()
+        if flips:
+            lines.append("")
+            for number, on_base, on_cand in flips:
+                lines.append(
+                    f"Insight {number} flips: "
+                    f"{'holds' if on_base else 'fails'} on {self.baseline_name}, "
+                    f"{'holds' if on_cand else 'fails'} on {self.candidate_name}"
+                )
+        else:
+            lines.append("")
+            lines.append("all four §6 insights agree across the two systems")
+        return "\n".join(lines)
+
+
+def compare_systems(
+    baseline: ComponentTimes,
+    candidate: ComponentTimes,
+    baseline_name: str = "baseline",
+    candidate_name: str = "candidate",
+) -> SystemComparison:
+    """Build a :class:`SystemComparison`."""
+    return SystemComparison(
+        baseline=baseline,
+        candidate=candidate,
+        baseline_name=baseline_name,
+        candidate_name=candidate_name,
+    )

@@ -1,0 +1,341 @@
+"""The full §§3-5 measurement campaign against the simulated testbed.
+
+Every quantity in the paper's Table 1 is *re-measured* here from noisy
+benchmark runs — software through profiled regions (one component per
+run, overhead subtracted), hardware through analyzer-trace arithmetic —
+then assembled into a :class:`ComponentTimes` for the analytical
+models.  Comparing that against the simulator's ground-truth
+configuration closes the loop on the methodology itself.
+
+Deviations from the paper, by necessity, are documented inline:
+
+* ``RC-to-MEM(64B)`` is extrapolated linearly from the measured 8-byte
+  value (the paper uses it in ``gen_completion`` but never reports a
+  measurement);
+* the MPICH share of ``MPI_Wait`` is measured with direct regions
+  around the entry / callback / post-progress segments rather than the
+  paper's total-minus-total subtraction — equivalent by construction
+  and robust to run-to-run variation in the number of empty progress
+  polls while blocked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import DistributionSummary, robust_mean, summarize
+from repro.analysis.traces import (
+    arrival_deltas,
+    mwr_ack_round_trips,
+    ping_completion_deltas,
+    pong_ping_deltas,
+)
+from repro.bench.osu import run_osu_latency, run_osu_message_rate
+from repro.bench.perftest import run_am_lat, run_put_bw
+from repro.core.components import ComponentTimes
+from repro.node.config import SystemConfig
+
+__all__ = [
+    "MeasurementCampaign",
+    "measure_component_times",
+    "measure_hardware",
+    "measure_hlp_segments",
+    "measure_llp_segments",
+]
+
+#: Regions measured with one dedicated put_bw run each (§4.1).
+LLP_REGIONS = (
+    "md_setup",
+    "barrier_md",
+    "barrier_dbc",
+    "pio_copy",
+    "llp_post",
+    "llp_prog",
+    "busy_post",
+    "measurement_update",
+)
+
+#: Regions measured with one dedicated osu_latency run each (§5).
+HLP_REGIONS = (
+    "mpi_isend",
+    "ucp_isend",
+    "llp_post",
+    "ucp_worker_progress",
+    "llp_prog",
+    "ucp_recv_callback",
+    "mpich_recv_callback",
+    "mpich_after_progress",
+    "mpich_wait_entry",
+)
+
+
+@dataclass
+class MeasurementCampaign:
+    """Everything one full methodology run produced."""
+
+    config: SystemConfig
+    #: Corrected means of the LLP regions (put_bw runs).
+    llp: dict[str, float] = field(default_factory=dict)
+    #: Corrected means of the HLP regions (osu_latency runs).
+    hlp: dict[str, float] = field(default_factory=dict)
+    #: Hardware components from trace arithmetic.
+    hardware: dict[str, float] = field(default_factory=dict)
+    #: Send-progress quantities from the OSU message-rate run.
+    send_progress: dict[str, float] = field(default_factory=dict)
+    #: NIC-observed injection-overhead distribution (Figure 7).
+    injection_distribution: DistributionSummary | None = None
+    #: Benchmark-observed headline numbers for validation.
+    observed: dict[str, float] = field(default_factory=dict)
+
+    def to_component_times(self) -> ComponentTimes:
+        """Assemble the measured values into the models' input."""
+        llp, hlp, hw = self.llp, self.hlp, self.hardware
+        llp_post_other = max(
+            0.0,
+            llp["llp_post"]
+            - llp["md_setup"]
+            - llp["barrier_md"]
+            - llp["barrier_dbc"]
+            - llp["pio_copy"],
+        )
+        mpich_isend = max(0.0, hlp["mpi_isend"] - hlp["ucp_isend"])
+        ucp_isend = max(0.0, hlp["ucp_isend"] - hlp["llp_post"])
+        mpich_recv_cb = hlp["mpich_recv_callback"]
+        ucp_recv_cb = max(0.0, hlp["ucp_recv_callback"] - mpich_recv_cb)
+        ucp_body = max(0.0, hlp["ucp_worker_progress"] - hlp["llp_prog"])
+        return ComponentTimes(
+            md_setup=llp["md_setup"],
+            barrier_md=llp["barrier_md"],
+            barrier_dbc=llp["barrier_dbc"],
+            pio_copy=llp["pio_copy"],
+            llp_post_other=llp_post_other,
+            llp_prog=llp["llp_prog"],
+            busy_post=llp["busy_post"],
+            measurement_update=llp["measurement_update"],
+            pcie=hw["pcie"],
+            rc_to_mem_8b=hw["rc_to_mem_8b"],
+            rc_to_mem_64b=hw["rc_to_mem_64b"],
+            wire=hw["wire"],
+            switch=hw["switch"],
+            mpich_isend=mpich_isend,
+            ucp_isend=ucp_isend,
+            mpich_recv_callback=mpich_recv_cb,
+            ucp_recv_callback=ucp_recv_cb,
+            mpich_after_progress=hlp["mpich_after_progress"],
+            mpi_wait_mpich=(
+                hlp["mpich_wait_entry"] + mpich_recv_cb + hlp["mpich_after_progress"]
+            ),
+            mpi_wait_ucp=ucp_body + ucp_recv_cb,
+            post_prog=self.send_progress["post_prog"],
+            llp_tx_prog=self.send_progress["llp_tx_prog"],
+            misc_injection=self.send_progress["misc_injection"],
+        )
+
+
+def measure_llp_segments(
+    config: SystemConfig,
+    n_messages: int = 600,
+    warmup: int = 256,
+    seed_offset: int = 0,
+) -> dict[str, float]:
+    """Measure each LLP region with its own put_bw run (§4.1).
+
+    One region per run honours "while measuring time of a component, we
+    do not simultaneously measure time in any other component".
+    """
+    measured: dict[str, float] = {}
+    for index, region in enumerate(LLP_REGIONS):
+        run_config = config.evolve(seed=config.seed + seed_offset + index)
+        result = run_put_bw(
+            config=run_config,
+            n_messages=n_messages,
+            warmup=warmup,
+            profile_regions={region},
+        )
+        measured[region] = result.profiler.corrected_mean(region)
+    return measured
+
+
+def measure_hlp_segments(
+    config: SystemConfig,
+    iterations: int = 300,
+    warmup: int = 30,
+    seed_offset: int = 100,
+) -> dict[str, float]:
+    """Measure each HLP region with its own osu_latency run (§5)."""
+    measured: dict[str, float] = {}
+    for index, region in enumerate(HLP_REGIONS):
+        run_config = config.evolve(seed=config.seed + seed_offset + index)
+        result = run_osu_latency(
+            config=run_config,
+            iterations=iterations,
+            warmup=warmup,
+            profile_regions={region},
+        )
+        measured[region] = result.profiler.corrected_mean(region)
+    return measured
+
+
+def measure_hardware(
+    config: SystemConfig,
+    llp_post_ns: float,
+    llp_prog_ns: float,
+    n_messages: int = 600,
+    iterations: int = 300,
+    rc_to_mem_slope_ns_per_byte: float = 0.27,
+) -> tuple[dict[str, float], DistributionSummary]:
+    """Measure PCIe, Wire, Switch and RC-to-MEM from analyzer traces (§4.3).
+
+    Parameters
+    ----------
+    llp_post_ns / llp_prog_ns:
+        Already-measured software components, needed to back
+        RC-to-MEM(8B) out of the pong-ping delta (Figure 9).
+    rc_to_mem_slope_ns_per_byte:
+        Assumed linear slope used to extrapolate RC-to-MEM(64B) from
+        the 8-byte measurement (documented substitution; the paper
+        never reports the 64-byte value).
+
+    Returns
+    -------
+    (hardware dict, injection-overhead distribution summary)
+    """
+    # PCIe + the injection distribution come from one put_bw trace.
+    put_result = run_put_bw(
+        config=config.evolve(seed=config.seed + 200), n_messages=n_messages
+    )
+    records = put_result.testbed.analyzer.records
+    round_trips = mwr_ack_round_trips(records)
+    if round_trips.size == 0:
+        raise RuntimeError("no MWr→ACK pairs found in the put_bw trace")
+    pcie = float(round_trips.mean()) / 2.0
+    injection = summarize(arrival_deltas(records))
+
+    # Network (wire + switch) from the switched am_lat trace.
+    am_switched = run_am_lat(
+        config=config.evolve(seed=config.seed + 201), iterations=iterations
+    )
+    switched_records = am_switched.testbed.analyzer.records
+    network_deltas = ping_completion_deltas(switched_records)
+    network = float(network_deltas.mean()) / 2.0
+
+    # Wire alone from a direct (no-switch) am_lat run; Switch is the
+    # difference of the two latency setups, exactly the paper's method.
+    direct_config = config.evolve(
+        network=config.network.without_switch(), seed=config.seed + 202
+    )
+    am_direct = run_am_lat(config=direct_config, iterations=iterations)
+    wire = float(ping_completion_deltas(am_direct.testbed.analyzer.records).mean()) / 2.0
+    switch = max(0.0, network - wire)
+
+    # RC-to-MEM(8B) from the pong→ping deltas of the switched run.  The
+    # deltas span CPU segments (LLP_prog + LLP_post), so the rare
+    # heavy-tail outliers must be rejected before averaging.
+    pong_ping = pong_ping_deltas(switched_records)
+    rc_to_mem_8b = robust_mean(pong_ping) - 2 * pcie - llp_prog_ns - llp_post_ns
+    if rc_to_mem_8b <= 0:
+        raise RuntimeError(
+            f"RC-to-MEM(8B) back-out produced {rc_to_mem_8b:.2f} ns; "
+            "software measurements inconsistent with the trace"
+        )
+    rc_to_mem_64b = rc_to_mem_8b + rc_to_mem_slope_ns_per_byte * 56.0
+
+    hardware = {
+        "pcie": pcie,
+        "wire": wire,
+        "switch": switch,
+        "network": network,
+        "rc_to_mem_8b": rc_to_mem_8b,
+        "rc_to_mem_64b": rc_to_mem_64b,
+    }
+    return hardware, injection
+
+
+def measure_send_progress(
+    config: SystemConfig,
+    llp_post_ns: float,
+    llp_prog_ns: float,
+    busy_post_ns: float,
+    windows: int = 30,
+    window_size: int = 64,
+    signal_period: int = 64,
+) -> tuple[dict[str, float], float]:
+    """Measure Post_prog, LLP_tx_prog and Misc from an OSU MR run (§6).
+
+    Post_prog follows the paper's accounting: the MPI_Waitall time per
+    operation minus the LLP_posts re-executed for busy posts.  Returns
+    the dict plus the observed overall injection overhead (inverse
+    message rate) for validation.
+    """
+    result = run_osu_message_rate(
+        config=config.evolve(seed=config.seed + 300),
+        windows=windows,
+        window_size=window_size,
+        signal_period=signal_period,
+    )
+    ops = result.n_measured
+    post_prog = (result.waitall_ns - result.waitall_llp_post_ns) / ops
+    send_progress = {
+        "post_prog": post_prog,
+        # "Less than a nanosecond of Post_prog occurs in the LLP":
+        # one CQ dequeue amortised over the unsignaled period.
+        "llp_tx_prog": llp_prog_ns / signal_period,
+        "misc_injection": result.busy_posts * busy_post_ns / ops,
+    }
+    return send_progress, result.cpu_side_injection_overhead_ns
+
+
+def measure_component_times(
+    config: SystemConfig | None = None,
+    quick: bool = False,
+) -> MeasurementCampaign:
+    """Run the entire measurement campaign (the paper's §§3-6 workflow).
+
+    Parameters
+    ----------
+    config:
+        System to measure; defaults to the paper testbed with noise.
+    quick:
+        Shrink sample counts for fast test runs.
+
+    Returns
+    -------
+    A :class:`MeasurementCampaign`; call
+    :meth:`MeasurementCampaign.to_component_times` to feed the models.
+    """
+    cfg = config or SystemConfig.paper_testbed()
+    n_messages = 300 if quick else 1000
+    iterations = 120 if quick else 400
+    windows = 12 if quick else 30
+
+    campaign = MeasurementCampaign(config=cfg)
+    campaign.llp = measure_llp_segments(cfg, n_messages=n_messages)
+    campaign.hlp = measure_hlp_segments(cfg, iterations=iterations)
+    campaign.hardware, campaign.injection_distribution = measure_hardware(
+        cfg,
+        llp_post_ns=campaign.llp["llp_post"],
+        llp_prog_ns=campaign.llp["llp_prog"],
+        n_messages=n_messages,
+        iterations=iterations,
+    )
+    campaign.send_progress, observed_injection = measure_send_progress(
+        cfg,
+        llp_post_ns=campaign.llp["llp_post"],
+        llp_prog_ns=campaign.llp["llp_prog"],
+        busy_post_ns=campaign.llp["busy_post"],
+        windows=windows,
+    )
+
+    # Headline observations for model validation.
+    campaign.observed["llp_injection_overhead"] = (
+        campaign.injection_distribution.mean
+    )
+    am = run_am_lat(config=cfg.evolve(seed=cfg.seed + 400), iterations=iterations)
+    # §4.3: deduct half a measurement update from the reported latency.
+    campaign.observed["llp_latency"] = (
+        am.observed_latency_ns - campaign.llp["measurement_update"] / 2.0
+    )
+    campaign.observed["overall_injection_overhead"] = observed_injection
+    osu = run_osu_latency(config=cfg.evolve(seed=cfg.seed + 401), iterations=iterations)
+    campaign.observed["end_to_end_latency"] = osu.observed_latency_ns
+    return campaign

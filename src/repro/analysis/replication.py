@@ -1,0 +1,107 @@
+"""Multi-seed replication of the paper's validation claims.
+
+The paper reports one testbed's numbers.  A reproduction can do better:
+re-run the whole measurement-and-validation pipeline under many
+independent noise seeds and report the *distribution* of model errors —
+checking that the "within 5%" headline is a property of the method, not
+of one lucky run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.methodology import measure_component_times
+from repro.core.models import (
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+)
+from repro.node.config import SystemConfig
+
+__all__ = ["ReplicationStudy", "run_replication_study"]
+
+#: The four validations, keyed by the observation name they compare to.
+MODELS = {
+    "llp_injection_overhead": InjectionModelLlp,
+    "llp_latency": LatencyModelLlp,
+    "overall_injection_overhead": OverallInjectionModel,
+    "end_to_end_latency": EndToEndLatencyModel,
+}
+
+
+@dataclass
+class ReplicationStudy:
+    """Errors of each model across independent replications."""
+
+    seeds: list[int]
+    #: model name → list of |relative error| per seed.
+    errors: dict[str, list[float]] = field(default_factory=dict)
+
+    def error_array(self, name: str) -> np.ndarray:
+        """Per-seed |relative errors| of one model."""
+        return np.asarray(self.errors[name])
+
+    def worst_error(self, name: str) -> float:
+        """Largest |relative error| seen for one model."""
+        return float(self.error_array(name).max())
+
+    def mean_error(self, name: str) -> float:
+        """Mean |relative error| across replications."""
+        return float(self.error_array(name).mean())
+
+    def fraction_within(self, name: str, margin: float = 0.05) -> float:
+        """Share of replications with |error| ≤ margin."""
+        array = self.error_array(name)
+        return float((array <= margin).mean())
+
+    def all_within(self, margin: float = 0.05) -> bool:
+        """True when every model validates in every replication."""
+        return all(
+            self.fraction_within(name, margin) == 1.0 for name in self.errors
+        )
+
+    def render(self) -> str:
+        """A per-model summary table."""
+        lines = [
+            f"{'model':<28} {'mean err':>9} {'worst err':>10} {'within 5%':>10}"
+        ]
+        lines.append("-" * len(lines[0]))
+        for name in self.errors:
+            lines.append(
+                f"{name:<28} {self.mean_error(name) * 100:>8.2f}% "
+                f"{self.worst_error(name) * 100:>9.2f}% "
+                f"{self.fraction_within(name) * 100:>9.0f}%"
+            )
+        return "\n".join(lines)
+
+
+def run_replication_study(
+    n_replications: int = 5,
+    base_seed: int = 40_000,
+    quick: bool = True,
+) -> ReplicationStudy:
+    """Run the full pipeline under ``n_replications`` independent seeds.
+
+    Each replication re-measures every component through the §§3-6
+    methodology and validates all four models against its own benchmark
+    observations.
+    """
+    if n_replications < 1:
+        raise ValueError(f"n_replications must be >= 1, got {n_replications}")
+    seeds = [base_seed + 1000 * index for index in range(n_replications)]
+    study = ReplicationStudy(seeds=seeds)
+    study.errors = {name: [] for name in MODELS}
+    for seed in seeds:
+        campaign = measure_component_times(
+            SystemConfig.paper_testbed(seed=seed), quick=quick
+        )
+        times = campaign.to_component_times()
+        for name, model_cls in MODELS.items():
+            modeled = model_cls(times).predicted_ns
+            observed = campaign.observed[name]
+            study.errors[name].append(abs(modeled - observed) / observed)
+    return study

@@ -1,0 +1,68 @@
+"""Distribution summaries for benchmark samples (the Figure 7 numbers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DistributionSummary", "robust_mean", "summarize"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of one sample set (all in ns).
+
+    Mirrors the annotations of the paper's Figure 7: mean, median, min,
+    max and standard deviation.
+    """
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    std: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} median={self.median:.2f} "
+            f"min={self.minimum:.2f} max={self.maximum:.2f} std={self.std:.4f}"
+        )
+
+
+def robust_mean(
+    samples: np.ndarray | list[float], cutoff_multiple: float = 3.0
+) -> float:
+    """Mean after rejecting samples beyond ``cutoff_multiple`` × median.
+
+    Deltas that include CPU segments occasionally absorb a
+    multi-microsecond OS-noise outlier (the heavy tail of Figure 7); a
+    plain mean over a few hundred samples is visibly biased by them.
+    Rejecting the far tail before averaging is the standard treatment
+    and leaves the estimate unbiased for the paper's component
+    back-outs.
+    """
+    array = np.asarray(samples, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot average an empty sample set")
+    if cutoff_multiple <= 1.0:
+        raise ValueError(f"cutoff_multiple must exceed 1, got {cutoff_multiple}")
+    median = float(np.median(array))
+    kept = array[array <= cutoff_multiple * median] if median > 0 else array
+    return float(kept.mean()) if kept.size else median
+
+
+def summarize(samples: np.ndarray | list[float]) -> DistributionSummary:
+    """Summarise a sample set; raises on empty input."""
+    array = np.asarray(samples, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty sample set")
+    return DistributionSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        median=float(np.median(array)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+    )

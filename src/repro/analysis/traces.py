@@ -1,0 +1,123 @@
+"""PCIe-trace post-processing, mirroring the paper's Lecroy workflows.
+
+All functions take the list of :class:`TraceRecord` captured by the
+simulated analyzer and return arrays of ns deltas; the methodology
+module turns those into component times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pcie.analyzer import TraceRecord
+from repro.pcie.link import Direction
+from repro.pcie.packets import Dllp, DllpType, Tlp, TlpType
+
+__all__ = [
+    "arrival_deltas",
+    "mwr_ack_round_trips",
+    "ping_completion_deltas",
+    "pong_ping_deltas",
+]
+
+
+def arrival_deltas(
+    records: list[TraceRecord],
+    direction: Direction = Direction.DOWNSTREAM,
+    purpose: str = "pio_post",
+) -> np.ndarray:
+    """Inter-arrival deltas of matching TLPs (Figure 6 → Figure 7).
+
+    "calculating the delta of the timestamp of consecutive transactions
+    would result in the observed Inj_overhead" (§4.2).
+    """
+    times = [
+        r.timestamp_ns
+        for r in records
+        if r.is_tlp and r.direction is direction and r.purpose == purpose
+    ]
+    return np.diff(np.asarray(times)) if len(times) >= 2 else np.array([])
+
+
+def mwr_ack_round_trips(
+    records: list[TraceRecord], purpose: str = "cqe_write"
+) -> np.ndarray:
+    """Round trips of NIC-initiated MWr TLPs to their ACK DLLPs (§4.3).
+
+    "we use the MWr transactions initiated by the NIC during the
+    DMA-write of completions.  The timestamp in the MWr transaction is
+    the start time of the round trip and that in the corresponding ACK
+    DLLP is the end time."  Matching is by the link-layer sequence
+    number echoed in the ACK.
+    """
+    pending: dict[int, float] = {}
+    round_trips: list[float] = []
+    for record in records:
+        packet = record.packet
+        if (
+            isinstance(packet, Tlp)
+            and record.direction is Direction.UPSTREAM
+            and packet.kind is TlpType.MWR
+            and packet.purpose == purpose
+            and packet.seq is not None
+        ):
+            pending[packet.seq] = record.timestamp_ns
+        elif (
+            isinstance(packet, Dllp)
+            and packet.kind is DllpType.ACK
+            and record.direction is Direction.DOWNSTREAM
+            and packet.acked_seq in pending
+        ):
+            round_trips.append(record.timestamp_ns - pending.pop(packet.acked_seq))
+    return np.asarray(round_trips)
+
+
+def ping_completion_deltas(records: list[TraceRecord]) -> np.ndarray:
+    """Ping-arrival → completion-departure deltas (§4.3 Network).
+
+    "A downstream 64-byte PCIe transaction corresponds to a ping and
+    the next upstream 64-byte PCIe transaction corresponds to the
+    ping's completion which is generated upon reception of the ACK."
+    Each delta spans two network traversals (message out, ACK back).
+    """
+    deltas: list[float] = []
+    ping_time: float | None = None
+    for record in records:
+        if not record.is_tlp:
+            continue
+        if record.direction is Direction.DOWNSTREAM and record.purpose == "pio_post":
+            ping_time = record.timestamp_ns
+        elif (
+            record.direction is Direction.UPSTREAM
+            and record.purpose == "cqe_write"
+            and ping_time is not None
+        ):
+            deltas.append(record.timestamp_ns - ping_time)
+            ping_time = None
+    return np.asarray(deltas)
+
+
+def pong_ping_deltas(records: list[TraceRecord]) -> np.ndarray:
+    """Inbound-pong → outbound-ping deltas (§4.3, Figure 9).
+
+    "the time difference between an incoming pong and outgoing ping
+    entails an RC-to-MEM(8B), two PCIes, a LLP_prog (successful poll),
+    and a LLP_post (the ping)."  The inbound pong is the upstream
+    payload-write MWr; the outbound ping is the next downstream PIO
+    post.
+    """
+    deltas: list[float] = []
+    pong_time: float | None = None
+    for record in records:
+        if not record.is_tlp:
+            continue
+        if record.direction is Direction.UPSTREAM and record.purpose == "payload_write":
+            pong_time = record.timestamp_ns
+        elif (
+            record.direction is Direction.DOWNSTREAM
+            and record.purpose == "pio_post"
+            and pong_time is not None
+        ):
+            deltas.append(record.timestamp_ns - pong_time)
+            pong_time = None
+    return np.asarray(deltas)

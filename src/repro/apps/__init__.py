@@ -1,0 +1,25 @@
+"""Application kernels over the simulated stack.
+
+The paper motivates its small-message focus with strong-scaled,
+fine-grained applications (§1) and sanity-checks its what-if analysis
+against "an MPI stencil kernel through a distributed system simulator"
+(§7).  This package provides those workloads as reusable library code:
+
+* :func:`run_halo_exchange` — a two-rank 1-D stencil communication
+  phase over the full MPI stack;
+* :func:`run_random_access` — a GUPS-style fine-grained RDMA update
+  kernel, one independent stream per core.
+"""
+
+from repro.apps.allreduce import AllreduceResult, run_ring_allreduce
+from repro.apps.randomaccess import RandomAccessResult, run_random_access
+from repro.apps.stencil import StencilResult, run_halo_exchange
+
+__all__ = [
+    "AllreduceResult",
+    "RandomAccessResult",
+    "StencilResult",
+    "run_halo_exchange",
+    "run_random_access",
+    "run_ring_allreduce",
+]

@@ -1,0 +1,103 @@
+"""Ring allreduce over N simulated nodes.
+
+A fine-grained collective in the spirit of the paper's introduction:
+each of the 2(N−1) ring steps moves one small chunk to the right
+neighbour and reduces the chunk arriving from the left.  With every
+rank advancing in lockstep, the per-step time is one end-to-end
+latency (sends overlap the receive wait), so the §6 model predicts::
+
+    T_allreduce ≈ 2(N−1) × (end-to-end latency + reduce_compute)
+
+which the simulation confirms — the multi-node composition of the
+paper's single-link model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hlp.mpi import MpiStack
+from repro.node.cluster import Cluster
+from repro.node.config import SystemConfig
+
+__all__ = ["AllreduceResult", "run_ring_allreduce"]
+
+
+@dataclass
+class AllreduceResult:
+    """Outcome of one ring-allreduce run."""
+
+    cluster: Cluster
+    n_nodes: int
+    chunk_bytes: int
+    reduce_compute_ns: float
+    iterations: int
+    total_ns: float
+
+    @property
+    def steps(self) -> int:
+        """Ring steps per allreduce: reduce-scatter + allgather."""
+        return 2 * (self.n_nodes - 1)
+
+    @property
+    def time_per_allreduce_ns(self) -> float:
+        """Mean wall time of one complete allreduce."""
+        return self.total_ns / self.iterations if self.iterations else 0.0
+
+    @property
+    def time_per_step_ns(self) -> float:
+        """Mean time per ring step (≈ one end-to-end latency)."""
+        return self.time_per_allreduce_ns / self.steps if self.steps else 0.0
+
+
+def run_ring_allreduce(
+    n_nodes: int,
+    config: SystemConfig | None = None,
+    chunk_bytes: int = 8,
+    reduce_compute_ns: float = 20.0,
+    iterations: int = 20,
+    signal_period: int = 64,
+) -> AllreduceResult:
+    """Run ``iterations`` ring allreduces across ``n_nodes`` ranks."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if reduce_compute_ns < 0:
+        raise ValueError(f"reduce_compute_ns must be >= 0, got {reduce_compute_ns}")
+    cluster = Cluster(n_nodes, config=config)
+    env = cluster.env
+    stacks = [MpiStack(node, signal_period=signal_period) for node in cluster.nodes]
+    to_right = [
+        stacks[index].connect(stacks[(index + 1) % n_nodes])
+        for index in range(n_nodes)
+    ]
+    steps = 2 * (n_nodes - 1)
+    marks: dict[str, float] = {}
+
+    def rank(index: int):
+        comm = to_right[index]
+        node = cluster.nodes[index]
+        for _ in range(iterations):
+            for _step in range(steps):
+                incoming = yield from comm.irecv(chunk_bytes)
+                yield from comm.isend(chunk_bytes)
+                yield from comm.wait(incoming)
+                if reduce_compute_ns > 0:
+                    yield from node.cpu.execute(
+                        "reduce_op", mean=reduce_compute_ns
+                    )
+        if index == 0:
+            marks["t_end"] = env.now
+
+    processes = [
+        env.process(rank(index), name=f"allreduce.rank{index}")
+        for index in range(n_nodes)
+    ]
+    env.run(until=env.all_of(processes))
+    return AllreduceResult(
+        cluster=cluster,
+        n_nodes=n_nodes,
+        chunk_bytes=chunk_bytes,
+        reduce_compute_ns=reduce_compute_ns,
+        iterations=iterations,
+        total_ns=marks["t_end"],
+    )

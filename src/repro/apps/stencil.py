@@ -1,0 +1,87 @@
+"""A two-rank 1-D halo exchange: the §7 stencil-kernel check.
+
+Each iteration, both ranks post a halo receive, send their boundary
+value to the neighbour, wait for the incoming halo, then spend a
+configurable compute time on the interior update.  The result records
+the communication time per iteration, which §7 predicts responds
+*linearly* to any component reduction (the model components do not
+overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hlp.mpi import MpiStack
+from repro.node.config import SystemConfig
+from repro.node.testbed import Testbed
+
+__all__ = ["StencilResult", "run_halo_exchange"]
+
+
+@dataclass
+class StencilResult:
+    """Outcome of one halo-exchange run."""
+
+    testbed: Testbed
+    iterations: int
+    halo_bytes: int
+    compute_ns: float
+    total_comm_ns: float
+    total_ns: float
+
+    @property
+    def comm_ns_per_iteration(self) -> float:
+        """Mean communication-phase time per exchange."""
+        return self.total_comm_ns / self.iterations if self.iterations else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of wall time spent communicating (rank 0's view)."""
+        return self.total_comm_ns / self.total_ns if self.total_ns else 0.0
+
+
+def run_halo_exchange(
+    config: SystemConfig | None = None,
+    iterations: int = 200,
+    halo_bytes: int = 8,
+    compute_ns: float = 500.0,
+    signal_period: int = 64,
+) -> StencilResult:
+    """Run the stencil communication phase on a fresh testbed."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if compute_ns < 0:
+        raise ValueError(f"compute_ns must be >= 0, got {compute_ns}")
+    tb = Testbed(config or SystemConfig.paper_testbed())
+    rank0 = MpiStack(tb.node1, signal_period=signal_period)
+    rank1 = MpiStack(tb.node2, signal_period=signal_period)
+    comm01 = rank0.connect(rank1)
+    comm10 = rank1.connect(rank0)
+    stats = {"comm_ns": 0.0, "t_end": 0.0}
+    env = tb.env
+
+    def rank(comm, node, record: bool):
+        for _ in range(iterations):
+            t0 = env.now
+            halo = yield from comm.irecv(halo_bytes)
+            yield from comm.isend(halo_bytes)
+            yield from comm.wait(halo)
+            if record:
+                stats["comm_ns"] += env.now - t0
+            if compute_ns > 0:
+                yield from node.cpu.execute("stencil_compute", mean=compute_ns)
+        if record:
+            stats["t_end"] = env.now
+
+    rank0_proc = env.process(rank(comm01, tb.node1, True), name="stencil.rank0")
+    env.process(rank(comm10, tb.node2, False), name="stencil.rank1")
+    env.run(until=rank0_proc)
+    return StencilResult(
+        testbed=tb,
+        iterations=iterations,
+        halo_bytes=halo_bytes,
+        compute_ns=compute_ns,
+        total_comm_ns=stats["comm_ns"],
+        total_ns=stats["t_end"],
+    )

@@ -1,0 +1,51 @@
+"""Microbenchmarks: UCX-perftest and OSU equivalents, run in-simulator.
+
+Each benchmark builds (or accepts) a :class:`~repro.node.testbed.Testbed`,
+runs its workload as simulated processes, and returns a result object
+bundling the software-visible measurements, the PCIe analyzer trace and
+the ground-truth message journals.
+
+* :func:`run_put_bw` — UCX ``put_bw``: single-threaded RDMA-write
+  injection-rate test, one 8-byte message per post, poll every 16 posts
+  (§4.2);
+* :func:`run_am_lat` — UCX ``am_lat``: ping-pong send-receive latency,
+  reported as round-trip / 2 (§4.3);
+* :func:`run_osu_message_rate` — OSU message-rate test over MPI with
+  windows of non-blocking sends and a closing MPI_Waitall, window sync
+  removed as in §6;
+* :func:`run_osu_latency` — OSU point-to-point MPI latency (§6).
+"""
+
+from repro.bench.bandwidth import (
+    BandwidthResult,
+    realistic_bandwidth_config,
+    run_uct_bandwidth,
+)
+from repro.bench.multicore import MulticoreResult, run_multicore_put_bw
+from repro.bench.osu import (
+    OsuLatencyResult,
+    OsuMessageRateResult,
+    OsuMultiPairResult,
+    run_osu_latency,
+    run_osu_message_rate,
+    run_osu_multi_pair_message_rate,
+)
+from repro.bench.perftest import AmLatResult, PutBwResult, run_am_lat, run_put_bw
+
+__all__ = [
+    "AmLatResult",
+    "BandwidthResult",
+    "MulticoreResult",
+    "realistic_bandwidth_config",
+    "run_multicore_put_bw",
+    "run_uct_bandwidth",
+    "OsuLatencyResult",
+    "OsuMessageRateResult",
+    "OsuMultiPairResult",
+    "run_osu_multi_pair_message_rate",
+    "PutBwResult",
+    "run_am_lat",
+    "run_osu_latency",
+    "run_osu_message_rate",
+    "run_put_bw",
+]

@@ -1,0 +1,323 @@
+"""OSU micro-benchmark equivalents, run over the full MPI stack (§6).
+
+* Message rate: windows of ``MPI_Isend`` closed by ``MPI_Waitall``,
+  with the per-window send-receive sync removed (the paper's footnote:
+  "We remove the send-receive sync after every window of posts for a
+  clear analysis").  The inverse of the message rate is the observed
+  overall injection overhead.
+* Point-to-point latency: MPI_Irecv / MPI_Isend / MPI_Wait ping-pong,
+  reported as round-trip / 2 — the observed end-to-end latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hlp.mpi import MpiStack
+from repro.llp.profiling import UcsProfiler
+from repro.nic.descriptor import Message
+from repro.node.config import SystemConfig
+from repro.node.testbed import Testbed
+from repro.pcie.link import Direction
+
+__all__ = [
+    "OsuLatencyResult",
+    "OsuMessageRateResult",
+    "OsuMultiPairResult",
+    "run_osu_latency",
+    "run_osu_message_rate",
+    "run_osu_multi_pair_message_rate",
+]
+
+
+@dataclass
+class OsuMessageRateResult:
+    """Outcome of the OSU message-rate run."""
+
+    testbed: Testbed
+    profiler: UcsProfiler
+    n_measured: int
+    total_ns: float
+    #: Cumulative MPI_Isend-phase time (Post measurements).
+    isend_phase_ns: float
+    #: Cumulative MPI_Waitall time.
+    waitall_ns: float
+    #: LLP_post time executed inside progress on behalf of busy posts
+    #: (the §6 caveat-1 deduction).
+    waitall_llp_post_ns: float
+    #: Busy posts encountered during initiation.
+    busy_posts: int
+    observed_injection_overheads_ns: np.ndarray = field(repr=False)
+
+    @property
+    def message_rate_per_s(self) -> float:
+        """Messages per second over the measured window."""
+        return self.n_measured / (self.total_ns * 1e-9) if self.total_ns else 0.0
+
+    @property
+    def cpu_side_injection_overhead_ns(self) -> float:
+        """Inverse message rate: the paper's observed overall injection
+        overhead (263.91 ns on the real testbed)."""
+        return self.total_ns / self.n_measured if self.n_measured else 0.0
+
+    @property
+    def mean_injection_overhead_ns(self) -> float:
+        """NIC-observed mean inter-arrival delta from the PCIe trace."""
+        return float(self.observed_injection_overheads_ns.mean())
+
+    @property
+    def post_prog_ns_per_op(self) -> float:
+        """The paper's Post_prog: waitall time per op, minus the busy
+        posts' re-executed LLP_posts (§6 accounting)."""
+        if not self.n_measured:
+            return 0.0
+        return (self.waitall_ns - self.waitall_llp_post_ns) / self.n_measured
+
+
+@dataclass
+class OsuLatencyResult:
+    """Outcome of the OSU point-to-point latency run."""
+
+    testbed: Testbed
+    profiler: UcsProfiler
+    iterations: int
+    total_ns: float
+    pings: list[Message]
+
+    @property
+    def observed_latency_ns(self) -> float:
+        """Half the mean round trip: the observed end-to-end latency
+        (1336 ns on the paper's testbed)."""
+        return self.total_ns / (2 * self.iterations) if self.iterations else 0.0
+
+
+def run_osu_message_rate(
+    testbed: Testbed | None = None,
+    config: SystemConfig | None = None,
+    windows: int = 40,
+    window_size: int = 64,
+    warmup_windows: int = 8,
+    payload_bytes: int = 8,
+    signal_period: int = 64,
+    profile_regions: frozenset[str] | set[str] | None = frozenset(),
+) -> OsuMessageRateResult:
+    """Run the OSU message-rate test (sync-free variant, §6)."""
+    tb = testbed or Testbed(config or SystemConfig.paper_testbed())
+    env = tb.env
+    node1 = tb.initiator
+    profiler = UcsProfiler(node1.timer, enabled=True)
+    profiler.enable_only(profile_regions)
+
+    sender_stack = MpiStack(node1, profiler, signal_period=signal_period)
+    recver_stack = MpiStack(tb.target, signal_period=signal_period)
+    comm = sender_stack.connect(recver_stack)
+    rcomm = recver_stack.connect(sender_stack)
+
+    total_messages = (warmup_windows + windows) * window_size
+    marks: dict[str, float] = {}
+    phase = {"isend_ns": 0.0, "waitall_ns": 0.0, "llp_post_ns0": 0.0, "busy0": 0}
+
+    def sender():
+        ucp = sender_stack.ucp
+        for w in range(warmup_windows + windows):
+            if w == warmup_windows:
+                tb.analyzer.clear()
+                profiler.reset()
+                marks["t_start"] = env.now
+                phase["isend_ns"] = 0.0
+                phase["waitall_ns"] = 0.0
+                phase["llp_post_ns0"] = ucp.progress_llp_post_ns
+                phase["busy0"] = ucp.busy_posts_encountered
+            t0 = env.now
+            requests = []
+            for _ in range(window_size):
+                request = yield from comm.isend(payload_bytes)
+                requests.append(request)
+            t1 = env.now
+            yield from comm.waitall(requests)
+            t2 = env.now
+            phase["isend_ns"] += t1 - t0
+            phase["waitall_ns"] += t2 - t1
+        marks["t_end"] = env.now
+
+    def receiver():
+        # Window sync is removed: the receiver just posts receives and
+        # progresses; its pace never gates the sender.
+        for _ in range(warmup_windows + windows):
+            requests = []
+            for _ in range(window_size):
+                request = yield from rcomm.irecv(payload_bytes)
+                requests.append(request)
+            yield from rcomm.waitall(requests)
+
+    env.process(receiver(), name="osu_mr.receiver")
+    env.run(until=env.process(sender(), name="osu_mr.sender"))
+
+    arrivals = np.array(
+        [
+            r.timestamp_ns
+            for r in tb.analyzer.tlps(Direction.DOWNSTREAM)
+            if r.purpose == "pio_post" and r.timestamp_ns <= marks["t_end"]
+        ]
+    )
+    deltas = np.diff(arrivals) if arrivals.size >= 2 else np.array([])
+    ucp = sender_stack.ucp
+    return OsuMessageRateResult(
+        testbed=tb,
+        profiler=profiler,
+        n_measured=windows * window_size,
+        total_ns=marks["t_end"] - marks["t_start"],
+        isend_phase_ns=phase["isend_ns"],
+        waitall_ns=phase["waitall_ns"],
+        waitall_llp_post_ns=ucp.progress_llp_post_ns - phase["llp_post_ns0"],
+        busy_posts=ucp.busy_posts_encountered - phase["busy0"],
+        observed_injection_overheads_ns=deltas,
+    )
+
+
+def run_osu_latency(
+    testbed: Testbed | None = None,
+    config: SystemConfig | None = None,
+    iterations: int = 300,
+    warmup: int = 30,
+    payload_bytes: int = 8,
+    signal_period: int = 64,
+    profile_regions: frozenset[str] | set[str] | None = frozenset(),
+) -> OsuLatencyResult:
+    """Run the OSU point-to-point latency test over MPI (§6)."""
+    tb = testbed or Testbed(config or SystemConfig.paper_testbed())
+    env = tb.env
+    node1, node2 = tb.initiator, tb.target
+    profiler = UcsProfiler(node1.timer, enabled=True)
+    profiler.enable_only(profile_regions)
+
+    stack1 = MpiStack(node1, profiler, signal_period=signal_period)
+    stack2 = MpiStack(node2, signal_period=signal_period)
+    comm1 = stack1.connect(stack2)
+    comm2 = stack2.connect(stack1)
+
+    total = warmup + iterations
+    marks: dict[str, float] = {}
+    pings: list[Message] = []
+
+    def initiator():
+        for i in range(total):
+            if i == warmup:
+                tb.analyzer.clear()
+                profiler.reset()
+                marks["t_start"] = env.now
+            recv_req = yield from comm1.irecv(payload_bytes)
+            yield from comm1.isend(payload_bytes)
+            if stack1.ucp.iface.last_message is not None:
+                pings.append(stack1.ucp.iface.last_message)
+            yield from comm1.wait(recv_req)
+        marks["t_end"] = env.now
+
+    def responder():
+        for _ in range(total):
+            recv_req = yield from comm2.irecv(payload_bytes)
+            yield from comm2.wait(recv_req)
+            yield from comm2.isend(payload_bytes)
+
+    env.process(responder(), name="osu_lat.responder")
+    env.run(until=env.process(initiator(), name="osu_lat.initiator"))
+
+    return OsuLatencyResult(
+        testbed=tb,
+        profiler=profiler,
+        iterations=iterations,
+        total_ns=marks["t_end"] - marks["t_start"],
+        pings=pings[warmup:],
+    )
+
+
+@dataclass
+class OsuMultiPairResult:
+    """Outcome of the OSU multi-pair message-rate run."""
+
+    testbed: Testbed
+    pairs: int
+    n_measured_per_pair: int
+    total_ns: float
+
+    @property
+    def aggregate_rate_per_s(self) -> float:
+        """Total messages per second across all pairs."""
+        total = self.pairs * self.n_measured_per_pair
+        return total / (self.total_ns * 1e-9) if self.total_ns else 0.0
+
+    @property
+    def per_pair_rate_per_s(self) -> float:
+        """Mean rate of one pair."""
+        return self.aggregate_rate_per_s / self.pairs if self.pairs else 0.0
+
+
+def run_osu_multi_pair_message_rate(
+    pairs: int,
+    testbed: Testbed | None = None,
+    config: SystemConfig | None = None,
+    windows: int = 20,
+    window_size: int = 64,
+    warmup_windows: int = 6,
+    payload_bytes: int = 8,
+    signal_period: int = 64,
+) -> OsuMultiPairResult:
+    """OSU ``osu_mbw_mr``-style multi-pair message rate.
+
+    One full MPI stack per core on each node — the paper's §1
+    fine-grained model lifted to the MPI level.  Each pair runs the
+    window/waitall loop independently; the figure of merit is the
+    aggregate message rate.
+    """
+    if pairs < 1:
+        raise ValueError(f"pairs must be >= 1, got {pairs}")
+    tb = testbed or Testbed(config or SystemConfig.paper_testbed())
+    env = tb.env
+    for node in (tb.initiator, tb.target):
+        while len(node.cores) < pairs:
+            node.add_core()
+
+    from repro.hlp.mpi import MpiStack as _MpiStack
+
+    marks: dict[str, float] = {}
+    ready = {"count": 0}
+    finish: list[float] = []
+
+    def sender(pair_index: int):
+        stack = _MpiStack(
+            tb.initiator,
+            signal_period=signal_period,
+            core=tb.initiator.cores[pair_index],
+        )
+        remote = _MpiStack(
+            tb.target,
+            signal_period=signal_period,
+            core=tb.target.cores[pair_index],
+        )
+        comm = stack.connect(remote)
+        for window in range(warmup_windows + windows):
+            if window == warmup_windows:
+                ready["count"] += 1
+                if ready["count"] == pairs:
+                    marks["t_start"] = env.now
+            requests = []
+            for _ in range(window_size):
+                request = yield from comm.isend(payload_bytes)
+                requests.append(request)
+            yield from comm.waitall(requests)
+        finish.append(env.now)
+
+    processes = [
+        env.process(sender(index), name=f"osu_mbw.pair{index}")
+        for index in range(pairs)
+    ]
+    env.run(until=env.all_of(processes))
+    marks["t_end"] = max(finish)
+    return OsuMultiPairResult(
+        testbed=tb,
+        pairs=pairs,
+        n_measured_per_pair=windows * window_size,
+        total_ns=marks["t_end"] - marks["t_start"],
+    )

@@ -1,0 +1,286 @@
+"""UCX perftest equivalents: ``put_bw`` and ``am_lat`` (§4).
+
+Both run at the raw UCT level with a single thread, 8-byte messages,
+every message signaled — exactly the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.llp.profiling import UcsProfiler
+from repro.llp.uct import UCS_OK, UctWorker
+from repro.nic.descriptor import Message
+from repro.node.config import SystemConfig
+from repro.node.testbed import Testbed
+from repro.pcie.link import Direction
+
+__all__ = ["AmLatResult", "PutBwResult", "run_am_lat", "run_put_bw"]
+
+
+@dataclass
+class PutBwResult:
+    """Outcome of one ``put_bw`` (injection-rate) run.
+
+    ``observed_injection_overheads_ns`` are the NIC-side inter-arrival
+    deltas from the PCIe analyzer trace — the paper's Figure 7 data.
+    """
+
+    testbed: Testbed
+    profiler: UcsProfiler
+    messages: list[Message]
+    total_ns: float
+    n_measured: int
+    busy_posts: int
+    observed_injection_overheads_ns: np.ndarray = field(repr=False)
+
+    @property
+    def mean_injection_overhead_ns(self) -> float:
+        """Mean observed injection overhead (NIC view)."""
+        return float(self.observed_injection_overheads_ns.mean())
+
+    @property
+    def median_injection_overhead_ns(self) -> float:
+        """Median observed injection overhead (Figure 7 annotation)."""
+        return float(np.median(self.observed_injection_overheads_ns))
+
+    @property
+    def message_rate_per_s(self) -> float:
+        """Software-side message rate (messages per second)."""
+        return self.n_measured / (self.total_ns * 1e-9) if self.total_ns else 0.0
+
+    @property
+    def cpu_side_injection_overhead_ns(self) -> float:
+        """Inverse software message rate: mean CPU time per message."""
+        return self.total_ns / self.n_measured if self.n_measured else 0.0
+
+
+@dataclass
+class AmLatResult:
+    """Outcome of one ``am_lat`` (ping-pong latency) run."""
+
+    testbed: Testbed
+    profiler: UcsProfiler
+    pings: list[Message]
+    pongs: list[Message]
+    total_ns: float
+    iterations: int
+
+    @property
+    def observed_latency_ns(self) -> float:
+        """Half the mean round-trip, as the benchmark reports (§4.3)."""
+        return self.total_ns / (2 * self.iterations) if self.iterations else 0.0
+
+
+def run_put_bw(
+    testbed: Testbed | None = None,
+    config: SystemConfig | None = None,
+    n_messages: int = 2000,
+    warmup: int = 256,
+    payload_bytes: int = 8,
+    poll_interval: int = 16,
+    profile_regions: frozenset[str] | set[str] | None = frozenset(),
+) -> PutBwResult:
+    """Run the RDMA-write injection-rate benchmark (§4.2).
+
+    The benchmark posts continuously: every message is signaled, the
+    benchmark polls one completion every ``poll_interval`` posts, and a
+    busy post triggers progress-until-space — which, once the TxQ depth
+    is exhausted, makes the steady state "after every successful
+    LLP_post, there occurs a busy post".
+
+    Parameters
+    ----------
+    testbed / config:
+        Provide a prepared testbed, or a config to build one from.
+    n_messages:
+        Measured messages (post-warmup).
+    warmup:
+        Posts issued (and then excluded) before measurement starts —
+        enough to fill the TxQ and reach steady state.
+    profile_regions:
+        UCS regions to measure during the run.  The default (empty set)
+        measures nothing, matching the paper's *observed*-overhead runs;
+        pass e.g. ``{"llp_post"}`` for methodology runs.  ``None``
+        measures every region simultaneously (discouraged: nesting
+        inflates outer regions, which is why the paper never does it).
+    """
+    tb = testbed or Testbed(config or SystemConfig.paper_testbed())
+    env = tb.env
+    node1 = tb.initiator
+    profiler = UcsProfiler(node1.timer, enabled=True)
+    profiler.enable_only(profile_regions)
+
+    worker = UctWorker(node1, profiler)
+    iface = worker.create_iface(signal_period=1)
+    target_worker = UctWorker(tb.target)
+    target_iface = target_worker.create_iface()
+    ep = iface.create_ep(target_iface)
+
+    measured: list[Message] = []
+    marks: dict[str, float] = {}
+
+    def sender():
+        total = warmup + n_messages
+        posted = 0
+        while posted < total:
+            while True:
+                status = yield from ep.put_short(payload_bytes)
+                if status == UCS_OK:
+                    break
+                # Busy post: progress until a completion retires a slot.
+                while (yield from worker.progress()) == 0:
+                    pass
+            posted += 1
+            if posted == warmup:
+                # Steady state reached: start measuring from here.
+                tb.analyzer.clear()
+                profiler.reset()
+                marks["t_start"] = env.now
+            if posted % poll_interval == 0:
+                yield from worker.progress()
+            mu = yield from profiler.begin("measurement_update")
+            yield from node1.cpu.execute("measurement_update")
+            yield from profiler.end("measurement_update", mu)
+        marks["t_end"] = env.now
+        # Drain outstanding completions so the run ends cleanly.
+        while iface.qp.txq.occupied > 0:
+            yield from worker.progress()
+
+    busy_before = iface.busy_posts
+    env.run(until=env.process(sender(), name="put_bw"))
+
+    # NIC-observed injection overhead: deltas of downstream PIO-post
+    # arrival timestamps at the analyzer (Figure 6's post-processing).
+    arrivals = np.array(
+        [
+            r.timestamp_ns
+            for r in tb.analyzer.tlps(Direction.DOWNSTREAM)
+            if r.purpose == "pio_post" and r.timestamp_ns <= marks["t_end"]
+        ]
+    )
+    deltas = np.diff(arrivals) if arrivals.size >= 2 else np.array([])
+    measured = [
+        r.packet.message
+        for r in tb.analyzer.tlps(Direction.DOWNSTREAM)
+        if r.purpose == "pio_post"
+    ]
+    return PutBwResult(
+        testbed=tb,
+        profiler=profiler,
+        messages=measured,
+        total_ns=marks["t_end"] - marks["t_start"],
+        n_measured=n_messages,
+        busy_posts=iface.busy_posts - busy_before,
+        observed_injection_overheads_ns=deltas,
+    )
+
+
+def run_am_lat(
+    testbed: Testbed | None = None,
+    config: SystemConfig | None = None,
+    iterations: int = 500,
+    warmup: int = 50,
+    payload_bytes: int = 8,
+    profile_regions: frozenset[str] | set[str] | None = frozenset(),
+    completion_mode: str = "polling",
+) -> AmLatResult:
+    """Run the send-receive ping-pong latency benchmark (§4.3).
+
+    Node 1 sends a ping and spins on progress until the pong lands;
+    node 2 mirrors it.  The benchmark reports round-trip / 2.  A
+    measurement update runs on node 1 each iteration (overlapping the
+    pong flight), exactly the artefact §4.3 deducts half of.
+
+    ``completion_mode="interrupt"`` replaces the polling wait with the
+    §2 interrupt notification on both sides — the latency-hostile
+    alternative the paper dismisses, provided for the ablation.
+    """
+    if completion_mode not in ("polling", "interrupt"):
+        raise ValueError(
+            f"completion_mode must be 'polling' or 'interrupt', got {completion_mode!r}"
+        )
+    tb = testbed or Testbed(config or SystemConfig.paper_testbed())
+    env = tb.env
+    node1, node2 = tb.initiator, tb.target
+    profiler = UcsProfiler(node1.timer, enabled=True)
+    profiler.enable_only(profile_regions)
+
+    worker1 = UctWorker(node1, profiler)
+    iface1 = worker1.create_iface(signal_period=1)
+    worker2 = UctWorker(node2)
+    iface2 = worker2.create_iface(signal_period=1)
+    ep1 = iface1.create_ep(iface2)
+    ep2 = iface2.create_ep(iface1)
+
+    pings: list[Message] = []
+    pongs: list[Message] = []
+    marks: dict[str, float] = {}
+    state = {"pongs_seen": 0, "pings_seen": 0}
+
+    def on_pong(message: Message) -> None:
+        state["pongs_seen"] += 1
+        pongs.append(message)
+
+    def on_ping(message: Message) -> None:
+        state["pings_seen"] += 1
+
+    iface1.set_am_handler(on_pong)
+    iface2.set_am_handler(on_ping)
+
+    total = warmup + iterations
+
+    def initiator():
+        for i in range(total):
+            if i == warmup:
+                tb.analyzer.clear()
+                profiler.reset()
+                marks["t_start"] = env.now
+            while True:
+                status = yield from ep1.am_short(payload_bytes)
+                if status == UCS_OK:
+                    break
+                while (yield from worker1.progress()) == 0:
+                    pass
+            pings.append(iface1.last_message)
+            yield from node1.cpu.execute("measurement_update")
+            target = i + 1
+            if completion_mode == "interrupt":
+                while state["pongs_seen"] < target:
+                    yield from worker1.wait_am_interrupt(iface1)
+            else:
+                yield from worker1.progress_until(
+                    lambda: state["pongs_seen"] >= target
+                )
+        marks["t_end"] = env.now
+
+    def responder():
+        for i in range(total):
+            target = i + 1
+            if completion_mode == "interrupt":
+                while state["pings_seen"] < target:
+                    yield from worker2.wait_am_interrupt(iface2)
+            else:
+                yield from worker2.progress_until(
+                    lambda: state["pings_seen"] >= target
+                )
+            while True:
+                status = yield from ep2.am_short(payload_bytes)
+                if status == UCS_OK:
+                    break
+                while (yield from worker2.progress()) == 0:
+                    pass
+
+    env.process(responder(), name="am_lat.responder")
+    env.run(until=env.process(initiator(), name="am_lat.initiator"))
+
+    return AmLatResult(
+        testbed=tb,
+        profiler=profiler,
+        pings=pings[warmup:],
+        pongs=pongs[warmup:] if len(pongs) > warmup else pongs,
+        total_ns=marks["t_end"] - marks["t_start"],
+        iterations=iterations,
+    )

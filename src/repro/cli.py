@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``table1``
+    Print the paper's Table 1 (component times).
+``breakdown {fig4,fig8,fig10,fig11,fig12,fig13,fig14,fig15,fig16}``
+    Print one breakdown figure.
+``whatif --metric {injection,latency} --component NAME --reduction R``
+    One what-if point, plus the full Figure 17 panels with ``--panels``.
+``validate``
+    Check the four analytical models against the paper's observations.
+``campaign [--quick] [--seed N]``
+    Run the full measurement methodology against the simulator and
+    print the regenerated Table 1 + validation.
+``rank --metric {injection,latency} --reduction R``
+    Rank all components by the overall speedup a given reduction buys.
+``bench {put_bw,am_lat,osu_mr,osu_latency}``
+    Run one micro-benchmark on the simulated testbed.
+
+All commands accept ``--help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.components import ComponentTimes
+from repro.core.whatif import Metric, WhatIfAnalysis
+from repro.node.config import SystemConfig
+from repro.reporting import experiments as exp
+
+__all__ = ["main"]
+
+#: Paper-observed values for the ``validate`` command.
+PAPER_OBSERVATIONS = {
+    "llp_injection_overhead": 282.33,
+    "llp_latency": 1190.25,
+    "overall_injection_overhead": 263.91,
+    "end_to_end_latency": 1336.0,
+}
+
+_BREAKDOWNS = {
+    "fig4": exp.experiment_fig4,
+    "fig8": exp.experiment_fig8,
+    "fig10": exp.experiment_fig10,
+    "fig11": exp.experiment_fig11,
+    "fig12": exp.experiment_fig12,
+    "fig13": exp.experiment_fig13,
+    "fig14": exp.experiment_fig14,
+    "fig15": exp.experiment_fig15,
+    "fig16": exp.experiment_fig16,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Breaking Band (ICPP 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (paper component times)")
+
+    breakdown = sub.add_parser("breakdown", help="print one breakdown figure")
+    breakdown.add_argument("figure", choices=sorted(_BREAKDOWNS))
+
+    whatif = sub.add_parser("whatif", help="what-if analysis (Figure 17)")
+    whatif.add_argument(
+        "--metric", choices=[m.value for m in Metric], default="latency"
+    )
+    whatif.add_argument("--component", help="component name from the panel line set")
+    whatif.add_argument("--reduction", type=float, default=0.5,
+                        help="fractional overhead reduction in [0, 1]")
+    whatif.add_argument("--panels", action="store_true",
+                        help="print all four Figure 17 panels")
+
+    sub.add_parser("validate", help="models vs the paper's observations")
+    sub.add_parser("insights", help="check the four §6 insights")
+
+    rank = sub.add_parser(
+        "rank", help="rank components by speedup from a given reduction"
+    )
+    rank.add_argument(
+        "--metric", choices=[m.value for m in Metric], default="latency"
+    )
+    rank.add_argument("--reduction", type=float, default=0.5)
+
+    campaign = sub.add_parser(
+        "campaign", help="run the full measurement methodology in-simulator"
+    )
+    campaign.add_argument("--quick", action="store_true")
+    campaign.add_argument("--seed", type=int, default=2019)
+
+    bench = sub.add_parser("bench", help="run one micro-benchmark")
+    bench.add_argument(
+        "workload", choices=["put_bw", "am_lat", "osu_mr", "osu_latency"]
+    )
+    bench.add_argument("--seed", type=int, default=2019)
+    bench.add_argument("--deterministic", action="store_true")
+    return parser
+
+
+def _cmd_whatif(args: argparse.Namespace, out) -> int:
+    times = ComponentTimes.paper()
+    analysis = WhatIfAnalysis(times)
+    if args.panels:
+        print(exp.experiment_fig17(times), file=out)
+        return 0
+    metric = Metric(args.metric)
+    catalogue = (
+        analysis.injection_components()
+        if metric is Metric.INJECTION
+        else {
+            **analysis.latency_cpu_components(),
+            **analysis.latency_io_components(),
+            **analysis.latency_network_components(),
+        }
+    )
+    if not args.component:
+        print("available components:", ", ".join(sorted(catalogue)), file=out)
+        return 2
+    try:
+        component = catalogue[args.component]
+    except KeyError:
+        print(
+            f"unknown component {args.component!r}; "
+            f"choose from: {', '.join(sorted(catalogue))}",
+            file=out,
+        )
+        return 2
+    speedup = analysis.speedup(metric, component, args.reduction)
+    print(
+        f"reducing {args.component} ({component:.2f} ns) by "
+        f"{args.reduction * 100:.0f}% speeds up {metric.value} by "
+        f"{speedup * 100:.2f}%",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace, out, times: ComponentTimes) -> int:
+    analysis = WhatIfAnalysis(times)
+    metric = Metric(args.metric)
+    catalogue = (
+        analysis.injection_components()
+        if metric is Metric.INJECTION
+        else {
+            **analysis.latency_cpu_components(),
+            **analysis.latency_io_components(),
+            **analysis.latency_network_components(),
+        }
+    )
+    ranked = sorted(
+        (
+            (name, analysis.speedup(metric, value, args.reduction))
+            for name, value in catalogue.items()
+        ),
+        key=lambda pair: -pair[1],
+    )
+    print(
+        f"{metric.value} speedup from a {args.reduction * 100:.0f}% reduction, "
+        "best first:",
+        file=out,
+    )
+    for name, speedup in ranked:
+        print(f"  {name:<16} {speedup * 100:6.2f}%", file=out)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace, out) -> int:
+    from repro.analysis import measure_component_times
+
+    print("running the measurement campaign...", file=out)
+    campaign = measure_component_times(
+        SystemConfig.paper_testbed(seed=args.seed), quick=args.quick
+    )
+    measured = campaign.to_component_times()
+    print(exp.experiment_table1(measured, reference=ComponentTimes.paper()), file=out)
+    print("", file=out)
+    print(exp.experiment_validation(measured, campaign.observed), file=out)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    from repro.bench import (
+        run_am_lat,
+        run_osu_latency,
+        run_osu_message_rate,
+        run_put_bw,
+    )
+
+    config = SystemConfig.paper_testbed(
+        seed=args.seed, deterministic=args.deterministic
+    )
+    if args.workload == "put_bw":
+        result = run_put_bw(config=config)
+        print(
+            f"put_bw: NIC-observed injection overhead "
+            f"{result.mean_injection_overhead_ns:.2f} ns "
+            f"({result.message_rate_per_s / 1e6:.3f} M msg/s)",
+            file=out,
+        )
+    elif args.workload == "am_lat":
+        result = run_am_lat(config=config)
+        print(f"am_lat: observed latency {result.observed_latency_ns:.2f} ns", file=out)
+    elif args.workload == "osu_mr":
+        result = run_osu_message_rate(config=config)
+        print(
+            f"osu_mr: {result.message_rate_per_s / 1e6:.3f} M msg/s "
+            f"(1/rate = {result.cpu_side_injection_overhead_ns:.2f} ns)",
+            file=out,
+        )
+    else:
+        result = run_osu_latency(config=config)
+        print(
+            f"osu_latency: observed latency {result.observed_latency_ns:.2f} ns",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    times = ComponentTimes.paper()
+    try:
+        return _dispatch(args, out, times)
+    except BrokenPipeError:
+        # Piping into `head` etc. closed stdout early; exit quietly.
+        return 0
+
+
+def _dispatch(args: argparse.Namespace, out, times: ComponentTimes) -> int:
+
+    if args.command == "table1":
+        print(exp.experiment_table1(times), file=out)
+        return 0
+    if args.command == "breakdown":
+        print(_BREAKDOWNS[args.figure](times), file=out)
+        return 0
+    if args.command == "whatif":
+        return _cmd_whatif(args, out)
+    if args.command == "validate":
+        print(exp.experiment_validation(times, PAPER_OBSERVATIONS), file=out)
+        return 0
+    if args.command == "insights":
+        print(exp.experiment_insights(times), file=out)
+        return 0
+    if args.command == "rank":
+        return _cmd_rank(args, out, times)
+    if args.command == "campaign":
+        return _cmd_campaign(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

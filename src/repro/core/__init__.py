@@ -1,0 +1,63 @@
+"""The paper's primary contribution: analytical models and analyses.
+
+This package is pure computation over measured component times — no
+simulation.  Feed it a :class:`ComponentTimes` (from the paper's
+Table 1 via :meth:`ComponentTimes.paper`, or re-measured from the
+simulator by :mod:`repro.analysis`) and it produces:
+
+* the injection-overhead models (Equation 1, LLP-only; Equation 2,
+  full stack) and the latency models (§4.3 LLP-level; §6 end-to-end);
+* every percentage breakdown in the paper (Figures 4, 8, 10-16);
+* the what-if optimization analysis (Figure 17, §7);
+* model-vs-observation validation with the paper's error margins;
+* programmatic statements of the §6 insights.
+"""
+
+from repro.core.components import Category, ComponentTimes
+from repro.core.models import (
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+    gen_completion,
+    min_poll_interval,
+)
+from repro.core.breakdown import (
+    Breakdown,
+    fig4_llp_post,
+    fig8_injection_llp,
+    fig10_latency_llp,
+    fig11_hlp,
+    fig12_overall_injection,
+    fig13_end_to_end,
+    fig14_hlp_vs_llp,
+    fig15_categories,
+    fig16_on_node,
+)
+from repro.core.validation import ValidationResult, validate
+from repro.core.whatif import Metric, WhatIfAnalysis
+
+__all__ = [
+    "Breakdown",
+    "Category",
+    "ComponentTimes",
+    "EndToEndLatencyModel",
+    "InjectionModelLlp",
+    "LatencyModelLlp",
+    "Metric",
+    "OverallInjectionModel",
+    "ValidationResult",
+    "WhatIfAnalysis",
+    "fig10_latency_llp",
+    "fig11_hlp",
+    "fig12_overall_injection",
+    "fig13_end_to_end",
+    "fig14_hlp_vs_llp",
+    "fig15_categories",
+    "fig16_on_node",
+    "fig4_llp_post",
+    "fig8_injection_llp",
+    "gen_completion",
+    "min_poll_interval",
+    "validate",
+]

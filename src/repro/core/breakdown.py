@@ -1,0 +1,259 @@
+"""Percentage breakdowns for every figure in the paper (Figs 4, 8, 10-16).
+
+Each ``figN_*`` function takes a :class:`ComponentTimes` and returns
+one or more :class:`Breakdown` objects whose percentages reproduce the
+corresponding figure.  With :meth:`ComponentTimes.paper` they match the
+published numbers to rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.components import Category, ComponentTimes
+from repro.core.models import EndToEndLatencyModel, OverallInjectionModel
+
+__all__ = [
+    "Breakdown",
+    "fig4_llp_post",
+    "fig8_injection_llp",
+    "fig10_latency_llp",
+    "fig11_hlp",
+    "fig12_overall_injection",
+    "fig13_end_to_end",
+    "fig14_hlp_vs_llp",
+    "fig15_categories",
+    "fig16_on_node",
+]
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """An ordered attribution of a total time to labelled parts."""
+
+    title: str
+    parts: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        for label, value in self.parts:
+            if value < 0:
+                raise ValueError(f"breakdown part {label!r} is negative: {value}")
+
+    @classmethod
+    def build(cls, title: str, parts: dict[str, float]) -> "Breakdown":
+        """Construct from an ordered label → ns mapping."""
+        return cls(title=title, parts=tuple(parts.items()))
+
+    @property
+    def total_ns(self) -> float:
+        """Sum of all parts."""
+        return sum(value for _, value in self.parts)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Part labels, in presentation order."""
+        return tuple(label for label, _ in self.parts)
+
+    def value(self, label: str) -> float:
+        """Time in ns of one part."""
+        for part_label, value in self.parts:
+            if part_label == label:
+                return value
+        raise KeyError(f"no part {label!r} in breakdown {self.title!r}")
+
+    def percent(self, label: str) -> float:
+        """Share of one part, in percent of the total."""
+        total = self.total_ns
+        return 100.0 * self.value(label) / total if total else 0.0
+
+    def percentages(self) -> dict[str, float]:
+        """All parts as label → percent (sums to 100 for nonzero totals)."""
+        return {label: self.percent(label) for label, _ in self.parts}
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        """(label, ns, percent) rows for table rendering."""
+        return [(label, value, self.percent(label)) for label, value in self.parts]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{label}={self.percent(label):.2f}%" for label, _ in self.parts)
+        return f"<Breakdown {self.title!r}: {inner}>"
+
+
+def fig4_llp_post(times: ComponentTimes) -> Breakdown:
+    """Figure 4: breakdown of time in an LLP_post.
+
+    Paper: MD setup 15.84%, Barrier for MD 9.88%, Barrier for DBC
+    12.01%, PIO copy 53.79%, Other 8.49%.
+    """
+    return Breakdown.build(
+        "LLP_post",
+        {
+            "md_setup": times.md_setup,
+            "barrier_md": times.barrier_md,
+            "barrier_dbc": times.barrier_dbc,
+            "pio_copy": times.pio_copy,
+            "other": times.llp_post_other,
+        },
+    )
+
+
+def fig8_injection_llp(
+    times: ComponentTimes, misc_variant: str = "model"
+) -> Breakdown:
+    """Figure 8: breakdown of the LLP-level injection overhead.
+
+    The paper is internally inconsistent here (see DESIGN.md): the
+    Equation-1 model uses Misc = busy post + measurement update
+    (58.68 ns), while Figure 8's printed percentages back out Misc =
+    measurement update alone (49.69 ns → 61.18 / 21.49 / 17.33).
+
+    ``misc_variant="model"`` uses the Equation-1 Misc;
+    ``misc_variant="figure"`` uses the Figure-8 variant.
+    """
+    if misc_variant == "model":
+        misc = times.perftest_misc
+    elif misc_variant == "figure":
+        misc = times.measurement_update
+    else:
+        raise ValueError(f"misc_variant must be 'model' or 'figure', got {misc_variant!r}")
+    return Breakdown.build(
+        "Injection overhead (LLP)",
+        {"llp_post": times.llp_post, "llp_prog": times.llp_prog, "misc": misc},
+    )
+
+
+def fig10_latency_llp(times: ComponentTimes) -> Breakdown:
+    """Figure 10: breakdown of LLP-level latency.
+
+    The figure shows the six on-path hardware/software stages and —
+    matching the paper exactly — omits LLP_prog even though the §4.3
+    model includes it.  Paper: 16.33 / 12.80 / 25.58 / 10.05 / 12.80 /
+    22.43 %.
+    """
+    return Breakdown.build(
+        "Latency (LLP)",
+        {
+            "llp_post": times.llp_post,
+            "tx_pcie": times.pcie,
+            "wire": times.wire,
+            "switch": times.switch,
+            "rx_pcie": times.pcie,
+            "rc_to_mem": times.rc_to_mem_8b,
+        },
+    )
+
+
+def fig11_hlp(times: ComponentTimes) -> dict[str, Breakdown]:
+    """Figure 11: HLP time split between UCP and MPICH.
+
+    Two bars: MPI_Isend (UCP 8.24% / MPICH 91.76%) and the receive-side
+    MPI_Wait (UCP 33.91% / MPICH 66.09%).
+    """
+    return {
+        "mpi_isend": Breakdown.build(
+            "MPI_Isend (HLP)",
+            {"ucp": times.ucp_isend, "mpich": times.mpich_isend},
+        ),
+        "rx_mpi_wait": Breakdown.build(
+            "RX MPI_Wait (HLP)",
+            {"ucp": times.mpi_wait_ucp, "mpich": times.mpi_wait_mpich},
+        ),
+    }
+
+
+def fig12_overall_injection(times: ComponentTimes) -> Breakdown:
+    """Figure 12: overall injection overhead.
+
+    Paper: Misc 1.20%, Post_prog 22.58%, Post 76.23%.
+    """
+    return Breakdown.build(
+        "Overall injection overhead", OverallInjectionModel(times).components()
+    )
+
+
+def fig13_end_to_end(times: ComponentTimes) -> Breakdown:
+    """Figure 13: end-to-end latency, nine components in ns."""
+    return Breakdown.build(
+        "End-to-end latency", EndToEndLatencyModel(times).components()
+    )
+
+
+def fig14_hlp_vs_llp(times: ComponentTimes) -> dict[str, Breakdown]:
+    """Figure 14: HLP vs LLP during initiation and progress.
+
+    Paper: Initiation LLP 86.85% / HLP 13.15%; TX progress LLP 1.61% /
+    HLP 98.39%; RX progress LLP 21.53% / HLP 78.47%.
+    """
+    return {
+        "initiation": Breakdown.build(
+            "Initiation", {"llp": times.llp_post, "hlp": times.hlp_post}
+        ),
+        "tx_progress": Breakdown.build(
+            "TX progress", {"llp": times.llp_tx_prog, "hlp": times.hlp_tx_prog}
+        ),
+        "rx_progress": Breakdown.build(
+            "RX progress", {"llp": times.llp_prog, "hlp": times.hlp_rx_prog}
+        ),
+    }
+
+
+def fig15_categories(times: ComponentTimes) -> dict[str, Breakdown]:
+    """Figure 15: end-to-end latency by category, with sub-breakdowns.
+
+    Paper: CPU 35.2% / I/O 37.2% / Network 27.6%; within CPU LLP
+    48.55% / HLP 51.45%; within I/O RC-to-MEM 46.70% / PCIe 53.30%;
+    within Network Wire 71.79% / Switch 28.21%.
+    """
+    e2e = fig13_end_to_end(times)
+    by_category: dict[Category, float] = {c: 0.0 for c in Category}
+    for label, value in e2e.parts:
+        by_category[times.latency_component_category(label)] += value
+    return {
+        "top": Breakdown.build(
+            "End-to-end latency by category",
+            {category.value: by_category[category] for category in Category},
+        ),
+        "cpu": Breakdown.build(
+            "CPU",
+            {
+                "llp": times.llp_post + times.llp_prog,
+                "hlp": times.hlp_post + times.hlp_rx_prog,
+            },
+        ),
+        "io": Breakdown.build(
+            "I/O",
+            {"rc_to_mem": times.rc_to_mem_8b, "pcie": 2 * times.pcie},
+        ),
+        "network": Breakdown.build(
+            "Network", {"wire": times.wire, "switch": times.switch}
+        ),
+    }
+
+
+def fig16_on_node(times: ComponentTimes) -> dict[str, Breakdown]:
+    """Figure 16: time spent on the nodes (initiator vs target).
+
+    Paper: Target 66.20% / Initiator 33.80%; initiator I/O 40.50% / CPU
+    59.50%; target I/O 56.93% / CPU 43.07%; target I/O = RC-to-MEM
+    63.67% / PCIe 36.33%.
+    """
+    initiator_cpu = times.hlp_post + times.llp_post
+    initiator_io = times.pcie
+    target_cpu = times.llp_prog + times.hlp_rx_prog
+    target_io = times.pcie + times.rc_to_mem_8b
+    return {
+        "top": Breakdown.build(
+            "On-node time",
+            {
+                "initiator": initiator_cpu + initiator_io,
+                "target": target_cpu + target_io,
+            },
+        ),
+        "initiator": Breakdown.build(
+            "Initiator", {"cpu": initiator_cpu, "io": initiator_io}
+        ),
+        "target": Breakdown.build("Target", {"cpu": target_cpu, "io": target_io}),
+        "target_io": Breakdown.build(
+            "Target I/O", {"rc_to_mem": times.rc_to_mem_8b, "pcie": times.pcie}
+        ),
+    }

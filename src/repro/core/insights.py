@@ -1,0 +1,149 @@
+"""Programmatic statements of the paper's §6 insights.
+
+Each function evaluates one published insight against a set of
+component times and returns an :class:`Insight` carrying the verdict
+and the supporting numbers, so the claims can be re-checked on any
+system (or any simulator calibration) rather than taken on faith.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.breakdown import (
+    fig12_overall_injection,
+    fig14_hlp_vs_llp,
+    fig15_categories,
+    fig16_on_node,
+)
+from repro.core.components import ComponentTimes
+
+__all__ = [
+    "Insight",
+    "insight1_post_dominates_injection",
+    "insight2_no_category_dominates_latency",
+    "insight3_target_dominates_on_node",
+    "insight4_hlp_dominates_progress",
+    "all_insights",
+]
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One checked insight: its verdict and the evidence."""
+
+    number: int
+    statement: str
+    holds: bool
+    evidence: dict[str, float]
+
+    def __str__(self) -> str:
+        verdict = "HOLDS" if self.holds else "DOES NOT HOLD"
+        details = ", ".join(f"{k}={v:.2f}" for k, v in self.evidence.items())
+        return f"Insight {self.number} [{verdict}]: {self.statement} ({details})"
+
+
+def insight1_post_dominates_injection(times: ComponentTimes) -> Insight:
+    """Insight 1: with unsignaled completions minimising the progress
+    "semantic bottleneck", Post dominates (>70%) the overall injection
+    overhead, and within Post the LLP dominates."""
+    breakdown = fig12_overall_injection(times)
+    post_share = breakdown.percent("post")
+    llp_share_of_post = 100.0 * times.llp_post / times.post if times.post else 0.0
+    return Insight(
+        number=1,
+        statement=(
+            "Post dominates the overall injection overhead (>70%), and the "
+            "LLP dominates within Post"
+        ),
+        holds=post_share > 70.0 and llp_share_of_post > 50.0,
+        evidence={
+            "post_percent": post_share,
+            "llp_share_of_post_percent": llp_share_of_post,
+        },
+    )
+
+
+def insight2_no_category_dominates_latency(times: ComponentTimes) -> Insight:
+    """Insight 2: no single category dominates the end-to-end latency
+    (CPU, I/O and Network all contribute the same order of magnitude),
+    the network is under a third, and on-node time (CPU + I/O)
+    dominates."""
+    top = fig15_categories(times)["top"]
+    cpu = top.percent("CPU")
+    io = top.percent("I/O")
+    network = top.percent("Network")
+    return Insight(
+        number=2,
+        statement=(
+            "CPU, I/O and Network each contribute comparably; the network is "
+            "less than a third; most overhead is on-node"
+        ),
+        holds=max(cpu, io, network) < 50.0
+        and network < 100.0 / 3.0
+        and (cpu + io) > 2 * network,
+        evidence={"cpu_percent": cpu, "io_percent": io, "network_percent": network},
+    )
+
+
+def insight3_target_dominates_on_node(times: ComponentTimes) -> Insight:
+    """Insight 3: the majority of on-node time is on the target node;
+    the target is I/O-heavy (RC-to-MEM the biggest piece) while the
+    initiator is software-heavy (a consequence of PIO)."""
+    parts = fig16_on_node(times)
+    target_share = parts["top"].percent("target")
+    target_io = parts["target"].percent("io")
+    initiator_cpu = parts["initiator"].percent("cpu")
+    rc_share_of_target_io = parts["target_io"].percent("rc_to_mem")
+    return Insight(
+        number=3,
+        statement=(
+            "most on-node time is on the target; target time is mostly I/O "
+            "(dominated by RC-to-MEM); initiator time is mostly software"
+        ),
+        holds=target_share > 50.0
+        and target_io > 50.0
+        and initiator_cpu > 50.0
+        and rc_share_of_target_io > 50.0,
+        evidence={
+            "target_percent": target_share,
+            "target_io_percent": target_io,
+            "initiator_cpu_percent": initiator_cpu,
+            "rc_to_mem_share_of_target_io": rc_share_of_target_io,
+        },
+    )
+
+
+def insight4_hlp_dominates_progress(times: ComponentTimes) -> Insight:
+    """Insight 4: the HLP dominates the progress of both send and
+    receive operations, and receive progress is several times costlier
+    than send progress (4.78× in the paper)."""
+    parts = fig14_hlp_vs_llp(times)
+    hlp_tx = parts["tx_progress"].percent("hlp")
+    hlp_rx = parts["rx_progress"].percent("hlp")
+    tx_total = parts["tx_progress"].total_ns
+    rx_total = parts["rx_progress"].total_ns
+    ratio = rx_total / tx_total if tx_total else float("inf")
+    return Insight(
+        number=4,
+        statement=(
+            "HLP dominates both send and receive progress; receive progress "
+            "is several times costlier than send progress"
+        ),
+        holds=hlp_tx > 50.0 and hlp_rx > 50.0 and ratio > 2.0,
+        evidence={
+            "hlp_share_tx_percent": hlp_tx,
+            "hlp_share_rx_percent": hlp_rx,
+            "rx_over_tx_ratio": ratio,
+        },
+    )
+
+
+def all_insights(times: ComponentTimes) -> list[Insight]:
+    """Evaluate all four §6 insights."""
+    return [
+        insight1_post_dominates_injection(times),
+        insight2_no_category_dominates_latency(times),
+        insight3_target_dominates_on_node(times),
+        insight4_hlp_dominates_progress(times),
+    ]

@@ -1,0 +1,267 @@
+"""The paper's analytical models (§4.2, §4.3, §6).
+
+Four models, each a thin dataclass over :class:`ComponentTimes`:
+
+* :class:`InjectionModelLlp` — Equation 1:
+  ``Inj_overhead = LLP_post + LLP_prog + Misc`` (295.73 ns);
+* :class:`LatencyModelLlp` — §4.3:
+  ``Latency = LLP_post + 2·PCIe + Network + RC-to-MEM(xB) + LLP_prog``
+  (1135.8 ns);
+* :class:`OverallInjectionModel` — Equation 2:
+  ``CPU_time = Post + Post_prog + Misc`` (264.97 ns);
+* :class:`EndToEndLatencyModel` — §6:
+  the LLP latency plus ``HLP_post`` and ``HLP_rx_prog`` (1387.02 ns).
+
+Plus the two §4.2 helper relations: :func:`gen_completion` and the
+lower bound on the poll interval :func:`min_poll_interval`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.components import ComponentTimes
+
+__all__ = [
+    "EndToEndLatencyModel",
+    "InjectionModelLlp",
+    "LatencyModelLlp",
+    "OverallInjectionModel",
+    "RdmaReadLatencyModel",
+    "gen_completion",
+    "min_poll_interval",
+]
+
+
+def gen_completion(times: ComponentTimes) -> float:
+    """Time for the NIC to generate a completion after a post (§4.2).
+
+    ``gen_completion = 2 × (PCIe + Network) + RC-to-MEM(64B)``: the
+    message crosses PCIe and the network once, the ACK returns across
+    the network, and the 64-byte CQE crosses PCIe and is written to
+    memory by the RC.
+    """
+    return 2 * (times.pcie + times.network) + times.rc_to_mem_64b
+
+
+def min_poll_interval(times: ComponentTimes) -> int:
+    """Lower bound on the posts-per-poll interval p (§4.2).
+
+    ``p >= gen_completion / LLP_post`` ensures that by the time the
+    user polls, a completion for an earlier message is available, so
+    polling never waits on the wire.
+    """
+    if times.llp_post <= 0:
+        raise ValueError("LLP_post must be positive to bound the poll interval")
+    return math.ceil(gen_completion(times) / times.llp_post)
+
+
+@dataclass(frozen=True)
+class InjectionModelLlp:
+    """Equation 1: LLP-level injection overhead.
+
+    When a single core posts continuously, messages reach the NIC every
+    ``CPU_time = LLP_post + LLP_prog + Misc`` because the PCIe traversal
+    of one message overlaps the CPU work of the next (Figure 5).
+    """
+
+    times: ComponentTimes
+
+    @property
+    def llp_post(self) -> float:
+        """The LLP_post term."""
+        return self.times.llp_post
+
+    @property
+    def llp_prog(self) -> float:
+        """The LLP_prog term."""
+        return self.times.llp_prog
+
+    @property
+    def misc(self) -> float:
+        """One busy post + one measurement update per message (§4.2)."""
+        return self.times.perftest_misc
+
+    @property
+    def predicted_ns(self) -> float:
+        """Modeled injection overhead (295.73 ns with paper values)."""
+        return self.llp_post + self.llp_prog + self.misc
+
+    def components(self) -> dict[str, float]:
+        """Name → ns, in presentation order (Figure 8)."""
+        return {
+            "llp_post": self.llp_post,
+            "llp_prog": self.llp_prog,
+            "misc": self.misc,
+        }
+
+
+@dataclass(frozen=True)
+class LatencyModelLlp:
+    """§4.3: latency of a short send-receive message at the LLP level.
+
+    ``Latency = LLP_post + 2·PCIe + Network + RC-to-MEM(xB) + LLP_prog``
+    """
+
+    times: ComponentTimes
+    #: Payload size; the paper evaluates 8 bytes (RC-to-MEM(8B)).
+    payload_bytes: int = 8
+
+    @property
+    def rc_to_mem(self) -> float:
+        """RC-to-MEM for this payload (only 8B and 64B are measured)."""
+        if self.payload_bytes == 8:
+            return self.times.rc_to_mem_8b
+        if self.payload_bytes == 64:
+            return self.times.rc_to_mem_64b
+        # Linear interpolation/extrapolation between the two anchors.
+        slope = (self.times.rc_to_mem_64b - self.times.rc_to_mem_8b) / 56.0
+        return self.times.rc_to_mem_8b + slope * (self.payload_bytes - 8)
+
+    @property
+    def predicted_ns(self) -> float:
+        """Modeled LLP-level latency (1135.8 ns with paper values)."""
+        t = self.times
+        return t.llp_post + 2 * t.pcie + t.network + self.rc_to_mem + t.llp_prog
+
+    def components(self) -> dict[str, float]:
+        """Name → ns, in on-path order (Figure 10 plus LLP_prog)."""
+        t = self.times
+        return {
+            "llp_post": t.llp_post,
+            "tx_pcie": t.pcie,
+            "wire": t.wire,
+            "switch": t.switch,
+            "rx_pcie": t.pcie,
+            "rc_to_mem": self.rc_to_mem,
+            "llp_prog": t.llp_prog,
+        }
+
+
+@dataclass(frozen=True)
+class OverallInjectionModel:
+    """Equation 2: full-stack injection overhead.
+
+    ``CPU_time = Post + Post_prog + Misc`` where Post includes the HLP
+    initiation, Post_prog the (amortised) progress engine, and Misc the
+    amortised busy-post time.
+    """
+
+    times: ComponentTimes
+
+    @property
+    def post(self) -> float:
+        """Post = HLP_post + LLP_post."""
+        return self.times.post
+
+    @property
+    def post_prog(self) -> float:
+        """The per-op send-progress term."""
+        return self.times.post_prog
+
+    @property
+    def misc(self) -> float:
+        """The amortised busy-post term."""
+        return self.times.misc_injection
+
+    @property
+    def predicted_ns(self) -> float:
+        """Modeled overall injection overhead (264.97 ns with paper values)."""
+        return self.post + self.post_prog + self.misc
+
+    def components(self) -> dict[str, float]:
+        """Name → ns (Figure 12)."""
+        return {"misc": self.misc, "post_prog": self.post_prog, "post": self.post}
+
+
+@dataclass(frozen=True)
+class EndToEndLatencyModel:
+    """§6: end-to-end MPI latency of a small message.
+
+    ``Latency = HLP_post + LLP_post + 2·PCIe + Network + RC-to-MEM(xB)
+    + LLP_prog + HLP_rx_prog``.  MPI_Irecv initiation is assumed to
+    overlap the transfer and is not charged.
+    """
+
+    times: ComponentTimes
+    payload_bytes: int = 8
+
+    @property
+    def llp_model(self) -> LatencyModelLlp:
+        """The underlying §4.3 LLP latency model."""
+        return LatencyModelLlp(self.times, self.payload_bytes)
+
+    @property
+    def predicted_ns(self) -> float:
+        """Modeled end-to-end latency (1387.02 ns with paper values)."""
+        return self.llp_model.predicted_ns + self.times.hlp_post + self.times.hlp_rx_prog
+
+    def components(self) -> dict[str, float]:
+        """Name → ns, in on-path order (Figure 13's nine bars)."""
+        t = self.times
+        return {
+            "hlp_post": t.hlp_post,
+            "llp_post": t.llp_post,
+            "tx_pcie": t.pcie,
+            "wire": t.wire,
+            "switch": t.switch,
+            "rx_pcie": t.pcie,
+            "rc_to_mem": self.llp_model.rc_to_mem,
+            "llp_prog": t.llp_prog,
+            "hlp_rx_prog": t.hlp_rx_prog,
+        }
+
+
+@dataclass(frozen=True)
+class RdmaReadLatencyModel:
+    """Extension: latency of an RDMA *read* (get) at the LLP level.
+
+    Not in the paper (which measures RDMA writes and send-receive), but
+    fully determined by the same components: the request crosses PCIe
+    and the network, the target NIC pays a full PCIe round trip plus
+    the memory read to fetch the data (no target CPU), the response
+    crosses the network back, and the payload lands through the
+    initiator's RC::
+
+        Get = LLP_post + PCIe + Network            (request out)
+            + 2·PCIe + mem_read                    (target DMA read)
+            + Network + PCIe + RC-to-MEM(xB)       (response in)
+            + LLP_prog                             (initiator poll)
+    """
+
+    times: ComponentTimes
+    payload_bytes: int = 8
+
+    @property
+    def rc_to_mem(self) -> float:
+        """RC-to-MEM for this payload size."""
+        return LatencyModelLlp(self.times, self.payload_bytes).rc_to_mem
+
+    @property
+    def predicted_ns(self) -> float:
+        """Modeled RDMA-read latency (1883.59 ns with paper values)."""
+        t = self.times
+        return (
+            t.llp_post
+            + 2 * t.network
+            + 4 * t.pcie
+            + t.mem_read
+            + self.rc_to_mem
+            + t.llp_prog
+        )
+
+    def components(self) -> dict[str, float]:
+        """Name → ns, in on-path order."""
+        t = self.times
+        return {
+            "llp_post": t.llp_post,
+            "tx_pcie": t.pcie,
+            "network_request": t.network,
+            "target_pcie_round_trip": 2 * t.pcie,
+            "target_mem_read": t.mem_read,
+            "network_response": t.network,
+            "rx_pcie": t.pcie,
+            "rc_to_mem": self.rc_to_mem,
+            "llp_prog": t.llp_prog,
+        }

@@ -1,0 +1,205 @@
+"""The §7 what-if analysis: Figure 17's simulated optimizations.
+
+For a component of value ``c`` inside a metric of total ``T``, reducing
+the component's overhead by a fraction ``r`` yields a speedup (verified
+against every §7 number, e.g. "a 20% reduction in overhead in the HLP
+can speedup injection by up to 6.44%": 0.2 × 85.42 / 264.97 = 6.45%)::
+
+    speedup(r, c) = r · c / T          (fraction of the metric removed)
+
+The multiplicative definition ``T / (T − r·c) − 1`` is also provided
+for comparison; the paper plots the former.  "Note that the components
+of our models are not concurrent" — reductions therefore compose
+additively, and a distributed-system simulation would give "exactly the
+same linear speedups" (§7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.components import ComponentTimes
+from repro.core.models import EndToEndLatencyModel, OverallInjectionModel
+
+__all__ = ["Metric", "WhatIfAnalysis", "FIG17_REDUCTIONS"]
+
+#: The five evenly spaced reductions on Figure 17's horizontal axis.
+FIG17_REDUCTIONS: tuple[float, ...] = (0.10, 0.30, 0.50, 0.70, 0.90)
+
+
+class Metric(enum.Enum):
+    """Which overall metric an optimization targets."""
+
+    #: Overall injection overhead (Equation 2; Figure 17a).
+    INJECTION = "injection"
+    #: End-to-end latency (§6 model; Figures 17b-d).
+    LATENCY = "latency"
+
+
+@dataclass(frozen=True)
+class WhatIfAnalysis:
+    """What-if engine over one set of measured component times."""
+
+    times: ComponentTimes
+
+    # -- metric totals ---------------------------------------------------------
+    def total(self, metric: Metric) -> float:
+        """The metric's modeled total (Eq. 2 or the §6 latency)."""
+        if metric is Metric.INJECTION:
+            return OverallInjectionModel(self.times).predicted_ns
+        return EndToEndLatencyModel(self.times).predicted_ns
+
+    # -- component catalogues (the Figure 17 line sets) --------------------------
+    def injection_components(self) -> dict[str, float]:
+        """Figure 17a's seven lines (CPU components of injection)."""
+        t = self.times
+        return {
+            "HLP": t.hlp_post + t.hlp_tx_prog,
+            "LLP": t.llp_post + t.llp_tx_prog,
+            "LLP_post": t.llp_post,
+            "PIO": t.pio_copy,
+            "HLP_tx_prog": t.hlp_tx_prog,
+            "HLP_post": t.hlp_post,
+            "LLP_tx_prog": t.llp_tx_prog,
+        }
+
+    def latency_cpu_components(self) -> dict[str, float]:
+        """Figure 17b's seven lines (CPU components of latency)."""
+        t = self.times
+        return {
+            "HLP": t.hlp_post + t.hlp_rx_prog,
+            "LLP": t.llp_post + t.llp_prog,
+            "HLP_rx_prog": t.hlp_rx_prog,
+            "LLP_post": t.llp_post,
+            "PIO": t.pio_copy,
+            "HLP_post": t.hlp_post,
+            "LLP_prog": t.llp_prog,
+        }
+
+    def latency_io_components(self) -> dict[str, float]:
+        """Figure 17c's three lines (I/O components of latency).
+
+        "Integrated NIC" treats the whole I/O subsystem (both PCIe
+        crossings plus the RC write to memory) as one reducible block —
+        the SoC-integration optimization of §7.1.
+        """
+        t = self.times
+        return {
+            "Integrated NIC": 2 * t.pcie + t.rc_to_mem_8b,
+            "PCIe": 2 * t.pcie,
+            "RC-to-MEM": t.rc_to_mem_8b,
+        }
+
+    def latency_network_components(self) -> dict[str, float]:
+        """Figure 17d's two lines (network components of latency)."""
+        return {"Wire": self.times.wire, "Switch": self.times.switch}
+
+    # -- speedups ---------------------------------------------------------------
+    def speedup(
+        self, metric: Metric, component_ns: float, reduction: float
+    ) -> float:
+        """Fractional overall speedup from reducing a component.
+
+        Parameters
+        ----------
+        metric:
+            INJECTION or LATENCY.
+        component_ns:
+            The component's contribution to the metric.
+        reduction:
+            Fractional overhead reduction in [0, 1] (0.9 = 10× faster).
+        """
+        self._check_reduction(reduction)
+        total = self.total(metric)
+        if component_ns < 0 or component_ns > total + 1e-9:
+            raise ValueError(
+                f"component ({component_ns} ns) must lie within the metric total "
+                f"({total} ns)"
+            )
+        return reduction * component_ns / total
+
+    def multiplicative_speedup(
+        self, metric: Metric, component_ns: float, reduction: float
+    ) -> float:
+        """Alternative definition: T / (T − r·c) − 1."""
+        self._check_reduction(reduction)
+        total = self.total(metric)
+        remaining = total - reduction * component_ns
+        if remaining <= 0:
+            raise ValueError("reduction removes the entire metric")
+        return total / remaining - 1.0
+
+    def sweep(
+        self,
+        metric: Metric,
+        components: dict[str, float],
+        reductions: tuple[float, ...] = FIG17_REDUCTIONS,
+    ) -> dict[str, list[tuple[float, float]]]:
+        """One Figure 17 panel: name → [(reduction, speedup), ...]."""
+        return {
+            name: [(r, self.speedup(metric, value, r)) for r in reductions]
+            for name, value in components.items()
+        }
+
+    def combined_speedup(
+        self, metric: Metric, reductions: dict[str, tuple[float, float]]
+    ) -> float:
+        """Speedup from reducing several components at once.
+
+        Because the model components are strictly sequential ("the
+        components of our models are not concurrent", §7), combined
+        reductions compose additively.
+
+        Parameters
+        ----------
+        metric:
+            INJECTION or LATENCY.
+        reductions:
+            ``name → (component_ns, reduction_fraction)``.  Names are
+            free-form labels; the ns values must be disjoint pieces of
+            the metric (the caller is responsible for not
+            double-counting, e.g. not passing both "LLP" and
+            "LLP_post").
+
+        Raises
+        ------
+        ValueError
+            If the summed removals exceed the metric total — the
+            tell-tale of double-counted components.
+        """
+        total = self.total(metric)
+        removed = 0.0
+        for name, (component_ns, reduction) in reductions.items():
+            self._check_reduction(reduction)
+            if component_ns < 0:
+                raise ValueError(f"component {name!r} has negative time")
+            removed += reduction * component_ns
+        if removed > total + 1e-9:
+            raise ValueError(
+                f"combined removals ({removed:.2f} ns) exceed the metric total "
+                f"({total:.2f} ns); components overlap or are double-counted"
+            )
+        return removed / total
+
+    # -- the four published panels ---------------------------------------------------
+    def figure17a(self, reductions: tuple[float, ...] = FIG17_REDUCTIONS):
+        """Injection speedups from CPU-component reductions."""
+        return self.sweep(Metric.INJECTION, self.injection_components(), reductions)
+
+    def figure17b(self, reductions: tuple[float, ...] = FIG17_REDUCTIONS):
+        """Latency speedups from CPU-component reductions."""
+        return self.sweep(Metric.LATENCY, self.latency_cpu_components(), reductions)
+
+    def figure17c(self, reductions: tuple[float, ...] = FIG17_REDUCTIONS):
+        """Latency speedups from I/O-component reductions."""
+        return self.sweep(Metric.LATENCY, self.latency_io_components(), reductions)
+
+    def figure17d(self, reductions: tuple[float, ...] = FIG17_REDUCTIONS):
+        """Latency speedups from network-component reductions."""
+        return self.sweep(Metric.LATENCY, self.latency_network_components(), reductions)
+
+    @staticmethod
+    def _check_reduction(reduction: float) -> None:
+        if not 0.0 <= reduction <= 1.0:
+            raise ValueError(f"reduction must be in [0, 1], got {reduction}")

@@ -1,0 +1,35 @@
+"""Simulated CPU: sequential core, memory-type write costs, barriers, timer.
+
+The paper measures software with Arm's ``cntvct_el0`` counter on a
+ThunderX2 running at 2 GHz.  Here the "CPU" is a sequential executor of
+named *segments* — each a code region with a configured mean duration
+drawn through the jitter model — plus a virtual timer whose reads cost
+time, reproducing the 49.69 ns overhead of the UCS profiling
+infrastructure that the paper carefully subtracts.
+
+Components
+----------
+
+:class:`CpuCore`
+    Executes named segments one after another and accounts busy time.
+:class:`SegmentCosts`
+    The cost table (ns means) for every software segment in the stack.
+:class:`MemoryModel`
+    Write costs for Normal vs Device-GRE memory (aarch64 memory types).
+:class:`VirtualTimer`
+    A ``cntvct_el0``-like counter whose read (isb + mrs) costs time.
+"""
+
+from repro.cpu.core import CpuCore
+from repro.cpu.costs import SegmentCosts
+from repro.cpu.memory import MemoryModel, MemoryType
+from repro.cpu.timer import TimerSample, VirtualTimer
+
+__all__ = [
+    "CpuCore",
+    "MemoryModel",
+    "MemoryType",
+    "SegmentCosts",
+    "TimerSample",
+    "VirtualTimer",
+]

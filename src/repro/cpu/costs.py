@@ -1,0 +1,141 @@
+"""Cost table for software segments on the simulated CPU.
+
+Every named code region in the LLP/HLP stack has a mean duration here,
+in nanoseconds.  The defaults are the paper's Table 1 ground truth for
+the ThunderX2 + ConnectX-4 testbed; they are *inputs* to the simulator,
+which the measurement methodology then re-derives from noisy runs.
+
+Only mechanistic, directly-exercised segments appear here.  Quantities
+the paper reports as *emergent* (the 3.17 ns amortized busy-post Misc,
+the 0.96 ns LLP share of send-progress) are produced by the simulation
+dynamics, not configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["SegmentCosts"]
+
+
+@dataclass(frozen=True)
+class SegmentCosts:
+    """Mean durations (ns) of the software segments in the stack.
+
+    Attributes mirror the paper's terminology:
+
+    LLP (UCT-level, §4.1)
+        ``md_setup``            – writing the control segment of the
+        message descriptor, incl. the inline memcpy of a small payload;
+        ``barrier_md``          – ``dmb st`` after the MD is written;
+        ``barrier_dbc``         – DoorBell counter increment + ``dmb st``;
+        ``pio_copy_64b``        – 64-byte write to Device-GRE memory;
+        ``llp_post_misc``       – function-call overhead, branching;
+        ``llp_prog``            – load barrier + CQ entry dequeue;
+        ``busy_post``           – a failed post attempt (TxQ full).
+
+    Benchmark bookkeeping (§4.2)
+        ``measurement_update``  – timestamp + rate-accounting per post.
+
+    HLP (§5): MPICH and UCP segments for initiation and progress.
+    """
+
+    # -- LLP_post constituents (Table 1, Figure 4) -------------------------
+    md_setup: float = 27.78
+    barrier_md: float = 17.33
+    barrier_dbc: float = 21.07
+    pio_copy_64b: float = 94.25
+    llp_post_misc: float = 14.99
+
+    # -- LLP progress / failed posts ---------------------------------------
+    llp_prog: float = 61.63
+    #: Cost of polling an *empty* CQ (owner-bit read, no dequeue). Not
+    #: measured by the paper; a cheap spin compared to the 61.63 ns
+    #: successful dequeue.
+    llp_prog_empty: float = 15.0
+    busy_post: float = 8.99
+
+    #: Cost of taking a completion via an interrupt instead of polling:
+    #: IRQ delivery, kernel entry/exit and the context switch back to
+    #: the user thread (§2 explains why polling avoids this; not
+    #: measured by the paper — a typical Linux round trip).
+    interrupt_wakeup: float = 1800.0
+
+    # -- benchmark bookkeeping ----------------------------------------------
+    measurement_update: float = 49.69
+
+    # -- HLP initiation (Table 1) --------------------------------------------
+    mpich_isend: float = 24.37
+    ucp_isend: float = 2.19
+
+    # -- HLP receive-side progress (Table 1, §6) -----------------------------
+    mpich_recv_callback: float = 47.99
+    ucp_recv_callback: float = 139.78
+    mpich_after_progress: float = 36.89
+
+    # -- HLP send-side progress (§6: Post_prog ≈ 59.82, LLP share < 1 ns) ----
+    #: Per-request finalisation work in the MPI_Waitall progress engine
+    #: (request-state update, completion counter, queue removal).  The
+    #: paper's measured Post_prog *emerges* in simulation as the sum of
+    #: this, the amortised completion tail-wait, and progress-body
+    #: costs; this constant is calibrated so the emergent value matches
+    #: the measured 59.82 ns/op.
+    mpich_request_finalize: float = 58.7
+
+    #: MPICH blocking-wait overhead incurred before UCP progress even
+    #: runs inside MPI_Wait (part of the 293.29 ns in Table 1; not on the
+    #: end-to-end critical path as modelled, but simulated for the
+    #: MPI_Wait total).
+    mpich_wait_entry: float = 208.41
+
+    #: UCP worker-progress body outside the callbacks: Table 1's 150.51 ns
+    #: UCP share of MPI_Wait minus the 139.78 ns UCP callback.
+    ucp_prog_body: float = 10.73
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value < 0:
+                raise ValueError(f"segment cost {field.name!r} must be >= 0, got {value}")
+
+    # -- derived totals used throughout the paper -----------------------------
+    @property
+    def llp_post(self) -> float:
+        """Total LLP_post = MD setup + barriers + PIO copy + misc (175.42)."""
+        return (
+            self.md_setup
+            + self.barrier_md
+            + self.barrier_dbc
+            + self.pio_copy_64b
+            + self.llp_post_misc
+        )
+
+    @property
+    def hlp_post(self) -> float:
+        """HLP share of an MPI_Isend = MPICH + UCP (26.56)."""
+        return self.mpich_isend + self.ucp_isend
+
+    @property
+    def hlp_rx_prog(self) -> float:
+        """HLP share of receive progress = callbacks + post-progress MPICH.
+
+        224.66 ns in the paper: MPICH callback (47.99) + UCP callback
+        (139.78) + MPICH work after a successful ucp_worker_progress
+        (36.89).
+        """
+        return self.mpich_recv_callback + self.ucp_recv_callback + self.mpich_after_progress
+
+    @property
+    def mpi_wait_ucp_total(self) -> float:
+        """UCP share of a successful MPI_Wait (150.51 in Table 1)."""
+        return self.ucp_recv_callback + self.ucp_prog_body
+
+    @property
+    def mpi_wait_mpich_total(self) -> float:
+        """MPICH share of a successful MPI_Wait (293.29 in Table 1)."""
+        return self.mpich_wait_entry + self.mpich_recv_callback + self.mpich_after_progress
+
+    @property
+    def mpi_wait_total(self) -> float:
+        """Total successful MPI_Wait for an MPI_Irecv (443.80 in Table 1)."""
+        return self.mpi_wait_mpich_total + self.mpi_wait_ucp_total

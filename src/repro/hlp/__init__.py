@@ -1,0 +1,30 @@
+"""High-level protocols (§5): a UCP-like layer under an MPICH-like MPI.
+
+The layering mirrors the paper's software stack: MPI (MPICH/CH4) calls
+UCP (``ucp_tag_send_nb`` / ``ucp_worker_progress``), which drives the
+UCT transport of :mod:`repro.llp`.  Completion flows *upward* through
+registered callbacks executed before ``uct_worker_progress`` returns:
+UCT → UCP callback → MPICH callback, exactly the §5 measurement
+structure.
+
+Key behaviours reproduced:
+
+* unsignaled completions: the UCP iface requests a CQE only every
+  c = 64 operations, amortising send-progress cost;
+* busy-post pending: a send that hits a full TxQ is queued inside UCP
+  and its LLP_post is re-executed during progress (§6 caveat 1);
+* batch progress: ``MPI_Waitall`` loops the progress engine until every
+  listed operation completes (§6 caveat 2).
+"""
+
+from repro.hlp.mpi import MpiComm, MpiRequest, MpiStack
+from repro.hlp.ucp import UcpEndpoint, UcpRequest, UcpWorker
+
+__all__ = [
+    "MpiComm",
+    "MpiRequest",
+    "MpiStack",
+    "UcpEndpoint",
+    "UcpRequest",
+    "UcpWorker",
+]

@@ -1,0 +1,36 @@
+"""The low-level communication protocol (LLP): a UCT-like transport.
+
+This is the paper's §4 layer — "UCX's low-level transport API,
+UC-Transports (UCT) ... UCX's implementation of the data-path
+operations for modern Mellanox InfiniBand adapters" (rc_mlx5).  It
+implements:
+
+* ``ep_put_short`` / ``ep_am_short`` — PIO+inline posts of small
+  messages, with the exact §4.1 step sequence (MD prepare, store
+  barrier, DoorBell-counter update + barrier, PIO copy);
+* ``worker.progress`` — CQ polling (the TxQ dequeue semantic) and
+  active-message delivery on the target;
+* busy posts when the TxQ is full;
+* a UCS-style profiling infrastructure whose measurements cost time,
+  mirroring §3's methodology (49.69 ns per wrapped region, subtracted
+  during reporting).
+"""
+
+from repro.llp.profiling import RegionStats, UcsProfiler
+from repro.llp.uct import (
+    UCS_ERR_NO_RESOURCE,
+    UCS_OK,
+    UctEndpoint,
+    UctIface,
+    UctWorker,
+)
+
+__all__ = [
+    "RegionStats",
+    "UCS_ERR_NO_RESOURCE",
+    "UCS_OK",
+    "UcsProfiler",
+    "UctEndpoint",
+    "UctIface",
+    "UctWorker",
+]

@@ -1,0 +1,419 @@
+"""UCT-like transport: endpoints, interface, worker (§4.1).
+
+All public operations are generators executed on the owning node's CPU
+core: they advance simulated time exactly as the real code paths burn
+cycles, and they drive the PCIe/NIC hardware at the right instants.
+
+The §4.1 LLP_post step sequence is reproduced literally:
+
+1. Prepare the message descriptor (``md_setup``, incl. the inline
+   payload memcpy);
+2. a store memory barrier (``barrier_md``, ``dmb st``);
+3. DoorBell-counter increment + its store barrier (``barrier_dbc``);
+4. the PIO copy to Device-GRE memory (``pio_copy_64b`` per 64-byte
+   chunk), which hands the descriptor to the Root Complex;
+5. miscellaneous function-call/branching overhead (``llp_post_misc``).
+
+A post against a full TxQ is a *busy post*: it fails after
+``busy_post`` nanoseconds and the caller must progress the CQ first.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.cpu.memory import MemoryType
+from repro.nic.descriptor import Message, MessageOp
+from repro.llp.profiling import UcsProfiler
+from repro.node.node import Node
+from repro.pcie.packets import Tlp, TlpType
+from repro.sim.engine import SimulationError
+
+__all__ = [
+    "UCS_ERR_NO_RESOURCE",
+    "UCS_OK",
+    "invoke_callback",
+    "UctEndpoint",
+    "UctIface",
+    "UctWorker",
+]
+
+#: Post accepted.
+UCS_OK = "UCS_OK"
+#: Post failed: no TxQ space (busy post); progress and retry.
+UCS_ERR_NO_RESOURCE = "UCS_ERR_NO_RESOURCE"
+
+#: Completion/receive callbacks run inside ``worker.progress``.  A
+#: callback may be a plain function (costless bookkeeping) or a
+#: generator function (simulated code that burns CPU time).
+Callback = Callable[[Any], Any]
+
+
+def invoke_callback(callback: Callback, argument: Any) -> Generator:
+    """Run ``callback`` from simulated code, yielding through generators."""
+    result = callback(argument)
+    if result is not None and hasattr(result, "__next__"):
+        result = yield from result
+    return result
+
+
+class UctWorker:
+    """Progress engine over one or more interfaces.
+
+    ``progress()`` is the paper's ``uct_worker_progress``: it polls each
+    interface's CQ (retiring at most one CQE per call, the "dequeuing
+    one entry" of LLP_prog) and each interface's active-message mailbox,
+    running registered callbacks before returning.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        profiler: UcsProfiler | None = None,
+        core=None,
+    ) -> None:
+        self.node = node
+        #: The core this worker's software runs on (multi-core studies
+        #: pin one worker per core; default is the node's first core).
+        self.cpu = core if core is not None else node.cpu
+        self.profiler = profiler or UcsProfiler(node.timer, enabled=False)
+        self.ifaces: list[UctIface] = []
+        self.progress_calls = 0
+        self.empty_progress_calls = 0
+
+    def create_iface(self, signal_period: int = 1, name: str | None = None) -> "UctIface":
+        """Open an interface (one queue pair + one AM mailbox)."""
+        iface = UctIface(self, signal_period=signal_period, name=name)
+        self.ifaces.append(iface)
+        return iface
+
+    def progress(self) -> Generator:
+        """One progress pass; returns the number of events processed."""
+        cpu = self.cpu
+        self.progress_calls += 1
+        events = 0
+        start = yield from self.profiler.begin("llp_prog")
+        for iface in self.ifaces:
+            cqe = iface.qp.cq.try_poll()
+            if cqe is not None:
+                yield from cpu.execute("llp_prog")
+                iface.qp.consume_cqe(cqe)
+                events += 1
+                for callback in iface.completion_callbacks:
+                    yield from invoke_callback(callback, cqe)
+            ok, message = iface.am_mailbox.try_get()
+            if ok:
+                yield from cpu.execute("llp_prog")
+                iface.messages_delivered += 1
+                events += 1
+                if iface.am_handler is not None:
+                    yield from invoke_callback(iface.am_handler, message)
+        if events == 0:
+            self.empty_progress_calls += 1
+            yield from cpu.execute("llp_prog_empty")
+        yield from self.profiler.end("llp_prog", start)
+        return events
+
+    def progress_until(self, predicate: Callable[[], bool]) -> Generator:
+        """Spin ``progress()`` until ``predicate()`` holds."""
+        while not predicate():
+            yield from self.progress()
+        return None
+
+    def wait_am_interrupt(self, iface: "UctIface") -> Generator:
+        """Interrupt-driven receive: sleep until an AM arrives (§2).
+
+        "The user could also request to be notified with an interrupt
+        regarding the completion.  However, the polling approach is
+        latency-oriented since there is no context switch to the kernel
+        in the critical path."  The blocked thread burns no CPU, but
+        pays ``interrupt_wakeup`` plus the usual dequeue cost once the
+        message lands.  Returns the message.
+        """
+        message = yield iface.am_mailbox.get()
+        yield from self.cpu.execute("interrupt_wakeup")
+        yield from self.cpu.execute("llp_prog")
+        iface.messages_delivered += 1
+        if iface.am_handler is not None:
+            yield from invoke_callback(iface.am_handler, message)
+        return message
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<UctWorker node={self.node.name} ifaces={len(self.ifaces)}>"
+
+
+class UctIface:
+    """One transport interface: a queue pair plus AM receive resources."""
+
+    def __init__(
+        self,
+        worker: UctWorker,
+        signal_period: int = 1,
+        name: str | None = None,
+    ) -> None:
+        node = worker.node
+        self.worker = worker
+        self.node = node
+        self.name = name or f"{node.name}.iface{len(worker.ifaces)}"
+        self.qp = node.nic.create_qp(signal_period=signal_period, name=f"{self.name}.qp")
+        #: Target-side landing zone for active messages sent to this iface.
+        self.am_recv_target = f"{self.name}.am"
+        self.am_mailbox = node.memory.mailbox(self.am_recv_target)
+        self.completion_callbacks: list[Callback] = []
+        self.am_handler: Callback | None = None
+        self.messages_delivered = 0
+        self.busy_posts = 0
+        self.successful_posts = 0
+        #: Journal hook: the most recently posted message (ground truth
+        #: for benchmarks; the real UCT API does not return it).
+        self.last_message: Message | None = None
+
+    def set_am_handler(self, handler: Callback) -> None:
+        """Register the active-message receive callback (generator fn)."""
+        self.am_handler = handler
+
+    def add_completion_callback(self, callback: Callback) -> None:
+        """Register a send-completion callback (generator fn)."""
+        self.completion_callbacks.append(callback)
+
+    def create_ep(self, remote: "UctIface") -> "UctEndpoint":
+        """Connect an endpoint to a remote interface."""
+        return UctEndpoint(self, remote.am_recv_target, remote.node.nic.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<UctIface {self.name!r}>"
+
+
+class UctEndpoint:
+    """A connected endpoint: the object posts are issued on."""
+
+    def __init__(
+        self,
+        iface: UctIface,
+        remote_recv_target: str,
+        remote_nic: str | None = None,
+    ) -> None:
+        self.iface = iface
+        self.remote_recv_target = remote_recv_target
+        #: Destination NIC port name (None = the two-node fabric peer).
+        self.remote_nic = remote_nic
+
+    # -- public data-path operations ------------------------------------------
+    def put_short(self, payload_bytes: int) -> Generator:
+        """RDMA-write a small payload via PIO+inline (the put_bw op).
+
+        Returns ``UCS_OK`` or ``UCS_ERR_NO_RESOURCE`` (busy post).
+        """
+        return self._post_short(MessageOp.PUT, payload_bytes)
+
+    def am_short(self, payload_bytes: int) -> Generator:
+        """Send-receive a small payload via PIO+inline (the am_lat op)."""
+        return self._post_short(MessageOp.AM, payload_bytes)
+
+    def put_zcopy(self, payload_bytes: int) -> Generator:
+        """RDMA-write via the DoorBell + DMA-read path (§2 steps 1-3).
+
+        Used for payloads beyond the inline limit; two PCIe round trips
+        replace the PIO copy.
+        """
+        return self._post_doorbell(MessageOp.PUT, payload_bytes)
+
+    def get_bcopy(self, payload_bytes: int, local_buffer: str | None = None) -> Generator:
+        """RDMA-read: pull ``payload_bytes`` from the remote memory.
+
+        An extension beyond the paper's put/am benchmarks: the request
+        WQE goes out via PIO (it is small), the target NIC DMA-reads the
+        data without involving the target CPU, and the response lands in
+        ``local_buffer`` on this node (default: this iface's AM mailbox
+        namespace with a ``.get`` suffix).  The read response doubles as
+        the acknowledgement.
+        """
+        return self._post_one_sided(MessageOp.GET, payload_bytes, local_buffer, "get")
+
+    def atomic_fadd(self, payload_bytes: int = 8, local_buffer: str | None = None) -> Generator:
+        """RDMA fetch-and-add: atomically update remote memory.
+
+        Extension beyond the paper: the request goes out via PIO, the
+        target NIC performs the read-modify-write against its host
+        memory (one DMA read + one DMA write, no target CPU), and the
+        old value returns like a read response.
+        """
+        return self._post_one_sided(
+            MessageOp.ATOMIC, payload_bytes, local_buffer, suffix="atomic"
+        )
+
+    def _post_one_sided(
+        self,
+        op: MessageOp,
+        payload_bytes: int,
+        local_buffer: str | None,
+        suffix: str,
+    ) -> Generator:
+        iface = self.iface
+        node = iface.node
+        cpu = iface.worker.cpu
+        nic_cfg = node.config.nic
+        profiler = iface.worker.profiler
+        if not iface.qp.txq.has_space:
+            iface.busy_posts += 1
+            busy = yield from profiler.begin("busy_post")
+            yield from cpu.execute("busy_post")
+            yield from profiler.end("busy_post", busy)
+            return UCS_ERR_NO_RESOURCE
+
+        outer = yield from profiler.begin("llp_post")
+        message = Message(
+            op=op,
+            payload_bytes=payload_bytes,
+            inline=True,   # the *request* WQE is small and inlined
+            pio=True,
+            recv_target=local_buffer or f"{iface.name}.{suffix}",
+            dst_nic=self.remote_nic,
+            # The requester's NIC name rides in context so the serving
+            # NIC can route the response on multi-node fabrics.
+            context=node.nic.name,
+            qp=iface.qp,
+        )
+        iface.qp.register_post(message)
+        message.stamp("posted", node.env.now)
+        yield from cpu.execute("md_setup")
+        yield from cpu.execute("barrier_md")
+        yield from cpu.execute("barrier_dbc")
+        chunks = 1  # a read request WQE fits one PIO chunk
+        yield from cpu.execute("pio_copy_64b", mean=chunks * cpu.costs.pio_copy_64b)
+        message.stamp("pio_written", node.env.now)
+        node.rc.mmio_write(
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=chunks * nic_cfg.pio_chunk_bytes,
+                purpose="pio_post",
+                message=message,
+            )
+        )
+        yield from cpu.execute("llp_post_misc")
+        yield from profiler.end("llp_post", outer)
+        iface.successful_posts += 1
+        iface.last_message = message
+        return UCS_OK
+
+    # -- implementation ------------------------------------------------------------
+    def _post_short(self, op: MessageOp, payload_bytes: int) -> Generator:
+        iface = self.iface
+        node = iface.node
+        cpu = iface.worker.cpu
+        nic_cfg = node.config.nic
+        if payload_bytes > nic_cfg.inline_max_bytes:
+            raise SimulationError(
+                f"short post of {payload_bytes}B exceeds the inline limit "
+                f"({nic_cfg.inline_max_bytes}B); use put_zcopy"
+            )
+        profiler = iface.worker.profiler
+        if not iface.qp.txq.has_space:
+            iface.busy_posts += 1
+            busy = yield from profiler.begin("busy_post")
+            yield from cpu.execute("busy_post")
+            yield from profiler.end("busy_post", busy)
+            return UCS_ERR_NO_RESOURCE
+
+        outer = yield from profiler.begin("llp_post")
+        message = Message(
+            op=op,
+            payload_bytes=payload_bytes,
+            inline=True,
+            pio=True,
+            recv_target=self.remote_recv_target,
+            dst_nic=self.remote_nic,
+            qp=iface.qp,
+        )
+        iface.qp.register_post(message)
+        message.stamp("posted", node.env.now)
+
+        # §4.1 step 1: prepare the MD (control segment + inline memcpy).
+        start = yield from profiler.begin("md_setup")
+        yield from cpu.execute("md_setup")
+        yield from profiler.end("md_setup", start)
+        # Step 2: store barrier so the MD is written before signalling.
+        start = yield from profiler.begin("barrier_md")
+        yield from cpu.execute("barrier_md")
+        yield from profiler.end("barrier_md", start)
+        # Steps 3-4: DoorBell counter increment + its store barrier.
+        start = yield from profiler.begin("barrier_dbc")
+        yield from cpu.execute("barrier_dbc")
+        yield from profiler.end("barrier_dbc", start)
+        # Step 5: the PIO copy into Device-GRE memory, in 64-byte chunks.
+        wqe_bytes = nic_cfg.wqe_header_bytes + payload_bytes
+        chunks = math.ceil(wqe_bytes / nic_cfg.pio_chunk_bytes)
+        start = yield from profiler.begin("pio_copy")
+        yield from cpu.execute(
+            "pio_copy_64b", mean=chunks * cpu.costs.pio_copy_64b
+        )
+        yield from profiler.end("pio_copy", start)
+        message.stamp("pio_written", node.env.now)
+        node.rc.mmio_write(
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=chunks * nic_cfg.pio_chunk_bytes,
+                purpose="pio_post",
+                message=message,
+            )
+        )
+        # Function-call overhead, branching ("Other" in Figure 4).
+        yield from cpu.execute("llp_post_misc")
+        yield from profiler.end("llp_post", outer)
+        iface.successful_posts += 1
+        iface.last_message = message
+        return UCS_OK
+
+    def _post_doorbell(self, op: MessageOp, payload_bytes: int) -> Generator:
+        iface = self.iface
+        node = iface.node
+        cpu = iface.worker.cpu
+        nic_cfg = node.config.nic
+        profiler = iface.worker.profiler
+        if not iface.qp.txq.has_space:
+            iface.busy_posts += 1
+            busy = yield from profiler.begin("busy_post")
+            yield from cpu.execute("busy_post")
+            yield from profiler.end("busy_post", busy)
+            return UCS_ERR_NO_RESOURCE
+
+        outer = yield from profiler.begin("llp_post")
+        message = Message(
+            op=op,
+            payload_bytes=payload_bytes,
+            inline=payload_bytes <= nic_cfg.inline_max_bytes,
+            pio=False,
+            recv_target=self.remote_recv_target,
+            dst_nic=self.remote_nic,
+            qp=iface.qp,
+        )
+        iface.qp.register_post(message)
+        message.stamp("posted", node.env.now)
+        yield from cpu.execute("md_setup")
+        yield from cpu.execute("barrier_md")
+        yield from cpu.execute("barrier_dbc")
+        # The DoorBell itself: an 8-byte store to device memory.
+        yield from cpu.execute(
+            "doorbell_write",
+            mean=node.config.memory.write_cost(
+                MemoryType.DEVICE_GRE, nic_cfg.doorbell_bytes
+            ),
+        )
+        node.rc.mmio_write(
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=nic_cfg.doorbell_bytes,
+                purpose="doorbell",
+                message=message,
+            )
+        )
+        yield from cpu.execute("llp_post_misc")
+        yield from profiler.end("llp_post", outer)
+        iface.successful_posts += 1
+        iface.last_message = message
+        return UCS_OK
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<UctEndpoint {self.iface.name!r} -> {self.remote_recv_target!r}>"

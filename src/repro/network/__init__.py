@@ -1,0 +1,15 @@
+"""Interconnect fabric model: wire, switch, and the two-node fabric.
+
+The paper decomposes off-node time as ``Network = Wire + Switch``
+(§4.3): 274.81 ns for a direct NIC-to-NIC wire traversal plus 108 ns
+per switch hop, measured by differencing latency runs with and without
+a switch.  Link-level ACKs — which gate completion generation on the
+initiator — traverse the same path.
+"""
+
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric, NetworkFrame
+from repro.network.switch import Switch
+from repro.network.wire import Wire
+
+__all__ = ["Fabric", "NetworkConfig", "NetworkFrame", "Switch", "Wire"]

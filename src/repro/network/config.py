@@ -1,0 +1,86 @@
+"""Interconnect configuration.
+
+Defaults reproduce the paper's testbed: Mellanox InfiniBand (EDR-class)
+between two ConnectX-4 adapters through one switch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["NetworkConfig"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the interconnect between the two NICs.
+
+    Attributes
+    ----------
+    wire_latency_ns:
+        One-way NIC-to-NIC time over the physical wire with no switch —
+        includes both SerDes conversions and the fibre flight time
+        (274.81 ns measured in §4.3).
+    switch_latency_ns:
+        Additional one-way delay contributed by each switch hop
+        (108 ns measured by differencing switched/direct runs).
+    switch_count:
+        Number of switch hops between the NICs (paper: 1; 0 models the
+        direct connection used for the Wire measurement).
+    bandwidth_bytes_per_ns:
+        Serialisation bandwidth of the wire; an x-byte frame adds
+        ``x / bandwidth``.  ``inf`` (default) matches the paper's
+        constants for 8-byte messages; EDR InfiniBand would be
+        ~12.5 B/ns (100 Gb/s).
+    ack_turnaround_ns:
+        Target-NIC hardware time between receiving a frame and emitting
+        the link-level ACK.
+    """
+
+    wire_latency_ns: float = 274.81
+    switch_latency_ns: float = 108.0
+    switch_count: int = 1
+    bandwidth_bytes_per_ns: float = math.inf
+    ack_turnaround_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wire_latency_ns < 0:
+            raise ValueError("wire_latency_ns must be >= 0")
+        if self.switch_latency_ns < 0:
+            raise ValueError("switch_latency_ns must be >= 0")
+        if self.switch_count < 0:
+            raise ValueError("switch_count must be >= 0")
+        if self.bandwidth_bytes_per_ns <= 0:
+            raise ValueError("bandwidth_bytes_per_ns must be > 0")
+        if self.ack_turnaround_ns < 0:
+            raise ValueError("ack_turnaround_ns must be >= 0")
+
+    def one_way_latency(self, frame_bytes: int = 0) -> float:
+        """Total one-way network time for a frame of ``frame_bytes``.
+
+        This is the paper's ``Network`` = Wire + Switch (382.81 ns with
+        the defaults).
+        """
+        if frame_bytes < 0:
+            raise ValueError(f"frame_bytes must be >= 0, got {frame_bytes}")
+        serialization = (
+            0.0
+            if math.isinf(self.bandwidth_bytes_per_ns)
+            else frame_bytes / self.bandwidth_bytes_per_ns
+        )
+        return (
+            self.wire_latency_ns
+            + self.switch_count * self.switch_latency_ns
+            + serialization
+        )
+
+    def without_switch(self) -> "NetworkConfig":
+        """A copy with the switch removed (the paper's direct setup)."""
+        return NetworkConfig(
+            wire_latency_ns=self.wire_latency_ns,
+            switch_latency_ns=self.switch_latency_ns,
+            switch_count=0,
+            bandwidth_bytes_per_ns=self.bandwidth_bytes_per_ns,
+            ack_turnaround_ns=self.ack_turnaround_ns,
+        )

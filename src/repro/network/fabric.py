@@ -1,0 +1,208 @@
+"""The two-node fabric: wires + switches + link-level ACKs.
+
+The fabric connects exactly two NIC ports (the paper's evaluation
+setup).  A data frame travels wire → switch^k → wire-tail to the target
+NIC; the target's link layer then returns an ACK frame along the
+reverse path after ``ack_turnaround_ns``.  The initiator NIC releases
+the message's completion only on ACK receipt — the mechanism behind the
+paper's ``gen_completion = 2 × (PCIe + Network) + RC-to-MEM(64B)``.
+
+The composite one-way latency always equals
+:meth:`NetworkConfig.one_way_latency`; wires and switches are explicit
+objects (rather than one folded delay) so ablations can perturb a single
+hop and the analyzer-style methodology can attribute time per stage.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.network.config import NetworkConfig
+from repro.network.switch import Switch
+from repro.network.wire import Wire
+from repro.sim.engine import Environment, SimulationError
+
+__all__ = ["Fabric", "FrameKind", "NetworkFrame", "NicPort"]
+
+_frame_ids = itertools.count(1)
+
+
+class FrameKind(enum.Enum):
+    """Frame roles on the fabric."""
+
+    DATA = "data"
+    ACK = "ack"
+    #: RDMA-read request: small header, no payload.
+    READ_REQUEST = "read_request"
+    #: RDMA-read response: carries the requested payload back.
+    READ_RESPONSE = "read_response"
+    #: RDMA atomic request (fetch-add class): operand out, old value
+    #: returned via READ_RESPONSE.
+    ATOMIC_REQUEST = "atomic_request"
+
+
+@dataclass
+class NetworkFrame:
+    """One frame in flight on the interconnect."""
+
+    kind: FrameKind
+    src: str
+    dst: str
+    size_bytes: int = 0
+    message: Any = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame#{self.frame_id} {self.kind.value} {self.src}->{self.dst}"
+            f" {self.size_bytes}B>"
+        )
+
+
+class NicPort(Protocol):
+    """What the fabric requires of an attached NIC."""
+
+    name: str
+
+    def on_network_frame(self, frame: NetworkFrame) -> None:
+        """Called when a frame (data or ack) arrives at this NIC."""
+
+
+class Fabric:
+    """Bidirectional interconnect between attached NIC ports.
+
+    The paper's testbed has two nodes; the fabric generalises to N
+    ports with a path (wire + switch hops) per ordered pair, enabling
+    the multi-node collectives UCP provides in the real stack.
+    """
+
+    def __init__(self, env: Environment, config: NetworkConfig, name: str = "fabric") -> None:
+        self.env = env
+        self.config = config
+        self.name = name
+        self._ports: dict[str, NicPort] = {}
+        self._paths: dict[tuple[str, str], list[Any]] = {}
+        self.frames_delivered = 0
+        self.acks_delivered = 0
+
+    def attach(self, port: NicPort) -> None:
+        """Attach a NIC port, building paths to every existing port."""
+        if port.name in self._ports:
+            raise SimulationError(f"port {port.name!r} already attached")
+        for existing in self._ports:
+            self._build_path(existing, port.name)
+            self._build_path(port.name, existing)
+        self._ports[port.name] = port
+
+    def _build_path(self, src: str, dst: str) -> None:
+        """Construct the stage chain wire → switches for ``src→dst``.
+
+        The wire carries the full configured wire latency; each switch
+        adds its hop delay.  Stages hand frames forward via callbacks.
+        """
+        final = self._make_deliver(dst)
+        stages: list[Any] = []
+        # Build back to front: last switch forwards to delivery.
+        next_hop = final
+        for hop in range(self.config.switch_count, 0, -1):
+            switch = Switch(
+                self.env,
+                self.config,
+                forward=next_hop,
+                name=f"{self.name}.{src}->{dst}.sw{hop}",
+            )
+            stages.append(switch)
+            next_hop = switch.transmit
+        wire = Wire(
+            self.env,
+            self.config,
+            deliver=next_hop,
+            name=f"{self.name}.{src}->{dst}.wire",
+        )
+        stages.append(wire)
+        stages.reverse()  # wire first, then switches in hop order
+        self._paths[(src, dst)] = stages
+
+    def _make_deliver(self, dst: str):
+        def deliver(frame: NetworkFrame) -> None:
+            if frame.kind is FrameKind.ACK:
+                self.acks_delivered += 1
+            else:
+                self.frames_delivered += 1
+            self._ports[dst].on_network_frame(frame)
+
+        return deliver
+
+    def peer_of(self, name: str) -> str:
+        """Name of the single port opposite ``name`` (two-port fabrics).
+
+        Raises on fabrics with more than two ports, where "the peer" is
+        ambiguous and senders must address destinations explicitly.
+        """
+        if name not in self._ports:
+            raise SimulationError(f"unknown port {name!r}")
+        others = [n for n in self._ports if n != name]
+        if not others:
+            raise SimulationError(f"no peer attached for {name!r}")
+        if len(others) > 1:
+            raise SimulationError(
+                f"{len(self._ports)} ports attached; peer_of is ambiguous — "
+                "address the destination explicitly"
+            )
+        return others[0]
+
+    def path_stages(self, src: str, dst: str) -> list[Any]:
+        """The stage objects (Wire, Switch...) on ``src→dst`` (for tests)."""
+        return self._paths[(src, dst)]
+
+    def transmit(self, frame: NetworkFrame) -> None:
+        """Launch ``frame`` from its source port (non-blocking)."""
+        key = (frame.src, frame.dst)
+        path = self._paths.get(key)
+        if path is None:
+            raise SimulationError(
+                f"no path {frame.src!r}->{frame.dst!r}; both ports attached?"
+            )
+        wire: Wire = path[0]
+        wire.transmit(frame, frame.size_bytes)
+
+    def send_data(
+        self,
+        src: str,
+        dst: str,
+        message: Any,
+        size_bytes: int,
+        kind: FrameKind = FrameKind.DATA,
+    ) -> NetworkFrame:
+        """Convenience: build and transmit a payload-class frame."""
+        frame = NetworkFrame(
+            kind=kind, src=src, dst=dst, size_bytes=size_bytes, message=message
+        )
+        self.transmit(frame)
+        return frame
+
+    def send_ack(self, data_frame: NetworkFrame) -> NetworkFrame:
+        """Build and transmit the link-level ACK for ``data_frame``.
+
+        Called by the target NIC after its ``ack_turnaround_ns``; the
+        ACK retraces the path in reverse and carries the original
+        message so the initiator can match it.
+        """
+        ack = NetworkFrame(
+            kind=FrameKind.ACK,
+            src=data_frame.dst,
+            dst=data_frame.src,
+            size_bytes=0,
+            message=data_frame.message,
+        )
+        self.transmit(ack)
+        return ack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Fabric {self.name!r} data={self.frames_delivered}"
+            f" acks={self.acks_delivered}>"
+        )

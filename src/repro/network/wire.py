@@ -1,0 +1,78 @@
+"""The physical wire between NIC ports.
+
+A :class:`Wire` moves frames in one direction with a fixed propagation
+latency plus an optional serialisation term.  The paper's measured
+274.81 ns covers the SerDes pair and the fibre for a direct NIC-to-NIC
+cable; §7.2 discusses why this number is hard to reduce (PAM/FEC
+trade-offs may even raise it).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from typing import Any
+
+from repro.network.config import NetworkConfig
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["Wire"]
+
+
+class Wire:
+    """One simplex wire segment: serialisation then propagation.
+
+    With a finite bandwidth the transmitter port is a shared resource:
+    each frame occupies it for ``bytes / bandwidth`` before propagating,
+    so concurrent frames pipeline (propagation overlaps) but never
+    exceed the wire rate — the standard latency-bandwidth pipe.  With
+    infinite bandwidth (the paper's small-message constants) frames are
+    independent and the serialiser is bypassed entirely.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: NetworkConfig,
+        deliver: Callable[[Any], None],
+        name: str = "wire",
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.deliver = deliver
+        self.name = name
+        self.frames_carried = 0
+        self._serial = (
+            None
+            if math.isinf(config.bandwidth_bytes_per_ns)
+            else Resource(env, capacity=1, name=f"{name}.tx")
+        )
+
+    def serialization(self, frame_bytes: int) -> float:
+        """Time the frame occupies the transmitter port."""
+        if math.isinf(self.config.bandwidth_bytes_per_ns):
+            return 0.0
+        return frame_bytes / self.config.bandwidth_bytes_per_ns
+
+    def latency(self, frame_bytes: int) -> float:
+        """One-way wire time (serialisation + propagation) in ns."""
+        return self.config.wire_latency_ns + self.serialization(frame_bytes)
+
+    def transmit(self, frame: Any, frame_bytes: int = 0) -> None:
+        """Launch ``frame`` down the wire (non-blocking)."""
+        self.env.process(self._carry(frame, frame_bytes), name=f"{self.name}.carry")
+
+    def _carry(self, frame: Any, frame_bytes: int):
+        if self._serial is not None:
+            yield self._serial.request()
+            serialize = self.serialization(frame_bytes)
+            if serialize > 0:
+                yield self.env.timeout(serialize)
+            self._serial.release()
+        yield self.env.timeout(self.config.wire_latency_ns)
+        self.frames_carried += 1
+        self.deliver(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Wire {self.name!r} carried={self.frames_carried}>"

@@ -1,0 +1,37 @@
+"""NIC model (ConnectX-4-like) implementing the paper's §2 mechanisms.
+
+The NIC exposes transmit queues (TxQ) and completion queues (CQ) to the
+CPU.  Messages are initiated either by:
+
+* **PIO + inlining** (the paper's small-message fast path): the CPU
+  writes the whole message descriptor, payload included, into device
+  memory in 64-byte chunks; the NIC can transmit immediately — no DMA
+  reads; or
+* **DoorBell + DMA** (the large-message path): an 8-byte doorbell ring,
+  after which the NIC DMA-reads the descriptor and then the payload —
+  two PCIe round trips.
+
+On a successful transmission the initiator NIC receives a link-level
+ACK from the target NIC and then DMA-writes a 64-byte completion (CQE)
+to the CQ.  Completion *moderation* ("unsignaled completions", §6) lets
+software request a CQE only every c-th operation, amortising both the
+DMA write and the polling cost.
+"""
+
+from repro.nic.config import NicConfig
+from repro.nic.completion import CompletionModeration, Cqe
+from repro.nic.descriptor import Message, MessageOp
+from repro.nic.nic import Nic
+from repro.nic.queues import CompletionQueue, QueuePair, TransmitQueue
+
+__all__ = [
+    "CompletionModeration",
+    "CompletionQueue",
+    "Cqe",
+    "Message",
+    "MessageOp",
+    "Nic",
+    "NicConfig",
+    "QueuePair",
+    "TransmitQueue",
+]

@@ -1,0 +1,74 @@
+"""Completion-queue entries and completion moderation.
+
+"UCP reduces the overhead of progress using unsignaled completions,
+which means the NIC DMA-writes a completion only every c operations to
+indicate the completion of all c operations (c = 64 in UCX)" — §6.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nic.descriptor import Message
+
+__all__ = ["CompletionModeration", "Cqe"]
+
+_cqe_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Cqe:
+    """One completion-queue entry as seen by polling software.
+
+    ``completes`` is the number of posted operations this entry retires
+    (1 when every message is signaled; up to the moderation period with
+    unsignaled completions — the entry acknowledges itself plus all
+    unsignaled predecessors on the queue pair).
+    """
+
+    message: "Message"
+    completes: int = 1
+    cqe_id: int = field(default_factory=lambda: next(_cqe_ids))
+
+    def __post_init__(self) -> None:
+        if self.completes < 1:
+            raise ValueError(f"a CQE must complete >= 1 operation, got {self.completes}")
+
+
+class CompletionModeration:
+    """Decides which posts are signaled, per queue pair.
+
+    Parameters
+    ----------
+    signal_period:
+        Request a CQE every ``signal_period``-th post (1 = every post,
+        the raw-UCT ``put_bw`` behaviour; 64 = UCX's UCP default).
+    """
+
+    def __init__(self, signal_period: int = 1) -> None:
+        if signal_period < 1:
+            raise ValueError(f"signal_period must be >= 1, got {signal_period}")
+        self.signal_period = signal_period
+        self._since_signal = 0
+
+    def on_post(self) -> bool:
+        """Register one post; return True if it must be signaled."""
+        self._since_signal += 1
+        if self._since_signal >= self.signal_period:
+            self._since_signal = 0
+            return True
+        return False
+
+    @property
+    def pending_unsignaled(self) -> int:
+        """Posts since the last signaled one (retired by the next CQE)."""
+        return self._since_signal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompletionModeration period={self.signal_period}"
+            f" pending={self._since_signal}>"
+        )

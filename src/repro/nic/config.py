@@ -1,0 +1,58 @@
+"""NIC hardware parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NicConfig"]
+
+
+@dataclass(frozen=True)
+class NicConfig:
+    """Parameters of the simulated InfiniBand adapter.
+
+    Attributes
+    ----------
+    txq_depth:
+        Transmit-queue depth per queue pair.  Finite: "the user cannot
+        post indefinitely" (§4.2); polling the CQ is the dequeue.
+    cqe_bytes:
+        Size of a completion-queue entry ("64 bytes in Mellanox
+        InfiniBand", §2).
+    inline_max_bytes:
+        Largest payload that can be inlined into the descriptor; bigger
+        payloads force the DMA-read path.
+    pio_chunk_bytes:
+        PIO copy granularity ("the PIO occurs in 64-byte chunks", §2).
+    doorbell_bytes:
+        Size of the doorbell MMIO store (8-byte atomic write, §2).
+    wqe_fetch_bytes:
+        Descriptor size DMA-read on the doorbell path.
+    tx_processing_ns / rx_processing_ns:
+        NIC pipeline time between PCIe arrival and wire launch (and the
+        reverse).  The paper's Wire measurement absorbs these, so they
+        default to zero; ablations can make them explicit.
+    """
+
+    txq_depth: int = 128
+    cqe_bytes: int = 64
+    inline_max_bytes: int = 64
+    pio_chunk_bytes: int = 64
+    doorbell_bytes: int = 8
+    wqe_fetch_bytes: int = 64
+    #: Descriptor header bytes preceding inline payload in a WQE; an
+    #: inline post of x bytes occupies ceil((header + x) / chunk) PIO
+    #: chunks.
+    wqe_header_bytes: int = 48
+    tx_processing_ns: float = 0.0
+    rx_processing_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.txq_depth <= 0:
+            raise ValueError("txq_depth must be positive")
+        for name in ("cqe_bytes", "inline_max_bytes", "pio_chunk_bytes",
+                     "doorbell_bytes", "wqe_fetch_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.tx_processing_ns < 0 or self.rx_processing_ns < 0:
+            raise ValueError("processing times must be >= 0")

@@ -1,0 +1,108 @@
+"""Message descriptors (the paper's "MD" / InfiniBand WQE).
+
+A :class:`Message` is the unit the whole stack reasons about: it is
+created by the LLP post, carried through PCIe, fabric and target
+memory, and carries a timestamp journal that gives the simulation its
+ground truth for every stage boundary (the analytical models are
+validated against these journals *and* against the analyzer-trace
+methodology, independently).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nic.queues import QueuePair
+
+__all__ = ["Message", "MessageOp"]
+
+_message_ids = itertools.count(1)
+
+
+class MessageOp(enum.Enum):
+    """Operation semantics, mirroring the paper's two benchmark modes."""
+
+    #: RDMA write (UCX ``put``): no target-CPU involvement.
+    PUT = "put"
+    #: Active message / send-receive (UCX ``am``): target CPU polls.
+    AM = "am"
+    #: RDMA read (UCX ``get``): the initiator pulls data from the
+    #: target's memory; the target CPU is never involved.
+    GET = "get"
+    #: RDMA atomic (UCX ``atomic_fadd``-style): read-modify-write in
+    #: the target's memory, old value returned; target CPU uninvolved.
+    ATOMIC = "atomic"
+
+
+@dataclass
+class Message:
+    """One message on the critical path.
+
+    Attributes
+    ----------
+    op:
+        PUT (RDMA-write) or AM (send-receive).
+    payload_bytes:
+        Application payload size (8 bytes throughout the paper).
+    inline:
+        Payload travels inside the descriptor (no payload DMA-read).
+    pio:
+        Descriptor written by PIO copy (no descriptor DMA-read).
+    signaled:
+        Whether the NIC must DMA-write a CQE for this message.  Set by
+        completion moderation at post time.
+    recv_target:
+        Name of the target-side mailbox the payload lands in.
+    qp:
+        Owning queue pair (initiator side).
+    timestamps:
+        Journal of stage boundaries, keyed by stage name:
+        ``posted`` (LLP post began), ``pio_written`` (descriptor handed
+        to the RC), ``nic_arrival`` (descriptor reached the NIC),
+        ``wire_out`` (left the initiator NIC), ``target_nic`` (reached
+        the target NIC), ``payload_visible`` (target memory updated),
+        ``ack_rx`` (initiator NIC got the ACK), ``cqe_visible``
+        (completion readable by the initiator CPU).
+    """
+
+    op: MessageOp
+    payload_bytes: int
+    inline: bool = True
+    pio: bool = True
+    signaled: bool = True
+    recv_target: str = "recv"
+    #: Name of the destination NIC port; None = the fabric peer (the
+    #: two-node fast path).
+    dst_nic: str | None = None
+    qp: "QueuePair | None" = None
+    context: Any = None
+    timestamps: dict[str, float] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be >= 0, got {self.payload_bytes}")
+
+    def stamp(self, stage: str, time_ns: float) -> None:
+        """Record the first time ``stage`` is reached (idempotent)."""
+        self.timestamps.setdefault(stage, time_ns)
+
+    def interval(self, start: str, end: str) -> float:
+        """Elapsed ns between two recorded stages.
+
+        Raises
+        ------
+        KeyError
+            If either stage has not been stamped.
+        """
+        return self.timestamps[end] - self.timestamps[start]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Message#{self.msg_id} {self.op.value} {self.payload_bytes}B"
+            f"{' inline' if self.inline else ''}{' signaled' if self.signaled else ''}>"
+        )

@@ -1,0 +1,391 @@
+"""The NIC: PCIe endpoint on one side, fabric port on the other.
+
+Implements both §2 transmit paths (PIO+inline fast path and the
+doorbell + DMA-read path), the receive path (payload DMA-write through
+the target RC), link-level ACKs and ACK-gated completion generation
+with moderation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.network.fabric import Fabric, FrameKind, NetworkFrame
+from repro.nic.completion import CompletionModeration, Cqe
+from repro.nic.config import NicConfig
+from repro.nic.descriptor import Message, MessageOp
+from repro.nic.queues import CompletionQueue, QueuePair, TransmitQueue
+from repro.pcie.link import Direction, PcieLink
+from repro.pcie.packets import Tlp, TlpType
+from repro.pcie.root_complex import HostMemory
+from repro.sim.engine import Environment, SimulationError
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """One simulated InfiniBand adapter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: PcieLink,
+        config: NicConfig,
+        memory: HostMemory,
+        name: str = "nic",
+    ) -> None:
+        self.env = env
+        self.link = link
+        self.config = config
+        self.memory = memory
+        self.name = name
+        self.fabric: Fabric | None = None
+        self._qp_counter = itertools.count(0)
+        self._fetch_tags = itertools.count(1)
+        #: Outstanding DMA-read segments per in-flight message id.
+        self._pending_segments: dict[int, int] = {}
+        self.messages_transmitted = 0
+        self.messages_received = 0
+        link.set_receiver(Direction.DOWNSTREAM, self._on_downstream_tlp)
+
+    # -- topology ----------------------------------------------------------------
+    def attach_fabric(self, fabric: Fabric) -> None:
+        """Connect this NIC's port to the interconnect."""
+        self.fabric = fabric
+        fabric.attach(self)
+
+    @property
+    def peer_name(self) -> str:
+        """Name of the NIC on the other end of the fabric."""
+        if self.fabric is None:
+            raise SimulationError(f"{self.name}: no fabric attached")
+        return self.fabric.peer_of(self.name)
+
+    # -- CPU-facing resources -------------------------------------------------------
+    def create_qp(self, signal_period: int = 1, name: str | None = None) -> QueuePair:
+        """Create a queue pair with its TxQ and host-memory CQ."""
+        index = next(self._qp_counter)
+        qp_name = name or f"{self.name}.qp{index}"
+        txq = TransmitQueue(self.config.txq_depth, name=f"{qp_name}.txq")
+        cq_mailbox = self.memory.mailbox(f"{qp_name}.cq")
+        cq = CompletionQueue(cq_mailbox, name=f"{qp_name}.cq")
+        moderation = CompletionModeration(signal_period)
+        return QueuePair(txq, cq, moderation, name=qp_name)
+
+    # -- PCIe side (initiator data path) ----------------------------------------------
+    def _on_downstream_tlp(self, tlp: Tlp) -> None:
+        if tlp.kind is TlpType.MWR:
+            if tlp.purpose == "pio_post":
+                self._on_pio_post(tlp.message)
+            elif tlp.purpose == "doorbell":
+                self._on_doorbell(tlp.message)
+            # Other MWr purposes (e.g. config writes) are timing-neutral.
+        elif tlp.kind is TlpType.CPLD:
+            self._on_completion_data(tlp)
+
+    def _on_pio_post(self, message: Message) -> None:
+        """PIO+inline fast path: descriptor and payload already here."""
+        message.stamp("nic_arrival", self.env.now)
+        self.env.process(self._transmit(message), name=f"{self.name}.tx")
+
+    def _on_doorbell(self, message: Message) -> None:
+        """DoorBell path: fetch the descriptor via DMA read (§2 step 2)."""
+        message.stamp("nic_arrival", self.env.now)
+        self.link.send(
+            Direction.UPSTREAM,
+            Tlp(
+                kind=TlpType.MRD,
+                read_bytes=self.config.wqe_fetch_bytes,
+                purpose="md_fetch",
+                message=message,
+                tag=next(self._fetch_tags),
+            ),
+        )
+
+    def _on_completion_data(self, tlp: Tlp) -> None:
+        """A CplD answered one of our DMA reads."""
+        message: Message = tlp.message
+        if tlp.purpose == "cpld:md_fetch":
+            message.stamp("md_fetched", self.env.now)
+            if message.inline:
+                self.env.process(self._transmit(message), name=f"{self.name}.tx")
+            else:
+                # §2 step 3: fetch the payload with DMA reads, one per
+                # Max_Payload_Size segment.
+                self._dma_read_segmented(message, "payload_fetch")
+        elif tlp.purpose == "cpld:payload_fetch":
+            if self._segment_arrived(message):
+                message.stamp("payload_fetched", self.env.now)
+                self.env.process(self._transmit(message), name=f"{self.name}.tx")
+        elif tlp.purpose == "cpld:read_serve":
+            if self._segment_arrived(tlp.message):
+                self._serve_read_response(tlp.message)
+        elif tlp.purpose == "cpld:atomic_read":
+            if self._segment_arrived(tlp.message):
+                self._serve_atomic_response(tlp.message)
+
+    def _dma_read_segmented(self, message: Message, purpose: str) -> None:
+        """Issue a DMA read as Max_Payload_Size-sized MRd requests."""
+        max_payload = self.link.config.max_tlp_payload_bytes
+        segments = max(1, math.ceil(message.payload_bytes / max_payload))
+        self._pending_segments[message.msg_id] = segments
+        for index in range(segments):
+            is_last = index == segments - 1
+            size = (
+                message.payload_bytes - max_payload * index
+                if is_last
+                else max_payload
+            )
+            self.link.send(
+                Direction.UPSTREAM,
+                Tlp(
+                    kind=TlpType.MRD,
+                    read_bytes=size,
+                    purpose=purpose,
+                    message=message,
+                    tag=next(self._fetch_tags),
+                ),
+            )
+
+    def _segment_arrived(self, message: Message) -> bool:
+        """Account one CplD segment; True when the transfer completed."""
+        remaining = self._pending_segments.get(message.msg_id, 1) - 1
+        if remaining <= 0:
+            self._pending_segments.pop(message.msg_id, None)
+            return True
+        self._pending_segments[message.msg_id] = remaining
+        return False
+
+    def _transmit(self, message: Message):
+        """Launch the message onto the fabric (§2 step 4)."""
+        if self.fabric is None:
+            raise SimulationError(f"{self.name}: no fabric attached")
+        if self.config.tx_processing_ns > 0:
+            yield self.env.timeout(self.config.tx_processing_ns)
+        message.stamp("wire_out", self.env.now)
+        self.messages_transmitted += 1
+        destination = message.dst_nic or self.peer_name
+        if message.op is MessageOp.GET:
+            # A read request carries only a header; the payload comes
+            # back in the response.
+            self.fabric.send_data(
+                self.name, destination, message, 0, kind=FrameKind.READ_REQUEST
+            )
+        elif message.op is MessageOp.ATOMIC:
+            self.fabric.send_data(
+                self.name,
+                destination,
+                message,
+                message.payload_bytes,
+                kind=FrameKind.ATOMIC_REQUEST,
+            )
+        else:
+            self.fabric.send_data(
+                self.name, destination, message, message.payload_bytes
+            )
+        return None
+
+    # -- fabric side --------------------------------------------------------------
+    def on_network_frame(self, frame: NetworkFrame) -> None:
+        """Fabric delivery entry point: dispatch by frame kind."""
+        if frame.kind is FrameKind.DATA:
+            self._on_data_frame(frame)
+        elif frame.kind is FrameKind.READ_REQUEST:
+            self._on_read_request(frame)
+        elif frame.kind is FrameKind.ATOMIC_REQUEST:
+            self._on_atomic_request(frame)
+        elif frame.kind is FrameKind.READ_RESPONSE:
+            self._on_read_response(frame)
+        else:
+            self._on_ack_frame(frame)
+
+    def _on_data_frame(self, frame: NetworkFrame) -> None:
+        """Target side: ACK the frame, DMA-write the payload to memory."""
+        message: Message = frame.message
+        message.stamp("target_nic", self.env.now)
+        self.messages_received += 1
+        self.env.process(self._send_ack(frame), name=f"{self.name}.ack")
+        self.env.process(self._deliver_payload(message), name=f"{self.name}.rx")
+
+    def _send_ack(self, frame: NetworkFrame):
+        if self.fabric is None:  # pragma: no cover - attach precedes traffic
+            raise SimulationError(f"{self.name}: no fabric attached")
+        turnaround = self.fabric.config.ack_turnaround_ns
+        if turnaround > 0:
+            yield self.env.timeout(turnaround)
+        self.fabric.send_ack(frame)
+        return None
+
+    def _deliver_payload(self, message: Message):
+        """Write the received payload into host memory via the RC.
+
+        Payloads beyond the PCIe Max_Payload_Size are segmented into
+        multiple MWr TLPs; the payload is visible once the last
+        segment's RC-to-MEM completes.
+        """
+        if self.config.rx_processing_ns > 0:
+            yield self.env.timeout(self.config.rx_processing_ns)
+        mailbox = self.memory.mailbox(message.recv_target)
+
+        def deliver(msg: Message, when: float) -> None:
+            msg.stamp("payload_visible", when)
+            mailbox.try_put(msg)
+
+        self._dma_write_segmented(
+            message, message.payload_bytes, "payload_write", deliver
+        )
+        return None
+
+    def _dma_write_segmented(
+        self, message: Message, nbytes: int, purpose: str, deliver
+    ) -> None:
+        """Issue an upstream DMA write as Max_Payload_Size segments.
+
+        ``deliver`` is attached to the final segment only: visibility
+        follows the last byte.
+        """
+        max_payload = self.link.config.max_tlp_payload_bytes
+        segments = max(1, math.ceil(nbytes / max_payload))
+        for index in range(segments):
+            is_last = index == segments - 1
+            size = nbytes - max_payload * index if is_last else max_payload
+            self.link.send(
+                Direction.UPSTREAM,
+                Tlp(
+                    kind=TlpType.MWR,
+                    payload_bytes=size,
+                    purpose=purpose,
+                    message=message,
+                    deliver_to=deliver if is_last else None,
+                ),
+            )
+
+    def _on_read_request(self, frame: NetworkFrame) -> None:
+        """Target side of an RDMA read: fetch the data, respond.
+
+        The target CPU is never involved: the NIC DMA-reads the
+        requested bytes from host memory (MRd → CplD through the target
+        RC) and ships them back in a READ_RESPONSE frame.
+        """
+        message: Message = frame.message
+        message.stamp("target_nic", self.env.now)
+        self.messages_received += 1
+        self._dma_read_segmented(message, "read_serve")
+
+    def _on_atomic_request(self, frame: NetworkFrame) -> None:
+        """Target side of an RDMA atomic: read-modify-write, respond.
+
+        The NIC DMA-reads the operand location, applies the operation
+        in its adapter logic, DMA-writes the new value back, and ships
+        the *old* value to the initiator — all without the target CPU.
+        """
+        message: Message = frame.message
+        message.stamp("target_nic", self.env.now)
+        self.messages_received += 1
+        self._pending_segments[message.msg_id] = 1
+        self.link.send(
+            Direction.UPSTREAM,
+            Tlp(
+                kind=TlpType.MRD,
+                read_bytes=message.payload_bytes,
+                purpose="atomic_read",
+                message=message,
+                tag=next(self._fetch_tags),
+            ),
+        )
+
+    def _serve_atomic_response(self, message: Message) -> None:
+        """Atomic operand fetched: write back the new value, respond."""
+        message.stamp("atomic_read", self.env.now)
+        # Write the modified value back to target memory (no delivery
+        # target: the visibility that matters is the initiator's).
+        self.link.send(
+            Direction.UPSTREAM,
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=message.payload_bytes,
+                purpose="atomic_write",
+                message=message,
+            ),
+        )
+        if self.fabric is None:  # pragma: no cover - attach precedes traffic
+            raise SimulationError(f"{self.name}: no fabric attached")
+        requester = message.context if isinstance(message.context, str) else None
+        self.fabric.send_data(
+            self.name,
+            requester or self.peer_name,
+            message,
+            message.payload_bytes,
+            kind=FrameKind.READ_RESPONSE,
+        )
+
+    def _serve_read_response(self, message: Message) -> None:
+        """The CplD for a served read arrived: send the response."""
+        if self.fabric is None:  # pragma: no cover - attach precedes traffic
+            raise SimulationError(f"{self.name}: no fabric attached")
+        message.stamp("read_served", self.env.now)
+        requester = message.context if isinstance(message.context, str) else None
+        self.fabric.send_data(
+            self.name,
+            requester or self.peer_name,
+            message,
+            message.payload_bytes,
+            kind=FrameKind.READ_RESPONSE,
+        )
+
+    def _on_read_response(self, frame: NetworkFrame) -> None:
+        """Initiator side: land the pulled data, complete the read.
+
+        The response doubles as the acknowledgement — completion
+        generation does not wait for a separate ACK.
+        """
+        message: Message = frame.message
+        message.stamp("response_rx", self.env.now)
+        mailbox = self.memory.mailbox(message.recv_target)
+
+        def deliver(msg: Message, when: float) -> None:
+            msg.stamp("payload_visible", when)
+            mailbox.try_put(msg)
+
+        self._dma_write_segmented(
+            message, message.payload_bytes, "read_payload_write", deliver
+        )
+        self._complete(message)
+
+    def _on_ack_frame(self, frame: NetworkFrame) -> None:
+        """Initiator side: ACK gates completion generation (§2 step 5)."""
+        message: Message = frame.message
+        message.stamp("ack_rx", self.env.now)
+        self._complete(message)
+
+    def _complete(self, message: Message) -> None:
+        """ACK-equivalent received: run completion moderation + CQE."""
+        qp = message.qp
+        if qp is None:
+            raise SimulationError(f"completion without a queue pair: {message!r}")
+        completes = qp.on_ack(message)
+        if completes == 0:
+            return
+        cqe = Cqe(message=message, completes=completes)
+
+        def deliver(_cqe: Cqe, when: float) -> None:
+            message.stamp("cqe_visible", when)
+            qp.cq.mailbox.try_put(_cqe)
+
+        self.link.send(
+            Direction.UPSTREAM,
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=self.config.cqe_bytes,
+                purpose="cqe_write",
+                message=cqe,
+                deliver_to=deliver,
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Nic {self.name!r} tx={self.messages_transmitted}"
+            f" rx={self.messages_received}>"
+        )

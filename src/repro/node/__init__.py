@@ -1,0 +1,14 @@
+"""Node and testbed assembly.
+
+A :class:`Node` wires one CPU core, Root Complex, PCIe link, host
+memory and NIC together; a :class:`Testbed` builds the paper's §3
+evaluation setup — two ThunderX2-like nodes over InfiniBand with a PCIe
+analyzer just before node 1's NIC (Figure 3).
+"""
+
+from repro.node.cluster import Cluster
+from repro.node.config import SystemConfig
+from repro.node.node import Node
+from repro.node.testbed import Testbed
+
+__all__ = ["Cluster", "Node", "SystemConfig", "Testbed"]

@@ -1,0 +1,63 @@
+"""Multi-node cluster assembly (beyond the paper's two-node testbed).
+
+A :class:`Cluster` is N nodes on one fabric with all-pairs paths —
+the substrate for the multi-node collectives that UCP provides in the
+real stack (§5 mentions them; the paper's evaluation never needs more
+than two nodes, so this is an extension).
+"""
+
+from __future__ import annotations
+
+from repro.network.fabric import Fabric
+from repro.node.config import SystemConfig
+from repro.node.node import Node
+from repro.pcie.analyzer import PcieAnalyzer
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """N identical nodes sharing one clock and one interconnect.
+
+    The analyzer taps node 0's link (the initiator position of the
+    paper's Figure 3 generalised).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        config: SystemConfig | None = None,
+        record_samples: bool = False,
+        analyzer_enabled: bool = True,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError(f"a cluster needs at least two nodes, got {n_nodes}")
+        self.config = config or SystemConfig.paper_testbed()
+        self.env = Environment()
+        self.streams = RandomStreams(seed=self.config.seed)
+        self.nodes: list[Node] = [
+            Node(
+                self.env,
+                self.config,
+                self.streams,
+                f"node{index}",
+                record_samples=record_samples,
+            )
+            for index in range(n_nodes)
+        ]
+        self.fabric = Fabric(self.env, self.config.network)
+        for node in self.nodes:
+            node.nic.attach_fabric(self.fabric)
+        self.analyzer = PcieAnalyzer(self.nodes[0].link, capture=analyzer_enabled)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def run(self, until=None):
+        """Advance the simulation (see :meth:`Environment.run`)."""
+        return self.env.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster nodes={len(self.nodes)} t={self.env.now:.0f}ns>"

@@ -1,0 +1,88 @@
+"""Top-level system configuration.
+
+One :class:`SystemConfig` describes an entire two-node testbed: CPU
+segment costs, PCIe fabric, NIC, interconnect and the noise model.  The
+default instance reproduces the paper's ThunderX2 + ConnectX-4 +
+InfiniBand system (Table 1); what-if scenarios are expressed as derived
+configs via :meth:`SystemConfig.evolve`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cpu.costs import SegmentCosts
+from repro.cpu.memory import MemoryModel
+from repro.network.config import NetworkConfig
+from repro.nic.config import NicConfig
+from repro.pcie.config import PcieConfig
+from repro.sim.rng import JitterModel
+
+__all__ = ["SystemConfig"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a :class:`~repro.node.testbed.Testbed`.
+
+    Attributes
+    ----------
+    costs:
+        Software segment durations (Table 1 ground truth).
+    memory:
+        Normal vs Device-GRE write costs.
+    pcie / nic / network:
+        Hardware substrate parameters.
+    jitter:
+        Noise model for CPU segment durations.
+    timer_overhead_ns / timer_overhead_std_ns:
+        UCS-profiling measurement overhead (§3: 49.69 ± 1.48 ns).
+    seed:
+        Root seed for all random streams.
+    deterministic:
+        When True every duration equals its mean — used by unit tests
+        and by model-validation runs that must be exact.
+    """
+
+    costs: SegmentCosts = field(default_factory=SegmentCosts)
+    memory: MemoryModel = field(default_factory=MemoryModel)
+    pcie: PcieConfig = field(default_factory=PcieConfig)
+    nic: NicConfig = field(default_factory=NicConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    jitter: JitterModel = field(default_factory=JitterModel)
+    timer_overhead_ns: float = 49.69
+    timer_overhead_std_ns: float = 1.48
+    seed: int = 2019
+    deterministic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timer_overhead_ns < 0 or self.timer_overhead_std_ns < 0:
+            raise ValueError("timer overheads must be >= 0")
+
+    @classmethod
+    def paper_testbed(cls, seed: int = 2019, deterministic: bool = False) -> "SystemConfig":
+        """The paper's §3 system: TX2 + ConnectX-4 + switched InfiniBand."""
+        return cls(seed=seed, deterministic=deterministic)
+
+    @classmethod
+    def paper_testbed_direct(cls, seed: int = 2019, deterministic: bool = False) -> "SystemConfig":
+        """Same system with the NICs cabled directly (no switch) —
+        the configuration used for the Wire measurement in §4.3."""
+        base = cls(seed=seed, deterministic=deterministic)
+        return base.evolve(network=base.network.without_switch())
+
+    def evolve(self, **overrides: Any) -> "SystemConfig":
+        """A copy with top-level fields replaced (what-if scenarios)."""
+        return dataclasses.replace(self, **overrides)
+
+    def effective_jitter(self) -> JitterModel:
+        """The jitter model honouring the ``deterministic`` switch."""
+        return JitterModel.deterministic() if self.deterministic else self.jitter
+
+    def effective_timer_overhead(self) -> tuple[float, float]:
+        """(mean, std) of the measurement overhead for this config."""
+        if self.deterministic:
+            return self.timer_overhead_ns, 0.0
+        return self.timer_overhead_ns, self.timer_overhead_std_ns

@@ -1,0 +1,61 @@
+"""The two-node evaluation setup of §3 (Figure 3).
+
+Node 1 is the initiator; a passive PCIe analyzer sits just before its
+NIC.  Both nodes share one simulation clock and one fabric.
+"""
+
+from __future__ import annotations
+
+from repro.network.fabric import Fabric
+from repro.node.config import SystemConfig
+from repro.node.node import Node
+from repro.pcie.analyzer import PcieAnalyzer
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Testbed"]
+
+
+class Testbed:
+    """Two nodes, one interconnect, one analyzer on node 1."""
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        record_samples: bool = False,
+        analyzer_enabled: bool = True,
+    ) -> None:
+        self.config = config or SystemConfig.paper_testbed()
+        self.env = Environment()
+        self.streams = RandomStreams(seed=self.config.seed)
+        self.node1 = Node(
+            self.env, self.config, self.streams, "node1", record_samples=record_samples
+        )
+        self.node2 = Node(
+            self.env, self.config, self.streams, "node2", record_samples=record_samples
+        )
+        self.fabric = Fabric(self.env, self.config.network)
+        self.node1.nic.attach_fabric(self.fabric)
+        self.node2.nic.attach_fabric(self.fabric)
+        #: The Lecroy stand-in: a passive tap on node 1's PCIe link.
+        self.analyzer = PcieAnalyzer(self.node1.link, capture=analyzer_enabled)
+
+    @property
+    def initiator(self) -> Node:
+        """Node 1: the sender in all the paper's experiments."""
+        return self.node1
+
+    @property
+    def target(self) -> Node:
+        """Node 2: the receiver."""
+        return self.node2
+
+    def run(self, until=None):
+        """Advance the simulation (see :meth:`Environment.run`)."""
+        return self.env.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Testbed t={self.env.now:.0f}ns>"

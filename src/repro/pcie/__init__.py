@@ -1,0 +1,40 @@
+"""PCI Express subsystem model.
+
+Implements the subset of PCIe the paper's methodology depends on
+(§2, §4.3):
+
+* Transaction Layer Packets — Memory Write (MWr), Memory Read (MRd) and
+  Completion-with-Data (CplD);
+* Data Link Layer Packets — ACK/NACK and UpdateFC, including the
+  credit-based flow control that lets the Root Complex pipeline multiple
+  outstanding transactions;
+* a Root Complex that executes CPU MMIO writes as downstream MWr TLPs,
+  DMA-writes upstream MWr payloads into host memory (the paper's
+  ``RC-to-MEM(xB)``), and answers MRd with CplD;
+* a dual-simplex link with a configurable one-way latency (137.49 ns for
+  a 64-byte TLP in the paper's testbed);
+* a passive protocol analyzer tap positioned "just before the NIC",
+  recording timestamped traffic in both directions — the simulated
+  equivalent of the Teledyne Lecroy analyzer.
+"""
+
+from repro.pcie.analyzer import PcieAnalyzer, TraceRecord
+from repro.pcie.config import PcieConfig
+from repro.pcie.link import CreditPool, Direction, PcieLink
+from repro.pcie.packets import Dllp, DllpType, Tlp, TlpType
+from repro.pcie.root_complex import HostMemory, RootComplex
+
+__all__ = [
+    "CreditPool",
+    "Direction",
+    "Dllp",
+    "DllpType",
+    "HostMemory",
+    "PcieAnalyzer",
+    "PcieConfig",
+    "PcieLink",
+    "RootComplex",
+    "Tlp",
+    "TlpType",
+    "TraceRecord",
+]

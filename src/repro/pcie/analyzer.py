@@ -1,0 +1,106 @@
+"""The simulated PCIe protocol analyzer.
+
+The paper places a Teledyne Lecroy analyzer "just before the NIC on
+node 1" (§3, Figure 3): a passive instrument that timestamps every TLP
+and DLLP without perturbing traffic.  :class:`PcieAnalyzer` is its
+simulated twin — it subscribes to a :class:`~repro.pcie.link.PcieLink`
+tap and accumulates :class:`TraceRecord` entries that the analysis
+package post-processes exactly as the paper post-processes Lecroy
+traces (filter by direction, pair MWr→ACK, delta consecutive arrivals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.pcie.link import Direction, PcieLink
+from repro.pcie.packets import Dllp, Tlp
+
+__all__ = ["PcieAnalyzer", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped packet observation at the analyzer's tap point.
+
+    ``timestamp_ns`` is the time the packet passed the tap: arrival at
+    the NIC for downstream packets, departure from the NIC for upstream
+    packets — matching the physical position of the instrument.
+    """
+
+    timestamp_ns: float
+    direction: Direction
+    packet: Any
+
+    @property
+    def is_tlp(self) -> bool:
+        """True when the observed packet is a Transaction Layer Packet."""
+        return isinstance(self.packet, Tlp)
+
+    @property
+    def is_dllp(self) -> bool:
+        """True when the observed packet is a Data Link Layer Packet."""
+        return isinstance(self.packet, Dllp)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Data bytes carried (0 for DLLPs and MRd requests)."""
+        return self.packet.payload_bytes if isinstance(self.packet, Tlp) else 0
+
+    @property
+    def purpose(self) -> str:
+        """The data-path role label of a TLP ('' for DLLPs)."""
+        return self.packet.purpose if isinstance(self.packet, Tlp) else ""
+
+
+class PcieAnalyzer:
+    """Passive trace capture on one PCIe link.
+
+    Parameters
+    ----------
+    link:
+        The link to observe.  Attaching never alters link timing — the
+        paper verified the physical analyzer is overhead-free and the
+        simulated one trivially is.
+    capture:
+        When False the analyzer is attached but discards records
+        (placebo mode, used by tests asserting zero perturbation).
+    """
+
+    def __init__(self, link: PcieLink, capture: bool = True) -> None:
+        self.link = link
+        self.capture = capture
+        self.records: list[TraceRecord] = []
+        link.add_tap(self._observe)
+
+    def _observe(self, timestamp: float, direction: Direction, packet: Any) -> None:
+        if self.capture:
+            self.records.append(TraceRecord(timestamp, direction, packet))
+
+    # -- convenience filters (mirroring Lecroy trace post-processing) -------
+    def tlps(self, direction: Direction | None = None) -> list[TraceRecord]:
+        """All TLP records, optionally restricted to one direction."""
+        return [
+            r
+            for r in self.records
+            if r.is_tlp and (direction is None or r.direction is direction)
+        ]
+
+    def dllps(self, direction: Direction | None = None) -> list[TraceRecord]:
+        """All DLLP records, optionally restricted to one direction."""
+        return [
+            r
+            for r in self.records
+            if r.is_dllp and (direction is None or r.direction is direction)
+        ]
+
+    def clear(self) -> None:
+        """Drop captured records (e.g. after benchmark warmup)."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PcieAnalyzer records={len(self.records)}>"

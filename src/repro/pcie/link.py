@@ -1,0 +1,423 @@
+"""Dual-simplex PCIe link with ACK DLLPs and credit-based flow control.
+
+The link connects two ports — the Root Complex (upstream side) and an
+endpoint such as the NIC (downstream side).  Each transmitted TLP:
+
+1. waits for transmit credits of its class (posted / non-posted /
+   completion), queueing FIFO when exhausted;
+2. traverses the link in ``config.tlp_latency(payload)`` nanoseconds;
+3. is handed to the receiving side's handler;
+4. is acknowledged with an ACK DLLP after ``ack_processing_ns``; and
+5. eventually has its credits returned to the transmitter via an
+   UpdateFC DLLP (batched on a lazy timer).
+
+A passive tap (the simulated PCIe analyzer) can observe every packet at
+the *endpoint end* of the link — "just before the NIC", like the
+paper's Lecroy analyzer: downstream packets are timestamped at arrival,
+upstream packets at departure.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+from repro.pcie.config import PcieConfig
+from repro.pcie.packets import Dllp, DllpType, Tlp, TlpType
+from repro.sim.engine import Environment, Event, SimulationError
+from repro.sim.resources import Resource
+
+__all__ = ["CreditPool", "Direction", "PcieLink"]
+
+#: Size of one PCIe data credit unit, in bytes.
+CREDIT_UNIT_BYTES = 16
+
+
+class Direction(enum.Enum):
+    """Transfer direction relative to the Root Complex."""
+
+    #: RC → endpoint (doorbells, PIO posts, CplD for NIC reads).
+    DOWNSTREAM = "downstream"
+    #: Endpoint → RC (DMA reads/writes, completions to memory).
+    UPSTREAM = "upstream"
+
+    @property
+    def opposite(self) -> "Direction":
+        """The reverse direction."""
+        return (
+            Direction.UPSTREAM
+            if self is Direction.DOWNSTREAM
+            else Direction.DOWNSTREAM
+        )
+
+
+def data_credits_for(payload_bytes: int) -> int:
+    """Number of 16-byte data credit units a payload consumes."""
+    return math.ceil(payload_bytes / CREDIT_UNIT_BYTES)
+
+
+class CreditPool:
+    """Transmit credits for one TLP class in one direction."""
+
+    def __init__(self, headers: int, data: int, name: str = "credits") -> None:
+        if headers <= 0 or data <= 0:
+            raise SimulationError("credit pools must start positive")
+        self.max_headers = headers
+        self.max_data = data
+        self.headers = headers
+        self.data = data
+        self.name = name
+        #: Number of sends that had to wait for credits (stat for the
+        #: paper's observation that one core never exhausts credits).
+        self.stalls = 0
+
+    def can_consume(self, tlp: Tlp) -> bool:
+        """Whether enough header and data credits remain for ``tlp``."""
+        return self.headers >= 1 and self.data >= data_credits_for(tlp.payload_bytes)
+
+    def consume(self, tlp: Tlp) -> None:
+        """Take the credits ``tlp`` needs (caller checked availability)."""
+        if not self.can_consume(tlp):
+            raise SimulationError(f"{self.name}: consuming unavailable credits")
+        self.headers -= 1
+        self.data -= data_credits_for(tlp.payload_bytes)
+
+    def replenish(self, headers: int, data: int) -> None:
+        """Return credits (UpdateFC), capped at the advertised maxima."""
+        self.headers = min(self.max_headers, self.headers + headers)
+        self.data = min(self.max_data, self.data + data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CreditPool {self.name!r} hdr={self.headers} data={self.data}>"
+
+
+def _credit_class(tlp: Tlp) -> str:
+    if tlp.kind is TlpType.MWR:
+        return "posted"
+    if tlp.kind is TlpType.MRD:
+        return "nonposted"
+    return "completion"
+
+
+class _Port:
+    """One transmit side of the link (credits, seq numbers, queue)."""
+
+    def __init__(self, link: "PcieLink", direction: Direction) -> None:
+        config = link.config
+        self.link = link
+        self.direction = direction
+        self.pools = {
+            "posted": CreditPool(
+                config.posted_header_credits,
+                config.posted_data_credits,
+                name=f"{direction.value}.posted",
+            ),
+            "nonposted": CreditPool(
+                config.nonposted_header_credits,
+                config.nonposted_data_credits,
+                name=f"{direction.value}.nonposted",
+            ),
+            "completion": CreditPool(
+                config.completion_header_credits,
+                config.completion_data_credits,
+                name=f"{direction.value}.completion",
+            ),
+        }
+        self.backlog: deque[tuple[Tlp, Event]] = deque()
+        self.next_seq = 0
+        #: Data Link layer replay buffer: sent-but-unacknowledged TLPs,
+        #: keyed by sequence number (§2's "successful execution of all
+        #: transactions using ACK/NACK").
+        self.replay: dict[int, Tlp] = {}
+        #: Receiver-side Data Link state for this direction.
+        self.rx_expected_seq = 0
+        self.rx_nack_outstanding = False
+        #: Diagnostics.
+        self.corrupted = 0
+        self.retransmissions = 0
+        #: REPLAY_TIMER watchdog state (fault-injection runs only).
+        self.watchdog_running = False
+        #: Transmit serialiser, created only for finite-bandwidth links
+        #: so the paper's latency-only configuration is untouched.
+        self.serialiser = (
+            None
+            if math.isinf(config.bandwidth_bytes_per_ns)
+            else Resource(link.env, capacity=1, name=f"pcie.{direction.value}.tx")
+        )
+        #: Credits freed on the *receive* side of this direction, waiting
+        #: to be returned to the transmitter via UpdateFC.
+        self.pending_return: dict[str, list[int]] = {
+            "posted": [0, 0],
+            "nonposted": [0, 0],
+            "completion": [0, 0],
+        }
+        self.updatefc_scheduled = False
+
+
+class PcieLink:
+    """The PCIe link between a Root Complex and one endpoint.
+
+    The Data Link layer is modelled per §2: every TLP is acknowledged
+    with an ACK DLLP; a corrupted TLP (LCRC failure, probability
+    ``config.tlp_corruption_prob``) is dropped and NACKed, triggering a
+    go-back-N replay from the transmitter's replay buffer.  DLLPs
+    themselves are assumed error-free (a documented simplification — the
+    ACK-timeout recovery path is not modelled).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: PcieConfig,
+        name: str = "pcie",
+        rng=None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.name = name
+        #: Random stream for fault injection; only consulted when
+        #: ``config.tlp_corruption_prob > 0`` so healthy-link runs stay
+        #: bit-identical with or without a generator.
+        self.rng = rng
+        self._ports = {
+            Direction.DOWNSTREAM: _Port(self, Direction.DOWNSTREAM),
+            Direction.UPSTREAM: _Port(self, Direction.UPSTREAM),
+        }
+        self._receivers: dict[Direction, Callable[[Tlp], None] | None] = {
+            Direction.DOWNSTREAM: None,
+            Direction.UPSTREAM: None,
+        }
+        self._taps: list[Callable[[float, Direction, Any], None]] = []
+        self.tlps_delivered = {Direction.DOWNSTREAM: 0, Direction.UPSTREAM: 0}
+
+    # -- wiring ---------------------------------------------------------------
+    def set_receiver(self, direction: Direction, handler: Callable[[Tlp], None]) -> None:
+        """Install the handler invoked when a TLP arrives at ``direction``'s end."""
+        self._receivers[direction] = handler
+
+    def add_tap(self, tap: Callable[[float, Direction, Any], None]) -> None:
+        """Attach a passive observer at the endpoint end of the link.
+
+        The tap is called as ``tap(timestamp, direction, packet)`` for
+        every TLP and DLLP: downstream packets at their arrival time at
+        the endpoint, upstream packets at their departure time from it.
+        """
+        self._taps.append(tap)
+
+    def _tap(self, timestamp: float, direction: Direction, packet: Any) -> None:
+        for tap in self._taps:
+            tap(timestamp, direction, packet)
+
+    # -- credit stats -----------------------------------------------------------
+    def credit_stalls(self, direction: Direction) -> int:
+        """Total sends in ``direction`` that had to wait for credits."""
+        return sum(pool.stalls for pool in self._ports[direction].pools.values())
+
+    def pool(self, direction: Direction, credit_class: str) -> CreditPool:
+        """Access a transmit credit pool (for tests and ablations)."""
+        return self._ports[direction].pools[credit_class]
+
+    # -- transmission ----------------------------------------------------------
+    def send(self, direction: Direction, tlp: Tlp) -> Event:
+        """Transmit ``tlp`` in ``direction``.
+
+        Returns an event that fires when the link accepts the TLP
+        (credits granted and serialization started).  Delivery, ACK and
+        credit return proceed asynchronously.
+        """
+        port = self._ports[direction]
+        accepted = Event(self.env)
+        credit_class = _credit_class(tlp)
+        pool = port.pools[credit_class]
+        if port.backlog or not pool.can_consume(tlp):
+            pool.stalls += 1
+            port.backlog.append((tlp, accepted))
+        else:
+            self._launch(port, tlp, accepted)
+        return accepted
+
+    def _launch(self, port: _Port, tlp: Tlp, accepted: Event) -> None:
+        pool = port.pools[_credit_class(tlp)]
+        pool.consume(tlp)
+        tlp.seq = port.next_seq
+        port.next_seq += 1
+        port.replay[tlp.seq] = tlp
+        accepted.succeed(self.env.now)
+        self._put_on_wire(port, tlp)
+        if self.config.tlp_corruption_prob > 0 and not port.watchdog_running:
+            port.watchdog_running = True
+            self.env.process(self._replay_watchdog(port), name=f"{self.name}.watchdog")
+
+    def _put_on_wire(self, port: _Port, tlp: Tlp) -> None:
+        """Start one traversal (first transmission or replay)."""
+        if port.direction is Direction.UPSTREAM:
+            # Tap sits just before the endpoint: upstream packets are
+            # observed as they leave the endpoint.
+            self._tap(self.env.now, port.direction, tlp)
+        self.env.process(self._deliver(port, tlp), name=f"{self.name}.deliver")
+
+    def _corrupt(self) -> bool:
+        prob = self.config.tlp_corruption_prob
+        if prob <= 0 or self.rng is None:
+            return False
+        return bool(self.rng.random() < prob)
+
+    def _deliver(self, port: _Port, tlp: Tlp):
+        if port.serialiser is not None:
+            yield port.serialiser.request()
+            serialize = tlp.payload_bytes / self.config.bandwidth_bytes_per_ns
+            if serialize > 0:
+                yield self.env.timeout(serialize)
+            port.serialiser.release()
+            yield self.env.timeout(self.config.base_latency_ns)
+        else:
+            yield self.env.timeout(self.config.tlp_latency(tlp.payload_bytes))
+        direction = port.direction
+        if self._corrupt():
+            # LCRC failure: discard and NACK (once per error window).
+            port.corrupted += 1
+            if not port.rx_nack_outstanding:
+                port.rx_nack_outstanding = True
+                self.env.process(
+                    self._send_nack(port, port.rx_expected_seq - 1),
+                    name=f"{self.name}.nack",
+                )
+            return
+        if tlp.seq is not None and tlp.seq != port.rx_expected_seq:
+            if tlp.seq < port.rx_expected_seq:
+                # Duplicate from an over-eager replay: drop, re-ACK so the
+                # transmitter clears its buffer.
+                self.env.process(
+                    self._acknowledge(direction, tlp), name=f"{self.name}.ack"
+                )
+            elif not port.rx_nack_outstanding:
+                # Gap: a predecessor was lost; NACK the last good one.
+                port.rx_nack_outstanding = True
+                self.env.process(
+                    self._send_nack(port, port.rx_expected_seq - 1),
+                    name=f"{self.name}.nack",
+                )
+            return
+        if tlp.seq is not None:
+            port.rx_expected_seq = tlp.seq + 1
+            port.rx_nack_outstanding = False
+        if direction is Direction.DOWNSTREAM:
+            self._tap(self.env.now, direction, tlp)
+        self.tlps_delivered[direction] += 1
+        receiver = self._receivers[direction]
+        if receiver is not None:
+            receiver(tlp)
+        # Link-layer ACK back to the transmitter.
+        self.env.process(self._acknowledge(direction, tlp), name=f"{self.name}.ack")
+        # Queue the freed credits for return via UpdateFC.
+        credit_class = _credit_class(tlp)
+        pending = port.pending_return[credit_class]
+        pending[0] += 1
+        pending[1] += data_credits_for(tlp.payload_bytes)
+        if not port.updatefc_scheduled:
+            port.updatefc_scheduled = True
+            self.env.process(self._return_credits(port), name=f"{self.name}.updatefc")
+
+    def _acknowledge(self, direction: Direction, tlp: Tlp):
+        if self.config.ack_processing_ns > 0:
+            yield self.env.timeout(self.config.ack_processing_ns)
+        ack = Dllp(kind=DllpType.ACK, acked_seq=tlp.seq)
+        if direction is Direction.UPSTREAM:
+            # ACK for an upstream TLP travels downstream; observed at the
+            # endpoint on arrival.
+            yield self.env.timeout(self.config.tlp_latency(0))
+            self._tap(self.env.now, Direction.DOWNSTREAM, ack)
+        else:
+            # ACK for a downstream TLP leaves the endpoint immediately.
+            self._tap(self.env.now, Direction.UPSTREAM, ack)
+            yield self.env.timeout(self.config.tlp_latency(0))
+        self._on_ack(direction, tlp.seq)
+
+    def _on_ack(self, direction: Direction, acked_seq: int | None) -> None:
+        """Cumulative acknowledgement: clear the replay buffer ≤ seq."""
+        if acked_seq is None:
+            return
+        port = self._ports[direction]
+        for seq in [s for s in port.replay if s <= acked_seq]:
+            del port.replay[seq]
+
+    def _send_nack(self, port: _Port, last_good_seq: int):
+        """NACK DLLP: "resend everything after last_good_seq"."""
+        nack = Dllp(kind=DllpType.NACK, acked_seq=last_good_seq)
+        if port.direction is Direction.UPSTREAM:
+            yield self.env.timeout(self.config.tlp_latency(0))
+            self._tap(self.env.now, Direction.DOWNSTREAM, nack)
+        else:
+            self._tap(self.env.now, Direction.UPSTREAM, nack)
+            yield self.env.timeout(self.config.tlp_latency(0))
+        yield self.env.timeout(self.config.replay_delay_ns)
+        # Go-back-N: clear up to the last good seq, replay the rest in
+        # sequence order.
+        self._on_ack(port.direction, last_good_seq)
+        for seq in sorted(port.replay):
+            port.retransmissions += 1
+            self._put_on_wire(port, port.replay[seq])
+
+    def _replay_watchdog(self, port: _Port):
+        """The REPLAY_TIMER: replay unprompted when recovery stalls.
+
+        Runs only on fault-injection configurations; exits once the
+        replay buffer drains so healthy quiescent links hold no live
+        processes.
+        """
+        last_floor: int | None = None
+        while port.replay:
+            floor = min(port.replay)
+            yield self.env.timeout(self.config.replay_timeout_ns)
+            if not port.replay:
+                break
+            if min(port.replay) == floor == last_floor:
+                # No progress across a full timeout window: replay.
+                for seq in sorted(port.replay):
+                    port.retransmissions += 1
+                    self._put_on_wire(port, port.replay[seq])
+            last_floor = floor
+        port.watchdog_running = False
+
+    def corruption_stats(self, direction: Direction) -> tuple[int, int]:
+        """(corrupted TLPs, retransmissions) for ``direction``."""
+        port = self._ports[direction]
+        return port.corrupted, port.retransmissions
+
+    def _return_credits(self, port: _Port):
+        yield self.env.timeout(self.config.update_fc_interval_ns)
+        port.updatefc_scheduled = False
+        for credit_class, pending in port.pending_return.items():
+            headers, data = pending
+            if headers == 0 and data == 0:
+                continue
+            pending[0] = 0
+            pending[1] = 0
+            update = Dllp(
+                kind=DllpType.UPDATE_FC, header_credits=headers, data_credits=data
+            )
+            # The UpdateFC travels back to the transmitter of this
+            # direction; observe it at the endpoint end.
+            if port.direction is Direction.DOWNSTREAM:
+                self._tap(self.env.now, Direction.UPSTREAM, update)
+                yield self.env.timeout(self.config.tlp_latency(0))
+            else:
+                yield self.env.timeout(self.config.tlp_latency(0))
+                self._tap(self.env.now, Direction.DOWNSTREAM, update)
+            port.pools[credit_class].replenish(headers, data)
+        self._drain_backlog(port)
+
+    def _drain_backlog(self, port: _Port) -> None:
+        while port.backlog:
+            tlp, accepted = port.backlog[0]
+            pool = port.pools[_credit_class(tlp)]
+            if not pool.can_consume(tlp):
+                break
+            port.backlog.popleft()
+            self._launch(port, tlp, accepted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PcieLink {self.name!r} lat={self.config.base_latency_ns}ns>"

@@ -1,0 +1,115 @@
+"""PCIe packet types: TLPs and DLLPs.
+
+Only the fields the measurement methodology needs are modelled: packet
+kind, payload size, a free-form ``purpose`` label (doorbell, pio_post,
+cqe_write, ...) used by trace filters, and an optional reference to the
+higher-level message the packet carries.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Dllp", "DllpType", "Tlp", "TlpType"]
+
+_tlp_ids = itertools.count(1)
+_dllp_ids = itertools.count(1)
+
+
+class TlpType(enum.Enum):
+    """Transaction Layer Packet kinds used on the data path (§2)."""
+
+    #: Posted Memory Write — doorbells, PIO posts, DMA writes.
+    MWR = "MWr"
+    #: Non-posted Memory Read — DMA reads of descriptors/payloads.
+    MRD = "MRd"
+    #: Completion with Data — the response to an MRd.
+    CPLD = "CplD"
+
+
+class DllpType(enum.Enum):
+    """Data Link Layer Packet kinds."""
+
+    ACK = "Ack"
+    NACK = "Nak"
+    #: Update Flow Control — replenishes the transmitter's credits.
+    UPDATE_FC = "UpdateFC"
+
+
+@dataclass
+class Tlp:
+    """One Transaction Layer Packet.
+
+    Attributes
+    ----------
+    kind:
+        MWr / MRd / CplD.
+    payload_bytes:
+        Data payload carried (0 for MRd requests).
+    read_bytes:
+        For MRd: how many bytes the initiator wants back.
+    purpose:
+        Data-path role, e.g. ``"pio_post"``, ``"doorbell"``,
+        ``"cqe_write"``, ``"payload_write"``, ``"md_fetch"``.
+    message:
+        The higher-level message object this packet belongs to, if any.
+    tag:
+        Transaction tag linking an MRd to its CplD.
+    seq:
+        Link-layer sequence number, set by the transmitting link port
+        and echoed in the ACK DLLP.
+    """
+
+    kind: TlpType
+    payload_bytes: int = 0
+    read_bytes: int = 0
+    purpose: str = ""
+    message: Any = None
+    tag: int | None = None
+    seq: int | None = None
+    #: Where a DMA-written payload lands: a Store-like (``try_put``) or a
+    #: ``callable(message, timestamp)`` invoked once host memory is
+    #: updated (after the RC-to-MEM delay).
+    deliver_to: Any = None
+    tlp_id: int = field(default_factory=lambda: next(_tlp_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be >= 0, got {self.payload_bytes}")
+        if self.read_bytes < 0:
+            raise ValueError(f"read_bytes must be >= 0, got {self.read_bytes}")
+        if self.kind is TlpType.MRD and self.payload_bytes:
+            raise ValueError("an MRd request carries no data payload")
+
+    @property
+    def is_posted(self) -> bool:
+        """Posted transactions (MWr) consume no completion credits."""
+        return self.kind is TlpType.MWR
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" {self.purpose}" if self.purpose else ""
+        return f"<TLP#{self.tlp_id} {self.kind.value} {self.payload_bytes}B{extra}>"
+
+
+@dataclass
+class Dllp:
+    """One Data Link Layer Packet."""
+
+    kind: DllpType
+    #: Sequence number being acknowledged (ACK/NACK).
+    acked_seq: int | None = None
+    #: Credits returned (UpdateFC), in header/data units.
+    header_credits: int = 0
+    data_credits: int = 0
+    dllp_id: int = field(default_factory=lambda: next(_dllp_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is DllpType.UPDATE_FC:
+            return (
+                f"<DLLP#{self.dllp_id} UpdateFC hdr={self.header_credits}"
+                f" data={self.data_credits}>"
+            )
+        return f"<DLLP#{self.dllp_id} {self.kind.value} seq={self.acked_seq}>"

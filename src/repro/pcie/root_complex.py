@@ -1,0 +1,147 @@
+"""The Root Complex: the conductor of the PCIe subsystem (§2).
+
+The Root Complex (RC) connects the processor and memory to the PCIe
+fabric.  On the paper's data path it does three things:
+
+* turns CPU MMIO stores (doorbell rings, PIO copies) into downstream
+  MWr TLPs — "considering that the RC is implemented with hardware
+  logic, the time it takes to generate a transaction would be in the
+  order of a few cycles" (§4.2), so this costs
+  ``rc_mmio_processing_ns`` (0 by default);
+* executes upstream MWr TLPs as DMA writes into host memory, taking
+  ``RC-to-MEM(xB)`` before the payload becomes visible to a polling
+  CPU — the dominant target-side I/O cost in the paper's breakdown;
+* answers upstream MRd TLPs with CplD after the memory read latency
+  (only exercised by the non-inline doorbell+DMA path).
+"""
+
+from __future__ import annotations
+
+from repro.pcie.config import PcieConfig
+from repro.pcie.link import Direction, PcieLink
+from repro.pcie.packets import Tlp, TlpType
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Store
+
+__all__ = ["HostMemory", "RootComplex"]
+
+
+class HostMemory:
+    """Named mailboxes standing in for DMA-visible host memory.
+
+    A mailbox is a FIFO :class:`~repro.sim.resources.Store`: the RC
+    delivers completed DMA writes into it, and software polls it.  Real
+    addresses are irrelevant to the timing study, so locations are
+    simply names ("cq0", "recv_buffer", ...).
+    """
+
+    def __init__(self, env: Environment, name: str = "mem") -> None:
+        self.env = env
+        self.name = name
+        self._mailboxes: dict[str, Store] = {}
+
+    def mailbox(self, name: str) -> Store:
+        """Return (creating if needed) the mailbox called ``name``."""
+        box = self._mailboxes.get(name)
+        if box is None:
+            box = Store(self.env, name=f"{self.name}.{name}")
+            self._mailboxes[name] = box
+        return box
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HostMemory {self.name!r} mailboxes={len(self._mailboxes)}>"
+
+
+class RootComplex:
+    """Root Complex model bridging CPU/memory and the PCIe link."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: PcieLink,
+        config: PcieConfig,
+        memory: HostMemory,
+        name: str = "rc",
+    ) -> None:
+        self.env = env
+        self.link = link
+        self.config = config
+        self.memory = memory
+        self.name = name
+        self.mmio_writes = 0
+        self.dma_writes = 0
+        self.dma_reads = 0
+        link.set_receiver(Direction.UPSTREAM, self._on_upstream_tlp)
+
+    # -- CPU-facing side -------------------------------------------------------
+    def mmio_write(self, tlp: Tlp) -> Event:
+        """Issue a CPU store to device memory as a downstream MWr.
+
+        The CPU does not wait: posted writes drain from the store buffer
+        asynchronously (the CPU-side cost — the PIO copy to Device-GRE
+        memory — is paid on the :class:`~repro.cpu.core.CpuCore`).
+
+        Returns the link-acceptance event (used by credit tests).
+        """
+        if tlp.kind is not TlpType.MWR:
+            raise ValueError(f"MMIO writes must be MWr TLPs, got {tlp.kind}")
+        self.mmio_writes += 1
+        if self.config.rc_mmio_processing_ns > 0:
+            accepted = Event(self.env)
+            self.env.process(self._delayed_mmio(tlp, accepted), name=f"{self.name}.mmio")
+            return accepted
+        return self.link.send(Direction.DOWNSTREAM, tlp)
+
+    def _delayed_mmio(self, tlp: Tlp, accepted: Event):
+        yield self.env.timeout(self.config.rc_mmio_processing_ns)
+        inner = self.link.send(Direction.DOWNSTREAM, tlp)
+        yield inner
+        accepted.succeed(inner.value)
+
+    # -- endpoint-facing side ----------------------------------------------------
+    def _on_upstream_tlp(self, tlp: Tlp) -> None:
+        if tlp.kind is TlpType.MWR:
+            self.env.process(self._dma_write(tlp), name=f"{self.name}.dma_write")
+        elif tlp.kind is TlpType.MRD:
+            self.env.process(self._dma_read(tlp), name=f"{self.name}.dma_read")
+        # CplD upstream would answer an RC-initiated read; the modelled
+        # data path never issues one.
+
+    def _dma_write(self, tlp: Tlp):
+        """Execute an endpoint DMA write: RC-to-MEM(xB) then visibility."""
+        yield self.env.timeout(self.config.rc_to_mem(tlp.payload_bytes))
+        self.dma_writes += 1
+        self._deliver(tlp)
+
+    def _deliver(self, tlp: Tlp) -> None:
+        target = tlp.deliver_to
+        if target is None:
+            return
+        if callable(target):
+            target(tlp.message, self.env.now)
+        elif hasattr(target, "try_put"):
+            target.try_put(tlp.message)
+        else:
+            raise TypeError(
+                f"deliver_to must be callable or Store-like, got {type(target).__name__}"
+            )
+
+    def _dma_read(self, tlp: Tlp):
+        """Answer an endpoint DMA read with a CplD after the memory read."""
+        yield self.env.timeout(self.config.mem_read_ns)
+        self.dma_reads += 1
+        completion = Tlp(
+            kind=TlpType.CPLD,
+            payload_bytes=tlp.read_bytes,
+            purpose=f"cpld:{tlp.purpose}",
+            message=tlp.message,
+            tag=tlp.tag,
+            deliver_to=tlp.deliver_to,
+        )
+        self.link.send(Direction.DOWNSTREAM, completion)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RootComplex {self.name!r} mmio={self.mmio_writes}"
+            f" dmaW={self.dma_writes} dmaR={self.dma_reads}>"
+        )

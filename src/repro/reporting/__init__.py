@@ -1,0 +1,33 @@
+"""Rendering of the paper's tables and figures as text.
+
+* :mod:`repro.reporting.tables` — Table 1 and generic (label, ns, %)
+  tables;
+* :mod:`repro.reporting.figures` — ASCII stacked-percentage bars for
+  the breakdown figures and line-series dumps for Figure 17;
+* :mod:`repro.reporting.experiments` — one driver per table/figure that
+  produces both the paper-values rendering and (optionally) the
+  simulator-measured rendering side by side.
+"""
+
+from repro.reporting.export import (
+    breakdown_to_csv,
+    breakdown_to_dict,
+    component_times_to_dict,
+    series_to_csv,
+    table1_to_csv,
+)
+from repro.reporting.figures import render_breakdown_bar, render_histogram, render_series
+from repro.reporting.tables import render_breakdown_table, render_table1
+
+__all__ = [
+    "breakdown_to_csv",
+    "breakdown_to_dict",
+    "component_times_to_dict",
+    "render_breakdown_bar",
+    "render_breakdown_table",
+    "render_histogram",
+    "render_series",
+    "render_table1",
+    "series_to_csv",
+    "table1_to_csv",
+]

@@ -1,0 +1,201 @@
+"""One driver per table/figure: the per-experiment regeneration index.
+
+Each ``experiment_*`` function renders the reproduction of one artefact
+from the paper's evaluation, given a set of component times (the
+paper's, or ones re-measured from the simulator by
+:func:`repro.analysis.measure_component_times`).  The benchmark harness
+under ``benchmarks/`` calls these and prints the reports, so a full
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import DistributionSummary
+from repro.core.breakdown import (
+    fig4_llp_post,
+    fig8_injection_llp,
+    fig10_latency_llp,
+    fig11_hlp,
+    fig12_overall_injection,
+    fig13_end_to_end,
+    fig14_hlp_vs_llp,
+    fig15_categories,
+    fig16_on_node,
+)
+from repro.core.components import ComponentTimes
+from repro.core.insights import all_insights
+from repro.core.models import (
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+)
+from repro.core.validation import validate
+from repro.core.whatif import WhatIfAnalysis
+from repro.reporting.figures import render_breakdown_bar, render_histogram, render_series
+from repro.reporting.tables import render_breakdown_table, render_table1
+
+__all__ = [
+    "experiment_table1",
+    "experiment_fig4",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_fig10",
+    "experiment_fig11",
+    "experiment_fig12",
+    "experiment_fig13",
+    "experiment_fig14",
+    "experiment_fig15",
+    "experiment_fig16",
+    "experiment_fig17",
+    "experiment_insights",
+    "experiment_validation",
+]
+
+
+def experiment_table1(
+    times: ComponentTimes, reference: ComponentTimes | None = None
+) -> str:
+    """Table 1: measured times of various components."""
+    return render_table1(times, reference=reference)
+
+
+def experiment_fig4(times: ComponentTimes) -> str:
+    """Figure 4: breakdown of time in an LLP_post."""
+    return render_breakdown_bar(fig4_llp_post(times))
+
+
+def experiment_fig7(
+    distribution: DistributionSummary, samples=None
+) -> str:
+    """Figure 7: distribution of the observed injection overhead.
+
+    Pass the raw ``samples`` to get the histogram alongside the summary
+    annotations.
+    """
+    summary = (
+        "Observed injection overhead distribution (Figure 7)\n"
+        f"  Mean:    {distribution.mean:.2f} ns   (paper: 282.33)\n"
+        f"  Median:  {distribution.median:.2f} ns   (paper: 266.30)\n"
+        f"  Min:     {distribution.minimum:.2f} ns   (paper: 201.30)\n"
+        f"  Max:     {distribution.maximum:.2f} ns   (paper: 34951.70)\n"
+        f"  Std dev: {distribution.std:.4f}      (paper: 58.4866)\n"
+        f"  Samples: {distribution.count}"
+    )
+    if samples is None:
+        return summary
+    histogram = render_histogram(
+        samples, title="Probability density (observed Inj_overhead, ns)"
+    )
+    return summary + "\n\n" + histogram
+
+
+def experiment_fig8(times: ComponentTimes, misc_variant: str = "figure") -> str:
+    """Figure 8: breakdown of injection overhead with the LLP."""
+    return render_breakdown_bar(fig8_injection_llp(times, misc_variant))
+
+
+def experiment_fig10(times: ComponentTimes) -> str:
+    """Figure 10: breakdown of latency with the LLP."""
+    return render_breakdown_bar(fig10_latency_llp(times))
+
+
+def experiment_fig11(times: ComponentTimes) -> str:
+    """Figure 11: breakdown of time in the HLP (UCP vs MPICH)."""
+    parts = fig11_hlp(times)
+    return "\n\n".join(
+        render_breakdown_bar(parts[key]) for key in ("mpi_isend", "rx_mpi_wait")
+    )
+
+
+def experiment_fig12(times: ComponentTimes) -> str:
+    """Figure 12: breakdown of the overall injection overhead."""
+    return render_breakdown_bar(fig12_overall_injection(times))
+
+
+def experiment_fig13(times: ComponentTimes) -> str:
+    """Figure 13: breakdown of the end-to-end latency (ns table)."""
+    return render_breakdown_table(fig13_end_to_end(times))
+
+
+def experiment_fig14(times: ComponentTimes) -> str:
+    """Figure 14: HLP vs LLP during initiation and progress."""
+    parts = fig14_hlp_vs_llp(times)
+    return "\n\n".join(
+        render_breakdown_bar(parts[key])
+        for key in ("tx_progress", "rx_progress", "initiation")
+    )
+
+
+def experiment_fig15(times: ComponentTimes) -> str:
+    """Figure 15: high-level breakdown of the end-to-end latency."""
+    parts = fig15_categories(times)
+    return "\n\n".join(
+        render_breakdown_bar(parts[key]) for key in ("top", "cpu", "io", "network")
+    )
+
+
+def experiment_fig16(times: ComponentTimes) -> str:
+    """Figure 16: breakdown of time spent on node."""
+    parts = fig16_on_node(times)
+    return "\n\n".join(
+        render_breakdown_bar(parts[key])
+        for key in ("top", "initiator", "target", "target_io")
+    )
+
+
+def experiment_fig17(times: ComponentTimes) -> str:
+    """Figure 17: the four what-if panels."""
+    analysis = WhatIfAnalysis(times)
+    panels = [
+        ("Figure 17a — injection speedup vs CPU reduction", analysis.figure17a()),
+        ("Figure 17b — latency speedup vs CPU reduction", analysis.figure17b()),
+        ("Figure 17c — latency speedup vs I/O reduction", analysis.figure17c()),
+        ("Figure 17d — latency speedup vs network reduction", analysis.figure17d()),
+    ]
+    return "\n\n".join(render_series(title, series) for title, series in panels)
+
+
+def experiment_validation(
+    times: ComponentTimes, observed: dict[str, float]
+) -> str:
+    """The paper's four model-vs-observed validations.
+
+    ``observed`` carries the benchmark observations under the keys
+    produced by :func:`repro.analysis.measure_component_times`:
+    ``llp_injection_overhead``, ``llp_latency``,
+    ``overall_injection_overhead``, ``end_to_end_latency``.
+    """
+    checks = [
+        validate(
+            "LLP injection overhead (Eq. 1)",
+            InjectionModelLlp(times).predicted_ns,
+            observed["llp_injection_overhead"],
+            margin=0.05,
+        ),
+        validate(
+            "LLP latency (§4.3)",
+            LatencyModelLlp(times).predicted_ns,
+            observed["llp_latency"],
+            margin=0.05,
+        ),
+        validate(
+            "Overall injection overhead (Eq. 2)",
+            OverallInjectionModel(times).predicted_ns,
+            observed["overall_injection_overhead"],
+            margin=0.05,
+        ),
+        validate(
+            "End-to-end latency (§6)",
+            EndToEndLatencyModel(times).predicted_ns,
+            observed["end_to_end_latency"],
+            margin=0.05,
+        ),
+    ]
+    return "\n".join(str(check) for check in checks)
+
+
+def experiment_insights(times: ComponentTimes) -> str:
+    """The §6 insights, re-checked against the given component times."""
+    return "\n".join(str(insight) for insight in all_insights(times))

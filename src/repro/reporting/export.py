@@ -1,0 +1,94 @@
+"""Machine-readable exports of the reproduction's artefacts.
+
+Every table/figure can be exported as CSV (for external plotting) or as
+a plain dict (for JSON serialisation); the benchmark harness's text
+reports are for reading, these are for pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any
+
+from repro.core.breakdown import Breakdown
+from repro.core.components import ComponentTimes
+from repro.reporting.tables import table1_rows
+
+__all__ = [
+    "breakdown_to_csv",
+    "breakdown_to_dict",
+    "component_times_to_dict",
+    "series_to_csv",
+    "table1_to_csv",
+]
+
+
+def breakdown_to_csv(breakdown: Breakdown) -> str:
+    """One breakdown as ``label,ns,percent`` rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["label", "ns", "percent"])
+    for label, value, percent in breakdown.as_rows():
+        writer.writerow([label, f"{value:.4f}", f"{percent:.4f}"])
+    return buffer.getvalue()
+
+
+def breakdown_to_dict(breakdown: Breakdown) -> dict[str, Any]:
+    """One breakdown as a JSON-ready dict."""
+    return {
+        "title": breakdown.title,
+        "total_ns": breakdown.total_ns,
+        "parts": [
+            {"label": label, "ns": value, "percent": percent}
+            for label, value, percent in breakdown.as_rows()
+        ],
+    }
+
+
+def series_to_csv(series: dict[str, list[tuple[float, float]]]) -> str:
+    """A Figure 17 panel as ``component,reduction,speedup`` rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["component", "reduction", "speedup"])
+    for name, points in series.items():
+        for reduction, speedup in points:
+            writer.writerow([name, f"{reduction:.4f}", f"{speedup:.6f}"])
+    return buffer.getvalue()
+
+
+def table1_to_csv(
+    times: ComponentTimes, reference: ComponentTimes | None = None
+) -> str:
+    """Table 1 as CSV, optionally with a reference column."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    if reference is None:
+        writer.writerow(["component", "ns"])
+        for label, value in table1_rows(times):
+            writer.writerow([label, f"{value:.4f}"])
+    else:
+        writer.writerow(["component", "measured_ns", "reference_ns", "error"])
+        reference_rows = dict(table1_rows(reference))
+        for label, value in table1_rows(times):
+            ref = reference_rows[label]
+            error = (value - ref) / ref if ref else 0.0
+            writer.writerow([label, f"{value:.4f}", f"{ref:.4f}", f"{error:.6f}"])
+    return buffer.getvalue()
+
+
+def component_times_to_dict(times: ComponentTimes) -> dict[str, float]:
+    """All fields plus the derived aggregates, JSON-ready."""
+    from dataclasses import asdict
+
+    result = dict(asdict(times))
+    result.update(
+        llp_post=times.llp_post,
+        network=times.network,
+        hlp_post=times.hlp_post,
+        post=times.post,
+        hlp_tx_prog=times.hlp_tx_prog,
+        hlp_rx_prog=times.hlp_rx_prog,
+        perftest_misc=times.perftest_misc,
+    )
+    return result

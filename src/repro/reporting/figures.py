@@ -1,0 +1,142 @@
+"""ASCII renderings of the paper's figures.
+
+The breakdown figures (4, 8, 10-16) render as stacked percentage bars;
+Figure 17's what-if panels render as per-line series tables.  These are
+deliberately plain text so benchmark harness output diffs cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.breakdown import Breakdown
+
+__all__ = ["render_breakdown_bar", "render_histogram", "render_series", "render_trace"]
+
+#: Distinct fill characters cycled across bar segments.
+_FILLS = "█▓▒░▚▞▜▟"
+
+
+def render_breakdown_bar(breakdown: Breakdown, width: int = 72) -> str:
+    """One stacked horizontal percentage bar plus its legend."""
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    total = breakdown.total_ns
+    lines = [f"{breakdown.title} (total {total:.2f} ns)"]
+    bar_chars: list[str] = []
+    legend: list[str] = []
+    for index, (label, _value) in enumerate(breakdown.parts):
+        percent = breakdown.percent(label)
+        fill = _FILLS[index % len(_FILLS)]
+        segment = max(0, round(width * percent / 100.0))
+        bar_chars.append(fill * segment)
+        legend.append(f"  {fill} {label}: {percent:.2f}%")
+    bar = "".join(bar_chars)[:width]
+    lines.append(f"|{bar:<{width}}|")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    x_label: str = "reduction",
+    y_label: str = "speedup",
+    as_percent: bool = True,
+) -> str:
+    """A Figure 17 panel: one row per line, one column per x value."""
+    lines = [title]
+    xs: list[float] = []
+    for points in series.values():
+        xs = [x for x, _ in points]
+        break
+    header = f"{'component':<16}" + "".join(
+        f"{f'{x * 100:.0f}%':>9}" for x in xs
+    )
+    lines.append(f"({x_label} → {y_label})")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, points in series.items():
+        if as_percent:
+            row = "".join(f"{y * 100:>8.2f}%" for _, y in points)
+        else:
+            row = "".join(f"{y:>9.4f}" for _, y in points)
+        lines.append(f"{name:<16}{row}")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    samples,
+    bins: int = 24,
+    width: int = 50,
+    title: str = "distribution",
+    clip_quantile: float = 0.995,
+) -> str:
+    """An ASCII probability-density histogram (the Figure 7 rendering).
+
+    The far tail is clipped at ``clip_quantile`` for the plot (like the
+    paper's footnote: "Max is not shown in the figure due to the large
+    value") but the annotations report the full-sample statistics.
+    """
+    array = np.asarray(samples, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot render an empty sample set")
+    if bins < 2:
+        raise ValueError(f"bins must be >= 2, got {bins}")
+    if width < 4:
+        raise ValueError(f"width must be >= 4, got {width}")
+    clip = float(np.quantile(array, clip_quantile))
+    plotted = array[array <= clip]
+    counts, edges = np.histogram(plotted, bins=bins)
+    peak = counts.max() if counts.max() else 1
+    lines = [title]
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * max(0, round(width * count / peak))
+        lines.append(f"{lo:9.1f}-{hi:9.1f} |{bar}")
+    lines.append(
+        f"  Mean: {array.mean():.2f}  Median: {float(np.median(array)):.2f}  "
+        f"Min: {array.min():.2f}  Max: {array.max():.2f}  "
+        f"Std: {array.std(ddof=1) if array.size > 1 else 0.0:.4f}"
+    )
+    if clip < array.max():
+        lines.append(f"  (tail above {clip:.1f} ns clipped from the plot)")
+    return "\n".join(lines)
+
+
+def render_trace(
+    records,
+    limit: int = 12,
+    downstream_only: bool = True,
+) -> str:
+    """A Figure 6-style PCIe trace listing.
+
+    The paper's Figure 6 shows the analyzer's view of put_bw filtered
+    to downstream transactions: per packet, a timestamp, the TLP type,
+    the payload size and the inter-arrival delta.
+    """
+    from repro.pcie.link import Direction
+    from repro.pcie.packets import Tlp
+
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    rows = [
+        r
+        for r in records
+        if isinstance(r.packet, Tlp)
+        and (not downstream_only or r.direction is Direction.DOWNSTREAM)
+    ][:limit]
+    header = (
+        f"{'timestamp (ns)':>15} {'dir':>11} {'TLP':>5} {'bytes':>6} "
+        f"{'purpose':<16} {'delta (ns)':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    previous = None
+    for record in rows:
+        delta = "" if previous is None else f"{record.timestamp_ns - previous:11.2f}"
+        lines.append(
+            f"{record.timestamp_ns:15.2f} {record.direction.value:>11} "
+            f"{record.packet.kind.value:>5} {record.packet.payload_bytes:>6} "
+            f"{record.packet.purpose:<16} {delta:>11}"
+        )
+        previous = record.timestamp_ns
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Text tables: Table 1 and generic breakdown tables."""
+
+from __future__ import annotations
+
+from repro.core.breakdown import Breakdown
+from repro.core.components import ComponentTimes
+
+__all__ = ["render_breakdown_table", "render_table1", "table1_rows"]
+
+
+def table1_rows(times: ComponentTimes) -> list[tuple[str, float]]:
+    """The rows of the paper's Table 1, in its order."""
+    return [
+        ("Message descriptor setup", times.md_setup),
+        ("Barrier for message descriptor", times.barrier_md),
+        ("Barrier for DoorBell counter", times.barrier_dbc),
+        ("PIO copy (64 bytes)", times.pio_copy),
+        ("Miscellaneous in LLP_post", times.llp_post_other),
+        ("LLP_post (total of above)", times.llp_post),
+        ("LLP_prog", times.llp_prog),
+        ("Busy post", times.busy_post),
+        ("Measurement update", times.measurement_update),
+        ("Misc in Inj_overhead (total of above)", times.perftest_misc),
+        ("PCIe for a 64-byte payload", times.pcie),
+        ("Wire", times.wire),
+        ("Switch", times.switch),
+        ("Network (total of above)", times.network),
+        ("RC-to-MEM(8B)", times.rc_to_mem_8b),
+        ("MPI_Isend in MPICH", times.mpich_isend),
+        ("MPI_Isend in UCP", times.ucp_isend),
+        ("Callback for a completed MPI_Irecv in MPICH", times.mpich_recv_callback),
+        ("Successful MPI_Wait for MPI_Irecv in MPICH", times.mpi_wait_mpich),
+        ("Callback for a completed MPI_Irecv in UCP", times.ucp_recv_callback),
+        ("Successful MPI_Wait for MPI_Irecv in UCP", times.mpi_wait_ucp),
+    ]
+
+
+def render_table1(
+    times: ComponentTimes, reference: ComponentTimes | None = None
+) -> str:
+    """Render Table 1; with ``reference``, add a paper column and error."""
+    lines: list[str] = []
+    if reference is None:
+        header = f"{'Component':<46} {'Time (ns)':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for label, value in table1_rows(times):
+            lines.append(f"{label:<46} {value:>10.2f}")
+    else:
+        header = (
+            f"{'Component':<46} {'Measured':>10} {'Paper':>10} {'Err %':>7}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        ref_rows = dict(table1_rows(reference))
+        for label, value in table1_rows(times):
+            ref = ref_rows[label]
+            err = abs(value - ref) / ref * 100.0 if ref else 0.0
+            lines.append(f"{label:<46} {value:>10.2f} {ref:>10.2f} {err:>6.1f}%")
+    return "\n".join(lines)
+
+
+def render_breakdown_table(breakdown: Breakdown) -> str:
+    """Render one breakdown as (label, ns, %) rows."""
+    lines = [breakdown.title, "-" * max(24, len(breakdown.title))]
+    for label, value, percent in breakdown.as_rows():
+        lines.append(f"{label:<24} {value:>10.2f} ns {percent:>7.2f}%")
+    lines.append(f"{'total':<24} {breakdown.total_ns:>10.2f} ns {100.0:>7.2f}%")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Discrete-event simulation kernel underpinning the Breaking Band testbed.
+
+This package is a small, dependency-free discrete-event simulation (DES)
+engine in the style of SimPy: simulated actors are plain Python
+generators that ``yield`` events (most commonly :class:`Timeout`), and an
+:class:`Environment` advances a virtual clock measured in nanoseconds.
+
+The engine is deliberately deterministic: given the same seed and the
+same workload, every run produces bit-identical traces.  All randomness
+is routed through :mod:`repro.sim.rng` so that individual subsystems
+(PCIe link jitter, CPU timing noise, ...) draw from independent,
+reproducible streams.
+
+Public surface
+--------------
+
+:class:`Environment`
+    The simulation clock and scheduler.
+:class:`Event`, :class:`Timeout`, :class:`Process`, :class:`AllOf`, :class:`AnyOf`
+    Awaitable primitives.
+:class:`Store`, :class:`Channel`, :class:`Resource`
+    Queueing primitives used to model hardware queues and links.
+:class:`RandomStreams`, :class:`JitterModel`
+    Deterministic randomness.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Channel, Resource, Store
+from repro.sim.rng import JitterModel, RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "JitterModel",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,499 @@
+"""Event loop and process primitives for the simulation kernel.
+
+The engine follows the classic event-calendar design: a binary heap of
+``(time, priority, sequence, event)`` tuples.  Ties at the same simulated
+time are broken first by an explicit priority (URGENT before NORMAL) and
+then by insertion order, which keeps runs fully deterministic.
+
+Time is a ``float`` measured in **nanoseconds** throughout the project;
+the communication components modelled by the paper all live in the
+10 ns – 10 µs range, where double precision is exact to well below a
+femtosecond.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must fire before ordinary events
+#: scheduled at the same timestamp (e.g. resumption of an interrupted
+#: process).  Lower sorts earlier.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel.
+
+    Examples include running a finished environment backwards, triggering
+    an already-triggered event, or yielding a non-event from a process.
+    """
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another actor interrupts it.
+
+    The ``cause`` attribute carries an arbitrary, caller-supplied payload
+    describing why the interrupt happened.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event has three observable states:
+
+    - *pending*: created, not yet triggered;
+    - *triggered*: scheduled on the event calendar but callbacks not yet
+      run;
+    - *processed*: callbacks have run; ``value`` is final.
+
+    Events may succeed (carrying a ``value``) or fail (carrying an
+    exception, which is re-raised inside every waiting process).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    #: Sentinel distinguishing "no value yet" from a ``None`` value.
+    PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = Event.PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with.
+
+        Raises
+        ------
+        SimulationError
+            If the event has not been triggered yet.
+        """
+        if self._value is Event.PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, priority=NORMAL, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self, priority=NORMAL, delay=0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self._triggered = True
+        self.env._schedule(self, priority=NORMAL, delay=0.0)
+
+    # -- internal ----------------------------------------------------------
+    def _mark_processed(self) -> None:
+        """Run callbacks exactly once; called by the environment.
+
+        A *failed* event processed with nobody listening re-raises its
+        exception: a crashed process must never die silently.
+        """
+        callbacks = self.callbacks
+        self.callbacks = None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+        elif not self._ok:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, priority=NORMAL, delay=delay)
+
+
+class _Initialize(Event):
+    """Internal event that kicks off a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self._triggered = True
+        self.callbacks.append(process._resume)
+        env._schedule(self, priority=URGENT, delay=0.0)
+
+
+class Process(Event):
+    """A running simulated actor wrapping a Python generator.
+
+    The process itself is an :class:`Event` that fires when the generator
+    returns (successfully, with the generator's return value) or raises
+    (failed, with the exception).  This lets processes wait on each other
+    simply by yielding the other process.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting on an event detaches it from that event
+        first so the event's eventual firing does not resume it twice.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished {self.name!r}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        failed = Event(self.env)
+        failed._ok = False
+        failed._value = Interrupt(cause)
+        failed._triggered = True
+        failed.callbacks.append(self._resume)
+        self.env._schedule(failed, priority=URGENT, delay=0.0)
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            self._generator.close()
+            self.fail(error)
+            return
+        if target.env is not self.env:
+            self._generator.close()
+            self.fail(SimulationError("yielded event belongs to another Environment"))
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately (at the current time)
+            # with its settled value.
+            settled = Event(self.env)
+            settled._ok = target._ok
+            settled._value = target._value
+            settled._triggered = True
+            settled.callbacks.append(self._resume)
+            self.env._schedule(settled, priority=URGENT, delay=0.0)
+            self._waiting_on = settled
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events.
+
+    An event counts as *settled* once its callbacks have run; a condition
+    tracks how many of its constituents are still outstanding and fires
+    as soon as its satisfaction rule holds.
+    """
+
+    __slots__ = ("_events", "_total", "_outstanding")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("all events must share one Environment")
+        self._total = len(self._events)
+        self._outstanding = 0
+        failed: Event | None = None
+        for event in self._events:
+            if event.callbacks is None:
+                if not event._ok and failed is None:
+                    failed = event
+            else:
+                self._outstanding += 1
+                event.callbacks.append(self._check)
+        if failed is not None:
+            self.fail(failed._value)
+        elif self._satisfied():
+            self._finish()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._outstanding -= 1
+        if self._satisfied():
+            self._finish()
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        self.succeed(
+            [e._value for e in self._events if e._value is not Event.PENDING]
+        )
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has settled (conjunction)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._outstanding == 0
+
+
+class AnyOf(_Condition):
+    """Fires when at least one constituent event has settled.
+
+    An :class:`AnyOf` over zero events fires immediately, mirroring
+    :class:`AllOf` over zero events.
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._outstanding < self._total or self._total == 0
+
+
+class Environment:
+    """The simulation clock, event calendar and scheduler.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock, in nanoseconds.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factory helpers ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay!r}")
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event)
+        )
+
+    def step(self) -> None:
+        """Process exactly one event from the calendar."""
+        if not self._queue:
+            raise SimulationError("attempt to step an empty event calendar")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._mark_processed()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the calendar drains;
+            a number
+                run until the clock reaches that time (exclusive of
+                events scheduled exactly at it);
+            an :class:`Event`
+                run until that event has been processed, returning its
+                value (or raising its exception).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            while not until._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event calendar drained before the awaited event fired "
+                        "(deadlock: some process is waiting forever)"
+                    )
+                self.step()
+            if until._ok:
+                return until._value
+            raise until._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon!r}, clock is already at {self._now!r}"
+            )
+        while self._queue and self._queue[0][0] < horizon:
+            self.step()
+        self._now = max(self._now, horizon) if self._queue else self._now
+        if not self._queue:
+            return None
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Environment t={self._now:.2f}ns queued={len(self._queue)}>"

@@ -1,0 +1,221 @@
+"""Queueing primitives built on the event kernel.
+
+Three primitives cover everything the testbed needs:
+
+:class:`Store`
+    An unbounded-or-bounded FIFO of Python objects with blocking ``put``
+    and ``get`` — used for hardware queues (TxQ, CQ, switch ingress).
+:class:`Channel`
+    A :class:`Store` whose items become visible only after a fixed
+    latency — used for wires and links where propagation delay matters
+    but the internals do not.
+:class:`Resource`
+    A counted semaphore — used to model units that can serve a bounded
+    number of concurrent operations (e.g. DMA engines).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Channel", "Resource", "Store"]
+
+
+class Store:
+    """FIFO store of items with event-based blocking put/get.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of buffered items; ``None`` means unbounded.
+    name:
+        Optional label for diagnostics.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or "store"
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """Snapshot of currently buffered items (oldest first)."""
+        return tuple(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        """True when a further non-blocking put would fail."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires once it is buffered."""
+        event = Event(self.env)
+        if self._getters:
+            # Hand the item straight to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Remove the oldest item; the returned event fires with it."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._admit_waiting_putter()
+        return True, item
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters:
+            putter, item = self._putters.popleft()
+            self._items.append(item)
+            putter.succeed(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Store {self.name!r} {len(self._items)}/{cap}>"
+
+
+class Channel:
+    """A store with a fixed transit latency applied to every item.
+
+    ``put`` returns immediately (the sender does not wait for delivery);
+    the item becomes ``get``-able ``latency`` nanoseconds later.  Items
+    put at different times are delivered in FIFO order because the
+    latency is constant.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: float,
+        capacity: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if latency < 0:
+            raise SimulationError(f"channel latency must be >= 0, got {latency}")
+        self.env = env
+        self.latency = latency
+        self.name = name or "channel"
+        self._store = Store(env, capacity=capacity, name=f"{self.name}.buffer")
+        self._in_flight = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of items currently traversing the channel."""
+        return self._in_flight
+
+    def put(self, item: Any) -> None:
+        """Launch ``item`` into the channel (non-blocking for the sender)."""
+        self._in_flight += 1
+        self.env.process(self._deliver(item), name=f"{self.name}.deliver")
+
+    def _deliver(self, item: Any):
+        yield self.env.timeout(self.latency)
+        self._in_flight -= 1
+        yield self._store.put(item)
+
+    def get(self) -> Event:
+        """Receive the next delivered item (blocking)."""
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Channel {self.name!r} lat={self.latency}ns in_flight={self._in_flight}>"
+
+
+class Resource:
+    """A counted semaphore with FIFO granting.
+
+    ``request()`` returns an event that fires once a unit is granted;
+    ``release()`` returns the unit.  Used to bound concurrency of
+    hardware engines.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str | None = None) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted units."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free units."""
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        """Acquire one unit; the event fires when granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit, waking the longest-waiting requester."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit directly to the next waiter; _in_use is
+            # unchanged because ownership transfers.
+            self._waiters.popleft().succeed(None)
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Resource {self.name!r} {self._in_use}/{self.capacity}>"

@@ -1,0 +1,54 @@
+"""Unit tests for system comparison (repro.analysis.compare)."""
+
+import pytest
+
+from repro.analysis import compare_systems
+from repro.core.components import ComponentTimes
+
+PAPER = ComponentTimes.paper()
+INTEGRATED = ComponentTimes(pcie=10.0, rc_to_mem_8b=60.0, rc_to_mem_64b=75.0)
+
+
+class TestSystemComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_systems(PAPER, INTEGRATED, "tx2", "integrated")
+
+    def test_latency_delta(self, comparison):
+        # 2×(137.49−10) + (240.96−60) saved.
+        expected = -(2 * 127.49 + 180.96)
+        assert comparison.latency_delta_ns == pytest.approx(expected)
+
+    def test_speedup_sign(self, comparison):
+        assert comparison.latency_speedup > 0.3
+
+    def test_injection_unchanged_by_io(self, comparison):
+        # Eq. 2 has no I/O terms.
+        assert comparison.injection_delta_ns == pytest.approx(0.0)
+
+    def test_component_deltas_sorted_by_magnitude(self, comparison):
+        deltas = [abs(row[3]) for row in comparison.component_deltas()]
+        assert deltas == sorted(deltas, reverse=True)
+        assert comparison.component_deltas()[0][0] == "RC-to-MEM(8B)"
+
+    def test_insight_flips_detected(self, comparison):
+        flips = dict(
+            (number, (base, cand))
+            for number, base, cand in comparison.insight_flips()
+        )
+        # Insight 3 (target-side I/O dominance) cannot survive an
+        # integrated NIC.
+        assert 3 in flips
+        assert flips[3] == (True, False)
+
+    def test_render_contains_headline_and_components(self, comparison):
+        text = comparison.render()
+        assert "tx2 vs integrated" in text
+        assert "RC-to-MEM(8B)" in text
+        assert "Insight 3 flips" in text
+
+    def test_identical_systems_report_agreement(self):
+        same = compare_systems(PAPER, PAPER)
+        assert same.latency_delta_ns == 0.0
+        assert same.insight_flips() == []
+        assert "insights agree" in same.render()

@@ -1,0 +1,130 @@
+"""Integration tests for the measurement methodology (repro.analysis).
+
+These are the reproduction's centrepiece: running the paper's §§3-6
+measurement workflow against the noisy simulator must recover the
+configured ground truth and validate the analytical models within the
+paper's margins.
+"""
+
+import pytest
+
+from repro.analysis import measure_component_times
+from repro.core.models import (
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+)
+from repro.node import SystemConfig
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return measure_component_times(SystemConfig.paper_testbed(seed=11), quick=True)
+
+
+@pytest.fixture(scope="module")
+def times(campaign):
+    return campaign.to_component_times()
+
+
+class TestSoftwareRecovery:
+    """Profiled regions must recover the configured segment costs."""
+
+    @pytest.mark.parametrize(
+        "region,truth,tolerance",
+        [
+            ("md_setup", 27.78, 0.15),
+            ("barrier_md", 17.33, 0.15),
+            ("barrier_dbc", 21.07, 0.15),
+            ("pio_copy", 94.25, 0.05),
+            ("llp_post", 175.42, 0.05),
+            ("llp_prog", 61.63, 0.10),
+            ("busy_post", 8.99, 0.35),
+            ("measurement_update", 49.69, 0.10),
+        ],
+    )
+    def test_llp_regions(self, campaign, region, truth, tolerance):
+        assert campaign.llp[region] == pytest.approx(truth, rel=tolerance)
+
+    def test_hlp_layer_subtraction(self, times):
+        # §5: MPICH = MPI_Isend − ucp_tag_send_nb; UCP = tag_send − am_short.
+        assert times.mpich_isend == pytest.approx(24.37, rel=0.4)
+        assert times.ucp_isend == pytest.approx(2.19, abs=6.0)
+
+    def test_recv_callback_chain(self, times):
+        assert times.mpich_recv_callback == pytest.approx(47.99, rel=0.10)
+        assert times.ucp_recv_callback == pytest.approx(139.78, rel=0.10)
+        assert times.mpich_after_progress == pytest.approx(36.89, rel=0.15)
+
+    def test_mpi_wait_totals(self, times):
+        assert times.mpi_wait_mpich == pytest.approx(293.29, rel=0.05)
+        assert times.mpi_wait_ucp == pytest.approx(150.51, rel=0.10)
+
+
+class TestHardwareRecovery:
+    """Trace arithmetic must recover the configured hardware latencies."""
+
+    def test_pcie_from_mwr_ack_round_trip(self, campaign):
+        assert campaign.hardware["pcie"] == pytest.approx(137.49, rel=0.01)
+
+    def test_wire_from_direct_run(self, campaign):
+        assert campaign.hardware["wire"] == pytest.approx(274.81, rel=0.01)
+
+    def test_switch_from_differencing(self, campaign):
+        assert campaign.hardware["switch"] == pytest.approx(108.0, rel=0.05)
+
+    def test_network_total(self, campaign):
+        assert campaign.hardware["network"] == pytest.approx(382.81, rel=0.01)
+
+    def test_rc_to_mem_8b_backout(self, campaign):
+        # The §4.3 back-out carries the spin-poll residual (~5-10%),
+        # like any subtraction-based methodology.
+        assert campaign.hardware["rc_to_mem_8b"] == pytest.approx(240.96, rel=0.12)
+
+
+class TestSendProgress:
+    def test_post_prog_near_paper(self, campaign):
+        assert campaign.send_progress["post_prog"] == pytest.approx(59.82, rel=0.10)
+
+    def test_llp_tx_prog_sub_nanosecond(self, campaign):
+        # §6: "Less than a nanosecond of Post_prog occurs in the LLP".
+        assert campaign.send_progress["llp_tx_prog"] < 1.0
+
+    def test_misc_injection_small_but_positive(self, campaign):
+        assert 0.0 < campaign.send_progress["misc_injection"] < 10.0
+
+
+class TestInjectionDistribution:
+    def test_figure7_shape(self, campaign):
+        dist = campaign.injection_distribution
+        assert dist is not None
+        # Mean near the Eq. 1 model, right-skewed (median < mean), with
+        # a hard-ish floor like the paper's 201.3 ns minimum.
+        assert dist.mean == pytest.approx(295.73, rel=0.05)
+        assert dist.median < dist.mean
+        assert dist.minimum > 150.0
+
+
+class TestModelValidation:
+    """The paper's four accuracy claims, end to end on measured data."""
+
+    def test_eq1_within_5pct(self, times, campaign):
+        model = InjectionModelLlp(times).predicted_ns
+        observed = campaign.observed["llp_injection_overhead"]
+        assert abs(model - observed) / observed < 0.05
+
+    def test_llp_latency_within_5pct(self, times, campaign):
+        model = LatencyModelLlp(times).predicted_ns
+        observed = campaign.observed["llp_latency"]
+        assert abs(model - observed) / observed < 0.05
+
+    def test_eq2_within_5pct(self, times, campaign):
+        model = OverallInjectionModel(times).predicted_ns
+        observed = campaign.observed["overall_injection_overhead"]
+        assert abs(model - observed) / observed < 0.05
+
+    def test_e2e_latency_within_5pct(self, times, campaign):
+        model = EndToEndLatencyModel(times).predicted_ns
+        observed = campaign.observed["end_to_end_latency"]
+        assert abs(model - observed) / observed < 0.05

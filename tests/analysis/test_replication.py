@@ -1,0 +1,52 @@
+"""Unit tests for the replication study (repro.analysis.replication)."""
+
+import pytest
+
+from repro.analysis.replication import ReplicationStudy, run_replication_study
+
+
+class TestReplicationStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_replication_study(n_replications=2, quick=True)
+
+    def test_all_models_covered(self, study):
+        assert set(study.errors) == {
+            "llp_injection_overhead",
+            "llp_latency",
+            "overall_injection_overhead",
+            "end_to_end_latency",
+        }
+
+    def test_one_error_per_seed(self, study):
+        for errors in study.errors.values():
+            assert len(errors) == 2
+
+    def test_errors_within_margin(self, study):
+        assert study.all_within(margin=0.05)
+
+    def test_statistics_consistent(self, study):
+        name = "end_to_end_latency"
+        assert study.worst_error(name) >= study.mean_error(name)
+        assert 0.0 <= study.fraction_within(name) <= 1.0
+
+    def test_render_contains_all_models(self, study):
+        text = study.render()
+        for name in study.errors:
+            assert name in text
+
+    def test_invalid_replication_count(self):
+        with pytest.raises(ValueError):
+            run_replication_study(n_replications=0)
+
+    def test_distinct_seeds(self, study):
+        assert len(set(study.seeds)) == len(study.seeds)
+
+
+class TestFractionWithin:
+    def test_counts_threshold_correctly(self):
+        study = ReplicationStudy(seeds=[1, 2, 3])
+        study.errors = {"m": [0.01, 0.04, 0.10]}
+        assert study.fraction_within("m", margin=0.05) == pytest.approx(2 / 3)
+        assert not study.all_within(margin=0.05)
+        assert study.all_within(margin=0.2)

@@ -1,0 +1,34 @@
+"""Unit tests for distribution summaries (repro.analysis.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_sample_has_zero_std(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.mean == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_accepts_ndarray(self):
+        summary = summarize(np.array([10.0, 20.0]))
+        assert summary.mean == 15.0
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=" in text and "median=" in text

@@ -1,0 +1,120 @@
+"""Unit tests for trace post-processing (repro.analysis.traces).
+
+Uses hand-built trace records, so each extractor's pairing logic is
+exercised in isolation from the simulator.
+"""
+
+import pytest
+
+from repro.analysis.traces import (
+    arrival_deltas,
+    mwr_ack_round_trips,
+    ping_completion_deltas,
+    pong_ping_deltas,
+)
+from repro.pcie.analyzer import TraceRecord
+from repro.pcie.link import Direction
+from repro.pcie.packets import Dllp, DllpType, Tlp, TlpType
+
+
+def record(ts, direction, packet):
+    return TraceRecord(timestamp_ns=ts, direction=direction, packet=packet)
+
+
+def mwr(purpose, seq=None, payload=64):
+    return Tlp(kind=TlpType.MWR, payload_bytes=payload, purpose=purpose, seq=seq)
+
+
+class TestArrivalDeltas:
+    def test_deltas_of_matching_tlps(self):
+        records = [
+            record(100.0, Direction.DOWNSTREAM, mwr("pio_post")),
+            record(350.0, Direction.DOWNSTREAM, mwr("pio_post")),
+            record(640.0, Direction.DOWNSTREAM, mwr("pio_post")),
+        ]
+        assert arrival_deltas(records).tolist() == [250.0, 290.0]
+
+    def test_other_purposes_and_directions_ignored(self):
+        records = [
+            record(100.0, Direction.DOWNSTREAM, mwr("pio_post")),
+            record(150.0, Direction.UPSTREAM, mwr("pio_post")),
+            record(200.0, Direction.DOWNSTREAM, mwr("doorbell")),
+            record(400.0, Direction.DOWNSTREAM, mwr("pio_post")),
+        ]
+        assert arrival_deltas(records).tolist() == [300.0]
+
+    def test_fewer_than_two_gives_empty(self):
+        assert arrival_deltas([]).size == 0
+        one = [record(1.0, Direction.DOWNSTREAM, mwr("pio_post"))]
+        assert arrival_deltas(one).size == 0
+
+
+class TestMwrAckRoundTrips:
+    def test_pairs_by_sequence_number(self):
+        records = [
+            record(100.0, Direction.UPSTREAM, mwr("cqe_write", seq=7)),
+            record(375.0, Direction.DOWNSTREAM, Dllp(kind=DllpType.ACK, acked_seq=7)),
+        ]
+        assert mwr_ack_round_trips(records).tolist() == [275.0]
+
+    def test_interleaved_pairs(self):
+        records = [
+            record(0.0, Direction.UPSTREAM, mwr("cqe_write", seq=1)),
+            record(50.0, Direction.UPSTREAM, mwr("cqe_write", seq=2)),
+            record(275.0, Direction.DOWNSTREAM, Dllp(kind=DllpType.ACK, acked_seq=1)),
+            record(330.0, Direction.DOWNSTREAM, Dllp(kind=DllpType.ACK, acked_seq=2)),
+        ]
+        assert mwr_ack_round_trips(records).tolist() == [275.0, 280.0]
+
+    def test_unmatched_ack_ignored(self):
+        records = [
+            record(10.0, Direction.DOWNSTREAM, Dllp(kind=DllpType.ACK, acked_seq=99)),
+        ]
+        assert mwr_ack_round_trips(records).size == 0
+
+    def test_wrong_purpose_ignored(self):
+        records = [
+            record(0.0, Direction.UPSTREAM, mwr("payload_write", seq=1)),
+            record(275.0, Direction.DOWNSTREAM, Dllp(kind=DllpType.ACK, acked_seq=1)),
+        ]
+        assert mwr_ack_round_trips(records).size == 0
+
+
+class TestPingCompletionDeltas:
+    def test_ping_paired_with_next_completion(self):
+        records = [
+            record(0.0, Direction.DOWNSTREAM, mwr("pio_post")),
+            record(765.62, Direction.UPSTREAM, mwr("cqe_write")),
+            record(2000.0, Direction.DOWNSTREAM, mwr("pio_post")),
+            record(2765.62, Direction.UPSTREAM, mwr("cqe_write")),
+        ]
+        deltas = ping_completion_deltas(records)
+        assert deltas.tolist() == [pytest.approx(765.62)] * 2
+
+    def test_completion_without_ping_ignored(self):
+        records = [record(5.0, Direction.UPSTREAM, mwr("cqe_write"))]
+        assert ping_completion_deltas(records).size == 0
+
+
+class TestPongPingDeltas:
+    def test_pong_paired_with_next_ping(self):
+        records = [
+            record(0.0, Direction.UPSTREAM, mwr("payload_write", payload=8)),
+            record(753.0, Direction.DOWNSTREAM, mwr("pio_post")),
+        ]
+        assert pong_ping_deltas(records).tolist() == [753.0]
+
+    def test_ping_before_pong_ignored(self):
+        records = [
+            record(0.0, Direction.DOWNSTREAM, mwr("pio_post")),
+            record(10.0, Direction.UPSTREAM, mwr("payload_write", payload=8)),
+        ]
+        assert pong_ping_deltas(records).size == 0
+
+    def test_dllps_never_interfere(self):
+        records = [
+            record(0.0, Direction.UPSTREAM, mwr("payload_write", payload=8)),
+            record(5.0, Direction.UPSTREAM, Dllp(kind=DllpType.ACK, acked_seq=0)),
+            record(700.0, Direction.DOWNSTREAM, mwr("pio_post")),
+        ]
+        assert pong_ping_deltas(records).tolist() == [700.0]

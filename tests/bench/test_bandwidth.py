@@ -1,0 +1,43 @@
+"""Tests for the bandwidth benchmark (repro.bench.bandwidth)."""
+
+import pytest
+
+from repro.bench import realistic_bandwidth_config, run_uct_bandwidth
+
+
+class TestBandwidth:
+    def test_large_messages_saturate_the_wire(self):
+        result = run_uct_bandwidth(262144, n_messages=40, warmup=10)
+        assert result.bandwidth_bytes_per_ns == pytest.approx(12.5, rel=0.1)
+        assert result.bandwidth_bytes_per_ns <= 12.5 + 1e-9
+
+    def test_small_messages_rate_bound(self):
+        result = run_uct_bandwidth(8, n_messages=60, warmup=16)
+        # Far below the wire limit: the CPU and completion pipeline
+        # gate 8-byte messages, not serialisation.
+        assert result.bandwidth_bytes_per_ns < 0.1
+
+    def test_wider_window_helps_small_messages(self):
+        narrow = run_uct_bandwidth(8, n_messages=60, warmup=16, window=1)
+        wide = run_uct_bandwidth(8, n_messages=60, warmup=16, window=16)
+        # window=1 is synchronous posting (one gen_completion per
+        # message); pipelining must beat it by a wide margin.
+        assert wide.message_rate_per_s > 2 * narrow.message_rate_per_s
+
+    def test_slower_wire_lowers_the_asymptote(self):
+        slow = realistic_bandwidth_config(network_bytes_per_ns=5.0)
+        result = run_uct_bandwidth(262144, config=slow, n_messages=30, warmup=8)
+        assert result.bandwidth_bytes_per_ns == pytest.approx(5.0, rel=0.1)
+
+    def test_pcie_can_be_the_bottleneck(self):
+        starved = realistic_bandwidth_config(
+            pcie_bytes_per_ns=4.0, network_bytes_per_ns=12.5
+        )
+        result = run_uct_bandwidth(262144, config=starved, n_messages=30, warmup=8)
+        assert result.bandwidth_bytes_per_ns == pytest.approx(4.0, rel=0.15)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            run_uct_bandwidth(0)
+        with pytest.raises(ValueError):
+            run_uct_bandwidth(8, window=0)

@@ -1,0 +1,86 @@
+"""Integration tests for multi-core injection (repro.bench.multicore)."""
+
+import pytest
+
+from repro.bench import run_multicore_put_bw
+from repro.node import SystemConfig
+
+DET = SystemConfig.paper_testbed(deterministic=True)
+
+
+class TestSingleCoreEquivalence:
+    def test_one_core_matches_put_bw_pace(self):
+        result = run_multicore_put_bw(
+            1, config=DET, n_messages_per_core=200, warmup_per_core=100
+        )
+        # One core is just put_bw: per-core injection near the Eq. 1
+        # model (the multicore loop has no scheduled poll overlap quirk,
+        # so it sits a touch below 295.73).
+        assert result.mean_injection_overhead_ns == pytest.approx(295.73, rel=0.06)
+        assert result.credit_stalls == 0
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {
+            n: run_multicore_put_bw(
+                n, config=DET, n_messages_per_core=150, warmup_per_core=80
+            )
+            for n in (1, 4, 16, 64)
+        }
+
+    def test_linear_regime(self, sweep):
+        single = sweep[1].aggregate_rate_per_s
+        assert sweep[4].aggregate_rate_per_s == pytest.approx(4 * single, rel=0.05)
+        assert sweep[16].aggregate_rate_per_s == pytest.approx(16 * single, rel=0.05)
+
+    def test_no_stalls_in_linear_regime(self, sweep):
+        # §4.2's observation generalises to a modest core count.
+        assert sweep[4].credit_stalls == 0
+        assert sweep[16].credit_stalls == 0
+
+    def test_credit_wall_at_high_core_count(self, sweep):
+        wall = sweep[64]
+        assert wall.credit_stalls > 0
+        # NIC-side rate falls below the CPU-side demand.
+        assert wall.nic_rate_per_s < wall.aggregate_rate_per_s
+
+    def test_per_core_fairness(self, sweep):
+        counts = sweep[16].per_core_message_counts
+        assert max(counts) - min(counts) == 0  # deterministic & symmetric
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_multicore_put_bw(0, config=DET)
+
+
+class TestNodeCores:
+    def test_node_add_core(self):
+        from repro.node import Testbed
+
+        tb = Testbed(DET)
+        assert len(tb.node1.cores) == 1
+        core = tb.node1.add_core()
+        assert len(tb.node1.cores) == 2
+        assert core.name == "node1.cpu1"
+        assert tb.node1.cpu is tb.node1.cores[0]
+
+    def test_cores_have_independent_noise_streams(self):
+        from repro.node import Testbed
+
+        tb = Testbed(SystemConfig.paper_testbed())
+        second = tb.node1.add_core()
+        a = tb.node1.cpu.rng.random(8)
+        b = second.rng.random(8)
+        assert not (a == b).all()
+
+    def test_multicore_node_constructor(self):
+        from repro.node.node import Node
+        from repro.sim.rng import RandomStreams
+        from repro.sim import Environment
+
+        node = Node(Environment(), DET, RandomStreams(0), "n", n_cores=4)
+        assert len(node.cores) == 4
+        with pytest.raises(ValueError):
+            Node(Environment(), DET, RandomStreams(0), "n", n_cores=0)

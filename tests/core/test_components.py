@@ -1,0 +1,89 @@
+"""Unit tests for the component-times container (repro.core.components)."""
+
+import pytest
+
+from repro.core.components import Category, ComponentTimes
+
+
+class TestPaperValues:
+    """The canonical instance must reproduce every Table 1 aggregate."""
+
+    @pytest.fixture(scope="class")
+    def times(self):
+        return ComponentTimes.paper()
+
+    def test_llp_post(self, times):
+        assert times.llp_post == pytest.approx(175.42)
+
+    def test_network(self, times):
+        assert times.network == pytest.approx(382.81)
+
+    def test_hlp_post(self, times):
+        assert times.hlp_post == pytest.approx(26.56)
+
+    def test_post(self, times):
+        assert times.post == pytest.approx(201.98)
+
+    def test_hlp_rx_prog(self, times):
+        assert times.hlp_rx_prog == pytest.approx(224.66)
+
+    def test_hlp_tx_prog(self, times):
+        assert times.hlp_tx_prog == pytest.approx(58.86)
+
+    def test_perftest_misc(self, times):
+        assert times.perftest_misc == pytest.approx(58.68)
+
+    def test_mpi_wait_totals(self, times):
+        assert times.mpi_wait_mpich == pytest.approx(293.29)
+        assert times.mpi_wait_ucp == pytest.approx(150.51)
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentTimes(pcie=-1.0)
+
+    def test_frozen(self):
+        times = ComponentTimes.paper()
+        with pytest.raises(AttributeError):
+            times.pcie = 0.0  # type: ignore[misc]
+
+    def test_hlp_tx_prog_never_negative(self):
+        times = ComponentTimes(post_prog=0.5, llp_tx_prog=0.96)
+        assert times.hlp_tx_prog == 0.0
+
+
+class TestCategoryMapping:
+    @pytest.mark.parametrize(
+        "component,category",
+        [
+            ("hlp_post", Category.CPU),
+            ("llp_post", Category.CPU),
+            ("llp_prog", Category.CPU),
+            ("hlp_rx_prog", Category.CPU),
+            ("tx_pcie", Category.IO),
+            ("rx_pcie", Category.IO),
+            ("rc_to_mem", Category.IO),
+            ("wire", Category.NETWORK),
+            ("switch", Category.NETWORK),
+        ],
+    )
+    def test_latency_component_categories(self, component, category):
+        times = ComponentTimes.paper()
+        assert times.latency_component_category(component) is category
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            ComponentTimes.paper().latency_component_category("flux_capacitor")
+
+
+class TestCustomSystems:
+    def test_custom_values_flow_through_aggregates(self):
+        times = ComponentTimes(wire=100.0, switch=30.0)
+        assert times.network == 130.0
+
+    def test_integrated_nic_style_instance(self):
+        # §7.1's Tofu-like integrated NIC: tiny I/O costs.
+        times = ComponentTimes(pcie=20.0, rc_to_mem_8b=50.0)
+        assert times.pcie == 20.0
+        assert times.llp_post == pytest.approx(175.42)  # CPU unchanged

@@ -1,0 +1,73 @@
+"""Unit tests for the §6 insights (repro.core.insights)."""
+
+import pytest
+
+from repro.core.components import ComponentTimes
+from repro.core.insights import (
+    all_insights,
+    insight1_post_dominates_injection,
+    insight2_no_category_dominates_latency,
+    insight3_target_dominates_on_node,
+    insight4_hlp_dominates_progress,
+)
+
+PAPER = ComponentTimes.paper()
+
+
+class TestPaperSystem:
+    def test_all_four_insights_hold(self):
+        insights = all_insights(PAPER)
+        assert len(insights) == 4
+        assert all(insight.holds for insight in insights)
+
+    def test_insight1_evidence(self):
+        insight = insight1_post_dominates_injection(PAPER)
+        assert insight.evidence["post_percent"] == pytest.approx(76.23, abs=0.01)
+
+    def test_insight2_evidence(self):
+        insight = insight2_no_category_dominates_latency(PAPER)
+        assert insight.evidence["network_percent"] == pytest.approx(27.60, abs=0.01)
+
+    def test_insight3_evidence(self):
+        insight = insight3_target_dominates_on_node(PAPER)
+        assert insight.evidence["target_percent"] == pytest.approx(66.20, abs=0.01)
+
+    def test_insight4_rx_tx_ratio_matches_paper(self):
+        # §6: "The progress of a receive operation is 4.78× higher than
+        # that of a send operation."
+        insight = insight4_hlp_dominates_progress(PAPER)
+        assert insight.evidence["rx_over_tx_ratio"] == pytest.approx(4.78, abs=0.02)
+
+    def test_str_rendering(self):
+        assert "HOLDS" in str(insight1_post_dominates_injection(PAPER))
+
+
+class TestCounterexamples:
+    """Insights must *fail* on systems built to violate them — the
+    checks are real predicates, not rubber stamps."""
+
+    def test_insight1_fails_with_huge_progress_cost(self):
+        slow_progress = ComponentTimes(post_prog=2000.0)
+        assert not insight1_post_dominates_injection(slow_progress).holds
+
+    def test_insight2_fails_on_network_dominated_system(self):
+        long_haul = ComponentTimes(wire=100000.0)
+        assert not insight2_no_category_dominates_latency(long_haul).holds
+
+    def test_insight3_fails_with_free_target_io(self):
+        integrated = ComponentTimes(
+            rc_to_mem_8b=1.0,
+            pcie=1.0,
+            mpich_recv_callback=0.0,
+            ucp_recv_callback=0.0,
+            mpich_after_progress=0.0,
+        )
+        assert not insight3_target_dominates_on_node(integrated).holds
+
+    def test_insight4_fails_when_llp_dominates_progress(self):
+        llp_heavy = ComponentTimes(
+            mpich_recv_callback=1.0,
+            ucp_recv_callback=1.0,
+            mpich_after_progress=1.0,
+        )
+        assert not insight4_hlp_dominates_progress(llp_heavy).holds

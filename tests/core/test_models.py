@@ -1,0 +1,131 @@
+"""Unit tests for the analytical models (repro.core.models)."""
+
+import pytest
+
+from repro.core.components import ComponentTimes
+from repro.core.models import (
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+    gen_completion,
+    min_poll_interval,
+)
+
+
+PAPER = ComponentTimes.paper()
+
+
+class TestGenCompletion:
+    def test_formula(self):
+        # 2 × (137.49 + 382.81) + RC-to-MEM(64B).
+        expected = 2 * (137.49 + 382.81) + PAPER.rc_to_mem_64b
+        assert gen_completion(PAPER) == pytest.approx(expected)
+
+    def test_min_poll_interval(self):
+        # gen_completion / LLP_post ≈ 1296.68 / 175.42 ≈ 7.39 → p = 8.
+        assert min_poll_interval(PAPER) == 8
+
+    def test_min_poll_interval_rejects_zero_post(self):
+        broken = ComponentTimes(
+            md_setup=0, barrier_md=0, barrier_dbc=0, pio_copy=0, llp_post_other=0
+        )
+        with pytest.raises(ValueError):
+            min_poll_interval(broken)
+
+
+class TestInjectionModelLlp:
+    def test_paper_prediction(self):
+        # §4.2: modeled injection overhead = 295.73 ns.
+        assert InjectionModelLlp(PAPER).predicted_ns == pytest.approx(295.73)
+
+    def test_within_5pct_of_paper_observation(self):
+        model = InjectionModelLlp(PAPER).predicted_ns
+        assert abs(model - 282.33) / 282.33 < 0.05
+
+    def test_components_sum_to_prediction(self):
+        model = InjectionModelLlp(PAPER)
+        assert sum(model.components().values()) == pytest.approx(model.predicted_ns)
+
+
+class TestLatencyModelLlp:
+    def test_paper_prediction(self):
+        # §4.3: Latency = 1135.8 ns.
+        assert LatencyModelLlp(PAPER).predicted_ns == pytest.approx(1135.8, abs=0.05)
+
+    def test_within_5pct_of_paper_observation(self):
+        # Observed 1190.25 ns (after deducting half a measurement update).
+        model = LatencyModelLlp(PAPER).predicted_ns
+        assert abs(model - 1190.25) / 1190.25 < 0.05
+
+    def test_rc_to_mem_anchors(self):
+        assert LatencyModelLlp(PAPER, payload_bytes=8).rc_to_mem == PAPER.rc_to_mem_8b
+        assert LatencyModelLlp(PAPER, payload_bytes=64).rc_to_mem == PAPER.rc_to_mem_64b
+
+    def test_rc_to_mem_interpolates(self):
+        mid = LatencyModelLlp(PAPER, payload_bytes=36).rc_to_mem
+        assert PAPER.rc_to_mem_8b < mid < PAPER.rc_to_mem_64b
+
+    def test_components_sum_to_prediction(self):
+        model = LatencyModelLlp(PAPER)
+        assert sum(model.components().values()) == pytest.approx(model.predicted_ns)
+
+    def test_larger_payload_increases_latency(self):
+        assert (
+            LatencyModelLlp(PAPER, payload_bytes=64).predicted_ns
+            > LatencyModelLlp(PAPER, payload_bytes=8).predicted_ns
+        )
+
+
+class TestOverallInjectionModel:
+    def test_paper_prediction(self):
+        # §6: Equation 2 gives 264.97 ns.
+        assert OverallInjectionModel(PAPER).predicted_ns == pytest.approx(264.97)
+
+    def test_within_1pct_of_paper_observation(self):
+        model = OverallInjectionModel(PAPER).predicted_ns
+        assert abs(model - 263.91) / 263.91 < 0.01
+
+    def test_components(self):
+        components = OverallInjectionModel(PAPER).components()
+        assert components["post"] == pytest.approx(201.98)
+        assert components["post_prog"] == pytest.approx(59.82)
+        assert components["misc"] == pytest.approx(3.17)
+
+
+class TestEndToEndLatencyModel:
+    def test_paper_prediction(self):
+        # §6: end-to-end latency = 1387.02 ns.
+        assert EndToEndLatencyModel(PAPER).predicted_ns == pytest.approx(1387.02)
+
+    def test_within_4pct_of_paper_observation(self):
+        model = EndToEndLatencyModel(PAPER).predicted_ns
+        assert abs(model - 1336.0) / 1336.0 < 0.04
+
+    def test_nine_components(self):
+        components = EndToEndLatencyModel(PAPER).components()
+        assert len(components) == 9
+        assert sum(components.values()) == pytest.approx(1387.02)
+
+    def test_extends_llp_model_by_hlp_terms(self):
+        e2e = EndToEndLatencyModel(PAPER)
+        assert e2e.predicted_ns == pytest.approx(
+            LatencyModelLlp(PAPER).predicted_ns + 26.56 + 224.66
+        )
+
+
+class TestModelsOnCustomSystems:
+    def test_faster_network_reduces_latency_only(self):
+        fast_net = ComponentTimes(wire=50.0, switch=10.0)
+        assert (
+            EndToEndLatencyModel(fast_net).predicted_ns
+            < EndToEndLatencyModel(PAPER).predicted_ns
+        )
+        # Injection is CPU-bound; the network does not appear in Eq. 2.
+        assert OverallInjectionModel(fast_net).predicted_ns == pytest.approx(
+            OverallInjectionModel(PAPER).predicted_ns
+        )
+
+    def test_gen_completion_drives_poll_bound_up_with_slow_network(self):
+        slow = ComponentTimes(wire=2000.0)
+        assert min_poll_interval(slow) > min_poll_interval(PAPER)

@@ -1,0 +1,67 @@
+"""Unit tests for model validation (repro.core.validation)."""
+
+import pytest
+
+from repro.core.components import ComponentTimes
+from repro.core.models import (
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+)
+from repro.core.validation import ValidationResult, validate
+
+PAPER = ComponentTimes.paper()
+
+
+class TestValidationResult:
+    def test_error_sign(self):
+        over = validate("x", modeled_ns=110.0, observed_ns=100.0)
+        assert over.error == pytest.approx(0.10)
+        under = validate("x", modeled_ns=90.0, observed_ns=100.0)
+        assert under.error == pytest.approx(-0.10)
+
+    def test_within_margin_boundary(self):
+        assert validate("x", 105.0, 100.0, margin=0.05).within_margin
+        assert not validate("x", 106.0, 100.0, margin=0.05).within_margin
+
+    def test_error_percent_absolute(self):
+        assert validate("x", 90.0, 100.0).error_percent == pytest.approx(10.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationResult("x", 1.0, 0.0, 0.05)
+        with pytest.raises(ValueError):
+            ValidationResult("x", 1.0, 1.0, -0.1)
+
+    def test_str_contains_verdict(self):
+        assert "[OK]" in str(validate("x", 100.0, 100.0))
+        assert "[FAIL]" in str(validate("x", 200.0, 100.0))
+
+
+class TestPaperValidations:
+    """The paper's four headline accuracy claims, re-verified."""
+
+    def test_llp_injection_within_5pct(self):
+        result = validate(
+            "llp injection", InjectionModelLlp(PAPER).predicted_ns, 282.33, 0.05
+        )
+        assert result.within_margin
+
+    def test_llp_latency_within_5pct(self):
+        result = validate(
+            "llp latency", LatencyModelLlp(PAPER).predicted_ns, 1190.25, 0.05
+        )
+        assert result.within_margin
+
+    def test_overall_injection_within_1pct(self):
+        result = validate(
+            "overall injection", OverallInjectionModel(PAPER).predicted_ns, 263.91, 0.01
+        )
+        assert result.within_margin
+
+    def test_end_to_end_latency_within_4pct(self):
+        result = validate(
+            "e2e latency", EndToEndLatencyModel(PAPER).predicted_ns, 1336.0, 0.04
+        )
+        assert result.within_margin

@@ -1,0 +1,185 @@
+"""Unit tests for the what-if engine (repro.core.whatif) — Figure 17 / §7."""
+
+import pytest
+
+from repro.core.components import ComponentTimes
+from repro.core.whatif import FIG17_REDUCTIONS, Metric, WhatIfAnalysis
+
+PAPER = ComponentTimes.paper()
+ANALYSIS = WhatIfAnalysis(PAPER)
+
+
+class TestTotals:
+    def test_injection_total(self):
+        assert ANALYSIS.total(Metric.INJECTION) == pytest.approx(264.97)
+
+    def test_latency_total(self):
+        assert ANALYSIS.total(Metric.LATENCY) == pytest.approx(1387.02)
+
+
+class TestPublishedClaims:
+    """Every quantitative claim of §7, re-derived."""
+
+    def test_hlp_20pct_injection(self):
+        # "a 20% reduction in overhead in the HLP can speedup injection
+        # by up to 6.44%".
+        hlp = ANALYSIS.injection_components()["HLP"]
+        assert ANALYSIS.speedup(Metric.INJECTION, hlp, 0.20) == pytest.approx(
+            0.0644, abs=0.0005
+        )
+
+    def test_llp_20pct_injection(self):
+        # "that in the LLP can do so by up to 13.33%".
+        llp = ANALYSIS.injection_components()["LLP"]
+        assert ANALYSIS.speedup(Metric.INJECTION, llp, 0.20) == pytest.approx(
+            0.1333, abs=0.0005
+        )
+
+    def test_pio_84pct_injection_over_25pct(self):
+        # "overall injection can improve by more than 25%" at PIO→15 ns.
+        pio = ANALYSIS.injection_components()["PIO"]
+        assert ANALYSIS.speedup(Metric.INJECTION, pio, 0.84) > 0.25
+
+    def test_pio_84pct_latency_over_5pct(self):
+        pio = ANALYSIS.latency_cpu_components()["PIO"]
+        assert ANALYSIS.speedup(Metric.LATENCY, pio, 0.84) > 0.05
+
+    def test_integrated_nic_50pct_latency_over_15pct(self):
+        # §7.1: "over a 15% improvement in overall latency even with a
+        # modest 50% reduction in I/O time".
+        io = ANALYSIS.latency_io_components()["Integrated NIC"]
+        assert ANALYSIS.speedup(Metric.LATENCY, io, 0.50) > 0.15
+
+    def test_switch_72pct_latency_about_5_5pct(self):
+        # §7.2: a reduction to 30 ns (72%) ⇒ ~5.45% speedup.
+        switch = ANALYSIS.latency_network_components()["Switch"]
+        assert ANALYSIS.speedup(Metric.LATENCY, switch, 0.722) == pytest.approx(
+            0.0545, abs=0.005
+        )
+
+    def test_software_20pct_latency_under_5pct(self):
+        # §7.1: 20% software reduction ⇒ <5% latency speedup for both
+        # HLP and LLP upper bounds.
+        for component in ("HLP", "LLP"):
+            value = ANALYSIS.latency_cpu_components()[component]
+            assert ANALYSIS.speedup(Metric.LATENCY, value, 0.20) < 0.05
+
+
+class TestPanels:
+    def test_fig17a_line_set(self):
+        panel = ANALYSIS.figure17a()
+        assert set(panel) == {
+            "HLP", "LLP", "LLP_post", "PIO", "HLP_tx_prog", "HLP_post", "LLP_tx_prog",
+        }
+        for points in panel.values():
+            assert [x for x, _ in points] == list(FIG17_REDUCTIONS)
+
+    def test_fig17b_line_set(self):
+        assert set(ANALYSIS.figure17b()) == {
+            "HLP", "LLP", "HLP_rx_prog", "LLP_post", "PIO", "HLP_post", "LLP_prog",
+        }
+
+    def test_fig17c_line_set(self):
+        assert set(ANALYSIS.figure17c()) == {"Integrated NIC", "PCIe", "RC-to-MEM"}
+
+    def test_fig17d_line_set(self):
+        assert set(ANALYSIS.figure17d()) == {"Wire", "Switch"}
+
+    def test_fig17a_max_speedup_under_60pct(self):
+        # The paper's y-axis tops out at 60%: LLP at 90% is the biggest.
+        panel = ANALYSIS.figure17a()
+        peak = max(y for points in panel.values() for _, y in points)
+        assert 0.55 < peak < 0.60
+
+    def test_lines_are_linear_in_reduction(self):
+        panel = ANALYSIS.figure17b()
+        for points in panel.values():
+            slopes = [y / x for x, y in points]
+            assert max(slopes) - min(slopes) < 1e-12
+
+    def test_aggregate_lines_dominate_constituents(self):
+        panel = ANALYSIS.figure17a()
+        for i in range(len(FIG17_REDUCTIONS)):
+            assert panel["HLP"][i][1] >= panel["HLP_post"][i][1]
+            assert panel["LLP"][i][1] >= panel["LLP_post"][i][1]
+            assert panel["LLP_post"][i][1] >= panel["PIO"][i][1]
+
+
+class TestSpeedupMath:
+    def test_zero_reduction_zero_speedup(self):
+        assert ANALYSIS.speedup(Metric.LATENCY, 100.0, 0.0) == 0.0
+
+    def test_full_reduction_of_total_is_100pct(self):
+        total = ANALYSIS.total(Metric.LATENCY)
+        assert ANALYSIS.speedup(Metric.LATENCY, total, 1.0) == pytest.approx(1.0)
+
+    def test_out_of_range_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            ANALYSIS.speedup(Metric.LATENCY, 100.0, 1.5)
+        with pytest.raises(ValueError):
+            ANALYSIS.speedup(Metric.LATENCY, 100.0, -0.1)
+
+    def test_component_exceeding_total_rejected(self):
+        with pytest.raises(ValueError):
+            ANALYSIS.speedup(Metric.INJECTION, 1e6, 0.5)
+
+    def test_multiplicative_definition_larger(self):
+        fractional = ANALYSIS.speedup(Metric.LATENCY, 500.0, 0.5)
+        multiplicative = ANALYSIS.multiplicative_speedup(Metric.LATENCY, 500.0, 0.5)
+        assert multiplicative > fractional
+
+    def test_multiplicative_rejects_total_removal(self):
+        total = ANALYSIS.total(Metric.LATENCY)
+        with pytest.raises(ValueError):
+            ANALYSIS.multiplicative_speedup(Metric.LATENCY, total, 1.0)
+
+
+class TestCombinedSpeedup:
+    def test_matches_sum_of_individual_speedups(self):
+        t = PAPER
+        combined = ANALYSIS.combined_speedup(
+            Metric.LATENCY,
+            {
+                "pio": (t.pio_copy, 0.84),
+                "io": (2 * t.pcie + t.rc_to_mem_8b, 0.5),
+                "switch": (t.switch, 1.0),
+            },
+        )
+        individual = (
+            ANALYSIS.speedup(Metric.LATENCY, t.pio_copy, 0.84)
+            + ANALYSIS.speedup(Metric.LATENCY, 2 * t.pcie + t.rc_to_mem_8b, 0.5)
+            + ANALYSIS.speedup(Metric.LATENCY, t.switch, 1.0)
+        )
+        assert combined == pytest.approx(individual)
+
+    def test_whatif_example_scenario(self):
+        # The examples/whatif_analysis.py combined scenario: 34.3%.
+        t = PAPER
+        combined = ANALYSIS.combined_speedup(
+            Metric.LATENCY,
+            {
+                "pio": (t.pio_copy - 15.0, 1.0),
+                "pcie": (2 * (t.pcie - 20.0), 1.0),
+                "rc": (t.rc_to_mem_8b - 80.0, 1.0),
+            },
+        )
+        assert combined == pytest.approx(0.343, abs=0.002)
+
+    def test_double_counting_detected(self):
+        t = PAPER
+        with pytest.raises(ValueError, match="double-counted"):
+            ANALYSIS.combined_speedup(
+                Metric.INJECTION,
+                {"everything": (t.post, 1.0), "again": (t.post, 1.0)},
+            )
+
+    def test_empty_scenario_is_zero(self):
+        assert ANALYSIS.combined_speedup(Metric.LATENCY, {}) == 0.0
+
+    def test_invalid_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            ANALYSIS.combined_speedup(Metric.LATENCY, {"x": (10.0, 1.5)})
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            ANALYSIS.combined_speedup(Metric.LATENCY, {"x": (-1.0, 0.5)})

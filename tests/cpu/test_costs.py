@@ -1,0 +1,57 @@
+"""Unit tests for the segment cost table (repro.cpu.costs)."""
+
+import pytest
+
+from repro.cpu.costs import SegmentCosts
+
+
+class TestDefaults:
+    """The defaults must reproduce the paper's Table 1 aggregates."""
+
+    def test_llp_post_total(self):
+        assert SegmentCosts().llp_post == pytest.approx(175.42)
+
+    def test_hlp_post_total(self):
+        assert SegmentCosts().hlp_post == pytest.approx(26.56)
+
+    def test_hlp_rx_prog_total(self):
+        assert SegmentCosts().hlp_rx_prog == pytest.approx(224.66)
+
+    def test_mpi_wait_mpich_total(self):
+        assert SegmentCosts().mpi_wait_mpich_total == pytest.approx(293.29)
+
+    def test_mpi_wait_ucp_total(self):
+        assert SegmentCosts().mpi_wait_ucp_total == pytest.approx(150.51)
+
+    def test_mpi_wait_total(self):
+        assert SegmentCosts().mpi_wait_total == pytest.approx(443.80)
+
+    def test_perftest_constituents(self):
+        costs = SegmentCosts()
+        assert costs.busy_post == pytest.approx(8.99)
+        assert costs.measurement_update == pytest.approx(49.69)
+
+
+class TestValidation:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError, match="md_setup"):
+            SegmentCosts(md_setup=-1.0)
+
+    def test_zero_costs_allowed(self):
+        costs = SegmentCosts(md_setup=0.0, llp_prog=0.0)
+        assert costs.md_setup == 0.0
+
+    def test_frozen(self):
+        costs = SegmentCosts()
+        with pytest.raises(AttributeError):
+            costs.md_setup = 5.0  # type: ignore[misc]
+
+
+class TestOverrides:
+    def test_custom_pio_changes_llp_post(self):
+        fast_pio = SegmentCosts(pio_copy_64b=15.0)
+        assert fast_pio.llp_post == pytest.approx(175.42 - 94.25 + 15.0)
+
+    def test_totals_track_constituents(self):
+        costs = SegmentCosts(mpich_isend=10.0, ucp_isend=5.0)
+        assert costs.hlp_post == 15.0

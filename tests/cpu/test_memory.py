@@ -1,0 +1,54 @@
+"""Unit tests for the memory-type model (repro.cpu.memory)."""
+
+import pytest
+
+from repro.cpu.memory import MemoryModel, MemoryType
+
+
+class TestWriteCost:
+    def test_device_64b_default_matches_pio_copy(self):
+        model = MemoryModel()
+        assert model.write_cost(MemoryType.DEVICE_GRE, 64) == pytest.approx(94.25)
+
+    def test_normal_64b_is_sub_nanosecond(self):
+        # §7.1: "A regular 64-byte memcpy ... takes less than a nanosecond".
+        model = MemoryModel()
+        assert model.write_cost(MemoryType.NORMAL, 64) < 1.0
+
+    def test_chunking_rounds_up(self):
+        model = MemoryModel()
+        one = model.write_cost(MemoryType.DEVICE_GRE, 64)
+        assert model.write_cost(MemoryType.DEVICE_GRE, 65) == pytest.approx(2 * one)
+        assert model.write_cost(MemoryType.DEVICE_GRE, 128) == pytest.approx(2 * one)
+        assert model.write_cost(MemoryType.DEVICE_GRE, 8) == pytest.approx(one)
+
+    def test_zero_bytes_is_free(self):
+        model = MemoryModel()
+        assert model.write_cost(MemoryType.NORMAL, 0) == 0.0
+        assert model.write_cost(MemoryType.DEVICE_GRE, 0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel().write_cost(MemoryType.NORMAL, -1)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel(normal_write_64b=-0.1)
+
+
+class TestDevicePenalty:
+    def test_default_penalty_exceeds_90_percent(self):
+        # §7.1: "the current difference between 64-byte writes to Normal
+        # and Device memory is more than 90%".
+        model = MemoryModel()
+        assert (1 - model.normal_write_64b / model.device_write_64b) > 0.90
+        assert model.device_penalty > 10
+
+    def test_penalty_infinite_for_free_normal_writes(self):
+        model = MemoryModel(normal_write_64b=0.0)
+        assert model.device_penalty == float("inf")
+
+    def test_optimized_device_memory(self):
+        # The §7.1 PIO optimization: device writes as fast as normal.
+        model = MemoryModel(device_write_64b=0.9)
+        assert model.device_penalty == pytest.approx(1.0)

@@ -1,0 +1,99 @@
+"""Unit tests for the virtual timer (repro.cpu.timer)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.timer import VirtualTimer
+from repro.sim import Environment
+
+
+def make_timer(overhead=49.69, std=0.0):
+    env = Environment()
+    return env, VirtualTimer(
+        env,
+        np.random.default_rng(0),
+        measurement_overhead_ns=overhead,
+        overhead_std_ns=std,
+    )
+
+
+class TestRead:
+    def test_read_costs_half_overhead(self):
+        env, timer = make_timer()
+
+        def body():
+            sample = yield from timer.read()
+            return sample
+
+        sample = env.run(until=env.process(body()))
+        assert env.now == pytest.approx(49.69 / 2)
+        assert sample.timestamp_ns == pytest.approx(49.69 / 2)
+        assert sample.read_cost_ns == pytest.approx(49.69 / 2)
+
+    def test_wrapped_region_inflates_by_full_overhead(self):
+        env, timer = make_timer()
+        measured = {}
+
+        def body():
+            t0 = env.now
+            yield from timer.read()
+            yield env.timeout(100.0)  # the region
+            yield from timer.read()
+            measured["elapsed"] = env.now - t0
+
+        env.run(until=env.process(body()))
+        assert measured["elapsed"] == pytest.approx(100.0 + 49.69)
+
+    def test_zero_overhead_timer_is_free(self):
+        env, timer = make_timer(overhead=0.0)
+
+        def body():
+            yield from timer.read()
+            return env.now
+
+        assert env.run(until=env.process(body())) == 0.0
+
+    def test_read_counter_increments(self):
+        env, timer = make_timer()
+
+        def body():
+            yield from timer.read()
+            yield from timer.read()
+
+        env.run(until=env.process(body()))
+        assert timer.reads == 2
+
+    def test_noisy_read_costs_vary(self):
+        env, timer = make_timer(std=1.48)
+        costs = []
+
+        def body():
+            for _ in range(200):
+                sample = yield from timer.read()
+                costs.append(sample.read_cost_ns)
+
+        env.run(until=env.process(body()))
+        assert np.std(costs) > 0
+        assert np.mean(costs) == pytest.approx(49.69 / 2, rel=0.05)
+
+    def test_costs_never_negative(self):
+        env, timer = make_timer(overhead=1.0, std=10.0)
+
+        def body():
+            for _ in range(500):
+                sample = yield from timer.read()
+                assert sample.read_cost_ns >= 0.0
+
+        env.run(until=env.process(body()))
+
+
+class TestValidation:
+    def test_negative_overhead_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            VirtualTimer(env, np.random.default_rng(0), measurement_overhead_ns=-1)
+
+    def test_negative_std_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            VirtualTimer(env, np.random.default_rng(0), overhead_std_ns=-1)

@@ -1,0 +1,147 @@
+"""Integration tests for the MPI layer (repro.hlp.mpi)."""
+
+import pytest
+
+from repro.hlp.mpi import MpiStack
+from repro.node import SystemConfig, Testbed
+
+
+def make_comms(signal_period=64):
+    tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
+    s1 = MpiStack(tb.node1, signal_period=signal_period)
+    s2 = MpiStack(tb.node2, signal_period=signal_period)
+    return tb, s1.connect(s2), s2.connect(s1), s1, s2
+
+
+class TestIsend:
+    def test_isend_returns_completed_request_for_inline(self):
+        tb, comm1, _comm2, _s1, _s2 = make_comms()
+
+        def body():
+            request = yield from comm1.isend(8)
+            return request, tb.env.now
+
+        request, elapsed = tb.env.run(until=tb.env.process(body()))
+        assert request.completed
+        # MPICH (24.37) + UCP (2.19) + LLP_post (175.42) = 201.98: the
+        # paper's Post.
+        assert elapsed == pytest.approx(201.98)
+
+    def test_isend_request_kinds(self):
+        tb, comm1, _comm2, _s1, _s2 = make_comms()
+
+        def body():
+            send = yield from comm1.isend(8)
+            recv = yield from comm1.irecv(8)
+            return send, recv
+
+        send, recv = tb.env.run(until=tb.env.process(body()))
+        assert send.kind == "send"
+        assert recv.kind == "recv"
+
+
+class TestPingPong:
+    def test_round_trip_completes(self):
+        tb, comm1, comm2, _s1, _s2 = make_comms()
+
+        def initiator():
+            recv = yield from comm1.irecv(8)
+            yield from comm1.isend(8)
+            yield from comm1.wait(recv)
+            return tb.env.now
+
+        def responder():
+            recv = yield from comm2.irecv(8)
+            yield from comm2.wait(recv)
+            yield from comm2.isend(8)
+
+        tb.env.process(responder())
+        elapsed = tb.env.run(until=tb.env.process(initiator()))
+        # A full round trip: roughly 2× the §6 one-way model (1387.02),
+        # minus overlapped work; sanity-bound it.
+        assert 2000.0 < elapsed < 3500.0
+
+    def test_wait_on_completed_request_still_charges_entry_costs(self):
+        tb, comm1, comm2, _s1, _s2 = make_comms()
+
+        def initiator():
+            yield from comm1.isend(8)
+
+        def responder():
+            recv = yield from comm2.irecv(8)
+            yield from comm2.wait(recv)
+            # Waiting again on the now-complete request costs the
+            # blocking-entry and after-progress overheads, no loop.
+            t0 = tb.env.now
+            yield from comm2.wait(recv)
+            return tb.env.now - t0
+
+        tb.env.process(initiator())
+        rewait = tb.env.run(until=tb.env.process(responder()))
+        assert rewait == pytest.approx(208.41 + 36.89)
+
+
+class TestWaitall:
+    def test_waitall_retires_full_window(self):
+        tb, comm1, _comm2, s1, _s2 = make_comms()
+
+        def body():
+            requests = []
+            for _ in range(64):
+                requests.append((yield from comm1.isend(8)))
+            yield from comm1.waitall(requests)
+            return requests
+
+        requests = tb.env.run(until=tb.env.process(body()))
+        assert all(r.completed for r in requests)
+
+    def test_waitall_reposts_busy_window(self):
+        tb, comm1, _comm2, s1, _s2 = make_comms()
+        depth = tb.config.nic.txq_depth
+
+        def body():
+            requests = []
+            for _ in range(depth + 32):
+                requests.append((yield from comm1.isend(8)))
+            yield from comm1.waitall(requests)
+            return requests
+
+        requests = tb.env.run(until=tb.env.process(body()))
+        assert all(r.completed for r in requests)
+        assert s1.ucp.busy_posts_encountered == 32
+        assert s1.ucp.progress_llp_posts == 32
+
+    def test_waitall_empty_list(self):
+        tb, comm1, _comm2, _s1, _s2 = make_comms()
+
+        def body():
+            yield from comm1.waitall([])
+            return tb.env.now
+
+        assert tb.env.run(until=tb.env.process(body())) == pytest.approx(0.0)
+
+
+class TestCriticalPathComposition:
+    def test_one_way_latency_matches_e2e_model_within_tolerance(self):
+        """The simulated MPI one-way latency must land near the §6
+        analytical model (1387.02 ns) — the paper's own validation gap
+        is 4%."""
+        tb, comm1, comm2, _s1, _s2 = make_comms()
+        marks = {}
+
+        def initiator():
+            recv = yield from comm1.irecv(8)
+            yield from comm1.isend(8)
+            yield from comm1.wait(recv)
+
+        def responder():
+            recv = yield from comm2.irecv(8)
+            yield from comm2.wait(recv)
+            marks["one_way"] = tb.env.now
+            yield from comm2.isend(8)
+
+        tb.env.process(responder())
+        tb.env.run(until=tb.env.process(initiator()))
+        # One-way time measured at the point the target's wait returns;
+        # the model excludes the responder's isend.
+        assert marks["one_way"] == pytest.approx(1387.02, rel=0.05)

@@ -1,0 +1,166 @@
+"""Integration tests for the UCP layer (repro.hlp.ucp)."""
+
+import pytest
+
+from repro.hlp.ucp import UcpWorker
+from repro.node import SystemConfig, Testbed
+
+
+def make_pair(signal_period=64):
+    tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
+    w1 = UcpWorker(tb.node1, signal_period=signal_period)
+    w2 = UcpWorker(tb.node2, signal_period=signal_period)
+    return tb, w1, w2, w1.create_ep(w2)
+
+
+class TestSend:
+    def test_inline_send_completes_immediately(self):
+        tb, w1, _w2, ep = make_pair()
+
+        def body():
+            request = yield from w1.tag_send_nb(ep, 8)
+            return request
+
+        request = tb.env.run(until=tb.env.process(body()))
+        assert request.completed
+        assert request.kind == "send"
+
+    def test_send_cost_is_ucp_plus_llp_post(self):
+        tb, w1, _w2, ep = make_pair()
+
+        def body():
+            yield from w1.tag_send_nb(ep, 8)
+            return tb.env.now
+
+        # ucp_isend (2.19) + LLP_post (175.42).
+        assert tb.env.run(until=tb.env.process(body())) == pytest.approx(177.61)
+
+    def test_busy_send_pended(self):
+        tb, w1, _w2, ep = make_pair(signal_period=64)
+        depth = tb.config.nic.txq_depth
+
+        def body():
+            requests = []
+            for _ in range(depth + 3):
+                request = yield from w1.tag_send_nb(ep, 8)
+                requests.append(request)
+            return requests
+
+        requests = tb.env.run(until=tb.env.process(body()))
+        pended = [r for r in requests if not r.completed]
+        assert len(pended) == 3
+        assert w1.busy_posts_encountered == 3
+        assert len(w1.pending_sends) == 3
+
+    def test_pended_sends_reposted_by_progress(self):
+        tb, w1, _w2, ep = make_pair(signal_period=64)
+        depth = tb.config.nic.txq_depth
+
+        def body():
+            requests = []
+            for _ in range(depth + 3):
+                request = yield from w1.tag_send_nb(ep, 8)
+                requests.append(request)
+            # Spin progress until the pended requests complete; CQEs
+            # free slots, the re-posts drain the pending queue.
+            while not all(r.completed for r in requests):
+                yield from w1.worker_progress()
+            return requests
+
+        requests = tb.env.run(until=tb.env.process(body()))
+        assert all(r.completed for r in requests)
+        assert w1.progress_llp_posts == 3
+        assert w1.progress_llp_post_ns > 0
+
+
+class TestReceive:
+    def test_expected_receive_matches_incoming(self):
+        tb, w1, w2, ep = make_pair()
+
+        def receiver():
+            request = yield from w2.tag_recv_nb(8)
+            while not request.completed:
+                yield from w2.worker_progress()
+            return request
+
+        def sender():
+            yield from w1.tag_send_nb(ep, 8)
+
+        tb.env.process(sender())
+        request = tb.env.run(until=tb.env.process(receiver()))
+        assert request.completed
+        assert request.message is not None
+        assert request.message.payload_bytes == 8
+
+    def test_unexpected_message_queued_then_matched(self):
+        tb, w1, w2, ep = make_pair()
+
+        def sender():
+            yield from w1.tag_send_nb(ep, 8)
+
+        def receiver():
+            # Let the message arrive before any recv is posted.
+            yield tb.env.timeout(20000.0)
+            while not w2.unexpected:
+                yield from w2.worker_progress()
+            request = yield from w2.tag_recv_nb(8)
+            return request
+
+        tb.env.process(sender())
+        request = tb.env.run(until=tb.env.process(receiver()))
+        assert request.completed
+
+    def test_upper_callback_runs_on_completion(self):
+        tb, w1, w2, ep = make_pair()
+        calls = []
+
+        def receiver():
+            request = yield from w2.tag_recv_nb(8, upper_callback=calls.append)
+            while not request.completed:
+                yield from w2.worker_progress()
+
+        def sender():
+            yield from w1.tag_send_nb(ep, 8)
+
+        tb.env.process(sender())
+        tb.env.run(until=tb.env.process(receiver()))
+        assert len(calls) == 1
+        assert calls[0].completed
+
+    def test_fifo_matching_order(self):
+        tb, w1, w2, ep = make_pair()
+        done = []
+
+        def receiver():
+            first = yield from w2.tag_recv_nb(8)
+            second = yield from w2.tag_recv_nb(8)
+            while not (first.completed and second.completed):
+                yield from w2.worker_progress()
+            done.extend([first.request_id, second.request_id])
+            return (first, second)
+
+        def sender():
+            yield from w1.tag_send_nb(ep, 8)
+            yield from w1.tag_send_nb(ep, 8)
+
+        tb.env.process(sender())
+        first, second = tb.env.run(until=tb.env.process(receiver()))
+        assert first.request_id < second.request_id
+        assert first.message.msg_id < second.message.msg_id
+
+
+class TestUnsignaledCompletions:
+    def test_cqes_amortized_over_signal_period(self):
+        tb, w1, _w2, ep = make_pair(signal_period=16)
+
+        def body():
+            for _ in range(32):
+                yield from w1.tag_send_nb(ep, 8)
+            yield tb.env.timeout(20000.0)
+            # Two CQEs (one per 16 ops) retire all 32 slots.
+            yield from w1.worker_progress()
+            yield from w1.worker_progress()
+
+        tb.env.run(until=tb.env.process(body()))
+        assert w1.iface.qp.cqes_written == 2
+        assert w1.iface.qp.txq.occupied == 0

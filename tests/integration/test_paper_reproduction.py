@@ -1,0 +1,141 @@
+"""End-to-end reproduction checks: the paper's headline results.
+
+These tests tie the whole system together: simulator → benchmarks →
+methodology → models → breakdowns, asserting the paper's central
+quantitative findings.
+"""
+
+import pytest
+
+from repro import (
+    ComponentTimes,
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+    SystemConfig,
+)
+from repro.bench import run_am_lat, run_osu_latency, run_osu_message_rate, run_put_bw
+from repro.core.insights import all_insights
+
+DET = SystemConfig.paper_testbed(deterministic=True)
+PAPER = ComponentTimes.paper()
+
+
+class TestHeadlineNumbers:
+    """Paper abstract: 'Our analytical models estimate the observed
+    performance within a 5% margin of error on Arm ThunderX2.'"""
+
+    def test_llp_injection_5pct(self):
+        result = run_put_bw(config=DET, n_messages=400, warmup=200)
+        model = InjectionModelLlp(PAPER).predicted_ns
+        assert abs(model - result.mean_injection_overhead_ns) / model < 0.05
+
+    def test_llp_latency_5pct(self):
+        result = run_am_lat(config=DET, iterations=150, warmup=30)
+        model = LatencyModelLlp(PAPER).predicted_ns
+        observed = result.observed_latency_ns - PAPER.measurement_update / 2
+        assert abs(model - observed) / observed < 0.05
+
+    def test_overall_injection_2pct(self):
+        result = run_osu_message_rate(config=DET, windows=16, warmup_windows=6)
+        model = OverallInjectionModel(PAPER).predicted_ns
+        assert abs(model - result.cpu_side_injection_overhead_ns) / model < 0.02
+
+    def test_e2e_latency_4pct(self):
+        result = run_osu_latency(config=DET, iterations=150, warmup=30)
+        model = EndToEndLatencyModel(PAPER).predicted_ns
+        assert abs(model - result.observed_latency_ns) / model < 0.04
+
+
+class TestInsightsOnSimulatedSystem:
+    def test_insights_hold_on_paper_calibration(self):
+        assert all(insight.holds for insight in all_insights(PAPER))
+
+
+class TestGroundTruthAgainstJournals:
+    """Cross-validation: the message journals (ground truth) must agree
+    with the analytical decomposition stage by stage."""
+
+    @pytest.fixture(scope="class")
+    def ping(self):
+        result = run_am_lat(config=DET, iterations=60, warmup=20)
+        return result.pings[10]
+
+    def test_tx_pcie_interval(self, ping):
+        assert ping.interval("pio_written", "nic_arrival") == pytest.approx(137.49)
+
+    def test_network_interval(self, ping):
+        assert ping.interval("nic_arrival", "target_nic") == pytest.approx(382.81)
+
+    def test_rx_pcie_plus_rc_to_mem_interval(self, ping):
+        assert ping.interval("target_nic", "payload_visible") == pytest.approx(
+            137.49 + 240.96
+        )
+
+    def test_ack_round_trip(self, ping):
+        assert ping.interval("wire_out", "ack_rx") == pytest.approx(2 * 382.81)
+
+
+class TestWhatIfAgainstResimulation:
+    """§7: 'evaluating the impacts of reductions ... through a
+    distributed system simulator results in exactly the same linear
+    speedups'.  Verify one point of Figure 17 by actually re-running
+    the simulator with the reduced component."""
+
+    def test_pio_reduction_latency_speedup_matches_whatif(self):
+        from repro.core.whatif import Metric, WhatIfAnalysis
+        from repro.cpu.costs import SegmentCosts
+        from repro.cpu.memory import MemoryModel
+
+        baseline = run_osu_latency(config=DET, iterations=100, warmup=20)
+
+        reduced_pio = 94.25 * 0.5
+        fast_config = DET.evolve(
+            costs=SegmentCosts(pio_copy_64b=reduced_pio),
+            memory=MemoryModel(device_write_64b=reduced_pio),
+        )
+        faster = run_osu_latency(config=fast_config, iterations=100, warmup=20)
+
+        observed_speedup = (
+            baseline.observed_latency_ns - faster.observed_latency_ns
+        ) / baseline.observed_latency_ns
+        predicted = WhatIfAnalysis(PAPER).speedup(Metric.LATENCY, PAPER.pio_copy, 0.5)
+        # Two PIO copies per round trip halve symmetrically; one-way
+        # speedup matches the model point within noise.
+        assert observed_speedup == pytest.approx(predicted, abs=0.01)
+
+    def test_switch_removal_matches_whatif(self):
+        from repro.core.whatif import Metric, WhatIfAnalysis
+
+        baseline = run_osu_latency(config=DET, iterations=100, warmup=20)
+        direct = run_osu_latency(
+            config=SystemConfig.paper_testbed_direct(deterministic=True),
+            iterations=100,
+            warmup=20,
+        )
+        observed_speedup = (
+            baseline.observed_latency_ns - direct.observed_latency_ns
+        ) / baseline.observed_latency_ns
+        predicted = WhatIfAnalysis(PAPER).speedup(Metric.LATENCY, PAPER.switch, 1.0)
+        assert observed_speedup == pytest.approx(predicted, abs=0.01)
+
+
+class TestSeedStability:
+    def test_noisy_results_reproducible_for_fixed_seed(self):
+        first = run_put_bw(
+            config=SystemConfig.paper_testbed(seed=99), n_messages=150, warmup=100
+        )
+        second = run_put_bw(
+            config=SystemConfig.paper_testbed(seed=99), n_messages=150, warmup=100
+        )
+        assert first.mean_injection_overhead_ns == second.mean_injection_overhead_ns
+
+    def test_different_seeds_differ(self):
+        a = run_put_bw(
+            config=SystemConfig.paper_testbed(seed=1), n_messages=150, warmup=100
+        )
+        b = run_put_bw(
+            config=SystemConfig.paper_testbed(seed=2), n_messages=150, warmup=100
+        )
+        assert a.mean_injection_overhead_ns != b.mean_injection_overhead_ns

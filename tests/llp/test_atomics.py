@@ -1,0 +1,84 @@
+"""Tests for the RDMA atomic (fetch-and-add) extension path."""
+
+import pytest
+
+from repro.llp.uct import UCS_OK, UctWorker
+from repro.node import SystemConfig, Testbed
+from repro.pcie.link import Direction
+
+PCIE = 137.49
+NETWORK = 382.81
+MEM_READ = 90.0
+
+
+def run_atomic():
+    tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
+    w1 = UctWorker(tb.node1)
+    i1 = w1.create_iface()
+    i2 = UctWorker(tb.node2).create_iface()
+    ep = i1.create_ep(i2)
+
+    def body():
+        status = yield from ep.atomic_fadd(8)
+        return status
+
+    status = tb.env.run(until=tb.env.process(body()))
+    tb.run()
+    return tb, i1, status
+
+
+class TestAtomicFadd:
+    def test_completes_with_old_value_locally(self):
+        tb, iface, status = run_atomic()
+        assert status == UCS_OK
+        message = iface.last_message
+        assert len(tb.node1.memory.mailbox(message.recv_target)) == 1
+        assert iface.qp.cq.available == 1
+
+    def test_target_cpu_never_runs(self):
+        tb, _iface, _status = run_atomic()
+        assert tb.node2.cpu.busy_ns == 0.0
+
+    def test_target_side_read_modify_write(self):
+        """The serving NIC must issue one DMA read and one DMA write
+        against its host memory."""
+        tb, _iface, _status = run_atomic()
+        # Target RC executed exactly one DMA read (the operand fetch)...
+        assert tb.node2.rc.dma_reads == 1
+        # ...and one DMA write (the modified value going back).
+        assert tb.node2.rc.dma_writes == 1
+
+    def test_stage_timing_matches_read_path(self):
+        """Fetch-add shares the read path's timing: the write-back is
+        posted (off the critical path of the response)."""
+        tb, iface, _status = run_atomic()
+        ts = iface.last_message.timestamps
+        assert ts["atomic_read"] == pytest.approx(
+            ts["target_nic"] + 2 * PCIE + MEM_READ
+        )
+        assert ts["response_rx"] == pytest.approx(ts["atomic_read"] + NETWORK)
+
+    def test_atomic_write_back_tlp_on_target_link(self):
+        tb, _iface, _status = run_atomic()
+        # Not observable on node 1's analyzer (it taps the initiator),
+        # but the target RC stats above prove it; also check the purpose
+        # made it through the target link's delivered set.
+        assert tb.node2.link.tlps_delivered[Direction.UPSTREAM] >= 2
+
+    def test_busy_post_path(self):
+        tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
+        w1 = UctWorker(tb.node1)
+        i1 = w1.create_iface()
+        i2 = UctWorker(tb.node2).create_iface()
+        ep = i1.create_ep(i2)
+        depth = tb.config.nic.txq_depth
+
+        def body():
+            for _ in range(depth):
+                yield from ep.atomic_fadd(8)
+            status = yield from ep.atomic_fadd(8)
+            return status
+
+        from repro.llp.uct import UCS_ERR_NO_RESOURCE
+
+        assert tb.env.run(until=tb.env.process(body())) == UCS_ERR_NO_RESOURCE

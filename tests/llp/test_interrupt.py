@@ -1,0 +1,70 @@
+"""Tests for the interrupt-driven completion path (§2's alternative)."""
+
+import pytest
+
+from repro.bench import run_am_lat
+from repro.llp.uct import UctWorker
+from repro.node import SystemConfig, Testbed
+
+DET = SystemConfig.paper_testbed(deterministic=True)
+
+
+class TestWaitAmInterrupt:
+    def test_sleeping_thread_burns_no_cpu(self):
+        tb = Testbed(DET)
+        w1 = UctWorker(tb.node1)
+        i1 = w1.create_iface()
+        w2 = UctWorker(tb.node2)
+        i2 = w2.create_iface()
+        ep = i1.create_ep(i2)
+
+        def sender():
+            yield from ep.am_short(8)
+
+        def receiver():
+            yield from w2.wait_am_interrupt(i2)
+            return tb.env.now
+
+        tb.env.process(sender())
+        wake_time = tb.env.run(until=tb.env.process(receiver()))
+        # Receiver CPU time = interrupt wakeup + one dequeue only; it
+        # did not spin while the message was in flight.
+        assert tb.node2.cpu.busy_ns == pytest.approx(1800.0 + 61.63)
+        assert wake_time > 1800.0
+
+    def test_handler_invoked_from_interrupt_path(self):
+        tb = Testbed(DET)
+        w1 = UctWorker(tb.node1)
+        i1 = w1.create_iface()
+        w2 = UctWorker(tb.node2)
+        i2 = w2.create_iface()
+        received = []
+        i2.set_am_handler(lambda m: received.append(m.payload_bytes))
+        ep = i1.create_ep(i2)
+
+        def sender():
+            yield from ep.am_short(8)
+
+        def receiver():
+            message = yield from w2.wait_am_interrupt(i2)
+            return message
+
+        tb.env.process(sender())
+        message = tb.env.run(until=tb.env.process(receiver()))
+        assert received == [8]
+        assert message.payload_bytes == 8
+        assert i2.messages_delivered == 1
+
+
+class TestAmLatInterruptMode:
+    def test_interrupt_mode_adds_wakeup_per_one_way(self):
+        polling = run_am_lat(config=DET, iterations=60, warmup=15)
+        interrupt = run_am_lat(
+            config=DET, iterations=60, warmup=15, completion_mode="interrupt"
+        )
+        penalty = interrupt.observed_latency_ns - polling.observed_latency_ns
+        assert penalty == pytest.approx(1800.0, rel=0.06)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="completion_mode"):
+            run_am_lat(config=DET, iterations=5, completion_mode="smoke-signals")

@@ -1,0 +1,139 @@
+"""Unit tests for the UCS-style profiler (repro.llp.profiling)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.timer import VirtualTimer
+from repro.llp.profiling import RegionStats, UcsProfiler
+from repro.sim import Environment
+
+
+def make_profiler(overhead=49.69, std=0.0, enabled=True):
+    env = Environment()
+    timer = VirtualTimer(
+        env, np.random.default_rng(0), measurement_overhead_ns=overhead,
+        overhead_std_ns=std,
+    )
+    return env, UcsProfiler(timer, enabled=enabled)
+
+
+def measure_region(env, profiler, region, true_duration, repeats=1):
+    def body():
+        for _ in range(repeats):
+            start = yield from profiler.begin(region)
+            yield env.timeout(true_duration)
+            yield from profiler.end(region, start)
+
+    env.run(until=env.process(body()))
+
+
+class TestMeasurement:
+    def test_raw_mean_includes_full_overhead(self):
+        """A wrapped region must read high by the infrastructure
+        overhead, exactly like the paper's UCS measurements."""
+        env, profiler = make_profiler()
+        measure_region(env, profiler, "r", 100.0)
+        assert profiler.raw_mean("r") == pytest.approx(100.0 + 49.69)
+
+    def test_corrected_mean_recovers_true_duration(self):
+        env, profiler = make_profiler()
+        measure_region(env, profiler, "r", 100.0, repeats=5)
+        assert profiler.corrected_mean("r") == pytest.approx(100.0)
+
+    def test_corrected_mean_clamped_at_zero(self):
+        # With noisy read costs a short region can measure below the
+        # nominal overhead; the correction must clamp, not go negative.
+        _env, profiler = make_profiler(overhead=100.0)
+        profiler._regions.setdefault("tiny", RegionStats()).samples.append(80.0)
+        assert profiler.corrected_mean("tiny") == 0.0
+
+    def test_measuring_costs_simulated_time(self):
+        env, profiler = make_profiler()
+        measure_region(env, profiler, "r", 100.0)
+        assert env.now == pytest.approx(149.69)
+
+    def test_unmeasured_region_reports_zero(self):
+        _env, profiler = make_profiler()
+        assert profiler.raw_mean("never") == 0.0
+        assert profiler.corrected_mean("never") == 0.0
+        assert profiler.stats("never").count == 0
+
+    def test_sample_counting_and_reset(self):
+        env, profiler = make_profiler()
+        measure_region(env, profiler, "r", 10.0, repeats=3)
+        assert profiler.stats("r").count == 3
+        assert profiler.regions() == ["r"]
+        profiler.reset()
+        assert profiler.regions() == []
+
+
+class TestMethodologyControls:
+    def test_disabled_profiler_costs_nothing(self):
+        env, profiler = make_profiler(enabled=False)
+        measure_region(env, profiler, "r", 100.0)
+        assert env.now == pytest.approx(100.0)
+        assert profiler.stats("r").count == 0
+
+    def test_enable_only_filters_regions(self):
+        env, profiler = make_profiler()
+        profiler.enable_only({"wanted"})
+        measure_region(env, profiler, "unwanted", 50.0)
+        measure_region(env, profiler, "wanted", 50.0)
+        assert profiler.stats("unwanted").count == 0
+        assert profiler.stats("wanted").count == 1
+
+    def test_enable_only_none_measures_everything(self):
+        env, profiler = make_profiler()
+        profiler.enable_only({"x"})
+        profiler.enable_only(None)
+        measure_region(env, profiler, "anything", 10.0)
+        assert profiler.stats("anything").count == 1
+
+    def test_is_active(self):
+        _env, profiler = make_profiler()
+        profiler.enable_only({"a"})
+        assert profiler.is_active("a")
+        assert not profiler.is_active("b")
+
+    def test_disabled_region_begin_returns_none(self):
+        env, profiler = make_profiler()
+        profiler.enable_only(set())
+
+        def body():
+            start = yield from profiler.begin("r")
+            assert start is None
+            result = yield from profiler.end("r", start)
+            assert result is None
+
+        env.run(until=env.process(body()))
+
+
+class TestWrap:
+    def test_wrap_propagates_inner_return(self):
+        env, profiler = make_profiler()
+
+        def inner():
+            yield env.timeout(10.0)
+            return "value"
+
+        def body():
+            result = yield from profiler.wrap("r", inner())
+            return result
+
+        assert env.run(until=env.process(body())) == "value"
+        assert profiler.corrected_mean("r") == pytest.approx(10.0)
+
+
+class TestRegionStats:
+    def test_empty_stats(self):
+        stats = RegionStats()
+        assert stats.mean == 0.0
+        assert stats.std == 0.0
+
+    def test_std_of_constant_samples_is_zero(self):
+        stats = RegionStats(samples=[5.0, 5.0, 5.0])
+        assert stats.std == 0.0
+
+    def test_std_sample_variance(self):
+        stats = RegionStats(samples=[1.0, 3.0])
+        assert stats.std == pytest.approx(np.std([1.0, 3.0], ddof=1))

@@ -1,0 +1,128 @@
+"""Tests for the RDMA-read (get) extension path."""
+
+import pytest
+
+from repro.core.components import ComponentTimes
+from repro.core.models import RdmaReadLatencyModel
+from repro.llp.uct import UCS_ERR_NO_RESOURCE, UCS_OK, UctWorker
+from repro.node import SystemConfig, Testbed
+
+PCIE = 137.49
+NETWORK = 382.81
+MEM_READ = 90.0
+RC_TO_MEM_8B = 240.96
+
+
+def make_pair():
+    tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
+    w1 = UctWorker(tb.node1)
+    i1 = w1.create_iface()
+    w2 = UctWorker(tb.node2)
+    i2 = w2.create_iface()
+    return tb, w1, i1, i1.create_ep(i2)
+
+
+def run_get(tb, ep, payload=8):
+    def body():
+        status = yield from ep.get_bcopy(payload)
+        return status
+
+    status = tb.env.run(until=tb.env.process(body()))
+    tb.run()
+    return status
+
+
+class TestGetPath:
+    def test_stage_journal(self):
+        tb, _w1, i1, ep = make_pair()
+        assert run_get(tb, ep) == UCS_OK
+        message = i1.last_message
+        ts = message.timestamps
+        # Request out: PIO write → NIC → network.
+        assert ts["nic_arrival"] == pytest.approx(ts["pio_written"] + PCIE)
+        assert ts["target_nic"] == pytest.approx(ts["nic_arrival"] + NETWORK)
+        # Target serves the read: one PCIe round trip + memory read,
+        # with no target-CPU involvement.
+        assert ts["read_served"] == pytest.approx(
+            ts["target_nic"] + 2 * PCIE + MEM_READ
+        )
+        # Response back + landing through the initiator RC.
+        assert ts["response_rx"] == pytest.approx(ts["read_served"] + NETWORK)
+        assert ts["payload_visible"] == pytest.approx(
+            ts["response_rx"] + PCIE + RC_TO_MEM_8B
+        )
+
+    def test_target_cpu_never_runs(self):
+        tb, _w1, _i1, ep = make_pair()
+        run_get(tb, ep)
+        assert tb.node2.cpu.busy_ns == 0.0
+
+    def test_payload_lands_locally(self):
+        tb, _w1, i1, ep = make_pair()
+        run_get(tb, ep)
+        message = i1.last_message
+        assert len(tb.node1.memory.mailbox(message.recv_target)) == 1
+
+    def test_completion_generated(self):
+        tb, _w1, i1, ep = make_pair()
+        run_get(tb, ep)
+        cqe = i1.qp.cq.try_poll()
+        assert cqe is not None
+        assert cqe.message is i1.last_message
+
+    def test_custom_local_buffer(self):
+        tb, _w1, _i1, ep = make_pair()
+
+        def body():
+            yield from ep.get_bcopy(8, local_buffer="my_region")
+
+        tb.env.run(until=tb.env.process(body()))
+        tb.run()
+        assert len(tb.node1.memory.mailbox("my_region")) == 1
+
+    def test_busy_post_on_full_txq(self):
+        tb, _w1, i1, ep = make_pair()
+        depth = tb.config.nic.txq_depth
+
+        def body():
+            for _ in range(depth):
+                yield from ep.get_bcopy(8)
+            status = yield from ep.get_bcopy(8)
+            return status
+
+        assert tb.env.run(until=tb.env.process(body())) == UCS_ERR_NO_RESOURCE
+
+
+class TestModelAgreement:
+    def test_simulated_get_matches_model(self):
+        """Model vs simulation, accounting for the known structural
+        offsets (the model charges the full LLP_post though the trailing
+        misc overlaps the flight, and adds the final poll)."""
+        tb, _w1, i1, ep = make_pair()
+        run_get(tb, ep)
+        message = i1.last_message
+        simulated = message.interval("posted", "payload_visible")
+        model = RdmaReadLatencyModel(ComponentTimes.paper())
+        # simulated + overlapped misc (14.99) + final LLP_prog (61.63)
+        # equals the model's full path.
+        assert simulated + 14.99 + 61.63 == pytest.approx(model.predicted_ns)
+
+    def test_model_components_sum(self):
+        model = RdmaReadLatencyModel(ComponentTimes.paper())
+        assert sum(model.components().values()) == pytest.approx(model.predicted_ns)
+
+    def test_read_slower_than_write(self):
+        """A read pays an extra network traversal plus the target PCIe
+        round trip compared to a write of the same size."""
+        from repro.core.models import LatencyModelLlp
+
+        times = ComponentTimes.paper()
+        write = LatencyModelLlp(times).predicted_ns
+        read = RdmaReadLatencyModel(times).predicted_ns
+        assert read - write == pytest.approx(times.network + 2 * times.pcie + times.mem_read)
+
+    def test_payload_scaling(self):
+        times = ComponentTimes.paper()
+        small = RdmaReadLatencyModel(times, payload_bytes=8).predicted_ns
+        large = RdmaReadLatencyModel(times, payload_bytes=64).predicted_ns
+        assert large > small

@@ -1,0 +1,226 @@
+"""Integration tests for the UCT transport (repro.llp.uct)."""
+
+import pytest
+
+from repro.llp.uct import UCS_ERR_NO_RESOURCE, UCS_OK, UctWorker, invoke_callback
+from repro.node import SystemConfig, Testbed
+from repro.sim import SimulationError
+
+LLP_POST = 175.42
+PCIE = 137.49
+NETWORK = 382.81
+
+
+def make_pair(signal_period=1, **config_overrides):
+    config = SystemConfig.paper_testbed(deterministic=True)
+    if config_overrides:
+        config = config.evolve(**config_overrides)
+    tb = Testbed(config)
+    w1 = UctWorker(tb.node1)
+    i1 = w1.create_iface(signal_period=signal_period)
+    w2 = UctWorker(tb.node2)
+    i2 = w2.create_iface(signal_period=signal_period)
+    return tb, w1, i1, i2, i1.create_ep(i2)
+
+
+class TestPutShort:
+    def test_successful_post_takes_llp_post_time(self):
+        tb, _w1, _i1, _i2, ep = make_pair()
+
+        def body():
+            status = yield from ep.put_short(8)
+            return status, tb.env.now
+
+        status, elapsed = tb.env.run(until=tb.env.process(body()))
+        assert status == UCS_OK
+        # md_setup + barriers + pio copy + misc = 175.42 (Table 1).
+        assert elapsed == pytest.approx(LLP_POST)
+
+    def test_post_stamps_journal_and_occupies_slot(self):
+        tb, _w1, i1, _i2, ep = make_pair()
+
+        def body():
+            yield from ep.put_short(8)
+
+        tb.env.run(until=tb.env.process(body()))
+        assert i1.qp.txq.occupied == 1
+        message = i1.last_message
+        assert message is not None
+        assert "posted" in message.timestamps
+        assert "pio_written" in message.timestamps
+
+    def test_pio_tlp_reaches_nic_one_pcie_after_copy(self):
+        tb, _w1, i1, _i2, ep = make_pair()
+
+        def body():
+            yield from ep.put_short(8)
+
+        proc = tb.env.process(body())
+        tb.env.run(until=proc)
+        tb.run()
+        message = i1.last_message
+        assert message.timestamps["nic_arrival"] == pytest.approx(
+            message.timestamps["pio_written"] + PCIE
+        )
+
+    def test_oversized_short_post_rejected(self):
+        tb, _w1, _i1, _i2, ep = make_pair()
+
+        def body():
+            yield from ep.put_short(65)
+
+        with pytest.raises(SimulationError, match="inline limit"):
+            tb.env.run(until=tb.env.process(body()))
+
+    def test_busy_post_on_full_txq(self):
+        tb, _w1, i1, _i2, ep = make_pair()
+        depth = tb.config.nic.txq_depth
+
+        def body():
+            for _ in range(depth):
+                status = yield from ep.put_short(8)
+                assert status == UCS_OK
+            t0 = tb.env.now
+            status = yield from ep.put_short(8)
+            return status, tb.env.now - t0
+
+        status, busy_time = tb.env.run(until=tb.env.process(body()))
+        assert status == UCS_ERR_NO_RESOURCE
+        assert busy_time == pytest.approx(8.99)
+        assert i1.busy_posts == 1
+        assert i1.successful_posts == depth
+
+
+class TestProgress:
+    def test_empty_progress_is_cheap(self):
+        tb, w1, _i1, _i2, _ep = make_pair()
+
+        def body():
+            events = yield from w1.progress()
+            return events, tb.env.now
+
+        events, elapsed = tb.env.run(until=tb.env.process(body()))
+        assert events == 0
+        assert elapsed == pytest.approx(15.0)  # llp_prog_empty
+        assert w1.empty_progress_calls == 1
+
+    def test_successful_progress_consumes_cqe_and_frees_slot(self):
+        tb, w1, i1, _i2, ep = make_pair()
+
+        def body():
+            yield from ep.put_short(8)
+            # Wait out the completion generation, then poll.
+            yield tb.env.timeout(5000.0)
+            t0 = tb.env.now
+            events = yield from w1.progress()
+            return events, tb.env.now - t0
+
+        events, elapsed = tb.env.run(until=tb.env.process(body()))
+        assert events == 1
+        assert elapsed == pytest.approx(61.63)  # llp_prog
+        assert i1.qp.txq.occupied == 0
+
+    def test_completion_callback_invoked(self):
+        tb, w1, i1, _i2, ep = make_pair()
+        seen = []
+        i1.add_completion_callback(lambda cqe: seen.append(cqe.completes))
+
+        def body():
+            yield from ep.put_short(8)
+            yield tb.env.timeout(5000.0)
+            yield from w1.progress()
+
+        tb.env.run(until=tb.env.process(body()))
+        assert seen == [1]
+
+    def test_am_delivery_runs_handler(self):
+        tb, _w1, _i1, i2, ep = make_pair()
+        w2 = i2.worker
+        received = []
+        i2.set_am_handler(lambda m: received.append(m.payload_bytes))
+
+        def sender():
+            yield from ep.am_short(8)
+
+        def receiver():
+            yield from w2.progress_until(lambda: received)
+
+        tb.env.process(sender())
+        tb.env.run(until=tb.env.process(receiver()))
+        assert received == [8]
+        assert i2.messages_delivered == 1
+
+    def test_progress_until_spins(self):
+        tb, w1, _i1, _i2, _ep = make_pair()
+        flag = {"done": False}
+
+        def flipper():
+            yield tb.env.timeout(100.0)
+            flag["done"] = True
+
+        def body():
+            yield from w1.progress_until(lambda: flag["done"])
+            return tb.env.now
+
+        tb.env.process(flipper())
+        elapsed = tb.env.run(until=tb.env.process(body()))
+        # Spins in llp_prog_empty steps until the flag flips.
+        assert elapsed >= 100.0
+        assert elapsed < 130.0
+
+
+class TestZcopy:
+    def test_large_message_goes_via_doorbell(self):
+        tb, _w1, i1, _i2, ep = make_pair()
+
+        def body():
+            status = yield from ep.put_zcopy(4096)
+            return status
+
+        assert tb.env.run(until=tb.env.process(body())) == UCS_OK
+        tb.run()
+        message = i1.last_message
+        assert not message.pio
+        assert not message.inline
+        assert "md_fetched" in message.timestamps
+        assert "payload_fetched" in message.timestamps
+
+    def test_zcopy_busy_post(self):
+        tb, _w1, i1, _i2, ep = make_pair()
+        depth = tb.config.nic.txq_depth
+
+        def body():
+            for _ in range(depth):
+                yield from ep.put_short(8)
+            status = yield from ep.put_zcopy(4096)
+            return status
+
+        assert tb.env.run(until=tb.env.process(body())) == UCS_ERR_NO_RESOURCE
+
+
+class TestInvokeCallback:
+    def test_plain_function(self):
+        tb, _w1, _i1, _i2, _ep = make_pair()
+        seen = []
+
+        def body():
+            result = yield from invoke_callback(lambda x: seen.append(x) or "r", 42)
+            return result
+
+        tb.env.run(until=tb.env.process(body()))
+        assert seen == [42]
+
+    def test_generator_function_burns_time(self):
+        tb, _w1, _i1, _i2, _ep = make_pair()
+
+        def callback(value):
+            yield tb.env.timeout(50.0)
+            return value * 2
+
+        def body():
+            result = yield from invoke_callback(callback, 21)
+            return result, tb.env.now
+
+        result, elapsed = tb.env.run(until=tb.env.process(body()))
+        assert result == 42
+        assert elapsed == 50.0

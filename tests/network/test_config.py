@@ -1,0 +1,56 @@
+"""Unit tests for interconnect configuration (repro.network.config)."""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        config = NetworkConfig()
+        assert config.wire_latency_ns == pytest.approx(274.81)
+        assert config.switch_latency_ns == pytest.approx(108.0)
+        assert config.switch_count == 1
+
+    def test_one_way_latency_is_network_total(self):
+        # Table 1: Network = Wire + Switch = 382.81 ns.
+        assert NetworkConfig().one_way_latency() == pytest.approx(382.81)
+
+    def test_direct_connection(self):
+        direct = NetworkConfig().without_switch()
+        assert direct.one_way_latency() == pytest.approx(274.81)
+        assert direct.switch_count == 0
+
+    def test_multi_hop(self):
+        config = NetworkConfig(switch_count=3)
+        assert config.one_way_latency() == pytest.approx(274.81 + 3 * 108.0)
+
+
+class TestSerialization:
+    def test_infinite_bandwidth_ignores_size(self):
+        config = NetworkConfig()
+        assert config.one_way_latency(4096) == config.one_way_latency(0)
+
+    def test_finite_bandwidth_adds_time(self):
+        config = NetworkConfig(bandwidth_bytes_per_ns=12.5)  # 100 Gb/s
+        assert config.one_way_latency(125) == pytest.approx(382.81 + 10.0)
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig().one_way_latency(-1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"wire_latency_ns": -1},
+            {"switch_latency_ns": -1},
+            {"switch_count": -1},
+            {"bandwidth_bytes_per_ns": 0},
+            {"ack_turnaround_ns": -1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkConfig(**kwargs)

@@ -1,0 +1,125 @@
+"""Unit tests for the two-node fabric (repro.network.fabric)."""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric, FrameKind, NetworkFrame
+from repro.network.switch import Switch
+from repro.network.wire import Wire
+from repro.sim import Environment, SimulationError
+
+
+class FakePort:
+    """Minimal NicPort capturing arrivals."""
+
+    def __init__(self, name: str, env: Environment) -> None:
+        self.name = name
+        self.env = env
+        self.arrivals: list[tuple[float, NetworkFrame]] = []
+
+    def on_network_frame(self, frame: NetworkFrame) -> None:
+        self.arrivals.append((self.env.now, frame))
+
+
+def make_fabric(config: NetworkConfig | None = None):
+    env = Environment()
+    fabric = Fabric(env, config or NetworkConfig())
+    a = FakePort("a", env)
+    b = FakePort("b", env)
+    fabric.attach(a)
+    fabric.attach(b)
+    return env, fabric, a, b
+
+
+class TestTopology:
+    def test_attach_builds_both_paths(self):
+        _env, fabric, a, b = make_fabric()
+        assert fabric.path_stages("a", "b")
+        assert fabric.path_stages("b", "a")
+
+    def test_path_structure_wire_then_switches(self):
+        _env, fabric, _a, _b = make_fabric(NetworkConfig(switch_count=2))
+        stages = fabric.path_stages("a", "b")
+        assert isinstance(stages[0], Wire)
+        assert all(isinstance(s, Switch) for s in stages[1:])
+        assert len(stages) == 3
+
+    def test_third_port_builds_all_pair_paths(self):
+        env, fabric, _a, _b = make_fabric()
+        c = FakePort("c", env)
+        fabric.attach(c)
+        for src, dst in (("a", "c"), ("c", "a"), ("b", "c"), ("c", "b")):
+            assert fabric.path_stages(src, dst)
+
+    def test_peer_of_ambiguous_with_three_ports(self):
+        env, fabric, _a, _b = make_fabric()
+        fabric.attach(FakePort("c", env))
+        with pytest.raises(SimulationError, match="ambiguous"):
+            fabric.peer_of("a")
+
+    def test_three_port_delivery(self):
+        env, fabric, _a, b = make_fabric()
+        c = FakePort("c", env)
+        fabric.attach(c)
+        fabric.send_data("a", "c", message="to-c", size_bytes=8)
+        fabric.send_data("c", "b", message="to-b", size_bytes=8)
+        env.run()
+        assert [f.message for _t, f in c.arrivals] == ["to-c"]
+        assert [f.message for _t, f in b.arrivals] == ["to-b"]
+
+    def test_duplicate_name_rejected(self):
+        env = Environment()
+        fabric = Fabric(env, NetworkConfig())
+        fabric.attach(FakePort("a", env))
+        with pytest.raises(SimulationError):
+            fabric.attach(FakePort("a", env))
+
+    def test_peer_of(self):
+        _env, fabric, _a, _b = make_fabric()
+        assert fabric.peer_of("a") == "b"
+        assert fabric.peer_of("b") == "a"
+        with pytest.raises(SimulationError):
+            fabric.peer_of("zzz")
+
+
+class TestTransmission:
+    def test_data_frame_arrives_after_network_latency(self):
+        env, fabric, _a, b = make_fabric()
+        fabric.send_data("a", "b", message="m", size_bytes=8)
+        env.run()
+        when, frame = b.arrivals[0]
+        assert when == pytest.approx(382.81)  # wire + one switch
+        assert frame.kind is FrameKind.DATA
+        assert frame.message == "m"
+        assert fabric.frames_delivered == 1
+
+    def test_direct_topology_is_wire_only(self):
+        env, fabric, _a, b = make_fabric(NetworkConfig().without_switch())
+        fabric.send_data("a", "b", message=None, size_bytes=8)
+        env.run()
+        assert b.arrivals[0][0] == pytest.approx(274.81)
+
+    def test_ack_retraces_reverse_path(self):
+        env, fabric, a, b = make_fabric()
+        data = fabric.send_data("a", "b", message="m", size_bytes=8)
+        env.run()
+        fabric.send_ack(data)
+        env.run()
+        when, ack = a.arrivals[0]
+        assert ack.kind is FrameKind.ACK
+        assert ack.message == "m"
+        assert when == pytest.approx(2 * 382.81)
+        assert fabric.acks_delivered == 1
+
+    def test_unknown_path_rejected(self):
+        _env, fabric, _a, _b = make_fabric()
+        with pytest.raises(SimulationError):
+            fabric.transmit(
+                NetworkFrame(kind=FrameKind.DATA, src="x", dst="y", size_bytes=0)
+            )
+
+    def test_frame_ids_unique(self):
+        _env, fabric, _a, _b = make_fabric()
+        f1 = fabric.send_data("a", "b", message=None, size_bytes=0)
+        f2 = fabric.send_data("a", "b", message=None, size_bytes=0)
+        assert f1.frame_id != f2.frame_id

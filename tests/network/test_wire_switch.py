@@ -1,0 +1,70 @@
+"""Unit tests for Wire and Switch stages (repro.network)."""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.network.switch import Switch
+from repro.network.wire import Wire
+from repro.sim import Environment
+
+
+class TestWire:
+    def test_delivers_after_wire_latency(self):
+        env = Environment()
+        deliveries = []
+        wire = Wire(env, NetworkConfig(), deliver=lambda f: deliveries.append(env.now))
+        wire.transmit("frame", 8)
+        env.run()
+        assert deliveries == [pytest.approx(274.81)]
+        assert wire.frames_carried == 1
+
+    def test_serialization_term(self):
+        env = Environment()
+        config = NetworkConfig(bandwidth_bytes_per_ns=10.0)
+        wire = Wire(env, config, deliver=lambda f: None)
+        assert wire.latency(100) == pytest.approx(274.81 + 10.0)
+
+    def test_frames_preserve_order(self):
+        env = Environment()
+        order = []
+        wire = Wire(env, NetworkConfig(), deliver=order.append)
+
+        def producer():
+            wire.transmit("a", 8)
+            yield env.timeout(1.0)
+            wire.transmit("b", 8)
+
+        env.process(producer())
+        env.run()
+        assert order == ["a", "b"]
+
+
+class TestSwitch:
+    def test_adds_switch_latency(self):
+        env = Environment()
+        deliveries = []
+        switch = Switch(env, NetworkConfig(), forward=lambda f: deliveries.append(env.now))
+        switch.transmit("frame")
+        env.run()
+        assert deliveries == [pytest.approx(108.0)]
+        assert switch.frames_forwarded == 1
+
+    def test_egress_contention_serialises(self):
+        env = Environment()
+        deliveries = []
+        switch = Switch(
+            env,
+            NetworkConfig(),
+            forward=lambda f: deliveries.append(env.now),
+            egress_serialization_ns=10.0,
+        )
+        switch.transmit("a")
+        switch.transmit("b")
+        env.run()
+        assert deliveries[0] == pytest.approx(118.0)
+        assert deliveries[1] == pytest.approx(128.0)
+
+    def test_negative_serialization_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Switch(env, NetworkConfig(), forward=lambda f: None, egress_serialization_ns=-1)

@@ -1,0 +1,49 @@
+"""Unit tests for CQEs and completion moderation (repro.nic.completion)."""
+
+import pytest
+
+from repro.nic.completion import CompletionModeration, Cqe
+from repro.nic.descriptor import Message, MessageOp
+
+
+def message():
+    return Message(op=MessageOp.PUT, payload_bytes=8)
+
+
+class TestCqe:
+    def test_completes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Cqe(message=message(), completes=0)
+
+    def test_defaults_to_single_completion(self):
+        assert Cqe(message=message()).completes == 1
+
+
+class TestCompletionModeration:
+    def test_period_one_signals_everything(self):
+        moderation = CompletionModeration(signal_period=1)
+        assert all(moderation.on_post() for _ in range(10))
+
+    def test_period_four_signals_every_fourth(self):
+        moderation = CompletionModeration(signal_period=4)
+        decisions = [moderation.on_post() for _ in range(8)]
+        assert decisions == [False, False, False, True] * 2
+
+    def test_pending_unsignaled_counter(self):
+        moderation = CompletionModeration(signal_period=3)
+        moderation.on_post()
+        moderation.on_post()
+        assert moderation.pending_unsignaled == 2
+        moderation.on_post()  # signaled; resets
+        assert moderation.pending_unsignaled == 0
+
+    def test_ucx_default_period(self):
+        # §6: "c = 64 in UCX".
+        moderation = CompletionModeration(signal_period=64)
+        decisions = [moderation.on_post() for _ in range(64)]
+        assert decisions.count(True) == 1
+        assert decisions[-1] is True
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            CompletionModeration(signal_period=0)

@@ -1,0 +1,43 @@
+"""Unit tests for message descriptors (repro.nic.descriptor)."""
+
+import pytest
+
+from repro.nic.descriptor import Message, MessageOp
+
+
+class TestMessage:
+    def test_defaults(self):
+        message = Message(op=MessageOp.PUT, payload_bytes=8)
+        assert message.inline
+        assert message.pio
+        assert message.signaled
+        assert message.timestamps == {}
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Message(op=MessageOp.AM, payload_bytes=-1)
+
+    def test_ids_increase(self):
+        a = Message(op=MessageOp.PUT, payload_bytes=8)
+        b = Message(op=MessageOp.PUT, payload_bytes=8)
+        assert b.msg_id > a.msg_id
+
+
+class TestJournal:
+    def test_stamp_records_first_time_only(self):
+        message = Message(op=MessageOp.AM, payload_bytes=8)
+        message.stamp("posted", 10.0)
+        message.stamp("posted", 99.0)
+        assert message.timestamps["posted"] == 10.0
+
+    def test_interval(self):
+        message = Message(op=MessageOp.AM, payload_bytes=8)
+        message.stamp("posted", 10.0)
+        message.stamp("nic_arrival", 147.49)
+        assert message.interval("posted", "nic_arrival") == pytest.approx(137.49)
+
+    def test_interval_missing_stage_raises(self):
+        message = Message(op=MessageOp.AM, payload_bytes=8)
+        message.stamp("posted", 0.0)
+        with pytest.raises(KeyError):
+            message.interval("posted", "never")

@@ -1,0 +1,211 @@
+"""Integration tests for the NIC data paths (repro.nic.nic).
+
+These drive a full two-node testbed (deterministic) and check the §2
+step sequences stage by stage through the message journals.
+"""
+
+import pytest
+
+from repro.nic.descriptor import Message, MessageOp
+from repro.node import SystemConfig, Testbed
+from repro.pcie.link import Direction
+from repro.pcie.packets import Tlp, TlpType
+
+
+PCIE = 137.49
+NETWORK = 382.81  # wire 274.81 + switch 108
+RC_TO_MEM_8B = 240.96
+RC_TO_MEM_64B = 238.80 + 0.27 * 64
+
+
+def make_testbed():
+    return Testbed(SystemConfig.paper_testbed(deterministic=True))
+
+
+def post_pio(tb, message):
+    """Hand a PIO-post TLP straight to node 1's Root Complex."""
+    tb.node1.rc.mmio_write(
+        Tlp(kind=TlpType.MWR, payload_bytes=64, purpose="pio_post", message=message)
+    )
+
+
+class TestPioInlinePath:
+    def test_full_journal_timing(self):
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp(signal_period=1)
+        message = Message(op=MessageOp.AM, payload_bytes=8, recv_target="rx", qp=qp)
+        qp.register_post(message)
+        message.stamp("posted", 0.0)
+        post_pio(tb, message)
+        tb.run()
+        ts = message.timestamps
+        assert ts["nic_arrival"] == pytest.approx(PCIE)
+        assert ts["wire_out"] == pytest.approx(PCIE)
+        assert ts["target_nic"] == pytest.approx(PCIE + NETWORK)
+        assert ts["payload_visible"] == pytest.approx(
+            PCIE + NETWORK + PCIE + RC_TO_MEM_8B
+        )
+        assert ts["ack_rx"] == pytest.approx(PCIE + 2 * NETWORK)
+        assert ts["cqe_visible"] == pytest.approx(
+            PCIE + 2 * NETWORK + PCIE + RC_TO_MEM_64B
+        )
+
+    def test_payload_lands_in_named_mailbox(self):
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp()
+        message = Message(op=MessageOp.AM, payload_bytes=8, recv_target="inbox", qp=qp)
+        qp.register_post(message)
+        post_pio(tb, message)
+        tb.run()
+        assert len(tb.node2.memory.mailbox("inbox")) == 1
+
+    def test_cqe_lands_in_qp_cq(self):
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp(signal_period=1)
+        message = Message(op=MessageOp.PUT, payload_bytes=8, recv_target="rx", qp=qp)
+        qp.register_post(message)
+        post_pio(tb, message)
+        tb.run()
+        cqe = qp.cq.try_poll()
+        assert cqe is not None
+        assert cqe.completes == 1
+        assert cqe.message is message
+
+    def test_unsignaled_messages_produce_no_cqe(self):
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp(signal_period=4)
+        messages = [
+            Message(op=MessageOp.PUT, payload_bytes=8, recv_target="rx", qp=qp)
+            for _ in range(3)
+        ]
+        for message in messages:
+            qp.register_post(message)
+            post_pio(tb, message)
+        tb.run()
+        assert qp.cq.available == 0
+        assert qp.unsignaled_acked == 3
+
+    def test_unsignaled_run_retired_by_next_signaled_cqe(self):
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp(signal_period=4)
+        messages = [
+            Message(op=MessageOp.PUT, payload_bytes=8, recv_target="rx", qp=qp)
+            for _ in range(4)
+        ]
+        for message in messages:
+            qp.register_post(message)
+            post_pio(tb, message)
+        tb.run()
+        cqe = qp.cq.try_poll()
+        assert cqe is not None
+        assert cqe.completes == 4
+        qp.consume_cqe(cqe)
+        assert qp.txq.occupied == 0
+
+    def test_counters(self):
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp()
+        message = Message(op=MessageOp.PUT, payload_bytes=8, recv_target="rx", qp=qp)
+        qp.register_post(message)
+        post_pio(tb, message)
+        tb.run()
+        assert tb.node1.nic.messages_transmitted == 1
+        assert tb.node2.nic.messages_received == 1
+
+
+class TestDoorbellDmaPath:
+    def test_doorbell_triggers_md_fetch_then_payload_fetch(self):
+        """§2 steps 1-3: doorbell, MRd for the MD, MRd for the payload."""
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp()
+        message = Message(
+            op=MessageOp.PUT,
+            payload_bytes=4096,
+            inline=False,
+            pio=False,
+            recv_target="rx",
+            qp=qp,
+        )
+        qp.register_post(message)
+        tb.node1.rc.mmio_write(
+            Tlp(kind=TlpType.MWR, payload_bytes=8, purpose="doorbell", message=message)
+        )
+        tb.run()
+        ts = message.timestamps
+        assert ts["nic_arrival"] == pytest.approx(PCIE)
+        # MD fetch: MRd up + mem read (90) + CplD down.
+        assert ts["md_fetched"] == pytest.approx(PCIE + 2 * PCIE + 90.0)
+        # Payload fetch: another full PCIe round trip + memory read.
+        assert ts["payload_fetched"] == pytest.approx(PCIE + 2 * (2 * PCIE + 90.0))
+        assert ts["wire_out"] == pytest.approx(ts["payload_fetched"])
+        assert "payload_visible" in ts
+
+    def test_inline_doorbell_skips_payload_fetch(self):
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp()
+        message = Message(
+            op=MessageOp.PUT,
+            payload_bytes=8,
+            inline=True,
+            pio=False,
+            recv_target="rx",
+            qp=qp,
+        )
+        qp.register_post(message)
+        tb.node1.rc.mmio_write(
+            Tlp(kind=TlpType.MWR, payload_bytes=8, purpose="doorbell", message=message)
+        )
+        tb.run()
+        assert "md_fetched" in message.timestamps
+        assert "payload_fetched" not in message.timestamps
+        assert message.timestamps["wire_out"] == pytest.approx(
+            message.timestamps["md_fetched"]
+        )
+
+    def test_pio_beats_doorbell_to_the_wire(self):
+        """The whole point of PIO+inline: no DMA round trips (§2)."""
+        tb_pio = make_testbed()
+        qp = tb_pio.node1.nic.create_qp()
+        pio_msg = Message(op=MessageOp.PUT, payload_bytes=8, recv_target="rx", qp=qp)
+        qp.register_post(pio_msg)
+        post_pio(tb_pio, pio_msg)
+        tb_pio.run()
+
+        tb_db = make_testbed()
+        qp2 = tb_db.node1.nic.create_qp()
+        db_msg = Message(
+            op=MessageOp.PUT, payload_bytes=8, inline=True, pio=False,
+            recv_target="rx", qp=qp2,
+        )
+        qp2.register_post(db_msg)
+        tb_db.node1.rc.mmio_write(
+            Tlp(kind=TlpType.MWR, payload_bytes=8, purpose="doorbell", message=db_msg)
+        )
+        tb_db.run()
+        assert pio_msg.timestamps["wire_out"] < db_msg.timestamps["wire_out"]
+
+
+class TestAnalyzerView:
+    def test_trace_contains_expected_purposes(self):
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp(signal_period=1)
+        message = Message(op=MessageOp.AM, payload_bytes=8, recv_target="rx", qp=qp)
+        qp.register_post(message)
+        post_pio(tb, message)
+        tb.run()
+        downstream = [r.purpose for r in tb.analyzer.tlps(Direction.DOWNSTREAM)]
+        upstream = [r.purpose for r in tb.analyzer.tlps(Direction.UPSTREAM)]
+        assert downstream == ["pio_post"]
+        assert upstream == ["cqe_write"]  # the completion DMA-write
+
+    def test_target_side_traffic_not_on_initiator_analyzer(self):
+        """The analyzer sits on node 1 only (Figure 3); the payload
+        write happens on node 2's link."""
+        tb = make_testbed()
+        qp = tb.node1.nic.create_qp()
+        message = Message(op=MessageOp.AM, payload_bytes=8, recv_target="rx", qp=qp)
+        qp.register_post(message)
+        post_pio(tb, message)
+        tb.run()
+        purposes = {r.purpose for r in tb.analyzer.tlps()}
+        assert "payload_write" not in purposes

@@ -1,0 +1,119 @@
+"""Unit tests for TxQ / CQ / QueuePair (repro.nic.queues)."""
+
+import pytest
+
+from repro.nic.completion import CompletionModeration, Cqe
+from repro.nic.descriptor import Message, MessageOp
+from repro.nic.queues import CompletionQueue, QueuePair, TransmitQueue
+from repro.pcie.root_complex import HostMemory
+from repro.sim import Environment, SimulationError
+
+
+def make_qp(depth=4, signal_period=1):
+    env = Environment()
+    memory = HostMemory(env)
+    txq = TransmitQueue(depth)
+    cq = CompletionQueue(memory.mailbox("cq"))
+    qp = QueuePair(txq, cq, CompletionModeration(signal_period))
+    return env, qp
+
+
+def message():
+    return Message(op=MessageOp.PUT, payload_bytes=8)
+
+
+class TestTransmitQueue:
+    def test_occupy_and_free(self):
+        txq = TransmitQueue(2)
+        txq.occupy()
+        txq.occupy()
+        assert not txq.has_space
+        txq.free(2)
+        assert txq.has_space
+        assert txq.total_posts == 2
+
+    def test_post_to_full_queue_rejected(self):
+        txq = TransmitQueue(1)
+        txq.occupy()
+        with pytest.raises(SimulationError):
+            txq.occupy()
+
+    def test_overfree_rejected(self):
+        txq = TransmitQueue(2)
+        txq.occupy()
+        with pytest.raises(SimulationError):
+            txq.free(2)
+
+    def test_negative_free_rejected(self):
+        with pytest.raises(SimulationError):
+            TransmitQueue(2).free(-1)
+
+    def test_nonpositive_depth_rejected(self):
+        with pytest.raises(SimulationError):
+            TransmitQueue(0)
+
+
+class TestCompletionQueue:
+    def test_poll_empty_returns_none(self):
+        _env, qp = make_qp()
+        assert qp.cq.try_poll() is None
+        assert qp.cq.consumed == 0
+
+    def test_poll_dequeues_fifo(self):
+        _env, qp = make_qp()
+        first = Cqe(message=message())
+        second = Cqe(message=message())
+        qp.cq.mailbox.try_put(first)
+        qp.cq.mailbox.try_put(second)
+        assert qp.cq.try_poll() is first
+        assert qp.cq.try_poll() is second
+        assert qp.cq.consumed == 2
+
+    def test_available_counts_visible_entries(self):
+        _env, qp = make_qp()
+        qp.cq.mailbox.try_put(Cqe(message=message()))
+        assert qp.cq.available == 1
+
+
+class TestQueuePair:
+    def test_register_post_claims_slot_and_signals(self):
+        _env, qp = make_qp(depth=2, signal_period=1)
+        msg = message()
+        qp.register_post(msg)
+        assert qp.txq.occupied == 1
+        assert msg.signaled
+
+    def test_moderation_marks_unsignaled(self):
+        _env, qp = make_qp(depth=8, signal_period=4)
+        messages = [message() for _ in range(4)]
+        for msg in messages:
+            qp.register_post(msg)
+        assert [m.signaled for m in messages] == [False, False, False, True]
+
+    def test_ack_banking_for_unsignaled_run(self):
+        """A signaled CQE retires the whole preceding unsignaled run."""
+        _env, qp = make_qp(depth=8, signal_period=4)
+        messages = [message() for _ in range(4)]
+        for msg in messages:
+            qp.register_post(msg)
+        completes = [qp.on_ack(msg) for msg in messages]
+        assert completes == [0, 0, 0, 4]
+        assert qp.cqes_written == 1
+
+    def test_consume_cqe_frees_covered_slots(self):
+        _env, qp = make_qp(depth=8, signal_period=4)
+        msgs = [message() for _ in range(4)]
+        for m in msgs:
+            qp.register_post(m)
+        for m in msgs:
+            qp.on_ack(m)
+        qp.consume_cqe(Cqe(message=msgs[-1], completes=4))
+        assert qp.txq.occupied == 0
+
+    def test_every_signaled_acks_individually(self):
+        _env, qp = make_qp(depth=4, signal_period=1)
+        msgs = [message() for _ in range(3)]
+        for m in msgs:
+            qp.register_post(m)
+        assert [qp.on_ack(m) for m in msgs] == [1, 1, 1]
+        assert qp.cqes_written == 3

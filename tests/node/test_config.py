@@ -1,0 +1,60 @@
+"""Unit tests for the system configuration (repro.node.config)."""
+
+import pytest
+
+from repro.node.config import SystemConfig
+from repro.sim.rng import JitterModel
+
+
+class TestPaperTestbed:
+    def test_default_aggregates_match_paper(self):
+        config = SystemConfig.paper_testbed()
+        assert config.costs.llp_post == pytest.approx(175.42)
+        assert config.pcie.base_latency_ns == pytest.approx(137.49)
+        assert config.network.one_way_latency() == pytest.approx(382.81)
+        assert config.timer_overhead_ns == pytest.approx(49.69)
+
+    def test_direct_variant_removes_switch(self):
+        config = SystemConfig.paper_testbed_direct()
+        assert config.network.switch_count == 0
+        assert config.network.one_way_latency() == pytest.approx(274.81)
+
+    def test_deterministic_flag(self):
+        config = SystemConfig.paper_testbed(deterministic=True)
+        jitter = config.effective_jitter()
+        assert jitter.cv == 0.0
+        assert jitter.outlier_prob == 0.0
+        assert config.effective_timer_overhead() == (49.69, 0.0)
+
+    def test_noisy_default(self):
+        config = SystemConfig.paper_testbed()
+        assert config.effective_jitter().cv > 0
+        mean, std = config.effective_timer_overhead()
+        assert (mean, std) == (49.69, 1.48)
+
+
+class TestEvolve:
+    def test_evolve_replaces_field(self):
+        config = SystemConfig.paper_testbed()
+        evolved = config.evolve(seed=42)
+        assert evolved.seed == 42
+        assert evolved.costs is config.costs
+
+    def test_evolve_does_not_mutate_original(self):
+        config = SystemConfig.paper_testbed()
+        config.evolve(deterministic=True)
+        assert not config.deterministic
+
+    def test_evolve_nested_config(self):
+        config = SystemConfig.paper_testbed()
+        evolved = config.evolve(network=config.network.without_switch())
+        assert evolved.network.switch_count == 0
+        assert config.network.switch_count == 1
+
+    def test_invalid_timer_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(timer_overhead_ns=-1.0)
+
+    def test_custom_jitter(self):
+        config = SystemConfig(jitter=JitterModel(cv=0.5))
+        assert config.effective_jitter().cv == 0.5

@@ -1,0 +1,91 @@
+"""Unit tests for the passive PCIe analyzer (repro.pcie.analyzer)."""
+
+import pytest
+
+from repro.pcie.analyzer import PcieAnalyzer
+from repro.pcie.config import PcieConfig
+from repro.pcie.link import Direction, PcieLink
+from repro.pcie.packets import Tlp, TlpType
+from repro.sim import Environment
+
+
+def make_tapped_link():
+    env = Environment()
+    link = PcieLink(env, PcieConfig())
+    analyzer = PcieAnalyzer(link)
+    return env, link, analyzer
+
+
+class TestCapture:
+    def test_records_tlps_and_dllps(self):
+        env, link, analyzer = make_tapped_link()
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert len(analyzer.tlps()) == 1
+        assert len(analyzer.dllps()) == 2  # the ACK and the UpdateFC
+
+    def test_direction_filters(self):
+        env, link, analyzer = make_tapped_link()
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, purpose="down"))
+        link.send(Direction.UPSTREAM, Tlp(kind=TlpType.MWR, purpose="up"))
+        env.run()
+        down = analyzer.tlps(Direction.DOWNSTREAM)
+        up = analyzer.tlps(Direction.UPSTREAM)
+        assert [r.purpose for r in down] == ["down"]
+        assert [r.purpose for r in up] == ["up"]
+
+    def test_records_are_time_ordered(self):
+        env, link, analyzer = make_tapped_link()
+        for _ in range(5):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR))
+        env.run()
+        times = [r.timestamp_ns for r in analyzer.records]
+        assert times == sorted(times)
+
+    def test_clear(self):
+        env, link, analyzer = make_tapped_link()
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR))
+        env.run()
+        analyzer.clear()
+        assert len(analyzer) == 0
+
+    def test_payload_and_purpose_accessors(self):
+        env, link, analyzer = make_tapped_link()
+        link.send(
+            Direction.DOWNSTREAM,
+            Tlp(kind=TlpType.MWR, payload_bytes=64, purpose="pio_post"),
+        )
+        env.run()
+        record = analyzer.tlps()[0]
+        assert record.payload_bytes == 64
+        assert record.purpose == "pio_post"
+        dllp_record = analyzer.dllps()[0]
+        assert dllp_record.payload_bytes == 0
+        assert dllp_record.purpose == ""
+
+
+class TestPassivity:
+    def test_analyzer_does_not_perturb_timing(self):
+        """The paper verified the analyzer is overhead-free; the
+        simulated one must deliver identical timing with and without."""
+
+        def run(with_analyzer: bool) -> float:
+            env = Environment()
+            link = PcieLink(env, PcieConfig())
+            if with_analyzer:
+                PcieAnalyzer(link)
+            arrivals = []
+            link.set_receiver(Direction.DOWNSTREAM, lambda t: arrivals.append(env.now))
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+            env.run()
+            return arrivals[0]
+
+        assert run(True) == run(False)
+
+    def test_placebo_mode_captures_nothing(self):
+        env = Environment()
+        link = PcieLink(env, PcieConfig())
+        analyzer = PcieAnalyzer(link, capture=False)
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR))
+        env.run()
+        assert len(analyzer) == 0

@@ -1,0 +1,59 @@
+"""Unit tests for PCIe configuration (repro.pcie.config)."""
+
+import math
+
+import pytest
+
+from repro.pcie.config import PcieConfig
+
+
+class TestDefaults:
+    def test_base_latency_matches_paper(self):
+        assert PcieConfig().base_latency_ns == pytest.approx(137.49)
+
+    def test_rc_to_mem_8b_matches_paper(self):
+        # Table 1: RC-to-MEM(8B) = 240.96 ns.
+        assert PcieConfig().rc_to_mem(8) == pytest.approx(240.96)
+
+    def test_rc_to_mem_monotone_in_size(self):
+        config = PcieConfig()
+        assert config.rc_to_mem(64) > config.rc_to_mem(8)
+
+
+class TestTlpLatency:
+    def test_infinite_bandwidth_means_constant_latency(self):
+        config = PcieConfig()
+        assert config.tlp_latency(0) == config.tlp_latency(4096) == 137.49
+
+    def test_finite_bandwidth_adds_serialization(self):
+        config = PcieConfig(bandwidth_bytes_per_ns=16.0)
+        assert config.tlp_latency(64) == pytest.approx(137.49 + 4.0)
+        assert config.tlp_latency(0) == pytest.approx(137.49)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            PcieConfig().tlp_latency(-1)
+
+    def test_negative_rc_to_mem_size_rejected(self):
+        with pytest.raises(ValueError):
+            PcieConfig().rc_to_mem(-1)
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            PcieConfig(base_latency_ns=-1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            PcieConfig(bandwidth_bytes_per_ns=0.0)
+
+    def test_nonpositive_credits_rejected(self):
+        with pytest.raises(ValueError, match="posted_header_credits"):
+            PcieConfig(posted_header_credits=0)
+        with pytest.raises(ValueError, match="completion_data_credits"):
+            PcieConfig(completion_data_credits=-1)
+
+    def test_defaults_are_valid(self):
+        config = PcieConfig()
+        assert math.isinf(config.bandwidth_bytes_per_ns)

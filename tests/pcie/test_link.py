@@ -1,0 +1,219 @@
+"""Unit tests for the PCIe link (repro.pcie.link)."""
+
+import pytest
+
+from repro.pcie.config import PcieConfig
+from repro.pcie.link import CreditPool, Direction, PcieLink, data_credits_for
+from repro.pcie.packets import Dllp, DllpType, Tlp, TlpType
+from repro.sim import Environment, SimulationError
+
+
+def make_link(**config_overrides):
+    env = Environment()
+    link = PcieLink(env, PcieConfig(**config_overrides))
+    return env, link
+
+
+class TestDataCredits:
+    def test_sixteen_byte_units(self):
+        assert data_credits_for(0) == 0
+        assert data_credits_for(1) == 1
+        assert data_credits_for(16) == 1
+        assert data_credits_for(17) == 2
+        assert data_credits_for(64) == 4
+
+
+class TestCreditPool:
+    def test_consume_and_replenish(self):
+        pool = CreditPool(headers=2, data=8)
+        tlp = Tlp(kind=TlpType.MWR, payload_bytes=64)
+        assert pool.can_consume(tlp)
+        pool.consume(tlp)
+        assert pool.headers == 1
+        assert pool.data == 4
+        pool.replenish(1, 4)
+        assert pool.headers == 2
+        assert pool.data == 8
+
+    def test_replenish_caps_at_max(self):
+        pool = CreditPool(headers=2, data=8)
+        pool.replenish(100, 100)
+        assert pool.headers == 2
+        assert pool.data == 8
+
+    def test_overconsume_rejected(self):
+        pool = CreditPool(headers=1, data=1)
+        tlp = Tlp(kind=TlpType.MWR, payload_bytes=64)
+        assert not pool.can_consume(tlp)
+        with pytest.raises(SimulationError):
+            pool.consume(tlp)
+
+    def test_nonpositive_pool_rejected(self):
+        with pytest.raises(SimulationError):
+            CreditPool(headers=0, data=1)
+
+
+class TestDelivery:
+    def test_downstream_delivery_after_latency(self):
+        env, link = make_link()
+        delivered = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: delivered.append((env.now, t)))
+        tlp = Tlp(kind=TlpType.MWR, payload_bytes=64, purpose="pio_post")
+        link.send(Direction.DOWNSTREAM, tlp)
+        env.run()
+        assert len(delivered) == 1
+        when, received = delivered[0]
+        assert when == pytest.approx(137.49)
+        assert received is tlp
+
+    def test_upstream_delivery(self):
+        env, link = make_link()
+        delivered = []
+        link.set_receiver(Direction.UPSTREAM, lambda t: delivered.append(env.now))
+        link.send(Direction.UPSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert delivered == [pytest.approx(137.49)]
+
+    def test_fifo_ordering_preserved(self):
+        env, link = make_link()
+        order = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: order.append(t.purpose))
+        for purpose in ("a", "b", "c"):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, purpose=purpose))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_sequence_numbers_assigned_per_direction(self):
+        env, link = make_link()
+        seqs = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: seqs.append(t.seq))
+        for _ in range(3):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR))
+        env.run()
+        assert seqs == [0, 1, 2]
+
+    def test_delivery_counters(self):
+        env, link = make_link()
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR))
+        link.send(Direction.UPSTREAM, Tlp(kind=TlpType.MWR))
+        env.run()
+        assert link.tlps_delivered[Direction.DOWNSTREAM] == 1
+        assert link.tlps_delivered[Direction.UPSTREAM] == 1
+
+
+class TestAcks:
+    def test_upstream_tlp_acked_with_round_trip(self):
+        """The §4.3 PCIe measurement primitive: upstream MWr at t0, ACK
+        DLLP back at the endpoint at t0 + 2×latency."""
+        env, link = make_link()
+        taps = []
+        link.add_tap(lambda ts, d, p: taps.append((ts, d, p)))
+        link.send(Direction.UPSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        mwr = [t for t in taps if isinstance(t[2], Tlp)]
+        acks = [
+            t
+            for t in taps
+            if isinstance(t[2], Dllp) and t[2].kind is DllpType.ACK
+        ]
+        assert len(mwr) == 1 and len(acks) == 1
+        # Upstream TLP observed at departure (t=0); its ACK arrives back
+        # at the endpoint after a full round trip.
+        assert mwr[0][0] == pytest.approx(0.0)
+        assert acks[0][0] == pytest.approx(2 * 137.49)
+        assert acks[0][2].acked_seq == mwr[0][2].seq
+
+    def test_ack_processing_delay_added(self):
+        env, link = make_link(ack_processing_ns=10.0)
+        acks = []
+        link.add_tap(
+            lambda ts, d, p: acks.append(ts)
+            if isinstance(p, Dllp) and p.kind is DllpType.ACK
+            else None
+        )
+        link.send(Direction.UPSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert acks == [pytest.approx(2 * 137.49 + 10.0)]
+
+
+class TestTapPlacement:
+    def test_downstream_observed_at_arrival(self):
+        env, link = make_link()
+        taps = []
+        link.add_tap(
+            lambda ts, d, p: taps.append((ts, d)) if isinstance(p, Tlp) else None
+        )
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR))
+        env.run()
+        assert taps[0] == (pytest.approx(137.49), Direction.DOWNSTREAM)
+
+    def test_upstream_observed_at_departure(self):
+        env, link = make_link()
+        taps = []
+        link.add_tap(
+            lambda ts, d, p: taps.append((ts, d)) if isinstance(p, Tlp) else None
+        )
+
+        def sender():
+            yield env.timeout(50.0)
+            link.send(Direction.UPSTREAM, Tlp(kind=TlpType.MWR))
+
+        env.process(sender())
+        env.run()
+        assert taps[0] == (pytest.approx(50.0), Direction.UPSTREAM)
+
+
+class TestFlowControl:
+    def test_credit_exhaustion_stalls_then_resumes(self):
+        env, link = make_link(posted_header_credits=2, update_fc_interval_ns=50.0)
+        delivered = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: delivered.append(env.now))
+        for _ in range(4):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert len(delivered) == 4
+        assert link.credit_stalls(Direction.DOWNSTREAM) >= 2
+        # The stalled TLPs arrive strictly later than the first two.
+        assert delivered[2] > delivered[1]
+
+    def test_no_stalls_with_ample_credits(self):
+        env, link = make_link()
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: None)
+        for _ in range(10):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert link.credit_stalls(Direction.DOWNSTREAM) == 0
+
+    def test_credits_fully_returned_after_quiescence(self):
+        env, link = make_link(posted_header_credits=4)
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: None)
+        for _ in range(8):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        pool = link.pool(Direction.DOWNSTREAM, "posted")
+        assert pool.headers == pool.max_headers
+        assert pool.data == pool.max_data
+
+    def test_credit_classes_independent(self):
+        env, link = make_link(posted_header_credits=1)
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: None)
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        # Non-posted send must not be blocked by the exhausted posted pool.
+        accepted = link.send(Direction.UPSTREAM, Tlp(kind=TlpType.MRD, read_bytes=64))
+        assert accepted.triggered
+        env.run()
+
+    def test_updatefc_dllps_visible_on_tap(self):
+        env, link = make_link(posted_header_credits=2, update_fc_interval_ns=25.0)
+        updates = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: None)
+        link.add_tap(
+            lambda ts, d, p: updates.append(p)
+            if isinstance(p, Dllp) and p.kind is DllpType.UPDATE_FC
+            else None
+        )
+        for _ in range(3):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert updates
+        assert sum(u.header_credits for u in updates) == 3

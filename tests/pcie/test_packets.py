@@ -1,0 +1,51 @@
+"""Unit tests for PCIe packet types (repro.pcie.packets)."""
+
+import pytest
+
+from repro.pcie.packets import Dllp, DllpType, Tlp, TlpType
+
+
+class TestTlp:
+    def test_mwr_is_posted(self):
+        assert Tlp(kind=TlpType.MWR, payload_bytes=64).is_posted
+
+    def test_mrd_and_cpld_not_posted(self):
+        assert not Tlp(kind=TlpType.MRD, read_bytes=64).is_posted
+        assert not Tlp(kind=TlpType.CPLD, payload_bytes=64).is_posted
+
+    def test_mrd_with_payload_rejected(self):
+        with pytest.raises(ValueError, match="MRd"):
+            Tlp(kind=TlpType.MRD, payload_bytes=8)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Tlp(kind=TlpType.MWR, payload_bytes=-1)
+        with pytest.raises(ValueError):
+            Tlp(kind=TlpType.MRD, read_bytes=-1)
+
+    def test_ids_unique_and_increasing(self):
+        a = Tlp(kind=TlpType.MWR)
+        b = Tlp(kind=TlpType.MWR)
+        assert b.tlp_id > a.tlp_id
+
+    def test_purpose_and_message_carried(self):
+        payload = object()
+        tlp = Tlp(kind=TlpType.MWR, payload_bytes=64, purpose="pio_post", message=payload)
+        assert tlp.purpose == "pio_post"
+        assert tlp.message is payload
+
+
+class TestDllp:
+    def test_ack_carries_sequence(self):
+        ack = Dllp(kind=DllpType.ACK, acked_seq=7)
+        assert ack.acked_seq == 7
+
+    def test_updatefc_carries_credits(self):
+        update = Dllp(kind=DllpType.UPDATE_FC, header_credits=4, data_credits=16)
+        assert update.header_credits == 4
+        assert update.data_credits == 16
+
+    def test_ids_unique(self):
+        a = Dllp(kind=DllpType.ACK)
+        b = Dllp(kind=DllpType.ACK)
+        assert a.dllp_id != b.dllp_id

@@ -1,0 +1,173 @@
+"""Fault-injection tests: Data Link layer NACK / go-back-N replay.
+
+§2: "The Data Link layer ensures the successful execution of all
+transactions using Data Link Layer Packet (DLLP) acknowledgements
+(ACK/NACK)".  These tests corrupt TLPs and verify delivery remains
+exactly-once and in-order, at the cost of replay latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pcie.config import PcieConfig
+from repro.pcie.link import Direction, PcieLink
+from repro.pcie.packets import Dllp, DllpType, Tlp, TlpType
+from repro.sim import Environment
+
+
+def make_link(corruption=0.0, seed=0, **overrides):
+    env = Environment()
+    link = PcieLink(
+        env,
+        PcieConfig(tlp_corruption_prob=corruption, **overrides),
+        rng=np.random.default_rng(seed),
+    )
+    return env, link
+
+
+class ForcedErrorRng:
+    """Deterministic 'rng': corrupt exactly the chosen attempt numbers."""
+
+    def __init__(self, corrupt_attempts):
+        self.corrupt_attempts = set(corrupt_attempts)
+        self.calls = 0
+
+    def random(self):
+        self.calls += 1
+        return 0.0 if self.calls in self.corrupt_attempts else 1.0
+
+
+class TestHealthyLink:
+    def test_zero_probability_never_consults_rng(self):
+        env = Environment()
+
+        class Exploding:
+            def random(self):  # pragma: no cover - must not run
+                raise AssertionError("rng consulted on a healthy link")
+
+        link = PcieLink(env, PcieConfig(), rng=Exploding())
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: None)
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert link.tlps_delivered[Direction.DOWNSTREAM] == 1
+
+    def test_replay_buffer_drains_after_acks(self):
+        env, link = make_link()
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: None)
+        for _ in range(5):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert link._ports[Direction.DOWNSTREAM].replay == {}
+
+
+class TestSingleCorruption:
+    def test_corrupted_tlp_retransmitted_and_delivered(self):
+        env = Environment()
+        link = PcieLink(
+            env, PcieConfig(tlp_corruption_prob=0.5), rng=ForcedErrorRng({1})
+        )
+        delivered = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: delivered.append(env.now))
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert len(delivered) == 1
+        # Original traversal + NACK return + replay delay + retransmit.
+        expected = 137.49 + 137.49 + 50.0 + 137.49
+        assert delivered[0] == pytest.approx(expected)
+        corrupted, retransmissions = link.corruption_stats(Direction.DOWNSTREAM)
+        assert (corrupted, retransmissions) == (1, 1)
+
+    def test_nack_dllp_visible_on_tap(self):
+        env = Environment()
+        link = PcieLink(
+            env, PcieConfig(tlp_corruption_prob=0.5), rng=ForcedErrorRng({1})
+        )
+        nacks = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: None)
+        link.add_tap(
+            lambda ts, d, p: nacks.append(p)
+            if isinstance(p, Dllp) and p.kind is DllpType.NACK
+            else None
+        )
+        link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert len(nacks) == 1
+        assert nacks[0].acked_seq == -1  # nothing received yet
+
+    def test_go_back_n_preserves_order(self):
+        """Corrupt the first of three TLPs: the trailing two must be
+        dropped by the receiver and replayed in order."""
+        env = Environment()
+        link = PcieLink(
+            env, PcieConfig(tlp_corruption_prob=0.5), rng=ForcedErrorRng({1})
+        )
+        order = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: order.append(t.purpose))
+        for purpose in ("a", "b", "c"):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, purpose=purpose))
+        env.run()
+        assert order == ["a", "b", "c"]
+        _corrupted, retransmissions = link.corruption_stats(Direction.DOWNSTREAM)
+        assert retransmissions == 3  # whole window replayed
+
+    def test_corruption_of_middle_tlp(self):
+        env = Environment()
+        link = PcieLink(
+            env, PcieConfig(tlp_corruption_prob=0.5), rng=ForcedErrorRng({2})
+        )
+        order = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: order.append(t.purpose))
+        for purpose in ("a", "b", "c"):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, purpose=purpose))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestStochasticErrors:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_lossy_link_delivers_everything_in_order(self, seed):
+        env, link = make_link(corruption=0.2, seed=seed)
+        received = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: received.append(t.tag))
+        for index in range(40):
+            link.send(
+                Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64, tag=index)
+            )
+        env.run()
+        assert received == list(range(40))
+        corrupted, retransmissions = link.corruption_stats(Direction.DOWNSTREAM)
+        assert corrupted > 0
+        assert retransmissions >= corrupted
+
+    def test_lossy_link_slower_than_clean(self):
+        def final_delivery(corruption, seed=5):
+            env, link = make_link(corruption=corruption, seed=seed)
+            times = []
+            link.set_receiver(Direction.DOWNSTREAM, lambda t: times.append(env.now))
+            for _ in range(30):
+                link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+            env.run()
+            return times[-1]
+
+        assert final_delivery(0.3) > final_delivery(0.0)
+
+
+class TestEndToEndWithErrors:
+    def test_message_survives_lossy_pcie(self):
+        """A whole message crosses a lossy initiator link correctly."""
+        from repro.nic.descriptor import Message, MessageOp
+        from repro.node import SystemConfig, Testbed
+
+        config = SystemConfig.paper_testbed(deterministic=True).evolve(
+            pcie=PcieConfig(tlp_corruption_prob=0.3)
+        )
+        tb = Testbed(config)
+        qp = tb.node1.nic.create_qp()
+        message = Message(op=MessageOp.AM, payload_bytes=8, recv_target="rx", qp=qp)
+        qp.register_post(message)
+        tb.node1.rc.mmio_write(
+            Tlp(kind=TlpType.MWR, payload_bytes=64, purpose="pio_post", message=message)
+        )
+        tb.run()
+        assert len(tb.node2.memory.mailbox("rx")) == 1
+        assert "cqe_visible" in message.timestamps

@@ -1,0 +1,141 @@
+"""Unit tests for the Root Complex and host memory (repro.pcie.root_complex)."""
+
+import pytest
+
+from repro.pcie.config import PcieConfig
+from repro.pcie.link import Direction, PcieLink
+from repro.pcie.packets import Tlp, TlpType
+from repro.pcie.root_complex import HostMemory, RootComplex
+from repro.sim import Environment
+
+
+def make_rc(**config_overrides):
+    env = Environment()
+    config = PcieConfig(**config_overrides)
+    link = PcieLink(env, config)
+    memory = HostMemory(env)
+    rc = RootComplex(env, link, config, memory)
+    return env, link, memory, rc
+
+
+class TestHostMemory:
+    def test_mailbox_created_on_demand_and_cached(self):
+        env = Environment()
+        memory = HostMemory(env)
+        box = memory.mailbox("cq0")
+        assert memory.mailbox("cq0") is box
+
+    def test_distinct_names_distinct_mailboxes(self):
+        env = Environment()
+        memory = HostMemory(env)
+        assert memory.mailbox("a") is not memory.mailbox("b")
+
+
+class TestMmioWrite:
+    def test_mmio_becomes_downstream_mwr(self):
+        env, link, _memory, rc = make_rc()
+        received = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: received.append((env.now, t)))
+        tlp = Tlp(kind=TlpType.MWR, payload_bytes=64, purpose="pio_post")
+        rc.mmio_write(tlp)
+        env.run()
+        assert received[0][0] == pytest.approx(137.49)
+        assert received[0][1] is tlp
+        assert rc.mmio_writes == 1
+
+    def test_mmio_processing_delay(self):
+        env, link, _memory, rc = make_rc(rc_mmio_processing_ns=5.0)
+        received = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: received.append(env.now))
+        rc.mmio_write(Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        assert received == [pytest.approx(137.49 + 5.0)]
+
+    def test_non_mwr_mmio_rejected(self):
+        _env, _link, _memory, rc = make_rc()
+        with pytest.raises(ValueError):
+            rc.mmio_write(Tlp(kind=TlpType.MRD, read_bytes=8))
+
+
+class TestDmaWrite:
+    def test_upstream_mwr_lands_in_mailbox_after_rc_to_mem(self):
+        env, link, memory, rc = make_rc()
+        mailbox = memory.mailbox("recv")
+        tlp = Tlp(
+            kind=TlpType.MWR,
+            payload_bytes=8,
+            purpose="payload_write",
+            message="payload",
+            deliver_to=mailbox,
+        )
+        link.send(Direction.UPSTREAM, tlp)
+        env.run()
+        # Arrival at RC after 137.49, visible after RC-to-MEM(8B)=240.96.
+        assert len(mailbox) == 1
+        assert rc.dma_writes == 1
+
+    def test_delivery_timing_includes_rc_to_mem(self):
+        env, link, _memory, rc = make_rc()
+        seen = []
+        tlp = Tlp(
+            kind=TlpType.MWR,
+            payload_bytes=8,
+            message="m",
+            deliver_to=lambda msg, when: seen.append((msg, when)),
+        )
+        link.send(Direction.UPSTREAM, tlp)
+        env.run()
+        assert seen == [("m", pytest.approx(137.49 + 240.96))]
+
+    def test_larger_payload_takes_longer(self):
+        env, link, _memory, _rc = make_rc()
+        seen = []
+        link.send(
+            Direction.UPSTREAM,
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=64,
+                message="big",
+                deliver_to=lambda m, when: seen.append(when),
+            ),
+        )
+        env.run()
+        assert seen[0] > 137.49 + 240.96
+
+    def test_delivery_without_target_is_noop(self):
+        env, link, _memory, rc = make_rc()
+        link.send(Direction.UPSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=8))
+        env.run()
+        assert rc.dma_writes == 1
+
+    def test_bad_deliver_target_raises(self):
+        env, link, _memory, _rc = make_rc()
+        link.send(
+            Direction.UPSTREAM,
+            Tlp(kind=TlpType.MWR, payload_bytes=8, deliver_to="not-a-target"),
+        )
+        with pytest.raises(TypeError):
+            env.run()
+
+
+class TestDmaRead:
+    def test_mrd_answered_with_cpld(self):
+        env, link, _memory, rc = make_rc()
+        completions = []
+        link.set_receiver(
+            Direction.DOWNSTREAM, lambda t: completions.append((env.now, t))
+        )
+        link.send(
+            Direction.UPSTREAM,
+            Tlp(kind=TlpType.MRD, read_bytes=64, purpose="md_fetch", tag=5),
+        )
+        env.run()
+        assert len(completions) == 1
+        when, cpld = completions[0]
+        assert cpld.kind is TlpType.CPLD
+        assert cpld.payload_bytes == 64
+        assert cpld.tag == 5
+        assert cpld.purpose == "cpld:md_fetch"
+        # Up 137.49 + mem read 90 + down 137.49.
+        assert when == pytest.approx(2 * 137.49 + 90.0)
+        assert rc.dma_reads == 1

@@ -1,0 +1,141 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Store
+
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+class TestClockMonotonicity:
+    @given(delays)
+    @settings(max_examples=60)
+    def test_events_fire_in_nondecreasing_time_order(self, ds):
+        env = Environment()
+        fired = []
+
+        def proc(delay):
+            yield env.timeout(delay)
+            fired.append(env.now)
+
+        for delay in ds:
+            env.process(proc(delay))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(ds)
+
+    @given(delays)
+    @settings(max_examples=60)
+    def test_final_clock_is_max_delay(self, ds):
+        env = Environment()
+        for delay in ds:
+            env.timeout(delay)
+        env.run()
+        assert env.now == max(ds)
+
+    @given(delays, delays)
+    @settings(max_examples=40)
+    def test_sequential_process_time_is_sum(self, first, second):
+        env = Environment()
+
+        def body():
+            for delay in first + second:
+                yield env.timeout(delay)
+
+        env.run(until=env.process(body()))
+        assert env.now == sum(first + second)
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_identical_workloads_identical_traces(self, ds):
+        def run():
+            env = Environment()
+            log = []
+
+            def proc(tag, delay):
+                yield env.timeout(delay)
+                log.append((tag, env.now))
+
+            for index, delay in enumerate(ds):
+                env.process(proc(index, delay))
+            env.run()
+            return log
+
+        assert run() == run()
+
+
+class TestStoreProperties:
+    @given(st.lists(st.integers(), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_store_is_fifo(self, items):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                received.append((yield store.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == items
+
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40)
+    def test_bounded_store_never_exceeds_capacity(self, items, capacity):
+        env = Environment()
+        store = Store(env, capacity=capacity)
+        peak = {"value": 0}
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+                peak["value"] = max(peak["value"], len(store))
+
+        def consumer():
+            for _ in items:
+                yield env.timeout(1.0)
+                yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert peak["value"] <= capacity
+
+    @given(st.lists(st.integers(), max_size=30), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40)
+    def test_conservation_nothing_lost_or_duplicated(self, items, consumers):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer(budget):
+            for _ in range(budget):
+                received.append((yield store.get()))
+
+        base = len(items) // consumers
+        remainder = len(items) - base * consumers
+        env.process(producer())
+        for index in range(consumers):
+            env.process(consumer(base + (1 if index < remainder else 0)))
+        env.run()
+        assert sorted(received) == sorted(items)

@@ -1,0 +1,130 @@
+"""Property-based tests for the hardware substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nic.completion import CompletionModeration
+from repro.nic.descriptor import Message, MessageOp
+from repro.node import SystemConfig, Testbed
+from repro.pcie.config import PcieConfig
+from repro.pcie.link import Direction, PcieLink
+from repro.pcie.packets import Tlp, TlpType
+from repro.sim import Environment
+
+
+class TestLinkProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4096), min_size=1, max_size=25),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tlps_always_delivered_in_order_despite_credit_limits(
+        self, payloads, header_credits
+    ):
+        env = Environment()
+        link = PcieLink(
+            env,
+            PcieConfig(
+                posted_header_credits=header_credits,
+                posted_data_credits=max(256, max(payloads) // 16 + 1),
+                update_fc_interval_ns=50.0,
+            ),
+        )
+        received = []
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: received.append(t.tag))
+        for index, payload in enumerate(payloads):
+            link.send(
+                Direction.DOWNSTREAM,
+                Tlp(kind=TlpType.MWR, payload_bytes=payload, tag=index),
+            )
+        env.run()
+        assert received == list(range(len(payloads)))
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_credits_conserved_after_quiescence(self, n):
+        env = Environment()
+        link = PcieLink(env, PcieConfig(posted_header_credits=4))
+        link.set_receiver(Direction.DOWNSTREAM, lambda t: None)
+        for _ in range(n):
+            link.send(Direction.DOWNSTREAM, Tlp(kind=TlpType.MWR, payload_bytes=64))
+        env.run()
+        pool = link.pool(Direction.DOWNSTREAM, "posted")
+        assert pool.headers == pool.max_headers
+        assert pool.data == pool.max_data
+
+
+class TestModerationProperties:
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=60)
+    def test_signal_count_is_floor_of_posts_over_period(self, period, posts):
+        moderation = CompletionModeration(signal_period=period)
+        signals = sum(moderation.on_post() for _ in range(posts))
+        assert signals == posts // period
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30)
+    def test_pending_never_reaches_period(self, period):
+        moderation = CompletionModeration(signal_period=period)
+        for _ in range(period * 3):
+            moderation.on_post()
+            assert moderation.pending_unsignaled < period
+
+
+class TestEndToEndConservation:
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_every_posted_message_is_delivered_and_acked(self, n_messages, period):
+        tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
+        qp = tb.node1.nic.create_qp(signal_period=period)
+        messages = []
+        for _ in range(n_messages):
+            message = Message(op=MessageOp.AM, payload_bytes=8, recv_target="rx", qp=qp)
+            qp.register_post(message)
+            tb.node1.rc.mmio_write(
+                Tlp(kind=TlpType.MWR, payload_bytes=64, purpose="pio_post",
+                    message=message)
+            )
+            messages.append(message)
+        tb.run()
+        # Conservation: everything transmitted, received, and ACKed.
+        assert tb.node1.nic.messages_transmitted == n_messages
+        assert tb.node2.nic.messages_received == n_messages
+        assert len(tb.node2.memory.mailbox("rx")) == n_messages
+        assert all("ack_rx" in m.timestamps for m in messages)
+        # Moderation: exactly floor(n/period) CQEs.
+        assert qp.cqes_written == n_messages // period
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_journal_stages_monotone(self, n_messages):
+        tb = Testbed(SystemConfig.paper_testbed())  # noisy on purpose
+        qp = tb.node1.nic.create_qp()
+        messages = []
+
+        def poster():
+            for _ in range(n_messages):
+                message = Message(
+                    op=MessageOp.AM, payload_bytes=8, recv_target="rx", qp=qp
+                )
+                qp.register_post(message)
+                message.stamp("posted", tb.env.now)
+                tb.node1.rc.mmio_write(
+                    Tlp(kind=TlpType.MWR, payload_bytes=64, purpose="pio_post",
+                        message=message)
+                )
+                messages.append(message)
+                yield tb.env.timeout(300.0)
+
+        tb.env.process(poster())
+        tb.run()
+        stage_order = [
+            "posted", "nic_arrival", "wire_out", "target_nic",
+            "payload_visible",
+        ]
+        for message in messages:
+            stamps = [message.timestamps[s] for s in stage_order]
+            assert stamps == sorted(stamps)

@@ -1,0 +1,165 @@
+"""Property-based tests for the analytical models and breakdowns."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.breakdown import (
+    fig4_llp_post,
+    fig12_overall_injection,
+    fig13_end_to_end,
+    fig15_categories,
+    fig16_on_node,
+)
+from repro.core.components import ComponentTimes
+from repro.core.models import (
+    EndToEndLatencyModel,
+    InjectionModelLlp,
+    LatencyModelLlp,
+    OverallInjectionModel,
+    gen_completion,
+)
+from repro.core.whatif import Metric, WhatIfAnalysis
+
+
+def times_strategy():
+    """Random but physically sensible component-time sets."""
+    positive = st.floats(min_value=0.1, max_value=5000.0, allow_nan=False)
+    return st.builds(
+        ComponentTimes,
+        md_setup=positive,
+        barrier_md=positive,
+        barrier_dbc=positive,
+        pio_copy=positive,
+        llp_post_other=positive,
+        llp_prog=positive,
+        busy_post=positive,
+        measurement_update=positive,
+        pcie=positive,
+        rc_to_mem_8b=positive,
+        rc_to_mem_64b=positive,
+        wire=positive,
+        switch=positive,
+        mpich_isend=positive,
+        ucp_isend=positive,
+        mpich_recv_callback=positive,
+        ucp_recv_callback=positive,
+        mpich_after_progress=positive,
+        post_prog=positive,
+        llp_tx_prog=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        misc_injection=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+
+
+class TestModelInvariants:
+    @given(times_strategy())
+    @settings(max_examples=80)
+    def test_predictions_positive_and_finite(self, times):
+        for model in (
+            InjectionModelLlp(times),
+            LatencyModelLlp(times),
+            OverallInjectionModel(times),
+            EndToEndLatencyModel(times),
+        ):
+            assert model.predicted_ns > 0
+            assert math.isfinite(model.predicted_ns)
+
+    @given(times_strategy())
+    @settings(max_examples=80)
+    def test_components_always_sum_to_prediction(self, times):
+        for model in (
+            InjectionModelLlp(times),
+            LatencyModelLlp(times),
+            OverallInjectionModel(times),
+            EndToEndLatencyModel(times),
+        ):
+            total = sum(model.components().values())
+            assert math.isclose(total, model.predicted_ns, rel_tol=1e-9)
+
+    @given(times_strategy())
+    @settings(max_examples=80)
+    def test_e2e_always_exceeds_llp_latency(self, times):
+        assert (
+            EndToEndLatencyModel(times).predicted_ns
+            >= LatencyModelLlp(times).predicted_ns
+        )
+
+    @given(times_strategy())
+    @settings(max_examples=80)
+    def test_gen_completion_exceeds_one_way_hardware(self, times):
+        assert gen_completion(times) > times.pcie + times.network
+
+
+class TestBreakdownInvariants:
+    @given(times_strategy())
+    @settings(max_examples=80)
+    def test_percentages_sum_to_100(self, times):
+        for breakdown in (
+            fig4_llp_post(times),
+            fig12_overall_injection(times),
+            fig13_end_to_end(times),
+        ):
+            assert math.isclose(
+                sum(breakdown.percentages().values()), 100.0, rel_tol=1e-9
+            )
+
+    @given(times_strategy())
+    @settings(max_examples=80)
+    def test_fig15_categories_partition_the_latency(self, times):
+        top = fig15_categories(times)["top"]
+        e2e = EndToEndLatencyModel(times).predicted_ns
+        assert math.isclose(top.total_ns, e2e, rel_tol=1e-9)
+
+    @given(times_strategy())
+    @settings(max_examples=80)
+    def test_fig16_on_node_is_latency_minus_network(self, times):
+        on_node = fig16_on_node(times)["top"].total_ns
+        e2e = EndToEndLatencyModel(times).predicted_ns
+        assert math.isclose(on_node, e2e - times.network, rel_tol=1e-9)
+
+
+class TestWhatIfInvariants:
+    @given(
+        times_strategy(),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=80)
+    def test_speedup_monotone_in_reduction(self, times, r1, r2):
+        analysis = WhatIfAnalysis(times)
+        component = times.pio_copy
+        low, high = sorted((r1, r2))
+        assert analysis.speedup(Metric.LATENCY, component, low) <= analysis.speedup(
+            Metric.LATENCY, component, high
+        )
+
+    @given(times_strategy(), st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=80)
+    def test_speedup_bounded_by_component_share(self, times, reduction):
+        analysis = WhatIfAnalysis(times)
+        total = analysis.total(Metric.LATENCY)
+        component = times.switch
+        speedup = analysis.speedup(Metric.LATENCY, component, reduction)
+        assert 0.0 <= speedup <= component / total + 1e-12
+
+    @given(times_strategy(), st.floats(min_value=0.0, max_value=0.99, allow_nan=False))
+    @settings(max_examples=80)
+    def test_multiplicative_at_least_fractional(self, times, reduction):
+        analysis = WhatIfAnalysis(times)
+        component = times.wire
+        fractional = analysis.speedup(Metric.LATENCY, component, reduction)
+        multiplicative = analysis.multiplicative_speedup(
+            Metric.LATENCY, component, reduction
+        )
+        assert multiplicative >= fractional - 1e-12
+
+    @given(times_strategy())
+    @settings(max_examples=80)
+    def test_panel_lines_within_metric_bounds(self, times):
+        analysis = WhatIfAnalysis(times)
+        for panel in (analysis.figure17a(), analysis.figure17b(),
+                      analysis.figure17c(), analysis.figure17d()):
+            for points in panel.values():
+                for _reduction, speedup in points:
+                    assert 0.0 <= speedup <= 1.0

@@ -1,0 +1,76 @@
+"""Unit tests for the experiment drivers (repro.reporting.experiments)."""
+
+import pytest
+
+from repro.analysis.stats import DistributionSummary
+from repro.core.components import ComponentTimes
+from repro.reporting.experiments import (
+    experiment_fig4,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig10,
+    experiment_fig11,
+    experiment_fig12,
+    experiment_fig13,
+    experiment_fig14,
+    experiment_fig15,
+    experiment_fig16,
+    experiment_fig17,
+    experiment_insights,
+    experiment_table1,
+    experiment_validation,
+)
+
+PAPER = ComponentTimes.paper()
+
+PAPER_OBSERVATIONS = {
+    "llp_injection_overhead": 282.33,
+    "llp_latency": 1190.25,
+    "overall_injection_overhead": 263.91,
+    "end_to_end_latency": 1336.0,
+}
+
+
+class TestDriversRender:
+    @pytest.mark.parametrize(
+        "driver,needle",
+        [
+            (experiment_fig4, "pio_copy: 53.7"),
+            (experiment_fig10, "wire: 25.58%"),
+            (experiment_fig11, "MPI_Isend"),
+            (experiment_fig12, "post: 76.23%"),
+            (experiment_fig13, "1387.02"),
+            (experiment_fig14, "RX progress"),
+            (experiment_fig15, "Network: 27.60%"),
+            (experiment_fig16, "target: 66.20%"),
+            (experiment_fig17, "Integrated NIC"),
+            (experiment_insights, "Insight 4 [HOLDS]"),
+        ],
+    )
+    def test_driver_output_contains(self, driver, needle):
+        assert needle in driver(PAPER)
+
+    def test_table1(self):
+        text = experiment_table1(PAPER)
+        assert "PIO copy (64 bytes)" in text
+
+    def test_table1_with_reference(self):
+        text = experiment_table1(PAPER, reference=PAPER)
+        assert "0.0%" in text
+
+    def test_fig7(self):
+        dist = DistributionSummary(
+            count=1000, mean=282.33, median=266.30, minimum=201.30,
+            maximum=34951.70, std=58.4866,
+        )
+        text = experiment_fig7(dist)
+        assert "282.33" in text and "paper: 266.30" in text
+
+    def test_fig8_variants(self):
+        assert "61.18%" in experiment_fig8(PAPER, "figure")
+        assert "59.3" in experiment_fig8(PAPER, "model")
+
+    def test_validation_all_ok_on_paper_numbers(self):
+        text = experiment_validation(PAPER, PAPER_OBSERVATIONS)
+        assert text.count("[OK]") == 4
+        assert "[FAIL]" not in text

@@ -1,0 +1,76 @@
+"""Unit tests for machine-readable exports (repro.reporting.export)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.breakdown import fig13_end_to_end
+from repro.core.components import ComponentTimes
+from repro.core.whatif import WhatIfAnalysis
+from repro.reporting.export import (
+    breakdown_to_csv,
+    breakdown_to_dict,
+    component_times_to_dict,
+    series_to_csv,
+    table1_to_csv,
+)
+
+PAPER = ComponentTimes.paper()
+
+
+def parse_csv(text):
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+class TestBreakdownExport:
+    def test_csv_round_trip(self):
+        rows = parse_csv(breakdown_to_csv(fig13_end_to_end(PAPER)))
+        assert len(rows) == 9
+        by_label = {row["label"]: row for row in rows}
+        assert float(by_label["wire"]["ns"]) == pytest.approx(274.81)
+        assert float(by_label["wire"]["percent"]) == pytest.approx(19.81, abs=0.01)
+
+    def test_dict_is_json_serialisable(self):
+        payload = breakdown_to_dict(fig13_end_to_end(PAPER))
+        text = json.dumps(payload)
+        decoded = json.loads(text)
+        assert decoded["total_ns"] == pytest.approx(1387.02)
+        assert len(decoded["parts"]) == 9
+
+
+class TestSeriesExport:
+    def test_fig17d_rows(self):
+        series = WhatIfAnalysis(PAPER).figure17d()
+        rows = parse_csv(series_to_csv(series))
+        assert len(rows) == 10  # 2 lines × 5 reductions
+        wire_90 = next(
+            r for r in rows if r["component"] == "Wire" and r["reduction"] == "0.9000"
+        )
+        assert float(wire_90["speedup"]) == pytest.approx(0.9 * 274.81 / 1387.02)
+
+
+class TestTable1Export:
+    def test_plain(self):
+        rows = parse_csv(table1_to_csv(PAPER))
+        assert len(rows) == 21
+        assert float(rows[0]["ns"]) == pytest.approx(27.78)
+
+    def test_with_reference_and_error(self):
+        measured = ComponentTimes(pcie=140.0)
+        rows = parse_csv(table1_to_csv(measured, reference=PAPER))
+        pcie_row = next(r for r in rows if "PCIe" in r["component"])
+        # The CSV rounds to six decimals.
+        assert float(pcie_row["error"]) == pytest.approx(
+            (140.0 - 137.49) / 137.49, abs=1e-6
+        )
+
+
+class TestComponentTimesExport:
+    def test_contains_fields_and_aggregates(self):
+        payload = component_times_to_dict(PAPER)
+        assert payload["pcie"] == pytest.approx(137.49)
+        assert payload["llp_post"] == pytest.approx(175.42)
+        assert payload["post"] == pytest.approx(201.98)
+        json.dumps(payload)  # must be serialisable

@@ -1,0 +1,71 @@
+"""Unit tests for figure rendering (repro.reporting.figures)."""
+
+import pytest
+
+from repro.core.breakdown import Breakdown, fig12_overall_injection
+from repro.core.components import ComponentTimes
+from repro.core.whatif import WhatIfAnalysis
+from repro.reporting.figures import render_breakdown_bar, render_series
+
+PAPER = ComponentTimes.paper()
+
+
+class TestBreakdownBar:
+    def test_contains_title_total_and_legend(self):
+        text = render_breakdown_bar(fig12_overall_injection(PAPER))
+        assert "Overall injection overhead" in text
+        assert "264.97" in text
+        assert "post: 76.23%" in text
+
+    def test_bar_width_respected(self):
+        breakdown = Breakdown.build("t", {"a": 50.0, "b": 50.0})
+        text = render_breakdown_bar(breakdown, width=40)
+        bar_line = text.splitlines()[1]
+        assert len(bar_line) == 42  # bar + two pipes
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ValueError):
+            render_breakdown_bar(fig12_overall_injection(PAPER), width=5)
+
+
+class TestSeries:
+    def test_renders_all_lines_and_points(self):
+        panel = WhatIfAnalysis(PAPER).figure17d()
+        text = render_series("Figure 17d", panel)
+        assert "Wire" in text and "Switch" in text
+        assert "10%" in text and "90%" in text
+
+    def test_percent_formatting(self):
+        text = render_series("t", {"line": [(0.5, 0.1234)]})
+        assert "12.34%" in text
+
+    def test_raw_formatting(self):
+        text = render_series("t", {"line": [(0.5, 0.1234)]}, as_percent=False)
+        assert "0.1234" in text
+
+
+class TestTrace:
+    def test_figure6_style_listing(self):
+        from repro.bench import run_put_bw
+        from repro.node import SystemConfig
+        from repro.reporting.figures import render_trace
+
+        result = run_put_bw(
+            config=SystemConfig.paper_testbed(deterministic=True),
+            n_messages=40,
+            warmup=20,
+        )
+        text = render_trace(result.testbed.analyzer.records, limit=6)
+        lines = text.splitlines()
+        assert len(lines) == 8  # header + rule + 6 rows
+        assert "MWr" in text and "pio_post" in text
+        # Deltas reported from the second row on; the steady-state
+        # inter-arrival is the Eq. 1 pace.
+        last_delta = float(lines[-1].split()[-1])
+        assert 200.0 < last_delta < 400.0
+
+    def test_limit_validation(self):
+        from repro.reporting.figures import render_trace
+
+        with pytest.raises(ValueError):
+            render_trace([], limit=0)

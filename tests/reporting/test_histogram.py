@@ -1,0 +1,48 @@
+"""Unit tests for the histogram renderer (repro.reporting.figures)."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.figures import render_histogram
+
+
+class TestRenderHistogram:
+    def test_contains_title_and_annotations(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(282, 20, size=500)
+        text = render_histogram(samples, title="Figure 7")
+        assert text.startswith("Figure 7")
+        assert "Mean:" in text and "Median:" in text and "Std:" in text
+
+    def test_bin_count(self):
+        samples = np.linspace(0, 100, 200)
+        text = render_histogram(samples, bins=10)
+        bar_lines = [line for line in text.splitlines() if "|" in line]
+        assert len(bar_lines) == 10
+
+    def test_tail_clipping_noted(self):
+        samples = np.concatenate([np.full(999, 100.0), [50000.0]])
+        text = render_histogram(samples)
+        assert "clipped" in text
+        assert "Max: 50000.00" in text  # annotations keep the full max
+
+    def test_no_clipping_note_for_tight_distribution(self):
+        text = render_histogram(np.full(100, 5.0))
+        assert "clipped" not in text
+
+    def test_peak_bar_fills_width(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0, 1, 2000)
+        text = render_histogram(samples, width=30)
+        longest = max(line.count("█") for line in text.splitlines())
+        assert longest == 30
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram([])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram([1.0, 2.0], bins=1)
+        with pytest.raises(ValueError):
+            render_histogram([1.0, 2.0], width=2)

@@ -1,0 +1,58 @@
+"""Unit tests for table rendering (repro.reporting.tables)."""
+
+import pytest
+
+from repro.core.breakdown import fig13_end_to_end
+from repro.core.components import ComponentTimes
+from repro.reporting.tables import render_breakdown_table, render_table1, table1_rows
+
+PAPER = ComponentTimes.paper()
+
+
+class TestTable1Rows:
+    def test_row_count_matches_paper(self):
+        assert len(table1_rows(PAPER)) == 21
+
+    def test_key_values(self):
+        rows = dict(table1_rows(PAPER))
+        assert rows["LLP_post (total of above)"] == pytest.approx(175.42)
+        assert rows["Network (total of above)"] == pytest.approx(382.81)
+        assert rows["RC-to-MEM(8B)"] == pytest.approx(240.96)
+        assert rows["Successful MPI_Wait for MPI_Irecv in UCP"] == pytest.approx(150.51)
+
+    def test_totals_rows_are_consistent(self):
+        rows = dict(table1_rows(PAPER))
+        assert rows["LLP_post (total of above)"] == pytest.approx(
+            rows["Message descriptor setup"]
+            + rows["Barrier for message descriptor"]
+            + rows["Barrier for DoorBell counter"]
+            + rows["PIO copy (64 bytes)"]
+            + rows["Miscellaneous in LLP_post"]
+        )
+        assert rows["Misc in Inj_overhead (total of above)"] == pytest.approx(
+            rows["Busy post"] + rows["Measurement update"]
+        )
+
+
+class TestRenderTable1:
+    def test_plain_rendering_contains_all_rows(self):
+        text = render_table1(PAPER)
+        for label, _value in table1_rows(PAPER):
+            assert label in text
+        assert "175.42" in text
+
+    def test_comparison_rendering_has_error_column(self):
+        measured = ComponentTimes(pcie=140.0)
+        text = render_table1(measured, reference=PAPER)
+        assert "Err %" in text
+        assert "Paper" in text
+        assert "140.00" in text
+
+
+class TestRenderBreakdownTable:
+    def test_contains_parts_and_total(self):
+        text = render_breakdown_table(fig13_end_to_end(PAPER))
+        assert "hlp_post" in text
+        assert "total" in text
+        assert "1387.02" in text
+        assert "100.00%" in text

@@ -1,0 +1,322 @@
+"""Unit tests for the discrete-event kernel (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_new_event_is_pending(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_succeed_carries_value(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+        with pytest.raises(SimulationError):
+            event.fail(ValueError("x"))
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_callbacks_run_on_processing(self):
+        env = Environment()
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        env.run()
+        assert seen == ["payload"]
+        assert event.processed
+
+    def test_trigger_chains_state(self):
+        env = Environment()
+        source = env.event()
+        sink = env.event()
+        source.succeed(7)
+        sink.trigger(source)
+        assert sink.value == 7
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(125.0)
+        env.run()
+        assert env.now == 125.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Timeout(env, -1.0)
+
+    def test_timeouts_fire_in_time_order(self):
+        env = Environment()
+        fired = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            fired.append(tag)
+
+        env.process(proc(30, "c"))
+        env.process(proc(10, "a"))
+        env.process(proc(20, "b"))
+        env.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_creation_order(self):
+        env = Environment()
+        fired = []
+
+        def proc(tag):
+            yield env.timeout(5)
+            fired.append(tag)
+
+        for tag in ("first", "second", "third"):
+            env.process(proc(tag))
+        env.run()
+        assert fired == ["first", "second", "third"]
+
+
+class TestProcess:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def body():
+            yield env.timeout(1)
+            return "done"
+
+        proc = env.process(body())
+        assert env.run(until=proc) == "done"
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_process_waits_on_another_process(self):
+        env = Environment()
+
+        def inner():
+            yield env.timeout(50)
+            return 99
+
+        def outer():
+            value = yield env.process(inner())
+            return value + 1
+
+        assert env.run(until=env.process(outer())) == 100
+        assert env.now == 50
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        def waiter():
+            yield env.process(failing())
+
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=env.process(waiter()))
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def bad():
+            yield 42  # type: ignore[misc]
+
+        proc = env.process(bad())
+        with pytest.raises(SimulationError, match="expected an Event"):
+            env.run(until=proc)
+
+    def test_yield_already_processed_event_resumes_immediately(self):
+        env = Environment()
+        ready = env.event()
+        ready.succeed("early")
+        order = []
+
+        def consumer():
+            # Let the ready event be processed first.
+            yield env.timeout(10)
+            value = yield ready
+            order.append((env.now, value))
+
+        env.run(until=env.process(consumer()))
+        assert order == [(10.0, "early")]
+
+    def test_interrupt_raises_inside_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(1000)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        victim = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(42)
+            victim.interrupt(cause="wakeup")
+
+        env.process(interrupter())
+        env.run()
+        assert log == [(42.0, "wakeup")]
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+
+        proc = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_is_alive(self):
+        env = Environment()
+
+        def body():
+            yield env.timeout(10)
+
+        proc = env.process(body())
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+
+        def body():
+            result = yield AllOf(env, [env.timeout(10, "a"), env.timeout(30, "b")])
+            return (env.now, sorted(result))
+
+        now, values = env.run(until=env.process(body()))
+        assert now == 30
+        assert values == ["a", "b"]
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def body():
+            yield AnyOf(env, [env.timeout(10, "fast"), env.timeout(500, "slow")])
+            return env.now
+
+        assert env.run(until=env.process(body())) == 10
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+
+        def body():
+            yield AllOf(env, [])
+            return env.now
+
+        assert env.run(until=env.process(body())) == 0
+
+    def test_all_of_propagates_failure(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(5)
+            raise RuntimeError("nope")
+
+        def body():
+            yield AllOf(env, [env.process(failing()), env.timeout(100)])
+
+        with pytest.raises(RuntimeError, match="nope"):
+            env.run(until=env.process(body()))
+
+
+class TestEnvironmentRun:
+    def test_run_until_time_stops_clock(self):
+        env = Environment()
+
+        def ticker():
+            while True:
+                yield env.timeout(10)
+
+        env.process(ticker())
+        env.run(until=95)
+        assert env.now == 95
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment(initial_time=100)
+        with pytest.raises(SimulationError):
+            env.run(until=50)
+
+    def test_run_until_event_deadlock_detected(self):
+        env = Environment()
+        never = env.event()
+
+        def waiter():
+            yield never
+
+        proc = env.process(waiter())
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=proc)
+
+    def test_step_empty_calendar_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(12.5)
+        assert env.peek() == 12.5
+
+    def test_initial_time(self):
+        env = Environment(initial_time=1000.0)
+        assert env.now == 1000.0
+        env.timeout(5)
+        env.run()
+        assert env.now == 1005.0
+
+    def test_active_process_visible_during_execution(self):
+        env = Environment()
+        observed = []
+
+        def body():
+            observed.append(env.active_process)
+            yield env.timeout(1)
+
+        proc = env.process(body())
+        env.run()
+        assert observed == [proc]
+        assert env.active_process is None

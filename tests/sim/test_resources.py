@@ -1,0 +1,240 @@
+"""Unit tests for Store / Channel / Resource (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import Channel, Environment, Resource, SimulationError, Store
+
+
+class TestStore:
+    def test_put_then_get_fifo(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        arrival = []
+
+        def consumer():
+            item = yield store.get()
+            arrival.append((env.now, item))
+
+        def producer():
+            yield env.timeout(77)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert arrival == [(77.0, "late")]
+
+    def test_capacity_blocks_putter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("a")
+            times.append(env.now)  # immediate
+            yield store.put("b")
+            times.append(env.now)  # blocked until a get
+
+        def consumer():
+            yield env.timeout(50)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [0.0, 50.0]
+
+    def test_invalid_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_try_put_respects_capacity(self):
+        env = Environment()
+        store = Store(env, capacity=2)
+        assert store.try_put(1)
+        assert store.try_put(2)
+        assert not store.try_put(3)
+        assert store.is_full
+        assert len(store) == 2
+
+    def test_try_get(self):
+        env = Environment()
+        store = Store(env)
+        ok, item = store.try_get()
+        assert not ok and item is None
+        store.try_put("x")
+        ok, item = store.try_get()
+        assert ok and item == "x"
+
+    def test_try_put_hands_to_waiting_getter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        env.process(consumer())
+        env.run()  # consumer now parked on get
+        assert store.try_put("direct")
+        env.run()
+        assert got == ["direct"]
+        assert len(store) == 0
+
+    def test_items_snapshot(self):
+        env = Environment()
+        store = Store(env)
+        store.try_put("a")
+        store.try_put("b")
+        assert store.items == ("a", "b")
+
+    def test_multiple_getters_fifo(self):
+        env = Environment()
+        store = Store(env)
+        order = []
+
+        def consumer(tag):
+            item = yield store.get()
+            order.append((tag, item))
+
+        env.process(consumer("first"))
+        env.process(consumer("second"))
+        env.run()
+        store.try_put(1)
+        store.try_put(2)
+        env.run()
+        assert order == [("first", 1), ("second", 2)]
+
+
+class TestChannel:
+    def test_latency_applied(self):
+        env = Environment()
+        channel = Channel(env, latency=100.0)
+        deliveries = []
+
+        def consumer():
+            item = yield channel.get()
+            deliveries.append((env.now, item))
+
+        channel.put("pkt")
+        env.process(consumer())
+        env.run()
+        assert deliveries == [(100.0, "pkt")]
+
+    def test_fifo_across_staggered_puts(self):
+        env = Environment()
+        channel = Channel(env, latency=10.0)
+        deliveries = []
+
+        def producer():
+            channel.put("a")
+            yield env.timeout(1)
+            channel.put("b")
+
+        def consumer():
+            for _ in range(2):
+                item = yield channel.get()
+                deliveries.append((env.now, item))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert deliveries == [(10.0, "a"), (11.0, "b")]
+
+    def test_in_flight_tracking(self):
+        env = Environment()
+        channel = Channel(env, latency=50.0)
+        channel.put("x")
+        assert channel.in_flight == 1
+        env.run()
+        assert channel.in_flight == 0
+        assert len(channel) == 1
+
+    def test_zero_latency_allowed(self):
+        env = Environment()
+        channel = Channel(env, latency=0.0)
+        channel.put("now")
+        got = []
+
+        def consumer():
+            got.append((yield channel.get()))
+
+        env.process(consumer())
+        env.run()
+        assert got == ["now"]
+
+    def test_negative_latency_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Channel(env, latency=-1.0)
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        granted = []
+
+        def worker(tag, hold):
+            yield resource.request()
+            granted.append((tag, env.now))
+            yield env.timeout(hold)
+            resource.release()
+
+        env.process(worker("a", 10))
+        env.process(worker("b", 10))
+        env.process(worker("c", 10))
+        env.run()
+        assert granted == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+    def test_available_accounting(self):
+        env = Environment()
+        resource = Resource(env, capacity=3)
+        assert resource.available == 3
+        resource.request()
+        assert resource.in_use == 1
+        assert resource.available == 2
+        resource.release()
+        assert resource.in_use == 0
+
+    def test_release_idle_rejected(self):
+        env = Environment()
+        resource = Resource(env)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_invalid_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_fifo_handoff_keeps_in_use_constant(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        resource.request()
+        waiter = resource.request()
+        assert not waiter.triggered
+        resource.release()
+        assert waiter.triggered
+        assert resource.in_use == 1

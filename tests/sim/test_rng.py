@@ -1,0 +1,128 @@
+"""Unit tests for deterministic randomness (repro.sim.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import JitterModel, RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(seed=7).get("pcie.link")
+        b = RandomStreams(seed=7).get("pcie.link")
+        assert np.array_equal(a.random(16), b.random(16))
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(seed=7)
+        x = streams.get("alpha").random(16)
+        y = streams.get("beta").random(16)
+        assert not np.array_equal(x, y)
+
+    def test_different_seeds_differ(self):
+        x = RandomStreams(seed=1).get("s").random(16)
+        y = RandomStreams(seed=2).get("s").random(16)
+        assert not np.array_equal(x, y)
+
+    def test_order_independence(self):
+        first = RandomStreams(seed=3)
+        first.get("a")
+        va = first.get("b").random(8)
+        second = RandomStreams(seed=3)
+        vb = second.get("b").random(8)
+        assert np.array_equal(va, vb)
+
+    def test_stream_cached(self):
+        streams = RandomStreams(seed=0)
+        assert streams.get("x") is streams.get("x")
+
+    def test_child_scoping(self):
+        streams = RandomStreams(seed=5)
+        scoped = streams.child("nic")
+        direct = streams.get("nic.txq").random(4)
+        # A fresh root must see the same values through the scoped view.
+        fresh = RandomStreams(seed=5).child("nic").get("txq").random(4)
+        assert np.array_equal(direct, fresh)
+
+    def test_nested_child(self):
+        streams = RandomStreams(seed=5)
+        nested = streams.child("node1").child("nic")
+        same = RandomStreams(seed=5).get("node1.nic.dma").random(4)
+        assert np.array_equal(nested.get("dma").random(4), same)
+
+
+class TestJitterModel:
+    def test_deterministic_model_returns_mean(self):
+        model = JitterModel.deterministic()
+        rng = np.random.default_rng(0)
+        assert model.sample(100.0, rng) == 100.0
+
+    def test_zero_mean_returns_zero(self):
+        model = JitterModel()
+        rng = np.random.default_rng(0)
+        assert model.sample(0.0, rng) == 0.0
+
+    def test_negative_mean_rejected(self):
+        model = JitterModel()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            model.sample(-1.0, rng)
+
+    def test_sample_mean_close_to_nominal(self):
+        model = JitterModel(cv=0.15, outlier_prob=0.0)
+        rng = np.random.default_rng(42)
+        samples = model.sample_many(282.0, 20000, rng)
+        assert samples.mean() == pytest.approx(282.0, rel=0.02)
+
+    def test_right_skew_median_below_mean(self):
+        # Calibration target: the paper's Figure 7 has median < mean.
+        model = JitterModel(cv=0.2, outlier_prob=0.0)
+        rng = np.random.default_rng(42)
+        samples = model.sample_many(282.0, 20000, rng)
+        assert np.median(samples) < samples.mean()
+
+    def test_floor_enforced(self):
+        model = JitterModel(cv=0.5, outlier_prob=0.0, floor_fraction=0.71)
+        rng = np.random.default_rng(0)
+        samples = model.sample_many(100.0, 5000, rng)
+        assert samples.min() >= 71.0 - 1e-9
+
+    def test_outliers_present_when_enabled(self):
+        model = JitterModel(cv=0.1, outlier_prob=0.01, outlier_scale=25.0)
+        rng = np.random.default_rng(1)
+        samples = model.sample_many(282.0, 5000, rng)
+        # With 1% outliers at >=25x the mean, the max must be huge.
+        assert samples.max() > 282.0 * 20
+
+    def test_mixture_mean_is_unbiased(self):
+        # The body gain must exactly compensate the tail mass.
+        model = JitterModel()
+        rng = np.random.default_rng(3)
+        samples = model.sample_many(100.0, 400000, rng)
+        assert samples.mean() == pytest.approx(100.0, rel=0.01)
+
+    def test_overweight_tail_rejected(self):
+        with pytest.raises(ValueError, match="tail"):
+            JitterModel(outlier_prob=0.05, outlier_scale=30.0)
+
+    def test_sample_and_sample_many_share_distribution(self):
+        model = JitterModel(cv=0.15, outlier_prob=0.0)
+        rng_a = np.random.default_rng(9)
+        singles = np.array([model.sample(100.0, rng_a) for _ in range(5000)])
+        rng_b = np.random.default_rng(9)
+        batch = model.sample_many(100.0, 5000, rng_b)
+        assert singles.mean() == pytest.approx(batch.mean(), rel=0.03)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            JitterModel(cv=-0.1)
+        with pytest.raises(ValueError):
+            JitterModel(outlier_prob=1.5)
+        with pytest.raises(ValueError):
+            JitterModel(floor_fraction=2.0)
+
+    def test_sample_many_length_and_validation(self):
+        model = JitterModel()
+        rng = np.random.default_rng(0)
+        assert len(model.sample_many(10.0, 0, rng)) == 0
+        with pytest.raises(ValueError):
+            model.sample_many(10.0, -1, rng)

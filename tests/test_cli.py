@@ -1,0 +1,115 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestStaticCommands:
+    def test_table1(self):
+        code, text = run_cli("table1")
+        assert code == 0
+        assert "PIO copy (64 bytes)" in text
+        assert "175.42" in text
+
+    @pytest.mark.parametrize(
+        "figure,needle",
+        [
+            ("fig4", "pio_copy"),
+            ("fig8", "llp_post"),
+            ("fig10", "wire"),
+            ("fig11", "MPI_Isend"),
+            ("fig12", "post: 76.23%"),
+            ("fig13", "1387.02"),
+            ("fig14", "RX progress"),
+            ("fig15", "Network: 27.60%"),
+            ("fig16", "target: 66.20%"),
+        ],
+    )
+    def test_breakdowns(self, figure, needle):
+        code, text = run_cli("breakdown", figure)
+        assert code == 0
+        assert needle in text
+
+    def test_validate(self):
+        code, text = run_cli("validate")
+        assert code == 0
+        assert text.count("[OK]") == 4
+
+    def test_insights(self):
+        code, text = run_cli("insights")
+        assert code == 0
+        assert text.count("[HOLDS]") == 4
+
+
+class TestWhatIf:
+    def test_single_point(self):
+        code, text = run_cli(
+            "whatif", "--metric", "injection", "--component", "PIO",
+            "--reduction", "0.84",
+        )
+        assert code == 0
+        assert "29.88%" in text
+
+    def test_panels(self):
+        code, text = run_cli("whatif", "--panels")
+        assert code == 0
+        assert "Figure 17a" in text and "Figure 17d" in text
+
+    def test_unknown_component_lists_options(self):
+        code, text = run_cli("whatif", "--component", "FluxCapacitor")
+        assert code == 2
+        assert "Integrated NIC" in text
+
+    def test_missing_component_lists_options(self):
+        code, text = run_cli("whatif")
+        assert code == 2
+        assert "available components" in text
+
+
+class TestBench:
+    def test_am_lat_deterministic(self):
+        code, text = run_cli("bench", "am_lat", "--deterministic")
+        assert code == 0
+        assert "observed latency" in text
+
+    def test_put_bw(self):
+        code, text = run_cli("bench", "put_bw", "--deterministic")
+        assert code == 0
+        assert "injection overhead" in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("bench", "nonsense")
+
+
+class TestParser:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli("frobnicate")
+
+
+class TestRank:
+    def test_latency_ranking_puts_integrated_nic_first(self):
+        code, text = run_cli("rank", "--reduction", "0.5")
+        assert code == 0
+        first = text.splitlines()[1]
+        assert "Integrated NIC" in first
+
+    def test_injection_ranking_puts_llp_first(self):
+        code, text = run_cli("rank", "--metric", "injection")
+        assert code == 0
+        first = text.splitlines()[1]
+        assert first.strip().startswith("LLP")

@@ -1,0 +1,72 @@
+"""Smoke tests: every example script must run clean.
+
+Examples are documentation that executes; a broken example is a broken
+promise.  Each runs in a subprocess exactly as a user would run it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "whatif_analysis.py",
+    "integrated_nic.py",
+    "message_size_sweep.py",
+    "halo_exchange.py",
+    "rdma_read.py",
+    "custom_system.py",
+    "ring_allreduce.py",
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+class TestExampleContent:
+    def test_quickstart_reports_models_and_observations(self):
+        out = run_example("quickstart.py").stdout
+        assert "1387.02" in out
+        assert "Simulated observations" in out
+
+    def test_whatif_model_matches_resimulation(self):
+        out = run_example("whatif_analysis.py").stdout
+        assert "model-vs-simulation gap" in out
+        # The gap line ends with the ns figure; it must be small.
+        gap_line = next(l for l in out.splitlines() if "gap" in l)
+        gap = float(gap_line.split()[-2])
+        assert gap < 30.0
+
+    def test_halo_exchange_linear_claim(self):
+        out = run_example("halo_exchange.py").stdout
+        assert "linear-speedup claim holds" in out
+
+    def test_rdma_read_target_idle(self):
+        out = run_example("rdma_read.py").stdout
+        assert "target CPU busy time: 0.00 ns" in out
+
+    def test_custom_system_flips_the_insights(self):
+        out = run_example("custom_system.py").stdout
+        # On a network-dominated system the on-node insights must fail.
+        assert "Insight 2 [DOES NOT HOLD]" in out
+        # And the ranked what-if must put a network component first.
+        ranked_start = out.index("best first:")
+        first = out[ranked_start:].splitlines()[1]
+        assert "Wire" in first or "Switch" in first
