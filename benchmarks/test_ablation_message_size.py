@@ -5,39 +5,29 @@ The paper motivates PIO+inlining by the cost of DMA-read round trips
 payload sizes, demonstrating the crossover the paper describes
 qualitatively: beyond the inline limit the doorbell+DMA path pays two
 extra PCIe round trips plus memory reads.
+
+The sweep is a declarative campaign over the ``put_oneway_latency``
+workload with ``payload_bytes`` as the axis.
 """
 
 from conftest import write_report
 
-from repro.llp.uct import UCS_OK, UctWorker
-from repro.node import SystemConfig, Testbed
+from repro.campaign import CampaignSpec, SweepAxis, run_campaign
+from repro.node import SystemConfig
 
 SIZES = (8, 32, 64, 256, 1024, 4096)
 
 
-def one_way_put_latency(payload_bytes: int) -> float:
-    """Time from post start to payload visible in target memory."""
-    tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
-    worker = UctWorker(tb.node1)
-    iface = worker.create_iface()
-    remote = UctWorker(tb.node2).create_iface()
-    ep = iface.create_ep(remote)
-
-    def body():
-        if payload_bytes <= tb.config.nic.inline_max_bytes:
-            status = yield from ep.put_short(payload_bytes)
-        else:
-            status = yield from ep.put_zcopy(payload_bytes)
-        assert status == UCS_OK
-
-    tb.env.run(until=tb.env.process(body(), name="post"))
-    tb.run()
-    message = iface.last_message
-    return message.interval("posted", "payload_visible")
-
-
 def run_sweep():
-    return [(size, one_way_put_latency(size)) for size in SIZES]
+    spec = CampaignSpec(
+        name="ablation-message-size",
+        workload="put_oneway_latency",
+        base_config=SystemConfig.paper_testbed(deterministic=True),
+        axes=(SweepAxis("payload_bytes", SIZES),),
+    )
+    result = run_campaign(spec)
+    assert not result.failures
+    return result.rows("payload_bytes", "one_way_latency_ns")
 
 
 def test_message_size_sweep(benchmark, report_dir):

@@ -5,27 +5,31 @@ switch latency could fall (Gen-Z's forecast 30-50 ns).  Real fat-tree
 fabrics traverse 3 or 5 hops; this sweep extends the latency model and
 the simulator to k hops and verifies they agree: each extra hop adds
 exactly one switch latency to the one-way path.
+
+The sweep is a declarative campaign: ``network.switch_count`` is a
+dotted config axis over the ``am_lat`` workload.
 """
 
 import pytest
 from conftest import write_report
 
-from repro.bench import run_am_lat
-from repro.network.config import NetworkConfig
+from repro.campaign import CampaignSpec, SweepAxis, run_campaign
 from repro.node import SystemConfig
 
 HOPS = (0, 1, 2, 3, 5)
 
 
 def run_sweep():
-    rows = []
-    for hops in HOPS:
-        config = SystemConfig.paper_testbed(deterministic=True).evolve(
-            network=NetworkConfig(switch_count=hops)
-        )
-        result = run_am_lat(config=config, iterations=100, warmup=20)
-        rows.append((hops, result.observed_latency_ns))
-    return rows
+    spec = CampaignSpec(
+        name="ablation-switch-hops",
+        workload="am_lat",
+        base_config=SystemConfig.paper_testbed(deterministic=True),
+        axes=(SweepAxis("network.switch_count", HOPS),),
+        params={"iterations": 100, "warmup": 20},
+    )
+    result = run_campaign(spec)
+    assert not result.failures
+    return result.rows("network.switch_count", "observed_latency_ns")
 
 
 def test_switch_hop_sweep(benchmark, report_dir):

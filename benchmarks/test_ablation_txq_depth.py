@@ -4,28 +4,32 @@ With a deep TxQ the put_bw steady state is CPU-paced; shrinking the
 queue towards p = 1 turns posts synchronous — "the user will be able to
 post the next message only after the previous message has reached the
 target node" — and injection collapses to gen_completion.
+
+The sweep is a declarative campaign: ``nic.txq_depth`` is a dotted
+config axis, rewritten into each point's :class:`SystemConfig`.
 """
 
 from conftest import write_report
 
-from repro.bench import run_put_bw
+from repro.campaign import CampaignSpec, SweepAxis, run_campaign
 from repro.core.components import ComponentTimes
 from repro.core.models import gen_completion
-from repro.nic.config import NicConfig
 from repro.node import SystemConfig
 
 DEPTHS = (1, 2, 8, 32, 128)
 
 
 def run_sweep():
-    rows = []
-    for depth in DEPTHS:
-        config = SystemConfig.paper_testbed(deterministic=True).evolve(
-            nic=NicConfig(txq_depth=depth)
-        )
-        result = run_put_bw(config=config, n_messages=300, warmup=150)
-        rows.append((depth, result.mean_injection_overhead_ns))
-    return rows
+    spec = CampaignSpec(
+        name="ablation-txq-depth",
+        workload="put_bw",
+        base_config=SystemConfig.paper_testbed(deterministic=True),
+        axes=(SweepAxis("nic.txq_depth", DEPTHS),),
+        params={"n_messages": 300, "warmup": 150},
+    )
+    result = run_campaign(spec)
+    assert not result.failures
+    return result.rows("nic.txq_depth", "mean_injection_overhead_ns")
 
 
 def test_txq_depth_sweep(benchmark, report_dir):

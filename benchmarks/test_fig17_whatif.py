@@ -8,7 +8,7 @@ methodology-measured ones.
 from conftest import write_report
 
 from repro.core.whatif import Metric, WhatIfAnalysis
-from repro.reporting.experiments import experiment_fig17
+from repro.reporting.experiments import experiment_fig17, experiment_fig17_campaign
 
 
 def test_fig17_panels(benchmark, measured_times, paper_times, report_dir):
@@ -38,6 +38,27 @@ def test_fig17_panels(benchmark, measured_times, paper_times, report_dir):
     assert fig_b["HLP"][-1][1] > fig_b["LLP_post"][-1][1]
     assert fig_c["Integrated NIC"][-1][1] > fig_c["PCIe"][-1][1] > fig_c["RC-to-MEM"][-1][1]
     assert fig_d["Wire"][-1][1] > fig_d["Switch"][-1][1]
+
+
+def test_fig17_campaign_grid(benchmark, paper_times, report_dir, tmp_path):
+    """The campaign-driven grid reproduces the inline-loop panels.
+
+    Every (component × reduction) point runs as a campaign RunRecord;
+    the rendered panels must match the direct driver byte for byte, and
+    a second pass over the same cache must be both all-hits and
+    identical.
+    """
+    cache_dir = tmp_path / "fig17-cache"
+    report = benchmark.pedantic(
+        experiment_fig17_campaign,
+        kwargs=dict(jobs=2, cache_dir=cache_dir),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(report_dir, "fig17_whatif_campaign", report)
+
+    assert report == experiment_fig17(paper_times)
+    assert report == experiment_fig17_campaign(jobs=1, cache_dir=cache_dir)
 
 
 def test_section7_claims(benchmark, measured_times, report_dir):

@@ -6,35 +6,39 @@ PCIe link.  While posted credits suffice the aggregate rate scales
 linearly (each core is independent, per Figure 5's overlap argument);
 past the credit wall the NIC-side rate saturates even though the CPUs
 keep posting into the Root Complex's backlog.
+
+The sweep is a declarative campaign over the ``multicore_put_bw``
+workload with ``n_cores`` as a parameter axis.
 """
 
 import pytest
 from conftest import write_report
 
-from repro.bench import run_multicore_put_bw
+from repro.campaign import CampaignSpec, SweepAxis, run_campaign
 from repro.node import SystemConfig
 
 CORES = (1, 2, 4, 8, 16, 32, 64)
 
 
 def run_sweep():
-    rows = []
-    for n_cores in CORES:
-        result = run_multicore_put_bw(
-            n_cores,
-            config=SystemConfig.paper_testbed(deterministic=True),
-            n_messages_per_core=200,
-            warmup_per_core=100,
+    spec = CampaignSpec(
+        name="multicore-scaling",
+        workload="multicore_put_bw",
+        base_config=SystemConfig.paper_testbed(deterministic=True),
+        axes=(SweepAxis("n_cores", CORES),),
+        params={"n_messages_per_core": 200, "warmup_per_core": 100},
+    )
+    result = run_campaign(spec)
+    assert not result.failures
+    return [
+        (
+            record.params["n_cores"],
+            record.measurements["aggregate_rate_per_s"] / 1e6,
+            record.measurements["nic_rate_per_s"] / 1e6,
+            record.measurements["credit_stalls"],
         )
-        rows.append(
-            (
-                n_cores,
-                result.aggregate_rate_per_s / 1e6,
-                result.nic_rate_per_s / 1e6,
-                result.credit_stalls,
-            )
-        )
-    return rows
+        for record in result.ok_records
+    ]
 
 
 def test_multicore_scaling(benchmark, report_dir):

@@ -5,6 +5,10 @@ re-runs the entire measure-then-validate pipeline under several
 independent noise seeds and asserts that every model stays inside the
 paper's 5% envelope in every replication — the headline claim as a
 distributional property, not a lucky draw.
+
+The study runs as a campaign (one sweep point per seed), fanned across
+a small worker pool; campaign determinism guarantees the parallel run
+matches a serial one bit for bit.
 """
 
 from conftest import write_report
@@ -15,7 +19,7 @@ from repro.analysis import run_replication_study
 def test_replication(benchmark, report_dir):
     study = benchmark.pedantic(
         run_replication_study,
-        kwargs=dict(n_replications=5, quick=True),
+        kwargs=dict(n_replications=5, quick=True, jobs=2),
         rounds=1,
         iterations=1,
     )

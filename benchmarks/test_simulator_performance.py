@@ -2,11 +2,40 @@
 
 Not a paper artefact, but a harness health metric: the full
 reproduction depends on simulating hundreds of thousands of events per
-campaign, so regressions here make every experiment slower.
+campaign, so regressions here make every experiment slower.  Beyond the
+pytest-benchmark timings, this module writes ``BENCH_sim.json`` next to
+the reports: events/sec of the engine plus the wall-clock of one
+reference campaign run serially and with 4 worker processes, so future
+changes have a machine-readable perf trajectory to compare against.
 """
 
+import json
+import pathlib
+import time
+
 from repro.bench import run_am_lat, run_put_bw
+from repro.campaign import CampaignSpec, SweepAxis, run_campaign
 from repro.node import SystemConfig
+
+BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_sim.json"
+
+
+def _reference_campaign() -> CampaignSpec:
+    """A small put_bw sweep: big enough to amortise pool start-up."""
+    return CampaignSpec(
+        name="perf-reference",
+        workload="put_bw",
+        base_config=SystemConfig.paper_testbed(deterministic=True),
+        axes=(SweepAxis("nic.txq_depth", (2, 8, 32, 128)),),
+        params={"n_messages": 400, "warmup": 150},
+        seeds=(2019, 2020),
+    )
+
+
+def _record(key: str, payload: dict) -> None:
+    data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+    data[key] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def test_put_bw_simulation_speed(benchmark):
@@ -22,6 +51,19 @@ def test_put_bw_simulation_speed(benchmark):
     )
     assert result.n_measured == 200
 
+    env = result.testbed.env
+    assert env.processed_events > 0
+    events_per_s = env.processed_events / benchmark.stats["mean"]
+    _record(
+        "engine",
+        {
+            "workload": "put_bw",
+            "events_processed": env.processed_events,
+            "wall_s_mean": benchmark.stats["mean"],
+            "events_per_s": events_per_s,
+        },
+    )
+
 
 def test_am_lat_simulation_speed(benchmark):
     result = benchmark.pedantic(
@@ -35,3 +77,33 @@ def test_am_lat_simulation_speed(benchmark):
         iterations=1,
     )
     assert result.iterations == 100
+
+
+def test_campaign_parallel_speed(benchmark):
+    """Serial vs ``jobs=4`` wall-clock for the reference campaign."""
+    t0 = time.perf_counter()
+    serial = run_campaign(_reference_campaign(), jobs=1)
+    serial_s = time.perf_counter() - t0
+    assert not serial.failures
+
+    parallel = benchmark.pedantic(
+        run_campaign,
+        args=(_reference_campaign(),),
+        kwargs=dict(jobs=4),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = benchmark.stats["mean"]
+    assert not parallel.failures
+    # Parallel execution must not change the physics.
+    assert parallel.measurements_json() == serial.measurements_json()
+
+    _record(
+        "campaign",
+        {
+            "points": len(serial.records),
+            "serial_wall_s": serial_s,
+            "jobs4_wall_s": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else 0.0,
+        },
+    )

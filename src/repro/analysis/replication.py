@@ -5,10 +5,16 @@ re-run the whole measurement-and-validation pipeline under many
 independent noise seeds and report the *distribution* of model errors —
 checking that the "within 5%" headline is a property of the method, not
 of one lucky run.
+
+Each replication is one sweep point of a :mod:`repro.campaign` campaign
+(workload ``"replication"``, one seed per point), so studies
+parallelise across a worker pool and completed seeds are served from
+the result cache on re-runs.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,7 +28,7 @@ from repro.core.models import (
 )
 from repro.node.config import SystemConfig
 
-__all__ = ["ReplicationStudy", "run_replication_study"]
+__all__ = ["ReplicationStudy", "replication_workload", "run_replication_study"]
 
 #: The four validations, keyed by the observation name they compare to.
 MODELS = {
@@ -79,29 +85,61 @@ class ReplicationStudy:
         return "\n".join(lines)
 
 
+def replication_workload(config: SystemConfig, quick: bool = True) -> dict[str, float]:
+    """Campaign workload: one full measure-then-validate replication.
+
+    Runs the §§3-6 methodology on ``config`` and returns, per model,
+    the |relative error| of the prediction against that replication's
+    own benchmark observation — flat scalars, one record per seed.
+    """
+    campaign = measure_component_times(config, quick=quick)
+    times = campaign.to_component_times()
+    measurements: dict[str, float] = {}
+    for name, model_cls in MODELS.items():
+        modeled = model_cls(times).predicted_ns
+        observed = campaign.observed[name]
+        measurements[f"err_{name}"] = abs(modeled - observed) / observed
+        measurements[f"modeled_{name}"] = modeled
+        measurements[f"observed_{name}"] = observed
+    return measurements
+
+
 def run_replication_study(
     n_replications: int = 5,
     base_seed: int = 40_000,
     quick: bool = True,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
 ) -> ReplicationStudy:
     """Run the full pipeline under ``n_replications`` independent seeds.
 
     Each replication re-measures every component through the §§3-6
     methodology and validates all four models against its own benchmark
-    observations.
+    observations.  The seeds execute as one campaign: ``jobs`` fans
+    them across worker processes and ``cache_dir`` reuses completed
+    replications across invocations.
     """
     if n_replications < 1:
         raise ValueError(f"n_replications must be >= 1, got {n_replications}")
+    from repro.campaign import CampaignSpec, run_campaign
+
     seeds = [base_seed + 1000 * index for index in range(n_replications)]
-    study = ReplicationStudy(seeds=seeds)
-    study.errors = {name: [] for name in MODELS}
-    for seed in seeds:
-        campaign = measure_component_times(
-            SystemConfig.paper_testbed(seed=seed), quick=quick
+    spec = CampaignSpec(
+        name=f"replication-{n_replications}x",
+        workload="replication",
+        base_config=SystemConfig.paper_testbed(),
+        params={"quick": quick},
+        seeds=tuple(seeds),
+    )
+    result = run_campaign(spec, jobs=jobs, cache_dir=cache_dir)
+    if result.failures:
+        first = result.failures[0]
+        raise RuntimeError(
+            f"{len(result.failures)} replication(s) failed; seed {first.seed}: "
+            f"{first.error_type}: {first.error}"
         )
-        times = campaign.to_component_times()
-        for name, model_cls in MODELS.items():
-            modeled = model_cls(times).predicted_ns
-            observed = campaign.observed[name]
-            study.errors[name].append(abs(modeled - observed) / observed)
+    study = ReplicationStudy(seeds=seeds)
+    study.errors = {
+        name: result.values(f"err_{name}") for name in MODELS
+    }
     return study

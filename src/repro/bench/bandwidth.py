@@ -20,7 +20,7 @@ from repro.node.config import SystemConfig
 from repro.node.testbed import Testbed
 from repro.pcie.config import PcieConfig
 
-__all__ = ["BandwidthResult", "realistic_bandwidth_config", "run_uct_bandwidth"]
+__all__ = ["BandwidthResult", "bandwidth_workload", "realistic_bandwidth_config", "run_uct_bandwidth"]
 
 
 def realistic_bandwidth_config(
@@ -125,3 +125,26 @@ def run_uct_bandwidth(
         n_measured=int(marks["measured"]),
         total_ns=marks["t_end"] - marks["t_start"],
     )
+
+
+def bandwidth_workload(
+    config: SystemConfig,
+    message_bytes: int = 8,
+    n_messages: int = 128,
+    warmup: int = 32,
+    window: int = 16,
+) -> dict[str, float]:
+    """Campaign workload: :func:`run_uct_bandwidth` as scalar measurements."""
+    result = run_uct_bandwidth(
+        message_bytes,
+        config=config,
+        n_messages=n_messages,
+        warmup=warmup,
+        window=window,
+    )
+    return {
+        "bandwidth_bytes_per_ns": result.bandwidth_bytes_per_ns,
+        "message_rate_per_s": result.message_rate_per_s,
+        "message_bytes": result.message_bytes,
+        "n_measured": result.n_measured,
+    }

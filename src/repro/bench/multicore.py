@@ -24,7 +24,7 @@ from repro.node.config import SystemConfig
 from repro.node.testbed import Testbed
 from repro.pcie.link import Direction
 
-__all__ = ["MulticoreResult", "run_multicore_put_bw"]
+__all__ = ["MulticoreResult", "multicore_workload", "run_multicore_put_bw"]
 
 
 @dataclass
@@ -152,3 +152,30 @@ def run_multicore_put_bw(
         nic_arrivals=nic_arrivals,
         per_core_message_counts=counts,
     )
+
+
+def multicore_workload(
+    config: SystemConfig,
+    n_cores: int = 1,
+    n_messages_per_core: int = 300,
+    warmup_per_core: int = 128,
+    payload_bytes: int = 8,
+    poll_interval: int = 16,
+) -> dict[str, float]:
+    """Campaign workload: :func:`run_multicore_put_bw` as scalar measurements."""
+    result = run_multicore_put_bw(
+        n_cores,
+        config=config,
+        n_messages_per_core=n_messages_per_core,
+        warmup_per_core=warmup_per_core,
+        payload_bytes=payload_bytes,
+        poll_interval=poll_interval,
+    )
+    return {
+        "aggregate_rate_per_s": result.aggregate_rate_per_s,
+        "per_core_rate_per_s": result.per_core_rate_per_s,
+        "mean_injection_overhead_ns": result.mean_injection_overhead_ns,
+        "nic_rate_per_s": result.nic_rate_per_s,
+        "credit_stalls": result.credit_stalls,
+        "n_cores": result.n_cores,
+    }

@@ -26,6 +26,8 @@ __all__ = [
     "OsuLatencyResult",
     "OsuMessageRateResult",
     "OsuMultiPairResult",
+    "osu_latency_workload",
+    "osu_message_rate_workload",
     "run_osu_latency",
     "run_osu_message_rate",
     "run_osu_multi_pair_message_rate",
@@ -321,3 +323,52 @@ def run_osu_multi_pair_message_rate(
         n_measured_per_pair=windows * window_size,
         total_ns=marks["t_end"] - marks["t_start"],
     )
+
+
+def osu_message_rate_workload(
+    config: SystemConfig,
+    windows: int = 40,
+    window_size: int = 64,
+    warmup_windows: int = 8,
+    payload_bytes: int = 8,
+    signal_period: int = 64,
+) -> dict[str, float]:
+    """Campaign workload: :func:`run_osu_message_rate` as scalar measurements."""
+    result = run_osu_message_rate(
+        config=config,
+        windows=windows,
+        window_size=window_size,
+        warmup_windows=warmup_windows,
+        payload_bytes=payload_bytes,
+        signal_period=signal_period,
+    )
+    return {
+        "message_rate_per_s": result.message_rate_per_s,
+        "cpu_side_injection_overhead_ns": result.cpu_side_injection_overhead_ns,
+        "mean_injection_overhead_ns": result.mean_injection_overhead_ns,
+        "post_prog_ns_per_op": result.post_prog_ns_per_op,
+        "busy_posts": result.busy_posts,
+        "n_measured": result.n_measured,
+    }
+
+
+def osu_latency_workload(
+    config: SystemConfig,
+    iterations: int = 300,
+    warmup: int = 30,
+    payload_bytes: int = 8,
+    signal_period: int = 64,
+) -> dict[str, float]:
+    """Campaign workload: :func:`run_osu_latency` as scalar measurements."""
+    result = run_osu_latency(
+        config=config,
+        iterations=iterations,
+        warmup=warmup,
+        payload_bytes=payload_bytes,
+        signal_period=signal_period,
+    )
+    return {
+        "observed_latency_ns": result.observed_latency_ns,
+        "round_trip_ns": result.total_ns / result.iterations,
+        "iterations": result.iterations,
+    }

@@ -17,7 +17,14 @@ from repro.node.config import SystemConfig
 from repro.node.testbed import Testbed
 from repro.pcie.link import Direction
 
-__all__ = ["AmLatResult", "PutBwResult", "run_am_lat", "run_put_bw"]
+__all__ = [
+    "AmLatResult",
+    "PutBwResult",
+    "am_lat_workload",
+    "put_bw_workload",
+    "run_am_lat",
+    "run_put_bw",
+]
 
 
 @dataclass
@@ -178,6 +185,31 @@ def run_put_bw(
     )
 
 
+def put_bw_workload(
+    config: SystemConfig,
+    n_messages: int = 2000,
+    warmup: int = 256,
+    payload_bytes: int = 8,
+    poll_interval: int = 16,
+) -> dict[str, float]:
+    """Campaign workload: :func:`run_put_bw` reduced to scalar measurements."""
+    result = run_put_bw(
+        config=config,
+        n_messages=n_messages,
+        warmup=warmup,
+        payload_bytes=payload_bytes,
+        poll_interval=poll_interval,
+    )
+    return {
+        "mean_injection_overhead_ns": result.mean_injection_overhead_ns,
+        "median_injection_overhead_ns": result.median_injection_overhead_ns,
+        "cpu_side_injection_overhead_ns": result.cpu_side_injection_overhead_ns,
+        "message_rate_per_s": result.message_rate_per_s,
+        "busy_posts": result.busy_posts,
+        "n_measured": result.n_measured,
+    }
+
+
 def run_am_lat(
     testbed: Testbed | None = None,
     config: SystemConfig | None = None,
@@ -284,3 +316,25 @@ def run_am_lat(
         total_ns=marks["t_end"] - marks["t_start"],
         iterations=iterations,
     )
+
+
+def am_lat_workload(
+    config: SystemConfig,
+    iterations: int = 500,
+    warmup: int = 50,
+    payload_bytes: int = 8,
+    completion_mode: str = "polling",
+) -> dict[str, float]:
+    """Campaign workload: :func:`run_am_lat` reduced to scalar measurements."""
+    result = run_am_lat(
+        config=config,
+        iterations=iterations,
+        warmup=warmup,
+        payload_bytes=payload_bytes,
+        completion_mode=completion_mode,
+    )
+    return {
+        "observed_latency_ns": result.observed_latency_ns,
+        "round_trip_ns": result.total_ns / result.iterations,
+        "iterations": result.iterations,
+    }

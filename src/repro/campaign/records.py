@@ -1,0 +1,187 @@
+"""Structured run records: what one sweep point produced, as data.
+
+A :class:`RunRecord` replaces the bare floats the old benchmark drivers
+printed: it carries the full input identity of the point (workload,
+parameters, config overrides, seed, cache key), the measurement dict the
+workload returned, execution metadata (wall-clock duration, worker id,
+cache hit/miss) and — for crashed points — the error instead of an
+aborted campaign.
+
+Records are plain JSON in both directions, so campaign outputs can be
+archived, diffed and post-processed without importing the simulator.
+Measurement values come straight from the deterministic simulation, so
+serial and parallel executions of the same spec produce byte-identical
+``measurements_json()`` output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+__all__ = ["CampaignResult", "RunRecord"]
+
+#: Record status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class RunRecord:
+    """Everything known about one executed (or cached, or crashed) point."""
+
+    campaign: str
+    index: int
+    workload: str
+    seed: int
+    #: Workload keyword arguments for this point (sweep + fixed params).
+    params: dict[str, Any] = field(default_factory=dict)
+    #: Dotted-path config overrides applied on top of the base config.
+    config_overrides: dict[str, Any] = field(default_factory=dict)
+    #: Stable hash of the fully resolved :class:`SystemConfig`.
+    config_hash: str = ""
+    #: Cache key: digest of (workload, config, params, seed, code version).
+    cache_key: str = ""
+    status: str = STATUS_OK
+    #: The workload's measurement dict (empty for failed points).
+    measurements: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    error_type: str | None = None
+    traceback: str | None = None
+    #: Host wall-clock seconds spent executing the point (0 for hits).
+    duration_s: float = 0.0
+    #: Identifier of the worker process that ran the point.
+    worker: str = ""
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the workload completed without raising."""
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> dict[str, Any]:
+        """The record as plain JSON-encodable data."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """One-line canonical JSON (stable key order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+@dataclass
+class CampaignResult:
+    """All records of one campaign execution, in sweep-point order."""
+
+    name: str
+    workload: str
+    records: list[RunRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.records.sort(key=lambda record: record.index)
+
+    # -- selection ---------------------------------------------------------
+    @property
+    def ok_records(self) -> list[RunRecord]:
+        """Records whose workload completed."""
+        return [record for record in self.records if record.ok]
+
+    @property
+    def failures(self) -> list[RunRecord]:
+        """Records whose workload raised."""
+        return [record for record in self.records if not record.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        """How many points were served from the result cache."""
+        return sum(1 for record in self.records if record.cache_hit)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of points served from cache."""
+        return self.cache_hits / len(self.records) if self.records else 0.0
+
+    def values(self, key: str) -> list[Any]:
+        """One measurement across all successful points, in order."""
+        return [record.measurements[key] for record in self.ok_records]
+
+    def rows(self, axis: str, key: str) -> list[tuple[Any, Any]]:
+        """(axis value, measurement) pairs across successful points.
+
+        ``axis`` may name a sweep parameter or a dotted config override.
+        """
+        pairs = []
+        for record in self.ok_records:
+            if axis == "seed":
+                position: Any = record.seed
+            elif axis in record.params:
+                position = record.params[axis]
+            else:
+                position = record.config_overrides[axis]
+            pairs.append((position, record.measurements[key]))
+        return pairs
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> str:
+        """All records as a JSON array (stable key order)."""
+        return json.dumps(
+            [record.to_dict() for record in self.records], sort_keys=True, indent=2
+        )
+
+    def measurements_json(self) -> str:
+        """Only the deterministic content: inputs and measurements.
+
+        Excludes host-side metadata (duration, worker, cache flags), so
+        serial and parallel runs of one spec compare byte-identically.
+        """
+        payload = [
+            {
+                "index": record.index,
+                "workload": record.workload,
+                "seed": record.seed,
+                "params": record.params,
+                "config_overrides": record.config_overrides,
+                "status": record.status,
+                "measurements": record.measurements,
+                "error_type": record.error_type,
+            }
+            for record in self.records
+        ]
+        return json.dumps(payload, sort_keys=True)
+
+    def save(self, path) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def render(self) -> str:
+        """A human-readable summary table of the campaign."""
+        header = (
+            f"campaign {self.name!r}: workload={self.workload} "
+            f"points={len(self.records)} ok={len(self.ok_records)} "
+            f"failed={len(self.failures)} cache_hits={self.cache_hits}"
+        )
+        lines = [header]
+        for record in self.records:
+            inputs = {**record.config_overrides, **record.params}
+            label = ", ".join(f"{k}={v}" for k, v in inputs.items()) or "-"
+            flag = "cached" if record.cache_hit else f"{record.duration_s:.2f}s"
+            if record.ok:
+                # Sorted so fresh and cache-loaded records (whose dicts
+                # round-trip through sort_keys JSON) render identically.
+                body = ", ".join(
+                    f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in sorted(record.measurements.items())
+                )
+            else:
+                body = f"{record.error_type}: {record.error}"
+            lines.append(
+                f"  [{record.index:>3}] seed={record.seed} {label} "
+                f"({flag}) -> {record.status}: {body}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Campaign execution: fan sweep points out, isolate failures, cache.
+
+The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into a
+:class:`~repro.campaign.records.CampaignResult`:
+
+1. every point is first looked up in the on-disk result cache (when a
+   ``cache_dir`` is given) — hits cost one JSON read;
+2. misses execute through a ``multiprocessing`` pool (``jobs > 1``) or
+   inline (``jobs == 1``).  A point that raises is captured as an
+   ``error`` record — with type, message and traceback — and the rest
+   of the campaign continues;
+3. successful records are written back to the cache, so re-running an
+   unchanged campaign recomputes nothing.
+
+Measurements come from the deterministic simulator, so the parallel and
+serial schedules produce byte-identical
+:meth:`~repro.campaign.records.CampaignResult.measurements_json` output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback as traceback_module
+from typing import Any
+
+from repro.campaign.cache import ResultCache, point_cache_key
+from repro.campaign.records import STATUS_ERROR, STATUS_OK, CampaignResult, RunRecord
+from repro.campaign.spec import CampaignSpec, SweepPoint
+from repro.campaign.workloads import get_workload
+from repro.sim.hashing import canonicalize
+
+__all__ = ["run_campaign"]
+
+
+def _execute_point(payload: tuple) -> dict[str, Any]:
+    """Run one sweep point; never raises (errors become the record).
+
+    Top-level so it pickles into pool workers.  ``payload`` is the
+    point plus identity fields precomputed by the parent.
+    """
+    campaign, index, workload_name, config, params, seed, overrides, key = payload
+    record: dict[str, Any] = {
+        "campaign": campaign,
+        "index": index,
+        "workload": workload_name,
+        "seed": seed,
+        "params": dict(params),
+        "config_overrides": dict(overrides),
+        "config_hash": config.stable_hash(),
+        "cache_key": key,
+        "worker": f"{multiprocessing.current_process().name}:{os.getpid()}",
+        "cache_hit": False,
+    }
+    start = time.perf_counter()
+    try:
+        workload = get_workload(workload_name)
+        measurements = workload(config, **params)
+        if not isinstance(measurements, dict):
+            raise TypeError(
+                f"workload {workload_name!r} returned "
+                f"{type(measurements).__name__}, expected a measurement dict"
+            )
+        record.update(
+            status=STATUS_OK,
+            # canonicalize() coerces numpy scalars so records stay JSON.
+            measurements={k: canonicalize(v) for k, v in measurements.items()},
+            error=None,
+            error_type=None,
+            traceback=None,
+        )
+    except Exception as exc:
+        record.update(
+            status=STATUS_ERROR,
+            measurements={},
+            error=str(exc),
+            error_type=type(exc).__name__,
+            traceback=traceback_module.format_exc(),
+        )
+    record["duration_s"] = time.perf_counter() - start
+    return record
+
+
+def _point_payload(spec: CampaignSpec, point: SweepPoint, key: str) -> tuple:
+    return (
+        spec.name,
+        point.index,
+        point.workload,
+        point.config,
+        point.params,
+        point.seed,
+        point.config_overrides,
+        key,
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (fast, shares the loaded registry); else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+) -> CampaignResult:
+    """Execute every point of ``spec`` and return the structured result.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cache misses.  ``1`` runs inline (no
+        subprocesses); results are identical either way.
+    cache_dir:
+        Directory of the on-disk result cache; ``None`` disables
+        caching.  With ``spawn``-started workers, custom workloads
+        registered at runtime must be importable module-level functions.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    points = spec.points()
+
+    records: dict[int, RunRecord] = {}
+    pending: list[tuple] = []
+    for point in points:
+        key = point_cache_key(point.workload, point.config, point.params, point.seed)
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            record = RunRecord.from_dict(cached)
+            record.campaign = spec.name
+            record.index = point.index
+            record.cache_hit = True
+            record.duration_s = 0.0
+            records[point.index] = record
+        else:
+            pending.append(_point_payload(spec, point, key))
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            with _pool_context().Pool(min(jobs, len(pending))) as pool:
+                outcomes = pool.map(_execute_point, pending)
+        else:
+            outcomes = [_execute_point(payload) for payload in pending]
+        for payload in outcomes:
+            record = RunRecord.from_dict(payload)
+            if cache is not None and record.ok:
+                cache.put(record.cache_key, payload)
+            records[record.index] = record
+
+    return CampaignResult(
+        name=spec.name,
+        workload=spec.workload,
+        records=[records[index] for index in sorted(records)],
+    )

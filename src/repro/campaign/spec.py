@@ -1,0 +1,170 @@
+"""Declarative experiment specifications.
+
+A :class:`CampaignSpec` is the complete, data-only description of an
+experiment: a base :class:`~repro.node.config.SystemConfig`, a workload
+name from the registry, fixed workload parameters, any number of sweep
+axes and a set of noise seeds.  Expanding the spec yields the cartesian
+product of axes × seeds as :class:`SweepPoint`s, each carrying a fully
+resolved config — which is all the runner needs to execute, cache and
+record the point.
+
+Sweep axes target either the configuration (dotted paths into the
+nested ``SystemConfig`` dataclasses, e.g. ``nic.txq_depth``) or the
+workload's keyword arguments (e.g. ``payload_bytes``); plain names
+default to workload parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.node.config import SystemConfig
+
+__all__ = ["CampaignSpec", "SweepAxis", "SweepPoint", "apply_config_overrides"]
+
+#: Axis targets.
+TARGET_CONFIG = "config"
+TARGET_PARAM = "param"
+TARGET_AUTO = "auto"
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(SystemConfig))
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept dimension: a name and the values it takes.
+
+    Parameters
+    ----------
+    name:
+        A workload keyword argument, or a dotted path into the config
+        (``"nic.txq_depth"``) — or a top-level ``SystemConfig`` field.
+    values:
+        The points along this axis.
+    target:
+        ``"config"``, ``"param"`` or ``"auto"`` (default).  Auto treats
+        dotted names and ``SystemConfig`` field names as config
+        overrides and everything else as a workload parameter.
+    """
+
+    name: str
+    values: tuple[Any, ...]
+    target: str = TARGET_AUTO
+
+    def __post_init__(self) -> None:
+        if self.target not in (TARGET_CONFIG, TARGET_PARAM, TARGET_AUTO):
+            raise ValueError(f"unknown axis target {self.target!r}")
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+        object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def is_config(self) -> bool:
+        """True when this axis overrides the configuration."""
+        if self.target == TARGET_CONFIG:
+            return True
+        if self.target == TARGET_PARAM:
+            return False
+        return "." in self.name or self.name in _CONFIG_FIELDS
+
+
+def apply_config_overrides(
+    config: SystemConfig, overrides: dict[str, Any]
+) -> SystemConfig:
+    """Apply dotted-path overrides to a nested frozen-dataclass config.
+
+    ``{"nic.txq_depth": 4}`` rebuilds ``config.nic`` with the new depth
+    and the config with the new nic — the originals are untouched.
+    """
+    for path, value in overrides.items():
+        parts = path.split(".")
+        chain = [config]
+        for attr in parts[:-1]:
+            chain.append(getattr(chain[-1], attr))
+        leaf_owner = chain[-1]
+        if not hasattr(leaf_owner, parts[-1]):
+            raise AttributeError(
+                f"config override {path!r}: {type(leaf_owner).__name__} "
+                f"has no field {parts[-1]!r}"
+            )
+        rebuilt = dataclasses.replace(leaf_owner, **{parts[-1]: value})
+        for owner, attr in zip(reversed(chain[:-1]), reversed(parts[:-1])):
+            rebuilt = dataclasses.replace(owner, **{attr: rebuilt})
+        config = rebuilt
+    return config
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully resolved execution unit of a campaign."""
+
+    index: int
+    workload: str
+    config: SystemConfig
+    params: dict[str, Any]
+    seed: int
+    config_overrides: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative experiment: config + workload + sweep axes + seeds."""
+
+    name: str
+    workload: str
+    base_config: SystemConfig = field(default_factory=SystemConfig.paper_testbed)
+    axes: tuple[SweepAxis, ...] = ()
+    params: dict[str, Any] = field(default_factory=dict)
+    seeds: tuple[int, ...] = (2019,)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+        names = [axis.name for axis in self.axes]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate sweep axes in {names}")
+
+    @property
+    def n_points(self) -> int:
+        """Total sweep points: product of axis sizes × number of seeds."""
+        total = len(self.seeds)
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def points(self) -> list[SweepPoint]:
+        """Expand the spec into concrete sweep points.
+
+        Seeds vary fastest; axes vary left to right.  Every point's
+        config carries its seed, so two points never share a random
+        stream even when their axis values coincide.
+        """
+        points: list[SweepPoint] = []
+        value_grid = [axis.values for axis in self.axes]
+        for combo in itertools.product(*value_grid):
+            config_overrides: dict[str, Any] = {}
+            param_overrides: dict[str, Any] = {}
+            for axis, value in zip(self.axes, combo):
+                if axis.is_config:
+                    config_overrides[axis.name] = value
+                else:
+                    param_overrides[axis.name] = value
+            for seed in self.seeds:
+                config = apply_config_overrides(self.base_config, config_overrides)
+                config = config.evolve(seed=seed)
+                points.append(
+                    SweepPoint(
+                        index=len(points),
+                        workload=self.workload,
+                        config=config,
+                        params={**self.params, **param_overrides},
+                        seed=seed,
+                        config_overrides=dict(config_overrides),
+                    )
+                )
+        return points

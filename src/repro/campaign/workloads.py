@@ -1,0 +1,161 @@
+"""The workload registry: names → uniform benchmark callables.
+
+Every campaign workload has the same signature::
+
+    workload(config: SystemConfig, **params) -> dict[str, float | int]
+
+taking a fully resolved configuration and returning a flat dict of
+JSON-encodable measurements — never simulator objects.  That uniformity
+is what lets the runner execute any workload in a worker process and
+cache, serialize and compare results without knowing what ran.
+
+Built-in workloads resolve lazily from dotted ``module:function``
+entries, so importing the campaign layer does not drag in every
+benchmark (and the benchmark/analysis layers may themselves import the
+campaign layer without cycles).  :func:`register_workload` adds custom
+entries at runtime.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable
+from typing import Any
+
+from repro.node.config import SystemConfig
+
+__all__ = ["get_workload", "register_workload", "workload_names"]
+
+Workload = Callable[..., dict[str, Any]]
+
+#: name → callable, or "module:function" resolved on first use.
+_REGISTRY: dict[str, Workload | str] = {
+    "put_bw": "repro.bench.perftest:put_bw_workload",
+    "am_lat": "repro.bench.perftest:am_lat_workload",
+    "osu_mr": "repro.bench.osu:osu_message_rate_workload",
+    "osu_latency": "repro.bench.osu:osu_latency_workload",
+    "multicore_put_bw": "repro.bench.multicore:multicore_workload",
+    "uct_bandwidth": "repro.bench.bandwidth:bandwidth_workload",
+    "put_oneway_latency": "repro.campaign.workloads:put_oneway_latency_workload",
+    "whatif_speedup": "repro.campaign.workloads:whatif_speedup_workload",
+    "replication": "repro.analysis.replication:replication_workload",
+    "selftest": "repro.campaign.workloads:selftest_workload",
+}
+
+
+def register_workload(name: str, workload: Workload | str) -> None:
+    """Register (or replace) a workload under ``name``.
+
+    ``workload`` is either a callable with the uniform signature or a
+    lazy ``"module:function"`` string.
+    """
+    _REGISTRY[name] = workload
+
+
+def workload_names() -> list[str]:
+    """All registered workload names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_workload(name: str) -> Workload:
+    """Resolve ``name`` to its callable, importing lazily if needed."""
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; registered: {', '.join(workload_names())}"
+        ) from None
+    if isinstance(entry, str):
+        module_name, _, attribute = entry.partition(":")
+        module = importlib.import_module(module_name)
+        entry = getattr(module, attribute)
+        _REGISTRY[name] = entry
+    return entry
+
+
+# -- workloads defined at the campaign layer -------------------------------
+
+
+def put_oneway_latency_workload(
+    config: SystemConfig, payload_bytes: int = 8
+) -> dict[str, Any]:
+    """One-way put latency: post start → payload visible in target memory.
+
+    Picks the PIO+inline path for payloads within the NIC's inline
+    limit and the DoorBell+DMA path beyond it — the §2 crossover the
+    message-size ablation sweeps.
+    """
+    from repro.llp.uct import UCS_OK, UctWorker
+    from repro.node.testbed import Testbed
+
+    tb = Testbed(config)
+    worker = UctWorker(tb.node1)
+    iface = worker.create_iface()
+    remote = UctWorker(tb.node2).create_iface()
+    ep = iface.create_ep(remote)
+    inline = payload_bytes <= tb.config.nic.inline_max_bytes
+
+    def body():
+        if inline:
+            status = yield from ep.put_short(payload_bytes)
+        else:
+            status = yield from ep.put_zcopy(payload_bytes)
+        if status != UCS_OK:
+            raise RuntimeError(f"put returned status {status!r}")
+
+    tb.env.run(until=tb.env.process(body(), name="post"))
+    tb.run()
+    message = iface.last_message
+    return {
+        "one_way_latency_ns": message.interval("posted", "payload_visible"),
+        "payload_bytes": payload_bytes,
+        "path": "pio_inline" if inline else "doorbell_dma",
+    }
+
+
+def whatif_speedup_workload(
+    config: SystemConfig,
+    metric: str = "latency",
+    component: str = "HLP",
+    reduction: float = 0.5,
+    source: str = "paper",
+) -> dict[str, Any]:
+    """One Figure 17 grid point: overall speedup from one reduction.
+
+    Evaluates the paper's published component times (``source="paper"``,
+    the only supported source); the measured-times variant of the grid
+    runs the heavyweight ``replication`` workload instead.
+    """
+    from repro.core.components import ComponentTimes
+    from repro.core.whatif import Metric, WhatIfAnalysis
+
+    if source != "paper":
+        raise ValueError(f"unsupported component-times source {source!r}")
+    analysis = WhatIfAnalysis(ComponentTimes.paper())
+    chosen = Metric(metric)
+    if chosen is Metric.INJECTION:
+        catalogue = analysis.injection_components()
+    else:
+        catalogue = {
+            **analysis.latency_cpu_components(),
+            **analysis.latency_io_components(),
+            **analysis.latency_network_components(),
+        }
+    value = catalogue[component]
+    return {
+        "component_ns": value,
+        "speedup": analysis.speedup(chosen, value, reduction),
+    }
+
+
+def selftest_workload(
+    config: SystemConfig, fail: bool = False, value: float = 1.0
+) -> dict[str, Any]:
+    """A trivial workload used by the campaign layer's own tests.
+
+    Raises when ``fail`` is true, exercising per-point failure
+    isolation without paying for a simulation.
+    """
+    if fail:
+        raise ValueError("selftest workload asked to fail")
+    return {"value": value, "seed": config.seed}

@@ -11,13 +11,19 @@ Commands
     One what-if point, plus the full Figure 17 panels with ``--panels``.
 ``validate``
     Check the four analytical models against the paper's observations.
-``campaign [--quick] [--seed N]``
+``campaign [--quick] [--seed N] [--replications N] [--jobs N] [--cache-dir DIR]``
     Run the full measurement methodology against the simulator and
-    print the regenerated Table 1 + validation.
+    print the regenerated Table 1 + validation.  With ``--replications``
+    the whole pipeline instead runs as a multi-seed campaign through
+    :mod:`repro.campaign` — fanned across ``--jobs`` worker processes,
+    with completed seeds cached under ``--cache-dir``.
 ``rank --metric {injection,latency} --reduction R``
     Rank all components by the overall speedup a given reduction buys.
-``bench {put_bw,am_lat,osu_mr,osu_latency}``
-    Run one micro-benchmark on the simulated testbed.
+``bench WORKLOAD [--sweep AXIS=V1,V2,...] [--seeds S1,S2,...] [--jobs N] [--cache-dir DIR]``
+    Run one registered workload on the simulated testbed.  ``--sweep``
+    turns the run into a declarative campaign (repeatable; axes may be
+    dotted config paths like ``nic.txq_depth`` or workload parameters)
+    and prints one structured RunRecord per point.
 
 All commands accept ``--help``.
 """
@@ -94,13 +100,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--quick", action="store_true")
     campaign.add_argument("--seed", type=int, default=2019)
+    campaign.add_argument(
+        "--replications", type=int, default=0,
+        help="run the pipeline as an N-seed replication campaign",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for campaign sweep points",
+    )
+    campaign.add_argument(
+        "--cache-dir", default=None,
+        help="directory caching completed sweep points across runs",
+    )
+
+    from repro.campaign.workloads import workload_names
 
     bench = sub.add_parser("bench", help="run one micro-benchmark")
-    bench.add_argument(
-        "workload", choices=["put_bw", "am_lat", "osu_mr", "osu_latency"]
-    )
+    bench.add_argument("workload", choices=workload_names())
     bench.add_argument("--seed", type=int, default=2019)
     bench.add_argument("--deterministic", action="store_true")
+    bench.add_argument(
+        "--sweep", action="append", default=[], metavar="AXIS=V1,V2,...",
+        help="sweep an axis (config path or workload param); repeatable",
+    )
+    bench.add_argument(
+        "--seeds", default=None, metavar="S1,S2,...",
+        help="comma-separated noise seeds (overrides --seed)",
+    )
+    bench.add_argument("--jobs", type=int, default=1)
+    bench.add_argument("--cache-dir", default=None)
     return parser
 
 
@@ -172,6 +200,23 @@ def _cmd_rank(args: argparse.Namespace, out, times: ComponentTimes) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace, out) -> int:
+    if args.replications:
+        print(
+            f"running the {args.replications}-seed replication campaign "
+            f"(jobs={args.jobs})...",
+            file=out,
+        )
+        print(
+            exp.experiment_replication(
+                n_replications=args.replications,
+                quick=args.quick,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+            ),
+            file=out,
+        )
+        return 0
+
     from repro.analysis import measure_component_times
 
     print("running the measurement campaign...", file=out)
@@ -185,7 +230,72 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_sweep_value(text: str):
+    """One sweep literal: int/float/bool where they parse, else string."""
+    import ast
+
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _cmd_bench_campaign(args: argparse.Namespace, out, config: SystemConfig) -> int:
+    from repro.campaign import CampaignSpec, SweepAxis, run_campaign
+
+    axes = []
+    for entry in args.sweep:
+        name, separator, values = entry.partition("=")
+        if not separator or not values:
+            print(f"bad --sweep {entry!r}; expected AXIS=V1,V2,...", file=out)
+            return 2
+        axes.append(
+            SweepAxis(
+                name, tuple(_parse_sweep_value(v) for v in values.split(","))
+            )
+        )
+    try:
+        seeds = (
+            tuple(int(s) for s in args.seeds.split(","))
+            if args.seeds
+            else (args.seed,)
+        )
+    except ValueError:
+        print(
+            f"bad --seeds {args.seeds!r}; expected comma-separated integers",
+            file=out,
+        )
+        return 2
+    spec = CampaignSpec(
+        name=f"bench-{args.workload}",
+        workload=args.workload,
+        base_config=config,
+        axes=tuple(axes),
+        seeds=seeds,
+    )
+    try:
+        result = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    except (ValueError, AttributeError) as exc:
+        # Bad --jobs values or sweep axes naming nonexistent config
+        # fields surface here; a traceback helps nobody at the CLI.
+        print(f"campaign error: {exc}", file=out)
+        return 2
+    print(result.render(), file=out)
+    return 0 if not result.failures else 1
+
+
 def _cmd_bench(args: argparse.Namespace, out) -> int:
+    config = SystemConfig.paper_testbed(
+        seed=args.seed, deterministic=args.deterministic
+    )
+    legacy = {"put_bw", "am_lat", "osu_mr", "osu_latency"}
+    campaign_mode = (
+        args.sweep or args.seeds or args.jobs != 1 or args.cache_dir
+        or args.workload not in legacy
+    )
+    if campaign_mode:
+        return _cmd_bench_campaign(args, out, config)
+
     from repro.bench import (
         run_am_lat,
         run_osu_latency,
@@ -193,9 +303,6 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         run_put_bw,
     )
 
-    config = SystemConfig.paper_testbed(
-        seed=args.seed, deterministic=args.deterministic
-    )
     if args.workload == "put_bw":
         result = run_put_bw(config=config)
         print(

@@ -18,6 +18,7 @@ from repro.cpu.memory import MemoryModel
 from repro.network.config import NetworkConfig
 from repro.nic.config import NicConfig
 from repro.pcie.config import PcieConfig
+from repro.sim.hashing import stable_digest
 from repro.sim.rng import JitterModel
 
 __all__ = ["SystemConfig"]
@@ -76,6 +77,15 @@ class SystemConfig:
     def evolve(self, **overrides: Any) -> "SystemConfig":
         """A copy with top-level fields replaced (what-if scenarios)."""
         return dataclasses.replace(self, **overrides)
+
+    def stable_hash(self) -> str:
+        """A process-independent digest of the full nested configuration.
+
+        Two configs hash equal iff every (init) field of every nested
+        dataclass is equal; any :meth:`evolve` that changes a value
+        changes the hash.  Used by the campaign layer's result cache.
+        """
+        return stable_digest(self)
 
     def effective_jitter(self) -> JitterModel:
         """The jitter model honouring the ``deterministic`` switch."""

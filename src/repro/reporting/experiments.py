@@ -49,7 +49,9 @@ __all__ = [
     "experiment_fig15",
     "experiment_fig16",
     "experiment_fig17",
+    "experiment_fig17_campaign",
     "experiment_insights",
+    "experiment_replication",
     "experiment_validation",
 ]
 
@@ -199,3 +201,75 @@ def experiment_validation(
 def experiment_insights(times: ComponentTimes) -> str:
     """The §6 insights, re-checked against the given component times."""
     return "\n".join(str(insight) for insight in all_insights(times))
+
+
+def experiment_fig17_campaign(jobs: int = 1, cache_dir=None) -> str:
+    """Figure 17 regenerated through the campaign layer.
+
+    Each panel is a declarative sweep over (component × reduction)
+    grid points of the ``whatif_speedup`` workload, executed by
+    :func:`repro.campaign.run_campaign` — parallelisable with ``jobs``
+    and served from ``cache_dir`` on re-runs — instead of the inline
+    loops the old driver used.  The rendered panels are identical to
+    :func:`experiment_fig17` on the paper's values, by construction.
+    """
+    from repro.campaign import CampaignSpec, SweepAxis, run_campaign
+    from repro.core.whatif import FIG17_REDUCTIONS, Metric, WhatIfAnalysis
+
+    analysis = WhatIfAnalysis(ComponentTimes.paper())
+    panels = [
+        (
+            "Figure 17a — injection speedup vs CPU reduction",
+            Metric.INJECTION,
+            analysis.injection_components(),
+        ),
+        (
+            "Figure 17b — latency speedup vs CPU reduction",
+            Metric.LATENCY,
+            analysis.latency_cpu_components(),
+        ),
+        (
+            "Figure 17c — latency speedup vs I/O reduction",
+            Metric.LATENCY,
+            analysis.latency_io_components(),
+        ),
+        (
+            "Figure 17d — latency speedup vs network reduction",
+            Metric.LATENCY,
+            analysis.latency_network_components(),
+        ),
+    ]
+    rendered = []
+    for title, metric, components in panels:
+        spec = CampaignSpec(
+            name=f"fig17-{metric.value}-{len(components)}c",
+            workload="whatif_speedup",
+            axes=(
+                SweepAxis("component", tuple(components), target="param"),
+                SweepAxis("reduction", FIG17_REDUCTIONS, target="param"),
+            ),
+            params={"metric": metric.value},
+        )
+        result = run_campaign(spec, jobs=jobs, cache_dir=cache_dir)
+        series: dict[str, list[tuple[float, float]]] = {name: [] for name in components}
+        for record in result.ok_records:
+            series[record.params["component"]].append(
+                (record.params["reduction"], record.measurements["speedup"])
+            )
+        rendered.append(render_series(title, series))
+    return "\n\n".join(rendered)
+
+
+def experiment_replication(
+    n_replications: int = 5,
+    quick: bool = True,
+    jobs: int = 1,
+    cache_dir=None,
+) -> str:
+    """The multi-seed replication study, run as a campaign and rendered."""
+    from repro.analysis.replication import run_replication_study
+
+    study = run_replication_study(
+        n_replications=n_replications, quick=quick, jobs=jobs, cache_dir=cache_dir
+    )
+    return study.render()

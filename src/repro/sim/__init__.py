@@ -34,6 +34,7 @@ from repro.sim.engine import (
     SimulationError,
     Timeout,
 )
+from repro.sim.hashing import canonical_json, canonicalize, stable_digest
 from repro.sim.resources import Channel, Resource, Store
 from repro.sim.rng import JitterModel, RandomStreams
 
@@ -51,4 +52,7 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "canonical_json",
+    "canonicalize",
+    "stable_digest",
 ]

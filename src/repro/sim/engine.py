@@ -392,12 +392,18 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
+        self._processed_events = 0
         self._active_process: Process | None = None
 
     @property
     def now(self) -> float:
         """Current simulated time in nanoseconds."""
         return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total events processed since creation (throughput metric)."""
+        return self._processed_events
 
     @property
     def active_process(self) -> Process | None:
@@ -444,6 +450,7 @@ class Environment:
             raise SimulationError("attempt to step an empty event calendar")
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self._processed_events += 1
         event._mark_processed()
 
     def peek(self) -> float:
@@ -489,9 +496,9 @@ class Environment:
             )
         while self._queue and self._queue[0][0] < horizon:
             self.step()
-        self._now = max(self._now, horizon) if self._queue else self._now
-        if not self._queue:
-            return None
+        # The clock always ends at the horizon, even when the calendar
+        # drained before reaching it: time passes whether or not events
+        # were left to process.
         self._now = horizon
         return None
 

@@ -1,0 +1,78 @@
+"""Stable, cross-process hashing of configuration objects.
+
+The campaign layer caches completed sweep points on disk keyed by the
+inputs that determine a run's outcome.  Python's built-in ``hash()`` is
+salted per process and ``pickle`` output is not canonical, so neither
+can key a cache shared between workers or sessions.  This module
+serializes values — nested dataclasses included — into a canonical JSON
+form and digests it with SHA-256, yielding hashes that are identical
+across processes, interpreter restarts and machines.
+
+Rules:
+
+* dataclasses serialize as ``{"<qualified class name>": {field: value}}``
+  over their *init* fields only (derived ``init=False`` fields are
+  functions of the others and would double-count them);
+* mappings sort by stringified key; sets/frozensets sort canonically;
+* floats use ``repr`` round-tripping via JSON, which is exact for IEEE
+  doubles;
+* enums serialize by value, numpy scalars by their Python equivalent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonicalize", "canonical_json", "stable_digest"]
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to plain JSON-encodable data, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        payload = {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if f.init
+        }
+        return {f"{cls.__module__}.{cls.__qualname__}": payload}
+    if isinstance(value, enum.Enum):
+        return canonicalize(value.value)
+    if isinstance(value, dict):
+        return {str(key): canonicalize(val) for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (canonicalize(item) for item in value),
+            key=lambda item: json.dumps(item, sort_keys=True),
+        )
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if hasattr(value, "item") and callable(value.item):
+        # numpy scalars expose .item() returning the Python equivalent.
+        return canonicalize(value.item())
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for stable hashing"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of ``value`` (stable across processes)."""
+    return json.dumps(
+        canonicalize(value), sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def stable_digest(value: Any, length: int = 16) -> str:
+    """A hex SHA-256 digest of the canonical form, truncated to ``length``.
+
+    Sixteen hex characters (64 bits) keep cache filenames short while
+    making collisions vanishingly unlikely at campaign scale.
+    """
+    digest = hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+    return digest[:length] if length else digest

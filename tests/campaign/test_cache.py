@@ -1,0 +1,83 @@
+"""Unit tests for the on-disk result cache (repro.campaign.cache)."""
+
+from repro.campaign import ResultCache, code_version
+from repro.campaign.cache import point_cache_key
+from repro.node import SystemConfig
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k1", {"status": "ok", "measurements": {"x": 1.5}})
+        assert cache.get("k1") == {"status": "ok", "measurements": {"x": 1.5}}
+
+    def test_missing_key_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("nope") is None
+
+    def test_torn_write_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "torn.json").write_text('{"status": "ok", "meas')
+        assert cache.get("torn") is None
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"a": 1})
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put("a", {})
+        cache.put("b", {})
+        assert len(cache) == 2
+
+    def test_overwrite_replaces(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"v": 1})
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+        assert len(cache) == 1
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        ResultCache(target)
+        assert target.is_dir()
+
+
+class TestCodeVersion:
+    def test_is_short_hex(self):
+        version = code_version()
+        assert len(version) == 16
+        int(version, 16)
+
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+
+
+class TestPointCacheKey:
+    def _key(self, **kwargs):
+        defaults = dict(
+            workload="selftest",
+            config=SystemConfig.paper_testbed(),
+            params={"value": 1.0},
+            seed=2019,
+        )
+        defaults.update(kwargs)
+        return point_cache_key(**defaults)
+
+    def test_identical_inputs_identical_keys(self):
+        assert self._key() == self._key()
+
+    def test_seed_changes_key(self):
+        assert self._key() != self._key(seed=2020)
+
+    def test_params_change_key(self):
+        assert self._key() != self._key(params={"value": 2.0})
+
+    def test_workload_changes_key(self):
+        assert self._key() != self._key(workload="put_bw")
+
+    def test_config_changes_key(self):
+        evolved = SystemConfig.paper_testbed().evolve(seed=77)
+        assert self._key() != self._key(config=evolved)

@@ -1,0 +1,124 @@
+"""Unit tests for campaign specs (repro.campaign.spec)."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, SweepAxis, apply_config_overrides
+from repro.node import SystemConfig
+
+
+class TestSweepAxis:
+    def test_dotted_name_targets_config(self):
+        assert SweepAxis("nic.txq_depth", (1, 2)).is_config
+
+    def test_top_level_config_field_targets_config(self):
+        assert SweepAxis("nic", (None,)).is_config
+
+    def test_plain_name_targets_param(self):
+        assert not SweepAxis("payload_bytes", (8, 64)).is_config
+
+    def test_explicit_target_overrides_auto(self):
+        assert SweepAxis("weird.name", (1,), target="param").is_config is False
+        assert SweepAxis("iterations", (1,), target="config").is_config is True
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepAxis("x", ())
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            SweepAxis("x", (1,), target="both")
+
+    def test_values_coerced_to_tuple(self):
+        assert SweepAxis("x", [1, 2]).values == (1, 2)
+
+
+class TestApplyConfigOverrides:
+    def test_nested_override_applied(self):
+        config = SystemConfig.paper_testbed()
+        updated = apply_config_overrides(config, {"nic.txq_depth": 3})
+        assert updated.nic.txq_depth == 3
+
+    def test_original_untouched(self):
+        config = SystemConfig.paper_testbed()
+        before = config.nic.txq_depth
+        apply_config_overrides(config, {"nic.txq_depth": before + 1})
+        assert config.nic.txq_depth == before
+
+    def test_multiple_overrides(self):
+        config = SystemConfig.paper_testbed()
+        updated = apply_config_overrides(
+            config, {"nic.txq_depth": 5, "network.switch_count": 3}
+        )
+        assert updated.nic.txq_depth == 5
+        assert updated.network.switch_count == 3
+
+    def test_unknown_field_rejected(self):
+        config = SystemConfig.paper_testbed()
+        with pytest.raises(AttributeError, match="no field"):
+            apply_config_overrides(config, {"nic.not_a_field": 1})
+
+
+class TestCampaignSpec:
+    def _spec(self, **kwargs):
+        defaults = dict(
+            name="t",
+            workload="selftest",
+            base_config=SystemConfig.paper_testbed(),
+        )
+        defaults.update(kwargs)
+        return CampaignSpec(**defaults)
+
+    def test_point_count_is_product_of_axes_and_seeds(self):
+        spec = self._spec(
+            axes=(
+                SweepAxis("nic.txq_depth", (1, 2, 4)),
+                SweepAxis("payload_bytes", (8, 64)),
+            ),
+            seeds=(1, 2),
+        )
+        assert spec.n_points == 12
+        assert len(spec.points()) == 12
+
+    def test_indices_are_sequential(self):
+        spec = self._spec(axes=(SweepAxis("value", (1.0, 2.0)),), seeds=(1, 2))
+        assert [p.index for p in spec.points()] == [0, 1, 2, 3]
+
+    def test_seeds_vary_fastest(self):
+        spec = self._spec(axes=(SweepAxis("value", (1.0, 2.0)),), seeds=(7, 8))
+        points = spec.points()
+        assert [(p.params["value"], p.seed) for p in points] == [
+            (1.0, 7),
+            (1.0, 8),
+            (2.0, 7),
+            (2.0, 8),
+        ]
+
+    def test_config_axis_resolved_into_point_config(self):
+        spec = self._spec(axes=(SweepAxis("nic.txq_depth", (2, 9)),))
+        depths = [p.config.nic.txq_depth for p in spec.points()]
+        assert depths == [2, 9]
+        overrides = [p.config_overrides for p in spec.points()]
+        assert overrides == [{"nic.txq_depth": 2}, {"nic.txq_depth": 9}]
+
+    def test_point_config_carries_its_seed(self):
+        spec = self._spec(seeds=(11, 12))
+        assert [p.config.seed for p in spec.points()] == [11, 12]
+
+    def test_fixed_params_merge_with_param_axes(self):
+        spec = self._spec(
+            axes=(SweepAxis("value", (3.0,)),), params={"fail": False}
+        )
+        (point,) = spec.points()
+        assert point.params == {"fail": False, "value": 3.0}
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            self._spec(axes=(SweepAxis("x", (1,)), SweepAxis("x", (2,))))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            self._spec(seeds=())
+
+    def test_no_axes_yields_one_point_per_seed(self):
+        spec = self._spec(seeds=(1, 2, 3))
+        assert spec.n_points == 3

@@ -1,0 +1,103 @@
+"""Unit tests for the workload registry (repro.campaign.workloads)."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    get_workload,
+    register_workload,
+    run_campaign,
+    workload_names,
+)
+from repro.campaign.workloads import (
+    _REGISTRY,
+    put_oneway_latency_workload,
+    selftest_workload,
+    whatif_speedup_workload,
+)
+from repro.core.components import ComponentTimes
+from repro.core.whatif import Metric, WhatIfAnalysis
+from repro.node import SystemConfig
+
+
+class TestRegistry:
+    def test_builtin_names_registered(self):
+        names = workload_names()
+        for name in ("put_bw", "am_lat", "osu_mr", "osu_latency",
+                     "multicore_put_bw", "uct_bandwidth", "replication",
+                     "put_oneway_latency", "whatif_speedup", "selftest"):
+            assert name in names
+
+    def test_unknown_name_rejected_with_catalogue(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_workload("nope")
+
+    def test_lazy_entries_resolve_and_memoize(self):
+        workload = get_workload("selftest")
+        assert callable(workload)
+        assert _REGISTRY["selftest"] is workload
+        assert get_workload("selftest") is workload
+
+    def test_register_custom_workload_runs_in_campaign(self):
+        def doubler(config, x=1.0):
+            return {"doubled": 2 * x}
+
+        register_workload("test_doubler", doubler)
+        try:
+            spec = CampaignSpec(
+                name="custom",
+                workload="test_doubler",
+                base_config=SystemConfig.paper_testbed(),
+                params={"x": 21.0},
+            )
+            result = run_campaign(spec)
+            assert result.values("doubled") == [42.0]
+        finally:
+            del _REGISTRY["test_doubler"]
+
+
+class TestSelftestWorkload:
+    def test_returns_value_and_seed(self):
+        config = SystemConfig.paper_testbed(seed=123)
+        assert selftest_workload(config, value=2.5) == {
+            "value": 2.5,
+            "seed": 123,
+        }
+
+    def test_fail_raises(self):
+        with pytest.raises(ValueError):
+            selftest_workload(SystemConfig.paper_testbed(), fail=True)
+
+
+class TestPutOnewayLatencyWorkload:
+    def test_inline_payload_takes_pio_path(self):
+        config = SystemConfig.paper_testbed(deterministic=True)
+        result = put_oneway_latency_workload(config, payload_bytes=8)
+        assert result["path"] == "pio_inline"
+        assert result["one_way_latency_ns"] > 0
+
+    def test_large_payload_takes_dma_path_and_costs_more(self):
+        config = SystemConfig.paper_testbed(deterministic=True)
+        small = put_oneway_latency_workload(config, payload_bytes=8)
+        large = put_oneway_latency_workload(config, payload_bytes=1024)
+        assert large["path"] == "doorbell_dma"
+        assert large["one_way_latency_ns"] > small["one_way_latency_ns"]
+
+
+class TestWhatifSpeedupWorkload:
+    def test_matches_direct_analysis(self):
+        config = SystemConfig.paper_testbed()
+        analysis = WhatIfAnalysis(ComponentTimes.paper())
+        expected = analysis.speedup(
+            Metric.INJECTION, analysis.injection_components()["LLP"], 0.3
+        )
+        result = whatif_speedup_workload(
+            config, metric="injection", component="LLP", reduction=0.3
+        )
+        assert result["speedup"] == expected
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            whatif_speedup_workload(
+                SystemConfig.paper_testbed(), source="measured"
+            )

@@ -320,3 +320,91 @@ class TestEnvironmentRun:
         env.run()
         assert observed == [proc]
         assert env.active_process is None
+
+    def test_run_until_time_after_calendar_drains(self):
+        # Regression: the clock must land exactly on the horizon even
+        # when the last event fires well before it — not stay stuck at
+        # the final event's timestamp.
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=500.0)
+        assert env.now == 500.0
+
+    def test_run_until_time_with_empty_calendar(self):
+        env = Environment()
+        env.run(until=42.0)
+        assert env.now == 42.0
+
+    def test_run_until_time_is_cumulative(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.run(until=100.0)
+        env.run(until=250.0)
+        assert env.now == 250.0
+
+    def test_processed_events_counts_steps(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.timeout(2.0)
+        before = env.processed_events
+        env.run()
+        assert env.processed_events == before + 2
+
+    def test_run_until_plain_event_deadlock_detected(self):
+        env = Environment()
+        never = env.event()
+        env.timeout(5.0)
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=never)
+
+
+class TestEdgeCases:
+    def test_interrupt_while_waiting_on_processed_event(self):
+        # A process yielding an already-processed event parks on an
+        # internal urgent relay; interrupting it there must detach it
+        # cleanly and deliver the Interrupt, not resume it twice.
+        env = Environment()
+        done = env.event().succeed("settled")
+        env.run()
+        assert done.processed
+
+        outcomes = []
+
+        def waiter():
+            try:
+                value = yield done
+                outcomes.append(("value", value))
+            except Interrupt as interrupt:
+                outcomes.append(("interrupt", interrupt.cause))
+
+        proc = env.process(waiter())
+        # Let the process start and park on the settled-event relay.
+        env.step()
+        assert proc.is_alive
+        proc.interrupt(cause="stop")
+        env.run()
+        assert outcomes == [("interrupt", "stop")]
+        assert not proc.is_alive
+
+    def test_empty_any_of_fires_immediately(self):
+        env = Environment()
+        results = []
+
+        def body():
+            value = yield AnyOf(env, [])
+            results.append(value)
+
+        env.process(body())
+        env.run()
+        assert results == [[]]
+        assert env.now == 0.0
+
+    def test_empty_all_of_and_any_of_agree(self):
+        env = Environment()
+        all_of = AllOf(env, [])
+        any_of = AnyOf(env, [])
+        assert all_of.triggered
+        assert any_of.triggered
+        env.run()
+        assert all_of.value == []
+        assert any_of.value == []

@@ -1,0 +1,128 @@
+"""Unit tests for canonical serialization (repro.sim.hashing)."""
+
+import enum
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.node.config import SystemConfig
+from repro.sim import canonical_json, canonicalize, stable_digest
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclass(frozen=True)
+class Inner:
+    x: int = 1
+
+
+@dataclass(frozen=True)
+class Outer:
+    inner: Inner
+    name: str = "outer"
+
+
+class TestCanonicalize:
+    def test_primitives_pass_through(self):
+        assert canonicalize(3) == 3
+        assert canonicalize(2.5) == 2.5
+        assert canonicalize("s") == "s"
+        assert canonicalize(None) is None
+        assert canonicalize(True) is True
+
+    def test_dataclass_keyed_by_qualified_name(self):
+        result = canonicalize(Inner(x=7))
+        (key,) = result
+        assert key.endswith(".Inner")
+        assert result[key] == {"x": 7}
+
+    def test_nested_dataclasses(self):
+        result = canonicalize(Outer(inner=Inner(x=2)))
+        (key,) = result
+        inner = result[key]["inner"]
+        (inner_key,) = inner
+        assert inner[inner_key] == {"x": 2}
+
+    def test_enum_by_value(self):
+        assert canonicalize(Color.RED) == "red"
+
+    def test_dicts_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_sets_sorted(self):
+        assert canonicalize({3, 1, 2}) == [1, 2, 3]
+
+    def test_numpy_scalars_unwrapped(self):
+        assert canonicalize(np.float64(1.5)) == 1.5
+        assert canonicalize(np.int64(4)) == 4
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    def test_json_is_compact_and_deterministic(self):
+        text = canonical_json({"k": [1, 2], "a": "v"})
+        assert " " not in text
+        assert text == canonical_json({"a": "v", "k": [1, 2]})
+
+
+class TestStableDigest:
+    def test_digest_is_hex_of_requested_length(self):
+        digest = stable_digest({"a": 1})
+        assert len(digest) == 16
+        int(digest, 16)
+
+    def test_digest_length_parameter(self):
+        assert len(stable_digest("x", length=8)) == 8
+
+    def test_equal_values_equal_digests(self):
+        assert stable_digest(Inner(x=1)) == stable_digest(Inner(x=1))
+
+    def test_different_values_differ(self):
+        assert stable_digest(Inner(x=1)) != stable_digest(Inner(x=2))
+
+
+class TestSystemConfigStableHash:
+    def test_hash_is_deterministic_within_process(self):
+        a = SystemConfig.paper_testbed()
+        b = SystemConfig.paper_testbed()
+        assert a.stable_hash() == b.stable_hash()
+
+    def test_evolve_seed_changes_hash(self):
+        config = SystemConfig.paper_testbed()
+        assert config.stable_hash() != config.evolve(seed=1).stable_hash()
+
+    def test_evolve_nested_component_changes_hash(self):
+        config = SystemConfig.paper_testbed()
+        from repro.nic.config import NicConfig
+
+        evolved = config.evolve(nic=NicConfig(txq_depth=3))
+        assert config.stable_hash() != evolved.stable_hash()
+
+    def test_hash_survives_process_boundary(self):
+        # Python's built-in hash() is salted per process; the stable
+        # hash must not be.  Recompute in a subprocess and compare.
+        config = SystemConfig.paper_testbed()
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        script = (
+            "from repro.node.config import SystemConfig;"
+            "print(SystemConfig.paper_testbed().stable_hash())"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+        ).stdout.strip()
+        assert output == config.stable_hash()
