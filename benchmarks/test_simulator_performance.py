@@ -12,10 +12,13 @@ changes have a machine-readable perf trajectory to compare against.
 import json
 import pathlib
 import time
+import timeit
 
 from repro.bench import run_am_lat, run_put_bw
 from repro.campaign import CampaignSpec, SweepAxis, run_campaign
 from repro.node import SystemConfig
+from repro.sim.engine import NULL_TRACER
+from repro.trace import trace_session
 
 BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_sim.json"
 
@@ -33,8 +36,24 @@ def _reference_campaign() -> CampaignSpec:
 
 
 def _record(key: str, payload: dict) -> None:
+    """Append one run's entry under ``key`` — history is never overwritten.
+
+    Each key holds ``{"runs": [...]}``, one entry per invocation with a
+    run index and UTC timestamp, so the perf trajectory across reruns is
+    preserved.  Flat single-dict entries written by earlier revisions of
+    this module are migrated into the list as run 0.
+    """
     data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
-    data[key] = payload
+    entry = data.get(key)
+    if entry is None:
+        entry = {"runs": []}
+    elif "runs" not in entry:
+        entry = {"runs": [dict(entry, run=0)]}
+    payload = dict(payload)
+    payload["run"] = len(entry["runs"])
+    payload["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    entry["runs"].append(payload)
+    data[key] = entry
     BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
@@ -77,6 +96,81 @@ def test_am_lat_simulation_speed(benchmark):
         iterations=1,
     )
     assert result.iterations == 100
+
+
+def test_tracer_overhead():
+    """Tracing must be close to free when disabled, bounded when enabled.
+
+    The disabled path costs one ``tracer.enabled`` attribute check per
+    guard site; that cost is far below run-to-run wall-clock noise, so
+    instead of differencing two noisy walls it is estimated directly:
+    measured per-check cost × the number of guard evaluations (taken
+    from an enabled run's span/instant/counter totals, each of which
+    sits behind one or two guards).
+    """
+    kwargs = dict(
+        config=SystemConfig.paper_testbed(deterministic=True),
+        iterations=100,
+        warmup=20,
+    )
+
+    def best_wall(fn, rounds: int = 3) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    disabled_wall = best_wall(lambda: run_am_lat(**kwargs))
+
+    with trace_session() as session:
+        run_am_lat(**kwargs)
+    summary = session.summary()
+    assert summary["spans"] > 0
+
+    def traced():
+        with trace_session():
+            run_am_lat(**kwargs)
+
+    enabled_wall = best_wall(traced)
+
+    checks = 200_000
+    per_check_s = (
+        timeit.timeit("t.enabled", globals={"t": NULL_TRACER}, number=checks) / checks
+    )
+    counter_bumps = sum(
+        value
+        for names in summary["counters"].values()
+        for value in names.values()
+    )
+    # begin+end pairs are two guarded call sites; instants and counter
+    # bumps one each.
+    guard_evals = 2 * summary["spans"] + summary["instants"] + counter_bumps
+    disabled_overhead_ratio = (guard_evals * per_check_s) / disabled_wall
+
+    assert disabled_overhead_ratio < 0.05, (
+        f"disabled-tracer overhead {disabled_overhead_ratio:.4%} "
+        f"({guard_evals:.0f} guard checks at {per_check_s * 1e9:.1f} ns "
+        f"against a {disabled_wall:.4f} s run)"
+    )
+
+    _record(
+        "tracer_overhead",
+        {
+            "workload": "am_lat",
+            "disabled_wall_s": disabled_wall,
+            "enabled_wall_s": enabled_wall,
+            "enabled_over_disabled": (
+                enabled_wall / disabled_wall if disabled_wall else 0.0
+            ),
+            "spans": summary["spans"],
+            "instants": summary["instants"],
+            "guard_evals_est": guard_evals,
+            "per_guard_check_s": per_check_s,
+            "disabled_overhead_ratio": disabled_overhead_ratio,
+        },
+    )
 
 
 def test_campaign_parallel_speed(benchmark):

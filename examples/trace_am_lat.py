@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Trace one am_lat run and inspect where its nanoseconds went.
+
+The tracing layer answers, for a *single* run, the question the paper
+answers statistically: which component holds the message at every
+instant?  This example
+
+1. runs the am_lat ping-pong inside a :func:`repro.trace.trace_session`,
+2. prints the per-layer span totals,
+3. extracts one ping's critical path and checks it against the
+   closed-form Figure 10 model,
+4. renders a nested text timeline of that ping,
+5. exports the whole run as Perfetto JSON (open at ui.perfetto.dev).
+
+Run:  python examples/trace_am_lat.py
+"""
+
+import pathlib
+import tempfile
+
+from repro.bench import run_am_lat
+from repro.core.breakdown import fig10_latency_llp
+from repro.core.components import ComponentTimes
+from repro.node import SystemConfig
+from repro.reporting import render_timeline
+from repro.trace import (
+    critical_path_breakdown,
+    critical_path_report,
+    trace_session,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Run the benchmark with tracing enabled.
+    # ------------------------------------------------------------------
+    with trace_session() as session:
+        result = run_am_lat(
+            config=SystemConfig.paper_testbed(deterministic=True),
+            iterations=50,
+            warmup=10,
+        )
+    print(f"am_lat: observed latency {result.observed_latency_ns:.2f} ns")
+
+    # ------------------------------------------------------------------
+    # 2. Per-layer accounting across the whole run.
+    # ------------------------------------------------------------------
+    summary = session.summary()
+    print(f"\nrecorded {summary['spans']} spans, {summary['instants']} instants")
+    for layer, stats in sorted(summary["per_layer"].items()):
+        print(
+            f"  {layer:<8} {stats['spans']:>6} spans "
+            f"{stats['total_ns']:>12.2f} ns total"
+        )
+
+    # ------------------------------------------------------------------
+    # 3. One ping's critical path vs the Figure 10 model.
+    # ------------------------------------------------------------------
+    spans = session.spans()
+    posted = [
+        s.attrs.get("msg")
+        for s in spans
+        if s.layer == "llp" and s.name == "llp_post"
+    ]
+    msg_id = next(
+        m
+        for m in reversed(posted)
+        if critical_path_breakdown(spans, m).value("rc_to_mem") > 0
+    )
+    model = fig10_latency_llp(ComponentTimes.paper())
+    print()
+    print(critical_path_report(spans, msg_id, reference=model))
+
+    # ------------------------------------------------------------------
+    # 4. The same ping as a nested timeline.
+    # ------------------------------------------------------------------
+    ping = session.spans_for_message(msg_id)
+    print()
+    print(render_timeline(ping, limit=20))
+
+    # ------------------------------------------------------------------
+    # 5. Export everything for ui.perfetto.dev.
+    # ------------------------------------------------------------------
+    out_path = pathlib.Path(tempfile.gettempdir()) / "am_lat_trace.json"
+    session.write_chrome_trace(out_path)
+    print(f"\nwrote {out_path} (load it at https://ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,6 +54,9 @@ class RunRecord:
     #: Identifier of the worker process that ran the point.
     worker: str = ""
     cache_hit: bool = False
+    #: Trace summary (span counts, per-layer totals) when the campaign
+    #: ran with ``spec.trace``; ``None`` otherwise.
+    trace: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -180,6 +183,8 @@ class CampaignResult:
                 )
             else:
                 body = f"{record.error_type}: {record.error}"
+            if record.trace is not None:
+                body += f" [traced: {record.trace.get('spans', 0)} spans]"
             lines.append(
                 f"  [{record.index:>3}] seed={record.seed} {label} "
                 f"({flag}) -> {record.status}: {body}"

@@ -40,7 +40,9 @@ def _execute_point(payload: tuple) -> dict[str, Any]:
     Top-level so it pickles into pool workers.  ``payload`` is the
     point plus identity fields precomputed by the parent.
     """
-    campaign, index, workload_name, config, params, seed, overrides, key = payload
+    campaign, index, workload_name, config, params, seed, overrides, key, trace = (
+        payload
+    )
     record: dict[str, Any] = {
         "campaign": campaign,
         "index": index,
@@ -52,11 +54,19 @@ def _execute_point(payload: tuple) -> dict[str, Any]:
         "cache_key": key,
         "worker": f"{multiprocessing.current_process().name}:{os.getpid()}",
         "cache_hit": False,
+        "trace": None,
     }
     start = time.perf_counter()
     try:
         workload = get_workload(workload_name)
-        measurements = workload(config, **params)
+        if trace:
+            from repro.trace import trace_session
+
+            with trace_session() as session:
+                measurements = workload(config, **params)
+            record["trace"] = session.summary()
+        else:
+            measurements = workload(config, **params)
         if not isinstance(measurements, dict):
             raise TypeError(
                 f"workload {workload_name!r} returned "
@@ -92,6 +102,7 @@ def _point_payload(spec: CampaignSpec, point: SweepPoint, key: str) -> tuple:
         point.seed,
         point.config_overrides,
         key,
+        spec.trace,
     )
 
 
@@ -120,7 +131,11 @@ def run_campaign(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    # Traced campaigns bypass the cache: cached records carry no trace
+    # summary, and silently returning them would drop the tracing.
+    cache = (
+        ResultCache(cache_dir) if cache_dir is not None and not spec.trace else None
+    )
     points = spec.points()
 
     records: dict[int, RunRecord] = {}

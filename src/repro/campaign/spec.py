@@ -119,6 +119,11 @@ class CampaignSpec:
     axes: tuple[SweepAxis, ...] = ()
     params: dict[str, Any] = field(default_factory=dict)
     seeds: tuple[int, ...] = (2019,)
+    #: Run every point inside a :func:`repro.trace.trace_session` and
+    #: attach the trace summary (span counts, per-layer totals) to its
+    #: :class:`~repro.campaign.records.RunRecord`.  Traced points bypass
+    #: the result cache: cached records carry no trace.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "axes", tuple(self.axes))

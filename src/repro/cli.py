@@ -24,7 +24,13 @@ Commands
     turns the run into a declarative campaign (repeatable; axes may be
     dotted config paths like ``nic.txq_depth`` or workload parameters)
     and prints one structured RunRecord per point.
+``trace WORKLOAD [--out trace.json] [--param K=V] [--iterations N]``
+    Run one workload with span tracing enabled, write the Chrome
+    trace-event / Perfetto JSON to ``--out`` and print the per-layer
+    summary plus — for latency workloads — the critical-path breakdown
+    of the last traced message (see docs/tracing.md).
 
+Unknown workload names exit with code 2 and the registered list.
 All commands accept ``--help``.
 """
 
@@ -113,10 +119,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory caching completed sweep points across runs",
     )
 
-    from repro.campaign.workloads import workload_names
-
     bench = sub.add_parser("bench", help="run one micro-benchmark")
-    bench.add_argument("workload", choices=workload_names())
+    bench.add_argument("workload")
     bench.add_argument("--seed", type=int, default=2019)
     bench.add_argument("--deterministic", action="store_true")
     bench.add_argument(
@@ -129,7 +133,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--jobs", type=int, default=1)
     bench.add_argument("--cache-dir", default=None)
+
+    trace = sub.add_parser(
+        "trace", help="run one workload with span tracing, export Perfetto JSON"
+    )
+    trace.add_argument("workload")
+    trace.add_argument(
+        "--out", default="trace.json", help="Chrome trace-event JSON output path"
+    )
+    trace.add_argument("--seed", type=int, default=2019)
+    trace.add_argument(
+        "--deterministic", action="store_true",
+        help="disable timing jitter (spans equal configured means)",
+    )
+    trace.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="workload keyword argument; repeatable",
+    )
+    trace.add_argument(
+        "--timeline", type=int, default=0, metavar="N",
+        help="also print the first N rows of the plain-text timeline",
+    )
     return parser
+
+
+def _resolve_workload(name: str, out):
+    """Look ``name`` up in the registry; None + message on a miss."""
+    from repro.campaign.workloads import get_workload, workload_names
+
+    try:
+        return get_workload(name)
+    except KeyError:
+        print(
+            f"unknown workload {name!r}; registered: "
+            f"{', '.join(workload_names())}",
+            file=out,
+        )
+        return None
 
 
 def _cmd_whatif(args: argparse.Namespace, out) -> int:
@@ -285,6 +325,8 @@ def _cmd_bench_campaign(args: argparse.Namespace, out, config: SystemConfig) -> 
 
 
 def _cmd_bench(args: argparse.Namespace, out) -> int:
+    if _resolve_workload(args.workload, out) is None:
+        return 2
     config = SystemConfig.paper_testbed(
         seed=args.seed, deterministic=args.deterministic
     )
@@ -330,6 +372,69 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    workload = _resolve_workload(args.workload, out)
+    if workload is None:
+        return 2
+    params = {}
+    for entry in args.param:
+        key, separator, value = entry.partition("=")
+        if not separator or not key:
+            print(f"bad --param {entry!r}; expected K=V", file=out)
+            return 2
+        params[key] = _parse_sweep_value(value)
+    config = SystemConfig.paper_testbed(
+        seed=args.seed, deterministic=args.deterministic
+    )
+
+    from repro.trace import critical_path_breakdown, critical_path_report, trace_session
+
+    with trace_session() as session:
+        measurements = workload(config, **params)
+    session.write_chrome_trace(args.out)
+    summary = session.summary()
+    body = ", ".join(
+        f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in sorted(measurements.items())
+    )
+    print(f"{args.workload}: {body}", file=out)
+    print(
+        f"trace: {summary['spans']} spans, {summary['instants']} instants "
+        f"({summary['tracers']} tracer(s), {summary['dropped_spans']} dropped) "
+        f"-> {args.out}",
+        file=out,
+    )
+    for layer, stats in sorted(summary["per_layer"].items()):
+        print(
+            f"  {layer:<8} {stats['spans']:>7} spans "
+            f"{stats['total_ns']:>14.2f} ns total "
+            f"{stats['instants']:>7} instants",
+            file=out,
+        )
+
+    # Critical path of the last message with a complete forward path
+    # (workloads that never cross the fabric simply skip this report).
+    spans = session.spans()
+    posted = [
+        s.attrs.get("msg")
+        for s in spans
+        if s.layer == "llp" and s.name == "llp_post"
+    ]
+    for msg_id in reversed(posted):
+        breakdown = critical_path_breakdown(spans, msg_id)
+        if breakdown.value("rc_to_mem") > 0 and breakdown.value("wire") > 0:
+            print("", file=out)
+            print(critical_path_report(spans, msg_id), file=out)
+            break
+
+    if args.timeline > 0:
+        from repro.reporting import render_timeline
+
+        print("", file=out)
+        print(render_timeline(spans, limit=args.timeline), file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -364,4 +469,6 @@ def _dispatch(args: argparse.Namespace, out, times: ComponentTimes) -> int:
         return _cmd_campaign(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -52,16 +52,25 @@ class WhatIfAnalysis:
 
     # -- component catalogues (the Figure 17 line sets) --------------------------
     def injection_components(self) -> dict[str, float]:
-        """Figure 17a's seven lines (CPU components of injection)."""
+        """Figure 17a's seven lines (CPU components of injection).
+
+        The metric total carries the *amortised* progress term
+        ``post_prog``, of which ``hlp_tx_prog = max(0, post_prog −
+        llp_tx_prog)`` is the HLP share; the LLP share inside the metric
+        is therefore ``min(llp_tx_prog, post_prog)`` (identical to the
+        raw ``llp_tx_prog`` for any measured value set, but keeps every
+        line within the metric total for arbitrary inputs).
+        """
         t = self.times
+        llp_tx_prog = min(t.llp_tx_prog, t.post_prog)
         return {
             "HLP": t.hlp_post + t.hlp_tx_prog,
-            "LLP": t.llp_post + t.llp_tx_prog,
+            "LLP": t.llp_post + llp_tx_prog,
             "LLP_post": t.llp_post,
             "PIO": t.pio_copy,
             "HLP_tx_prog": t.hlp_tx_prog,
             "HLP_post": t.hlp_post,
-            "LLP_tx_prog": t.llp_tx_prog,
+            "LLP_tx_prog": llp_tx_prog,
         }
 
     def latency_cpu_components(self) -> dict[str, float]:

@@ -90,10 +90,15 @@ class MpiComm:
         """
         cpu = self.stack.cpu
         profiler = self.stack.profiler
+        tracer = self.stack.node.env.tracer
+        tspan = tracer.begin(
+            "mpi", "mpi_isend", track=cpu.name, bytes=payload_bytes
+        )
         start = yield from profiler.begin("mpi_isend")
         yield from cpu.execute("mpich_isend")
         ucp_request = yield from self.stack.ucp.tag_send_nb(self.ep, payload_bytes)
         yield from profiler.end("mpi_isend", start)
+        tracer.end(tspan)
         return MpiRequest(ucp_request)
 
     def irecv(self, payload_bytes: int) -> Generator:
@@ -124,6 +129,10 @@ class MpiComm:
         """
         cpu = self.stack.cpu
         profiler = self.stack.profiler
+        tracer = self.stack.node.env.tracer
+        tspan = tracer.begin(
+            "mpi", "mpi_wait", track=cpu.name, request=request.request_id
+        )
         start = yield from profiler.begin("mpi_wait")
         entry = yield from profiler.begin("mpich_wait_entry")
         yield from cpu.execute("mpich_wait_entry")
@@ -134,6 +143,7 @@ class MpiComm:
         yield from cpu.execute("mpich_after_progress")
         yield from profiler.end("mpich_after_progress", after)
         yield from profiler.end("mpi_wait", start)
+        tracer.end(tspan)
         return None
 
     def waitall(self, requests: list[MpiRequest]) -> Generator:
@@ -146,6 +156,10 @@ class MpiComm:
         """
         cpu = self.stack.cpu
         profiler = self.stack.profiler
+        tracer = self.stack.node.env.tracer
+        tspan = tracer.begin(
+            "mpi", "mpi_waitall", track=cpu.name, requests=len(requests)
+        )
         start = yield from profiler.begin("mpi_waitall")
         remaining = [r for r in requests if not r.completed]
         # Already-completed requests still need their finalisation pass.
@@ -161,6 +175,7 @@ class MpiComm:
                     still.append(request)
             remaining = still
         yield from profiler.end("mpi_waitall", start)
+        tracer.end(tspan)
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -108,6 +108,11 @@ class UcpWorker:
         request = UcpRequest(
             kind="send", payload_bytes=payload_bytes, upper_callback=upper_callback
         )
+        tracer = self.node.env.tracer
+        tspan = tracer.begin(
+            "hlp", "ucp_isend", track=cpu.name,
+            request=request.request_id, bytes=payload_bytes,
+        )
         start = yield from self.profiler.begin("ucp_isend")
         yield from cpu.execute("ucp_isend")
         status = yield from ep.uct_ep.am_short(payload_bytes)
@@ -122,6 +127,7 @@ class UcpWorker:
             self.busy_posts_encountered += 1
             self.pending_sends.append((request, ep.uct_ep))
         yield from self.profiler.end("ucp_isend", start)
+        tracer.end(tspan)
         return request
 
     def _on_send_cqe(self, cqe: Cqe) -> None:
@@ -172,6 +178,11 @@ class UcpWorker:
 
     def _complete_recv(self, request: UcpRequest, message: Message) -> Generator:
         cpu = self.cpu
+        tracer = self.node.env.tracer
+        tspan = tracer.begin(
+            "hlp", "ucp_recv_callback", track=cpu.name,
+            msg=message.msg_id, request=request.request_id,
+        )
         start = yield from self.profiler.begin("ucp_recv_callback")
         yield from cpu.execute("ucp_recv_callback")
         request.message = message
@@ -179,9 +190,13 @@ class UcpWorker:
         self._recv_side_events += 1
         if request.upper_callback is not None:
             inner = yield from self.profiler.begin("mpich_recv_callback")
-            yield from invoke_callback(request.upper_callback, request)
+            with tracer.span(
+                "hlp", "mpich_recv_callback", track=cpu.name, msg=message.msg_id
+            ):
+                yield from invoke_callback(request.upper_callback, request)
             yield from self.profiler.end("mpich_recv_callback", inner)
         yield from self.profiler.end("ucp_recv_callback", start)
+        tracer.end(tspan)
         return None
 
     # -- progress ------------------------------------------------------------------------
@@ -194,6 +209,8 @@ class UcpWorker:
         """
         cpu = self.cpu
         env = self.node.env
+        if env.tracer.enabled:
+            env.tracer.counter("hlp", "worker_progress_calls")
         start = yield from self.profiler.begin("ucp_worker_progress")
         yield from cpu.execute("ucp_prog_body")
         repost_start = env.now

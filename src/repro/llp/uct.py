@@ -92,26 +92,45 @@ class UctWorker:
     def progress(self) -> Generator:
         """One progress pass; returns the number of events processed."""
         cpu = self.cpu
+        tracer = self.node.env.tracer
         self.progress_calls += 1
         events = 0
         start = yield from self.profiler.begin("llp_prog")
         for iface in self.ifaces:
             cqe = iface.qp.cq.try_poll()
             if cqe is not None:
+                tspan = None
+                if tracer.enabled:
+                    tspan = tracer.begin(
+                        "llp", "llp_prog", track=cpu.name,
+                        msg=cqe.message.msg_id, kind="cqe",
+                    )
                 yield from cpu.execute("llp_prog")
                 iface.qp.consume_cqe(cqe)
                 events += 1
                 for callback in iface.completion_callbacks:
                     yield from invoke_callback(callback, cqe)
+                if tspan is not None:
+                    tracer.end(tspan)
             ok, message = iface.am_mailbox.try_get()
             if ok:
+                tspan = None
+                if tracer.enabled:
+                    tspan = tracer.begin(
+                        "llp", "llp_prog", track=cpu.name,
+                        msg=message.msg_id, kind="am",
+                    )
                 yield from cpu.execute("llp_prog")
                 iface.messages_delivered += 1
                 events += 1
                 if iface.am_handler is not None:
                     yield from invoke_callback(iface.am_handler, message)
+                if tspan is not None:
+                    tracer.end(tspan)
         if events == 0:
             self.empty_progress_calls += 1
+            if tracer.enabled:
+                tracer.counter("llp", "empty_progress_calls")
             yield from cpu.execute("llp_prog_empty")
         yield from self.profiler.end("llp_prog", start)
         return events
@@ -278,6 +297,11 @@ class UctEndpoint:
         )
         iface.qp.register_post(message)
         message.stamp("posted", node.env.now)
+        tracer = node.env.tracer
+        tspan = tracer.begin(
+            "llp", "llp_post", track=cpu.name,
+            msg=message.msg_id, op=op.value, bytes=payload_bytes,
+        )
         yield from cpu.execute("md_setup")
         yield from cpu.execute("barrier_md")
         yield from cpu.execute("barrier_dbc")
@@ -293,6 +317,7 @@ class UctEndpoint:
             )
         )
         yield from cpu.execute("llp_post_misc")
+        tracer.end(tspan)
         yield from profiler.end("llp_post", outer)
         iface.successful_posts += 1
         iface.last_message = message
@@ -329,26 +354,37 @@ class UctEndpoint:
         )
         iface.qp.register_post(message)
         message.stamp("posted", node.env.now)
+        tracer = node.env.tracer
+        tspan = tracer.begin(
+            "llp", "llp_post", track=cpu.name,
+            msg=message.msg_id, op=op.value, bytes=payload_bytes,
+        )
 
         # §4.1 step 1: prepare the MD (control segment + inline memcpy).
         start = yield from profiler.begin("md_setup")
-        yield from cpu.execute("md_setup")
+        with tracer.span("llp", "md_setup", track=cpu.name, msg=message.msg_id):
+            yield from cpu.execute("md_setup")
         yield from profiler.end("md_setup", start)
         # Step 2: store barrier so the MD is written before signalling.
         start = yield from profiler.begin("barrier_md")
-        yield from cpu.execute("barrier_md")
+        with tracer.span("llp", "barrier_md", track=cpu.name, msg=message.msg_id):
+            yield from cpu.execute("barrier_md")
         yield from profiler.end("barrier_md", start)
         # Steps 3-4: DoorBell counter increment + its store barrier.
         start = yield from profiler.begin("barrier_dbc")
-        yield from cpu.execute("barrier_dbc")
+        with tracer.span("llp", "barrier_dbc", track=cpu.name, msg=message.msg_id):
+            yield from cpu.execute("barrier_dbc")
         yield from profiler.end("barrier_dbc", start)
         # Step 5: the PIO copy into Device-GRE memory, in 64-byte chunks.
         wqe_bytes = nic_cfg.wqe_header_bytes + payload_bytes
         chunks = math.ceil(wqe_bytes / nic_cfg.pio_chunk_bytes)
         start = yield from profiler.begin("pio_copy")
-        yield from cpu.execute(
-            "pio_copy_64b", mean=chunks * cpu.costs.pio_copy_64b
-        )
+        with tracer.span(
+            "llp", "pio_copy", track=cpu.name, msg=message.msg_id, chunks=chunks
+        ):
+            yield from cpu.execute(
+                "pio_copy_64b", mean=chunks * cpu.costs.pio_copy_64b
+            )
         yield from profiler.end("pio_copy", start)
         message.stamp("pio_written", node.env.now)
         node.rc.mmio_write(
@@ -361,6 +397,7 @@ class UctEndpoint:
         )
         # Function-call overhead, branching ("Other" in Figure 4).
         yield from cpu.execute("llp_post_misc")
+        tracer.end(tspan)
         yield from profiler.end("llp_post", outer)
         iface.successful_posts += 1
         iface.last_message = message
@@ -391,6 +428,11 @@ class UctEndpoint:
         )
         iface.qp.register_post(message)
         message.stamp("posted", node.env.now)
+        tracer = node.env.tracer
+        tspan = tracer.begin(
+            "llp", "llp_post", track=cpu.name,
+            msg=message.msg_id, op=op.value, bytes=payload_bytes,
+        )
         yield from cpu.execute("md_setup")
         yield from cpu.execute("barrier_md")
         yield from cpu.execute("barrier_dbc")
@@ -410,6 +452,7 @@ class UctEndpoint:
             )
         )
         yield from cpu.execute("llp_post_misc")
+        tracer.end(tspan)
         yield from profiler.end("llp_post", outer)
         iface.successful_posts += 1
         iface.last_message = message

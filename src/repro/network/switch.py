@@ -14,6 +14,7 @@ from collections.abc import Callable
 from typing import Any
 
 from repro.network.config import NetworkConfig
+from repro.network.wire import frame_trace_attrs
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 
@@ -46,11 +47,19 @@ class Switch:
         self.env.process(self._forward(frame), name=f"{self.name}.fwd")
 
     def _forward(self, frame: Any):
+        tracer = self.env.tracer
+        tspan = None
+        if tracer.enabled:
+            tspan = tracer.begin(
+                "network", "switch", track=self.name, **frame_trace_attrs(frame)
+            )
         yield self.env.timeout(self.config.switch_latency_ns)
         if self.egress_serialization_ns > 0:
             yield self._egress.request()
             yield self.env.timeout(self.egress_serialization_ns)
             self._egress.release()
+        if tspan is not None:
+            tracer.end(tspan)
         self.frames_forwarded += 1
         self.forward(frame)
 

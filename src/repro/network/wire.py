@@ -17,7 +17,14 @@ from repro.network.config import NetworkConfig
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 
-__all__ = ["Wire"]
+__all__ = ["Wire", "frame_trace_attrs"]
+
+
+def frame_trace_attrs(frame: Any) -> dict[str, Any]:
+    """Trace attributes of a fabric frame (tolerant of bare test frames)."""
+    kind = getattr(getattr(frame, "kind", None), "value", None)
+    msg = getattr(getattr(frame, "message", None), "msg_id", None)
+    return {"kind": kind, "msg": msg}
 
 
 class Wire:
@@ -64,6 +71,13 @@ class Wire:
         self.env.process(self._carry(frame, frame_bytes), name=f"{self.name}.carry")
 
     def _carry(self, frame: Any, frame_bytes: int):
+        tracer = self.env.tracer
+        tspan = None
+        if tracer.enabled:
+            tspan = tracer.begin(
+                "network", "wire", track=self.name,
+                bytes=frame_bytes, **frame_trace_attrs(frame),
+            )
         if self._serial is not None:
             yield self._serial.request()
             serialize = self.serialization(frame_bytes)
@@ -71,6 +85,8 @@ class Wire:
                 yield self.env.timeout(serialize)
             self._serial.release()
         yield self.env.timeout(self.config.wire_latency_ns)
+        if tspan is not None:
+            tracer.end(tspan)
         self.frames_carried += 1
         self.deliver(frame)
 

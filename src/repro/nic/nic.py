@@ -87,6 +87,10 @@ class Nic:
     def _on_pio_post(self, message: Message) -> None:
         """PIO+inline fast path: descriptor and payload already here."""
         message.stamp("nic_arrival", self.env.now)
+        if self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "nic", "nic_arrival", track=self.name, msg=message.msg_id
+            )
         self.env.process(self._transmit(message), name=f"{self.name}.tx")
 
     def _on_doorbell(self, message: Message) -> None:
@@ -161,9 +165,17 @@ class Nic:
         """Launch the message onto the fabric (§2 step 4)."""
         if self.fabric is None:
             raise SimulationError(f"{self.name}: no fabric attached")
+        tracer = self.env.tracer
+        tspan = (
+            tracer.begin("nic", "nic_tx", track=self.name, msg=message.msg_id)
+            if tracer.enabled
+            else None
+        )
         if self.config.tx_processing_ns > 0:
             yield self.env.timeout(self.config.tx_processing_ns)
         message.stamp("wire_out", self.env.now)
+        if tspan is not None:
+            tracer.end(tspan)
         self.messages_transmitted += 1
         destination = message.dst_nic or self.peer_name
         if message.op is MessageOp.GET:
@@ -204,6 +216,10 @@ class Nic:
         """Target side: ACK the frame, DMA-write the payload to memory."""
         message: Message = frame.message
         message.stamp("target_nic", self.env.now)
+        if self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "nic", "target_nic", track=self.name, msg=message.msg_id
+            )
         self.messages_received += 1
         self.env.process(self._send_ack(frame), name=f"{self.name}.ack")
         self.env.process(self._deliver_payload(message), name=f"{self.name}.rx")
@@ -224,13 +240,25 @@ class Nic:
         multiple MWr TLPs; the payload is visible once the last
         segment's RC-to-MEM completes.
         """
+        tracer = self.env.tracer
+        tspan = (
+            tracer.begin("nic", "nic_rx", track=self.name, msg=message.msg_id)
+            if tracer.enabled
+            else None
+        )
         if self.config.rx_processing_ns > 0:
             yield self.env.timeout(self.config.rx_processing_ns)
+        if tspan is not None:
+            tracer.end(tspan)
         mailbox = self.memory.mailbox(message.recv_target)
 
         def deliver(msg: Message, when: float) -> None:
             msg.stamp("payload_visible", when)
             mailbox.try_put(msg)
+            if self.env.tracer.enabled:
+                self.env.tracer.instant(
+                    "nic", "payload_visible", track=self.name, msg=msg.msg_id
+                )
 
         self._dma_write_segmented(
             message, message.payload_bytes, "payload_write", deliver
@@ -357,6 +385,10 @@ class Nic:
         """Initiator side: ACK gates completion generation (§2 step 5)."""
         message: Message = frame.message
         message.stamp("ack_rx", self.env.now)
+        if self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "nic", "ack_rx", track=self.name, msg=message.msg_id
+            )
         self._complete(message)
 
     def _complete(self, message: Message) -> None:

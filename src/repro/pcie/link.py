@@ -102,6 +102,18 @@ def _credit_class(tlp: Tlp) -> str:
     return "completion"
 
 
+def _traced_msg_id(tlp: Tlp) -> int | None:
+    """The message id a TLP is working for (CQE writes carry a Cqe)."""
+    carried = tlp.message
+    if carried is None:
+        return None
+    msg_id = getattr(carried, "msg_id", None)
+    if msg_id is not None:
+        return msg_id
+    inner = getattr(carried, "message", None)
+    return getattr(inner, "msg_id", None)
+
+
 class _Port:
     """One transmit side of the link (credits, seq numbers, queue)."""
 
@@ -266,6 +278,17 @@ class PcieLink:
         return bool(self.rng.random() < prob)
 
     def _deliver(self, port: _Port, tlp: Tlp):
+        tracer = self.env.tracer
+        tspan = None
+        if tracer.enabled:
+            tspan = tracer.begin(
+                "pcie", "tlp",
+                track=f"{self.name}.{port.direction.value}",
+                msg=_traced_msg_id(tlp),
+                purpose=tlp.purpose,
+                kind=tlp.kind.value,
+                bytes=tlp.payload_bytes,
+            )
         if port.serialiser is not None:
             yield port.serialiser.request()
             serialize = tlp.payload_bytes / self.config.bandwidth_bytes_per_ns
@@ -275,6 +298,8 @@ class PcieLink:
             yield self.env.timeout(self.config.base_latency_ns)
         else:
             yield self.env.timeout(self.config.tlp_latency(tlp.payload_bytes))
+        if tspan is not None:
+            tracer.end(tspan)
         direction = port.direction
         if self._corrupt():
             # LCRC failure: discard and NACK (once per error window).
@@ -334,6 +359,12 @@ class PcieLink:
             # ACK for a downstream TLP leaves the endpoint immediately.
             self._tap(self.env.now, Direction.UPSTREAM, ack)
             yield self.env.timeout(self.config.tlp_latency(0))
+        if self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "pcie", "ack_dllp",
+                track=f"{self.name}.{direction.opposite.value}",
+                seq=tlp.seq, acked=direction.value,
+            )
         self._on_ack(direction, tlp.seq)
 
     def _on_ack(self, direction: Direction, acked_seq: int | None) -> None:

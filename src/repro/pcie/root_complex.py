@@ -18,7 +18,7 @@ fabric.  On the paper's data path it does three things:
 from __future__ import annotations
 
 from repro.pcie.config import PcieConfig
-from repro.pcie.link import Direction, PcieLink
+from repro.pcie.link import Direction, PcieLink, _traced_msg_id
 from repro.pcie.packets import Tlp, TlpType
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Store
@@ -109,7 +109,17 @@ class RootComplex:
 
     def _dma_write(self, tlp: Tlp):
         """Execute an endpoint DMA write: RC-to-MEM(xB) then visibility."""
+        tracer = self.env.tracer
+        tspan = None
+        if tracer.enabled:
+            tspan = tracer.begin(
+                "pcie", "rc_to_mem", track=self.name,
+                msg=_traced_msg_id(tlp), purpose=tlp.purpose,
+                bytes=tlp.payload_bytes,
+            )
         yield self.env.timeout(self.config.rc_to_mem(tlp.payload_bytes))
+        if tspan is not None:
+            tracer.end(tspan)
         self.dma_writes += 1
         self._deliver(tlp)
 
@@ -128,7 +138,17 @@ class RootComplex:
 
     def _dma_read(self, tlp: Tlp):
         """Answer an endpoint DMA read with a CplD after the memory read."""
+        tracer = self.env.tracer
+        tspan = None
+        if tracer.enabled:
+            tspan = tracer.begin(
+                "pcie", "mem_read", track=self.name,
+                msg=_traced_msg_id(tlp), purpose=tlp.purpose,
+                bytes=tlp.read_bytes,
+            )
         yield self.env.timeout(self.config.mem_read_ns)
+        if tspan is not None:
+            tracer.end(tspan)
         self.dma_reads += 1
         completion = Tlp(
             kind=TlpType.CPLD,

@@ -16,7 +16,13 @@ from repro.reporting.export import (
     series_to_csv,
     table1_to_csv,
 )
-from repro.reporting.figures import render_breakdown_bar, render_histogram, render_series
+from repro.reporting.figures import (
+    render_breakdown_bar,
+    render_histogram,
+    render_series,
+    render_timeline,
+    render_trace,
+)
 from repro.reporting.tables import render_breakdown_table, render_table1
 
 __all__ = [
@@ -28,6 +34,8 @@ __all__ = [
     "render_histogram",
     "render_series",
     "render_table1",
+    "render_timeline",
+    "render_trace",
     "series_to_csv",
     "table1_to_csv",
 ]

@@ -11,7 +11,13 @@ import numpy as np
 
 from repro.core.breakdown import Breakdown
 
-__all__ = ["render_breakdown_bar", "render_histogram", "render_series", "render_trace"]
+__all__ = [
+    "render_breakdown_bar",
+    "render_histogram",
+    "render_series",
+    "render_timeline",
+    "render_trace",
+]
 
 #: Distinct fill characters cycled across bar segments.
 _FILLS = "█▓▒░▚▞▜▟"
@@ -100,6 +106,56 @@ def render_histogram(
     )
     if clip < array.max():
         lines.append(f"  (tail above {clip:.1f} ns clipped from the plot)")
+    return "\n".join(lines)
+
+
+def render_timeline(spans, width: int = 60, limit: int = 40) -> str:
+    """A Gantt-style text timeline of trace spans.
+
+    Each span (anything with ``t0``/``t1``/``name``/``track`` and
+    optionally ``span_id``/``parent_id`` — :class:`repro.trace.Span`
+    objects or their Perfetto round-trip reconstructions) becomes one
+    row: track, name indented by its nesting depth, the ``[t0, t1)``
+    window and a bar positioned on a shared time axis.  Rows are sorted
+    by start time and truncated to ``limit``.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    ordered = sorted(spans, key=lambda s: (s.t0, s.t1 if s.t1 is not None else s.t0))
+    if not ordered:
+        return "(no spans)"
+    shown = ordered[:limit]
+    depths: dict[int, int] = {}
+    for span in ordered:
+        parent = getattr(span, "parent_id", None)
+        span_id = getattr(span, "span_id", None)
+        depth = depths.get(parent, -1) + 1 if parent is not None else 0
+        if span_id is not None:
+            depths[span_id] = depth
+    t_lo = min(s.t0 for s in shown)
+    t_hi = max(s.t1 if s.t1 is not None else s.t0 for s in shown)
+    window = max(t_hi - t_lo, 1e-9)
+    track_w = max(len(str(s.track)) for s in shown)
+    name_w = max(
+        len("  " * depths.get(getattr(s, "span_id", None), 0) + s.name) for s in shown
+    )
+    lines = [f"timeline: {len(shown)} of {len(ordered)} spans, "
+             f"[{t_lo:.2f}, {t_hi:.2f}] ns"]
+    for span in shown:
+        t1 = span.t1 if span.t1 is not None else span.t0
+        start = round(width * (span.t0 - t_lo) / window)
+        stop = round(width * (t1 - t_lo) / window)
+        bar = " " * start + "█" * max(1, stop - start)
+        indent = "  " * depths.get(getattr(span, "span_id", None), 0)
+        label = f"{indent}{span.name}"
+        lines.append(
+            f"{str(span.track):<{track_w}} {label:<{name_w}} "
+            f"|{bar:<{width}}| {span.t0:>10.2f} {t1 - span.t0:>9.2f}"
+        )
+    if len(ordered) > limit:
+        lines.append(f"  ... {len(ordered) - limit} more spans not shown")
     return "\n".join(lines)
 
 

@@ -25,14 +25,17 @@ Public surface
 """
 
 from repro.sim.engine import (
+    NULL_TRACER,
     AllOf,
     AnyOf,
     Environment,
     Event,
     Interrupt,
+    NullTracer,
     Process,
     SimulationError,
     Timeout,
+    set_tracer_factory,
 )
 from repro.sim.hashing import canonical_json, canonicalize, stable_digest
 from repro.sim.resources import Channel, Resource, Store
@@ -46,12 +49,15 @@ __all__ = [
     "Event",
     "Interrupt",
     "JitterModel",
+    "NULL_TRACER",
+    "NullTracer",
     "Process",
     "RandomStreams",
     "Resource",
     "SimulationError",
     "Store",
     "Timeout",
+    "set_tracer_factory",
     "canonical_json",
     "canonicalize",
     "stable_digest",

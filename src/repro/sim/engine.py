@@ -23,11 +23,14 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "NULL_TRACER",
+    "NullTracer",
     "Process",
     "SimulationError",
     "Timeout",
     "URGENT",
     "NORMAL",
+    "set_tracer_factory",
 ]
 
 #: Scheduling priority for events that must fire before ordinary events
@@ -44,6 +47,75 @@ class SimulationError(RuntimeError):
     Examples include running a finished environment backwards, triggering
     an already-triggered event, or yielding a non-event from a process.
     """
+
+
+class _NullSpanContext:
+    """Context manager returned by :meth:`NullTracer.span`: does nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The do-nothing tracer installed on every :class:`Environment`.
+
+    Instrumented components call ``tracer.span(...)`` / ``tracer.instant``
+    unconditionally on the slow paths and guard hot loops with
+    ``if tracer.enabled:``.  This class makes the disabled case free of
+    allocations and near-free of call overhead; :class:`repro.trace.Tracer`
+    implements the same surface with real recording.
+    """
+
+    __slots__ = ()
+
+    #: Hot paths test this attribute before doing any per-span work.
+    enabled = False
+
+    def bind(self, env: "Environment") -> "NullTracer":
+        """Attach to an environment's clock (no-op here)."""
+        return self
+
+    def begin(self, layer: str, name: str, track: str | None = None, **attrs: Any):
+        """Open a span; returns an opaque handle (``None`` here)."""
+        return None
+
+    def end(self, span: Any) -> None:
+        """Close a span handle returned by :meth:`begin`."""
+
+    def span(self, layer: str, name: str, track: str | None = None, **attrs: Any):
+        """Context manager wrapping :meth:`begin`/:meth:`end`."""
+        return _NULL_SPAN_CONTEXT
+
+    def instant(self, layer: str, name: str, track: str | None = None, **attrs: Any):
+        """Record a zero-duration event."""
+        return None
+
+    def counter(self, layer: str, name: str, value: float = 1.0) -> None:
+        """Bump a per-layer counter."""
+
+
+#: Shared no-op tracer; ``Environment.tracer`` defaults to this.
+NULL_TRACER = NullTracer()
+
+#: When set (by :func:`repro.trace.trace_session`), every Environment
+#: created afterwards asks this factory for its tracer instead of using
+#: :data:`NULL_TRACER`.  Kept here — not in ``repro.trace`` — so the
+#: engine never imports the tracing package.
+_tracer_factory: Callable[["Environment"], Any] | None = None
+
+
+def set_tracer_factory(factory: Callable[["Environment"], Any] | None) -> None:
+    """Install (or clear, with ``None``) the default tracer factory."""
+    global _tracer_factory
+    _tracer_factory = factory
 
 
 class Interrupt(Exception):
@@ -394,6 +466,15 @@ class Environment:
         self._sequence = 0
         self._processed_events = 0
         self._active_process: Process | None = None
+        #: Observability hook: every instrumented component reads spans
+        #: through here.  A no-op unless a tracer factory is installed
+        #: (see :func:`repro.trace.trace_session`).
+        self.tracer: Any = (
+            _tracer_factory(self) if _tracer_factory is not None else NULL_TRACER
+        )
+        #: Optional callback ``(when, event)`` invoked for every event the
+        #: scheduler processes, before its callbacks run.
+        self.on_event: Callable[[float, Event], None] | None = None
 
     @property
     def now(self) -> float:
@@ -438,7 +519,10 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         if delay < 0:
-            raise SimulationError(f"cannot schedule into the past: {delay!r}")
+            raise SimulationError(
+                f"cannot schedule {event!r} into the past: "
+                f"delay={delay!r} at now={self._now!r}"
+            )
         self._sequence += 1
         heapq.heappush(
             self._queue, (self._now + delay, priority, self._sequence, event)
@@ -451,6 +535,8 @@ class Environment:
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
         self._processed_events += 1
+        if self.on_event is not None:
+            self.on_event(when, event)
         event._mark_processed()
 
     def peek(self) -> float:

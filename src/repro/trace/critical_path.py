@@ -1,0 +1,111 @@
+"""Critical-path extraction: one message's spans → a Fig-10 breakdown.
+
+Every instrumented layer tags the spans it opens for a specific message
+with ``msg=<message id>``.  Walking those spans for one ping of an
+``am_lat`` run recovers exactly the six stages of the paper's Figure 10
+latency breakdown — measured from the simulated timeline rather than
+from the closed-form component model — so the two can be cross-checked:
+under the deterministic paper testbed they must agree within the paper's
+5% noise margin (in practice, exactly).
+
+The ACK return path is deliberately excluded: ACK frames carry the same
+message object as the data frame they acknowledge, so wire/switch spans
+are classified only when their ``kind`` attribute is ``"data"``, and
+PCIe spans only for the forward-path TLP purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.breakdown import Breakdown
+from repro.trace.tracer import Span, Tracer
+
+__all__ = [
+    "COMPONENT_LABELS",
+    "classify_span",
+    "critical_path",
+    "critical_path_breakdown",
+    "critical_path_report",
+]
+
+#: Figure-10 stage labels, in path order (initiator → target memory).
+COMPONENT_LABELS = ("llp_post", "tx_pcie", "wire", "switch", "rx_pcie", "rc_to_mem")
+
+
+def classify_span(span: Span) -> str | None:
+    """The Fig-10 component a span contributes to, or ``None``.
+
+    Only forward-path spans classify; progress loops, ACK frames,
+    doorbells and CQE writes return ``None``.
+    """
+    if span.layer == "llp" and span.name == "llp_post":
+        return "llp_post"
+    if span.layer == "pcie":
+        purpose = span.attrs.get("purpose")
+        if span.name == "tlp":
+            if purpose == "pio_post":
+                return "tx_pcie"
+            if purpose == "payload_write":
+                return "rx_pcie"
+        elif span.name == "rc_to_mem" and purpose == "payload_write":
+            return "rc_to_mem"
+    if span.layer == "network" and span.attrs.get("kind") == "data":
+        if span.name == "wire":
+            return "wire"
+        if span.name == "switch":
+            return "switch"
+    return None
+
+
+def critical_path(source: Tracer | Iterable[Span], msg_id: Any) -> list[Span]:
+    """The message's forward-path spans, ordered by start time.
+
+    ``source`` is a tracer or any iterable of closed spans (e.g. spans
+    reloaded from an exported Perfetto file).
+    """
+    if isinstance(source, Tracer):
+        spans = source.spans_for_message(msg_id)
+    else:
+        spans = sorted(
+            (s for s in source if s.attrs.get("msg") == msg_id),
+            key=lambda s: (s.t0, s.span_id),
+        )
+    return [span for span in spans if classify_span(span) is not None]
+
+
+def critical_path_breakdown(
+    source: Tracer | Iterable[Span], msg_id: Any
+) -> Breakdown:
+    """Per-component time of one message, as a :class:`Breakdown`.
+
+    Labels and order match :func:`repro.core.breakdown.fig10_latency_llp`
+    so the two are directly comparable (components absent from the traced
+    topology — e.g. ``switch`` on a direct-attached fabric — report 0).
+    """
+    totals = {label: 0.0 for label in COMPONENT_LABELS}
+    for span in critical_path(source, msg_id):
+        totals[classify_span(span)] += span.duration_ns
+    return Breakdown.build(f"Latency (traced, msg {msg_id})", totals)
+
+
+def critical_path_report(
+    source: Tracer | Iterable[Span],
+    msg_id: Any,
+    reference: Breakdown | None = None,
+) -> str:
+    """Human-readable per-component table, optionally vs a model."""
+    traced = critical_path_breakdown(source, msg_id)
+    lines = [f"critical path of message {msg_id}: {traced.total_ns:.2f} ns total"]
+    header = f"  {'component':<12} {'traced ns':>10} {'share':>7}"
+    if reference is not None:
+        header += f" {'model ns':>10} {'delta':>7}"
+    lines.append(header)
+    for label, value, percent in traced.as_rows():
+        row = f"  {label:<12} {value:>10.2f} {percent:>6.2f}%"
+        if reference is not None:
+            model = reference.value(label)
+            delta = (value - model) / model * 100.0 if model else 0.0
+            row += f" {model:>10.2f} {delta:>+6.2f}%"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Per-layer counters and duration histograms for traced runs.
+
+Aggregates are cheap enough to keep even for very long runs: counters
+are plain floats, and durations feed power-of-two bucket histograms
+(bucket *k* holds durations in ``[2^k, 2^(k+1))`` nanoseconds), which
+capture the 10 ns – 10 µs dynamic range of the modelled components in a
+couple dozen integers per (layer, name) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["DurationHistogram", "LayerMetrics"]
+
+#: Highest histogram bucket: 2^24 ns ≈ 16.8 ms, far above any single span.
+MAX_BUCKET = 24
+
+
+class DurationHistogram:
+    """Power-of-two bucketed histogram of span durations in nanoseconds."""
+
+    __slots__ = ("buckets", "count", "total_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.buckets = [0] * (MAX_BUCKET + 1)
+        self.count = 0
+        self.total_ns = 0.0
+        self.min_ns = float("inf")
+        self.max_ns = 0.0
+
+    def observe(self, duration_ns: float) -> None:
+        """Add one duration sample."""
+        index = 0
+        remaining = duration_ns
+        while remaining >= 2.0 and index < MAX_BUCKET:
+            remaining /= 2.0
+            index += 1
+        self.buckets[index] += 1
+        self.count += 1
+        self.total_ns += duration_ns
+        self.min_ns = min(self.min_ns, duration_ns)
+        self.max_ns = max(self.max_ns, duration_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        """Arithmetic mean of observed durations (0 when empty)."""
+        return self.total_ns / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-encodable digest (buckets trimmed of trailing zeros)."""
+        last = max((i for i, n in enumerate(self.buckets) if n), default=-1)
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "mean_ns": self.mean_ns,
+            "min_ns": self.min_ns if self.count else 0.0,
+            "max_ns": self.max_ns,
+            "log2_buckets": self.buckets[: last + 1],
+        }
+
+
+class LayerMetrics:
+    """Counters and histograms keyed by (layer, name)."""
+
+    __slots__ = ("_counters", "_histograms", "_instants")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, dict[str, float]] = {}
+        self._histograms: dict[str, dict[str, DurationHistogram]] = {}
+        self._instants: dict[str, dict[str, int]] = {}
+
+    def bump(self, layer: str, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` under ``layer``."""
+        layer_counters = self._counters.setdefault(layer, {})
+        layer_counters[name] = layer_counters.get(name, 0.0) + value
+
+    def observe_span(self, layer: str, name: str, duration_ns: float) -> None:
+        """Record one closed span's duration."""
+        histogram = self._histograms.setdefault(layer, {}).get(name)
+        if histogram is None:
+            histogram = self._histograms[layer][name] = DurationHistogram()
+        histogram.observe(duration_ns)
+
+    def observe_instant(self, layer: str, name: str) -> None:
+        """Record one instant event."""
+        layer_instants = self._instants.setdefault(layer, {})
+        layer_instants[name] = layer_instants.get(name, 0) + 1
+
+    def histogram(self, layer: str, name: str) -> DurationHistogram | None:
+        """The histogram for (layer, name), if any spans were observed."""
+        return self._histograms.get(layer, {}).get(name)
+
+    def counters(self) -> dict[str, dict[str, float]]:
+        """All explicit counters, nested ``{layer: {name: value}}``."""
+        return {layer: dict(names) for layer, names in self._counters.items()}
+
+    def per_layer(self) -> dict[str, Any]:
+        """Per-layer rollup: span counts, total time, per-name stats."""
+        layers = sorted(set(self._histograms) | set(self._instants))
+        rollup: dict[str, Any] = {}
+        for layer in layers:
+            histograms = self._histograms.get(layer, {})
+            rollup[layer] = {
+                "spans": sum(h.count for h in histograms.values()),
+                "total_ns": sum(h.total_ns for h in histograms.values()),
+                "instants": sum(self._instants.get(layer, {}).values()),
+                "by_name": {
+                    name: histogram.to_dict()
+                    for name, histogram in sorted(histograms.items())
+                },
+            }
+        return rollup

@@ -98,6 +98,51 @@ class TestCaching:
         assert result.values("value") == [9.0]
 
 
+class TestTracedCampaigns:
+    def _traced_spec(self, **kwargs) -> CampaignSpec:
+        defaults = dict(
+            name="runner-traced",
+            workload="am_lat",
+            base_config=SystemConfig.paper_testbed(deterministic=True),
+            params={"iterations": 20, "warmup": 5},
+            trace=True,
+        )
+        defaults.update(kwargs)
+        return CampaignSpec(**defaults)
+
+    def test_trace_summary_attached_to_records(self):
+        result = run_campaign(self._traced_spec())
+        (record,) = result.records
+        assert record.ok
+        assert record.trace is not None
+        assert record.trace["spans"] > 0
+        assert "llp" in record.trace["per_layer"]
+        assert "[traced:" in result.render()
+
+    def test_untraced_records_carry_no_trace(self):
+        result = run_campaign(self._traced_spec(trace=False))
+        (record,) = result.records
+        assert record.trace is None
+        assert "[traced:" not in result.render()
+
+    def test_traced_campaign_bypasses_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        # Prime the cache untraced, then re-run traced: the cached
+        # record has no trace, so it must not be served.
+        run_campaign(self._traced_spec(trace=False), cache_dir=cache_dir)
+        result = run_campaign(self._traced_spec(), cache_dir=cache_dir)
+        assert result.cache_hits == 0
+        assert result.records[0].trace is not None
+
+    def test_trace_round_trips_through_record_json(self):
+        from repro.campaign.records import RunRecord
+
+        result = run_campaign(self._traced_spec())
+        payload = result.records[0].to_dict()
+        rebuilt = RunRecord.from_dict(payload)
+        assert rebuilt.trace == result.records[0].trace
+
+
 class TestFailureIsolation:
     def _failing_spec(self, **kwargs) -> CampaignSpec:
         # 2 seeds × fail in (False, True): two OK points, two crashes.

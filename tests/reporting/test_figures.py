@@ -44,6 +44,79 @@ class TestSeries:
         assert "0.1234" in text
 
 
+class TestTimeline:
+    def make_spans(self):
+        from repro.sim.engine import Environment
+        from repro.trace import Tracer
+
+        env = Environment()
+        tracer = Tracer(env)
+        outer = tracer.begin("llp", "llp_post", track="cpu0", msg=1)
+        env.timeout(10.0)
+        env.run()
+        inner = tracer.begin("llp", "pio_copy", track="cpu0", msg=1)
+        env.timeout(90.0)
+        env.run()
+        tracer.end(inner)
+        tracer.end(outer)
+        return tracer.spans()
+
+    def test_rows_and_window(self):
+        from repro.reporting.figures import render_timeline
+
+        text = render_timeline(self.make_spans())
+        lines = text.splitlines()
+        assert "2 of 2 spans" in lines[0]
+        assert "[0.00, 100.00] ns" in lines[0]
+        assert "llp_post" in text and "pio_copy" in text
+        assert "cpu0" in text
+
+    def test_children_are_indented(self):
+        from repro.reporting.figures import render_timeline
+
+        text = render_timeline(self.make_spans())
+        child_row = next(l for l in text.splitlines() if "pio_copy" in l)
+        assert "  pio_copy" in child_row  # depth-1 indent
+
+    def test_limit_truncates_with_notice(self):
+        from repro.reporting.figures import render_timeline
+
+        spans = self.make_spans()
+        text = render_timeline(spans, limit=1)
+        assert "1 of 2 spans" in text
+        assert "1 more spans not shown" in text
+
+    def test_empty_and_validation(self):
+        import pytest as _pytest
+
+        from repro.reporting.figures import render_timeline
+
+        assert render_timeline([]) == "(no spans)"
+        with _pytest.raises(ValueError):
+            render_timeline([], width=5)
+        with _pytest.raises(ValueError):
+            render_timeline([], limit=0)
+
+    def test_renders_perfetto_reloaded_spans(self):
+        """Spans reloaded from an exported trace render identically."""
+        import json as _json
+
+        from repro.sim.engine import Environment
+        from repro.trace import Tracer, chrome_trace, spans_from_chrome
+        from repro.reporting.figures import render_timeline
+
+        env = Environment()
+        tracer = Tracer(env)
+        span = tracer.begin("llp", "llp_post", track="cpu0", msg=1)
+        env.timeout(100.0)
+        env.run()
+        tracer.end(span)
+
+        payload = _json.loads(_json.dumps(chrome_trace(tracer)))
+        reloaded = spans_from_chrome(payload)
+        assert render_timeline(reloaded) == render_timeline(tracer.spans())
+
+
 class TestTrace:
     def test_figure6_style_listing(self):
         from repro.bench import run_put_bw

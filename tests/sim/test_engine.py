@@ -79,6 +79,18 @@ class TestTimeout:
         with pytest.raises(SimulationError):
             Timeout(env, -1.0)
 
+    def test_negative_delay_error_names_event_and_now(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run()
+        event = env.event()
+        with pytest.raises(SimulationError) as excinfo:
+            env._schedule(event, 0, -2.5)
+        message = str(excinfo.value)
+        assert repr(event) in message  # which event was being scheduled
+        assert "delay=-2.5" in message
+        assert "now=10.0" in message
+
     def test_timeouts_fire_in_time_order(self):
         env = Environment()
         fired = []

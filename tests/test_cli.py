@@ -86,9 +86,55 @@ class TestBench:
         assert code == 0
         assert "injection overhead" in text
 
-    def test_unknown_workload_rejected(self):
-        with pytest.raises(SystemExit):
-            run_cli("bench", "nonsense")
+    def test_unknown_workload_exits_2_and_lists_options(self):
+        code, text = run_cli("bench", "nonsense")
+        assert code == 2
+        assert "unknown workload 'nonsense'" in text
+        assert "am_lat" in text and "put_bw" in text
+
+
+class TestTraceCommand:
+    def test_writes_valid_chrome_trace(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code, text = run_cli(
+            "trace", "am_lat", "--out", str(out_path), "--deterministic",
+            "--param", "iterations=20", "--param", "warmup=5",
+        )
+        assert code == 0
+        assert "critical path of message" in text
+        assert "llp_post" in text and "rc_to_mem" in text
+
+        payload = json.loads(out_path.read_text())
+        assert payload["displayTimeUnit"] == "ns"
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+
+    def test_timeline_flag_renders_rows(self, tmp_path):
+        code, text = run_cli(
+            "trace", "am_lat", "--out", str(tmp_path / "t.json"),
+            "--deterministic", "--param", "iterations=20",
+            "--param", "warmup=5", "--timeline", "10",
+        )
+        assert code == 0
+        assert "timeline:" in text
+        assert "spans not shown" in text
+
+    def test_unknown_workload_exits_2_and_lists_options(self, tmp_path):
+        code, text = run_cli(
+            "trace", "nonsense", "--out", str(tmp_path / "t.json")
+        )
+        assert code == 2
+        assert "unknown workload 'nonsense'" in text
+        assert "am_lat" in text
+
+    def test_bad_param_exits_2(self, tmp_path):
+        code, text = run_cli(
+            "trace", "am_lat", "--out", str(tmp_path / "t.json"),
+            "--param", "garbage",
+        )
+        assert code == 2
 
 
 class TestParser:

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "rdma_read.py",
     "custom_system.py",
     "ring_allreduce.py",
+    "trace_am_lat.py",
 ]
 
 

@@ -1,0 +1,132 @@
+"""Cross-validation: traced critical path vs the closed-form model.
+
+The tentpole acceptance test: the per-component latency breakdown
+extracted from one traced ``am_lat`` ping must agree with
+:func:`repro.core.breakdown.fig10_latency_llp` within the paper's 5%
+noise margin (deterministically, it agrees exactly).
+"""
+
+import pytest
+
+from repro.bench import run_am_lat
+from repro.core.breakdown import fig10_latency_llp
+from repro.core.components import ComponentTimes
+from repro.node import SystemConfig
+from repro.sim.engine import Environment
+from repro.trace import (
+    COMPONENT_LABELS,
+    Tracer,
+    classify_span,
+    critical_path,
+    critical_path_breakdown,
+    critical_path_report,
+    trace_session,
+)
+
+_SESSION = None
+
+
+def traced_am_lat():
+    """One traced deterministic am_lat run, shared across this module."""
+    global _SESSION
+    if _SESSION is None:
+        with trace_session() as session:
+            run_am_lat(
+                config=SystemConfig.paper_testbed(deterministic=True),
+                iterations=20,
+                warmup=5,
+            )
+        _SESSION = session
+    return _SESSION
+
+
+def full_path_message(spans):
+    """The last message whose forward path was fully captured."""
+    posted = [
+        s.attrs.get("msg")
+        for s in spans
+        if s.layer == "llp" and s.name == "llp_post"
+    ]
+    for msg_id in reversed(posted):
+        breakdown = critical_path_breakdown(spans, msg_id)
+        if breakdown.value("rc_to_mem") > 0 and breakdown.value("wire") > 0:
+            return msg_id
+    raise AssertionError("no fully traced message found")
+
+
+class TestClassification:
+    def make_span(self, layer, name, **attrs):
+        tracer = Tracer(Environment())
+        span = tracer.begin(layer, name, **attrs)
+        tracer.end(span)
+        return span
+
+    @pytest.mark.parametrize(
+        "layer,name,attrs,expected",
+        [
+            ("llp", "llp_post", {}, "llp_post"),
+            ("llp", "llp_prog", {}, None),
+            ("pcie", "tlp", {"purpose": "pio_post"}, "tx_pcie"),
+            ("pcie", "tlp", {"purpose": "payload_write"}, "rx_pcie"),
+            ("pcie", "tlp", {"purpose": "cqe_write"}, None),
+            ("pcie", "rc_to_mem", {"purpose": "payload_write"}, "rc_to_mem"),
+            ("pcie", "rc_to_mem", {"purpose": "cqe_write"}, None),
+            ("network", "wire", {"kind": "data"}, "wire"),
+            ("network", "wire", {"kind": "ack"}, None),  # return path excluded
+            ("network", "switch", {"kind": "data"}, "switch"),
+            ("network", "switch", {"kind": "ack"}, None),
+            ("hlp", "ucp_isend", {}, None),
+        ],
+    )
+    def test_classify(self, layer, name, attrs, expected):
+        assert classify_span(self.make_span(layer, name, **attrs)) == expected
+
+
+class TestCrossValidation:
+    def test_traced_breakdown_matches_fig10_within_5_percent(self):
+        session = traced_am_lat()
+        spans = session.spans()
+        msg_id = full_path_message(spans)
+        traced = critical_path_breakdown(spans, msg_id)
+        model = fig10_latency_llp(ComponentTimes.paper())
+
+        assert traced.total_ns == pytest.approx(model.total_ns, rel=0.05)
+        for label in COMPONENT_LABELS:
+            assert traced.value(label) == pytest.approx(
+                model.value(label), rel=0.05
+            ), label
+
+    def test_path_spans_are_time_ordered_and_complete(self):
+        session = traced_am_lat()
+        spans = session.spans()
+        msg_id = full_path_message(spans)
+        path = critical_path(spans, msg_id)
+        starts = [span.t0 for span in path]
+        assert starts == sorted(starts)
+        assert {classify_span(span) for span in path} == set(COMPONENT_LABELS)
+
+    def test_tracer_source_and_span_iterable_agree(self):
+        session = traced_am_lat()
+        msg_id = full_path_message(session.spans())
+        from_tracer = critical_path_breakdown(session.tracer, msg_id)
+        from_spans = critical_path_breakdown(session.spans(), msg_id)
+        # The session's primary tracer may not hold the message; compare
+        # only when it produced a non-empty path.
+        if from_tracer.total_ns > 0:
+            assert from_tracer.total_ns == pytest.approx(from_spans.total_ns)
+
+    def test_report_against_model(self):
+        session = traced_am_lat()
+        spans = session.spans()
+        msg_id = full_path_message(spans)
+        model = fig10_latency_llp(ComponentTimes.paper())
+        text = critical_path_report(spans, msg_id, reference=model)
+        assert f"critical path of message {msg_id}" in text
+        assert "model ns" in text
+        for label in COMPONENT_LABELS:
+            assert label in text
+
+    def test_missing_message_yields_empty_breakdown(self):
+        session = traced_am_lat()
+        breakdown = critical_path_breakdown(session.spans(), msg_id=-1)
+        assert breakdown.total_ns == 0.0

@@ -1,0 +1,75 @@
+"""Unit tests for per-layer metrics (repro.trace.metrics)."""
+
+from repro.trace.metrics import MAX_BUCKET, DurationHistogram, LayerMetrics
+
+
+class TestDurationHistogram:
+    def test_power_of_two_bucketing(self):
+        histogram = DurationHistogram()
+        histogram.observe(0.0)    # bucket 0: [0, 2)
+        histogram.observe(1.9)    # bucket 0
+        histogram.observe(2.0)    # bucket 1: [2, 4)
+        histogram.observe(100.0)  # bucket 6: [64, 128)
+        assert histogram.buckets[0] == 2
+        assert histogram.buckets[1] == 1
+        assert histogram.buckets[6] == 1
+        assert histogram.count == 4
+
+    def test_huge_duration_clamps_to_top_bucket(self):
+        histogram = DurationHistogram()
+        histogram.observe(1e12)
+        assert histogram.buckets[MAX_BUCKET] == 1
+
+    def test_statistics(self):
+        histogram = DurationHistogram()
+        for value in (10.0, 20.0, 30.0):
+            histogram.observe(value)
+        assert histogram.mean_ns == 20.0
+        assert histogram.min_ns == 10.0
+        assert histogram.max_ns == 30.0
+        assert histogram.total_ns == 60.0
+
+    def test_to_dict_trims_trailing_zero_buckets(self):
+        histogram = DurationHistogram()
+        histogram.observe(3.0)  # bucket 1
+        digest = histogram.to_dict()
+        assert digest["log2_buckets"] == [0, 1]
+        assert digest["count"] == 1
+        assert digest["mean_ns"] == 3.0
+
+    def test_empty_to_dict(self):
+        digest = DurationHistogram().to_dict()
+        assert digest["count"] == 0
+        assert digest["min_ns"] == 0.0
+        assert digest["log2_buckets"] == []
+
+
+class TestLayerMetrics:
+    def test_counters_nested_by_layer(self):
+        metrics = LayerMetrics()
+        metrics.bump("llp", "polls")
+        metrics.bump("llp", "polls", 4.0)
+        metrics.bump("hlp", "progress")
+        assert metrics.counters() == {
+            "llp": {"polls": 5.0},
+            "hlp": {"progress": 1.0},
+        }
+
+    def test_per_layer_rollup(self):
+        metrics = LayerMetrics()
+        metrics.observe_span("pcie", "tlp", 100.0)
+        metrics.observe_span("pcie", "tlp", 200.0)
+        metrics.observe_span("pcie", "rc_to_mem", 240.0)
+        metrics.observe_instant("pcie", "ack_dllp")
+        rollup = metrics.per_layer()
+        assert rollup["pcie"]["spans"] == 3
+        assert rollup["pcie"]["total_ns"] == 540.0
+        assert rollup["pcie"]["instants"] == 1
+        assert rollup["pcie"]["by_name"]["tlp"]["count"] == 2
+        assert rollup["pcie"]["by_name"]["tlp"]["mean_ns"] == 150.0
+
+    def test_histogram_lookup(self):
+        metrics = LayerMetrics()
+        assert metrics.histogram("llp", "post") is None
+        metrics.observe_span("llp", "post", 175.0)
+        assert metrics.histogram("llp", "post").count == 1
