@@ -10,6 +10,7 @@ changes have a machine-readable perf trajectory to compare against.
 """
 
 import json
+import os
 import pathlib
 import time
 import timeit
@@ -58,6 +59,10 @@ def _record(key: str, payload: dict) -> None:
 
 
 def test_put_bw_simulation_speed(benchmark):
+    # Best-of-N is the stable statistic on shared/noisy CI hosts: the
+    # minimum round is the least-perturbed execution, while the mean
+    # absorbs scheduler noise.  Both are recorded; events_per_s uses
+    # the best round.
     result = benchmark.pedantic(
         run_put_bw,
         kwargs=dict(
@@ -65,20 +70,22 @@ def test_put_bw_simulation_speed(benchmark):
             n_messages=200,
             warmup=100,
         ),
-        rounds=3,
+        rounds=5,
         iterations=1,
     )
     assert result.n_measured == 200
 
     env = result.testbed.env
     assert env.processed_events > 0
-    events_per_s = env.processed_events / benchmark.stats["mean"]
+    events_per_s = env.processed_events / benchmark.stats["min"]
     _record(
         "engine",
         {
             "workload": "put_bw",
             "events_processed": env.processed_events,
             "wall_s_mean": benchmark.stats["mean"],
+            "wall_s_best": benchmark.stats["min"],
+            "rounds": 5,
             "events_per_s": events_per_s,
         },
     )
@@ -174,7 +181,15 @@ def test_tracer_overhead():
 
 
 def test_campaign_parallel_speed(benchmark):
-    """Serial vs ``jobs=4`` wall-clock for the reference campaign."""
+    """Serial vs ``jobs=4`` wall-clock for the reference campaign.
+
+    The speedup is *recorded, not asserted*: it is bounded by the CPUs
+    the host actually grants (``cpus`` in the record — a 1-core CI
+    container legitimately reports ~1.0×).  With the chunked dispatch
+    each worker receives one strided slice of the pending points, so
+    whatever parallelism the host offers is not eaten by per-point
+    round-trips through the pool's task queue.
+    """
     t0 = time.perf_counter()
     serial = run_campaign(_reference_campaign(), jobs=1)
     serial_s = time.perf_counter() - t0
@@ -199,5 +214,7 @@ def test_campaign_parallel_speed(benchmark):
             "serial_wall_s": serial_s,
             "jobs4_wall_s": parallel_s,
             "speedup": serial_s / parallel_s if parallel_s else 0.0,
+            "cpus": os.cpu_count(),
+            "dispatch": "chunked",
         },
     )

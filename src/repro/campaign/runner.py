@@ -6,9 +6,12 @@ The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into a
 1. every point is first looked up in the on-disk result cache (when a
    ``cache_dir`` is given) — hits cost one JSON read;
 2. misses execute through a ``multiprocessing`` pool (``jobs > 1``) or
-   inline (``jobs == 1``).  A point that raises is captured as an
-   ``error`` record — with type, message and traceback — and the rest
-   of the campaign continues;
+   inline (``jobs == 1``).  Pending points are dealt into one strided
+   chunk per worker up front, so each worker receives a single task and
+   the per-point dispatch/pickle round-trips through the pool queue are
+   amortised across the whole campaign.  A point that raises is
+   captured as an ``error`` record — with type, message and traceback —
+   and the rest of the campaign continues;
 3. successful records are written back to the cache, so re-running an
    unchanged campaign recomputes nothing.
 
@@ -92,6 +95,16 @@ def _execute_point(payload: tuple) -> dict[str, Any]:
     return record
 
 
+def _execute_chunk(chunk: list[tuple]) -> list[dict[str, Any]]:
+    """Run one worker's slice of the pending points, in order.
+
+    Top-level so it pickles.  Executing a whole slice per pool task
+    keeps workers busy between points instead of round-tripping through
+    the pool's task queue once per point.
+    """
+    return [_execute_point(payload) for payload in chunk]
+
+
 def _point_payload(spec: CampaignSpec, point: SweepPoint, key: str) -> tuple:
     return (
         spec.name,
@@ -155,8 +168,17 @@ def run_campaign(
 
     if pending:
         if jobs > 1 and len(pending) > 1:
-            with _pool_context().Pool(min(jobs, len(pending))) as pool:
-                outcomes = pool.map(_execute_point, pending)
+            workers = min(jobs, len(pending))
+            # Strided deal: point i goes to worker i % workers, so long
+            # and short points interleave evenly across workers and each
+            # worker gets exactly one pool task for the whole campaign.
+            chunks = [pending[offset::workers] for offset in range(workers)]
+            with _pool_context().Pool(workers) as pool:
+                outcomes = [
+                    outcome
+                    for chunk_outcomes in pool.map(_execute_chunk, chunks, chunksize=1)
+                    for outcome in chunk_outcomes
+                ]
         else:
             outcomes = [_execute_point(payload) for payload in pending]
         for payload in outcomes:

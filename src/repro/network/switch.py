@@ -44,22 +44,35 @@ class Switch:
 
     def transmit(self, frame: Any) -> None:
         """Accept ``frame`` for forwarding (non-blocking)."""
-        self.env.process(self._forward(frame), name=f"{self.name}.fwd")
-
-    def _forward(self, frame: Any):
         tracer = self.env.tracer
         tspan = None
         if tracer.enabled:
             tspan = tracer.begin(
                 "network", "switch", track=self.name, **frame_trace_attrs(frame)
             )
-        yield self.env.timeout(self.config.switch_latency_ns)
+        self.env.defer(
+            self._after_hop, self.config.switch_latency_ns, args=(frame, tspan)
+        )
+
+    def _after_hop(self, frame: Any, tspan: Any) -> None:
         if self.egress_serialization_ns > 0:
-            yield self._egress.request()
-            yield self.env.timeout(self.egress_serialization_ns)
-            self._egress.release()
+
+            def granted(_event: Any) -> None:
+                self.env.defer(
+                    self._egress_done, self.egress_serialization_ns, args=(frame, tspan)
+                )
+
+            self._egress.request().add_callback(granted)
+        else:
+            self._emit(frame, tspan)
+
+    def _egress_done(self, frame: Any, tspan: Any) -> None:
+        self._egress.release()
+        self._emit(frame, tspan)
+
+    def _emit(self, frame: Any, tspan: Any) -> None:
         if tspan is not None:
-            tracer.end(tspan)
+            self.env.tracer.end(tspan)
         self.frames_forwarded += 1
         self.forward(frame)
 

@@ -68,9 +68,6 @@ class Wire:
 
     def transmit(self, frame: Any, frame_bytes: int = 0) -> None:
         """Launch ``frame`` down the wire (non-blocking)."""
-        self.env.process(self._carry(frame, frame_bytes), name=f"{self.name}.carry")
-
-    def _carry(self, frame: Any, frame_bytes: int):
         tracer = self.env.tracer
         tspan = None
         if tracer.enabled:
@@ -79,14 +76,28 @@ class Wire:
                 bytes=frame_bytes, **frame_trace_attrs(frame),
             )
         if self._serial is not None:
-            yield self._serial.request()
-            serialize = self.serialization(frame_bytes)
-            if serialize > 0:
-                yield self.env.timeout(serialize)
-            self._serial.release()
-        yield self.env.timeout(self.config.wire_latency_ns)
+
+            def granted(_event: Any) -> None:
+                serialize = self.serialization(frame_bytes)
+                if serialize > 0:
+                    self.env.defer(self._serialized, serialize, args=(frame, tspan))
+                else:
+                    self._serialized(frame, tspan)
+
+            self._serial.request().add_callback(granted)
+        else:
+            self.env.defer(
+                self._arrive, self.config.wire_latency_ns, args=(frame, tspan)
+            )
+
+    def _serialized(self, frame: Any, tspan: Any) -> None:
+        assert self._serial is not None
+        self._serial.release()
+        self.env.defer(self._arrive, self.config.wire_latency_ns, args=(frame, tspan))
+
+    def _arrive(self, frame: Any, tspan: Any) -> None:
         if tspan is not None:
-            tracer.end(tspan)
+            self.env.tracer.end(tspan)
         self.frames_carried += 1
         self.deliver(frame)
 

@@ -91,7 +91,7 @@ class Nic:
             self.env.tracer.instant(
                 "nic", "nic_arrival", track=self.name, msg=message.msg_id
             )
-        self.env.process(self._transmit(message), name=f"{self.name}.tx")
+        self._schedule_transmit(message)
 
     def _on_doorbell(self, message: Message) -> None:
         """DoorBell path: fetch the descriptor via DMA read (§2 step 2)."""
@@ -113,7 +113,7 @@ class Nic:
         if tlp.purpose == "cpld:md_fetch":
             message.stamp("md_fetched", self.env.now)
             if message.inline:
-                self.env.process(self._transmit(message), name=f"{self.name}.tx")
+                self._schedule_transmit(message)
             else:
                 # §2 step 3: fetch the payload with DMA reads, one per
                 # Max_Payload_Size segment.
@@ -121,7 +121,7 @@ class Nic:
         elif tlp.purpose == "cpld:payload_fetch":
             if self._segment_arrived(message):
                 message.stamp("payload_fetched", self.env.now)
-                self.env.process(self._transmit(message), name=f"{self.name}.tx")
+                self._schedule_transmit(message)
         elif tlp.purpose == "cpld:read_serve":
             if self._segment_arrived(tlp.message):
                 self._serve_read_response(tlp.message)
@@ -161,8 +161,8 @@ class Nic:
         self._pending_segments[message.msg_id] = remaining
         return False
 
-    def _transmit(self, message: Message):
-        """Launch the message onto the fabric (§2 step 4)."""
+    def _schedule_transmit(self, message: Message) -> None:
+        """Queue the adapter's tx processing, then launch (§2 step 4)."""
         if self.fabric is None:
             raise SimulationError(f"{self.name}: no fabric attached")
         tracer = self.env.tracer
@@ -171,11 +171,17 @@ class Nic:
             if tracer.enabled
             else None
         )
-        if self.config.tx_processing_ns > 0:
-            yield self.env.timeout(self.config.tx_processing_ns)
+        self.env.defer(
+            self._transmit, self.config.tx_processing_ns, args=(message, tspan)
+        )
+
+    def _transmit(self, message: Message, tspan: object) -> None:
+        """Launch the message onto the fabric."""
+        if self.fabric is None:  # pragma: no cover - checked at scheduling
+            raise SimulationError(f"{self.name}: no fabric attached")
         message.stamp("wire_out", self.env.now)
         if tspan is not None:
-            tracer.end(tspan)
+            self.env.tracer.end(tspan)
         self.messages_transmitted += 1
         destination = message.dst_nic or self.peer_name
         if message.op is MessageOp.GET:
@@ -196,7 +202,6 @@ class Nic:
             self.fabric.send_data(
                 self.name, destination, message, message.payload_bytes
             )
-        return None
 
     # -- fabric side --------------------------------------------------------------
     def on_network_frame(self, frame: NetworkFrame) -> None:
@@ -221,35 +226,34 @@ class Nic:
                 "nic", "target_nic", track=self.name, msg=message.msg_id
             )
         self.messages_received += 1
-        self.env.process(self._send_ack(frame), name=f"{self.name}.ack")
-        self.env.process(self._deliver_payload(message), name=f"{self.name}.rx")
-
-    def _send_ack(self, frame: NetworkFrame):
         if self.fabric is None:  # pragma: no cover - attach precedes traffic
             raise SimulationError(f"{self.name}: no fabric attached")
-        turnaround = self.fabric.config.ack_turnaround_ns
-        if turnaround > 0:
-            yield self.env.timeout(turnaround)
-        self.fabric.send_ack(frame)
-        return None
-
-    def _deliver_payload(self, message: Message):
-        """Write the received payload into host memory via the RC.
-
-        Payloads beyond the PCIe Max_Payload_Size are segmented into
-        multiple MWr TLPs; the payload is visible once the last
-        segment's RC-to-MEM completes.
-        """
+        self.env.defer(
+            self._emit_fabric_ack, self.fabric.config.ack_turnaround_ns, args=(frame,)
+        )
         tracer = self.env.tracer
         tspan = (
             tracer.begin("nic", "nic_rx", track=self.name, msg=message.msg_id)
             if tracer.enabled
             else None
         )
-        if self.config.rx_processing_ns > 0:
-            yield self.env.timeout(self.config.rx_processing_ns)
+        self.env.defer(
+            self._deliver_payload, self.config.rx_processing_ns, args=(message, tspan)
+        )
+
+    def _emit_fabric_ack(self, frame: NetworkFrame) -> None:
+        assert self.fabric is not None
+        self.fabric.send_ack(frame)
+
+    def _deliver_payload(self, message: Message, tspan: object) -> None:
+        """Write the received payload into host memory via the RC.
+
+        Payloads beyond the PCIe Max_Payload_Size are segmented into
+        multiple MWr TLPs; the payload is visible once the last
+        segment's RC-to-MEM completes.
+        """
         if tspan is not None:
-            tracer.end(tspan)
+            self.env.tracer.end(tspan)
         mailbox = self.memory.mailbox(message.recv_target)
 
         def deliver(msg: Message, when: float) -> None:
@@ -263,7 +267,6 @@ class Nic:
         self._dma_write_segmented(
             message, message.payload_bytes, "payload_write", deliver
         )
-        return None
 
     def _dma_write_segmented(
         self, message: Message, nbytes: int, purpose: str, deliver

@@ -261,7 +261,7 @@ class PcieLink:
         self._put_on_wire(port, tlp)
         if self.config.tlp_corruption_prob > 0 and not port.watchdog_running:
             port.watchdog_running = True
-            self.env.process(self._replay_watchdog(port), name=f"{self.name}.watchdog")
+            self._watchdog_arm(port, None)
 
     def _put_on_wire(self, port: _Port, tlp: Tlp) -> None:
         """Start one traversal (first transmission or replay)."""
@@ -269,15 +269,6 @@ class PcieLink:
             # Tap sits just before the endpoint: upstream packets are
             # observed as they leave the endpoint.
             self._tap(self.env.now, port.direction, tlp)
-        self.env.process(self._deliver(port, tlp), name=f"{self.name}.deliver")
-
-    def _corrupt(self) -> bool:
-        prob = self.config.tlp_corruption_prob
-        if prob <= 0 or self.rng is None:
-            return False
-        return bool(self.rng.random() < prob)
-
-    def _deliver(self, port: _Port, tlp: Tlp):
         tracer = self.env.tracer
         tspan = None
         if tracer.enabled:
@@ -290,41 +281,57 @@ class PcieLink:
                 bytes=tlp.payload_bytes,
             )
         if port.serialiser is not None:
-            yield port.serialiser.request()
-            serialize = tlp.payload_bytes / self.config.bandwidth_bytes_per_ns
-            if serialize > 0:
-                yield self.env.timeout(serialize)
-            port.serialiser.release()
-            yield self.env.timeout(self.config.base_latency_ns)
+            # Finite bandwidth: hold the tx serialiser for the
+            # serialisation time, then propagate.
+            def granted(_event: Event) -> None:
+                serialize = tlp.payload_bytes / self.config.bandwidth_bytes_per_ns
+                if serialize > 0:
+                    self.env.defer(self._serialized, serialize, args=(port, tlp, tspan))
+                else:
+                    self._serialized(port, tlp, tspan)
+
+            port.serialiser.request().add_callback(granted)
         else:
-            yield self.env.timeout(self.config.tlp_latency(tlp.payload_bytes))
+            self.env.defer(
+                self._deliver,
+                self.config.tlp_latency(tlp.payload_bytes),
+                args=(port, tlp, tspan),
+            )
+
+    def _serialized(self, port: _Port, tlp: Tlp, tspan: Any) -> None:
+        assert port.serialiser is not None
+        port.serialiser.release()
+        self.env.defer(
+            self._deliver, self.config.base_latency_ns, args=(port, tlp, tspan)
+        )
+
+    def _corrupt(self) -> bool:
+        prob = self.config.tlp_corruption_prob
+        if prob <= 0 or self.rng is None:
+            return False
+        return bool(self.rng.random() < prob)
+
+    def _deliver(self, port: _Port, tlp: Tlp, tspan: Any) -> None:
+        """The TLP reached the far end of the link: receive it."""
         if tspan is not None:
-            tracer.end(tspan)
+            self.env.tracer.end(tspan)
         direction = port.direction
         if self._corrupt():
             # LCRC failure: discard and NACK (once per error window).
             port.corrupted += 1
             if not port.rx_nack_outstanding:
                 port.rx_nack_outstanding = True
-                self.env.process(
-                    self._send_nack(port, port.rx_expected_seq - 1),
-                    name=f"{self.name}.nack",
-                )
+                self._schedule_nack(port, port.rx_expected_seq - 1)
             return
         if tlp.seq is not None and tlp.seq != port.rx_expected_seq:
             if tlp.seq < port.rx_expected_seq:
                 # Duplicate from an over-eager replay: drop, re-ACK so the
                 # transmitter clears its buffer.
-                self.env.process(
-                    self._acknowledge(direction, tlp), name=f"{self.name}.ack"
-                )
+                self._schedule_ack(direction, tlp)
             elif not port.rx_nack_outstanding:
                 # Gap: a predecessor was lost; NACK the last good one.
                 port.rx_nack_outstanding = True
-                self.env.process(
-                    self._send_nack(port, port.rx_expected_seq - 1),
-                    name=f"{self.name}.nack",
-                )
+                self._schedule_nack(port, port.rx_expected_seq - 1)
             return
         if tlp.seq is not None:
             port.rx_expected_seq = tlp.seq + 1
@@ -336,7 +343,7 @@ class PcieLink:
         if receiver is not None:
             receiver(tlp)
         # Link-layer ACK back to the transmitter.
-        self.env.process(self._acknowledge(direction, tlp), name=f"{self.name}.ack")
+        self._schedule_ack(direction, tlp)
         # Queue the freed credits for return via UpdateFC.
         credit_class = _credit_class(tlp)
         pending = port.pending_return[credit_class]
@@ -344,21 +351,45 @@ class PcieLink:
         pending[1] += data_credits_for(tlp.payload_bytes)
         if not port.updatefc_scheduled:
             port.updatefc_scheduled = True
-            self.env.process(self._return_credits(port), name=f"{self.name}.updatefc")
+            self.env.defer(
+                self._return_credits,
+                self.config.update_fc_interval_ns,
+                args=(port,),
+            )
 
-    def _acknowledge(self, direction: Direction, tlp: Tlp):
-        if self.config.ack_processing_ns > 0:
-            yield self.env.timeout(self.config.ack_processing_ns)
+    def _schedule_ack(self, direction: Direction, tlp: Tlp) -> None:
+        """ACK DLLP back to the transmitter, on the callback tier."""
         ack = Dllp(kind=DllpType.ACK, acked_seq=tlp.seq)
+        wire = self.config.tlp_latency(0)
         if direction is Direction.UPSTREAM:
             # ACK for an upstream TLP travels downstream; observed at the
             # endpoint on arrival.
-            yield self.env.timeout(self.config.tlp_latency(0))
-            self._tap(self.env.now, Direction.DOWNSTREAM, ack)
+            self.env.chain(
+                (self.config.ack_processing_ns, lambda: None),
+                (
+                    wire,
+                    lambda: self._ack_arrived(direction, tlp, ack, Direction.DOWNSTREAM),
+                ),
+            )
         else:
             # ACK for a downstream TLP leaves the endpoint immediately.
-            self._tap(self.env.now, Direction.UPSTREAM, ack)
-            yield self.env.timeout(self.config.tlp_latency(0))
+            self.env.chain(
+                (
+                    self.config.ack_processing_ns,
+                    lambda: self._tap(self.env.now, Direction.UPSTREAM, ack),
+                ),
+                (wire, lambda: self._ack_arrived(direction, tlp, ack, None)),
+            )
+
+    def _ack_arrived(
+        self,
+        direction: Direction,
+        tlp: Tlp,
+        ack: Dllp,
+        tap_direction: Direction | None,
+    ) -> None:
+        if tap_direction is not None:
+            self._tap(self.env.now, tap_direction, ack)
         if self.env.tracer.enabled:
             self.env.tracer.instant(
                 "pcie", "ack_dllp",
@@ -375,16 +406,29 @@ class PcieLink:
         for seq in [s for s in port.replay if s <= acked_seq]:
             del port.replay[seq]
 
-    def _send_nack(self, port: _Port, last_good_seq: int):
+    def _schedule_nack(self, port: _Port, last_good_seq: int) -> None:
         """NACK DLLP: "resend everything after last_good_seq"."""
         nack = Dllp(kind=DllpType.NACK, acked_seq=last_good_seq)
+        wire = self.config.tlp_latency(0)
         if port.direction is Direction.UPSTREAM:
-            yield self.env.timeout(self.config.tlp_latency(0))
-            self._tap(self.env.now, Direction.DOWNSTREAM, nack)
+            self.env.chain(
+                (wire, lambda: self._tap(self.env.now, Direction.DOWNSTREAM, nack)),
+                (
+                    self.config.replay_delay_ns,
+                    lambda: self._replay_after_nack(port, last_good_seq),
+                ),
+            )
         else:
-            self._tap(self.env.now, Direction.UPSTREAM, nack)
-            yield self.env.timeout(self.config.tlp_latency(0))
-        yield self.env.timeout(self.config.replay_delay_ns)
+            self.env.chain(
+                (0.0, lambda: self._tap(self.env.now, Direction.UPSTREAM, nack)),
+                (wire, lambda: None),
+                (
+                    self.config.replay_delay_ns,
+                    lambda: self._replay_after_nack(port, last_good_seq),
+                ),
+            )
+
+    def _replay_after_nack(self, port: _Port, last_good_seq: int) -> None:
         # Go-back-N: clear up to the last good seq, replay the rest in
         # sequence order.
         self._on_ack(port.direction, last_good_seq)
@@ -392,36 +436,56 @@ class PcieLink:
             port.retransmissions += 1
             self._put_on_wire(port, port.replay[seq])
 
-    def _replay_watchdog(self, port: _Port):
+    def _watchdog_arm(self, port: _Port, last_floor: int | None) -> None:
         """The REPLAY_TIMER: replay unprompted when recovery stalls.
 
-        Runs only on fault-injection configurations; exits once the
-        replay buffer drains so healthy quiescent links hold no live
-        processes.
+        Armed only on fault-injection configurations; stops re-arming
+        once the replay buffer drains so healthy quiescent links hold no
+        live calendar entries.
         """
-        last_floor: int | None = None
-        while port.replay:
-            floor = min(port.replay)
-            yield self.env.timeout(self.config.replay_timeout_ns)
-            if not port.replay:
-                break
-            if min(port.replay) == floor == last_floor:
-                # No progress across a full timeout window: replay.
-                for seq in sorted(port.replay):
-                    port.retransmissions += 1
-                    self._put_on_wire(port, port.replay[seq])
-            last_floor = floor
-        port.watchdog_running = False
+        if not port.replay:
+            port.watchdog_running = False
+            return
+        floor = min(port.replay)
+        self.env.defer(
+            self._watchdog_fire,
+            self.config.replay_timeout_ns,
+            args=(port, floor, last_floor),
+        )
+
+    def _watchdog_fire(
+        self, port: _Port, floor: int, last_floor: int | None
+    ) -> None:
+        if not port.replay:
+            port.watchdog_running = False
+            return
+        if min(port.replay) == floor == last_floor:
+            # No progress across a full timeout window: replay.
+            for seq in sorted(port.replay):
+                port.retransmissions += 1
+                self._put_on_wire(port, port.replay[seq])
+        self._watchdog_arm(port, floor)
 
     def corruption_stats(self, direction: Direction) -> tuple[int, int]:
         """(corrupted TLPs, retransmissions) for ``direction``."""
         port = self._ports[direction]
         return port.corrupted, port.retransmissions
 
-    def _return_credits(self, port: _Port):
-        yield self.env.timeout(self.config.update_fc_interval_ns)
+    def _return_credits(self, port: _Port) -> None:
+        """The lazy UpdateFC timer fired: return freed credits per class."""
         port.updatefc_scheduled = False
-        for credit_class, pending in port.pending_return.items():
+        self._return_next_class(port, list(port.pending_return))
+
+    def _return_next_class(self, port: _Port, classes: list[str]) -> None:
+        """Send one class's UpdateFC; continue with the rest after it lands.
+
+        Pending counts are read at each class's send time (not snapshot
+        at timer expiry), matching the original sweep that interleaved
+        per-class wire delays with live accumulation.
+        """
+        while classes:
+            credit_class = classes.pop(0)
+            pending = port.pending_return[credit_class]
             headers, data = pending
             if headers == 0 and data == 0:
                 continue
@@ -432,14 +496,36 @@ class PcieLink:
             )
             # The UpdateFC travels back to the transmitter of this
             # direction; observe it at the endpoint end.
+            wire = self.config.tlp_latency(0)
             if port.direction is Direction.DOWNSTREAM:
                 self._tap(self.env.now, Direction.UPSTREAM, update)
-                yield self.env.timeout(self.config.tlp_latency(0))
+                self.env.defer(
+                    self._credits_returned,
+                    wire,
+                    args=(port, classes, credit_class, headers, data, None),
+                )
             else:
-                yield self.env.timeout(self.config.tlp_latency(0))
-                self._tap(self.env.now, Direction.DOWNSTREAM, update)
-            port.pools[credit_class].replenish(headers, data)
+                self.env.defer(
+                    self._credits_returned,
+                    wire,
+                    args=(port, classes, credit_class, headers, data, update),
+                )
+            return
         self._drain_backlog(port)
+
+    def _credits_returned(
+        self,
+        port: _Port,
+        classes: list[str],
+        credit_class: str,
+        headers: int,
+        data: int,
+        update: Dllp | None,
+    ) -> None:
+        if update is not None:
+            self._tap(self.env.now, Direction.DOWNSTREAM, update)
+        port.pools[credit_class].replenish(headers, data)
+        self._return_next_class(port, classes)
 
     def _drain_backlog(self, port: _Port) -> None:
         while port.backlog:

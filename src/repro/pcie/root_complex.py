@@ -17,6 +17,8 @@ fabric.  On the paper's data path it does three things:
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.pcie.config import PcieConfig
 from repro.pcie.link import Direction, PcieLink, _traced_msg_id
 from repro.pcie.packets import Tlp, TlpType
@@ -88,38 +90,53 @@ class RootComplex:
         self.mmio_writes += 1
         if self.config.rc_mmio_processing_ns > 0:
             accepted = Event(self.env)
-            self.env.process(self._delayed_mmio(tlp, accepted), name=f"{self.name}.mmio")
+            self.env.defer(
+                self._forward_mmio,
+                self.config.rc_mmio_processing_ns,
+                args=(tlp, accepted),
+            )
             return accepted
         return self.link.send(Direction.DOWNSTREAM, tlp)
 
-    def _delayed_mmio(self, tlp: Tlp, accepted: Event):
-        yield self.env.timeout(self.config.rc_mmio_processing_ns)
+    def _forward_mmio(self, tlp: Tlp, accepted: Event) -> None:
         inner = self.link.send(Direction.DOWNSTREAM, tlp)
-        yield inner
-        accepted.succeed(inner.value)
+        inner.add_callback(lambda event: accepted.succeed(event._value))
 
     # -- endpoint-facing side ----------------------------------------------------
     def _on_upstream_tlp(self, tlp: Tlp) -> None:
         if tlp.kind is TlpType.MWR:
-            self.env.process(self._dma_write(tlp), name=f"{self.name}.dma_write")
+            tracer = self.env.tracer
+            tspan = None
+            if tracer.enabled:
+                tspan = tracer.begin(
+                    "pcie", "rc_to_mem", track=self.name,
+                    msg=_traced_msg_id(tlp), purpose=tlp.purpose,
+                    bytes=tlp.payload_bytes,
+                )
+            self.env.defer(
+                self._dma_write_done,
+                self.config.rc_to_mem(tlp.payload_bytes),
+                args=(tlp, tspan),
+            )
         elif tlp.kind is TlpType.MRD:
-            self.env.process(self._dma_read(tlp), name=f"{self.name}.dma_read")
+            tracer = self.env.tracer
+            tspan = None
+            if tracer.enabled:
+                tspan = tracer.begin(
+                    "pcie", "mem_read", track=self.name,
+                    msg=_traced_msg_id(tlp), purpose=tlp.purpose,
+                    bytes=tlp.read_bytes,
+                )
+            self.env.defer(
+                self._dma_read_done, self.config.mem_read_ns, args=(tlp, tspan)
+            )
         # CplD upstream would answer an RC-initiated read; the modelled
         # data path never issues one.
 
-    def _dma_write(self, tlp: Tlp):
-        """Execute an endpoint DMA write: RC-to-MEM(xB) then visibility."""
-        tracer = self.env.tracer
-        tspan = None
-        if tracer.enabled:
-            tspan = tracer.begin(
-                "pcie", "rc_to_mem", track=self.name,
-                msg=_traced_msg_id(tlp), purpose=tlp.purpose,
-                bytes=tlp.payload_bytes,
-            )
-        yield self.env.timeout(self.config.rc_to_mem(tlp.payload_bytes))
+    def _dma_write_done(self, tlp: Tlp, tspan: Any) -> None:
+        """RC-to-MEM(xB) elapsed: the DMA write is visible."""
         if tspan is not None:
-            tracer.end(tspan)
+            self.env.tracer.end(tspan)
         self.dma_writes += 1
         self._deliver(tlp)
 
@@ -136,19 +153,10 @@ class RootComplex:
                 f"deliver_to must be callable or Store-like, got {type(target).__name__}"
             )
 
-    def _dma_read(self, tlp: Tlp):
+    def _dma_read_done(self, tlp: Tlp, tspan: Any) -> None:
         """Answer an endpoint DMA read with a CplD after the memory read."""
-        tracer = self.env.tracer
-        tspan = None
-        if tracer.enabled:
-            tspan = tracer.begin(
-                "pcie", "mem_read", track=self.name,
-                msg=_traced_msg_id(tlp), purpose=tlp.purpose,
-                bytes=tlp.read_bytes,
-            )
-        yield self.env.timeout(self.config.mem_read_ns)
         if tspan is not None:
-            tracer.end(tspan)
+            self.env.tracer.end(tspan)
         self.dma_reads += 1
         completion = Tlp(
             kind=TlpType.CPLD,

@@ -15,7 +15,10 @@ Public surface
 --------------
 
 :class:`Environment`
-    The simulation clock and scheduler.
+    The simulation clock and scheduler.  Besides the generator tier it
+    exposes a callback fast tier — :meth:`Environment.defer` and
+    :meth:`Environment.chain` — that schedules plain callables with no
+    event or generator allocation (see :mod:`repro.sim.engine`).
 :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`AllOf`, :class:`AnyOf`
     Awaitable primitives.
 :class:`Store`, :class:`Channel`, :class:`Resource`
@@ -25,7 +28,9 @@ Public surface
 """
 
 from repro.sim.engine import (
+    NORMAL,
     NULL_TRACER,
+    URGENT,
     AllOf,
     AnyOf,
     Environment,
@@ -49,7 +54,9 @@ __all__ = [
     "Event",
     "Interrupt",
     "JitterModel",
+    "NORMAL",
     "NULL_TRACER",
+    "URGENT",
     "NullTracer",
     "Process",
     "RandomStreams",

@@ -1,9 +1,25 @@
 """Event loop and process primitives for the simulation kernel.
 
 The engine follows the classic event-calendar design: a binary heap of
-``(time, priority, sequence, event)`` tuples.  Ties at the same simulated
-time are broken first by an explicit priority (URGENT before NORMAL) and
-then by insertion order, which keeps runs fully deterministic.
+``(time, priority, sequence, item, args)`` tuples.  Ties at the same
+simulated time are broken first by an explicit priority (URGENT before
+NORMAL) and then by insertion order, which keeps runs fully
+deterministic.
+
+The kernel is **two-tier**:
+
+- the :class:`Process` tier wraps Python generators for stateful actors
+  (progress engines, benchmark drivers) that block, wait on events and
+  get interrupted;
+- the **callback tier** (:meth:`Environment.defer` /
+  :meth:`Environment.chain`) schedules plain callables directly on the
+  calendar with no :class:`Event`, generator or :class:`Process`
+  allocation.  The per-packet hardware machinery (TLP delivery, ACK
+  DLLPs, wire propagation, switch forwarding, DMA engines) runs on this
+  tier; it is several times cheaper per occurrence.
+
+Both tiers share one calendar, one clock and one tie-breaking order, so
+mixing them cannot reorder simultaneous work nondeterministically.
 
 Time is a ``float`` measured in **nanoseconds** throughout the project;
 the communication components modelled by the paper all live in the
@@ -186,6 +202,26 @@ class Event:
             raise SimulationError("event value is not yet available")
         return self._value
 
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when this event is processed.
+
+        The bridge from the callback tier to events: continuation-style
+        code (e.g. a deferred hardware step waiting on a
+        :class:`~repro.sim.resources.Resource` grant) attaches its next
+        step here instead of yielding from a generator.
+
+        Raises
+        ------
+        SimulationError
+            If the event has already been processed — its callbacks have
+            run and this one would be silently dropped.
+        """
+        if self.callbacks is None:
+            raise SimulationError(
+                f"cannot add a callback to already-processed {self!r}"
+            )
+        self.callbacks.append(callback)
+
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
@@ -284,7 +320,7 @@ class Process(Event):
     simply by yielding the other process.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "_interrupt_pending", "name")
 
     def __init__(
         self,
@@ -299,6 +335,7 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._waiting_on: Event | None = None
+        self._interrupt_pending = False
         self.name = name or getattr(generator, "__name__", "process")
         _Initialize(env, self)
 
@@ -313,9 +350,15 @@ class Process(Event):
         Interrupting a finished process is an error; interrupting a
         process that is waiting on an event detaches it from that event
         first so the event's eventual firing does not resume it twice.
+        Interrupts **coalesce**: a second interrupt issued while one is
+        already scheduled but not yet delivered is dropped (the first
+        cause wins), so the generator is never advanced twice for one
+        wake-up.
         """
         if self._triggered:
             raise SimulationError(f"cannot interrupt finished {self.name!r}")
+        if self._interrupt_pending:
+            return
         target = self._waiting_on
         if target is not None and target.callbacks is not None:
             try:
@@ -323,6 +366,7 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
+        self._interrupt_pending = True
         failed = Event(self.env)
         failed._ok = False
         failed._value = Interrupt(cause)
@@ -335,6 +379,7 @@ class Process(Event):
         """Advance the generator with the outcome of ``event``."""
         self.env._active_process = self
         self._waiting_on = None
+        self._interrupt_pending = False
         try:
             if event._ok:
                 target = self._generator.send(event._value)
@@ -462,7 +507,10 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: The calendar.  ``item`` is an :class:`Event` when ``args`` is
+        #: ``None``, otherwise a plain callable invoked as
+        #: ``item(*args)`` (the callback fast tier).
+        self._queue: list[tuple[float, int, int, Any, tuple | None]] = []
         self._sequence = 0
         self._processed_events = 0
         self._active_process: Process | None = None
@@ -472,9 +520,11 @@ class Environment:
         self.tracer: Any = (
             _tracer_factory(self) if _tracer_factory is not None else NULL_TRACER
         )
-        #: Optional callback ``(when, event)`` invoked for every event the
-        #: scheduler processes, before its callbacks run.
-        self.on_event: Callable[[float, Event], None] | None = None
+        #: Optional callback ``(when, item)`` invoked for every calendar
+        #: entry the scheduler processes, before it runs.  ``item`` is
+        #: the :class:`Event`, or the bare callable for callback-tier
+        #: entries.
+        self.on_event: Callable[[float, Any], None] | None = None
 
     @property
     def now(self) -> float:
@@ -525,19 +575,78 @@ class Environment:
             )
         self._sequence += 1
         heapq.heappush(
-            self._queue, (self._now + delay, priority, self._sequence, event)
+            self._queue, (self._now + delay, priority, self._sequence, event, None)
         )
 
+    def defer(
+        self,
+        fn: Callable[..., Any],
+        delay: float = 0.0,
+        priority: int = NORMAL,
+        args: tuple = (),
+    ) -> None:
+        """Schedule ``fn(*args)`` on the calendar ``delay`` ns from now.
+
+        The callback fast tier: one heap entry, no :class:`Event` or
+        generator allocation.  The callable runs exactly as an event at
+        the same ``(time, priority, insertion order)`` would — both
+        tiers share one calendar and one tie-break rule.  Exceptions
+        raised by ``fn`` propagate out of :meth:`step`/:meth:`run`
+        (callback-tier work must never die silently).
+
+        Use for fire-and-forget hardware machinery; keep stateful actors
+        that wait, block or get interrupted on the :class:`Process` tier.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot defer {fn!r} into the past: "
+                f"delay={delay!r} at now={self._now!r}"
+            )
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, fn, args)
+        )
+
+    def chain(
+        self,
+        *steps: tuple[float, Callable[[], Any]],
+        priority: int = NORMAL,
+    ) -> None:
+        """Run ``(delay, fn)`` steps sequentially on the callback tier.
+
+        Each step is scheduled only when the previous one fires, so the
+        clock advances exactly as a generator yielding one timeout per
+        step would: step *k* runs at ``(...((now + d0) + d1)... + dk)``
+        — the same floating-point sum, bit for bit.  An exception in a
+        step surfaces and abandons the remaining steps.
+        """
+        if not steps:
+            return
+        index = 0
+
+        def advance() -> None:
+            nonlocal index
+            fn = steps[index][1]
+            index += 1
+            fn()
+            if index < len(steps):
+                self.defer(advance, steps[index][0], priority)
+
+        self.defer(advance, steps[0][0], priority)
+
     def step(self) -> None:
-        """Process exactly one event from the calendar."""
+        """Process exactly one entry from the calendar."""
         if not self._queue:
             raise SimulationError("attempt to step an empty event calendar")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _priority, _seq, item, args = heapq.heappop(self._queue)
         self._now = when
         self._processed_events += 1
         if self.on_event is not None:
-            self.on_event(when, event)
-        event._mark_processed()
+            self.on_event(when, item)
+        if args is None:
+            item._mark_processed()
+        else:
+            item(*args)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -151,12 +151,11 @@ class Channel:
     def put(self, item: Any) -> None:
         """Launch ``item`` into the channel (non-blocking for the sender)."""
         self._in_flight += 1
-        self.env.process(self._deliver(item), name=f"{self.name}.deliver")
+        self.env.defer(self._deliver, self.latency, args=(item,))
 
-    def _deliver(self, item: Any):
-        yield self.env.timeout(self.latency)
+    def _deliver(self, item: Any) -> None:
         self._in_flight -= 1
-        yield self._store.put(item)
+        self._store.put(item)
 
     def get(self) -> Event:
         """Receive the next delivered item (blocking)."""

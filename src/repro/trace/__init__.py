@@ -40,6 +40,7 @@ from repro.trace.critical_path import (
     critical_path_breakdown,
     critical_path_report,
 )
+from repro.trace.golden import timeline_digest, timeline_lines
 from repro.trace.metrics import DurationHistogram, LayerMetrics
 from repro.trace.perfetto import (
     chrome_trace,
@@ -63,6 +64,8 @@ __all__ = [
     "critical_path_report",
     "span_forest",
     "spans_from_chrome",
+    "timeline_digest",
+    "timeline_lines",
     "trace_session",
     "write_chrome_trace",
 ]

@@ -1,0 +1,85 @@
+"""Golden-timeline digests: deterministic fingerprints of a traced run.
+
+The kernel promises bit-identical virtual-time behaviour for seeded
+runs — across repeated executions *and* across refactors of the event
+kernel itself.  This module reduces everything a
+:class:`~repro.trace.TraceSession` recorded to two stable SHA-256
+digests so that promise is testable with a one-line assertion:
+
+``exact``
+    Hash over the record stream in *begin order* (span-id order per
+    tracer).  Two runs with equal ``exact`` digests recorded the same
+    events, at the same virtual times, in the same order.
+``sorted``
+    Hash over the lexicographically sorted record lines.  Insensitive
+    to the relative order of records that carry identical timestamps,
+    but still sensitive to every virtual timestamp, layer, name, track
+    and attribute.  This is the digest pinned across kernel refactors:
+    a refactor may legally reorder *simultaneous* bookkeeping (e.g. by
+    collapsing interior calendar hops) but must never move an
+    observable event in virtual time.
+
+Timestamps are rendered with :meth:`float.hex`, so the digests are
+sensitive to the last bit of every double — "close enough" does not
+pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.tracer import Span, Tracer
+
+__all__ = ["timeline_digest", "timeline_lines"]
+
+
+def _render(value: Any) -> Any:
+    """Canonical JSON-encodable rendering of one attribute value."""
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _line(kind: str, span: "Span") -> str:
+    attrs = {key: _render(val) for key, val in sorted(span.attrs.items())}
+    record = [
+        kind,
+        span.layer,
+        span.name,
+        span.track,
+        float(span.t0).hex(),
+        float(span.t1).hex() if span.t1 is not None else "open",
+        attrs,
+    ]
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def timeline_lines(tracers: Iterable["Tracer"]) -> list[str]:
+    """One canonical text line per recorded span/instant, in begin order."""
+    lines: list[str] = []
+    for tracer in tracers:
+        records = [("span", span) for span in tracer.spans()]
+        records += [("instant", mark) for mark in tracer.instants()]
+        # span_id is allocated at begin time from a single per-tracer
+        # counter shared by spans and instants, so sorting by it yields
+        # the stream in the order the run emitted it.
+        records.sort(key=lambda pair: pair[1].span_id)
+        lines.extend(_line(kind, span) for kind, span in records)
+    return lines
+
+
+def timeline_digest(tracers: Iterable["Tracer"]) -> dict[str, Any]:
+    """Digest of everything ``tracers`` recorded.
+
+    Returns ``{"events": N, "exact": sha256, "sorted": sha256}``; see
+    the module docstring for what each hash is sensitive to.
+    """
+    lines = timeline_lines(tracers)
+    exact = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+    in_order = hashlib.sha256("\n".join(sorted(lines)).encode()).hexdigest()
+    return {"events": len(lines), "exact": exact, "sorted": in_order}

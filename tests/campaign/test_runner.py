@@ -98,6 +98,53 @@ class TestCaching:
         assert result.values("value") == [9.0]
 
 
+class TestChunkedDispatch:
+    """jobs>1 deals pending points into one strided chunk per worker."""
+
+    def test_more_jobs_than_points_still_completes(self):
+        spec = _selftest_spec(axes=(SweepAxis("value", (1.0, 2.0)),))
+        result = run_campaign(spec, jobs=8)
+        assert result.values("value") == [1.0, 2.0]
+        assert not result.failures
+
+    def test_chunk_preserves_point_order_and_isolates_failures(self):
+        from repro.campaign.runner import _execute_chunk, _point_payload
+
+        spec = CampaignSpec(
+            name="chunk-order",
+            workload="selftest",
+            base_config=SystemConfig.paper_testbed(),
+            axes=(SweepAxis("fail", (False, True, False)),),
+        )
+        payloads = [
+            _point_payload(spec, point, key=f"key{point.index}")
+            for point in spec.points()
+        ]
+        outcomes = _execute_chunk(payloads)
+        assert [outcome["index"] for outcome in outcomes] == [0, 1, 2]
+        assert [outcome["status"] for outcome in outcomes] == ["ok", "error", "ok"]
+
+    def test_partial_cache_interleaves_with_chunked_misses(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        primed = CampaignSpec(
+            name="runner-sim",
+            workload="put_oneway_latency",
+            base_config=SystemConfig.paper_testbed(deterministic=True),
+            axes=(
+                SweepAxis("payload_bytes", (8,)),
+                SweepAxis("nic.txq_depth", (2, 16)),
+            ),
+            seeds=(2019, 2020),
+        )
+        run_campaign(primed, jobs=1, cache_dir=cache_dir)
+        full = run_campaign(_sim_spec(), jobs=4, cache_dir=cache_dir)
+        assert full.cache_hits == 4
+        assert [r.index for r in full.records] == list(range(8))
+        assert full.measurements_json() == run_campaign(
+            _sim_spec(), jobs=1
+        ).measurements_json()
+
+
 class TestTracedCampaigns:
     def _traced_spec(self, **kwargs) -> CampaignSpec:
         defaults = dict(

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.sim import (
+    NORMAL,
+    URGENT,
     AllOf,
     AnyOf,
     Environment,
@@ -230,6 +232,149 @@ class TestProcess:
         assert not proc.is_alive
 
 
+class TestCallbackTier:
+    """The defer/chain fast path shares the calendar with the event tier."""
+
+    def test_defer_runs_at_scheduled_time_with_args(self):
+        env = Environment()
+        seen = []
+        env.defer(lambda a, b: seen.append((env.now, a, b)), 12.5, args=(1, 2))
+        env.run()
+        assert seen == [(12.5, 1, 2)]
+
+    def test_defer_default_delay_is_now(self):
+        env = Environment(initial_time=100.0)
+        seen = []
+        env.defer(lambda: seen.append(env.now))
+        env.run()
+        assert seen == [100.0]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError, match="into the past"):
+            env.defer(lambda: None, -1.0)
+
+    def test_callbacks_interleave_with_events_by_priority_then_fifo(self):
+        # At one timestamp: URGENT entries (either tier) fire before
+        # NORMAL ones, and within a priority insertion order rules —
+        # exactly the event-tier tie-break.
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(5)
+            order.append(tag)
+
+        env.process(proc("event-normal"))
+        env.step()  # run _Initialize so the Timeout enters the calendar now
+        env.defer(lambda: order.append("cb-normal"), 5.0)
+        env.defer(lambda: order.append("cb-urgent"), 5.0, priority=URGENT)
+        env.defer(lambda: order.append("cb-normal-2"), 5.0, priority=NORMAL)
+        env.run()
+        assert order == ["cb-urgent", "event-normal", "cb-normal", "cb-normal-2"]
+
+    def test_exception_in_deferred_callback_propagates(self):
+        env = Environment()
+
+        def boom():
+            raise RuntimeError("deferred failure")
+
+        env.defer(boom, 1.0)
+        with pytest.raises(RuntimeError, match="deferred failure"):
+            env.run()
+
+    def test_on_event_hook_sees_bare_callables(self):
+        env = Environment()
+        seen = []
+        env.on_event = lambda when, item: seen.append((when, item))
+
+        def cb():
+            pass
+
+        env.defer(cb, 3.0)
+        env.timeout(4.0)
+        env.run()
+        assert (3.0, cb) in seen
+        assert any(isinstance(item, Timeout) for _, item in seen)
+
+    def test_defer_counts_toward_processed_events(self):
+        env = Environment()
+        env.defer(lambda: None)
+        env.defer(lambda: None, 1.0)
+        env.run()
+        assert env.processed_events == 2
+
+    def test_chain_hops_accumulate_like_sequential_timeouts(self):
+        env = Environment()
+        ticks = []
+        env.chain(
+            (0.1, lambda: ticks.append(env.now)),
+            (0.2, lambda: ticks.append(env.now)),
+            (0.0, lambda: ticks.append(env.now)),
+        )
+        env.run()
+        # Bit-exact float sums, hop by hop: (0+0.1), ((0+0.1)+0.2), ...
+        assert ticks == [0.1, 0.1 + 0.2, 0.1 + 0.2 + 0.0]
+
+    def test_chain_steps_schedule_lazily(self):
+        # Step k+1 must not be on the calendar until step k fired, so
+        # work injected between steps at the same time still interleaves
+        # in insertion order.
+        env = Environment()
+        order = []
+        env.chain(
+            (1.0, lambda: order.append("first")),
+            (0.0, lambda: order.append("third")),
+        )
+
+        def racer():
+            yield env.timeout(1.0)
+            order.append("second")
+
+        env.process(racer())
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_empty_chain_is_a_no_op(self):
+        env = Environment()
+        env.chain()
+        assert env.peek() == float("inf")
+
+    def test_chain_exception_abandons_remaining_steps(self):
+        env = Environment()
+        ran = []
+
+        def boom():
+            raise ValueError("mid-chain")
+
+        env.chain(
+            (1.0, lambda: ran.append("ok")),
+            (1.0, boom),
+            (1.0, lambda: ran.append("never")),
+        )
+        with pytest.raises(ValueError, match="mid-chain"):
+            env.run()
+        assert ran == ["ok"]
+        env.run()  # the rest of the chain is gone, not merely delayed
+        assert ran == ["ok"]
+
+    def test_add_callback_on_processed_event_rejected(self):
+        env = Environment()
+        event = env.event().succeed("done")
+        env.run()
+        with pytest.raises(SimulationError, match="already-processed"):
+            event.add_callback(lambda e: None)
+
+    def test_add_callback_runs_like_direct_append(self):
+        env = Environment()
+        event = env.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed(7)
+        env.run()
+        assert seen == [7]
+
+
 class TestConditions:
     def test_all_of_waits_for_every_event(self):
         env = Environment()
@@ -397,6 +542,60 @@ class TestEdgeCases:
         env.run()
         assert outcomes == [("interrupt", "stop")]
         assert not proc.is_alive
+
+    def test_double_interrupt_coalesces_first_cause_wins(self):
+        # Regression: two interrupts issued before the victim resumes
+        # used to advance the generator twice — the second delivery
+        # landed wherever the generator had moved on to.  They must
+        # coalesce into a single Interrupt carrying the first cause.
+        env = Environment()
+        outcomes = []
+
+        def sleeper():
+            try:
+                yield env.timeout(1000)
+            except Interrupt as interrupt:
+                outcomes.append(("interrupt", env.now, interrupt.cause))
+            yield env.timeout(7)
+            outcomes.append(("resumed", env.now))
+
+        victim = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(42)
+            victim.interrupt(cause="first")
+            victim.interrupt(cause="second")
+            victim.interrupt(cause="third")
+
+        env.process(interrupter())
+        env.run()
+        assert outcomes == [("interrupt", 42.0, "first"), ("resumed", 49.0)]
+        assert not victim.is_alive
+
+    def test_interrupt_usable_again_after_delivery(self):
+        # Coalescing clears once the pending interrupt is delivered: a
+        # later, separate interrupt must go through.
+        env = Environment()
+        causes = []
+
+        def sleeper():
+            for _ in range(2):
+                try:
+                    yield env.timeout(1000)
+                except Interrupt as interrupt:
+                    causes.append(interrupt.cause)
+
+        victim = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(10)
+            victim.interrupt(cause="one")
+            yield env.timeout(10)
+            victim.interrupt(cause="two")
+
+        env.process(interrupter())
+        env.run()
+        assert causes == ["one", "two"]
 
     def test_empty_any_of_fires_immediately(self):
         env = Environment()

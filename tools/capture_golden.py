@@ -1,0 +1,115 @@
+"""Capture golden-timeline digests for the kernel determinism tests.
+
+Runs the seeded reference workloads under tracing and prints the
+digests that ``tests/integration/test_golden_timeline.py`` pins.  The
+pinned values were captured on the generator-only kernel (before the
+callback fast path landed); re-run this script and update the test
+constants only when an *intentional* timing change ships.
+
+Identity counters (message ids, TLP ids, frame ids, ...) are
+process-global, so digests are only reproducible from a **fresh
+process** running the scenarios in this module's order — which is how
+the golden tests invoke it (a subprocess per comparison).
+
+Usage::
+
+    PYTHONPATH=src python tools/capture_golden.py [scenario ...]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+
+
+def golden_runs():
+    """The seeded scenarios pinned by the golden-timeline tests.
+
+    Shared with the test module so the capture tool and the assertions
+    can never drift apart.
+    """
+    from repro.bench import run_am_lat, run_put_bw
+    from repro.node import SystemConfig
+    from repro.pcie.config import PcieConfig
+
+    deterministic = SystemConfig.paper_testbed(deterministic=True)
+    jittered = SystemConfig.paper_testbed(seed=7)
+    lossy = SystemConfig.paper_testbed(deterministic=True).evolve(
+        pcie=PcieConfig(tlp_corruption_prob=0.05)
+    )
+
+    def put_bw_measurements(result):
+        return {
+            "total_ns": result.total_ns,
+            "mean_injection_overhead_ns": result.mean_injection_overhead_ns,
+            "median_injection_overhead_ns": result.median_injection_overhead_ns,
+            "busy_posts": result.busy_posts,
+            "n_measured": result.n_measured,
+        }
+
+    def am_lat_measurements(result):
+        return {
+            "total_ns": result.total_ns,
+            "observed_latency_ns": result.observed_latency_ns,
+            "iterations": result.iterations,
+        }
+
+    return {
+        "put_bw_deterministic": (
+            lambda: run_put_bw(config=deterministic, n_messages=60, warmup=20),
+            put_bw_measurements,
+        ),
+        "put_bw_jittered_seed7": (
+            lambda: run_put_bw(config=jittered, n_messages=60, warmup=20),
+            put_bw_measurements,
+        ),
+        "am_lat_deterministic": (
+            lambda: run_am_lat(config=deterministic, iterations=40, warmup=10),
+            am_lat_measurements,
+        ),
+        "am_lat_lossy_pcie": (
+            lambda: run_am_lat(config=lossy, iterations=40, warmup=10),
+            am_lat_measurements,
+        ),
+    }
+
+
+def measurements_digest(measurements: dict) -> str:
+    """Bit-exact hash of a measurement dict (floats rendered as hex)."""
+    rendered = {
+        key: value.hex() if isinstance(value, float) else value
+        for key, value in measurements.items()
+    }
+    blob = json.dumps(rendered, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def capture(only: list[str] | None = None) -> dict:
+    from repro.trace import trace_session
+    from repro.trace.golden import timeline_digest
+
+    scenarios = golden_runs()
+    if only:
+        unknown = sorted(set(only) - set(scenarios))
+        if unknown:
+            raise SystemExit(f"unknown scenario(s): {', '.join(unknown)}")
+        scenarios = {name: scenarios[name] for name in scenarios if name in only}
+    captured = {}
+    for name, (run, reduce_measurements) in scenarios.items():
+        with trace_session() as session:
+            result = run()
+        digest = timeline_digest(session.tracers)
+        digest["measurements"] = measurements_digest(reduce_measurements(result))
+        captured[name] = digest
+    return captured
+
+
+def main(argv: list[str] | None = None) -> int:
+    only = list(sys.argv[1:] if argv is None else argv)
+    print(json.dumps(capture(only or None), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
