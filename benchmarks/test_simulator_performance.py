@@ -218,3 +218,83 @@ def test_campaign_parallel_speed(benchmark):
             "dispatch": "chunked",
         },
     )
+
+
+def test_faults_disabled_overhead():
+    """Fault injection must be close to free when no plan is attached.
+
+    With ``faults=None`` every instrumented layer's guard is a single
+    ``x is None``/``is not None`` check; like the tracer test, that cost
+    is far below wall-clock noise, so it is estimated directly: measured
+    per-check cost × the number of guard evaluations.  The evaluation
+    count comes from a never-firing plan targeting every site — its
+    per-rule ``opportunities`` counters tally exactly how often the
+    guarded hot paths run for this (deterministic) workload.
+    """
+    from repro.faults import SITES, FaultPlan, FaultRule
+
+    base = SystemConfig.paper_testbed(deterministic=True)
+    kwargs = dict(n_messages=200, warmup=100)
+
+    def best_wall(fn, rounds: int = 5) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    disabled_wall = best_wall(lambda: run_put_bw(config=base, **kwargs))
+
+    # One inert rule per site: `nth` with an unreachable occurrence never
+    # fires and consults no RNG, but counts every opportunity.
+    inert = FaultPlan(
+        rules=tuple(
+            FaultRule(site=site, kind="nth", occurrences=(10**9,))
+            for site in sorted(SITES)
+        )
+    )
+    armed = base.evolve(faults=inert)
+    result = run_put_bw(config=armed, **kwargs)
+    stats = result.testbed.faults.stats()
+    assert stats["injected"] == 0
+    guard_evals = sum(
+        rule["opportunities"]
+        for site in stats["sites"].values()
+        for rule in site["rules"]
+    )
+    assert guard_evals > 0
+
+    enabled_wall = best_wall(lambda: run_put_bw(config=armed, **kwargs))
+
+    class _Guarded:
+        faults = None
+
+    obj = _Guarded()
+    checks = 200_000
+    per_check_s = (
+        timeit.timeit("o.faults is not None", globals={"o": obj}, number=checks)
+        / checks
+    )
+    disabled_overhead_ratio = (guard_evals * per_check_s) / disabled_wall
+
+    assert disabled_overhead_ratio < 0.05, (
+        f"disabled-faults overhead {disabled_overhead_ratio:.4%} "
+        f"({guard_evals:.0f} guard checks at {per_check_s * 1e9:.1f} ns "
+        f"against a {disabled_wall:.4f} s run)"
+    )
+
+    _record(
+        "faults_overhead",
+        {
+            "workload": "put_bw",
+            "disabled_wall_s": disabled_wall,
+            "inert_plan_wall_s": enabled_wall,
+            "inert_over_disabled": (
+                enabled_wall / disabled_wall if disabled_wall else 0.0
+            ),
+            "guard_evals": guard_evals,
+            "per_guard_check_s": per_check_s,
+            "disabled_overhead_ratio": disabled_overhead_ratio,
+        },
+    )

@@ -49,6 +49,11 @@ class RunRecord:
     error: str | None = None
     error_type: str | None = None
     traceback: str | None = None
+    #: True when the point was killed by the spec's per-point
+    #: ``timeout_s`` watchdog (status is ``error`` in that case).
+    timeout: bool = False
+    #: Execution attempts consumed (1 unless the spec allows retries).
+    attempts: int = 1
     #: Host wall-clock seconds spent executing the point (0 for hits).
     duration_s: float = 0.0
     #: Identifier of the worker process that ran the point.

@@ -11,9 +11,13 @@ The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into a
    the per-point dispatch/pickle round-trips through the pool queue are
    amortised across the whole campaign.  A point that raises is
    captured as an ``error`` record — with type, message and traceback —
-   and the rest of the campaign continues;
-3. successful records are written back to the cache, so re-running an
-   unchanged campaign recomputes nothing.
+   and the rest of the campaign continues.  A spec-level ``timeout_s``
+   arms a SIGALRM watchdog around each point, so a hung simulation
+   becomes a timeout record instead of a wedged campaign, and
+   ``retries`` re-attempts errored points with exponential backoff;
+3. successful records are written back to the cache *by the worker that
+   produced them*, point by point, so a campaign killed halfway resumes
+   from its last completed point on the next run.
 
 Measurements come from the deterministic simulator, so the parallel and
 serial schedules produce byte-identical
@@ -24,8 +28,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback as traceback_module
+from collections.abc import Callable
 from typing import Any
 
 from repro.campaign.cache import ResultCache, point_cache_key
@@ -34,18 +41,66 @@ from repro.campaign.spec import CampaignSpec, SweepPoint
 from repro.campaign.workloads import get_workload
 from repro.sim.hashing import canonicalize
 
-__all__ = ["run_campaign"]
+__all__ = ["PointTimeout", "run_campaign"]
+
+
+class PointTimeout(Exception):
+    """A sweep point exceeded the spec's per-point wall-clock budget."""
+
+
+def _run_with_timeout(fn: Callable[[], Any], timeout_s: float | None) -> Any:
+    """Run ``fn`` under a SIGALRM watchdog of ``timeout_s`` host seconds.
+
+    The watchdog needs a real-time signal delivered to the executing
+    thread, which Python only supports on the main thread of a process
+    — true inline and in fork/spawn pool workers alike.  Elsewhere (or
+    without ``timeout_s``) the call runs unguarded.
+    """
+    if timeout_s is None:
+        return fn()
+    armable = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not armable:  # pragma: no cover - non-POSIX / embedded thread
+        return fn()
+
+    def _on_alarm(signum, frame):
+        raise PointTimeout(f"point exceeded timeout_s={timeout_s}")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _execute_point(payload: tuple) -> dict[str, Any]:
     """Run one sweep point; never raises (errors become the record).
 
     Top-level so it pickles into pool workers.  ``payload`` is the
-    point plus identity fields precomputed by the parent.
+    point plus identity/policy fields precomputed by the parent.  The
+    attempt loop applies the spec's timeout and retry policy; a
+    successful record is written straight into the result cache so a
+    killed campaign resumes from its last completed point.
     """
-    campaign, index, workload_name, config, params, seed, overrides, key, trace = (
-        payload
-    )
+    (
+        campaign,
+        index,
+        workload_name,
+        config,
+        params,
+        seed,
+        overrides,
+        key,
+        trace,
+        timeout_s,
+        retries,
+        retry_backoff_s,
+        cache_dir,
+    ) = payload
     record: dict[str, Any] = {
         "campaign": campaign,
         "index": index,
@@ -59,8 +114,8 @@ def _execute_point(payload: tuple) -> dict[str, Any]:
         "cache_hit": False,
         "trace": None,
     }
-    start = time.perf_counter()
-    try:
+
+    def _attempt() -> dict[str, Any]:
         workload = get_workload(workload_name)
         if trace:
             from repro.trace import trace_session
@@ -75,23 +130,41 @@ def _execute_point(payload: tuple) -> dict[str, Any]:
                 f"workload {workload_name!r} returned "
                 f"{type(measurements).__name__}, expected a measurement dict"
             )
-        record.update(
-            status=STATUS_OK,
-            # canonicalize() coerces numpy scalars so records stay JSON.
-            measurements={k: canonicalize(v) for k, v in measurements.items()},
-            error=None,
-            error_type=None,
-            traceback=None,
-        )
-    except Exception as exc:
-        record.update(
-            status=STATUS_ERROR,
-            measurements={},
-            error=str(exc),
-            error_type=type(exc).__name__,
-            traceback=traceback_module.format_exc(),
-        )
+        return measurements
+
+    start = time.perf_counter()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            measurements = _run_with_timeout(_attempt, timeout_s)
+            record.update(
+                status=STATUS_OK,
+                # canonicalize() coerces numpy scalars so records stay JSON.
+                measurements={k: canonicalize(v) for k, v in measurements.items()},
+                error=None,
+                error_type=None,
+                traceback=None,
+                timeout=False,
+            )
+            break
+        except Exception as exc:
+            record.update(
+                status=STATUS_ERROR,
+                measurements={},
+                error=str(exc),
+                error_type=type(exc).__name__,
+                traceback=traceback_module.format_exc(),
+                timeout=isinstance(exc, PointTimeout),
+            )
+        if attempts > retries:
+            break
+        if retry_backoff_s > 0:
+            time.sleep(retry_backoff_s * 2 ** (attempts - 1))
+    record["attempts"] = attempts
     record["duration_s"] = time.perf_counter() - start
+    if cache_dir is not None and record["status"] == STATUS_OK:
+        ResultCache(cache_dir).put(key, record)
     return record
 
 
@@ -105,7 +178,12 @@ def _execute_chunk(chunk: list[tuple]) -> list[dict[str, Any]]:
     return [_execute_point(payload) for payload in chunk]
 
 
-def _point_payload(spec: CampaignSpec, point: SweepPoint, key: str) -> tuple:
+def _point_payload(
+    spec: CampaignSpec,
+    point: SweepPoint,
+    key: str,
+    cache_dir: str | os.PathLike | None,
+) -> tuple:
     return (
         spec.name,
         point.index,
@@ -116,6 +194,10 @@ def _point_payload(spec: CampaignSpec, point: SweepPoint, key: str) -> tuple:
         point.config_overrides,
         key,
         spec.trace,
+        spec.timeout_s,
+        spec.retries,
+        spec.retry_backoff_s,
+        cache_dir,
     )
 
 
@@ -146,9 +228,8 @@ def run_campaign(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     # Traced campaigns bypass the cache: cached records carry no trace
     # summary, and silently returning them would drop the tracing.
-    cache = (
-        ResultCache(cache_dir) if cache_dir is not None and not spec.trace else None
-    )
+    effective_cache_dir = cache_dir if cache_dir is not None and not spec.trace else None
+    cache = ResultCache(effective_cache_dir) if effective_cache_dir is not None else None
     points = spec.points()
 
     records: dict[int, RunRecord] = {}
@@ -164,7 +245,7 @@ def run_campaign(
             record.duration_s = 0.0
             records[point.index] = record
         else:
-            pending.append(_point_payload(spec, point, key))
+            pending.append(_point_payload(spec, point, key, effective_cache_dir))
 
     if pending:
         if jobs > 1 and len(pending) > 1:
@@ -181,10 +262,10 @@ def run_campaign(
                 ]
         else:
             outcomes = [_execute_point(payload) for payload in pending]
+        # Workers already wrote their own successes into the cache
+        # (point by point, for resumability) — nothing to put here.
         for payload in outcomes:
             record = RunRecord.from_dict(payload)
-            if cache is not None and record.ok:
-                cache.put(record.cache_key, payload)
             records[record.index] = record
 
     return CampaignResult(

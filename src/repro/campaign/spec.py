@@ -124,12 +124,33 @@ class CampaignSpec:
     #: :class:`~repro.campaign.records.RunRecord`.  Traced points bypass
     #: the result cache: cached records carry no trace.
     trace: bool = False
+    #: Wall-clock budget per point, in host seconds.  A point that
+    #: exceeds it becomes a ``STATUS_ERROR`` record with its ``timeout``
+    #: marker set and the campaign continues.  ``None`` disables the
+    #: watchdog (the pre-hardening behaviour).
+    timeout_s: float | None = None
+    #: Extra attempts for a point that errors or times out (0 = fail
+    #: fast).  Useful against host-side flakiness — the simulator itself
+    #: is deterministic, so a deterministic workload error will simply
+    #: fail ``retries + 1`` times.
+    retries: int = 0
+    #: Host seconds slept before attempt *n*'s retry, doubled each time
+    #: (``retry_backoff_s * 2**(n-1)``).
+    retry_backoff_s: float = 0.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "axes", tuple(self.axes))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         if not self.seeds:
             raise ValueError("a campaign needs at least one seed")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
         names = [axis.name for axis in self.axes]
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate sweep axes in {names}")

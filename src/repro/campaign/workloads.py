@@ -149,13 +149,21 @@ def whatif_speedup_workload(
 
 
 def selftest_workload(
-    config: SystemConfig, fail: bool = False, value: float = 1.0
+    config: SystemConfig,
+    fail: bool = False,
+    value: float = 1.0,
+    sleep_s: float = 0.0,
 ) -> dict[str, Any]:
     """A trivial workload used by the campaign layer's own tests.
 
     Raises when ``fail`` is true, exercising per-point failure
-    isolation without paying for a simulation.
+    isolation without paying for a simulation; ``sleep_s`` burns host
+    wall-clock, exercising the per-point timeout watchdog.
     """
     if fail:
         raise ValueError("selftest workload asked to fail")
+    if sleep_s > 0:
+        import time
+
+        time.sleep(sleep_s)
     return {"value": value, "seed": config.seed}

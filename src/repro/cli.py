@@ -29,9 +29,17 @@ Commands
     trace-event / Perfetto JSON to ``--out`` and print the per-layer
     summary plus — for latency workloads — the critical-path breakdown
     of the last traced message (see docs/tracing.md).
+``faults [PLAN.json]``
+    Without an argument: list the fault-injection sites, rule kinds and
+    actions.  With a plan file: validate it and print its rules (exit 2
+    with a message on schema errors).  See docs/faults.md.
 
-Unknown workload names exit with code 2 and the registered list.
-All commands accept ``--help``.
+``bench`` and ``campaign`` additionally accept ``--faults PLAN.json``
+to run under a fault-injection plan; bench prints injection/recovery
+statistics after the measurement.
+
+Unknown workload names and invalid fault plans exit with code 2 and a
+message.  All commands accept ``--help``.
 """
 
 from __future__ import annotations
@@ -118,6 +126,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="directory caching completed sweep points across runs",
     )
+    campaign.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="fault-injection plan applied to every simulated point",
+    )
 
     bench = sub.add_parser("bench", help="run one micro-benchmark")
     bench.add_argument("workload")
@@ -133,6 +145,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--jobs", type=int, default=1)
     bench.add_argument("--cache-dir", default=None)
+    bench.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="fault-injection plan (JSON, see docs/faults.md)",
+    )
 
     trace = sub.add_parser(
         "trace", help="run one workload with span tracing, export Perfetto JSON"
@@ -154,7 +170,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeline", type=int, default=0, metavar="N",
         help="also print the first N rows of the plain-text timeline",
     )
+
+    faults = sub.add_parser(
+        "faults", help="list fault-injection sites or validate a plan file"
+    )
+    faults.add_argument(
+        "plan", nargs="?", default=None, metavar="PLAN.json",
+        help="plan file to validate (omit to list sites/kinds/actions)",
+    )
     return parser
+
+
+def _load_fault_plan(path: str, out):
+    """Load a fault plan from ``path``; None + message on any error."""
+    from repro.faults import FaultPlan, FaultPlanError
+
+    try:
+        return FaultPlan.load(path)
+    except FaultPlanError as exc:
+        print(f"invalid fault plan {path!r}: {exc}", file=out)
+    except OSError as exc:
+        print(f"cannot read fault plan {path!r}: {exc}", file=out)
+    return None
+
+
+def _fault_stats_line(testbed) -> str:
+    """One-line injection/recovery summary for a fault-plan run."""
+    stats = testbed.faults.stats()
+    parts = [f"faults: injected={stats['injected']}"]
+    retransmits = exhausted = duplicates = 0
+    for node in (testbed.node1, testbed.node2):
+        reliability = node.nic.reliability
+        if reliability is not None:
+            retransmits += reliability.retransmits
+            exhausted += reliability.exhausted
+            duplicates += reliability.duplicates_suppressed
+    parts.append(f"retransmits={retransmits}")
+    parts.append(f"exhausted={exhausted}")
+    parts.append(f"duplicates_suppressed={duplicates}")
+    parts.append(f"acks_dropped={testbed.fabric.acks_dropped}")
+    return " ".join(parts)
 
 
 def _resolve_workload(name: str, out):
@@ -240,7 +295,15 @@ def _cmd_rank(args: argparse.Namespace, out, times: ComponentTimes) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace, out) -> int:
+    fault_plan = None
+    if args.faults is not None:
+        fault_plan = _load_fault_plan(args.faults, out)
+        if fault_plan is None:
+            return 2
     if args.replications:
+        if fault_plan is not None:
+            print("--faults is not supported with --replications", file=out)
+            return 2
         print(
             f"running the {args.replications}-seed replication campaign "
             f"(jobs={args.jobs})...",
@@ -260,9 +323,10 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
     from repro.analysis import measure_component_times
 
     print("running the measurement campaign...", file=out)
-    campaign = measure_component_times(
-        SystemConfig.paper_testbed(seed=args.seed), quick=args.quick
-    )
+    config = SystemConfig.paper_testbed(seed=args.seed)
+    if fault_plan is not None:
+        config = config.evolve(faults=fault_plan)
+    campaign = measure_component_times(config, quick=args.quick)
     measured = campaign.to_component_times()
     print(exp.experiment_table1(measured, reference=ComponentTimes.paper()), file=out)
     print("", file=out)
@@ -330,6 +394,11 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     config = SystemConfig.paper_testbed(
         seed=args.seed, deterministic=args.deterministic
     )
+    if args.faults is not None:
+        plan = _load_fault_plan(args.faults, out)
+        if plan is None:
+            return 2
+        config = config.evolve(faults=plan)
     legacy = {"put_bw", "am_lat", "osu_mr", "osu_latency"}
     campaign_mode = (
         args.sweep or args.seeds or args.jobs != 1 or args.cache_dir
@@ -369,6 +438,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
             f"osu_latency: observed latency {result.observed_latency_ns:.2f} ns",
             file=out,
         )
+    if config.faults is not None:
+        print(_fault_stats_line(result.testbed), file=out)
     return 0
 
 
@@ -435,6 +506,32 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace, out) -> int:
+    from repro.faults import ACTIONS, KINDS, SITES
+
+    if args.plan is None:
+        print("fault-injection sites:", file=out)
+        for site, description in sorted(SITES.items()):
+            print(f"  {site:<16} {description}", file=out)
+        print(f"rule kinds:   {', '.join(KINDS)}", file=out)
+        print(f"rule actions: {', '.join(ACTIONS)}", file=out)
+        return 0
+    plan = _load_fault_plan(args.plan, out)
+    if plan is None:
+        return 2
+    print(f"plan {plan.name!r}: {len(plan.rules)} rule(s), valid", file=out)
+    for index, rule in enumerate(plan.rules):
+        if rule.kind == "nth":
+            trigger = f"occurrences={list(rule.occurrences)}"
+        elif rule.kind == "window":
+            trigger = f"p={rule.probability} window_ns={list(rule.window_ns or ())}"
+        else:
+            trigger = f"p={rule.probability}"
+        print(f"  [{index}] {rule.site} {rule.action} ({rule.kind}, {trigger})",
+              file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -471,4 +568,6 @@ def _dispatch(args: argparse.Namespace, out, times: ComponentTimes) -> int:
         return _cmd_bench(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "faults":
+        return _cmd_faults(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

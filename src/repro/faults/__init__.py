@@ -1,0 +1,40 @@
+"""``repro.faults``: declarative fault injection with end-to-end recovery.
+
+The paper's component breakdown assumes every layer's reliability
+machinery is *idle*; this package lets campaigns exercise it.  A
+:class:`FaultPlan` declares drop/corruption triggers at named sites
+(network wire/switch, fabric ACKs, NIC egress, PCIe TLPs and DLLPs);
+the testbed builds a :class:`FaultInjector` from it and the instrumented
+layers consult their site hook per opportunity.  Recovery is then real:
+the NIC runs an IB-RC-style retransmission protocol (PSNs, exponential
+backoff, retry budget, duplicate suppression, error CQEs), and the PCIe
+link arms ACKNAK-latency replay so lost DLLPs heal.
+
+Determinism: each stochastic rule owns a named
+:class:`~repro.sim.rng.RandomStreams` stream; a run without a plan
+consults no stream and arms no timer, so golden timelines stay
+bit-identical.  See ``docs/faults.md``.
+"""
+
+from repro.faults.inject import FaultInjector, SiteInjector
+from repro.faults.plan import (
+    ACTIONS,
+    KINDS,
+    SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    lossy_network_plan,
+)
+
+__all__ = [
+    "ACTIONS",
+    "KINDS",
+    "SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "SiteInjector",
+    "lossy_network_plan",
+]

@@ -1,0 +1,173 @@
+"""Runtime fault injection: evaluating a plan's rules at each site.
+
+The testbed builds one :class:`FaultInjector` per run and hands each
+instrumented layer the :class:`SiteInjector` for its site — or ``None``
+when the plan has no rules there, in which case the layer keeps its
+original zero-cost code path.  That ``None`` contract is the
+zero-perturbation guarantee: with no plan (or an empty one) not a single
+random stream is opened, no counter exists, and the hot paths execute
+exactly the instructions they executed before this subsystem existed.
+
+Rule evaluation is first-match-wins across a site's rules in plan
+order.  ``nth`` rules count opportunities without touching randomness;
+``probabilistic`` and ``window`` rules draw lazily from their own named
+stream on first use, so rules never contend for a sequence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.faults.plan import FaultPlan, FaultRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.sim.engine import Environment
+    from repro.sim.rng import RandomStreams
+
+__all__ = ["FaultInjector", "SiteInjector"]
+
+
+class _RuleState:
+    """Mutable evaluation state for one rule at one site."""
+
+    __slots__ = ("rule", "stream_name", "_rng", "_streams", "opportunities", "fired")
+
+    def __init__(self, rule: FaultRule, stream_name: str, streams: "RandomStreams") -> None:
+        self.rule = rule
+        self.stream_name = stream_name
+        self._streams = streams
+        self._rng: "np.random.Generator | None" = None
+        self.opportunities = 0
+        self.fired = 0
+
+    def _random(self) -> float:
+        rng = self._rng
+        if rng is None:
+            rng = self._streams.get(self.stream_name)
+            self._rng = rng
+        return float(rng.random())
+
+    def fires(self, now: float) -> bool:
+        """Evaluate the trigger for one opportunity at virtual time ``now``."""
+        rule = self.rule
+        self.opportunities += 1
+        if rule.kind == "nth":
+            hit = self.opportunities in rule.occurrences
+        elif rule.kind == "window":
+            window = rule.window_ns
+            assert window is not None  # enforced by FaultRule validation
+            start, end = window
+            hit = start <= now < end and self._random() < rule.probability
+        else:  # probabilistic
+            hit = self._random() < rule.probability
+        if hit:
+            self.fired += 1
+        return hit
+
+
+class SiteInjector:
+    """All the rules a plan aims at one site, evaluated per opportunity."""
+
+    def __init__(
+        self,
+        site: str,
+        states: list[_RuleState],
+        env: "Environment",
+    ) -> None:
+        self.site = site
+        self._states = states
+        self._env = env
+        self.injected = 0
+
+    def decide(self, **attrs: Any) -> str | None:
+        """Evaluate one opportunity; return the firing rule's action or None.
+
+        ``attrs`` (message ids, frame kinds, port names …) are attached
+        to the trace instant when a rule fires, so recovery time can be
+        attributed to a specific fault afterwards.
+        """
+        now = self._env._now
+        for state in self._states:
+            if state.fires(now):
+                self.injected += 1
+                tracer = self._env.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "faults",
+                        "fault",
+                        track=f"faults.{self.site}",
+                        site=self.site,
+                        action=state.rule.action,
+                        rule_kind=state.rule.kind,
+                        stream=state.stream_name if state.rule.stochastic else None,
+                        occurrence=state.opportunities,
+                        **attrs,
+                    )
+                    tracer.counter("faults", f"{self.site}.{state.rule.action}")
+                return state.rule.action
+        return None
+
+    def stats(self) -> dict[str, Any]:
+        """Opportunity/fire counts per rule, for reporting."""
+        return {
+            "site": self.site,
+            "injected": self.injected,
+            "rules": [
+                {
+                    "kind": state.rule.kind,
+                    "action": state.rule.action,
+                    "stream": state.stream_name if state.rule.stochastic else None,
+                    "opportunities": state.opportunities,
+                    "fired": state.fired,
+                }
+                for state in self._states
+            ],
+        }
+
+
+class FaultInjector:
+    """Per-run evaluator for a :class:`FaultPlan`.
+
+    Built once by the testbed/cluster and queried by layers via
+    :meth:`site`.  With a ``None`` or empty plan every :meth:`site` call
+    returns ``None`` and nothing else is allocated.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | None,
+        streams: "RandomStreams",
+        env: "Environment",
+    ) -> None:
+        self.plan = plan if plan is not None and plan.enabled else None
+        self._sites: dict[str, SiteInjector] = {}
+        if self.plan is not None:
+            for site in self.plan.sites():
+                states = [
+                    _RuleState(
+                        rule,
+                        rule.stream or f"faults.{site}.r{index}",
+                        streams,
+                    )
+                    for index, rule in self.plan.rules_for(site)
+                ]
+                self._sites[site] = SiteInjector(site, states, env)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any rule exists at all."""
+        return bool(self._sites)
+
+    def site(self, name: str) -> SiteInjector | None:
+        """The injector for ``name``, or None when the plan ignores it."""
+        return self._sites.get(name)
+
+    def stats(self) -> dict[str, Any]:
+        """Injection counts per site, for CLI/report output."""
+        return {
+            "enabled": self.enabled,
+            "injected": sum(site.injected for site in self._sites.values()),
+            "sites": {name: site.stats() for name, site in sorted(self._sites.items())},
+        }

@@ -1,0 +1,325 @@
+"""Declarative fault plans: *what* goes wrong, *where*, and *when*.
+
+A :class:`FaultPlan` is a frozen bundle of :class:`FaultRule` entries.
+Each rule names one injection **site** (a layer hook such as
+``network.wire`` or ``pcie.dllp``), one **action** (``drop`` the unit or
+``corrupt`` it so the receiver discards it), and one trigger **kind**:
+
+``probabilistic``
+    Fire with independent probability ``probability`` per opportunity.
+``nth``
+    Fire on exactly the listed ``occurrences`` (1-based, per rule) —
+    deterministic, consults no random stream.
+``window``
+    Fire with ``probability`` while virtual time lies inside
+    ``window_ns = (start, end)`` — a brownout.
+
+Determinism contract: every stochastic rule draws from its *own* named
+:class:`~repro.sim.rng.RandomStreams` stream (``stream`` or an
+auto-derived ``faults.<site>.r<index>`` name), so two rules never share
+a sequence and adding a rule cannot perturb another rule's draws.  A
+plan with no rules for a site costs that site nothing — see
+:mod:`repro.faults.inject`.
+
+This module is deliberately stdlib-only (no ``repro`` imports) so that
+:class:`~repro.node.config.SystemConfig` can embed a plan without an
+import cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "ACTIONS",
+    "KINDS",
+    "SITES",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "lossy_network_plan",
+]
+
+#: Injection sites wired into the simulator, and the unit each one acts on.
+SITES: dict[str, str] = {
+    "network.wire": "network frame entering a wire segment",
+    "network.switch": "network frame entering a switch",
+    "network.ack": "fabric-level ACK frame emitted by the target NIC",
+    "nic.tx": "frame leaving the initiator NIC (first send and retransmits)",
+    "pcie.tlp": "TLP arriving at a PCIe link port",
+    "pcie.dllp": "ACK/NACK DLLP returned by a PCIe link port",
+}
+
+#: Trigger kinds a rule may use.
+KINDS: tuple[str, ...] = ("probabilistic", "nth", "window")
+
+#: What happens to the unit when a rule fires.
+ACTIONS: tuple[str, ...] = ("drop", "corrupt")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan (or plan file) violates the schema."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One trigger at one injection site.
+
+    Parameters
+    ----------
+    site:
+        One of :data:`SITES`.
+    kind:
+        One of :data:`KINDS`.
+    action:
+        One of :data:`ACTIONS`.  ``drop`` makes the unit vanish;
+        ``corrupt`` lets it travel but be rejected at the receiver
+        (network frames) or NACKed (PCIe TLPs).  DLLPs and ACK frames
+        carry no payload worth corrupting, so their sites treat both
+        actions as a loss.
+    probability:
+        Per-opportunity fire probability (``probabilistic``/``window``).
+    occurrences:
+        1-based opportunity indices to fire on (``nth``).
+    window_ns:
+        ``(start, end)`` virtual-time bounds (``window``); ``end`` may be
+        ``inf`` only when ``probability < 1`` so recovery can terminate.
+    stream:
+        Random-stream name override; empty string derives
+        ``faults.<site>.r<index>`` from the rule's position in the plan.
+    """
+
+    site: str
+    kind: str = "probabilistic"
+    action: str = "drop"
+    probability: float = 0.0
+    occurrences: tuple[int, ...] = ()
+    window_ns: tuple[float, float] | None = None
+    stream: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{', '.join(sorted(SITES))}"
+            )
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown rule kind {self.kind!r}; expected one of {', '.join(KINDS)}"
+            )
+        if self.action not in ACTIONS:
+            raise FaultPlanError(
+                f"unknown action {self.action!r}; expected one of {', '.join(ACTIONS)}"
+            )
+        if self.kind in ("probabilistic", "window"):
+            if not 0.0 <= self.probability <= 1.0:
+                raise FaultPlanError(
+                    f"probability must be in [0, 1], got {self.probability}"
+                )
+        if self.kind == "nth":
+            object.__setattr__(
+                self, "occurrences", tuple(sorted(set(self.occurrences)))
+            )
+            if not self.occurrences:
+                raise FaultPlanError("nth rule needs at least one occurrence index")
+            if any(
+                not isinstance(n, int) or isinstance(n, bool) or n < 1
+                for n in self.occurrences
+            ):
+                raise FaultPlanError(
+                    f"occurrences must be integers >= 1, got {self.occurrences}"
+                )
+        elif self.occurrences:
+            raise FaultPlanError(f"occurrences only applies to nth rules ({self.kind})")
+        if self.kind == "window":
+            if self.window_ns is None:
+                raise FaultPlanError("window rule needs window_ns=(start, end)")
+            start, end = self.window_ns
+            if not (start >= 0 and end > start):
+                raise FaultPlanError(
+                    f"window_ns must satisfy 0 <= start < end, got {self.window_ns}"
+                )
+            if math.isinf(end) and self.probability >= 1.0:
+                raise FaultPlanError(
+                    "an unbounded window with probability 1 would defeat "
+                    "recovery forever; bound the window or lower the probability"
+                )
+        elif self.window_ns is not None:
+            raise FaultPlanError(f"window_ns only applies to window rules ({self.kind})")
+
+    @property
+    def stochastic(self) -> bool:
+        """Whether firing ever consults a random stream."""
+        return self.kind != "nth"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-encodable form, omitting defaulted fields."""
+        payload: dict[str, Any] = {
+            "site": self.site,
+            "kind": self.kind,
+            "action": self.action,
+        }
+        if self.kind in ("probabilistic", "window"):
+            payload["probability"] = self.probability
+        if self.kind == "nth":
+            payload["occurrences"] = list(self.occurrences)
+        if self.window_ns is not None:
+            payload["window_ns"] = list(self.window_ns)
+        if self.stream:
+            payload["stream"] = self.stream
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "FaultRule":
+        """Build a rule from a JSON object, with schema-checked fields."""
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"rule must be an object, got {type(payload).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown rule field(s) {', '.join(sorted(unknown))}; "
+                f"expected a subset of {', '.join(sorted(known))}"
+            )
+        if "site" not in payload:
+            raise FaultPlanError("rule is missing required field 'site'")
+        kwargs = dict(payload)
+        occurrences = kwargs.get("occurrences")
+        if occurrences is not None:
+            if not isinstance(occurrences, (list, tuple)):
+                raise FaultPlanError(
+                    f"occurrences must be a list of integers, got {occurrences!r}"
+                )
+            kwargs["occurrences"] = tuple(occurrences)
+        window = kwargs.get("window_ns")
+        if window is not None:
+            if not isinstance(window, (list, tuple)) or len(window) != 2:
+                raise FaultPlanError(
+                    f"window_ns must be a [start, end] pair, got {window!r}"
+                )
+            try:
+                kwargs["window_ns"] = (float(window[0]), float(window[1]))
+            except (TypeError, ValueError) as exc:
+                raise FaultPlanError(f"window_ns bounds must be numbers: {exc}") from exc
+        for name in ("probability",):
+            if name in kwargs:
+                value = kwargs[name]
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise FaultPlanError(f"{name} must be a number, got {value!r}")
+                kwargs[name] = float(value)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:  # e.g. site passed as a list
+            raise FaultPlanError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, hashable collection of fault rules.
+
+    An empty plan (``FaultPlan()``) is equivalent to no plan at all:
+    :attr:`enabled` is False and the injector built from it installs no
+    site hooks.
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    name: str = "faults"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise FaultPlanError(
+                    f"rules must be FaultRule instances, got {type(rule).__name__}"
+                )
+        if not self.name or not isinstance(self.name, str):
+            raise FaultPlanError(f"plan name must be a non-empty string, got {self.name!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the plan contains any rule at all."""
+        return bool(self.rules)
+
+    def rules_for(self, site: str) -> tuple[tuple[int, FaultRule], ...]:
+        """The ``(plan_index, rule)`` pairs targeting ``site``, in order."""
+        return tuple(
+            (index, rule) for index, rule in enumerate(self.rules) if rule.site == site
+        )
+
+    def sites(self) -> tuple[str, ...]:
+        """The distinct sites the plan targets, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for rule in self.rules:
+            seen.setdefault(rule.site, None)
+        return tuple(seen)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-encodable form."""
+        return {
+            "name": self.name,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "FaultPlan":
+        """Build a plan from a JSON object, with schema-checked fields."""
+        if not isinstance(payload, dict):
+            raise FaultPlanError(
+                f"fault plan must be an object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {"name", "rules"}
+        if unknown:
+            raise FaultPlanError(
+                f"unknown plan field(s) {', '.join(sorted(unknown))}; "
+                "expected 'name' and 'rules'"
+            )
+        rules = payload.get("rules", [])
+        if not isinstance(rules, list):
+            raise FaultPlanError(f"'rules' must be a list, got {type(rules).__name__}")
+        return cls(
+            rules=tuple(FaultRule.from_dict(rule) for rule in rules),
+            name=payload.get("name", "faults"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from a JSON string."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"invalid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: Any) -> "FaultPlan":
+        """Read and validate a plan file.
+
+        Raises :class:`FaultPlanError` on schema problems and lets
+        ``OSError`` propagate for missing/unreadable files.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def lossy_network_plan(
+    drop_prob: float = 0.01,
+    corrupt_prob: float = 0.0,
+    ack_loss_prob: float = 0.0,
+) -> FaultPlan:
+    """A convenience plan degrading the network path probabilistically."""
+    rules: list[FaultRule] = []
+    if drop_prob > 0:
+        rules.append(FaultRule(site="network.wire", action="drop", probability=drop_prob))
+    if corrupt_prob > 0:
+        rules.append(
+            FaultRule(site="network.wire", action="corrupt", probability=corrupt_prob)
+        )
+    if ack_loss_prob > 0:
+        rules.append(
+            FaultRule(site="network.ack", action="drop", probability=ack_loss_prob)
+        )
+    return FaultPlan(rules=tuple(rules), name="lossy-network")

@@ -42,6 +42,10 @@ class UcpRequest:
     kind: str  # "send" | "recv"
     payload_bytes: int
     completed: bool = False
+    #: "ok", or "error" when the transport gave up on the operation.
+    status: str = "ok"
+    #: Failure reason accompanying an error status.
+    error: str | None = None
     #: The message that satisfied a recv (for journal access).
     message: Message | None = None
     #: Upper-layer (MPICH) completion callback; may be a generator fn.
@@ -84,6 +88,8 @@ class UcpWorker:
         #: Simulated ns spent on those re-posts (for the deduction).
         self.progress_llp_post_ns = 0.0
         self.busy_posts_encountered = 0
+        #: Transport error CQEs observed (structured failures, not hangs).
+        self.transport_errors = 0
         self._recv_side_events = 0
 
     # -- endpoints -----------------------------------------------------------------
@@ -136,10 +142,22 @@ class UcpWorker:
         Inline sends complete at post time; only zcopy-style sends (the
         user buffer is pinned until the NIC has read it) wait for the
         CQE.  One CQE retires up to ``cqe.completes`` of them.
+
+        An error CQE still retires requests (the TxQ accounting is
+        identical) but marks the *signaled* one — the message the
+        transport gave up on — as failed; its banked unsignaled
+        predecessors were ACKed before the failure.
         """
-        for _ in range(min(cqe.completes, len(self.inflight_sends))):
+        failed = cqe.status != "ok"
+        if failed:
+            self.transport_errors += 1
+        retire = min(cqe.completes, len(self.inflight_sends))
+        for index in range(retire):
             request = self.inflight_sends.popleft()
             request.completed = True
+            if failed and index == retire - 1:
+                request.status = "error"
+                request.error = cqe.error
 
     # -- receive path --------------------------------------------------------------------
     def tag_recv_nb(

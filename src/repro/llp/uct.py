@@ -108,6 +108,13 @@ class UctWorker:
                 yield from cpu.execute("llp_prog")
                 iface.qp.consume_cqe(cqe)
                 events += 1
+                if cqe.status != "ok":
+                    # Transport error CQE (retry budget exhausted): the
+                    # slot is freed like any completion, software sees a
+                    # structured failure instead of a hang.
+                    iface.error_completions += 1
+                    if tracer.enabled:
+                        tracer.counter("llp", "error_completions")
                 for callback in iface.completion_callbacks:
                     yield from invoke_callback(callback, cqe)
                 if tspan is not None:
@@ -185,6 +192,8 @@ class UctIface:
         self.messages_delivered = 0
         self.busy_posts = 0
         self.successful_posts = 0
+        #: Error CQEs observed (transport retry budget exhausted).
+        self.error_completions = 0
         #: Journal hook: the most recently posted message (ground truth
         #: for benchmarks; the real UCT API does not return it).
         self.last_message: Message | None = None

@@ -18,12 +18,15 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Protocol
+from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.network.config import NetworkConfig
 from repro.network.switch import Switch
-from repro.network.wire import Wire
+from repro.network.wire import Wire, frame_trace_attrs
 from repro.sim.engine import Environment, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.inject import FaultInjector
 
 __all__ = ["Fabric", "FrameKind", "NetworkFrame", "NicPort"]
 
@@ -53,6 +56,9 @@ class NetworkFrame:
     dst: str
     size_bytes: int = 0
     message: Any = None
+    #: Set by an injected ``corrupt`` fault; the receiving NIC discards
+    #: corrupted frames, leaving recovery to the transport layer.
+    corrupted: bool = False
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -79,14 +85,26 @@ class Fabric:
     the multi-node collectives UCP provides in the real stack.
     """
 
-    def __init__(self, env: Environment, config: NetworkConfig, name: str = "fabric") -> None:
+    def __init__(
+        self,
+        env: Environment,
+        config: NetworkConfig,
+        name: str = "fabric",
+        faults: "FaultInjector | None" = None,
+    ) -> None:
         self.env = env
         self.config = config
         self.name = name
+        self._wire_faults = faults.site("network.wire") if faults is not None else None
+        self._switch_faults = (
+            faults.site("network.switch") if faults is not None else None
+        )
+        self._ack_faults = faults.site("network.ack") if faults is not None else None
         self._ports: dict[str, NicPort] = {}
         self._paths: dict[tuple[str, str], list[Any]] = {}
         self.frames_delivered = 0
         self.acks_delivered = 0
+        self.acks_dropped = 0
 
     def attach(self, port: NicPort) -> None:
         """Attach a NIC port, building paths to every existing port."""
@@ -113,6 +131,7 @@ class Fabric:
                 self.config,
                 forward=next_hop,
                 name=f"{self.name}.{src}->{dst}.sw{hop}",
+                faults=self._switch_faults,
             )
             stages.append(switch)
             next_hop = switch.transmit
@@ -121,6 +140,7 @@ class Fabric:
             self.config,
             deliver=next_hop,
             name=f"{self.name}.{src}->{dst}.wire",
+            faults=self._wire_faults,
         )
         stages.append(wire)
         stages.reverse()  # wire first, then switches in hop order
@@ -198,6 +218,11 @@ class Fabric:
             size_bytes=0,
             message=data_frame.message,
         )
+        if self._ack_faults is not None:
+            # ACK frames carry no payload, so both actions mean loss.
+            if self._ack_faults.decide(**frame_trace_attrs(ack)) is not None:
+                self.acks_dropped += 1
+                return ack
         self.transmit(ack)
         return ack
 

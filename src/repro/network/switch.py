@@ -11,12 +11,15 @@ multi-initiator ablations, never for the paper's single-core runs.
 from __future__ import annotations
 
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.network.config import NetworkConfig
 from repro.network.wire import frame_trace_attrs
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.inject import SiteInjector
 
 __all__ = ["Switch"]
 
@@ -31,6 +34,7 @@ class Switch:
         forward: Callable[[Any], None],
         name: str = "switch",
         egress_serialization_ns: float = 0.0,
+        faults: "SiteInjector | None" = None,
     ) -> None:
         if egress_serialization_ns < 0:
             raise ValueError("egress_serialization_ns must be >= 0")
@@ -39,11 +43,20 @@ class Switch:
         self.forward = forward
         self.name = name
         self.egress_serialization_ns = egress_serialization_ns
+        self.faults = faults
         self._egress = Resource(env, capacity=1, name=f"{name}.egress")
         self.frames_forwarded = 0
+        self.frames_dropped = 0
 
     def transmit(self, frame: Any) -> None:
         """Accept ``frame`` for forwarding (non-blocking)."""
+        if self.faults is not None:
+            action = self.faults.decide(switch=self.name, **frame_trace_attrs(frame))
+            if action == "drop":
+                self.frames_dropped += 1
+                return
+            if action == "corrupt":
+                frame.corrupted = True
         tracer = self.env.tracer
         tspan = None
         if tracer.enabled:

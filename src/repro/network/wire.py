@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import math
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.network.config import NetworkConfig
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.inject import SiteInjector
 
 __all__ = ["Wire", "frame_trace_attrs"]
 
@@ -44,12 +47,15 @@ class Wire:
         config: NetworkConfig,
         deliver: Callable[[Any], None],
         name: str = "wire",
+        faults: "SiteInjector | None" = None,
     ) -> None:
         self.env = env
         self.config = config
         self.deliver = deliver
         self.name = name
+        self.faults = faults
         self.frames_carried = 0
+        self.frames_dropped = 0
         self._serial = (
             None
             if math.isinf(config.bandwidth_bytes_per_ns)
@@ -68,6 +74,13 @@ class Wire:
 
     def transmit(self, frame: Any, frame_bytes: int = 0) -> None:
         """Launch ``frame`` down the wire (non-blocking)."""
+        if self.faults is not None:
+            action = self.faults.decide(wire=self.name, **frame_trace_attrs(frame))
+            if action == "drop":
+                self.frames_dropped += 1
+                return
+            if action == "corrupt":
+                frame.corrupted = True
         tracer = self.env.tracer
         tspan = None
         if tracer.enabled:

@@ -27,15 +27,26 @@ class Cqe:
     (1 when every message is signaled; up to the moderation period with
     unsignaled completions — the entry acknowledges itself plus all
     unsignaled predecessors on the queue pair).
+
+    ``status`` is ``"ok"`` for a successful completion and ``"error"``
+    when the transport gave up (retry budget exhausted); ``error`` then
+    carries the reason.  Error CQEs still retire their TxQ slots, so a
+    failed message never wedges the queue pair.
     """
 
     message: "Message"
     completes: int = 1
+    status: str = "ok"
+    error: str | None = None
     cqe_id: int = field(default_factory=lambda: next(_cqe_ids))
 
     def __post_init__(self) -> None:
         if self.completes < 1:
             raise ValueError(f"a CQE must complete >= 1 operation, got {self.completes}")
+        if self.status not in ("ok", "error"):
+            raise ValueError(f"CQE status must be 'ok' or 'error', got {self.status!r}")
+        if (self.error is not None) != (self.status == "error"):
+            raise ValueError("CQE error text must accompany exactly the error status")
 
 
 class CompletionModeration:

@@ -46,6 +46,15 @@ class NicConfig:
     wqe_header_bytes: int = 48
     tx_processing_ns: float = 0.0
     rx_processing_ns: float = 0.0
+    #: IB-RC transport: time without an ACK/response before the first
+    #: retransmission.  The timer exists only while a fault plan is
+    #: active — clean runs arm nothing (zero-perturbation guarantee).
+    retransmit_timeout_ns: float = 4000.0
+    #: Multiplier applied to the timeout per successive retry.
+    retransmit_backoff: float = 2.0
+    #: Retransmissions before the transport gives up and surfaces an
+    #: error CQE (IB's Retry Count is a 3-bit field; 7 is the maximum).
+    retry_budget: int = 7
 
     def __post_init__(self) -> None:
         if self.txq_depth <= 0:
@@ -56,3 +65,9 @@ class NicConfig:
                 raise ValueError(f"{name} must be positive")
         if self.tx_processing_ns < 0 or self.rx_processing_ns < 0:
             raise ValueError("processing times must be >= 0")
+        if self.retransmit_timeout_ns <= 0:
+            raise ValueError("retransmit_timeout_ns must be positive")
+        if self.retransmit_backoff < 1.0:
+            raise ValueError("retransmit_backoff must be >= 1")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")

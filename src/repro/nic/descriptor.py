@@ -80,6 +80,10 @@ class Message:
     dst_nic: str | None = None
     qp: "QueuePair | None" = None
     context: Any = None
+    #: Packet sequence number, assigned per queue pair at first
+    #: transmission while the IB-RC reliability layer is active; stays
+    #: ``None`` on clean runs.
+    psn: int | None = None
     timestamps: dict[str, float] = field(default_factory=dict)
     msg_id: int = field(default_factory=lambda: next(_message_ids))
 

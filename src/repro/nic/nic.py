@@ -10,16 +10,22 @@ from __future__ import annotations
 
 import itertools
 import math
+from typing import TYPE_CHECKING
 
 from repro.network.fabric import Fabric, FrameKind, NetworkFrame
+from repro.network.wire import frame_trace_attrs
 from repro.nic.completion import CompletionModeration, Cqe
 from repro.nic.config import NicConfig
 from repro.nic.descriptor import Message, MessageOp
 from repro.nic.queues import CompletionQueue, QueuePair, TransmitQueue
+from repro.nic.reliability import Reliability
 from repro.pcie.link import Direction, PcieLink
 from repro.pcie.packets import Tlp, TlpType
 from repro.pcie.root_complex import HostMemory
 from repro.sim.engine import Environment, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.inject import FaultInjector
 
 __all__ = ["Nic"]
 
@@ -34,6 +40,7 @@ class Nic:
         config: NicConfig,
         memory: HostMemory,
         name: str = "nic",
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.env = env
         self.link = link
@@ -45,8 +52,17 @@ class Nic:
         self._fetch_tags = itertools.count(1)
         #: Outstanding DMA-read segments per in-flight message id.
         self._pending_segments: dict[int, int] = {}
+        self._tx_faults = faults.site("nic.tx") if faults is not None else None
+        #: IB-RC transport state; None on clean runs, so no timer is
+        #: armed and no PSN assigned unless a fault plan is active.
+        self.reliability: Reliability | None = (
+            Reliability(self) if faults is not None and faults.enabled else None
+        )
         self.messages_transmitted = 0
         self.messages_received = 0
+        self.frames_discarded = 0
+        self.frames_dropped_tx = 0
+        self.transport_errors = 0
         link.set_receiver(Direction.DOWNSTREAM, self._on_downstream_tlp)
 
     # -- topology ----------------------------------------------------------------
@@ -184,28 +200,55 @@ class Nic:
             self.env.tracer.end(tspan)
         self.messages_transmitted += 1
         destination = message.dst_nic or self.peer_name
+        if self.reliability is not None:
+            qp = message.qp
+            if qp is not None and message.psn is None:
+                message.psn = qp.next_psn
+                qp.next_psn += 1
+            self.reliability.track(message, destination)
+        self._launch_frame(message, destination)
+
+    def _frame_plan(self, message: Message) -> tuple[int, FrameKind]:
+        """Frame size and kind for one message, by operation."""
         if message.op is MessageOp.GET:
             # A read request carries only a header; the payload comes
             # back in the response.
-            self.fabric.send_data(
-                self.name, destination, message, 0, kind=FrameKind.READ_REQUEST
-            )
-        elif message.op is MessageOp.ATOMIC:
-            self.fabric.send_data(
-                self.name,
-                destination,
-                message,
-                message.payload_bytes,
-                kind=FrameKind.ATOMIC_REQUEST,
-            )
-        else:
-            self.fabric.send_data(
-                self.name, destination, message, message.payload_bytes
-            )
+            return 0, FrameKind.READ_REQUEST
+        if message.op is MessageOp.ATOMIC:
+            return message.payload_bytes, FrameKind.ATOMIC_REQUEST
+        return message.payload_bytes, FrameKind.DATA
+
+    def _launch_frame(self, message: Message, destination: str) -> None:
+        """Send (or resend) the message's frame, subject to tx faults."""
+        if self.fabric is None:  # pragma: no cover - checked by callers
+            raise SimulationError(f"{self.name}: no fabric attached")
+        size, kind = self._frame_plan(message)
+        if self._tx_faults is not None:
+            action = self._tx_faults.decide(msg=message.msg_id, kind=kind.value)
+            if action == "drop":
+                self.frames_dropped_tx += 1
+                return
+            if action == "corrupt":
+                frame = self.fabric.send_data(
+                    self.name, destination, message, size, kind=kind
+                )
+                frame.corrupted = True
+                return
+        self.fabric.send_data(self.name, destination, message, size, kind=kind)
 
     # -- fabric side --------------------------------------------------------------
     def on_network_frame(self, frame: NetworkFrame) -> None:
         """Fabric delivery entry point: dispatch by frame kind."""
+        if frame.corrupted:
+            # Link-level CRC failure: the frame is discarded here and
+            # recovery is left to the transport (retransmit timer).
+            self.frames_discarded += 1
+            if self.env.tracer.enabled:
+                self.env.tracer.instant(
+                    "nic", "frame_discarded", track=self.name,
+                    **frame_trace_attrs(frame),
+                )
+            return
         if frame.kind is FrameKind.DATA:
             self._on_data_frame(frame)
         elif frame.kind is FrameKind.READ_REQUEST:
@@ -220,6 +263,19 @@ class Nic:
     def _on_data_frame(self, frame: NetworkFrame) -> None:
         """Target side: ACK the frame, DMA-write the payload to memory."""
         message: Message = frame.message
+        if self.reliability is not None and not self.reliability.first_delivery(
+            message
+        ):
+            # Duplicate DATA (our earlier ACK was lost): re-ACK so the
+            # initiator settles, but never re-deliver the payload.
+            if self.fabric is None:  # pragma: no cover - attach precedes traffic
+                raise SimulationError(f"{self.name}: no fabric attached")
+            self.env.defer(
+                self._emit_fabric_ack,
+                self.fabric.config.ack_turnaround_ns,
+                args=(frame,),
+            )
+            return
         message.stamp("target_nic", self.env.now)
         if self.env.tracer.enabled:
             self.env.tracer.instant(
@@ -300,6 +356,14 @@ class Nic:
         RC) and ships them back in a READ_RESPONSE frame.
         """
         message: Message = frame.message
+        if (
+            self.reliability is not None
+            and message.msg_id in self._pending_segments
+        ):
+            # A serve for this read is already in flight; its response
+            # (or the next retransmitted request) covers this duplicate.
+            self.reliability.duplicates_suppressed += 1
+            return
         message.stamp("target_nic", self.env.now)
         self.messages_received += 1
         self._dma_read_segmented(message, "read_serve")
@@ -312,6 +376,16 @@ class Nic:
         the *old* value to the initiator — all without the target CPU.
         """
         message: Message = frame.message
+        if self.reliability is not None and not self.reliability.first_delivery(
+            message
+        ):
+            # Responder replay (IB §9.4.5-style): duplicate atomics are
+            # answered from the completed execution without re-running
+            # the read-modify-write; an execution still in flight will
+            # respond on its own.
+            if message.msg_id not in self._pending_segments:
+                self._send_read_response(message)
+            return
         message.stamp("target_nic", self.env.now)
         self.messages_received += 1
         self._pending_segments[message.msg_id] = 1
@@ -340,22 +414,17 @@ class Nic:
                 message=message,
             ),
         )
-        if self.fabric is None:  # pragma: no cover - attach precedes traffic
-            raise SimulationError(f"{self.name}: no fabric attached")
-        requester = message.context if isinstance(message.context, str) else None
-        self.fabric.send_data(
-            self.name,
-            requester or self.peer_name,
-            message,
-            message.payload_bytes,
-            kind=FrameKind.READ_RESPONSE,
-        )
+        self._send_read_response(message)
 
     def _serve_read_response(self, message: Message) -> None:
         """The CplD for a served read arrived: send the response."""
+        message.stamp("read_served", self.env.now)
+        self._send_read_response(message)
+
+    def _send_read_response(self, message: Message) -> None:
+        """Ship a READ_RESPONSE frame back to the requester."""
         if self.fabric is None:  # pragma: no cover - attach precedes traffic
             raise SimulationError(f"{self.name}: no fabric attached")
-        message.stamp("read_served", self.env.now)
         requester = message.context if isinstance(message.context, str) else None
         self.fabric.send_data(
             self.name,
@@ -372,6 +441,8 @@ class Nic:
         generation does not wait for a separate ACK.
         """
         message: Message = frame.message
+        if self.reliability is not None and not self.reliability.settle(message):
+            return
         message.stamp("response_rx", self.env.now)
         mailbox = self.memory.mailbox(message.recv_target)
 
@@ -387,6 +458,8 @@ class Nic:
     def _on_ack_frame(self, frame: NetworkFrame) -> None:
         """Initiator side: ACK gates completion generation (§2 step 5)."""
         message: Message = frame.message
+        if self.reliability is not None and not self.reliability.settle(message):
+            return
         message.stamp("ack_rx", self.env.now)
         if self.env.tracer.enabled:
             self.env.tracer.instant(
@@ -402,7 +475,29 @@ class Nic:
         completes = qp.on_ack(message)
         if completes == 0:
             return
-        cqe = Cqe(message=message, completes=completes)
+        self._write_cqe(qp, Cqe(message=message, completes=completes), message)
+
+    def _fail(self, message: Message, reason: str) -> None:
+        """Transport gave up: surface a structured error CQE (never hang)."""
+        qp = message.qp
+        if qp is None:
+            raise SimulationError(f"transport error without a queue pair: {message!r}")
+        self.transport_errors += 1
+        if self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "nic", "transport_error", track=self.name,
+                msg=message.msg_id, error=reason,
+            )
+            self.env.tracer.counter("nic", "transport_errors")
+        completes = qp.on_error(message)
+        self._write_cqe(
+            qp,
+            Cqe(message=message, completes=completes, status="error", error=reason),
+            message,
+        )
+
+    def _write_cqe(self, qp: QueuePair, cqe: Cqe, message: Message) -> None:
+        """DMA-write one CQE into the queue pair's host-memory CQ."""
 
         def deliver(_cqe: Cqe, when: float) -> None:
             message.stamp("cqe_visible", when)

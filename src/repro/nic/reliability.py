@@ -1,0 +1,133 @@
+"""IB-RC-style reliability at the NIC: retransmission and deduplication.
+
+InfiniBand reliable connections guarantee exactly-once, in-order
+delivery: the requester numbers packets (PSNs), runs a transport timer
+per outstanding request, retransmits with backoff when the timer fires,
+and gives up with a completion error after Retry Count attempts; the
+responder acknowledges and silently re-ACKs duplicates.  This module is
+that machinery for the simulated fabric.
+
+A :class:`Reliability` instance exists only while a fault plan is
+active: clean runs carry ``Nic.reliability is None``, so no timer is
+armed, no PSN assigned and no state allocated — the zero-perturbation
+guarantee that keeps golden timelines bit-identical.
+
+The initiator side tracks every transmitted message in ``outstanding``
+and settles it on the first ACK / READ_RESPONSE; later copies are
+suppressed.  The target side records first deliveries so duplicate DATA
+frames are re-ACKed but never re-delivered, and duplicate atomics are
+answered from the recorded response without re-executing the
+read-modify-write (responder replay).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nic.descriptor import Message
+    from repro.nic.nic import Nic
+
+__all__ = ["Reliability"]
+
+
+class _RcState:
+    """Requester-side record of one unacknowledged message."""
+
+    __slots__ = ("message", "destination", "retries", "done")
+
+    def __init__(self, message: "Message", destination: str) -> None:
+        self.message = message
+        self.destination = destination
+        self.retries = 0
+        self.done = False
+
+
+class Reliability:
+    """Per-NIC transport state machine (requester + responder halves)."""
+
+    def __init__(self, nic: "Nic") -> None:
+        self.nic = nic
+        #: Requester: msg_id → in-flight state awaiting ACK/response.
+        self.outstanding: dict[int, _RcState] = {}
+        #: Responder: msg_ids already delivered once.
+        self.delivered: set[int] = set()
+        self.retransmits = 0
+        self.exhausted = 0
+        self.duplicates_suppressed = 0
+
+    # -- requester side ----------------------------------------------------
+    def track(self, message: "Message", destination: str) -> None:
+        """Register a first transmission and arm its retransmit timer."""
+        if message.msg_id in self.outstanding:  # pragma: no cover - defensive
+            return
+        state = _RcState(message, destination)
+        self.outstanding[message.msg_id] = state
+        self._arm(state)
+
+    def _arm(self, state: _RcState) -> None:
+        config = self.nic.config
+        delay = config.retransmit_timeout_ns * (
+            config.retransmit_backoff ** state.retries
+        )
+        self.nic.env.defer(self._fire, delay, args=(state,))
+
+    def _fire(self, state: _RcState) -> None:
+        if state.done:
+            return
+        nic = self.nic
+        if state.retries >= nic.config.retry_budget:
+            state.done = True
+            self.outstanding.pop(state.message.msg_id, None)
+            self.exhausted += 1
+            nic._fail(state.message, "retry budget exhausted")
+            return
+        state.retries += 1
+        self.retransmits += 1
+        tracer = nic.env.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "nic",
+                "retransmit",
+                track=nic.name,
+                msg=state.message.msg_id,
+                psn=state.message.psn,
+                attempt=state.retries,
+            )
+            tracer.counter("nic", "retransmits")
+        nic._launch_frame(state.message, state.destination)
+        self._arm(state)
+
+    def settle(self, message: "Message") -> bool:
+        """First ACK/response for ``message``?  False suppresses a duplicate."""
+        state = self.outstanding.pop(message.msg_id, None)
+        if state is None:
+            self.duplicates_suppressed += 1
+            return False
+        state.done = True
+        return True
+
+    # -- responder side ----------------------------------------------------
+    def first_delivery(self, message: "Message") -> bool:
+        """First arrival of ``message``?  False marks a duplicate."""
+        if message.msg_id in self.delivered:
+            self.duplicates_suppressed += 1
+            return False
+        self.delivered.add(message.msg_id)
+        return True
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """JSON-encodable transport counters."""
+        return {
+            "retransmits": self.retransmits,
+            "exhausted": self.exhausted,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "outstanding": len(self.outstanding),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Reliability {self.nic.name!r} outstanding={len(self.outstanding)}"
+            f" retransmits={self.retransmits}>"
+        )

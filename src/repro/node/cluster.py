@@ -8,6 +8,7 @@ than two nodes, so this is an extension).
 
 from __future__ import annotations
 
+from repro.faults.inject import FaultInjector
 from repro.network.fabric import Fabric
 from repro.node.config import SystemConfig
 from repro.node.node import Node
@@ -37,6 +38,8 @@ class Cluster:
         self.config = config or SystemConfig.paper_testbed()
         self.env = Environment()
         self.streams = RandomStreams(seed=self.config.seed)
+        #: Plan-driven fault injection; inert (no sites) without a plan.
+        self.faults = FaultInjector(self.config.faults, self.streams, self.env)
         self.nodes: list[Node] = [
             Node(
                 self.env,
@@ -44,10 +47,11 @@ class Cluster:
                 self.streams,
                 f"node{index}",
                 record_samples=record_samples,
+                faults=self.faults,
             )
             for index in range(n_nodes)
         ]
-        self.fabric = Fabric(self.env, self.config.network)
+        self.fabric = Fabric(self.env, self.config.network, faults=self.faults)
         for node in self.nodes:
             node.nic.attach_fabric(self.fabric)
         self.analyzer = PcieAnalyzer(self.nodes[0].link, capture=analyzer_enabled)

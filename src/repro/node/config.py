@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.cpu.costs import SegmentCosts
 from repro.cpu.memory import MemoryModel
+from repro.faults.plan import FaultPlan
 from repro.network.config import NetworkConfig
 from repro.nic.config import NicConfig
 from repro.pcie.config import PcieConfig
@@ -45,6 +46,11 @@ class SystemConfig:
     deterministic:
         When True every duration equals its mean — used by unit tests
         and by model-validation runs that must be exact.
+    faults:
+        Optional declarative fault plan (see :mod:`repro.faults`).
+        ``None`` (default) installs nothing: no random stream is opened,
+        no timer armed — runs are bit-identical to a build without the
+        fault subsystem.
     """
 
     costs: SegmentCosts = field(default_factory=SegmentCosts)
@@ -57,6 +63,7 @@ class SystemConfig:
     timer_overhead_std_ns: float = 1.48
     seed: int = 2019
     deterministic: bool = False
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.timer_overhead_ns < 0 or self.timer_overhead_std_ns < 0:

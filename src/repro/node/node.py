@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.cpu.core import CpuCore
 from repro.cpu.timer import VirtualTimer
+from repro.faults.inject import FaultInjector
 from repro.node.config import SystemConfig
 from repro.nic.nic import Nic
 from repro.pcie.link import PcieLink
@@ -29,6 +30,9 @@ class Node:
         Node label, e.g. ``"node1"``.
     record_samples:
         Forwarded to the CPU core (keep per-segment duration samples).
+    faults:
+        The testbed-wide fault injector; ``None`` keeps every layer on
+        its original zero-cost path.
     """
 
     def __init__(
@@ -39,6 +43,7 @@ class Node:
         name: str,
         record_samples: bool = False,
         n_cores: int = 1,
+        faults: FaultInjector | None = None,
     ) -> None:
         if n_cores < 1:
             raise ValueError(f"a node needs at least one core, got {n_cores}")
@@ -74,10 +79,14 @@ class Node:
         )
         self.memory = HostMemory(env, name=f"{name}.mem")
         self.link = PcieLink(
-            env, config.pcie, name=f"{name}.pcie", rng=scoped.get("pcie")
+            env, config.pcie, name=f"{name}.pcie", rng=scoped.get("pcie"),
+            faults=faults,
         )
         self.rc = RootComplex(env, self.link, config.pcie, self.memory, name=f"{name}.rc")
-        self.nic = Nic(env, self.link, config.nic, self.memory, name=f"{name}.nic")
+        self.nic = Nic(
+            env, self.link, config.nic, self.memory, name=f"{name}.nic",
+            faults=faults,
+        )
 
     def add_core(self) -> CpuCore:
         """Bring one more core online (multi-core injection studies)."""

@@ -6,6 +6,7 @@ NIC.  Both nodes share one simulation clock and one fabric.
 
 from __future__ import annotations
 
+from repro.faults.inject import FaultInjector
 from repro.network.fabric import Fabric
 from repro.node.config import SystemConfig
 from repro.node.node import Node
@@ -31,13 +32,17 @@ class Testbed:
         self.config = config or SystemConfig.paper_testbed()
         self.env = Environment()
         self.streams = RandomStreams(seed=self.config.seed)
+        #: Plan-driven fault injection; inert (no sites) without a plan.
+        self.faults = FaultInjector(self.config.faults, self.streams, self.env)
         self.node1 = Node(
-            self.env, self.config, self.streams, "node1", record_samples=record_samples
+            self.env, self.config, self.streams, "node1",
+            record_samples=record_samples, faults=self.faults,
         )
         self.node2 = Node(
-            self.env, self.config, self.streams, "node2", record_samples=record_samples
+            self.env, self.config, self.streams, "node2",
+            record_samples=record_samples, faults=self.faults,
         )
-        self.fabric = Fabric(self.env, self.config.network)
+        self.fabric = Fabric(self.env, self.config.network, faults=self.faults)
         self.node1.nic.attach_fabric(self.fabric)
         self.node2.nic.attach_fabric(self.fabric)
         #: The Lecroy stand-in: a passive tap on node 1's PCIe link.

@@ -79,6 +79,13 @@ class PcieConfig:
     #: NACKed within this window (e.g. the NACK-suppressed retransmission
     #: was itself corrupted), the transmitter replays unprompted.
     replay_timeout_ns: float = 1500.0
+    #: ACKNAK latency timer: how long the transmitter waits for *any*
+    #: DLLP covering an outstanding TLP before replaying, recovering
+    #: from lost ACK/NACK DLLPs.  Armed only while a fault plan targets
+    #: the PCIe link — healthy links hold no live timer.  Should sit
+    #: below ``replay_timeout_ns`` so DLLP loss recovers faster than the
+    #: full watchdog window.
+    acknak_latency_ns: float = 900.0
     posted_header_credits: int = 64
     posted_data_credits: int = 1024
     nonposted_header_credits: int = 32
@@ -100,6 +107,8 @@ class PcieConfig:
             raise ValueError("replay_delay_ns must be >= 0")
         if self.replay_timeout_ns <= 0:
             raise ValueError("replay_timeout_ns must be positive")
+        if self.acknak_latency_ns <= 0:
+            raise ValueError("acknak_latency_ns must be positive")
         if self.max_tlp_payload_bytes <= 0:
             raise ValueError("max_tlp_payload_bytes must be positive")
         for name in (

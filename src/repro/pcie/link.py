@@ -23,12 +23,15 @@ import enum
 import math
 from collections import deque
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.pcie.config import PcieConfig
 from repro.pcie.packets import Dllp, DllpType, Tlp, TlpType
 from repro.sim.engine import Environment, Event, SimulationError
 from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.inject import FaultInjector
 
 __all__ = ["CreditPool", "Direction", "PcieLink"]
 
@@ -150,8 +153,12 @@ class _Port:
         #: Diagnostics.
         self.corrupted = 0
         self.retransmissions = 0
+        self.rx_dropped = 0
+        self.dllps_dropped = 0
         #: REPLAY_TIMER watchdog state (fault-injection runs only).
         self.watchdog_running = False
+        #: ACKNAK latency timer state (fault-plan runs only).
+        self.acknak_running = False
         #: Transmit serialiser, created only for finite-bandwidth links
         #: so the paper's latency-only configuration is untouched.
         self.serialiser = (
@@ -174,10 +181,15 @@ class PcieLink:
 
     The Data Link layer is modelled per §2: every TLP is acknowledged
     with an ACK DLLP; a corrupted TLP (LCRC failure, probability
-    ``config.tlp_corruption_prob``) is dropped and NACKed, triggering a
-    go-back-N replay from the transmitter's replay buffer.  DLLPs
-    themselves are assumed error-free (a documented simplification — the
-    ACK-timeout recovery path is not modelled).
+    ``config.tlp_corruption_prob`` or an injected ``pcie.tlp`` fault) is
+    dropped and NACKed, triggering a go-back-N replay from the
+    transmitter's replay buffer.  DLLPs can themselves be lost (the
+    ``pcie.dllp`` fault site); the transmitter then recovers via the
+    ACKNAK latency timer (``config.acknak_latency_ns``), which replays
+    the buffer when no acknowledgement makes progress — so the
+    REPLAY_TIMER watchdog is no longer the sole recovery path.  Both
+    timers are armed only on fault-injection runs; healthy links hold
+    no live calendar entries.
     """
 
     def __init__(
@@ -186,6 +198,7 @@ class PcieLink:
         config: PcieConfig,
         name: str = "pcie",
         rng=None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.env = env
         self.config = config
@@ -194,6 +207,11 @@ class PcieLink:
         #: ``config.tlp_corruption_prob > 0`` so healthy-link runs stay
         #: bit-identical with or without a generator.
         self.rng = rng
+        self._tlp_faults = faults.site("pcie.tlp") if faults is not None else None
+        self._dllp_faults = faults.site("pcie.dllp") if faults is not None else None
+        self._fault_sites_active = (
+            self._tlp_faults is not None or self._dllp_faults is not None
+        )
         self._ports = {
             Direction.DOWNSTREAM: _Port(self, Direction.DOWNSTREAM),
             Direction.UPSTREAM: _Port(self, Direction.UPSTREAM),
@@ -262,6 +280,9 @@ class PcieLink:
         if self.config.tlp_corruption_prob > 0 and not port.watchdog_running:
             port.watchdog_running = True
             self._watchdog_arm(port, None)
+        if self._fault_sites_active and not port.acknak_running:
+            port.acknak_running = True
+            self._acknak_arm(port, None)
 
     def _put_on_wire(self, port: _Port, tlp: Tlp) -> None:
         """Start one traversal (first transmission or replay)."""
@@ -316,6 +337,26 @@ class PcieLink:
         if tspan is not None:
             self.env.tracer.end(tspan)
         direction = port.direction
+        if self._tlp_faults is not None:
+            action = self._tlp_faults.decide(
+                direction=direction.value,
+                seq=tlp.seq,
+                purpose=tlp.purpose,
+                msg=_traced_msg_id(tlp),
+            )
+            if action == "corrupt":
+                # Injected LCRC failure: same recovery as the legacy
+                # corruption knob — discard and NACK once per window.
+                port.corrupted += 1
+                if not port.rx_nack_outstanding:
+                    port.rx_nack_outstanding = True
+                    self._schedule_nack(port, port.rx_expected_seq - 1)
+                return
+            if action == "drop":
+                # Silently lost: no NACK is possible; the gap NACK on
+                # the next arrival or the ACKNAK timer recovers.
+                port.rx_dropped += 1
+                return
         if self._corrupt():
             # LCRC failure: discard and NACK (once per error window).
             port.corrupted += 1
@@ -359,6 +400,15 @@ class PcieLink:
 
     def _schedule_ack(self, direction: Direction, tlp: Tlp) -> None:
         """ACK DLLP back to the transmitter, on the callback tier."""
+        if self._dllp_faults is not None:
+            action = self._dllp_faults.decide(
+                kind="ack", seq=tlp.seq, direction=direction.value
+            )
+            if action is not None:
+                # DLLPs carry no payload: any action means loss.  The
+                # transmitter's ACKNAK timer replays when no progress.
+                self._ports[direction].dllps_dropped += 1
+                return
         ack = Dllp(kind=DllpType.ACK, acked_seq=tlp.seq)
         wire = self.config.tlp_latency(0)
         if direction is Direction.UPSTREAM:
@@ -408,6 +458,13 @@ class PcieLink:
 
     def _schedule_nack(self, port: _Port, last_good_seq: int) -> None:
         """NACK DLLP: "resend everything after last_good_seq"."""
+        if self._dllp_faults is not None:
+            action = self._dllp_faults.decide(
+                kind="nack", seq=last_good_seq, direction=port.direction.value
+            )
+            if action is not None:
+                port.dllps_dropped += 1
+                return
         nack = Dllp(kind=DllpType.NACK, acked_seq=last_good_seq)
         wire = self.config.tlp_latency(0)
         if port.direction is Direction.UPSTREAM:
@@ -465,6 +522,44 @@ class PcieLink:
                 port.retransmissions += 1
                 self._put_on_wire(port, port.replay[seq])
         self._watchdog_arm(port, floor)
+
+    def _acknak_arm(self, port: _Port, last_floor: int | None) -> None:
+        """The ACKNAK latency timer: recover from lost ACK/NACK DLLPs.
+
+        Mirrors the REPLAY_TIMER watchdog but at the (shorter) ACKNAK
+        latency: when the oldest unacknowledged sequence number makes no
+        progress across a full window — an ACK or NACK must have been
+        lost — the transmitter replays its buffer unprompted.  Armed
+        only while a fault plan targets the PCIe link; stops re-arming
+        once the replay buffer drains.
+        """
+        if not port.replay:
+            port.acknak_running = False
+            return
+        floor = min(port.replay)
+        self.env.defer(
+            self._acknak_fire,
+            self.config.acknak_latency_ns,
+            args=(port, floor, last_floor),
+        )
+
+    def _acknak_fire(
+        self, port: _Port, floor: int, last_floor: int | None
+    ) -> None:
+        if not port.replay:
+            port.acknak_running = False
+            return
+        if min(port.replay) == floor == last_floor:
+            if self.env.tracer.enabled:
+                self.env.tracer.instant(
+                    "pcie", "acknak_replay",
+                    track=f"{self.name}.{port.direction.value}",
+                    floor=floor, pending=len(port.replay),
+                )
+            for seq in sorted(port.replay):
+                port.retransmissions += 1
+                self._put_on_wire(port, port.replay[seq])
+        self._acknak_arm(port, floor)
 
     def corruption_stats(self, direction: Direction) -> tuple[int, int]:
         """(corrupted TLPs, retransmissions) for ``direction``."""

@@ -35,10 +35,13 @@ from typing import Any
 from repro.sim import engine as _engine
 from repro.trace.critical_path import (
     COMPONENT_LABELS,
+    RECOVERY_EVENT_NAMES,
     classify_span,
     critical_path,
     critical_path_breakdown,
     critical_path_report,
+    recovery_events,
+    recovery_summary,
 )
 from repro.trace.golden import timeline_digest, timeline_lines
 from repro.trace.metrics import DurationHistogram, LayerMetrics
@@ -54,6 +57,7 @@ __all__ = [
     "COMPONENT_LABELS",
     "DurationHistogram",
     "LayerMetrics",
+    "RECOVERY_EVENT_NAMES",
     "Span",
     "TraceSession",
     "Tracer",
@@ -62,6 +66,8 @@ __all__ = [
     "critical_path",
     "critical_path_breakdown",
     "critical_path_report",
+    "recovery_events",
+    "recovery_summary",
     "span_forest",
     "spans_from_chrome",
     "timeline_digest",
@@ -124,6 +130,12 @@ class TraceSession:
         spans = [span for tracer in self.tracers for span in tracer.spans()]
         spans.sort(key=lambda s: (s.t0, s.span_id))
         return spans
+
+    def instants(self) -> list[Span]:
+        """All instant events across every tracer, ordered by time."""
+        marks = [mark for tracer in self.tracers for mark in tracer.instants()]
+        marks.sort(key=lambda s: (s.t0, s.span_id))
+        return marks
 
     def spans_for_message(self, msg_id: Any) -> list[Span]:
         """All closed spans tagged with ``msg_id``, across tracers."""

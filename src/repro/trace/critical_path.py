@@ -23,10 +23,13 @@ from repro.trace.tracer import Span, Tracer
 
 __all__ = [
     "COMPONENT_LABELS",
+    "RECOVERY_EVENT_NAMES",
     "classify_span",
     "critical_path",
     "critical_path_breakdown",
     "critical_path_report",
+    "recovery_events",
+    "recovery_summary",
 ]
 
 #: Figure-10 stage labels, in path order (initiator → target memory).
@@ -87,6 +90,48 @@ def critical_path_breakdown(
     for span in critical_path(source, msg_id):
         totals[classify_span(span)] += span.duration_ns
     return Breakdown.build(f"Latency (traced, msg {msg_id})", totals)
+
+
+#: Instant-event names emitted by the fault-injection/recovery machinery
+#: (see docs/faults.md): the injection itself, NIC transport recovery,
+#: PCIe ACKNAK-timer replays and surfaced transport errors.
+RECOVERY_EVENT_NAMES = frozenset(
+    {"fault", "retransmit", "acknak_replay", "transport_error", "frame_discarded"}
+)
+
+
+def recovery_events(
+    source: Tracer | Iterable[Span], msg_id: Any = None
+) -> list[Span]:
+    """Fault and recovery instants, ordered by time.
+
+    ``source`` is a tracer (its instant buffer is consulted) or any
+    iterable of instant events.  With ``msg_id`` only events tagged for
+    that message are kept; injection sites that act below the message
+    level (e.g. PCIe DLLPs) carry no ``msg`` tag and are excluded by a
+    message filter.
+    """
+    marks = source.instants() if isinstance(source, Tracer) else list(source)
+    chosen = [m for m in marks if m.name in RECOVERY_EVENT_NAMES]
+    if msg_id is not None:
+        chosen = [m for m in chosen if m.attrs.get("msg") == msg_id]
+    chosen.sort(key=lambda s: (s.t0, s.span_id))
+    return chosen
+
+
+def recovery_summary(source: Tracer | Iterable[Span]) -> dict[str, int]:
+    """Event-name → count across all fault/recovery instants.
+
+    The complement of :func:`critical_path_breakdown` for fault runs:
+    the breakdown attributes nanoseconds to forward-path components,
+    this attributes the *extra* work to injection and recovery.  Always
+    contains every :data:`RECOVERY_EVENT_NAMES` key (0 when absent), so
+    callers can assert on exact counts.
+    """
+    counts = {name: 0 for name in sorted(RECOVERY_EVENT_NAMES)}
+    for mark in recovery_events(source):
+        counts[mark.name] += 1
+    return counts
 
 
 def critical_path_report(

@@ -1,0 +1,138 @@
+"""Campaign hardening: per-point timeouts, retries, resumability."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, SweepAxis, run_campaign
+from repro.campaign.cache import ResultCache, point_cache_key
+from repro.campaign.runner import PointTimeout, _run_with_timeout
+from repro.campaign.spec import CampaignSpec as Spec
+
+
+class TestRunWithTimeout:
+    def test_fast_function_passes_through(self):
+        assert _run_with_timeout(lambda: 42, timeout_s=5.0) == 42
+
+    def test_none_timeout_runs_unguarded(self):
+        assert _run_with_timeout(lambda: "ok", timeout_s=None) == "ok"
+
+    def test_slow_function_raises_point_timeout(self):
+        import time
+
+        with pytest.raises(PointTimeout, match="timeout_s"):
+            _run_with_timeout(lambda: time.sleep(5.0), timeout_s=0.05)
+
+    def test_timer_disarmed_after_success(self):
+        import signal
+        import time
+
+        _run_with_timeout(lambda: None, timeout_s=0.05)
+        time.sleep(0.08)  # were the itimer still armed, SIGALRM would kill us
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+
+class TestSpecValidation:
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            Spec(name="x", workload="selftest", timeout_s=0.0)
+
+    def test_retries_nonnegative(self):
+        with pytest.raises(ValueError, match="retries"):
+            Spec(name="x", workload="selftest", retries=-1)
+
+    def test_backoff_nonnegative(self):
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            Spec(name="x", workload="selftest", retry_backoff_s=-1.0)
+
+
+class TestTimeouts:
+    def test_timed_out_point_becomes_error_record_and_campaign_continues(self):
+        spec = CampaignSpec(
+            name="timeouts",
+            workload="selftest",
+            axes=(SweepAxis("sleep_s", (0.0, 30.0, 0.0)),),
+            timeout_s=0.2,
+        )
+        result = run_campaign(spec)
+        assert len(result.records) == 3
+        ok = [r for r in result.records if r.ok]
+        failed = [r for r in result.records if not r.ok]
+        assert len(ok) == 2 and len(failed) == 1
+        record = failed[0]
+        assert record.timeout
+        assert record.error_type == "PointTimeout"
+        assert record.params["sleep_s"] == 30.0
+        # The fast points are untouched by the watchdog.
+        assert all(not r.timeout for r in ok)
+
+    def test_timeout_works_in_pool_workers(self):
+        spec = CampaignSpec(
+            name="timeouts-pool",
+            workload="selftest",
+            axes=(SweepAxis("sleep_s", (0.0, 30.0)),),
+            timeout_s=0.2,
+        )
+        result = run_campaign(spec, jobs=2)
+        assert len(result.failures) == 1
+        assert result.failures[0].timeout
+
+
+class TestRetries:
+    def test_deterministic_failure_consumes_all_attempts(self):
+        spec = CampaignSpec(
+            name="retries",
+            workload="selftest",
+            params={"fail": True},
+            retries=2,
+        )
+        result = run_campaign(spec)
+        record = result.records[0]
+        assert not record.ok
+        assert record.attempts == 3  # initial + 2 retries
+
+    def test_success_uses_one_attempt(self):
+        spec = CampaignSpec(name="one-shot", workload="selftest", retries=5)
+        result = run_campaign(spec)
+        assert result.records[0].attempts == 1
+        assert result.records[0].ok
+
+
+class TestResumability:
+    def test_workers_write_cache_point_by_point(self, tmp_path):
+        # A campaign where one point fails still banks the successful
+        # points in the cache — rerunning recomputes only the failure.
+        spec = CampaignSpec(
+            name="resume",
+            workload="selftest",
+            axes=(SweepAxis("fail", (False, True)),),
+        )
+        first = run_campaign(spec, cache_dir=tmp_path)
+        assert len(first.ok_records) == 1
+        assert len(ResultCache(tmp_path)) == 1  # only the success banked
+        second = run_campaign(spec, cache_dir=tmp_path)
+        assert second.cache_hits == 1
+        hit = [r for r in second.records if r.cache_hit]
+        assert hit[0].params["fail"] is False
+
+    def test_cache_entry_exists_even_if_a_later_point_would_crash(self, tmp_path):
+        # Simulate the resumability contract directly: after the first
+        # point executes, its record is already on disk (worker-side
+        # put), not deferred to campaign end.
+        from repro.campaign.runner import _execute_point, _point_payload
+        from repro.node.config import SystemConfig
+
+        spec = CampaignSpec(name="partial", workload="selftest")
+        point = spec.points()[0]
+        key = point_cache_key(
+            point.workload, point.config, point.params, point.seed
+        )
+        _execute_point(_point_payload(spec, point, key, tmp_path))
+        assert ResultCache(tmp_path).get(key) is not None
+
+    def test_records_round_trip_new_fields(self, tmp_path):
+        spec = CampaignSpec(name="fields", workload="selftest", retries=1)
+        result = run_campaign(spec, cache_dir=tmp_path)
+        again = run_campaign(spec, cache_dir=tmp_path)
+        record = again.records[0]
+        assert record.cache_hit
+        assert record.attempts == 1
+        assert record.timeout is False

@@ -117,7 +117,7 @@ class TestChunkedDispatch:
             axes=(SweepAxis("fail", (False, True, False)),),
         )
         payloads = [
-            _point_payload(spec, point, key=f"key{point.index}")
+            _point_payload(spec, point, key=f"key{point.index}", cache_dir=None)
             for point in spec.points()
         ]
         outcomes = _execute_chunk(payloads)

@@ -1,0 +1,177 @@
+"""Schema and serialization tests for declarative fault plans."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    ACTIONS,
+    KINDS,
+    SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    lossy_network_plan,
+)
+
+
+class TestFaultRuleValidation:
+    def test_defaults_are_a_valid_probabilistic_rule(self):
+        rule = FaultRule(site="network.wire")
+        assert rule.kind == "probabilistic"
+        assert rule.action == "drop"
+        assert rule.stochastic
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault site"):
+            FaultRule(site="network.router")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown rule kind"):
+            FaultRule(site="network.wire", kind="bursty")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown action"):
+            FaultRule(site="network.wire", action="delay")
+
+    @pytest.mark.parametrize("probability", [-0.1, 1.5])
+    def test_probability_bounds(self, probability):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultRule(site="network.wire", probability=probability)
+
+    def test_nth_requires_occurrences(self):
+        with pytest.raises(FaultPlanError, match="at least one occurrence"):
+            FaultRule(site="network.wire", kind="nth")
+
+    def test_nth_occurrences_sorted_and_deduped(self):
+        rule = FaultRule(site="network.wire", kind="nth", occurrences=(5, 2, 2))
+        assert rule.occurrences == (2, 5)
+        assert not rule.stochastic
+
+    @pytest.mark.parametrize("occurrences", [(0,), (-1,), (1.5,), (True,)])
+    def test_nth_occurrence_values_validated(self, occurrences):
+        with pytest.raises(FaultPlanError, match="occurrences"):
+            FaultRule(site="network.wire", kind="nth", occurrences=occurrences)
+
+    def test_occurrences_rejected_on_other_kinds(self):
+        with pytest.raises(FaultPlanError, match="only applies to nth"):
+            FaultRule(site="network.wire", occurrences=(1,))
+
+    def test_window_requires_bounds(self):
+        with pytest.raises(FaultPlanError, match="window_ns"):
+            FaultRule(site="network.wire", kind="window", probability=0.5)
+
+    def test_window_bounds_ordered(self):
+        with pytest.raises(FaultPlanError, match="start < end"):
+            FaultRule(
+                site="network.wire", kind="window",
+                probability=0.5, window_ns=(100.0, 100.0),
+            )
+
+    def test_unbounded_window_with_certain_loss_rejected(self):
+        with pytest.raises(FaultPlanError, match="recovery"):
+            FaultRule(
+                site="network.wire", kind="window",
+                probability=1.0, window_ns=(0.0, math.inf),
+            )
+
+    def test_unbounded_window_allowed_below_certainty(self):
+        rule = FaultRule(
+            site="network.wire", kind="window",
+            probability=0.5, window_ns=(0.0, math.inf),
+        )
+        assert rule.window_ns == (0.0, math.inf)
+
+    def test_window_ns_rejected_on_other_kinds(self):
+        with pytest.raises(FaultPlanError, match="only applies to window"):
+            FaultRule(site="network.wire", window_ns=(0.0, 100.0))
+
+    def test_plan_error_is_a_value_error(self):
+        assert issubclass(FaultPlanError, ValueError)
+
+
+class TestSerialization:
+    def test_rule_round_trip(self):
+        for rule in (
+            FaultRule(site="pcie.tlp", action="corrupt", probability=0.25),
+            FaultRule(site="network.ack", kind="nth", occurrences=(1, 7)),
+            FaultRule(
+                site="nic.tx", kind="window",
+                probability=0.5, window_ns=(1e3, 2e3), stream="custom",
+            ),
+        ):
+            assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_plan_round_trip_via_json(self):
+        plan = lossy_network_plan(drop_prob=0.1, corrupt_prob=0.05, ack_loss_prob=0.02)
+        import json
+
+        rebuilt = FaultPlan.from_json(json.dumps(plan.to_dict()))
+        assert rebuilt == plan
+        assert rebuilt.name == "lossy-network"
+
+    def test_unknown_rule_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown rule field"):
+            FaultRule.from_dict({"site": "network.wire", "burst": 3})
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown plan field"):
+            FaultPlan.from_dict({"rules": [], "version": 2})
+
+    def test_missing_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="missing required field"):
+            FaultRule.from_dict({"kind": "nth", "occurrences": [1]})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="invalid JSON"):
+            FaultPlan.from_json("{not json")
+
+    def test_non_object_payloads_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict([1, 2])
+        with pytest.raises(FaultPlanError):
+            FaultRule.from_dict("network.wire")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            '{"name": "test", "rules": '
+            '[{"site": "network.wire", "kind": "nth", "occurrences": [3]}]}'
+        )
+        plan = FaultPlan.load(path)
+        assert plan.name == "test"
+        assert plan.rules[0].occurrences == (3,)
+
+    def test_load_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            FaultPlan.load(tmp_path / "absent.json")
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_disabled(self):
+        assert not FaultPlan().enabled
+        assert FaultPlan().sites() == ()
+
+    def test_rules_for_preserves_plan_indices(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="network.wire", probability=0.1),
+                FaultRule(site="pcie.tlp", probability=0.1),
+                FaultRule(site="network.wire", action="corrupt", probability=0.1),
+            )
+        )
+        assert [index for index, _ in plan.rules_for("network.wire")] == [0, 2]
+        assert plan.sites() == ("network.wire", "pcie.tlp")
+
+    def test_rules_must_be_fault_rules(self):
+        with pytest.raises(FaultPlanError, match="FaultRule"):
+            FaultPlan(rules=({"site": "network.wire"},))
+
+    def test_plan_is_hashable_for_config_embedding(self):
+        plan = lossy_network_plan()
+        assert hash(plan) == hash(lossy_network_plan())
+
+    def test_registry_constants_consistent(self):
+        assert set(KINDS) == {"probabilistic", "nth", "window"}
+        assert set(ACTIONS) == {"drop", "corrupt"}
+        assert all(description for description in SITES.values())

@@ -1,0 +1,214 @@
+"""IB-RC transport recovery: retransmission, dedup, error CQEs.
+
+Runs real two-node traffic under deterministic ``nth`` fault rules so
+every scenario is exact: drop the first DATA frame and the retransmit
+timer must recover it; drop its ACK and the duplicate DATA must be
+re-ACKed without re-delivery; drop *every* transmission and the retry
+budget must surface a structured error CQE instead of a hang.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRule
+from repro.llp.uct import UCS_OK, UctWorker
+from repro.node import SystemConfig, Testbed
+
+
+def make_testbed(*rules, **nic_overrides):
+    config = SystemConfig.paper_testbed(deterministic=True)
+    if nic_overrides:
+        import dataclasses
+
+        config = config.evolve(nic=dataclasses.replace(config.nic, **nic_overrides))
+    if rules:
+        config = config.evolve(faults=FaultPlan(rules=tuple(rules)))
+    return Testbed(config)
+
+
+def run_puts(tb, n=1, payload_bytes=8):
+    """Post ``n`` inline puts from node1 and drive them to completion."""
+    worker = UctWorker(tb.node1)
+    iface = worker.create_iface(signal_period=1)
+    remote = UctWorker(tb.node2).create_iface()
+    ep = iface.create_ep(remote)
+    cqes = []
+    iface.add_completion_callback(cqes.append)
+
+    def body():
+        for _ in range(n):
+            while True:
+                status = yield from ep.put_short(payload_bytes)
+                if status == UCS_OK:
+                    break
+                yield from worker.progress()
+        yield from worker.progress_until(lambda: len(cqes) >= n)
+
+    tb.env.run(until=tb.env.process(body(), name="driver"))
+    tb.run()
+    return iface, cqes
+
+
+class TestRetransmission:
+    def test_dropped_data_frame_is_retransmitted_and_delivered_once(self):
+        tb = make_testbed(
+            FaultRule(site="network.wire", kind="nth", occurrences=(1,))
+        )
+        _, cqes = run_puts(tb, n=3)
+        reliability = tb.node1.nic.reliability
+        assert reliability.retransmits >= 1
+        assert reliability.exhausted == 0
+        assert not reliability.outstanding  # everything settled
+        assert tb.node2.nic.messages_received == 3  # exactly once each
+        assert all(cqe.status == "ok" for cqe in cqes)
+
+    def test_corrupted_frame_is_discarded_at_nic_and_recovered(self):
+        tb = make_testbed(
+            FaultRule(
+                site="network.wire", kind="nth", action="corrupt", occurrences=(1,)
+            )
+        )
+        _, cqes = run_puts(tb, n=2)
+        assert tb.node2.nic.frames_discarded == 1
+        assert tb.node1.nic.reliability.retransmits >= 1
+        assert tb.node2.nic.messages_received == 2
+        assert all(cqe.status == "ok" for cqe in cqes)
+
+    def test_tx_side_drop_recovers_via_retransmit(self):
+        tb = make_testbed(FaultRule(site="nic.tx", kind="nth", occurrences=(1,)))
+        _, cqes = run_puts(tb, n=2)
+        assert tb.node1.nic.frames_dropped_tx == 1
+        assert tb.node1.nic.reliability.retransmits >= 1
+        assert tb.node2.nic.messages_received == 2
+        assert all(cqe.status == "ok" for cqe in cqes)
+
+
+class TestDuplicateSuppression:
+    def test_lost_ack_causes_reack_but_no_redelivery(self):
+        tb = make_testbed(
+            FaultRule(site="network.ack", kind="nth", occurrences=(1,))
+        )
+        _, cqes = run_puts(tb, n=2)
+        assert tb.fabric.acks_dropped == 1
+        # The retransmitted DATA is a duplicate at the target (re-ACKed,
+        # not re-delivered) and its second ACK settles the initiator.
+        total_suppressed = (
+            tb.node1.nic.reliability.duplicates_suppressed
+            + tb.node2.nic.reliability.duplicates_suppressed
+        )
+        assert total_suppressed >= 1
+        assert tb.node2.nic.messages_received == 2
+        assert len([c for c in cqes if c.status == "ok"]) == 2
+
+    def test_psns_assigned_sequentially_under_faults(self):
+        tb = make_testbed(
+            FaultRule(site="network.wire", kind="nth", occurrences=(2,))
+        )
+        iface, _ = run_puts(tb, n=3)
+        assert iface.qp.next_psn == 3
+
+
+class TestBudgetExhaustion:
+    def test_error_cqe_surfaces_instead_of_hang(self):
+        # Drop every transmission (first send and all retransmits) of
+        # the only message: the budget must exhaust and complete the op
+        # with a structured error CQE — and the run must terminate.
+        tb = make_testbed(
+            FaultRule(site="nic.tx", probability=1.0),
+            retry_budget=3,
+            retransmit_timeout_ns=500.0,
+        )
+        _, cqes = run_puts(tb, n=1)
+        reliability = tb.node1.nic.reliability
+        assert reliability.exhausted == 1
+        assert reliability.retransmits == 3  # the full budget was spent
+        assert not reliability.outstanding
+        assert tb.node1.nic.transport_errors == 1
+        assert len(cqes) == 1
+        assert cqes[0].status == "error"
+        assert "retry budget" in cqes[0].error
+        assert tb.node2.nic.messages_received == 0
+
+    def test_error_cqe_frees_txq_slot(self):
+        tb = make_testbed(
+            FaultRule(site="nic.tx", probability=1.0),
+            retry_budget=1,
+            retransmit_timeout_ns=500.0,
+        )
+        iface, cqes = run_puts(tb, n=1)
+        assert cqes[0].status == "error"
+        assert iface.qp.txq.occupied == 0
+
+    def test_error_completions_counted_at_llp(self):
+        tb = make_testbed(
+            FaultRule(site="nic.tx", probability=1.0),
+            retry_budget=1,
+            retransmit_timeout_ns=500.0,
+        )
+        iface, _ = run_puts(tb, n=1)
+        assert iface.error_completions == 1
+
+
+class TestCleanRuns:
+    def test_no_plan_means_no_reliability_state(self):
+        tb = make_testbed()
+        assert tb.node1.nic.reliability is None
+        assert tb.node2.nic.reliability is None
+        _, cqes = run_puts(tb, n=2)
+        assert tb.node2.nic.messages_received == 2
+        assert all(cqe.status == "ok" for cqe in cqes)
+
+    def test_clean_run_assigns_no_psns(self):
+        tb = make_testbed()
+        iface, _ = run_puts(tb, n=2)
+        assert iface.qp.next_psn == 0
+
+    def test_plan_without_faults_firing_still_settles_everything(self):
+        tb = make_testbed(
+            FaultRule(site="network.wire", kind="nth", occurrences=(10_000,))
+        )
+        _, cqes = run_puts(tb, n=3)
+        reliability = tb.node1.nic.reliability
+        assert reliability.retransmits == 0
+        assert not reliability.outstanding
+        assert all(cqe.status == "ok" for cqe in cqes)
+
+
+class TestTracing:
+    def test_recovery_observable_in_trace(self):
+        from repro.trace import recovery_summary, trace_session
+
+        with trace_session() as session:
+            tb = make_testbed(
+                FaultRule(site="network.wire", kind="nth", occurrences=(1,))
+            )
+            run_puts(tb, n=2)
+        counts = recovery_summary(session.instants())
+        assert counts["fault"] == 1
+        assert counts["retransmit"] >= 1
+        assert counts["transport_error"] == 0
+
+    def test_budget_exhaustion_traced_as_transport_error(self):
+        from repro.trace import recovery_summary, trace_session
+
+        with trace_session() as session:
+            tb = make_testbed(
+                FaultRule(site="nic.tx", probability=1.0),
+                retry_budget=1,
+                retransmit_timeout_ns=500.0,
+            )
+            run_puts(tb, n=1)
+        counts = recovery_summary(session.instants())
+        assert counts["transport_error"] == 1
+        assert counts["retransmit"] == 1
+
+
+class TestConfigValidation:
+    def test_retransmit_knobs_validated(self):
+        from repro.nic.config import NicConfig
+
+        with pytest.raises(ValueError):
+            NicConfig(retransmit_timeout_ns=0.0)
+        with pytest.raises(ValueError):
+            NicConfig(retransmit_backoff=0.5)
+        with pytest.raises(ValueError):
+            NicConfig(retry_budget=-1)

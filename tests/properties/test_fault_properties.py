@@ -1,0 +1,189 @@
+"""Property-based tests for the fault-injection/recovery invariants.
+
+The two contracts the subsystem must hold under *any* plan:
+
+1. while the retry budget suffices, every posted message completes
+   exactly once (no loss, no duplicate delivery) and its lifecycle
+   timestamps are monotone in virtual time;
+2. when the budget cannot suffice, every message surfaces a structured
+   error CQE — the run always terminates, it never hangs.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, FaultRule
+from repro.llp.uct import UCS_OK, UctWorker
+from repro.node import SystemConfig, Testbed
+
+#: Message lifecycle stamps that must appear in this order when present.
+_LIFECYCLE = ("posted", "nic_arrival", "wire_out", "target_nic", "payload_visible")
+
+
+def _drive(plan, n_messages, retry_budget=7, retransmit_timeout_ns=1000.0):
+    config = SystemConfig.paper_testbed(deterministic=True)
+    config = config.evolve(
+        nic=dataclasses.replace(
+            config.nic,
+            retry_budget=retry_budget,
+            retransmit_timeout_ns=retransmit_timeout_ns,
+        ),
+        faults=plan,
+    )
+    tb = Testbed(config)
+    worker = UctWorker(tb.node1)
+    iface = worker.create_iface(signal_period=1)
+    remote = UctWorker(tb.node2).create_iface()
+    ep = iface.create_ep(remote)
+    cqes = []
+    iface.add_completion_callback(cqes.append)
+    messages = []
+
+    def body():
+        for _ in range(n_messages):
+            while True:
+                status = yield from ep.put_short(8)
+                if status == UCS_OK:
+                    break
+                yield from worker.progress()
+            messages.append(iface.last_message)
+        yield from worker.progress_until(lambda: len(cqes) >= n_messages)
+
+    tb.env.run(until=tb.env.process(body(), name="driver"))
+    tb.run()
+    return tb, cqes, messages
+
+
+_site = st.sampled_from(["network.wire", "network.switch", "nic.tx", "network.ack"])
+_action = st.sampled_from(["drop", "corrupt"])
+
+
+class TestWithinBudget:
+    @given(
+        site=_site,
+        action=_action,
+        occurrences=st.lists(
+            st.integers(min_value=1, max_value=20),
+            min_size=1, max_size=5, unique=True,
+        ),
+        n_messages=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_message_completes_exactly_once(
+        self, site, action, occurrences, n_messages
+    ):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site=site, kind="nth", action=action,
+                          occurrences=tuple(occurrences)),
+            )
+        )
+        # Worst case every injected fault lands on one message's
+        # (re)transmissions, so a budget of len(occurrences)+1 always
+        # suffices for recovery.
+        tb, cqes, messages = _drive(
+            plan, n_messages, retry_budget=len(occurrences) + 1
+        )
+        assert len(cqes) == n_messages
+        assert all(cqe.status == "ok" for cqe in cqes)
+        # Exactly-once delivery at the target, regardless of retries.
+        assert tb.node2.nic.messages_received == n_messages
+        # Nothing left in flight; the transport fully settled.
+        assert not tb.node1.nic.reliability.outstanding
+        # Virtual-time monotonicity across each message's lifecycle.
+        for message in messages:
+            stamped = [
+                message.timestamps[stamp]
+                for stamp in _LIFECYCLE
+                if stamp in message.timestamps
+            ]
+            assert stamped == sorted(stamped)
+
+    @given(
+        probability=st.floats(min_value=0.05, max_value=0.4),
+        n_messages=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_probabilistic_loss_below_certainty_always_recovers(
+        self, probability, n_messages, seed
+    ):
+        plan = FaultPlan(
+            rules=(FaultRule(site="network.wire", probability=probability),)
+        )
+        config = SystemConfig.paper_testbed(deterministic=True, seed=seed)
+        config = config.evolve(
+            nic=dataclasses.replace(
+                config.nic, retry_budget=64, retransmit_timeout_ns=1000.0
+            ),
+            faults=plan,
+        )
+        tb = Testbed(config)
+        worker = UctWorker(tb.node1)
+        iface = worker.create_iface(signal_period=1)
+        remote = UctWorker(tb.node2).create_iface()
+        ep = iface.create_ep(remote)
+        cqes = []
+        iface.add_completion_callback(cqes.append)
+
+        def body():
+            for _ in range(n_messages):
+                while True:
+                    status = yield from ep.put_short(8)
+                    if status == UCS_OK:
+                        break
+                    yield from worker.progress()
+            yield from worker.progress_until(lambda: len(cqes) >= n_messages)
+
+        tb.env.run(until=tb.env.process(body(), name="driver"))
+        tb.run()
+        assert all(cqe.status == "ok" for cqe in cqes)
+        assert tb.node2.nic.messages_received == n_messages
+
+
+class TestBudgetExhaustion:
+    @given(
+        retry_budget=st.integers(min_value=0, max_value=3),
+        n_messages=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_certain_loss_surfaces_error_cqes_never_hangs(
+        self, retry_budget, n_messages
+    ):
+        plan = FaultPlan(rules=(FaultRule(site="nic.tx", probability=1.0),))
+        tb, cqes, _ = _drive(
+            plan, n_messages,
+            retry_budget=retry_budget, retransmit_timeout_ns=500.0,
+        )
+        # The driver returned: the run terminated.  Every message got a
+        # CQE, every CQE is a structured error, and nothing dangles.
+        assert len(cqes) == n_messages
+        assert all(cqe.status == "error" for cqe in cqes)
+        assert all(cqe.error for cqe in cqes)
+        reliability = tb.node1.nic.reliability
+        assert reliability.exhausted == n_messages
+        assert not reliability.outstanding
+        assert tb.node2.nic.messages_received == 0
+
+
+class TestPlanProperties:
+    @given(
+        rules=st.lists(
+            st.builds(
+                FaultRule,
+                site=st.sampled_from(
+                    ["network.wire", "network.switch", "network.ack",
+                     "nic.tx", "pcie.tlp", "pcie.dllp"]
+                ),
+                action=_action,
+                probability=st.floats(min_value=0.0, max_value=1.0),
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_serialization_round_trips(self, rules):
+        plan = FaultPlan(rules=tuple(rules))
+        assert FaultPlan.from_dict(plan.to_dict()) == plan

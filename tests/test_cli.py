@@ -159,3 +159,62 @@ class TestRank:
         assert code == 0
         first = text.splitlines()[1]
         assert first.strip().startswith("LLP")
+
+
+class TestFaultsCommand:
+    def test_bare_invocation_lists_sites_kinds_actions(self):
+        code, text = run_cli("faults")
+        assert code == 0
+        assert "network.wire" in text
+        assert "pcie.dllp" in text
+        assert "rule kinds:" in text and "nth" in text
+        assert "rule actions:" in text and "corrupt" in text
+
+    def test_valid_plan_validates_and_prints_rules(self):
+        code, text = run_cli("faults", "examples/faults/lossy_wire.json")
+        assert code == 0
+        assert "valid" in text
+        assert "network.wire drop" in text
+
+    def test_invalid_plan_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"rules": [{"site": "no.such.site"}]}')
+        code, text = run_cli("faults", str(bad))
+        assert code == 2
+        assert "invalid fault plan" in text
+
+    def test_missing_plan_file_exits_2(self, tmp_path):
+        code, text = run_cli("faults", str(tmp_path / "absent.json"))
+        assert code == 2
+        assert "cannot read fault plan" in text
+
+
+class TestBenchWithFaults:
+    def test_put_bw_prints_recovery_stats(self):
+        code, text = run_cli(
+            "bench", "put_bw", "--deterministic",
+            "--faults", "examples/faults/lossy_wire.json",
+        )
+        assert code == 0
+        assert "faults: injected=" in text
+        assert "retransmits=" in text
+        assert "exhausted=0" in text
+
+    def test_bad_plan_exits_2_before_running(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        code, text = run_cli(
+            "bench", "am_lat", "--deterministic", "--faults", str(bad)
+        )
+        assert code == 2
+        assert "invalid fault plan" in text
+
+
+class TestCampaignWithFaults:
+    def test_faults_with_replications_rejected(self):
+        code, text = run_cli(
+            "campaign", "--replications", "2",
+            "--faults", "examples/faults/lossy_wire.json",
+        )
+        assert code == 2
+        assert "--faults is not supported with --replications" in text
