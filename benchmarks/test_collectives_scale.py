@@ -1,0 +1,81 @@
+"""Scale-out collectives — 64 ranks on a routed k=4 fat-tree.
+
+The acceptance experiment for the fabric layer: a 64-node ring
+allreduce (8 B per rank) must land within 5% of the analytic
+2(N−1)-step recurrence walked over the routed per-link latencies.
+Beyond the assertion, the run is appended to ``BENCH_sim.json`` (via
+the run-indexed history in :mod:`test_simulator_performance`) so the
+wall-clock and events/sec of the largest standard experiment have a
+machine-readable trajectory.
+"""
+
+import time
+
+from conftest import write_report
+from test_simulator_performance import _record
+
+from repro.collectives import predicted_ring_allreduce_ns, ring_allreduce
+from repro.node import SystemConfig
+from repro.node.cluster import Cluster
+
+N_NODES = 64
+PAYLOAD_BYTES = 8
+REDUCE_NS = 20.0
+
+
+def test_ring_allreduce_64_nodes_fat_tree(report_dir):
+    config = (
+        SystemConfig.builder().deterministic().topology("fat_tree:4").build()
+    )
+    cluster = Cluster(N_NODES, config=config)
+
+    t0 = time.perf_counter()
+    result = ring_allreduce(
+        cluster,
+        payload_bytes=PAYLOAD_BYTES,
+        reduce_compute_ns=REDUCE_NS,
+        iterations=1,
+    )
+    wall_s = time.perf_counter() - t0
+
+    model = predicted_ring_allreduce_ns(
+        N_NODES, config, cluster.topology, reduce_compute_ns=REDUCE_NS
+    )
+    error = abs(result.total_ns - model) / model
+    events = cluster.env.processed_events
+
+    shared = sum(
+        1
+        for stats in cluster.fabric.link_stats().values()
+        if stats["peak_inflight"] > 1
+    )
+    lines = [
+        f"ring allreduce, {N_NODES} ranks on {cluster.topology.spec}:",
+        f"  simulated : {result.total_ns:>12.1f} ns ({result.steps} steps)",
+        f"  model     : {model:>12.1f} ns (zero-load recurrence)",
+        f"  error     : {error:>11.2%}",
+        f"  engine    : {events} events in {wall_s:.2f} s"
+        f" ({events / wall_s:,.0f} events/s)",
+        f"  contention: {shared} links saw >1 frame in flight",
+    ]
+    write_report(report_dir, "collectives_scale", "\n".join(lines))
+
+    _record(
+        "collectives_scale",
+        {
+            "workload": "allreduce",
+            "algorithm": "ring",
+            "n_nodes": N_NODES,
+            "topology": "fat_tree:4",
+            "payload_bytes": PAYLOAD_BYTES,
+            "simulated_ns": result.total_ns,
+            "model_ns": model,
+            "model_error": error,
+            "events_processed": events,
+            "wall_s": wall_s,
+            "events_per_s": events / wall_s if wall_s else 0.0,
+        },
+    )
+
+    assert result.steps == 2 * (N_NODES - 1)
+    assert error < 0.05

@@ -5,30 +5,34 @@ High-performance Communication* (Zambre, Grodowitz, Chandramowlishwaran,
 Shamis — ICPP 2019) built on a discrete-event simulator of the whole
 communication stack: CPU software layers (MPICH/UCP/UCT-like), the PCIe
 subsystem with credit-based flow control and a passive protocol
-analyzer, a ConnectX-4-like NIC, and an InfiniBand-like fabric.
+analyzer, a ConnectX-4-like NIC, and an InfiniBand-like fabric — plus
+routed multi-node topologies and collective algorithms on top.
 
 Quickstart::
 
-    from repro import ComponentTimes, EndToEndLatencyModel
-    from repro.bench import run_am_lat
+    from repro import Experiment, SystemConfig
+
+    # The single composition point: config, scale, topology, faults,
+    # trace — see repro.api.
+    exp = Experiment(
+        config=SystemConfig.builder().deterministic(),
+        nodes=64,
+        topology="fat_tree:4",
+    )
+    run = exp.run("allreduce", algorithm="ring", payload_bytes=8)
+    print(run.measurements["time_per_iteration_ns"])
 
     # Analytical model with the paper's measured values.
+    from repro import ComponentTimes, EndToEndLatencyModel
     model = EndToEndLatencyModel(ComponentTimes.paper())
     print(model.predicted_ns)                 # 1387.02 ns
-
-    # Observe the same quantity on the simulated testbed.
-    result = run_am_lat(iterations=200)
-    print(result.observed_latency_ns)
-
-    # Or re-measure every component with the paper's methodology:
-    from repro.analysis import measure_component_times
-    campaign = measure_component_times()
-    times = campaign.to_component_times()
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-reproduction record of every table and figure.
 """
 
+from repro.api import Experiment, ExperimentRun
+from repro.campaign import CampaignSpec, SweepAxis
 from repro.core.components import Category, ComponentTimes
 from repro.core.models import (
     EndToEndLatencyModel,
@@ -40,25 +44,40 @@ from repro.core.models import (
 )
 from repro.core.validation import ValidationResult, validate
 from repro.core.whatif import Metric, WhatIfAnalysis
-from repro.node.config import SystemConfig
+from repro.faults import FaultPlan
+from repro.network.topology import TopologySpec
+from repro.node.cluster import Cluster
+from repro.node.config import SystemConfig, SystemConfigBuilder
 from repro.node.testbed import Testbed
+from repro.trace import trace_session
 
 __version__ = "1.0.0"
 
+#: The supported public surface.  Everything else under ``repro.*`` is
+#: importable but unsupported implementation detail.
 __all__ = [
+    "CampaignSpec",
     "Category",
+    "Cluster",
     "ComponentTimes",
     "EndToEndLatencyModel",
+    "Experiment",
+    "ExperimentRun",
+    "FaultPlan",
     "InjectionModelLlp",
     "LatencyModelLlp",
     "Metric",
     "OverallInjectionModel",
+    "SweepAxis",
     "SystemConfig",
+    "SystemConfigBuilder",
     "Testbed",
+    "TopologySpec",
     "ValidationResult",
     "WhatIfAnalysis",
     "__version__",
     "gen_completion",
     "min_poll_interval",
+    "trace_session",
     "validate",
 ]

@@ -1,0 +1,222 @@
+"""The single front door to the simulator: build, run, sweep.
+
+Everything the per-module constructors scatter — testbed assembly,
+topology, fault plans, tracing, campaign sweeps — composes in one
+place::
+
+    from repro.api import Experiment, SystemConfig
+
+    exp = Experiment(
+        config=SystemConfig.builder().nic(txq_depth=4).deterministic(),
+        nodes=64,
+        topology="fat_tree:4",
+        trace=False,
+    )
+    run = exp.run("allreduce", algorithm="ring", payload_bytes=8)
+    print(run.measurements["time_per_iteration_ns"])
+
+    sweep = exp.sweep("allreduce", axes={"n_nodes": (8, 16, 64)}, jobs=4)
+
+An :class:`Experiment` is cheap and immutable-ish: each ``run`` builds
+a fresh simulation from the resolved config, so repeated runs are
+independent and deterministic.  Workload names come from the campaign
+registry (:mod:`repro.campaign.workloads`); unknown names raise
+``KeyError`` listing what is registered.
+
+The legacy entry points (``Testbed(config)``, per-module config
+constructors, ``repro.apps.run_ring_allreduce``) keep working; this
+module is the supported composition layer on top of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from dataclasses import dataclass
+from typing import Any
+
+from repro.campaign import CampaignResult, CampaignSpec, SweepAxis, run_campaign
+from repro.campaign.workloads import get_workload
+from repro.faults.plan import FaultPlan
+from repro.network.topology import TopologySpec
+from repro.node.cluster import Cluster
+from repro.node.config import SystemConfig, SystemConfigBuilder
+from repro.node.testbed import Testbed
+
+__all__ = [
+    "Experiment",
+    "ExperimentRun",
+    "FaultPlan",
+    "SystemConfig",
+    "SystemConfigBuilder",
+    "TopologySpec",
+]
+
+
+@dataclass
+class ExperimentRun:
+    """One completed workload execution."""
+
+    workload: str
+    params: dict[str, Any]
+    config: SystemConfig
+    #: The workload's flat measurement dict (JSON-encodable).
+    measurements: dict[str, Any]
+    #: Span/counter summary when the experiment traces, else None.
+    trace_summary: dict[str, Any] | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v!r}" for k, v in sorted(self.measurements.items()))
+        return f"<ExperimentRun {self.workload} {body}>"
+
+
+class Experiment:
+    """A composed experiment: config + scale + topology + faults + trace.
+
+    Parameters
+    ----------
+    config:
+        A :class:`SystemConfig`, a :class:`SystemConfigBuilder` (built
+        automatically), or None for the paper testbed.
+    nodes:
+        Cluster size for workloads that take an ``n_nodes`` parameter
+        (collectives); also what :meth:`cluster` builds.
+    topology:
+        ``TopologySpec``, a string like ``"fat_tree:4"`` / ``"ring"`` /
+        ``"torus:4x4"``, or None to keep the config's topology.
+    faults:
+        A :class:`FaultPlan`, a plan-file path, or None.
+    trace:
+        Record spans during :meth:`run` and attach the summary to the
+        :class:`ExperimentRun` (sweeps pass the flag to the campaign).
+    seed / deterministic:
+        Override the corresponding config fields when not None.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | SystemConfigBuilder | None = None,
+        *,
+        nodes: int = 2,
+        topology: TopologySpec | str | None = None,
+        faults: FaultPlan | str | None = None,
+        trace: bool = False,
+        seed: int | None = None,
+        deterministic: bool | None = None,
+        name: str = "experiment",
+    ) -> None:
+        if nodes < 2:
+            raise ValueError(f"an experiment needs at least two nodes, got {nodes}")
+        if isinstance(config, SystemConfigBuilder):
+            config = config.build()
+        resolved = config if config is not None else SystemConfig.paper_testbed()
+        if seed is not None:
+            resolved = resolved.evolve(seed=int(seed))
+        if deterministic is not None:
+            resolved = resolved.evolve(deterministic=deterministic)
+        if topology is not None:
+            spec = (
+                TopologySpec.parse(topology) if isinstance(topology, str) else topology
+            )
+            resolved = resolved.evolve(
+                network=dataclasses.replace(resolved.network, topology=spec)
+            )
+        if faults is not None:
+            plan = FaultPlan.load(faults) if isinstance(faults, str) else faults
+            resolved = resolved.evolve(faults=plan)
+        self.config = resolved
+        self.nodes = nodes
+        self.trace = trace
+        self.name = name
+
+    # -- construction ------------------------------------------------------
+    def cluster(self, **kwargs: Any) -> Cluster:
+        """A fresh N-node cluster with this experiment's config."""
+        return Cluster(self.nodes, config=self.config, **kwargs)
+
+    def testbed(self, **kwargs: Any) -> Testbed:
+        """The two-node paper testbed (requires ``nodes == 2``)."""
+        if self.nodes != 2:
+            raise ValueError(
+                f"testbed() is the two-node setup; this experiment has "
+                f"{self.nodes} nodes — use cluster()"
+            )
+        return Testbed(config=self.config, **kwargs)
+
+    # -- execution ---------------------------------------------------------
+    def _resolved_params(self, workload_name: str, params: dict[str, Any]) -> dict[str, Any]:
+        """Fold ``nodes`` into workloads that accept ``n_nodes``."""
+        workload = get_workload(workload_name)
+        if "n_nodes" in params:
+            return params
+        try:
+            accepts = inspect.signature(workload).parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            return params
+        if "n_nodes" in accepts:
+            return {**params, "n_nodes": self.nodes}
+        return params
+
+    def run(self, workload: str, **params: Any) -> ExperimentRun:
+        """Execute one registered workload and return its measurements."""
+        resolved_params = self._resolved_params(workload, params)
+        fn = get_workload(workload)
+        if self.trace:
+            from repro.trace import trace_session
+
+            with trace_session() as session:
+                measurements = fn(self.config, **resolved_params)
+            trace_summary = session.summary()
+        else:
+            measurements = fn(self.config, **resolved_params)
+            trace_summary = None
+        return ExperimentRun(
+            workload=workload,
+            params=resolved_params,
+            config=self.config,
+            measurements=measurements,
+            trace_summary=trace_summary,
+        )
+
+    def sweep(
+        self,
+        workload: str,
+        axes: dict[str, Any] | list[SweepAxis] | tuple[SweepAxis, ...] = (),
+        seeds: tuple[int, ...] | list[int] | None = None,
+        jobs: int = 1,
+        cache_dir: str | None = None,
+        params: dict[str, Any] | None = None,
+        **spec_kwargs: Any,
+    ) -> CampaignResult:
+        """Run a declarative campaign sweep of one workload.
+
+        ``axes`` maps axis names (config dotted paths or workload
+        parameters) to value tuples, or is a prebuilt
+        :class:`SweepAxis` list.  Extra keyword arguments pass through
+        to :class:`CampaignSpec` (``timeout_s``, ``retries``...).
+        """
+        if isinstance(axes, dict):
+            axis_objects = tuple(
+                SweepAxis(name, tuple(values)) for name, values in axes.items()
+            )
+        else:
+            axis_objects = tuple(axes)
+        spec = CampaignSpec(
+            name=f"{self.name}-{workload}",
+            workload=workload,
+            base_config=self.config,
+            axes=axis_objects,
+            params=self._resolved_params(workload, dict(params or {})),
+            seeds=tuple(seeds) if seeds else (self.config.seed,),
+            trace=self.trace,
+            **spec_kwargs,
+        )
+        return run_campaign(spec, jobs=jobs, cache_dir=cache_dir)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        topo = self.config.network.topology
+        return (
+            f"<Experiment {self.name!r} nodes={self.nodes} "
+            f"topology={topo.kind if topo else 'point-to-point'} "
+            f"config={self.config.stable_hash()}>"
+        )

@@ -1,22 +1,20 @@
-"""Ring allreduce over N simulated nodes.
+"""Deprecated shim: ring allreduce moved to :mod:`repro.collectives`.
 
-A fine-grained collective in the spirit of the paper's introduction:
-each of the 2(N−1) ring steps moves one small chunk to the right
-neighbour and reduces the chunk arriving from the left.  With every
-rank advancing in lockstep, the per-step time is one end-to-end
-latency (sends overlap the receive wait), so the §6 model predicts::
-
-    T_allreduce ≈ 2(N−1) × (end-to-end latency + reduce_compute)
-
-which the simulation confirms — the multi-node composition of the
-paper's single-link model.
+This module's :func:`run_ring_allreduce` predates the collectives
+package; it now delegates to
+:func:`repro.collectives.ring_allreduce` (same algorithm, same
+process names, same timing) and re-shapes the return value into the
+legacy :class:`AllreduceResult`.  New code should use
+``repro.collectives`` directly — or run the registered ``allreduce``
+workload through :class:`repro.api.Experiment`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from repro.hlp.mpi import MpiStack
+from repro.collectives import ring_allreduce
 from repro.node.cluster import Cluster
 from repro.node.config import SystemConfig
 
@@ -25,7 +23,7 @@ __all__ = ["AllreduceResult", "run_ring_allreduce"]
 
 @dataclass
 class AllreduceResult:
-    """Outcome of one ring-allreduce run."""
+    """Outcome of one ring-allreduce run (legacy shape)."""
 
     cluster: Cluster
     n_nodes: int
@@ -58,46 +56,29 @@ def run_ring_allreduce(
     iterations: int = 20,
     signal_period: int = 64,
 ) -> AllreduceResult:
-    """Run ``iterations`` ring allreduces across ``n_nodes`` ranks."""
+    """Deprecated: use :func:`repro.collectives.ring_allreduce`."""
+    warnings.warn(
+        "repro.apps.run_ring_allreduce is deprecated; use "
+        "repro.collectives.ring_allreduce (or the 'allreduce' workload "
+        "via repro.api.Experiment) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
-    if reduce_compute_ns < 0:
-        raise ValueError(f"reduce_compute_ns must be >= 0, got {reduce_compute_ns}")
     cluster = Cluster(n_nodes, config=config)
-    env = cluster.env
-    stacks = [MpiStack(node, signal_period=signal_period) for node in cluster.nodes]
-    to_right = [
-        stacks[index].connect(stacks[(index + 1) % n_nodes])
-        for index in range(n_nodes)
-    ]
-    steps = 2 * (n_nodes - 1)
-    marks: dict[str, float] = {}
-
-    def rank(index: int):
-        comm = to_right[index]
-        node = cluster.nodes[index]
-        for _ in range(iterations):
-            for _step in range(steps):
-                incoming = yield from comm.irecv(chunk_bytes)
-                yield from comm.isend(chunk_bytes)
-                yield from comm.wait(incoming)
-                if reduce_compute_ns > 0:
-                    yield from node.cpu.execute(
-                        "reduce_op", mean=reduce_compute_ns
-                    )
-        if index == 0:
-            marks["t_end"] = env.now
-
-    processes = [
-        env.process(rank(index), name=f"allreduce.rank{index}")
-        for index in range(n_nodes)
-    ]
-    env.run(until=env.all_of(processes))
+    result = ring_allreduce(
+        cluster,
+        payload_bytes=chunk_bytes,
+        reduce_compute_ns=reduce_compute_ns,
+        iterations=iterations,
+        signal_period=signal_period,
+    )
     return AllreduceResult(
         cluster=cluster,
         n_nodes=n_nodes,
         chunk_bytes=chunk_bytes,
         reduce_compute_ns=reduce_compute_ns,
         iterations=iterations,
-        total_ns=marks["t_end"],
+        total_ns=result.total_ns,
     )

@@ -40,6 +40,11 @@ _REGISTRY: dict[str, Workload | str] = {
     "whatif_speedup": "repro.campaign.workloads:whatif_speedup_workload",
     "replication": "repro.analysis.replication:replication_workload",
     "selftest": "repro.campaign.workloads:selftest_workload",
+    # Scale-out collectives (node count, topology, algorithm are all
+    # sweepable parameters — see repro.collectives.workloads).
+    "allreduce": "repro.collectives.workloads:allreduce_workload",
+    "bcast": "repro.collectives.workloads:bcast_workload",
+    "barrier": "repro.collectives.workloads:barrier_workload",
 }
 
 

@@ -19,27 +19,49 @@ Commands
     with completed seeds cached under ``--cache-dir``.
 ``rank --metric {injection,latency} --reduction R``
     Rank all components by the overall speedup a given reduction buys.
-``bench WORKLOAD [--sweep AXIS=V1,V2,...] [--seeds S1,S2,...] [--jobs N] [--cache-dir DIR]``
+``bench WORKLOAD [--sweep AXIS=V1,V2,...] [--seeds S1,S2,...]``
     Run one registered workload on the simulated testbed.  ``--sweep``
     turns the run into a declarative campaign (repeatable; axes may be
     dotted config paths like ``nic.txq_depth`` or workload parameters)
     and prints one structured RunRecord per point.
-``trace WORKLOAD [--out trace.json] [--param K=V] [--iterations N]``
+``trace WORKLOAD [--out trace.json] [--timeline N]``
     Run one workload with span tracing enabled, write the Chrome
     trace-event / Perfetto JSON to ``--out`` and print the per-layer
     summary plus — for latency workloads — the critical-path breakdown
     of the last traced message (see docs/tracing.md).
-``faults [PLAN.json]``
+``faults [PLAN.json] [--workload NAME]``
     Without an argument: list the fault-injection sites, rule kinds and
     actions.  With a plan file: validate it and print its rules (exit 2
-    with a message on schema errors).  See docs/faults.md.
+    with a message on schema errors); add ``--workload`` to also run
+    one registered workload under the plan.  See docs/faults.md.
 
-``bench`` and ``campaign`` additionally accept ``--faults PLAN.json``
-to run under a fault-injection plan; bench prints injection/recovery
-statistics after the measurement.
+Uniform run flags
+-----------------
+``bench``, ``campaign``, ``trace`` and ``faults`` accept the same run
+conventions, spelled identically everywhere:
+
+``--param K=V``
+    Workload keyword argument (repeatable).  Dotted names address
+    config fields instead: ``--param nic.txq_depth=4`` evolves the
+    system config before the run.
+``--faults PLAN.json``
+    Run under a fault-injection plan; bench prints injection/recovery
+    statistics after the measurement.
+``--trace [OUT.json]``
+    Record spans during the run and write the Chrome trace-event JSON
+    (default ``trace.json``).  Campaign-backed sweeps instead attach
+    per-point trace summaries to their RunRecords.
+``--jobs N`` / ``--cache-dir DIR``
+    Worker processes and the cross-run result cache for
+    campaign-backed execution; single-run commands validate and
+    ignore them.
+``--seed N`` / ``--deterministic``
+    Root random seed, and the jitter-free mode where every duration
+    equals its configured mean.
 
 Unknown workload names and invalid fault plans exit with code 2 and a
-message.  All commands accept ``--help``.
+message listing the registered alternatives.  All commands accept
+``--help``.
 """
 
 from __future__ import annotations
@@ -74,6 +96,42 @@ _BREAKDOWNS = {
     "fig15": exp.experiment_fig15,
     "fig16": exp.experiment_fig16,
 }
+
+
+def _add_uniform_flags(parser: argparse.ArgumentParser) -> None:
+    """The run conventions shared by bench/campaign/trace/faults.
+
+    One spelling everywhere — a flag learned on one subcommand works on
+    the others (see the module docstring's "Uniform run flags").
+    """
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="workload keyword argument; dotted names "
+             "(nic.txq_depth=4) override config fields; repeatable",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="fault-injection plan (JSON, see docs/faults.md)",
+    )
+    parser.add_argument(
+        "--trace", nargs="?", const="trace.json", default=None,
+        metavar="OUT.json", dest="trace_out",
+        help="record spans; write Chrome trace-event JSON "
+             "(default trace.json)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for campaign-backed runs",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory caching completed sweep points across runs",
+    )
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument(
+        "--deterministic", action="store_true",
+        help="disable timing jitter (durations equal configured means)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -113,28 +171,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "campaign", help="run the full measurement methodology in-simulator"
     )
     campaign.add_argument("--quick", action="store_true")
-    campaign.add_argument("--seed", type=int, default=2019)
     campaign.add_argument(
         "--replications", type=int, default=0,
         help="run the pipeline as an N-seed replication campaign",
     )
-    campaign.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for campaign sweep points",
-    )
-    campaign.add_argument(
-        "--cache-dir", default=None,
-        help="directory caching completed sweep points across runs",
-    )
-    campaign.add_argument(
-        "--faults", default=None, metavar="PLAN.json",
-        help="fault-injection plan applied to every simulated point",
-    )
+    _add_uniform_flags(campaign)
 
     bench = sub.add_parser("bench", help="run one micro-benchmark")
     bench.add_argument("workload")
-    bench.add_argument("--seed", type=int, default=2019)
-    bench.add_argument("--deterministic", action="store_true")
     bench.add_argument(
         "--sweep", action="append", default=[], metavar="AXIS=V1,V2,...",
         help="sweep an axis (config path or workload param); repeatable",
@@ -143,33 +187,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seeds", default=None, metavar="S1,S2,...",
         help="comma-separated noise seeds (overrides --seed)",
     )
-    bench.add_argument("--jobs", type=int, default=1)
-    bench.add_argument("--cache-dir", default=None)
-    bench.add_argument(
-        "--faults", default=None, metavar="PLAN.json",
-        help="fault-injection plan (JSON, see docs/faults.md)",
-    )
+    _add_uniform_flags(bench)
 
     trace = sub.add_parser(
         "trace", help="run one workload with span tracing, export Perfetto JSON"
     )
     trace.add_argument("workload")
     trace.add_argument(
-        "--out", default="trace.json", help="Chrome trace-event JSON output path"
-    )
-    trace.add_argument("--seed", type=int, default=2019)
-    trace.add_argument(
-        "--deterministic", action="store_true",
-        help="disable timing jitter (spans equal configured means)",
-    )
-    trace.add_argument(
-        "--param", action="append", default=[], metavar="K=V",
-        help="workload keyword argument; repeatable",
+        "--out", default="trace.json",
+        help="Chrome trace-event JSON output path (--trace OUT overrides)",
     )
     trace.add_argument(
         "--timeline", type=int, default=0, metavar="N",
         help="also print the first N rows of the plain-text timeline",
     )
+    _add_uniform_flags(trace)
 
     faults = sub.add_parser(
         "faults", help="list fault-injection sites or validate a plan file"
@@ -178,6 +210,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "plan", nargs="?", default=None, metavar="PLAN.json",
         help="plan file to validate (omit to list sites/kinds/actions)",
     )
+    faults.add_argument(
+        "--workload", default=None, metavar="NAME",
+        help="also run one registered workload under the validated plan",
+    )
+    _add_uniform_flags(faults)
     return parser
 
 
@@ -295,15 +332,33 @@ def _cmd_rank(args: argparse.Namespace, out, times: ComponentTimes) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace, out) -> int:
+    if not _check_jobs(args, out):
+        return 2
+    split = _split_params(args.param, out)
+    if split is None:
+        return 2
+    params, overrides = split
+    if params:
+        print(
+            "campaign has no workload parameters; --param takes dotted "
+            "config paths here (e.g. nic.txq_depth=4)",
+            file=out,
+        )
+        return 2
     fault_plan = None
     if args.faults is not None:
         fault_plan = _load_fault_plan(args.faults, out)
         if fault_plan is None:
             return 2
     if args.replications:
-        if fault_plan is not None:
-            print("--faults is not supported with --replications", file=out)
-            return 2
+        for flag, given in (
+            ("--faults", fault_plan is not None),
+            ("--trace", bool(args.trace_out)),
+            ("--param", bool(overrides)),
+        ):
+            if given:
+                print(f"{flag} is not supported with --replications", file=out)
+                return 2
         print(
             f"running the {args.replications}-seed replication campaign "
             f"(jobs={args.jobs})...",
@@ -323,10 +378,24 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
     from repro.analysis import measure_component_times
 
     print("running the measurement campaign...", file=out)
-    config = SystemConfig.paper_testbed(seed=args.seed)
+    config = SystemConfig.paper_testbed(
+        seed=args.seed, deterministic=args.deterministic
+    )
     if fault_plan is not None:
         config = config.evolve(faults=fault_plan)
-    campaign = measure_component_times(config, quick=args.quick)
+    if overrides:
+        maybe = _apply_overrides(config, overrides, out)
+        if maybe is None:
+            return 2
+        config = maybe
+    if args.trace_out:
+        from repro.trace import trace_session
+
+        with trace_session() as session:
+            campaign = measure_component_times(config, quick=args.quick)
+        _write_trace(session, args.trace_out, out)
+    else:
+        campaign = measure_component_times(config, quick=args.quick)
     measured = campaign.to_component_times()
     print(exp.experiment_table1(measured, reference=ComponentTimes.paper()), file=out)
     print("", file=out)
@@ -344,7 +413,57 @@ def _parse_sweep_value(text: str):
         return text
 
 
-def _cmd_bench_campaign(args: argparse.Namespace, out, config: SystemConfig) -> int:
+def _split_params(entries, out):
+    """``--param`` entries → (workload kwargs, dotted config overrides).
+
+    Returns None (after printing a message) on a malformed entry.
+    """
+    params: dict = {}
+    overrides: dict = {}
+    for entry in entries:
+        key, separator, value = entry.partition("=")
+        if not separator or not key:
+            print(f"bad --param {entry!r}; expected K=V", file=out)
+            return None
+        target = overrides if "." in key else params
+        target[key] = _parse_sweep_value(value)
+    return params, overrides
+
+
+def _apply_overrides(config: SystemConfig, overrides: dict, out) -> SystemConfig | None:
+    """Dotted ``--param`` overrides onto the config; None + message on error."""
+    from repro.campaign.spec import apply_config_overrides
+
+    try:
+        return apply_config_overrides(config, overrides)
+    except (AttributeError, TypeError, ValueError) as exc:
+        print(f"bad --param: {exc}", file=out)
+        return None
+
+
+def _check_jobs(args: argparse.Namespace, out) -> bool:
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=out)
+        return False
+    return True
+
+
+def _write_trace(session, path: str, out) -> dict:
+    """Write the Chrome trace and print the one-line summary."""
+    session.write_chrome_trace(path)
+    summary = session.summary()
+    print(
+        f"trace: {summary['spans']} spans, {summary['instants']} instants "
+        f"({summary['tracers']} tracer(s), {summary['dropped_spans']} dropped) "
+        f"-> {path}",
+        file=out,
+    )
+    return summary
+
+
+def _cmd_bench_campaign(
+    args: argparse.Namespace, out, config: SystemConfig, params: dict
+) -> int:
     from repro.campaign import CampaignSpec, SweepAxis, run_campaign
 
     axes = []
@@ -375,13 +494,16 @@ def _cmd_bench_campaign(args: argparse.Namespace, out, config: SystemConfig) -> 
         workload=args.workload,
         base_config=config,
         axes=tuple(axes),
+        params=params,
         seeds=seeds,
+        trace=bool(args.trace_out),
     )
     try:
         result = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache_dir)
-    except (ValueError, AttributeError) as exc:
-        # Bad --jobs values or sweep axes naming nonexistent config
-        # fields surface here; a traceback helps nobody at the CLI.
+    except (ValueError, AttributeError, TypeError) as exc:
+        # Bad --jobs values, sweep axes naming nonexistent config
+        # fields, or sweep values of the wrong type surface here; a
+        # traceback helps nobody at the CLI.
         print(f"campaign error: {exc}", file=out)
         return 2
     print(result.render(), file=out)
@@ -391,6 +513,12 @@ def _cmd_bench_campaign(args: argparse.Namespace, out, config: SystemConfig) -> 
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     if _resolve_workload(args.workload, out) is None:
         return 2
+    if not _check_jobs(args, out):
+        return 2
+    split = _split_params(args.param, out)
+    if split is None:
+        return 2
+    params, overrides = split
     config = SystemConfig.paper_testbed(
         seed=args.seed, deterministic=args.deterministic
     )
@@ -399,13 +527,18 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         if plan is None:
             return 2
         config = config.evolve(faults=plan)
+    if overrides:
+        maybe = _apply_overrides(config, overrides, out)
+        if maybe is None:
+            return 2
+        config = maybe
     legacy = {"put_bw", "am_lat", "osu_mr", "osu_latency"}
     campaign_mode = (
         args.sweep or args.seeds or args.jobs != 1 or args.cache_dir
         or args.workload not in legacy
     )
     if campaign_mode:
-        return _cmd_bench_campaign(args, out, config)
+        return _cmd_bench_campaign(args, out, config, params)
 
     from repro.bench import (
         run_am_lat,
@@ -414,8 +547,27 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         run_put_bw,
     )
 
+    runners = {
+        "put_bw": run_put_bw,
+        "am_lat": run_am_lat,
+        "osu_mr": run_osu_message_rate,
+        "osu_latency": run_osu_latency,
+    }
+    runner = runners[args.workload]
+    try:
+        if args.trace_out:
+            from repro.trace import trace_session
+
+            with trace_session() as session:
+                result = runner(config=config, **params)
+            _write_trace(session, args.trace_out, out)
+        else:
+            result = runner(config=config, **params)
+    except TypeError as exc:
+        print(f"bad --param for workload {args.workload!r}: {exc}", file=out)
+        return 2
+
     if args.workload == "put_bw":
-        result = run_put_bw(config=config)
         print(
             f"put_bw: NIC-observed injection overhead "
             f"{result.mean_injection_overhead_ns:.2f} ns "
@@ -423,17 +575,14 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
             file=out,
         )
     elif args.workload == "am_lat":
-        result = run_am_lat(config=config)
         print(f"am_lat: observed latency {result.observed_latency_ns:.2f} ns", file=out)
     elif args.workload == "osu_mr":
-        result = run_osu_message_rate(config=config)
         print(
             f"osu_mr: {result.message_rate_per_s / 1e6:.3f} M msg/s "
             f"(1/rate = {result.cpu_side_injection_overhead_ns:.2f} ns)",
             file=out,
         )
     else:
-        result = run_osu_latency(config=config)
         print(
             f"osu_latency: observed latency {result.observed_latency_ns:.2f} ns",
             file=out,
@@ -447,34 +596,37 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
     workload = _resolve_workload(args.workload, out)
     if workload is None:
         return 2
-    params = {}
-    for entry in args.param:
-        key, separator, value = entry.partition("=")
-        if not separator or not key:
-            print(f"bad --param {entry!r}; expected K=V", file=out)
-            return 2
-        params[key] = _parse_sweep_value(value)
+    if not _check_jobs(args, out):
+        return 2
+    split = _split_params(args.param, out)
+    if split is None:
+        return 2
+    params, overrides = split
     config = SystemConfig.paper_testbed(
         seed=args.seed, deterministic=args.deterministic
     )
+    if args.faults is not None:
+        plan = _load_fault_plan(args.faults, out)
+        if plan is None:
+            return 2
+        config = config.evolve(faults=plan)
+    if overrides:
+        maybe = _apply_overrides(config, overrides, out)
+        if maybe is None:
+            return 2
+        config = maybe
+    out_path = args.trace_out or args.out
 
     from repro.trace import critical_path_breakdown, critical_path_report, trace_session
 
     with trace_session() as session:
         measurements = workload(config, **params)
-    session.write_chrome_trace(args.out)
-    summary = session.summary()
     body = ", ".join(
         f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
         for k, v in sorted(measurements.items())
     )
     print(f"{args.workload}: {body}", file=out)
-    print(
-        f"trace: {summary['spans']} spans, {summary['instants']} instants "
-        f"({summary['tracers']} tracer(s), {summary['dropped_spans']} dropped) "
-        f"-> {args.out}",
-        file=out,
-    )
+    summary = _write_trace(session, out_path, out)
     for layer, stats in sorted(summary["per_layer"].items()):
         print(
             f"  {layer:<8} {stats['spans']:>7} spans "
@@ -509,14 +661,21 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
 def _cmd_faults(args: argparse.Namespace, out) -> int:
     from repro.faults import ACTIONS, KINDS, SITES
 
-    if args.plan is None:
+    if args.plan is not None and args.faults is not None and args.plan != args.faults:
+        print("give the plan either positionally or via --faults, not both", file=out)
+        return 2
+    plan_path = args.plan if args.plan is not None else args.faults
+    if plan_path is None:
+        if args.workload is not None:
+            print("--workload needs a fault plan to run under", file=out)
+            return 2
         print("fault-injection sites:", file=out)
         for site, description in sorted(SITES.items()):
             print(f"  {site:<16} {description}", file=out)
         print(f"rule kinds:   {', '.join(KINDS)}", file=out)
         print(f"rule actions: {', '.join(ACTIONS)}", file=out)
         return 0
-    plan = _load_fault_plan(args.plan, out)
+    plan = _load_fault_plan(plan_path, out)
     if plan is None:
         return 2
     print(f"plan {plan.name!r}: {len(plan.rules)} rule(s), valid", file=out)
@@ -529,6 +688,22 @@ def _cmd_faults(args: argparse.Namespace, out) -> int:
             trigger = f"p={rule.probability}"
         print(f"  [{index}] {rule.site} {rule.action} ({rule.kind}, {trigger})",
               file=out)
+    if args.workload is not None:
+        # Same machinery as `bench NAME --faults PLAN` — the plan just
+        # came in positionally.
+        bench_args = argparse.Namespace(
+            workload=args.workload,
+            sweep=[],
+            seeds=None,
+            param=args.param,
+            faults=plan_path,
+            trace_out=args.trace_out,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            seed=args.seed,
+            deterministic=args.deterministic,
+        )
+        return _cmd_bench(bench_args, out)
     return 0
 
 

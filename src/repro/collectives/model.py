@@ -1,0 +1,187 @@
+"""Analytic predictions for the collectives.
+
+All predictions compose the paper's §6 end-to-end latency model — the
+per-message critical path ``HLP_post + LLP_post + 2·PCIe + Network +
+RC-to-MEM + LLP_prog + HLP_rx_prog`` — over the algorithm's dependency
+chain, substituting each hop's routed network time for the paper's
+one-switch Network term.  On a uniform fabric the ring prediction
+reduces to the familiar ``2(N−1) × (end-to-end + reduce)``; on a
+routed topology the recurrence walks the actual per-link latencies, so
+a ring crossing pod boundaries is predicted slower than one inside an
+edge switch — which is what the simulation measures.
+
+Contention is *not* modelled here: predictions are zero-load. Comparing
+them against measured completion times is how the experiments expose
+queueing on shared links.
+"""
+
+from __future__ import annotations
+
+from repro.core.components import ComponentTimes
+from repro.core.models import EndToEndLatencyModel
+from repro.network.topology import Topology
+from repro.node.config import SystemConfig
+
+__all__ = [
+    "path_end_to_end_ns",
+    "predicted_barrier_ns",
+    "predicted_recursive_doubling_ns",
+    "predicted_ring_allreduce_ns",
+    "predicted_tree_broadcast_ns",
+]
+
+
+def _network_ns(
+    config: SystemConfig, topology: Topology | None, src: str | None, dst: str | None
+) -> float:
+    if topology is None or src is None or dst is None:
+        return config.network.one_way_latency()
+    return topology.path_network_latency_ns(src, dst, config.network)
+
+
+def path_end_to_end_ns(
+    config: SystemConfig,
+    topology: Topology | None = None,
+    src: str | None = None,
+    dst: str | None = None,
+    times: ComponentTimes | None = None,
+) -> float:
+    """End-to-end MPI latency of one small message over one routed path.
+
+    The §6 model with its Network term (one wire + one switch, 382.81 ns)
+    replaced by the routed path's wires × wire + switches × switch.
+    With no topology the configured point-to-point
+    :meth:`~repro.network.config.NetworkConfig.one_way_latency` is used,
+    so direct (switchless) configs predict correctly too.
+    """
+    times = times or ComponentTimes.paper()
+    base = EndToEndLatencyModel(times).predicted_ns
+    return base - times.network + _network_ns(config, topology, src, dst)
+
+
+def _ring_links(
+    hosts: tuple[str, ...] | list[str] | None, n_nodes: int
+) -> list[tuple[str | None, str | None]]:
+    if hosts is None:
+        return [(None, None)] * n_nodes
+    return [(hosts[i], hosts[(i + 1) % n_nodes]) for i in range(n_nodes)]
+
+
+def predicted_ring_allreduce_ns(
+    n_nodes: int,
+    config: SystemConfig,
+    topology: Topology | None = None,
+    reduce_compute_ns: float = 20.0,
+    iterations: int = 1,
+    times: ComponentTimes | None = None,
+) -> float:
+    """The 2(N−1)-step ring model over the actual per-link latencies.
+
+    Completion follows the lockstep recurrence
+
+    .. code-block:: text
+
+        C(r, s) = max(C(r, s-1), C(r-1, s-1) + e2e(r-1 → r)) + reduce
+
+    — rank r finishes step s once its own step s-1 is done *and* the
+    chunk its left neighbour sent at the start of step s-1 has crossed
+    the link.  On a uniform fabric every e2e is equal and the
+    recurrence collapses to ``steps × (e2e + reduce)``.
+    """
+    hosts = topology.hosts if topology is not None else None
+    e2e = [
+        path_end_to_end_ns(config, topology, src, dst, times=times)
+        for src, dst in _ring_links(hosts, n_nodes)
+    ]
+    steps = 2 * (n_nodes - 1) * iterations
+    done = [0.0] * n_nodes
+    for _step in range(steps):
+        previous = done
+        done = [
+            max(previous[r], previous[(r - 1) % n_nodes] + e2e[(r - 1) % n_nodes])
+            + reduce_compute_ns
+            for r in range(n_nodes)
+        ]
+    return done[0]
+
+
+def predicted_recursive_doubling_ns(
+    n_nodes: int,
+    config: SystemConfig,
+    topology: Topology | None = None,
+    reduce_compute_ns: float = 20.0,
+    iterations: int = 1,
+    times: ComponentTimes | None = None,
+) -> float:
+    """log2(N) exchange rounds, each costing the round's slowest path."""
+    if n_nodes & (n_nodes - 1):
+        raise ValueError(f"recursive doubling needs a power of two, got {n_nodes}")
+    rounds = n_nodes.bit_length() - 1
+    hosts = topology.hosts if topology is not None else None
+    total = 0.0
+    for r in range(rounds):
+        worst = 0.0
+        for i in range(n_nodes):
+            j = i ^ (1 << r)
+            src = hosts[j] if hosts is not None else None
+            dst = hosts[i] if hosts is not None else None
+            worst = max(worst, path_end_to_end_ns(config, topology, src, dst, times=times))
+        total += worst + reduce_compute_ns
+    return total * iterations
+
+
+def predicted_tree_broadcast_ns(
+    n_nodes: int,
+    config: SystemConfig,
+    topology: Topology | None = None,
+    root: int = 0,
+    times: ComponentTimes | None = None,
+) -> float:
+    """Binomial-tree depth: the latest leaf's arrival time, one operation.
+
+    Each rank receives once, then forwards to its children one after
+    another; a child spawned in round r has waited for its parent's
+    earlier sends, so arrival(child) = arrival(parent) + (sends before
+    it + 1) × e2e along its path.  Unlike the lockstep collectives this
+    prediction is per *single* broadcast: back-to-back broadcasts
+    pipeline down the tree (leaves repost receives while the root is
+    still sending), so N iterations finish in less than N× this.
+    """
+    hosts = topology.hosts if topology is not None else None
+    arrival = {0: 0.0}
+    latest = 0.0
+    for rel in range(1, n_nodes):
+        recv_round = rel.bit_length() - 1
+        parent_rel = rel - (1 << recv_round)
+        parent_abs = (parent_rel + root) % n_nodes
+        child_abs = (rel + root) % n_nodes
+        src = hosts[parent_abs] if hosts is not None else None
+        dst = hosts[child_abs] if hosts is not None else None
+        e2e = path_end_to_end_ns(config, topology, src, dst, times=times)
+        parent_recv_round = parent_rel.bit_length() - 1 if parent_rel else -1
+        sends_before = recv_round - parent_recv_round - 1
+        arrival[rel] = arrival[parent_rel] + (sends_before + 1) * e2e
+        latest = max(latest, arrival[rel])
+    return latest
+
+
+def predicted_barrier_ns(
+    n_nodes: int,
+    config: SystemConfig,
+    topology: Topology | None = None,
+    iterations: int = 1,
+    times: ComponentTimes | None = None,
+) -> float:
+    """Dissemination barrier: each round costs its slowest token path."""
+    rounds = (n_nodes - 1).bit_length()
+    hosts = topology.hosts if topology is not None else None
+    total = 0.0
+    for r in range(rounds):
+        worst = 0.0
+        for i in range(n_nodes):
+            j = (i - (1 << r)) % n_nodes
+            src = hosts[j] if hosts is not None else None
+            dst = hosts[i] if hosts is not None else None
+            worst = max(worst, path_end_to_end_ns(config, topology, src, dst, times=times))
+        total += worst
+    return total * iterations

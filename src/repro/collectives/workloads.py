@@ -1,0 +1,144 @@
+"""Campaign-registry wrappers for the collectives.
+
+Uniform ``workload(config, **params) -> dict`` entry points so
+collectives are sweepable like any other workload — node count,
+topology, payload and algorithm are all plain parameters (axes), which
+is what makes ``CampaignSpec(axes=[SweepAxis("n_nodes", (8, 16, 64))])``
+scale-out sweeps declarative.
+
+Registered in :mod:`repro.campaign.workloads` as ``allreduce``,
+``bcast`` and ``barrier``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.collectives import algorithms, model
+from repro.network.topology import Topology, TopologySpec
+from repro.node.cluster import Cluster
+from repro.node.config import SystemConfig
+
+__all__ = ["allreduce_workload", "barrier_workload", "bcast_workload"]
+
+
+def _with_topology(
+    config: SystemConfig, topology: str | TopologySpec | None
+) -> SystemConfig:
+    """Fold a topology request (spec or ``"fat_tree:4"`` string) in."""
+    if topology is None:
+        return config
+    spec = TopologySpec.parse(topology) if isinstance(topology, str) else topology
+    return config.evolve(
+        network=dataclasses.replace(config.network, topology=spec)
+    )
+
+
+def _common(result: algorithms.CollectiveResult, predicted_ns: float) -> dict[str, Any]:
+    measured = result.time_per_iteration_ns
+    return {
+        "algorithm": result.algorithm,
+        "n_nodes": result.n_nodes,
+        "steps": result.steps,
+        "iterations": result.iterations,
+        "total_ns": result.total_ns,
+        "time_per_iteration_ns": measured,
+        "time_per_step_ns": result.time_per_step_ns,
+        "model_ns": predicted_ns,
+        "model_error": abs(measured - predicted_ns) / predicted_ns
+        if predicted_ns
+        else 0.0,
+    }
+
+
+def allreduce_workload(
+    config: SystemConfig,
+    algorithm: str = "ring",
+    n_nodes: int = 8,
+    topology: str | None = None,
+    payload_bytes: int = 8,
+    reduce_compute_ns: float = 20.0,
+    iterations: int = 1,
+    signal_period: int = 64,
+) -> dict[str, Any]:
+    """N-rank allreduce (``algorithm`` = ``ring`` | ``recursive_doubling``)."""
+    config = _with_topology(config, topology)
+    cluster = Cluster(n_nodes, config=config)
+    built: Topology | None = cluster.topology
+    if algorithm == "ring":
+        result = algorithms.ring_allreduce(
+            cluster,
+            payload_bytes=payload_bytes,
+            reduce_compute_ns=reduce_compute_ns,
+            iterations=iterations,
+            signal_period=signal_period,
+        )
+        predicted = model.predicted_ring_allreduce_ns(
+            n_nodes, config, built,
+            reduce_compute_ns=reduce_compute_ns, iterations=iterations,
+        ) / iterations
+    elif algorithm == "recursive_doubling":
+        result = algorithms.recursive_doubling_allreduce(
+            cluster,
+            payload_bytes=payload_bytes,
+            reduce_compute_ns=reduce_compute_ns,
+            iterations=iterations,
+            signal_period=signal_period,
+        )
+        predicted = model.predicted_recursive_doubling_ns(
+            n_nodes, config, built,
+            reduce_compute_ns=reduce_compute_ns, iterations=iterations,
+        ) / iterations
+    else:
+        raise ValueError(
+            f"unknown allreduce algorithm {algorithm!r}; "
+            "choose 'ring' or 'recursive_doubling'"
+        )
+    return {**_common(result, predicted), "payload_bytes": payload_bytes}
+
+
+def bcast_workload(
+    config: SystemConfig,
+    n_nodes: int = 8,
+    topology: str | None = None,
+    payload_bytes: int = 8,
+    root: int = 0,
+    iterations: int = 1,
+    signal_period: int = 64,
+) -> dict[str, Any]:
+    """Binomial-tree broadcast across N ranks."""
+    config = _with_topology(config, topology)
+    cluster = Cluster(n_nodes, config=config)
+    result = algorithms.tree_broadcast(
+        cluster,
+        payload_bytes=payload_bytes,
+        iterations=iterations,
+        root=root,
+        signal_period=signal_period,
+    )
+    # Single-operation prediction; with iterations > 1 broadcasts
+    # pipeline and time_per_iteration_ns dips below it.
+    predicted = model.predicted_tree_broadcast_ns(
+        n_nodes, config, cluster.topology, root=root
+    )
+    return {**_common(result, predicted), "payload_bytes": payload_bytes, "root": root}
+
+
+def barrier_workload(
+    config: SystemConfig,
+    n_nodes: int = 8,
+    topology: str | None = None,
+    iterations: int = 1,
+    signal_period: int = 64,
+) -> dict[str, Any]:
+    """Dissemination barrier across N ranks."""
+    config = _with_topology(config, topology)
+    cluster = Cluster(n_nodes, config=config)
+    result = algorithms.barrier(
+        cluster, iterations=iterations, signal_period=signal_period
+    )
+    predicted = model.predicted_barrier_ns(
+        n_nodes, config, cluster.topology, iterations=iterations
+    ) / iterations
+    return _common(result, predicted)

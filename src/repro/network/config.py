@@ -7,7 +7,9 @@ between two ConnectX-4 adapters through one switch.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.network.topology import TopologySpec
 
 __all__ = ["NetworkConfig"]
 
@@ -36,6 +38,18 @@ class NetworkConfig:
     ack_turnaround_ns:
         Target-NIC hardware time between receiving a frame and emitting
         the link-level ACK.
+    topology:
+        Optional :class:`~repro.network.topology.TopologySpec`.  ``None``
+        (default) keeps the paper's point-to-point fabric: a private
+        wire -> switch^k chain per ordered NIC pair, contention-free.
+        A spec makes the fabric build the described switch graph with
+        one shared simplex wire per cable direction, deterministic
+        shortest-path routing, and FIFO per-link contention.  Each cable
+        carries ``wire_latency_ns``; each transited switch adds
+        ``switch_latency_ns`` (``switch_count`` is ignored — hop count
+        comes from the routed path).  The field is elided from
+        :func:`~repro.sim.hashing.stable_digest` while ``None`` so
+        existing campaign caches stay valid.
     """
 
     wire_latency_ns: float = 274.81
@@ -43,6 +57,9 @@ class NetworkConfig:
     switch_count: int = 1
     bandwidth_bytes_per_ns: float = math.inf
     ack_turnaround_ns: float = 0.0
+    topology: TopologySpec | None = field(
+        default=None, metadata={"elide_default_from_hash": True}
+    )
 
     def __post_init__(self) -> None:
         if self.wire_latency_ns < 0:
@@ -83,4 +100,5 @@ class NetworkConfig:
             switch_count=0,
             bandwidth_bytes_per_ns=self.bandwidth_bytes_per_ns,
             ack_turnaround_ns=self.ack_turnaround_ns,
+            topology=self.topology,
         )

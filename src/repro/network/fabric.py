@@ -1,9 +1,13 @@
-"""The two-node fabric: wires + switches + link-level ACKs.
+"""The interconnect fabric: wires + switches + link-level ACKs.
 
-The fabric connects exactly two NIC ports (the paper's evaluation
-setup).  A data frame travels wire → switch^k → wire-tail to the target
-NIC; the target's link layer then returns an ACK frame along the
-reverse path after ``ack_turnaround_ns``.  The initiator NIC releases
+By default the fabric wires attached NIC ports point-to-point (the
+paper's evaluation setup, generalised to all ordered pairs).  A data
+frame travels wire → switch^k → wire-tail to the target NIC; the
+target's link layer then returns an ACK frame along the reverse path
+after ``ack_turnaround_ns``.  With a built
+:class:`~repro.network.topology.Topology` the same protocol instead
+runs over a shared switch graph with deterministic shortest-path
+routing and per-link FIFO contention.  The initiator NIC releases
 the message's completion only on ACK receipt — the mechanism behind the
 paper's ``gen_completion = 2 × (PCIe + Network) + RC-to-MEM(64B)``.
 
@@ -22,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.network.config import NetworkConfig
 from repro.network.switch import Switch
+from repro.network.topology import Topology
 from repro.network.wire import Wire, frame_trace_attrs
 from repro.sim.engine import Environment, SimulationError
 
@@ -80,9 +85,18 @@ class NicPort(Protocol):
 class Fabric:
     """Bidirectional interconnect between attached NIC ports.
 
-    The paper's testbed has two nodes; the fabric generalises to N
-    ports with a path (wire + switch hops) per ordered pair, enabling
-    the multi-node collectives UCP provides in the real stack.
+    Two wiring modes share one delivery/ACK protocol:
+
+    * **point-to-point** (``topology=None``, the paper's setup): a
+      private wire -> switch^k chain per ordered port pair, built as
+      ports attach.  Pairs never contend; the two-node testbed is the
+      N=2 case of the same code path.
+    * **topology** (a built :class:`~repro.network.topology.Topology`):
+      one shared simplex :class:`Wire` per cable direction and one
+      shared :class:`Switch` per graph switch, frames following the
+      deterministic shortest-path next-hop tables.  Flows crossing the
+      same link share its FIFO serialiser, so concurrent traffic queues
+      instead of overlapping for free.
     """
 
     def __init__(
@@ -91,10 +105,12 @@ class Fabric:
         config: NetworkConfig,
         name: str = "fabric",
         faults: "FaultInjector | None" = None,
+        topology: Topology | None = None,
     ) -> None:
         self.env = env
         self.config = config
         self.name = name
+        self.topology = topology
         self._wire_faults = faults.site("network.wire") if faults is not None else None
         self._switch_faults = (
             faults.site("network.switch") if faults is not None else None
@@ -102,17 +118,61 @@ class Fabric:
         self._ack_faults = faults.site("network.ack") if faults is not None else None
         self._ports: dict[str, NicPort] = {}
         self._paths: dict[tuple[str, str], list[Any]] = {}
+        self._links: dict[tuple[str, str], Wire] = {}
+        self._switches: dict[str, Switch] = {}
         self.frames_delivered = 0
         self.acks_delivered = 0
         self.acks_dropped = 0
+        if topology is not None:
+            self._build_topology(topology)
+
+    def _build_topology(self, topology: Topology) -> None:
+        """Materialise shared switches and per-direction link wires."""
+        for sw_name in topology.switches:
+            self._switches[sw_name] = Switch(
+                self.env,
+                self.config,
+                forward=self._make_router(sw_name),
+                name=f"{self.name}.{sw_name}",
+                faults=self._switch_faults,
+            )
+        for u, v in topology.links:
+            if v in self._switches:
+                deliver: Any = self._switches[v].transmit
+            else:
+                deliver = self._make_deliver(v)
+            self._links[(u, v)] = Wire(
+                self.env,
+                self.config,
+                deliver=deliver,
+                name=f"{self.name}.{u}->{v}.wire",
+                faults=self._wire_faults,
+            )
+
+    def _make_router(self, sw_name: str):
+        """The forwarding closure of one shared switch: route, then hop."""
+
+        def forward(frame: NetworkFrame) -> None:
+            assert self.topology is not None
+            nxt = self.topology.next_hop(sw_name, frame.dst)
+            self._links[(sw_name, nxt)].transmit(frame, frame.size_bytes)
+
+        return forward
 
     def attach(self, port: NicPort) -> None:
         """Attach a NIC port, building paths to every existing port."""
         if port.name in self._ports:
             raise SimulationError(f"port {port.name!r} already attached")
-        for existing in self._ports:
-            self._build_path(existing, port.name)
-            self._build_path(port.name, existing)
+        if self.topology is not None:
+            if port.name not in self.topology.hosts:
+                raise SimulationError(
+                    f"port {port.name!r} is not a host of the configured "
+                    f"topology; expected one of {list(self.topology.hosts)}"
+                )
+        else:
+            for existing in self._ports:
+                self._build_path(existing, port.name)
+                self._build_path(port.name, existing)
         self._ports[port.name] = port
 
     def _build_path(self, src: str, dst: str) -> None:
@@ -176,10 +236,53 @@ class Fabric:
 
     def path_stages(self, src: str, dst: str) -> list[Any]:
         """The stage objects (Wire, Switch...) on ``src→dst`` (for tests)."""
+        if self.topology is not None:
+            nodes = self.topology.path(src, dst)
+            stages: list[Any] = []
+            for here, nxt in zip(nodes, nodes[1:]):
+                stages.append(self._links[(here, nxt)])
+                if nxt in self._switches:
+                    stages.append(self._switches[nxt])
+            return stages
         return self._paths[(src, dst)]
+
+    def link(self, u: str, v: str) -> Wire:
+        """The shared simplex wire ``u -> v`` (topology mode only)."""
+        if self.topology is None:
+            raise SimulationError("link() requires a topology-mode fabric")
+        try:
+            return self._links[(u, v)]
+        except KeyError:
+            raise SimulationError(f"no link {u!r}->{v!r} in the topology") from None
+
+    def link_stats(self) -> dict[str, dict[str, float]]:
+        """Per-link occupancy: frames carried, busy time, peak in-flight."""
+        if self.topology is not None:
+            wires = {f"{u}->{v}": w for (u, v), w in self._links.items()}
+        else:
+            wires = {
+                f"{src}->{dst}": path[0] for (src, dst), path in self._paths.items()
+            }
+        return {
+            key: {
+                "frames": wire.frames_carried,
+                "busy_ns": wire.busy_ns,
+                "peak_inflight": wire.peak_inflight,
+            }
+            for key, wire in sorted(wires.items())
+        }
 
     def transmit(self, frame: NetworkFrame) -> None:
         """Launch ``frame`` from its source port (non-blocking)."""
+        if self.topology is not None:
+            try:
+                nxt = self.topology.next_hop(frame.src, frame.dst)
+            except KeyError as exc:
+                raise SimulationError(
+                    f"no route {frame.src!r}->{frame.dst!r}: {exc}"
+                ) from None
+            self._links[(frame.src, nxt)].transmit(frame, frame.size_bytes)
+            return
         key = (frame.src, frame.dst)
         path = self._paths.get(key)
         if path is None:

@@ -56,6 +56,14 @@ class Wire:
         self.faults = faults
         self.frames_carried = 0
         self.frames_dropped = 0
+        #: Frames currently on the wire (accepted but not yet delivered)
+        #: and the high-water mark — the per-link occupancy the
+        #: contention experiments read back.
+        self.inflight = 0
+        self.peak_inflight = 0
+        #: Accumulated serialisation time: how long the transmitter
+        #: port was actually occupied (0 with infinite bandwidth).
+        self.busy_ns = 0.0
         self._serial = (
             None
             if math.isinf(config.bandwidth_bytes_per_ns)
@@ -83,15 +91,24 @@ class Wire:
                 frame.corrupted = True
         tracer = self.env.tracer
         tspan = None
+        self.inflight += 1
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight
         if tracer.enabled:
             tspan = tracer.begin(
                 "network", "wire", track=self.name,
                 bytes=frame_bytes, **frame_trace_attrs(frame),
             )
+            tracer.counter("network", f"link_frames:{self.name}")
         if self._serial is not None:
 
             def granted(_event: Any) -> None:
                 serialize = self.serialization(frame_bytes)
+                self.busy_ns += serialize
+                if serialize > 0 and self.env.tracer.enabled:
+                    self.env.tracer.counter(
+                        "network", f"link_busy_ns:{self.name}", serialize
+                    )
                 if serialize > 0:
                     self.env.defer(self._serialized, serialize, args=(frame, tspan))
                 else:
@@ -109,6 +126,7 @@ class Wire:
         self.env.defer(self._arrive, self.config.wire_latency_ns, args=(frame, tspan))
 
     def _arrive(self, frame: Any, tspan: Any) -> None:
+        self.inflight -= 1
         if tspan is not None:
             self.env.tracer.end(tspan)
         self.frames_carried += 1

@@ -1,12 +1,19 @@
 """Multi-node cluster assembly (beyond the paper's two-node testbed).
 
-A :class:`Cluster` is N nodes on one fabric with all-pairs paths —
-the substrate for the multi-node collectives that UCP provides in the
-real stack (§5 mentions them; the paper's evaluation never needs more
-than two nodes, so this is an extension).
+A :class:`Cluster` is N nodes on one fabric — the substrate for the
+multi-node collectives that UCP provides in the real stack (§5 mentions
+them; the paper's evaluation never needs more than two nodes, so this
+is an extension).  Without a topology in the config the fabric wires
+all ordered pairs point-to-point; with
+``config.network.topology`` set it builds the described switch graph
+with shared, contended links.  The two-node
+:class:`~repro.node.testbed.Testbed` is the N=2 special case of this
+class, not a separate code path.
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 from repro.faults.inject import FaultInjector
 from repro.network.fabric import Fabric
@@ -22,17 +29,31 @@ __all__ = ["Cluster"]
 class Cluster:
     """N identical nodes sharing one clock and one interconnect.
 
-    The analyzer taps node 0's link (the initiator position of the
-    paper's Figure 3 generalised).
+    The analyzer taps rank 0's link (the initiator position of the
+    paper's Figure 3 generalised).  Node names default to
+    ``node0..node{N-1}``; random streams are keyed by name, so custom
+    names change nothing but the labels.
     """
 
     def __init__(
         self,
-        n_nodes: int,
+        n_nodes: int | None = None,
         config: SystemConfig | None = None,
         record_samples: bool = False,
         analyzer_enabled: bool = True,
+        names: Sequence[str] | None = None,
     ) -> None:
+        if n_nodes is None:
+            n_nodes = len(names) if names is not None else 2
+        if names is None:
+            names = [f"node{index}" for index in range(n_nodes)]
+        names = list(names)
+        if len(names) != n_nodes:
+            raise ValueError(
+                f"{n_nodes} nodes but {len(names)} names: {names}"
+            )
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names in {names}")
         if n_nodes < 2:
             raise ValueError(f"a cluster needs at least two nodes, got {n_nodes}")
         self.config = config or SystemConfig.paper_testbed()
@@ -45,16 +66,35 @@ class Cluster:
                 self.env,
                 self.config,
                 self.streams,
-                f"node{index}",
+                name,
                 record_samples=record_samples,
                 faults=self.faults,
             )
-            for index in range(n_nodes)
+            for name in names
         ]
-        self.fabric = Fabric(self.env, self.config.network, faults=self.faults)
+        spec = self.config.network.topology
+        #: The built interconnect graph, or None in point-to-point mode.
+        self.topology = (
+            spec.build([node.nic.name for node in self.nodes])
+            if spec is not None
+            else None
+        )
+        self.fabric = Fabric(
+            self.env, self.config.network, faults=self.faults,
+            topology=self.topology,
+        )
         for node in self.nodes:
             node.nic.attach_fabric(self.fabric)
         self.analyzer = PcieAnalyzer(self.nodes[0].link, capture=analyzer_enabled)
+
+    @property
+    def rank_names(self) -> list[str]:
+        """Node names in rank order (rank i == ``self.nodes[i]``)."""
+        return [node.name for node in self.nodes]
+
+    def node(self, rank: int) -> Node:
+        """The node holding ``rank``."""
+        return self.nodes[rank]
 
     def __len__(self) -> int:
         return len(self.nodes)

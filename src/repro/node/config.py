@@ -17,12 +17,13 @@ from repro.cpu.costs import SegmentCosts
 from repro.cpu.memory import MemoryModel
 from repro.faults.plan import FaultPlan
 from repro.network.config import NetworkConfig
+from repro.network.topology import TopologySpec
 from repro.nic.config import NicConfig
 from repro.pcie.config import PcieConfig
 from repro.sim.hashing import stable_digest
 from repro.sim.rng import JitterModel
 
-__all__ = ["SystemConfig"]
+__all__ = ["SystemConfig", "SystemConfigBuilder"]
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,21 @@ class SystemConfig:
         return cls(seed=seed, deterministic=deterministic)
 
     @classmethod
+    def builder(cls, base: "SystemConfig | None" = None) -> "SystemConfigBuilder":
+        """A fluent, keyword-validated builder (see :class:`SystemConfigBuilder`).
+
+        Replaces reaching into the per-module config constructors::
+
+            config = (SystemConfig.builder()
+                      .nic(txq_depth=4)
+                      .pcie(mem_write_ns=200.0)
+                      .network(switch_latency_ns=50.0)
+                      .deterministic()
+                      .build())
+        """
+        return SystemConfigBuilder(base)
+
+    @classmethod
     def paper_testbed_direct(cls, seed: int = 2019, deterministic: bool = False) -> "SystemConfig":
         """Same system with the NICs cabled directly (no switch) —
         the configuration used for the Wire measurement in §4.3."""
@@ -103,3 +119,117 @@ class SystemConfig:
         if self.deterministic:
             return self.timer_overhead_ns, 0.0
         return self.timer_overhead_ns, self.timer_overhead_std_ns
+
+
+class SystemConfigBuilder:
+    """Fluent construction of a :class:`SystemConfig`.
+
+    One section method per nested config (``nic``, ``pcie``,
+    ``network``, ``costs``, ``memory``, ``jitter``), each validating its
+    keywords against the section dataclass's fields before applying
+    them — an unknown keyword raises immediately with the valid names,
+    instead of a ``dataclasses.replace`` traceback.  Section calls
+    compose and may repeat; :meth:`build` returns the frozen config.
+
+    Building with no calls reproduces the base config exactly —
+    including :meth:`SystemConfig.stable_hash`, so cached campaign
+    results keyed on the hash stay valid across the builder migration.
+    """
+
+    #: Builder section name → SystemConfig field.
+    _SECTIONS = {
+        "costs": "costs",
+        "memory": "memory",
+        "pcie": "pcie",
+        "nic": "nic",
+        "network": "network",
+        "jitter": "jitter",
+    }
+
+    def __init__(self, base: SystemConfig | None = None) -> None:
+        self._config = base if base is not None else SystemConfig.paper_testbed()
+
+    def _replace_section(self, section: str, overrides: dict[str, Any]) -> "SystemConfigBuilder":
+        current = getattr(self._config, section)
+        valid = {f.name for f in dataclasses.fields(current) if f.init}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise TypeError(
+                f"{type(current).__name__} has no parameter(s) "
+                f"{', '.join(map(repr, unknown))}; valid: {', '.join(sorted(valid))}"
+            )
+        rebuilt = dataclasses.replace(current, **overrides)
+        self._config = dataclasses.replace(self._config, **{section: rebuilt})
+        return self
+
+    def costs(self, **overrides: Any) -> "SystemConfigBuilder":
+        """Override CPU segment costs (:class:`~repro.cpu.costs.SegmentCosts`)."""
+        return self._replace_section("costs", overrides)
+
+    def memory(self, **overrides: Any) -> "SystemConfigBuilder":
+        """Override the memory model (:class:`~repro.cpu.memory.MemoryModel`)."""
+        return self._replace_section("memory", overrides)
+
+    def pcie(self, **overrides: Any) -> "SystemConfigBuilder":
+        """Override PCIe parameters (:class:`~repro.pcie.config.PcieConfig`)."""
+        return self._replace_section("pcie", overrides)
+
+    def nic(self, **overrides: Any) -> "SystemConfigBuilder":
+        """Override NIC parameters (:class:`~repro.nic.config.NicConfig`)."""
+        return self._replace_section("nic", overrides)
+
+    def network(self, **overrides: Any) -> "SystemConfigBuilder":
+        """Override interconnect parameters (:class:`~repro.network.config.NetworkConfig`)."""
+        return self._replace_section("network", overrides)
+
+    def jitter(self, **overrides: Any) -> "SystemConfigBuilder":
+        """Override the noise model (:class:`~repro.sim.rng.JitterModel`)."""
+        return self._replace_section("jitter", overrides)
+
+    def topology(self, spec: "TopologySpec | str | None") -> "SystemConfigBuilder":
+        """Set the interconnect topology (spec, ``"fat_tree:4"``-style
+        string, or ``None`` for the point-to-point fabric)."""
+        if isinstance(spec, str):
+            spec = TopologySpec.parse(spec)
+        return self._replace_section("network", {"topology": spec})
+
+    def faults(self, plan: "FaultPlan | str | None") -> "SystemConfigBuilder":
+        """Attach a fault plan (object or JSON file path; None clears)."""
+        if isinstance(plan, str):
+            plan = FaultPlan.load(plan)
+        self._config = dataclasses.replace(self._config, faults=plan)
+        return self
+
+    def seed(self, seed: int) -> "SystemConfigBuilder":
+        """Set the root random seed."""
+        self._config = dataclasses.replace(self._config, seed=int(seed))
+        return self
+
+    def deterministic(self, enabled: bool = True) -> "SystemConfigBuilder":
+        """Make every duration equal its mean (unit-test / model mode)."""
+        self._config = dataclasses.replace(self._config, deterministic=enabled)
+        return self
+
+    def timer(self, overhead_ns: float | None = None, std_ns: float | None = None) -> "SystemConfigBuilder":
+        """Override the UCS-profiling measurement overhead."""
+        overrides: dict[str, Any] = {}
+        if overhead_ns is not None:
+            overrides["timer_overhead_ns"] = overhead_ns
+        if std_ns is not None:
+            overrides["timer_overhead_std_ns"] = std_ns
+        if overrides:
+            self._config = dataclasses.replace(self._config, **overrides)
+        return self
+
+    def evolve(self, **overrides: Any) -> "SystemConfigBuilder":
+        """Replace top-level :class:`SystemConfig` fields directly."""
+        self._config = dataclasses.replace(self._config, **overrides)
+        return self
+
+    def build(self) -> SystemConfig:
+        """The frozen configuration."""
+        return self._config
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SystemConfigBuilder {self._config.stable_hash()}>"
+

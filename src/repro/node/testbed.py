@@ -1,23 +1,22 @@
 """The two-node evaluation setup of §3 (Figure 3).
 
 Node 1 is the initiator; a passive PCIe analyzer sits just before its
-NIC.  Both nodes share one simulation clock and one fabric.
+NIC.  Both nodes share one simulation clock and one fabric.  The
+testbed is the N=2 special case of :class:`~repro.node.cluster.Cluster`
+— same construction order, same name-keyed random streams — so a
+two-node cluster and a testbed are bit-identical simulations.
 """
 
 from __future__ import annotations
 
-from repro.faults.inject import FaultInjector
-from repro.network.fabric import Fabric
+from repro.node.cluster import Cluster
 from repro.node.config import SystemConfig
 from repro.node.node import Node
-from repro.pcie.analyzer import PcieAnalyzer
-from repro.sim.engine import Environment
-from repro.sim.rng import RandomStreams
 
 __all__ = ["Testbed"]
 
 
-class Testbed:
+class Testbed(Cluster):
     """Two nodes, one interconnect, one analyzer on node 1."""
 
     # Not a pytest test class, despite the name.
@@ -29,38 +28,33 @@ class Testbed:
         record_samples: bool = False,
         analyzer_enabled: bool = True,
     ) -> None:
-        self.config = config or SystemConfig.paper_testbed()
-        self.env = Environment()
-        self.streams = RandomStreams(seed=self.config.seed)
-        #: Plan-driven fault injection; inert (no sites) without a plan.
-        self.faults = FaultInjector(self.config.faults, self.streams, self.env)
-        self.node1 = Node(
-            self.env, self.config, self.streams, "node1",
-            record_samples=record_samples, faults=self.faults,
+        super().__init__(
+            n_nodes=2,
+            config=config,
+            record_samples=record_samples,
+            analyzer_enabled=analyzer_enabled,
+            names=("node1", "node2"),
         )
-        self.node2 = Node(
-            self.env, self.config, self.streams, "node2",
-            record_samples=record_samples, faults=self.faults,
-        )
-        self.fabric = Fabric(self.env, self.config.network, faults=self.faults)
-        self.node1.nic.attach_fabric(self.fabric)
-        self.node2.nic.attach_fabric(self.fabric)
-        #: The Lecroy stand-in: a passive tap on node 1's PCIe link.
-        self.analyzer = PcieAnalyzer(self.node1.link, capture=analyzer_enabled)
+
+    @property
+    def node1(self) -> Node:
+        """Node 1: the analyzer-tapped sender."""
+        return self.nodes[0]
+
+    @property
+    def node2(self) -> Node:
+        """Node 2: the receiver."""
+        return self.nodes[1]
 
     @property
     def initiator(self) -> Node:
         """Node 1: the sender in all the paper's experiments."""
-        return self.node1
+        return self.nodes[0]
 
     @property
     def target(self) -> Node:
         """Node 2: the receiver."""
-        return self.node2
-
-    def run(self, until=None):
-        """Advance the simulation (see :meth:`Environment.run`)."""
-        return self.env.run(until=until)
+        return self.nodes[1]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Testbed t={self.env.now:.0f}ns>"

@@ -13,6 +13,11 @@ Rules:
 * dataclasses serialize as ``{"<qualified class name>": {field: value}}``
   over their *init* fields only (derived ``init=False`` fields are
   functions of the others and would double-count them);
+* init fields carrying ``metadata={"elide_default_from_hash": True}``
+  are omitted while they still hold their default value, so a field
+  added after caches exist does not invalidate every cached run that
+  never set it — the hash of a config that *does* set it changes as
+  usual;
 * mappings sort by stringified key; sets/frozensets sort canonically;
 * floats use ``repr`` round-tripping via JSON, which is exact for IEEE
   doubles;
@@ -30,6 +35,18 @@ from typing import Any
 __all__ = ["canonicalize", "canonical_json", "stable_digest"]
 
 
+def _elided(instance: Any, f: dataclasses.Field) -> bool:
+    """True when ``f`` opts out of hashing while at its default value."""
+    if not f.metadata.get("elide_default_from_hash"):
+        return False
+    current = getattr(instance, f.name)
+    if f.default is not dataclasses.MISSING:
+        return bool(current == f.default)
+    if f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return bool(current == f.default_factory())  # type: ignore[misc]
+    return False
+
+
 def canonicalize(value: Any) -> Any:
     """Reduce ``value`` to plain JSON-encodable data, deterministically."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -37,7 +54,7 @@ def canonicalize(value: Any) -> Any:
         payload = {
             f.name: canonicalize(getattr(value, f.name))
             for f in dataclasses.fields(value)
-            if f.init
+            if f.init and not _elided(value, f)
         }
         return {f"{cls.__module__}.{cls.__qualname__}": payload}
     if isinstance(value, enum.Enum):

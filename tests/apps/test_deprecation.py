@@ -1,0 +1,37 @@
+"""The legacy apps entry point must warn and delegate, not diverge."""
+
+import warnings
+
+import pytest
+
+from repro.apps import run_ring_allreduce
+from repro.collectives import ring_allreduce
+from repro.node.cluster import Cluster
+from repro.node.config import SystemConfig
+
+DET = SystemConfig.paper_testbed(deterministic=True)
+
+
+class TestRunRingAllreduceShim:
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="repro.collectives"):
+            run_ring_allreduce(2, config=DET, iterations=1)
+
+    def test_times_identically_to_the_collectives_package(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_ring_allreduce(4, config=DET, iterations=2)
+        direct = ring_allreduce(Cluster(4, config=DET), iterations=2)
+        assert legacy.total_ns == direct.total_ns
+        assert legacy.steps == direct.steps
+
+    def test_legacy_result_shape_preserved(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = run_ring_allreduce(2, config=DET, iterations=4)
+        assert result.n_nodes == 2
+        assert result.chunk_bytes == 8
+        assert result.time_per_allreduce_ns == pytest.approx(result.total_ns / 4)
+        assert result.time_per_step_ns == pytest.approx(
+            result.time_per_allreduce_ns / 2
+        )

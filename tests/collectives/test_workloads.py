@@ -1,0 +1,72 @@
+"""Registry wrappers: collectives as sweepable campaign workloads."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, SweepAxis, run_campaign
+from repro.campaign.workloads import get_workload
+from repro.collectives.workloads import (
+    allreduce_workload,
+    barrier_workload,
+    bcast_workload,
+)
+from repro.node.config import SystemConfig
+
+DET = SystemConfig.paper_testbed(deterministic=True)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["allreduce", "bcast", "barrier"])
+    def test_collectives_are_registered(self, name):
+        assert callable(get_workload(name))
+
+
+class TestAllreduceWorkload:
+    def test_ring_on_point_to_point_fabric(self):
+        record = allreduce_workload(DET, algorithm="ring", n_nodes=4)
+        assert record["algorithm"] == "ring_allreduce"
+        assert record["steps"] == 6
+        assert record["model_error"] < 0.02
+
+    def test_topology_parameter_builds_routed_fabric(self):
+        record = allreduce_workload(DET, n_nodes=4, topology="fat_tree:4")
+        assert record["model_error"] < 0.02
+
+    def test_recursive_doubling(self):
+        record = allreduce_workload(DET, algorithm="recursive_doubling", n_nodes=4)
+        assert record["algorithm"] == "recursive_doubling_allreduce"
+        assert record["model_error"] < 0.02
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            allreduce_workload(DET, algorithm="butterfly")
+
+
+class TestOtherWorkloads:
+    def test_bcast(self):
+        record = bcast_workload(DET, n_nodes=4)
+        assert record["model_error"] < 0.02
+        assert record["root"] == 0
+
+    def test_barrier(self):
+        record = barrier_workload(DET, n_nodes=4, topology="ring")
+        assert record["model_error"] < 0.02
+
+
+class TestNodeCountSweep:
+    def test_n_nodes_is_a_sweep_axis(self):
+        """The ISSUE's scale-out sweep: node count as a declarative axis."""
+        spec = CampaignSpec(
+            name="scaling",
+            workload="allreduce",
+            base_config=DET,
+            axes=(SweepAxis("n_nodes", (2, 4)),),
+            params={"iterations": 1},
+        )
+        result = run_campaign(spec)
+        assert not result.failures
+        totals = {
+            r.params["n_nodes"]: r.measurements["total_ns"]
+            for r in result.records
+        }
+        # 2 ranks -> 2 steps, 4 ranks -> 6 steps: ~3x the time.
+        assert totals[4] / totals[2] == pytest.approx(3.0, rel=0.05)

@@ -1,0 +1,155 @@
+"""Per-link FIFO contention: flows sharing a cable serialize.
+
+Two symmetric 64-byte sends converge on rank 1 of a 3-host ring whose
+wire bandwidth is 0.01 B/ns (6400 ns of serialisation per frame).  Both
+data frames must cross the shared ``ring.s1 -> node1.nic`` cable, so
+the second delivery completes one full serialisation after the first —
+queueing, not free overlap.
+
+The completion times and the traced-timeline digest are golden-pinned
+(deterministic config, exact floats).  The digest comparison runs this
+file in a **fresh subprocess** because timelines embed process-global
+identity counters (message/frame ids) — in-process test order would
+shift them; the physics timestamps pinned in-process do not depend on
+those counters.  To re-pin after an intentional timing change::
+
+    PYTHONPATH=src python tests/network/test_link_contention.py
+"""
+
+import hashlib
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.hlp.mpi import MpiStack
+from repro.node.cluster import Cluster
+from repro.node.config import SystemConfig
+
+#: 64 bytes at 0.01 B/ns.
+SERIALIZE_NS = 6400.0
+
+GOLDEN = {
+    "from0": float.fromhex("0x1.4d8aeb851eb37p+14"),  # 21346.73 ns
+    "from2": float.fromhex("0x1.b18151eb85182p+14"),  # 27744.33 ns
+    "digest": "23263778c6be393b749e75dada905c130e71c83aab930b17cdafd815e9f6dfe6",
+}
+
+
+def build_cluster(bandwidth: float = 0.01) -> Cluster:
+    config = (
+        SystemConfig.builder()
+        .deterministic()
+        .network(bandwidth_bytes_per_ns=bandwidth)
+        .topology("ring")
+        .build()
+    )
+    return Cluster(3, config=config)
+
+
+def run_scenario(cluster: Cluster) -> dict[str, float]:
+    """Concurrent node0 -> node1 and node2 -> node1 64-byte sends."""
+    stacks = [MpiStack(node) for node in cluster.nodes]
+    c01 = stacks[0].connect(stacks[1])
+    c10 = stacks[1].connect(stacks[0])
+    c21 = stacks[2].connect(stacks[1])
+    c12 = stacks[1].connect(stacks[2])
+    done: dict[str, float] = {}
+
+    def sender(comm):
+        yield from comm.isend(64)
+
+    def receiver():
+        r0 = yield from c10.irecv(64)
+        r2 = yield from c12.irecv(64)
+        yield from c10.wait(r0)
+        done["from0"] = cluster.env.now
+        yield from c12.wait(r2)
+        done["from2"] = cluster.env.now
+
+    env = cluster.env
+    procs = [
+        env.process(sender(c01), name="send0"),
+        env.process(sender(c21), name="send2"),
+        env.process(receiver(), name="recv1"),
+    ]
+    env.run(until=env.all_of(procs))
+    return done
+
+
+def capture_digest() -> tuple[dict[str, float], str]:
+    """The scenario under tracing; for fresh-subprocess golden capture."""
+    from repro.trace import trace_session
+    from repro.trace.golden import timeline_lines
+
+    with trace_session() as session:
+        done = run_scenario(build_cluster())
+    lines = "\n".join(timeline_lines(session.tracers))
+    return done, hashlib.sha256(lines.encode()).hexdigest()
+
+
+class TestSharedLinkSerializes:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        cluster = build_cluster()
+        done = run_scenario(cluster)
+        return cluster, done
+
+    def test_second_delivery_waits_one_serialization(self, outcome):
+        _, done = outcome
+        gap = done["from2"] - done["from0"]
+        assert gap == pytest.approx(SERIALIZE_NS, rel=0.01)
+
+    def test_completion_times_are_golden(self, outcome):
+        _, done = outcome
+        assert done["from0"] == GOLDEN["from0"]
+        assert done["from2"] == GOLDEN["from2"]
+
+    def test_shared_link_stats_show_queueing(self, outcome):
+        cluster, _ = outcome
+        stats = cluster.fabric.link_stats()
+        shared = stats["ring.s1->node1.nic"]
+        assert shared["frames"] == 2
+        assert shared["busy_ns"] == pytest.approx(2 * SERIALIZE_NS)
+        assert shared["peak_inflight"] == 2
+        # Each flow's private first hop never queues.
+        for private in ("node0.nic->ring.s0", "node2.nic->ring.s2"):
+            assert stats[private]["frames"] == 1
+            assert stats[private]["peak_inflight"] == 1
+
+    def test_infinite_bandwidth_does_not_serialize(self):
+        cluster = build_cluster(bandwidth=float("inf"))
+        done = run_scenario(cluster)
+        gap = done["from2"] - done["from0"]
+        assert gap < SERIALIZE_NS / 10
+        shared = cluster.fabric.link_stats()["ring.s1->node1.nic"]
+        assert shared["frames"] == 2
+        assert shared["busy_ns"] == 0.0
+
+
+class TestGoldenTimeline:
+    def test_timeline_digest_pinned(self):
+        proc = subprocess.run(
+            [sys.executable, str(pathlib.Path(__file__).resolve())],
+            capture_output=True,
+            text=True,
+            cwd=pathlib.Path(__file__).resolve().parents[2],
+            env={
+                "PYTHONPATH": str(
+                    pathlib.Path(__file__).resolve().parents[2] / "src"
+                ),
+                "PATH": "/usr/bin:/bin",
+            },
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        digest = proc.stdout.strip().splitlines()[-1].split()[-1]
+        assert digest == GOLDEN["digest"]
+
+
+if __name__ == "__main__":
+    captured, timeline_digest = capture_digest()
+    print("from0:", captured["from0"].hex())
+    print("from2:", captured["from2"].hex())
+    print("digest:", timeline_digest)

@@ -1,0 +1,116 @@
+"""SystemConfig.builder(): fluent sections, keyword validation, hash
+stability.
+
+The pinned digests freeze the cache-compatibility contract from the
+ISSUE: introducing the builder and the elided ``network.topology``
+field must NOT move ``stable_hash()`` for unchanged defaults, or every
+cached campaign result would silently invalidate.  Re-pin only on an
+intentional config-schema change.
+"""
+
+import pytest
+
+from repro.network.topology import TopologySpec
+from repro.node.config import SystemConfig
+
+#: stable_hash() of the untouched paper testbed — pre-PR value.
+HASH_DEFAULT = "5914ecc17e3ac4c5"
+#: ...with deterministic=True.
+HASH_DETERMINISTIC = "7679816dd0a64993"
+#: ...with seed=7.
+HASH_SEED7 = "924b29cb7108eefa"
+#: ...with a k=4 fat-tree topology set (MUST differ from default).
+HASH_FAT_TREE4 = "b34da2a55bb0c288"
+
+
+class TestHashStability:
+    def test_default_hash_unmoved_by_the_api_redesign(self):
+        assert SystemConfig.paper_testbed().stable_hash() == HASH_DEFAULT
+
+    def test_variant_hashes_unmoved(self):
+        assert (
+            SystemConfig.paper_testbed(deterministic=True).stable_hash()
+            == HASH_DETERMINISTIC
+        )
+        assert SystemConfig.paper_testbed(seed=7).stable_hash() == HASH_SEED7
+
+    def test_builder_with_no_calls_reproduces_the_default_hash(self):
+        assert SystemConfig.builder().build().stable_hash() == HASH_DEFAULT
+
+    def test_topology_none_is_elided_from_the_hash(self):
+        # Explicitly setting topology=None must hash like never setting it.
+        explicit = SystemConfig.builder().topology(None).build()
+        assert explicit.stable_hash() == HASH_DEFAULT
+
+    def test_setting_a_topology_changes_the_hash(self):
+        config = SystemConfig.builder().topology("fat_tree:4").build()
+        assert config.stable_hash() == HASH_FAT_TREE4
+        assert config.stable_hash() != HASH_DEFAULT
+
+
+class TestBuilderSections:
+    def test_sections_compose(self):
+        config = (
+            SystemConfig.builder()
+            .nic(txq_depth=4)
+            .network(switch_latency_ns=50.0)
+            .seed(7)
+            .deterministic()
+            .build()
+        )
+        assert config.nic.txq_depth == 4
+        assert config.network.switch_latency_ns == 50.0
+        assert config.seed == 7
+        assert config.deterministic is True
+
+    def test_repeated_section_calls_accumulate(self):
+        config = (
+            SystemConfig.builder()
+            .network(switch_latency_ns=50.0)
+            .network(wire_latency_ns=100.0)
+            .build()
+        )
+        assert config.network.switch_latency_ns == 50.0
+        assert config.network.wire_latency_ns == 100.0
+
+    def test_unknown_keyword_raises_with_valid_names(self):
+        with pytest.raises(TypeError, match="txq_depth"):
+            SystemConfig.builder().nic(txq_dept=4)  # typo
+
+    def test_section_values_are_validated_immediately(self):
+        with pytest.raises(ValueError):
+            SystemConfig.builder().network(wire_latency_ns=-1.0)
+
+    def test_topology_accepts_spec_and_string(self):
+        spec = TopologySpec(kind="ring")
+        assert SystemConfig.builder().topology(spec).build().network.topology is spec
+        parsed = SystemConfig.builder().topology("torus:2x2").build()
+        assert parsed.network.topology == TopologySpec(kind="torus", dims=(2, 2))
+
+    def test_faults_accepts_path(self):
+        config = (
+            SystemConfig.builder()
+            .faults("examples/faults/lossy_wire.json")
+            .build()
+        )
+        assert config.faults is not None and config.faults.rules
+
+    def test_timer_and_evolve(self):
+        config = (
+            SystemConfig.builder()
+            .timer(overhead_ns=10.0, std_ns=0.5)
+            .evolve(seed=99)
+            .build()
+        )
+        assert config.timer_overhead_ns == 10.0
+        assert config.timer_overhead_std_ns == 0.5
+        assert config.seed == 99
+
+    def test_builds_from_an_explicit_base(self):
+        base = SystemConfig.paper_testbed_direct()
+        config = SystemConfig.builder(base).build()
+        assert config == base
+
+    def test_builder_returns_self_for_chaining(self):
+        builder = SystemConfig.builder()
+        assert builder.nic(txq_depth=2) is builder

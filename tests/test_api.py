@@ -1,0 +1,125 @@
+"""Tests for repro.api.Experiment — the single composition point."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import Experiment
+from repro.network.topology import TopologySpec
+from repro.node.config import SystemConfig
+from repro.node.testbed import Testbed
+
+
+class TestConstruction:
+    def test_defaults_to_paper_testbed(self):
+        exp = Experiment()
+        assert exp.config == SystemConfig.paper_testbed()
+        assert exp.nodes == 2
+
+    def test_accepts_a_builder(self):
+        exp = Experiment(SystemConfig.builder().nic(txq_depth=4))
+        assert exp.config.nic.txq_depth == 4
+
+    def test_seed_and_deterministic_overrides(self):
+        exp = Experiment(seed=7, deterministic=True)
+        assert exp.config.seed == 7
+        assert exp.config.deterministic is True
+
+    def test_topology_string_is_parsed(self):
+        exp = Experiment(nodes=16, topology="fat_tree:4")
+        assert exp.config.network.topology == TopologySpec(kind="fat_tree", k=4)
+
+    def test_topology_spec_passes_through(self):
+        spec = TopologySpec(kind="ring")
+        assert Experiment(topology=spec).config.network.topology is spec
+
+    def test_faults_path_is_loaded(self):
+        exp = Experiment(faults="examples/faults/lossy_wire.json")
+        assert exp.config.faults is not None
+        assert exp.config.faults.name == "lossy-wire"
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError):
+            Experiment(nodes=1)
+
+
+class TestClusterAndTestbed:
+    def test_cluster_has_requested_size_and_topology(self):
+        exp = Experiment(nodes=4, topology="ring", deterministic=True)
+        cluster = exp.cluster()
+        assert len(cluster) == 4
+        assert cluster.topology is not None
+        assert cluster.topology.spec.kind == "ring"
+
+    def test_testbed_requires_two_nodes(self):
+        assert isinstance(Experiment(deterministic=True).testbed(), Testbed)
+        with pytest.raises(ValueError):
+            Experiment(nodes=4).testbed()
+
+
+class TestRun:
+    def test_run_returns_measurements(self):
+        exp = Experiment(deterministic=True)
+        run = exp.run("am_lat", iterations=30, warmup=5)
+        assert run.workload == "am_lat"
+        assert run.measurements["observed_latency_ns"] > 0
+        assert run.trace_summary is None
+        json.dumps(run.measurements)  # JSON-encodable
+
+    def test_nodes_fold_into_collective_workloads(self):
+        exp = Experiment(nodes=4, topology="ring", deterministic=True)
+        run = exp.run("allreduce", iterations=1)
+        assert run.params["n_nodes"] == 4
+        assert run.measurements["n_nodes"] == 4
+
+    def test_explicit_n_nodes_wins(self):
+        exp = Experiment(nodes=8, deterministic=True)
+        run = exp.run("allreduce", n_nodes=2, iterations=1)
+        assert run.measurements["n_nodes"] == 2
+
+    def test_unknown_workload_raises_with_registry(self):
+        with pytest.raises(KeyError):
+            Experiment().run("nonsense")
+
+    def test_trace_attaches_summary(self):
+        exp = Experiment(deterministic=True, trace=True)
+        run = exp.run("am_lat", iterations=30, warmup=5)
+        assert run.trace_summary is not None
+        assert run.trace_summary["spans"] > 0
+
+
+class TestSweep:
+    def test_axes_dict_becomes_campaign(self):
+        exp = Experiment(deterministic=True, name="t")
+        result = exp.sweep(
+            "allreduce",
+            axes={"n_nodes": (2, 4)},
+            params={"iterations": 1},
+        )
+        assert not result.failures
+        assert len(result.records) == 2
+        assert {r.params["n_nodes"] for r in result.records} == {2, 4}
+
+    def test_fixed_params_and_seeds(self):
+        exp = Experiment(deterministic=True)
+        result = exp.sweep("am_lat", params={"iterations": 20, "warmup": 5},
+                           seeds=(1, 2))
+        assert len(result.records) == 2
+        assert {r.seed for r in result.records} == {1, 2}
+
+
+class TestConfigEquivalence:
+    def test_experiment_config_matches_manual_composition(self):
+        """The api layer composes, it does not change physics: the same
+        knobs through Experiment and through manual evolve() hash equal."""
+        via_api = Experiment(
+            topology="fat_tree:4", seed=7, deterministic=True
+        ).config
+        manual = SystemConfig.paper_testbed(seed=7, deterministic=True)
+        manual = manual.evolve(
+            network=dataclasses.replace(
+                manual.network, topology=TopologySpec.parse("fat_tree:4")
+            )
+        )
+        assert via_api.stable_hash() == manual.stable_hash()

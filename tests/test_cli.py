@@ -218,3 +218,154 @@ class TestCampaignWithFaults:
         )
         assert code == 2
         assert "--faults is not supported with --replications" in text
+
+
+class TestUniformFlags:
+    """The shared run conventions: --param/--faults/--trace/--jobs/
+    --cache-dir spelled identically on bench, campaign, trace, faults."""
+
+    def test_bench_param_workload_kwargs(self):
+        code, text = run_cli(
+            "bench", "am_lat", "--deterministic",
+            "--param", "iterations=50", "--param", "warmup=5",
+        )
+        assert code == 0
+        assert "observed latency" in text
+
+    def test_bench_param_dotted_config_override(self):
+        code, text = run_cli(
+            "bench", "am_lat", "--deterministic",
+            "--param", "iterations=50", "--param", "warmup=5",
+            "--param", "network.switch_latency_ns=508.0",
+        )
+        assert code == 0
+        # +400 ns of switch latency lands directly on the one-way path.
+        latency = float(text.split("observed latency")[1].split("ns")[0])
+        assert latency > 1400.0
+
+    def test_bench_bad_param_exits_2(self):
+        code, text = run_cli("bench", "am_lat", "--param", "garbage")
+        assert code == 2
+        assert "bad --param" in text
+
+    def test_bench_unknown_workload_kwarg_exits_2(self):
+        code, text = run_cli(
+            "bench", "am_lat", "--deterministic", "--param", "bogus=1"
+        )
+        assert code == 2
+        assert "bad --param for workload 'am_lat'" in text
+
+    def test_bench_unknown_config_path_exits_2(self):
+        code, text = run_cli(
+            "bench", "am_lat", "--param", "nic.bogus=1"
+        )
+        assert code == 2
+        assert "bad --param" in text
+
+    def test_bench_trace_writes_chrome_trace(self, tmp_path):
+        out_path = tmp_path / "bench.json"
+        code, text = run_cli(
+            "bench", "am_lat", "--deterministic",
+            "--param", "iterations=30", "--param", "warmup=5",
+            "--trace", str(out_path),
+        )
+        assert code == 0
+        assert f"-> {out_path}" in text
+        assert out_path.exists()
+
+    def test_trace_accepts_jobs_and_cache_dir(self, tmp_path):
+        code, _ = run_cli(
+            "trace", "am_lat", "--out", str(tmp_path / "t.json"),
+            "--deterministic", "--param", "iterations=20",
+            "--param", "warmup=5", "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        )
+        assert code == 0
+
+    def test_trace_faults_flag(self, tmp_path):
+        code, text = run_cli(
+            "trace", "put_bw", "--out", str(tmp_path / "t.json"),
+            "--deterministic", "--param", "n_messages=50",
+            "--param", "warmup=10",
+            "--faults", "examples/faults/lossy_wire.json",
+        )
+        assert code == 0
+        assert "trace:" in text
+
+    def test_bench_sweep_value_of_wrong_type_exits_2(self):
+        code, text = run_cli(
+            "bench", "put_bw", "--sweep", "nic.txq_depth=oops"
+        )
+        assert code == 2
+        assert "campaign error" in text
+
+    def test_campaign_rejects_non_dotted_param(self):
+        code, text = run_cli("campaign", "--param", "bogus=1")
+        assert code == 2
+        assert "dotted config paths" in text
+
+    def test_campaign_trace_with_replications_rejected(self):
+        code, text = run_cli("campaign", "--replications", "2", "--trace")
+        assert code == 2
+        assert "--trace is not supported with --replications" in text
+
+    def test_jobs_below_one_exits_2_everywhere(self):
+        for argv in (
+            ("bench", "am_lat", "--jobs", "0"),
+            ("campaign", "--jobs", "0"),
+            ("trace", "am_lat", "--jobs", "0"),
+        ):
+            code, text = run_cli(*argv)
+            assert code == 2, argv
+            assert "--jobs must be >= 1" in text
+
+
+class TestFaultsRunsWorkload:
+    def test_workload_under_plan_prints_recovery_stats(self):
+        code, text = run_cli(
+            "faults", "examples/faults/lossy_wire.json",
+            "--workload", "put_bw", "--deterministic",
+        )
+        assert code == 0
+        assert "valid" in text  # plan still validated and printed
+        assert "faults: injected=" in text
+
+    def test_plan_via_faults_flag(self):
+        code, text = run_cli(
+            "faults", "--faults", "examples/faults/lossy_wire.json"
+        )
+        assert code == 0
+        assert "valid" in text
+
+    def test_conflicting_plan_sources_exit_2(self, tmp_path):
+        other = tmp_path / "other.json"
+        other.write_text("{}")
+        code, text = run_cli(
+            "faults", "examples/faults/lossy_wire.json",
+            "--faults", str(other),
+        )
+        assert code == 2
+        assert "not both" in text
+
+    def test_workload_without_plan_exits_2(self):
+        code, text = run_cli("faults", "--workload", "put_bw")
+        assert code == 2
+        assert "needs a fault plan" in text
+
+    def test_unknown_workload_exits_2_and_lists_options(self):
+        code, text = run_cli(
+            "faults", "examples/faults/lossy_wire.json",
+            "--workload", "nonsense",
+        )
+        assert code == 2
+        assert "unknown workload 'nonsense'" in text
+
+
+class TestBenchCollectives:
+    def test_allreduce_with_topology_via_params(self):
+        code, text = run_cli(
+            "bench", "allreduce", "--deterministic",
+            "--param", "n_nodes=4", "--param", "topology=ring",
+        )
+        assert code == 0
+        assert "ok=1" in text and "n_nodes=4" in text
