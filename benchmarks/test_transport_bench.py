@@ -1,0 +1,105 @@
+"""Transport-layer acceptance benchmarks.
+
+Two headline numbers for the pluggable transports, appended to
+``BENCH_sim.json``:
+
+* intra-node shared memory vs the PCIe/NIC path — one-way 8 B latency
+  (same-node ranks must beat the wire by skipping PCIe entirely);
+* dual-rail vs single-rail ``put_bw`` — injection-rate uplift when the
+  TxQ bottleneck is split across two NIC rails.
+"""
+
+import time
+
+from conftest import write_report
+from test_simulator_performance import _record
+
+from repro.bench.perftest import put_bw_workload
+from repro.campaign.workloads import put_oneway_latency_workload
+from repro.llp.uct import UctWorker
+from repro.node.cluster import Cluster
+from repro.node.config import SystemConfig
+
+PAYLOAD = 8
+N_MESSAGES = 2000
+
+
+def _shm_oneway_ns(config: SystemConfig) -> float:
+    cluster = Cluster(2, config=config, processes_per_node=2)
+    node = cluster.nodes[0]
+    sender = UctWorker(node, core=node.cores[0])
+    receiver = UctWorker(node, core=node.cores[1])
+    iface = sender.create_iface()
+    ep = iface.create_ep(receiver.create_iface())
+    assert ep.transport.caps.name == "shm"
+
+    def body():
+        yield from ep.am_short(PAYLOAD)
+
+    cluster.env.run(until=cluster.env.process(body(), name="shm.post"))
+    cluster.run()
+    message = iface.last_message
+    return message.interval("posted", "payload_visible")
+
+
+def test_shm_vs_nic_oneway_latency(report_dir):
+    config = SystemConfig.builder().deterministic().build()
+    shm_ns = _shm_oneway_ns(config)
+    nic = put_oneway_latency_workload(config, payload_bytes=PAYLOAD)
+    nic_ns = nic["one_way_latency_ns"]
+
+    lines = [
+        f"one-way {PAYLOAD} B latency by transport:",
+        f"  shm (same node)  : {shm_ns:>9.2f} ns",
+        f"  pcie+nic ({nic['path']}): {nic_ns:>9.2f} ns",
+        f"  speedup          : {nic_ns / shm_ns:>9.2f}x",
+    ]
+    write_report(report_dir, "transport_latency", "\n".join(lines))
+    _record(
+        "transport_shm_vs_nic_latency",
+        {
+            "payload_bytes": PAYLOAD,
+            "shm_oneway_ns": shm_ns,
+            "nic_oneway_ns": nic_ns,
+            "shm_speedup": nic_ns / shm_ns,
+        },
+    )
+    assert shm_ns < nic_ns
+
+
+def test_dual_rail_put_bw_uplift(report_dir):
+    base = SystemConfig.builder().deterministic().build()
+    dual = SystemConfig.builder().deterministic().transport(rails=2).build()
+
+    t0 = time.perf_counter()
+    one = put_bw_workload(base, n_messages=N_MESSAGES)
+    two = put_bw_workload(dual, n_messages=N_MESSAGES)
+    wall_s = time.perf_counter() - t0
+
+    uplift = two["message_rate_per_s"] / one["message_rate_per_s"]
+    lines = [
+        f"put_bw ({PAYLOAD} B, {N_MESSAGES} messages) by rail count:",
+        f"  1 rail : {one['message_rate_per_s']:>13,.0f} msg/s"
+        f" ({one['busy_posts']} busy posts)",
+        f"  2 rails: {two['message_rate_per_s']:>13,.0f} msg/s"
+        f" ({two['busy_posts']} busy posts)",
+        f"  uplift : {uplift:>8.3f}x  (wall {wall_s:.2f} s)",
+    ]
+    write_report(report_dir, "transport_rails", "\n".join(lines))
+    _record(
+        "transport_dual_rail_put_bw",
+        {
+            "payload_bytes": PAYLOAD,
+            "n_messages": N_MESSAGES,
+            "rate_1_rail_per_s": one["message_rate_per_s"],
+            "rate_2_rail_per_s": two["message_rate_per_s"],
+            "uplift": uplift,
+            "busy_posts_1_rail": one["busy_posts"],
+            "busy_posts_2_rail": two["busy_posts"],
+            "wall_s": wall_s,
+        },
+    )
+    # Splitting the TxQ across rails must not hurt, and should relieve
+    # the busy-post pressure the single queue saturates into.
+    assert uplift > 1.0
+    assert two["busy_posts"] < one["busy_posts"]

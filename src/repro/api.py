@@ -91,6 +91,18 @@ class Experiment:
         :class:`ExperimentRun` (sweeps pass the flag to the campaign).
     seed / deterministic:
         Override the corresponding config fields when not None.
+    processes_per_node:
+        Ranks per node for workloads that accept it (collectives,
+        traffic patterns); same-node rank pairs use the shared-memory
+        transport automatically.
+    rails:
+        NIC rails per node (evolves ``config.transport.rails``); None
+        keeps the config's value.
+    transports:
+        Which transport families endpoints may resolve: an iterable or
+        comma-separated string drawn from ``{"shm", "nic"}``.  Omitting
+        ``"shm"`` forces even same-node pairs through the NIC loopback
+        path; None keeps the config's setting.
     """
 
     def __init__(
@@ -103,10 +115,17 @@ class Experiment:
         trace: bool = False,
         seed: int | None = None,
         deterministic: bool | None = None,
+        processes_per_node: int = 1,
+        rails: int | None = None,
+        transports: str | tuple[str, ...] | list[str] | None = None,
         name: str = "experiment",
     ) -> None:
         if nodes < 2:
             raise ValueError(f"an experiment needs at least two nodes, got {nodes}")
+        if processes_per_node < 1:
+            raise ValueError(
+                f"processes_per_node must be >= 1, got {processes_per_node}"
+            )
         if isinstance(config, SystemConfigBuilder):
             config = config.build()
         resolved = config if config is not None else SystemConfig.paper_testbed()
@@ -124,14 +143,40 @@ class Experiment:
         if faults is not None:
             plan = FaultPlan.load(faults) if isinstance(faults, str) else faults
             resolved = resolved.evolve(faults=plan)
+        transport_overrides: dict[str, Any] = {}
+        if rails is not None:
+            transport_overrides["rails"] = int(rails)
+        if transports is not None:
+            if isinstance(transports, str):
+                transports = tuple(t.strip() for t in transports.split(",") if t.strip())
+            chosen = set(transports)
+            unknown = chosen - {"shm", "nic"}
+            if unknown:
+                raise ValueError(
+                    f"unknown transport(s) {sorted(unknown)}; valid: 'shm', 'nic'"
+                )
+            if "nic" not in chosen:
+                raise ValueError(
+                    "the 'nic' transport cannot be disabled — inter-node "
+                    "traffic has no other path"
+                )
+            transport_overrides["shm_enabled"] = "shm" in chosen
+        if transport_overrides:
+            resolved = resolved.evolve(
+                transport=dataclasses.replace(
+                    resolved.transport, **transport_overrides
+                )
+            )
         self.config = resolved
         self.nodes = nodes
+        self.processes_per_node = processes_per_node
         self.trace = trace
         self.name = name
 
     # -- construction ------------------------------------------------------
     def cluster(self, **kwargs: Any) -> Cluster:
         """A fresh N-node cluster with this experiment's config."""
+        kwargs.setdefault("processes_per_node", self.processes_per_node)
         return Cluster(self.nodes, config=self.config, **kwargs)
 
     def testbed(self, **kwargs: Any) -> Testbed:
@@ -145,17 +190,22 @@ class Experiment:
 
     # -- execution ---------------------------------------------------------
     def _resolved_params(self, workload_name: str, params: dict[str, Any]) -> dict[str, Any]:
-        """Fold ``nodes`` into workloads that accept ``n_nodes``."""
+        """Fold ``nodes``/``processes_per_node`` into accepting workloads."""
         workload = get_workload(workload_name)
-        if "n_nodes" in params:
-            return params
         try:
             accepts = inspect.signature(workload).parameters
         except (TypeError, ValueError):  # pragma: no cover - builtins only
             return params
-        if "n_nodes" in accepts:
-            return {**params, "n_nodes": self.nodes}
-        return params
+        resolved = dict(params)
+        if "n_nodes" in accepts and "n_nodes" not in resolved:
+            resolved["n_nodes"] = self.nodes
+        if (
+            "processes_per_node" in accepts
+            and "processes_per_node" not in resolved
+            and self.processes_per_node != 1
+        ):
+            resolved["processes_per_node"] = self.processes_per_node
+        return resolved
 
     def run(self, workload: str, **params: Any) -> ExperimentRun:
         """Execute one registered workload and return its measurements."""

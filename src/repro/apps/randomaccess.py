@@ -1,40 +1,19 @@
-"""A GUPS-style fine-grained random-access kernel.
+"""Deprecated shim: the GUPS kernel moved to ``repro.traffic``.
 
-The limit-of-strong-scaling workload of the paper's introduction: every
-core issues independent small RDMA writes to remote memory as fast as
-it can, with no synchronisation between cores.  The figure of merit is
-aggregate updates per second — the many-core analogue of the paper's
-injection-rate study.
+:func:`repro.traffic.workloads.run_random_access` is the same kernel,
+now registered in the campaign workload registry as ``randomaccess``.
+This module keeps the old entry point and result type alive with a
+:class:`DeprecationWarning`, exactly like ``repro.apps.allreduce``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.bench.multicore import MulticoreResult, run_multicore_put_bw
 from repro.node.config import SystemConfig
+from repro.traffic.workloads import RandomAccessResult, run_random_access as _run
 
 __all__ = ["RandomAccessResult", "run_random_access"]
-
-
-@dataclass
-class RandomAccessResult:
-    """Outcome of one random-access run."""
-
-    n_cores: int
-    update_bytes: int
-    updates: int
-    #: Aggregate CPU-side update rate.
-    gups: float
-    #: Aggregate NIC-observed update rate (saturates at the I/O wall).
-    nic_gups: float
-    #: PCIe credit stalls during the measured window.
-    credit_stalls: int
-
-    @property
-    def updates_per_core_per_s(self) -> float:
-        """Per-core update rate (the Eq. 1 pace when unthrottled)."""
-        return self.gups * 1e9 / self.n_cores if self.n_cores else 0.0
 
 
 def run_random_access(
@@ -43,21 +22,22 @@ def run_random_access(
     updates_per_core: int = 300,
     update_bytes: int = 8,
 ) -> RandomAccessResult:
-    """Run the kernel; remote target addresses are uniform-random, but
-    since the simulated NIC's write cost is address-independent the
-    timing-relevant behaviour is exactly the multicore injection study,
-    which this wraps."""
-    result: MulticoreResult = run_multicore_put_bw(
-        n_cores,
-        config=config or SystemConfig.paper_testbed(),
-        n_messages_per_core=updates_per_core,
-        payload_bytes=update_bytes,
+    """Run the random-access kernel.
+
+    .. deprecated::
+        Use :func:`repro.traffic.workloads.run_random_access` (or the
+        ``randomaccess`` workload via :class:`repro.api.Experiment`).
+    """
+    warnings.warn(
+        "repro.apps.run_random_access is deprecated; use "
+        "repro.traffic.run_random_access (or the 'randomaccess' workload "
+        "via repro.api.Experiment) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return RandomAccessResult(
-        n_cores=n_cores,
+    return _run(
+        n_cores,
+        config=config,
+        updates_per_core=updates_per_core,
         update_bytes=update_bytes,
-        updates=n_cores * updates_per_core,
-        gups=result.aggregate_rate_per_s / 1e9,
-        nic_gups=result.nic_rate_per_s / 1e9,
-        credit_stalls=result.credit_stalls,
     )

@@ -1,20 +1,21 @@
-"""A two-rank 1-D halo exchange: the §7 stencil-kernel check.
+"""Deprecated shim: the stencil halo exchange moved to ``repro.traffic``.
 
-Each iteration, both ranks post a halo receive, send their boundary
-value to the neighbour, wait for the incoming halo, then spend a
-configurable compute time on the interior update.  The result records
-the communication time per iteration, which §7 predicts responds
-*linearly* to any component reduction (the model components do not
-overlap).
+:func:`repro.traffic.workloads.run_halo_ranks` is the same 1-D halo
+exchange generalised to N ranks; the two-rank testbed run below is its
+N=2 special case, byte-for-byte the old communication schedule.  This
+module keeps the old entry point and result type alive with a
+:class:`DeprecationWarning`, exactly like ``repro.apps.allreduce``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.hlp.mpi import MpiStack
 from repro.node.config import SystemConfig
 from repro.node.testbed import Testbed
+from repro.traffic.workloads import run_halo_ranks
 
 __all__ = ["StencilResult", "run_halo_exchange"]
 
@@ -48,35 +49,30 @@ def run_halo_exchange(
     compute_ns: float = 500.0,
     signal_period: int = 64,
 ) -> StencilResult:
-    """Run the stencil communication phase on a fresh testbed."""
-    if iterations < 1:
-        raise ValueError(f"iterations must be >= 1, got {iterations}")
-    if compute_ns < 0:
-        raise ValueError(f"compute_ns must be >= 0, got {compute_ns}")
+    """Run the stencil communication phase on a fresh testbed.
+
+    .. deprecated::
+        Use :func:`repro.traffic.workloads.run_halo_ranks` (or the
+        ``halo`` / ``stencil`` workloads via
+        :class:`repro.api.Experiment`) instead.
+    """
+    warnings.warn(
+        "repro.apps.run_halo_exchange is deprecated; use "
+        "repro.traffic.run_halo_ranks (or the 'halo'/'stencil' workloads "
+        "via repro.api.Experiment) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     tb = Testbed(config or SystemConfig.paper_testbed())
     rank0 = MpiStack(tb.node1, signal_period=signal_period)
     rank1 = MpiStack(tb.node2, signal_period=signal_period)
-    comm01 = rank0.connect(rank1)
-    comm10 = rank1.connect(rank0)
-    stats = {"comm_ns": 0.0, "t_end": 0.0}
-    env = tb.env
-
-    def rank(comm, node, record: bool):
-        for _ in range(iterations):
-            t0 = env.now
-            halo = yield from comm.irecv(halo_bytes)
-            yield from comm.isend(halo_bytes)
-            yield from comm.wait(halo)
-            if record:
-                stats["comm_ns"] += env.now - t0
-            if compute_ns > 0:
-                yield from node.cpu.execute("stencil_compute", mean=compute_ns)
-        if record:
-            stats["t_end"] = env.now
-
-    rank0_proc = env.process(rank(comm01, tb.node1, True), name="stencil.rank0")
-    env.process(rank(comm10, tb.node2, False), name="stencil.rank1")
-    env.run(until=rank0_proc)
+    stats = run_halo_ranks(
+        tb.env,
+        [rank0, rank1],
+        iterations=iterations,
+        halo_bytes=halo_bytes,
+        compute_ns=compute_ns,
+    )
     return StencilResult(
         testbed=tb,
         iterations=iterations,

@@ -45,6 +45,16 @@ _REGISTRY: dict[str, Workload | str] = {
     "allreduce": "repro.collectives.workloads:allreduce_workload",
     "bcast": "repro.collectives.workloads:bcast_workload",
     "barrier": "repro.collectives.workloads:barrier_workload",
+    # Datacenter traffic patterns and app skeletons (pattern, node
+    # count, ranks-per-node, topology all sweepable — repro.traffic).
+    "traffic": "repro.traffic.workloads:traffic_pattern_workload",
+    "shuffle": "repro.traffic.workloads:shuffle_workload",
+    "incast": "repro.traffic.workloads:incast_workload",
+    "outcast": "repro.traffic.workloads:outcast_workload",
+    "halo": "repro.traffic.workloads:halo_workload",
+    "stencil": "repro.traffic.workloads:stencil_workload",
+    "pserver": "repro.traffic.workloads:pserver_workload",
+    "randomaccess": "repro.traffic.workloads:randomaccess_workload",
 }
 
 

@@ -177,7 +177,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_uniform_flags(campaign)
 
-    bench = sub.add_parser("bench", help="run one micro-benchmark")
+    bench = sub.add_parser(
+        "bench",
+        help="run one micro-benchmark",
+        epilog=(
+            "examples: 'bench put_bw', 'bench allreduce --param n_nodes=64 "
+            "--param topology=fat_tree:4', 'bench incast --param n_nodes=4 "
+            "--param topology=torus:2x2 --param processes_per_node=2' "
+            "(two ranks per node: same-node traffic rides the shm "
+            "transport), 'bench put_bw --param transport.rails=2' "
+            "(dual-rail NICs)"
+        ),
+    )
     bench.add_argument("workload")
     bench.add_argument(
         "--sweep", action="append", default=[], metavar="AXIS=V1,V2,...",

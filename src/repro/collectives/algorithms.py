@@ -1,9 +1,11 @@
 """The collective algorithms themselves.
 
-Every algorithm runs one MPI process per cluster node (a full
-MPICH→UCP→UCT stack, busy-poll progress loops and all) and drives real
-messages through the fabric — contention on shared topology links is
-observed, not modelled.  Communicators are created up front in a fixed
+Every algorithm runs one MPI process per *rank* (a full MPICH→UCP→UCT
+stack, busy-poll progress loops and all) and drives real messages
+through the fabric — contention on shared topology links is observed,
+not modelled.  With ``processes_per_node > 1`` ranks are block-placed
+(rank r on node r // ppn, pinned to core r % ppn) and same-node pairs
+resolve the shared-memory transport automatically.  Communicators are created up front in a fixed
 order so runs are deterministic regardless of process interleaving.
 
 A node's receives share its UCP worker mailbox, so concurrent messages
@@ -36,6 +38,7 @@ class CollectiveResult:
 
     cluster: Cluster
     algorithm: str
+    #: Total rank count (nodes × processes_per_node).
     n_nodes: int
     payload_bytes: int
     reduce_compute_ns: float
@@ -45,6 +48,8 @@ class CollectiveResult:
     #: Point-to-point exchanges on the longest dependency chain of one
     #: iteration (2(N-1) for ring, ceil(log2 N) for the log algorithms).
     steps: int
+    #: Ranks per node the run was placed with.
+    processes_per_node: int = 1
 
     @property
     def time_per_iteration_ns(self) -> float:
@@ -58,12 +63,19 @@ class CollectiveResult:
 
 
 class _Runtime:
-    """Per-run MPI plumbing: one stack per node, cached communicators."""
+    """Per-run MPI plumbing: one stack per rank, cached communicators.
+
+    One process per rank, block placement.  At one process per node
+    the stack/core objects are exactly the per-node ones of old runs.
+    """
 
     def __init__(self, cluster: Cluster, signal_period: int) -> None:
         self.cluster = cluster
+        self.nodes = [cluster.node_for_rank(r) for r in range(cluster.n_ranks)]
+        self.cores = [cluster.core_for_rank(r) for r in range(cluster.n_ranks)]
         self.stacks = [
-            MpiStack(node, signal_period=signal_period) for node in cluster.nodes
+            MpiStack(node, signal_period=signal_period, core=core)
+            for node, core in zip(self.nodes, self.cores)
         ]
         self._comms: dict[tuple[int, int], MpiComm] = {}
 
@@ -103,7 +115,7 @@ def ring_allreduce(
     :func:`repro.collectives.model.predicted_ring_allreduce_ns` for the
     per-link generalisation).
     """
-    n_nodes = len(cluster)
+    n_nodes = cluster.n_ranks
     _validate(n_nodes, iterations, reduce_compute_ns)
     runtime = _Runtime(cluster, signal_period)
     to_right = [runtime.comm(i, (i + 1) % n_nodes) for i in range(n_nodes)]
@@ -113,14 +125,14 @@ def ring_allreduce(
 
     def rank(index: int) -> Generator:
         comm = to_right[index]
-        node = cluster.nodes[index]
+        core = runtime.cores[index]
         for _ in range(iterations):
             for _step in range(steps):
                 incoming = yield from comm.irecv(payload_bytes)
                 yield from comm.isend(payload_bytes)
                 yield from comm.wait(incoming)
                 if reduce_compute_ns > 0:
-                    yield from node.cpu.execute("reduce_op", mean=reduce_compute_ns)
+                    yield from core.execute("reduce_op", mean=reduce_compute_ns)
         if index == 0:
             marks["t_end"] = env.now
 
@@ -138,6 +150,7 @@ def ring_allreduce(
         iterations=iterations,
         total_ns=marks["t_end"],
         steps=steps,
+        processes_per_node=cluster.processes_per_node,
     )
 
 
@@ -153,7 +166,7 @@ def recursive_doubling_allreduce(
     Round r pairs rank i with ``i XOR 2^r``; both exchange the full
     vector and reduce.  Requires a power-of-two rank count.
     """
-    n_nodes = len(cluster)
+    n_nodes = cluster.n_ranks
     _validate(n_nodes, iterations, reduce_compute_ns)
     if n_nodes & (n_nodes - 1):
         raise ValueError(
@@ -167,7 +180,7 @@ def recursive_doubling_allreduce(
     env = cluster.env
 
     def rank(index: int) -> Generator:
-        node = cluster.nodes[index]
+        core = runtime.cores[index]
         for _ in range(iterations):
             for r in range(rounds):
                 comm = runtime.comm(index, index ^ (1 << r))
@@ -175,7 +188,7 @@ def recursive_doubling_allreduce(
                 yield from comm.isend(payload_bytes)
                 yield from comm.wait(incoming)
                 if reduce_compute_ns > 0:
-                    yield from node.cpu.execute("reduce_op", mean=reduce_compute_ns)
+                    yield from core.execute("reduce_op", mean=reduce_compute_ns)
 
     processes = [
         env.process(rank(index), name=f"rd_allreduce.rank{index}")
@@ -191,6 +204,7 @@ def recursive_doubling_allreduce(
         iterations=iterations,
         total_ns=env.now,
         steps=rounds,
+        processes_per_node=cluster.processes_per_node,
     )
 
 
@@ -212,7 +226,7 @@ def tree_broadcast(
     receives in round ``floor(log2 i)`` from ``i - 2^floor(log2 i)``.
     The chain depth is ``ceil(log2 N)`` rounds.
     """
-    n_nodes = len(cluster)
+    n_nodes = cluster.n_ranks
     _validate(n_nodes, iterations, 0.0)
     if not 0 <= root < n_nodes:
         raise ValueError(f"root {root} out of range for {n_nodes} ranks")
@@ -261,6 +275,7 @@ def tree_broadcast(
         iterations=iterations,
         total_ns=env.now,
         steps=rounds,
+        processes_per_node=cluster.processes_per_node,
     )
 
 
@@ -275,7 +290,7 @@ def barrier(
     and waits for the token from ``(i - 2^r) mod N`` — after the last
     round every rank has (transitively) heard from every other.
     """
-    n_nodes = len(cluster)
+    n_nodes = cluster.n_ranks
     _validate(n_nodes, iterations, 0.0)
     rounds = _bcast_rounds(n_nodes)
     token_bytes = 8
@@ -310,4 +325,5 @@ def barrier(
         iterations=iterations,
         total_ns=env.now,
         steps=rounds,
+        processes_per_node=cluster.processes_per_node,
     )

@@ -40,6 +40,7 @@ def _common(result: algorithms.CollectiveResult, predicted_ns: float) -> dict[st
     return {
         "algorithm": result.algorithm,
         "n_nodes": result.n_nodes,
+        "processes_per_node": result.processes_per_node,
         "steps": result.steps,
         "iterations": result.iterations,
         "total_ns": result.total_ns,
@@ -61,10 +62,17 @@ def allreduce_workload(
     reduce_compute_ns: float = 20.0,
     iterations: int = 1,
     signal_period: int = 64,
+    processes_per_node: int = 1,
 ) -> dict[str, Any]:
-    """N-rank allreduce (``algorithm`` = ``ring`` | ``recursive_doubling``)."""
+    """N-node allreduce (``algorithm`` = ``ring`` | ``recursive_doubling``).
+
+    With ``processes_per_node > 1`` the rank count is
+    ``n_nodes × processes_per_node`` and same-node neighbour pairs ride
+    the shared-memory transport; the closed-form model only covers the
+    one-rank-per-node case, so ``model_ns`` is reported as 0 otherwise.
+    """
     config = _with_topology(config, topology)
-    cluster = Cluster(n_nodes, config=config)
+    cluster = Cluster(n_nodes, config=config, processes_per_node=processes_per_node)
     built: Topology | None = cluster.topology
     if algorithm == "ring":
         result = algorithms.ring_allreduce(
@@ -77,7 +85,7 @@ def allreduce_workload(
         predicted = model.predicted_ring_allreduce_ns(
             n_nodes, config, built,
             reduce_compute_ns=reduce_compute_ns, iterations=iterations,
-        ) / iterations
+        ) / iterations if processes_per_node == 1 else 0.0
     elif algorithm == "recursive_doubling":
         result = algorithms.recursive_doubling_allreduce(
             cluster,
@@ -89,7 +97,7 @@ def allreduce_workload(
         predicted = model.predicted_recursive_doubling_ns(
             n_nodes, config, built,
             reduce_compute_ns=reduce_compute_ns, iterations=iterations,
-        ) / iterations
+        ) / iterations if processes_per_node == 1 else 0.0
     else:
         raise ValueError(
             f"unknown allreduce algorithm {algorithm!r}; "
@@ -106,10 +114,11 @@ def bcast_workload(
     root: int = 0,
     iterations: int = 1,
     signal_period: int = 64,
+    processes_per_node: int = 1,
 ) -> dict[str, Any]:
-    """Binomial-tree broadcast across N ranks."""
+    """Binomial-tree broadcast across N nodes (× processes_per_node ranks)."""
     config = _with_topology(config, topology)
-    cluster = Cluster(n_nodes, config=config)
+    cluster = Cluster(n_nodes, config=config, processes_per_node=processes_per_node)
     result = algorithms.tree_broadcast(
         cluster,
         payload_bytes=payload_bytes,
@@ -119,8 +128,12 @@ def bcast_workload(
     )
     # Single-operation prediction; with iterations > 1 broadcasts
     # pipeline and time_per_iteration_ns dips below it.
-    predicted = model.predicted_tree_broadcast_ns(
-        n_nodes, config, cluster.topology, root=root
+    predicted = (
+        model.predicted_tree_broadcast_ns(
+            n_nodes, config, cluster.topology, root=root
+        )
+        if processes_per_node == 1
+        else 0.0
     )
     return {**_common(result, predicted), "payload_bytes": payload_bytes, "root": root}
 
@@ -131,14 +144,15 @@ def barrier_workload(
     topology: str | None = None,
     iterations: int = 1,
     signal_period: int = 64,
+    processes_per_node: int = 1,
 ) -> dict[str, Any]:
-    """Dissemination barrier across N ranks."""
+    """Dissemination barrier across N nodes (× processes_per_node ranks)."""
     config = _with_topology(config, topology)
-    cluster = Cluster(n_nodes, config=config)
+    cluster = Cluster(n_nodes, config=config, processes_per_node=processes_per_node)
     result = algorithms.barrier(
         cluster, iterations=iterations, signal_period=signal_period
     )
     predicted = model.predicted_barrier_ns(
         n_nodes, config, cluster.topology, iterations=iterations
-    ) / iterations
+    ) / iterations if processes_per_node == 1 else 0.0
     return _common(result, predicted)

@@ -232,8 +232,14 @@ class UcpWorker:
         start = yield from self.profiler.begin("ucp_worker_progress")
         yield from cpu.execute("ucp_prog_body")
         repost_start = env.now
-        while self.pending_sends and self.iface.qp.txq.has_space:
-            request, uct_ep = self.pending_sends.popleft()
+        while self.pending_sends:
+            # Ask the pended send's own transport/rail for space — the
+            # single-rail NIC path reads the same txq.has_space bit it
+            # always did; shm never blocks.
+            request, uct_ep = self.pending_sends[0]
+            if not uct_ep.can_post(request.payload_bytes):
+                break
+            self.pending_sends.popleft()
             status = yield from uct_ep.am_short(request.payload_bytes)
             if status == UCS_OK:
                 self.progress_llp_posts += 1

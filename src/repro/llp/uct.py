@@ -20,16 +20,20 @@ A post against a full TxQ is a *busy post*: it fails after
 
 from __future__ import annotations
 
-import math
 from collections.abc import Callable, Generator
 from typing import Any
 
-from repro.cpu.memory import MemoryType
-from repro.nic.descriptor import Message, MessageOp
 from repro.llp.profiling import UcsProfiler
+from repro.nic.descriptor import Message, MessageOp
 from repro.node.node import Node
-from repro.pcie.packets import Tlp, TlpType
-from repro.sim.engine import SimulationError
+from repro.transport.base import (
+    UCS_ERR_NO_RESOURCE,
+    UCS_OK,
+    Transport,
+    resolve_transport,
+)
+from repro.transport.nicrail import PcieNicTransport
+from repro.transport.shm import ShmTransport
 
 __all__ = [
     "UCS_ERR_NO_RESOURCE",
@@ -40,10 +44,9 @@ __all__ = [
     "UctWorker",
 ]
 
-#: Post accepted.
-UCS_OK = "UCS_OK"
-#: Post failed: no TxQ space (busy post); progress and retry.
-UCS_ERR_NO_RESOURCE = "UCS_ERR_NO_RESOURCE"
+# UCS status codes now live in repro.transport.base (every transport
+# returns them); re-exported here for all existing importers.
+_ = (UCS_OK, UCS_ERR_NO_RESOURCE)
 
 #: Completion/receive callbacks run inside ``worker.progress``.  A
 #: callback may be a plain function (costless bookkeeping) or a
@@ -97,8 +100,12 @@ class UctWorker:
         events = 0
         start = yield from self.profiler.begin("llp_prog")
         for iface in self.ifaces:
-            cqe = iface.qp.cq.try_poll()
-            if cqe is not None:
+            # One CQ poll per rail (a single-rail iface polls exactly
+            # the one CQ it always polled).
+            for qp in iface.qps:
+                cqe = qp.cq.try_poll()
+                if cqe is None:
+                    continue
                 tspan = None
                 if tracer.enabled:
                     tspan = tracer.begin(
@@ -106,7 +113,7 @@ class UctWorker:
                         msg=cqe.message.msg_id, kind="cqe",
                     )
                 yield from cpu.execute("llp_prog")
-                iface.qp.consume_cqe(cqe)
+                qp.consume_cqe(cqe)
                 events += 1
                 if cqe.status != "ok":
                     # Transport error CQE (retry budget exhausted): the
@@ -171,7 +178,7 @@ class UctWorker:
 
 
 class UctIface:
-    """One transport interface: a queue pair plus AM receive resources."""
+    """One transport interface: queue pair(s) plus AM receive resources."""
 
     def __init__(
         self,
@@ -183,7 +190,19 @@ class UctIface:
         self.worker = worker
         self.node = node
         self.name = name or f"{node.name}.iface{len(worker.ifaces)}"
-        self.qp = node.nic.create_qp(signal_period=signal_period, name=f"{self.name}.qp")
+        #: One queue pair per NIC rail.  Rail 0 keeps the historical
+        #: ``{iface}.qp`` name so single-rail artefacts are unchanged.
+        self.qps = [
+            rail.nic.create_qp(
+                signal_period=signal_period,
+                name=f"{self.name}.qp" if index == 0 else f"{self.name}.qp{index}",
+            )
+            for index, rail in enumerate(node.rails)
+        ]
+        self.qp = self.qps[0]
+        #: The inter-node transport (always available).
+        self.nic_transport: Transport = PcieNicTransport(self)
+        self._shm_transport: Transport | None = None
         #: Target-side landing zone for active messages sent to this iface.
         self.am_recv_target = f"{self.name}.am"
         self.am_mailbox = node.memory.mailbox(self.am_recv_target)
@@ -206,27 +225,73 @@ class UctIface:
         """Register a send-completion callback (generator fn)."""
         self.completion_callbacks.append(callback)
 
+    @property
+    def shm_transport(self) -> Transport:
+        """The intra-node shared-memory transport (created on demand)."""
+        if self._shm_transport is None:
+            self._shm_transport = ShmTransport(self)
+        return self._shm_transport
+
     def create_ep(self, remote: "UctIface") -> "UctEndpoint":
-        """Connect an endpoint to a remote interface."""
-        return UctEndpoint(self, remote.am_recv_target, remote.node.nic.name)
+        """Connect an endpoint, resolving the transport for the peer.
+
+        Same-node peers get the shared-memory path (when the config
+        enables it); everything else rides the PCIe/NIC rails, with one
+        destination NIC per remote rail.
+        """
+        return UctEndpoint(
+            self,
+            remote.am_recv_target,
+            remote.node.nic.name,
+            transport=resolve_transport(self, remote),
+            remote_nics=tuple(rail.nic.name for rail in remote.node.rails),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<UctIface {self.name!r}>"
 
 
 class UctEndpoint:
-    """A connected endpoint: the object posts are issued on."""
+    """A connected endpoint: the object posts are issued on.
+
+    The endpoint is transport-agnostic: every operation delegates to
+    the :class:`~repro.transport.base.Transport` resolved for the peer
+    at ``create_ep`` time (PCIe/NIC rails inter-node, shared memory
+    intra-node).  Posts return ``UCS_OK`` or ``UCS_ERR_NO_RESOURCE``
+    exactly as before the transports became pluggable.
+    """
 
     def __init__(
         self,
         iface: UctIface,
         remote_recv_target: str,
         remote_nic: str | None = None,
+        transport: "Transport | None" = None,
+        remote_nics: tuple[str, ...] | None = None,
     ) -> None:
         self.iface = iface
         self.remote_recv_target = remote_recv_target
         #: Destination NIC port name (None = the two-node fabric peer).
         self.remote_nic = remote_nic
+        #: The resolved transport; defaults to the PCIe/NIC path so
+        #: directly-constructed endpoints behave as they always did.
+        self.transport: Transport = (
+            transport if transport is not None else iface.nic_transport
+        )
+        #: Destination NIC per remote rail (multi-rail peers).
+        self.remote_nics = remote_nics
+        #: Round-robin rail cursor (advanced by the rail selector).
+        self.rail_cursor = 0
+
+    def remote_nic_for(self, rail: int) -> str | None:
+        """The destination NIC name for a post leaving on ``rail``."""
+        if self.remote_nics:
+            return self.remote_nics[min(rail, len(self.remote_nics) - 1)]
+        return self.remote_nic
+
+    def can_post(self, payload_bytes: int = 0) -> bool:
+        """Whether a post would find transmit resources right now."""
+        return self.transport.can_post(self, payload_bytes)
 
     # -- public data-path operations ------------------------------------------
     def put_short(self, payload_bytes: int) -> Generator:
@@ -234,11 +299,11 @@ class UctEndpoint:
 
         Returns ``UCS_OK`` or ``UCS_ERR_NO_RESOURCE`` (busy post).
         """
-        return self._post_short(MessageOp.PUT, payload_bytes)
+        return self.transport.post_short(self, MessageOp.PUT, payload_bytes)
 
     def am_short(self, payload_bytes: int) -> Generator:
         """Send-receive a small payload via PIO+inline (the am_lat op)."""
-        return self._post_short(MessageOp.AM, payload_bytes)
+        return self.transport.post_short(self, MessageOp.AM, payload_bytes)
 
     def put_zcopy(self, payload_bytes: int) -> Generator:
         """RDMA-write via the DoorBell + DMA-read path (§2 steps 1-3).
@@ -246,7 +311,7 @@ class UctEndpoint:
         Used for payloads beyond the inline limit; two PCIe round trips
         replace the PIO copy.
         """
-        return self._post_doorbell(MessageOp.PUT, payload_bytes)
+        return self.transport.post_doorbell(self, MessageOp.PUT, payload_bytes)
 
     def get_bcopy(self, payload_bytes: int, local_buffer: str | None = None) -> Generator:
         """RDMA-read: pull ``payload_bytes`` from the remote memory.
@@ -258,7 +323,9 @@ class UctEndpoint:
         namespace with a ``.get`` suffix).  The read response doubles as
         the acknowledgement.
         """
-        return self._post_one_sided(MessageOp.GET, payload_bytes, local_buffer, "get")
+        return self.transport.post_one_sided(
+            self, MessageOp.GET, payload_bytes, local_buffer, "get"
+        )
 
     def atomic_fadd(self, payload_bytes: int = 8, local_buffer: str | None = None) -> Generator:
         """RDMA fetch-and-add: atomically update remote memory.
@@ -268,204 +335,9 @@ class UctEndpoint:
         memory (one DMA read + one DMA write, no target CPU), and the
         old value returns like a read response.
         """
-        return self._post_one_sided(
-            MessageOp.ATOMIC, payload_bytes, local_buffer, suffix="atomic"
+        return self.transport.post_one_sided(
+            self, MessageOp.ATOMIC, payload_bytes, local_buffer, "atomic"
         )
-
-    def _post_one_sided(
-        self,
-        op: MessageOp,
-        payload_bytes: int,
-        local_buffer: str | None,
-        suffix: str,
-    ) -> Generator:
-        iface = self.iface
-        node = iface.node
-        cpu = iface.worker.cpu
-        nic_cfg = node.config.nic
-        profiler = iface.worker.profiler
-        if not iface.qp.txq.has_space:
-            iface.busy_posts += 1
-            busy = yield from profiler.begin("busy_post")
-            yield from cpu.execute("busy_post")
-            yield from profiler.end("busy_post", busy)
-            return UCS_ERR_NO_RESOURCE
-
-        outer = yield from profiler.begin("llp_post")
-        message = Message(
-            op=op,
-            payload_bytes=payload_bytes,
-            inline=True,   # the *request* WQE is small and inlined
-            pio=True,
-            recv_target=local_buffer or f"{iface.name}.{suffix}",
-            dst_nic=self.remote_nic,
-            # The requester's NIC name rides in context so the serving
-            # NIC can route the response on multi-node fabrics.
-            context=node.nic.name,
-            qp=iface.qp,
-        )
-        iface.qp.register_post(message)
-        message.stamp("posted", node.env.now)
-        tracer = node.env.tracer
-        tspan = tracer.begin(
-            "llp", "llp_post", track=cpu.name,
-            msg=message.msg_id, op=op.value, bytes=payload_bytes,
-        )
-        yield from cpu.execute("md_setup")
-        yield from cpu.execute("barrier_md")
-        yield from cpu.execute("barrier_dbc")
-        chunks = 1  # a read request WQE fits one PIO chunk
-        yield from cpu.execute("pio_copy_64b", mean=chunks * cpu.costs.pio_copy_64b)
-        message.stamp("pio_written", node.env.now)
-        node.rc.mmio_write(
-            Tlp(
-                kind=TlpType.MWR,
-                payload_bytes=chunks * nic_cfg.pio_chunk_bytes,
-                purpose="pio_post",
-                message=message,
-            )
-        )
-        yield from cpu.execute("llp_post_misc")
-        tracer.end(tspan)
-        yield from profiler.end("llp_post", outer)
-        iface.successful_posts += 1
-        iface.last_message = message
-        return UCS_OK
-
-    # -- implementation ------------------------------------------------------------
-    def _post_short(self, op: MessageOp, payload_bytes: int) -> Generator:
-        iface = self.iface
-        node = iface.node
-        cpu = iface.worker.cpu
-        nic_cfg = node.config.nic
-        if payload_bytes > nic_cfg.inline_max_bytes:
-            raise SimulationError(
-                f"short post of {payload_bytes}B exceeds the inline limit "
-                f"({nic_cfg.inline_max_bytes}B); use put_zcopy"
-            )
-        profiler = iface.worker.profiler
-        if not iface.qp.txq.has_space:
-            iface.busy_posts += 1
-            busy = yield from profiler.begin("busy_post")
-            yield from cpu.execute("busy_post")
-            yield from profiler.end("busy_post", busy)
-            return UCS_ERR_NO_RESOURCE
-
-        outer = yield from profiler.begin("llp_post")
-        message = Message(
-            op=op,
-            payload_bytes=payload_bytes,
-            inline=True,
-            pio=True,
-            recv_target=self.remote_recv_target,
-            dst_nic=self.remote_nic,
-            qp=iface.qp,
-        )
-        iface.qp.register_post(message)
-        message.stamp("posted", node.env.now)
-        tracer = node.env.tracer
-        tspan = tracer.begin(
-            "llp", "llp_post", track=cpu.name,
-            msg=message.msg_id, op=op.value, bytes=payload_bytes,
-        )
-
-        # §4.1 step 1: prepare the MD (control segment + inline memcpy).
-        start = yield from profiler.begin("md_setup")
-        with tracer.span("llp", "md_setup", track=cpu.name, msg=message.msg_id):
-            yield from cpu.execute("md_setup")
-        yield from profiler.end("md_setup", start)
-        # Step 2: store barrier so the MD is written before signalling.
-        start = yield from profiler.begin("barrier_md")
-        with tracer.span("llp", "barrier_md", track=cpu.name, msg=message.msg_id):
-            yield from cpu.execute("barrier_md")
-        yield from profiler.end("barrier_md", start)
-        # Steps 3-4: DoorBell counter increment + its store barrier.
-        start = yield from profiler.begin("barrier_dbc")
-        with tracer.span("llp", "barrier_dbc", track=cpu.name, msg=message.msg_id):
-            yield from cpu.execute("barrier_dbc")
-        yield from profiler.end("barrier_dbc", start)
-        # Step 5: the PIO copy into Device-GRE memory, in 64-byte chunks.
-        wqe_bytes = nic_cfg.wqe_header_bytes + payload_bytes
-        chunks = math.ceil(wqe_bytes / nic_cfg.pio_chunk_bytes)
-        start = yield from profiler.begin("pio_copy")
-        with tracer.span(
-            "llp", "pio_copy", track=cpu.name, msg=message.msg_id, chunks=chunks
-        ):
-            yield from cpu.execute(
-                "pio_copy_64b", mean=chunks * cpu.costs.pio_copy_64b
-            )
-        yield from profiler.end("pio_copy", start)
-        message.stamp("pio_written", node.env.now)
-        node.rc.mmio_write(
-            Tlp(
-                kind=TlpType.MWR,
-                payload_bytes=chunks * nic_cfg.pio_chunk_bytes,
-                purpose="pio_post",
-                message=message,
-            )
-        )
-        # Function-call overhead, branching ("Other" in Figure 4).
-        yield from cpu.execute("llp_post_misc")
-        tracer.end(tspan)
-        yield from profiler.end("llp_post", outer)
-        iface.successful_posts += 1
-        iface.last_message = message
-        return UCS_OK
-
-    def _post_doorbell(self, op: MessageOp, payload_bytes: int) -> Generator:
-        iface = self.iface
-        node = iface.node
-        cpu = iface.worker.cpu
-        nic_cfg = node.config.nic
-        profiler = iface.worker.profiler
-        if not iface.qp.txq.has_space:
-            iface.busy_posts += 1
-            busy = yield from profiler.begin("busy_post")
-            yield from cpu.execute("busy_post")
-            yield from profiler.end("busy_post", busy)
-            return UCS_ERR_NO_RESOURCE
-
-        outer = yield from profiler.begin("llp_post")
-        message = Message(
-            op=op,
-            payload_bytes=payload_bytes,
-            inline=payload_bytes <= nic_cfg.inline_max_bytes,
-            pio=False,
-            recv_target=self.remote_recv_target,
-            dst_nic=self.remote_nic,
-            qp=iface.qp,
-        )
-        iface.qp.register_post(message)
-        message.stamp("posted", node.env.now)
-        tracer = node.env.tracer
-        tspan = tracer.begin(
-            "llp", "llp_post", track=cpu.name,
-            msg=message.msg_id, op=op.value, bytes=payload_bytes,
-        )
-        yield from cpu.execute("md_setup")
-        yield from cpu.execute("barrier_md")
-        yield from cpu.execute("barrier_dbc")
-        # The DoorBell itself: an 8-byte store to device memory.
-        yield from cpu.execute(
-            "doorbell_write",
-            mean=node.config.memory.write_cost(
-                MemoryType.DEVICE_GRE, nic_cfg.doorbell_bytes
-            ),
-        )
-        node.rc.mmio_write(
-            Tlp(
-                kind=TlpType.MWR,
-                payload_bytes=nic_cfg.doorbell_bytes,
-                purpose="doorbell",
-                message=message,
-            )
-        )
-        yield from cpu.execute("llp_post_misc")
-        tracer.end(tspan)
-        yield from profiler.end("llp_post", outer)
-        iface.successful_posts += 1
-        iface.last_message = message
-        return UCS_OK
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<UctEndpoint {self.iface.name!r} -> {self.remote_recv_target!r}>"

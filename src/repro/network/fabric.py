@@ -272,6 +272,23 @@ class Fabric:
             for key, wire in sorted(wires.items())
         }
 
+    def reset_stats(self) -> None:
+        """Zero every wire's occupancy counters and the fabric totals.
+
+        Back-to-back runs on one cluster call this between runs so each
+        RunRecord's :meth:`link_stats` snapshot covers only its own
+        traffic instead of accumulating across runs.
+        """
+        if self.topology is not None:
+            wires = list(self._links.values())
+        else:
+            wires = [path[0] for path in self._paths.values()]
+        for wire in wires:
+            wire.reset_stats()
+        self.frames_delivered = 0
+        self.acks_delivered = 0
+        self.acks_dropped = 0
+
     def transmit(self, frame: NetworkFrame) -> None:
         """Launch ``frame`` from its source port (non-blocking)."""
         if self.topology is not None:

@@ -70,6 +70,18 @@ class Wire:
             else Resource(env, capacity=1, name=f"{name}.tx")
         )
 
+    def reset_stats(self) -> None:
+        """Zero the occupancy counters (frames in flight are untouched).
+
+        ``peak_inflight`` restarts from the *current* occupancy so a
+        reset taken mid-traffic never reports a peak below what is
+        already on the wire.
+        """
+        self.frames_carried = 0
+        self.frames_dropped = 0
+        self.busy_ns = 0.0
+        self.peak_inflight = self.inflight
+
     def serialization(self, frame_bytes: int) -> float:
         """Time the frame occupies the transmitter port."""
         if math.isinf(self.config.bandwidth_bytes_per_ns):

@@ -42,6 +42,7 @@ class Cluster:
         record_samples: bool = False,
         analyzer_enabled: bool = True,
         names: Sequence[str] | None = None,
+        processes_per_node: int = 1,
     ) -> None:
         if n_nodes is None:
             n_nodes = len(names) if names is not None else 2
@@ -56,7 +57,14 @@ class Cluster:
             raise ValueError(f"duplicate node names in {names}")
         if n_nodes < 2:
             raise ValueError(f"a cluster needs at least two nodes, got {n_nodes}")
+        if processes_per_node < 1:
+            raise ValueError(
+                f"processes_per_node must be >= 1, got {processes_per_node}"
+            )
         self.config = config or SystemConfig.paper_testbed()
+        #: Ranks per node; rank r lives on node r // processes_per_node
+        #: and is pinned to core r % processes_per_node.
+        self.processes_per_node = processes_per_node
         self.env = Environment()
         self.streams = RandomStreams(seed=self.config.seed)
         #: Plan-driven fault injection; inert (no sites) without a plan.
@@ -68,14 +76,19 @@ class Cluster:
                 self.streams,
                 name,
                 record_samples=record_samples,
+                n_cores=processes_per_node,
                 faults=self.faults,
             )
             for name in names
         ]
         spec = self.config.network.topology
         #: The built interconnect graph, or None in point-to-point mode.
+        #: Every rail's NIC is a host port; a node's rails sit adjacent
+        #: in the host list (single-rail lists are unchanged).
         self.topology = (
-            spec.build([node.nic.name for node in self.nodes])
+            spec.build(
+                [rail.nic.name for node in self.nodes for rail in node.rails]
+            )
             if spec is not None
             else None
         )
@@ -84,7 +97,8 @@ class Cluster:
             topology=self.topology,
         )
         for node in self.nodes:
-            node.nic.attach_fabric(self.fabric)
+            for rail in node.rails:
+                rail.nic.attach_fabric(self.fabric)
         self.analyzer = PcieAnalyzer(self.nodes[0].link, capture=analyzer_enabled)
 
     @property
@@ -92,9 +106,23 @@ class Cluster:
         """Node names in rank order (rank i == ``self.nodes[i]``)."""
         return [node.name for node in self.nodes]
 
+    @property
+    def n_ranks(self) -> int:
+        """Total process count (nodes × processes_per_node)."""
+        return len(self.nodes) * self.processes_per_node
+
     def node(self, rank: int) -> Node:
         """The node holding ``rank``."""
         return self.nodes[rank]
+
+    def node_for_rank(self, rank: int) -> Node:
+        """The node hosting process ``rank`` under block placement."""
+        return self.nodes[rank // self.processes_per_node]
+
+    def core_for_rank(self, rank: int):
+        """The CPU core process ``rank`` is pinned to."""
+        node = self.node_for_rank(rank)
+        return node.cores[rank % self.processes_per_node]
 
     def __len__(self) -> int:
         return len(self.nodes)

@@ -22,6 +22,7 @@ from repro.nic.config import NicConfig
 from repro.pcie.config import PcieConfig
 from repro.sim.hashing import stable_digest
 from repro.sim.rng import JitterModel
+from repro.transport.config import TransportConfig
 
 __all__ = ["SystemConfig", "SystemConfigBuilder"]
 
@@ -38,6 +39,9 @@ class SystemConfig:
         Normal vs Device-GRE write costs.
     pcie / nic / network:
         Hardware substrate parameters.
+    transport:
+        Pluggable-transport selection (intra-node shm) and NIC rails;
+        the default is the paper's single-rail system exactly.
     jitter:
         Noise model for CPU segment durations.
     timer_overhead_ns / timer_overhead_std_ns:
@@ -59,6 +63,12 @@ class SystemConfig:
     pcie: PcieConfig = field(default_factory=PcieConfig)
     nic: NicConfig = field(default_factory=NicConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    # Elided from the stable hash at its default so pre-transport
+    # campaign caches (and golden scenario digests) stay valid.
+    transport: TransportConfig = field(
+        default_factory=TransportConfig,
+        metadata={"elide_default_from_hash": True},
+    )
     jitter: JitterModel = field(default_factory=JitterModel)
     timer_overhead_ns: float = 49.69
     timer_overhead_std_ns: float = 1.48
@@ -143,6 +153,7 @@ class SystemConfigBuilder:
         "pcie": "pcie",
         "nic": "nic",
         "network": "network",
+        "transport": "transport",
         "jitter": "jitter",
     }
 
@@ -181,6 +192,10 @@ class SystemConfigBuilder:
     def network(self, **overrides: Any) -> "SystemConfigBuilder":
         """Override interconnect parameters (:class:`~repro.network.config.NetworkConfig`)."""
         return self._replace_section("network", overrides)
+
+    def transport(self, **overrides: Any) -> "SystemConfigBuilder":
+        """Override transport selection / rails (:class:`~repro.transport.config.TransportConfig`)."""
+        return self._replace_section("transport", overrides)
 
     def jitter(self, **overrides: Any) -> "SystemConfigBuilder":
         """Override the noise model (:class:`~repro.sim.rng.JitterModel`)."""

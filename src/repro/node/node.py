@@ -1,6 +1,8 @@
-"""One node: CPU + Root Complex + PCIe link + host memory + NIC."""
+"""One node: CPU + Root Complex + PCIe link(s) + host memory + NIC(s)."""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.cpu.core import CpuCore
 from repro.cpu.timer import VirtualTimer
@@ -12,7 +14,21 @@ from repro.pcie.root_complex import HostMemory, RootComplex
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 
-__all__ = ["Node"]
+__all__ = ["Node", "Rail"]
+
+
+@dataclass(frozen=True)
+class Rail:
+    """One PCIe/NIC rail: a private link + Root Complex + NIC.
+
+    Rail 0 is the node's original stack (same objects as ``node.link``
+    / ``node.rc`` / ``node.nic``); additional rails clone it with
+    suffixed names and independent RNG streams.
+    """
+
+    link: PcieLink
+    rc: RootComplex
+    nic: Nic
 
 
 class Node:
@@ -87,6 +103,23 @@ class Node:
             env, self.link, config.nic, self.memory, name=f"{name}.nic",
             faults=faults,
         )
+        #: All PCIe/NIC rails. Rail 0 holds the objects above (so the
+        #: single-rail default builds exactly the pre-rail node: same
+        #: names, same RNG streams, same construction order); rails
+        #: >= 1 clone the stack with an ``{index}`` name suffix and
+        #: their own name-keyed RNG streams.
+        self.rails: list[Rail] = [Rail(self.link, self.rc, self.nic)]
+        for index in range(1, config.transport.rails):
+            link = PcieLink(
+                env, config.pcie, name=f"{name}.pcie{index}",
+                rng=scoped.get(f"pcie{index}"), faults=faults,
+            )
+            rc = RootComplex(env, link, config.pcie, self.memory, name=f"{name}.rc{index}")
+            nic = Nic(
+                env, link, config.nic, self.memory, name=f"{name}.nic{index}",
+                faults=faults,
+            )
+            self.rails.append(Rail(link, rc, nic))
 
     def add_core(self) -> CpuCore:
         """Bring one more core online (multi-core injection studies)."""

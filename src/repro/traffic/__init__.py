@@ -1,0 +1,42 @@
+"""Datacenter traffic generation: patterns, app skeletons, workloads.
+
+:mod:`repro.traffic.patterns` builds ``(src, dst)`` rank-pair graphs
+(permutation, uniform-random, incast/outcast, all-to-all);
+:mod:`repro.traffic.workloads` drives them through full MPI stacks on a
+:class:`~repro.node.cluster.Cluster` and wraps each as a registered
+campaign workload with per-run link-occupancy roll-ups.
+"""
+
+from repro.traffic.patterns import (
+    PATTERNS,
+    all_to_all_pattern,
+    incast_pattern,
+    make_pattern,
+    outcast_pattern,
+    permutation_pattern,
+    summarize_link_stats,
+    uniform_random_pattern,
+)
+from repro.traffic.workloads import (
+    RandomAccessResult,
+    run_halo_ranks,
+    run_pattern,
+    run_pserver,
+    run_random_access,
+)
+
+__all__ = [
+    "PATTERNS",
+    "RandomAccessResult",
+    "all_to_all_pattern",
+    "incast_pattern",
+    "make_pattern",
+    "outcast_pattern",
+    "permutation_pattern",
+    "run_halo_ranks",
+    "run_pattern",
+    "run_pserver",
+    "run_random_access",
+    "summarize_link_stats",
+    "uniform_random_pattern",
+]

@@ -1,0 +1,133 @@
+"""Datacenter traffic patterns: who sends to whom.
+
+A pattern is just a list of ordered ``(src, dst)`` rank pairs — the
+communication graph one round of the workload drives through the MPI
+stacks.  Generators here are pure and deterministic (the random pattern
+takes an explicit seed), so a pattern is part of a run's identity: same
+pattern + same config → same timeline.
+
+``summarize_link_stats`` rolls a :meth:`Fabric.link_stats` snapshot up
+to the aggregates campaigns record per pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+__all__ = [
+    "PATTERNS",
+    "all_to_all_pattern",
+    "incast_pattern",
+    "make_pattern",
+    "outcast_pattern",
+    "permutation_pattern",
+    "summarize_link_stats",
+    "uniform_random_pattern",
+]
+
+
+def _check_ranks(n_ranks: int) -> None:
+    if n_ranks < 2:
+        raise ValueError(f"patterns need at least two ranks, got {n_ranks}")
+
+
+def permutation_pattern(n_ranks: int, shift: int = 1) -> list[tuple[int, int]]:
+    """Cyclic shift: rank i sends to ``(i + shift) mod n`` (no self-sends)."""
+    _check_ranks(n_ranks)
+    if shift % n_ranks == 0:
+        raise ValueError(f"shift {shift} maps every rank to itself (n={n_ranks})")
+    return [(i, (i + shift) % n_ranks) for i in range(n_ranks)]
+
+
+def uniform_random_pattern(
+    n_ranks: int, pairs_per_rank: int = 1, seed: int = 2019
+) -> list[tuple[int, int]]:
+    """Each rank sends to ``pairs_per_rank`` uniform-random peers.
+
+    Destinations exclude the sender; repeats across a rank's picks are
+    allowed (two flows to one peer), matching a random-destination
+    injection process.
+    """
+    _check_ranks(n_ranks)
+    if pairs_per_rank < 1:
+        raise ValueError(f"pairs_per_rank must be >= 1, got {pairs_per_rank}")
+    rng = random.Random(seed)
+    pairs: list[tuple[int, int]] = []
+    for src in range(n_ranks):
+        for _ in range(pairs_per_rank):
+            dst = rng.randrange(n_ranks - 1)
+            if dst >= src:
+                dst += 1
+            pairs.append((src, dst))
+    return pairs
+
+
+def incast_pattern(n_ranks: int, sink: int = 0) -> list[tuple[int, int]]:
+    """All ranks send to one sink — the classic datacenter hot spot."""
+    _check_ranks(n_ranks)
+    if not 0 <= sink < n_ranks:
+        raise ValueError(f"sink {sink} out of range for {n_ranks} ranks")
+    return [(src, sink) for src in range(n_ranks) if src != sink]
+
+
+def outcast_pattern(n_ranks: int, source: int = 0) -> list[tuple[int, int]]:
+    """One source sends to all ranks (a scatter / fan-out hot spot)."""
+    _check_ranks(n_ranks)
+    if not 0 <= source < n_ranks:
+        raise ValueError(f"source {source} out of range for {n_ranks} ranks")
+    return [(source, dst) for dst in range(n_ranks) if dst != source]
+
+
+def all_to_all_pattern(n_ranks: int) -> list[tuple[int, int]]:
+    """Every ordered pair — the MapReduce-shuffle communication graph."""
+    _check_ranks(n_ranks)
+    return [
+        (src, dst)
+        for src in range(n_ranks)
+        for dst in range(n_ranks)
+        if src != dst
+    ]
+
+
+#: Pattern name → generator, for string-driven workload parameters.
+PATTERNS = {
+    "permutation": permutation_pattern,
+    "uniform_random": uniform_random_pattern,
+    "incast": incast_pattern,
+    "outcast": outcast_pattern,
+    "all_to_all": all_to_all_pattern,
+}
+
+
+def make_pattern(name: str, n_ranks: int, **kwargs: Any) -> list[tuple[int, int]]:
+    """Build a named pattern (``kwargs`` forward to its generator)."""
+    try:
+        generator = PATTERNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {name!r}; choose from {', '.join(sorted(PATTERNS))}"
+        ) from None
+    return generator(n_ranks, **kwargs)
+
+
+def summarize_link_stats(stats: dict[str, dict[str, float]]) -> dict[str, Any]:
+    """Aggregate a per-link stats snapshot for campaign records.
+
+    Returns total frames/busy time across links, the peak in-flight
+    depth anywhere, and the busiest link (by ``busy_ns``) with its own
+    numbers — the shape the incast/contention analyses read.
+    """
+    total_frames = sum(entry["frames"] for entry in stats.values())
+    total_busy = sum(entry["busy_ns"] for entry in stats.values())
+    peak = max((entry["peak_inflight"] for entry in stats.values()), default=0)
+    busiest = max(stats, key=lambda key: stats[key]["busy_ns"]) if stats else None
+    return {
+        "links": len(stats),
+        "total_frames": total_frames,
+        "total_busy_ns": total_busy,
+        "peak_inflight": peak,
+        "busiest_link": busiest,
+        "busiest_link_busy_ns": stats[busiest]["busy_ns"] if busiest else 0.0,
+        "busiest_link_frames": stats[busiest]["frames"] if busiest else 0,
+    }

@@ -1,0 +1,31 @@
+"""Pluggable transports under UCT: PCIe/NIC rails and intra-node shm.
+
+See :mod:`repro.transport.base` for the protocol and per-peer
+resolution, :mod:`repro.transport.nicrail` for the re-homed paper send
+path plus multi-rail selection, and :mod:`repro.transport.shm` for the
+intra-node shared-memory path.
+"""
+
+from repro.transport.base import (
+    UCS_ERR_NO_RESOURCE,
+    UCS_OK,
+    Transport,
+    TransportCaps,
+    resolve_transport,
+)
+from repro.transport.config import RAIL_POLICIES, TransportConfig
+from repro.transport.nicrail import PcieNicTransport, RailSelector
+from repro.transport.shm import ShmTransport
+
+__all__ = [
+    "RAIL_POLICIES",
+    "UCS_ERR_NO_RESOURCE",
+    "UCS_OK",
+    "PcieNicTransport",
+    "RailSelector",
+    "ShmTransport",
+    "Transport",
+    "TransportCaps",
+    "TransportConfig",
+    "resolve_transport",
+]

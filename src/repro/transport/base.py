@@ -1,0 +1,105 @@
+"""The pluggable-transport abstraction under UCT.
+
+The paper's UCT layer hard-wires every post into the PCIe → NIC → wire
+stack.  At datacenter scale that is only one of several data paths: two
+ranks on one node exchange through shared memory, and a node may own
+several NIC rails.  This module defines the seam — the
+:class:`Transport` protocol an endpoint posts through, the
+:class:`TransportCaps` record describing what a path touches, and the
+per-peer :func:`resolve_transport` rule — so
+:class:`~repro.llp.uct.UctEndpoint` stays one object while the bytes
+underneath take different routes.
+
+Status codes live here (rather than in :mod:`repro.llp.uct`) because
+every transport returns them; UCT re-exports them unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "UCS_ERR_NO_RESOURCE",
+    "UCS_OK",
+    "Transport",
+    "TransportCaps",
+    "resolve_transport",
+]
+
+#: Post accepted.
+UCS_OK = "UCS_OK"
+#: Post failed: no transmit resource (busy post); progress and retry.
+UCS_ERR_NO_RESOURCE = "UCS_ERR_NO_RESOURCE"
+
+
+@dataclass(frozen=True)
+class TransportCaps:
+    """What a transport is and which hardware its posts touch.
+
+    The trace/breakdown layers use these flags to attribute time:
+    a path with ``uses_pcie=False`` must produce zero PCIe/NIC events.
+    """
+
+    name: str
+    #: True when both endpoints share one node (no fabric crossing).
+    intra_node: bool
+    #: True when posts cross the PCIe subsystem and the NIC.
+    uses_pcie: bool
+    #: True when posts consume TxQ slots (and can busy-post).
+    has_txq: bool
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The operations an endpoint delegates to its resolved transport.
+
+    All post methods are generators executed on the posting CPU core,
+    returning :data:`UCS_OK` or :data:`UCS_ERR_NO_RESOURCE` — exactly
+    the contract the UCT endpoint methods had before the refactor.
+    ``ep`` is the :class:`~repro.llp.uct.UctEndpoint` issuing the post;
+    the transport reads its iface, peer targets and rail state from it.
+    """
+
+    caps: TransportCaps
+
+    def can_post(self, ep: Any, payload_bytes: int = 0) -> bool:
+        """Whether a post of ``payload_bytes`` would find resources now."""
+        ...
+
+    def post_short(self, ep: Any, op: Any, payload_bytes: int) -> Generator:
+        """The PIO+inline-class fast path (put_short / am_short)."""
+        ...
+
+    def post_doorbell(self, ep: Any, op: Any, payload_bytes: int) -> Generator:
+        """The doorbell + DMA-read-class path (put_zcopy)."""
+        ...
+
+    def post_one_sided(
+        self,
+        ep: Any,
+        op: Any,
+        payload_bytes: int,
+        local_buffer: str | None,
+        suffix: str,
+    ) -> Generator:
+        """One-sided reads/atomics landing in a local buffer."""
+        ...
+
+
+def resolve_transport(local_iface: Any, remote_iface: Any) -> Any:
+    """Pick the transport for the ``local → remote`` endpoint pair.
+
+    Two ranks on the same node talk through shared memory (when the
+    config enables it); everything else rides the PCIe/NIC rails.  The
+    decision is per peer at ``create_ep`` time — exactly UCX's lane
+    selection, collapsed to the two families this model distinguishes.
+    """
+    node = local_iface.node
+    if (
+        remote_iface.node is node
+        and node.config.transport.shm_enabled
+    ):
+        return local_iface.shm_transport
+    return local_iface.nic_transport

@@ -1,0 +1,79 @@
+"""Transport-layer configuration: the shm path and multi-rail NICs.
+
+One :class:`TransportConfig` rides inside
+:class:`~repro.node.config.SystemConfig` and controls which transports
+the UCT layer may resolve per peer (see :mod:`repro.transport.base`)
+and how many PCIe/NIC rails a node owns.  The default instance is the
+paper's system exactly — one rail, shared-memory selection enabled but
+unreachable with one process per node — and is elided from the config's
+stable hash while untouched, so cached campaign results stay valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RAIL_POLICIES", "TransportConfig"]
+
+#: Recognised multi-rail selection policies.
+RAIL_POLICIES = ("round_robin", "hash_by_peer", "size_split")
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Pluggable-transport and rail parameters.
+
+    Attributes
+    ----------
+    shm_enabled:
+        Resolve the intra-node shared-memory transport automatically
+        when two endpoints live on the same node.  With one process per
+        node (the paper's setup) no same-node pair exists, so this flag
+        changes nothing.
+    shm_latency_ns:
+        Hand-off delay between the sender's copy completing and the
+        payload becoming visible in the receiver's mailbox (cache
+        coherence + wakeup, CMA-style).
+    shm_copy_64b_ns:
+        CPU copy cost per 64-byte chunk on the shm path; ``None``
+        (default) uses the memory model's normal-write cost — an
+        intra-node send is an ordinary cacheable memcpy, not a
+        Device-GRE PIO.
+    rails:
+        PCIe/NIC rails per node (>= 1).  Rail 0 is the paper's stack
+        with its original component names; extra rails clone it.
+    rail_policy:
+        How posts pick a rail: ``"round_robin"`` (alternate per
+        endpoint), ``"hash_by_peer"`` (stable hash of the peer name,
+        keeps a flow on one rail) or ``"size_split"`` (small messages on
+        rail 0, large on the last rail).
+    rail_split_bytes:
+        The ``size_split`` threshold: payloads strictly larger go to
+        the last rail.
+    """
+
+    shm_enabled: bool = True
+    shm_latency_ns: float = 200.0
+    shm_copy_64b_ns: float | None = None
+    rails: int = 1
+    rail_policy: str = "round_robin"
+    rail_split_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.shm_latency_ns < 0:
+            raise ValueError(f"shm_latency_ns must be >= 0, got {self.shm_latency_ns}")
+        if self.shm_copy_64b_ns is not None and self.shm_copy_64b_ns < 0:
+            raise ValueError(
+                f"shm_copy_64b_ns must be >= 0, got {self.shm_copy_64b_ns}"
+            )
+        if self.rails < 1:
+            raise ValueError(f"a node needs at least one rail, got {self.rails}")
+        if self.rail_policy not in RAIL_POLICIES:
+            raise ValueError(
+                f"unknown rail policy {self.rail_policy!r}; "
+                f"choose from {', '.join(RAIL_POLICIES)}"
+            )
+        if self.rail_split_bytes < 0:
+            raise ValueError(
+                f"rail_split_bytes must be >= 0, got {self.rail_split_bytes}"
+            )

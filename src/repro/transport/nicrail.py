@@ -1,0 +1,302 @@
+"""The PCIe/NIC transport: the paper's send path, re-homed and railed.
+
+This module carries the §4.1 LLP_post machinery that used to live on
+:class:`~repro.llp.uct.UctEndpoint` verbatim — same cost sequence, same
+TLPs, same trace spans — behind the :class:`~repro.transport.base.Transport`
+protocol.  With one rail (the default) every operation is
+instruction-for-instruction the pre-refactor path, which is what keeps
+the golden timelines bit-identical.
+
+Multi-rail adds a deterministic :class:`RailSelector` in front: a node
+with ``transport.rails > 1`` owns one PCIe link + Root Complex + NIC
+per rail, each interface owns one queue pair per rail, and every post
+picks its rail by policy (round-robin per endpoint, stable
+hash-by-peer, or message-size split).  Selection is pure bookkeeping —
+no RNG, no simulated time — so a single-rail run never observes it.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from collections.abc import Generator
+from typing import Any
+
+from repro.cpu.memory import MemoryType
+from repro.nic.descriptor import Message, MessageOp
+from repro.pcie.packets import Tlp, TlpType
+from repro.sim.engine import SimulationError
+from repro.transport.base import UCS_ERR_NO_RESOURCE, UCS_OK, TransportCaps
+
+__all__ = ["PcieNicTransport", "RailSelector"]
+
+
+class RailSelector:
+    """Deterministic rail choice for one interface's posts.
+
+    ``peek`` answers "which rail would this post use" without side
+    effects (the UCP re-post loop asks before committing); ``advance``
+    moves the round-robin cursor after a successful post.  Busy posts
+    retry the same rail, matching a real multi-rail UCT lane that only
+    rotates on accepted work.
+    """
+
+    def __init__(self, iface: Any) -> None:
+        self.iface = iface
+        self.config = iface.node.config.transport
+
+    def peek(self, ep: Any, payload_bytes: int = 0) -> int:
+        """The rail index the next post on ``ep`` would take."""
+        n_rails = len(self.iface.qps)
+        if n_rails == 1:
+            return 0
+        policy = self.config.rail_policy
+        if policy == "round_robin":
+            return ep.rail_cursor % n_rails
+        if policy == "hash_by_peer":
+            key = f"{self.iface.name}->{ep.remote_recv_target}"
+            return zlib.crc32(key.encode("utf-8")) % n_rails
+        # size_split: small payloads keep the latency-tuned rail 0,
+        # large ones move to the last rail.
+        return 0 if payload_bytes <= self.config.rail_split_bytes else n_rails - 1
+
+    def advance(self, ep: Any) -> None:
+        """Commit one successful post (rotates the round-robin cursor)."""
+        ep.rail_cursor += 1
+
+
+class PcieNicTransport:
+    """The inter-node transport: LLP_post → PCIe → NIC → fabric."""
+
+    caps = TransportCaps(
+        name="pcie_nic", intra_node=False, uses_pcie=True, has_txq=True
+    )
+
+    def __init__(self, iface: Any) -> None:
+        self.iface = iface
+        self.rails = RailSelector(iface)
+
+    # -- resource checks ------------------------------------------------------
+    def can_post(self, ep: Any, payload_bytes: int = 0) -> bool:
+        """TxQ space on the rail this post would pick."""
+        rail = self.rails.peek(ep, payload_bytes)
+        return bool(self.iface.qps[rail].txq.has_space)
+
+    def _trace_rail(self, message: Message, rail: int) -> None:
+        """Attribute the post to its rail — only on multi-rail nodes,
+        so single-rail (golden) timelines gain no records."""
+        tracer = self.iface.node.env.tracer
+        if len(self.iface.qps) > 1 and tracer.enabled:
+            tracer.instant(
+                "transport", "rail_select", track=self.iface.name,
+                msg=message.msg_id, rail=rail,
+                policy=self.rails.config.rail_policy,
+            )
+
+    # -- the §4.1 post paths (moved verbatim from UctEndpoint) ----------------
+    def post_short(self, ep: Any, op: MessageOp, payload_bytes: int) -> Generator:
+        iface = self.iface
+        node = iface.node
+        cpu = iface.worker.cpu
+        nic_cfg = node.config.nic
+        if payload_bytes > nic_cfg.inline_max_bytes:
+            raise SimulationError(
+                f"short post of {payload_bytes}B exceeds the inline limit "
+                f"({nic_cfg.inline_max_bytes}B); use put_zcopy"
+            )
+        profiler = iface.worker.profiler
+        rail = self.rails.peek(ep, payload_bytes)
+        qp = iface.qps[rail]
+        if not qp.txq.has_space:
+            iface.busy_posts += 1
+            busy = yield from profiler.begin("busy_post")
+            yield from cpu.execute("busy_post")
+            yield from profiler.end("busy_post", busy)
+            return UCS_ERR_NO_RESOURCE
+
+        outer = yield from profiler.begin("llp_post")
+        message = Message(
+            op=op,
+            payload_bytes=payload_bytes,
+            inline=True,
+            pio=True,
+            recv_target=ep.remote_recv_target,
+            dst_nic=ep.remote_nic_for(rail),
+            qp=qp,
+        )
+        qp.register_post(message)
+        message.stamp("posted", node.env.now)
+        self._trace_rail(message, rail)
+        tracer = node.env.tracer
+        tspan = tracer.begin(
+            "llp", "llp_post", track=cpu.name,
+            msg=message.msg_id, op=op.value, bytes=payload_bytes,
+        )
+
+        # §4.1 step 1: prepare the MD (control segment + inline memcpy).
+        start = yield from profiler.begin("md_setup")
+        with tracer.span("llp", "md_setup", track=cpu.name, msg=message.msg_id):
+            yield from cpu.execute("md_setup")
+        yield from profiler.end("md_setup", start)
+        # Step 2: store barrier so the MD is written before signalling.
+        start = yield from profiler.begin("barrier_md")
+        with tracer.span("llp", "barrier_md", track=cpu.name, msg=message.msg_id):
+            yield from cpu.execute("barrier_md")
+        yield from profiler.end("barrier_md", start)
+        # Steps 3-4: DoorBell counter increment + its store barrier.
+        start = yield from profiler.begin("barrier_dbc")
+        with tracer.span("llp", "barrier_dbc", track=cpu.name, msg=message.msg_id):
+            yield from cpu.execute("barrier_dbc")
+        yield from profiler.end("barrier_dbc", start)
+        # Step 5: the PIO copy into Device-GRE memory, in 64-byte chunks.
+        wqe_bytes = nic_cfg.wqe_header_bytes + payload_bytes
+        chunks = math.ceil(wqe_bytes / nic_cfg.pio_chunk_bytes)
+        start = yield from profiler.begin("pio_copy")
+        with tracer.span(
+            "llp", "pio_copy", track=cpu.name, msg=message.msg_id, chunks=chunks
+        ):
+            yield from cpu.execute(
+                "pio_copy_64b", mean=chunks * cpu.costs.pio_copy_64b
+            )
+        yield from profiler.end("pio_copy", start)
+        message.stamp("pio_written", node.env.now)
+        node.rails[rail].rc.mmio_write(
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=chunks * nic_cfg.pio_chunk_bytes,
+                purpose="pio_post",
+                message=message,
+            )
+        )
+        # Function-call overhead, branching ("Other" in Figure 4).
+        yield from cpu.execute("llp_post_misc")
+        tracer.end(tspan)
+        yield from profiler.end("llp_post", outer)
+        iface.successful_posts += 1
+        iface.last_message = message
+        self.rails.advance(ep)
+        return UCS_OK
+
+    def post_doorbell(self, ep: Any, op: MessageOp, payload_bytes: int) -> Generator:
+        iface = self.iface
+        node = iface.node
+        cpu = iface.worker.cpu
+        nic_cfg = node.config.nic
+        profiler = iface.worker.profiler
+        rail = self.rails.peek(ep, payload_bytes)
+        qp = iface.qps[rail]
+        if not qp.txq.has_space:
+            iface.busy_posts += 1
+            busy = yield from profiler.begin("busy_post")
+            yield from cpu.execute("busy_post")
+            yield from profiler.end("busy_post", busy)
+            return UCS_ERR_NO_RESOURCE
+
+        outer = yield from profiler.begin("llp_post")
+        message = Message(
+            op=op,
+            payload_bytes=payload_bytes,
+            inline=payload_bytes <= nic_cfg.inline_max_bytes,
+            pio=False,
+            recv_target=ep.remote_recv_target,
+            dst_nic=ep.remote_nic_for(rail),
+            qp=qp,
+        )
+        qp.register_post(message)
+        message.stamp("posted", node.env.now)
+        self._trace_rail(message, rail)
+        tracer = node.env.tracer
+        tspan = tracer.begin(
+            "llp", "llp_post", track=cpu.name,
+            msg=message.msg_id, op=op.value, bytes=payload_bytes,
+        )
+        yield from cpu.execute("md_setup")
+        yield from cpu.execute("barrier_md")
+        yield from cpu.execute("barrier_dbc")
+        # The DoorBell itself: an 8-byte store to device memory.
+        yield from cpu.execute(
+            "doorbell_write",
+            mean=node.config.memory.write_cost(
+                MemoryType.DEVICE_GRE, nic_cfg.doorbell_bytes
+            ),
+        )
+        node.rails[rail].rc.mmio_write(
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=nic_cfg.doorbell_bytes,
+                purpose="doorbell",
+                message=message,
+            )
+        )
+        yield from cpu.execute("llp_post_misc")
+        tracer.end(tspan)
+        yield from profiler.end("llp_post", outer)
+        iface.successful_posts += 1
+        iface.last_message = message
+        self.rails.advance(ep)
+        return UCS_OK
+
+    def post_one_sided(
+        self,
+        ep: Any,
+        op: MessageOp,
+        payload_bytes: int,
+        local_buffer: str | None,
+        suffix: str,
+    ) -> Generator:
+        iface = self.iface
+        node = iface.node
+        cpu = iface.worker.cpu
+        nic_cfg = node.config.nic
+        profiler = iface.worker.profiler
+        rail = self.rails.peek(ep, payload_bytes)
+        qp = iface.qps[rail]
+        if not qp.txq.has_space:
+            iface.busy_posts += 1
+            busy = yield from profiler.begin("busy_post")
+            yield from cpu.execute("busy_post")
+            yield from profiler.end("busy_post", busy)
+            return UCS_ERR_NO_RESOURCE
+
+        outer = yield from profiler.begin("llp_post")
+        message = Message(
+            op=op,
+            payload_bytes=payload_bytes,
+            inline=True,   # the *request* WQE is small and inlined
+            pio=True,
+            recv_target=local_buffer or f"{iface.name}.{suffix}",
+            dst_nic=ep.remote_nic_for(rail),
+            # The requester's NIC name rides in context so the serving
+            # NIC can route the response on multi-node fabrics.
+            context=node.rails[rail].nic.name,
+            qp=qp,
+        )
+        qp.register_post(message)
+        message.stamp("posted", node.env.now)
+        self._trace_rail(message, rail)
+        tracer = node.env.tracer
+        tspan = tracer.begin(
+            "llp", "llp_post", track=cpu.name,
+            msg=message.msg_id, op=op.value, bytes=payload_bytes,
+        )
+        yield from cpu.execute("md_setup")
+        yield from cpu.execute("barrier_md")
+        yield from cpu.execute("barrier_dbc")
+        chunks = 1  # a read request WQE fits one PIO chunk
+        yield from cpu.execute("pio_copy_64b", mean=chunks * cpu.costs.pio_copy_64b)
+        message.stamp("pio_written", node.env.now)
+        node.rails[rail].rc.mmio_write(
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=chunks * nic_cfg.pio_chunk_bytes,
+                purpose="pio_post",
+                message=message,
+            )
+        )
+        yield from cpu.execute("llp_post_misc")
+        tracer.end(tspan)
+        yield from profiler.end("llp_post", outer)
+        iface.successful_posts += 1
+        iface.last_message = message
+        self.rails.advance(ep)
+        return UCS_OK

@@ -1,0 +1,105 @@
+"""Incast on a shared fabric: the sink's egress link is the hot spot.
+
+Satellite check for the traffic generator: drive the N-to-1 incast
+pattern over a ``fat_tree:4`` topology with finite wire bandwidth and
+verify the contention shows up where datacenter experience says it
+must — on the shared links funnelling into the sink — while per-link
+frame totals stay exactly conservation-accurate.
+"""
+
+import pytest
+
+from repro.network.topology import TopologySpec
+from repro.node.cluster import Cluster
+from repro.node.config import SystemConfig
+from repro.traffic.patterns import incast_pattern
+from repro.traffic.workloads import run_pattern
+
+BANDWIDTH = 0.01  # bytes/ns: an 8-byte frame serialises for 800 ns
+PAYLOAD = 8
+MESSAGES_PER_PAIR = 4
+
+
+@pytest.fixture(scope="module")
+def incast_run():
+    config = (
+        SystemConfig.builder()
+        .deterministic()
+        .network(
+            bandwidth_bytes_per_ns=BANDWIDTH,
+            topology=TopologySpec.parse("fat_tree:4"),
+        )
+        .build()
+    )
+    cluster = Cluster(4, config=config)
+    result = run_pattern(
+        cluster,
+        incast_pattern(cluster.n_ranks, sink=0),
+        payload_bytes=PAYLOAD,
+        messages_per_pair=MESSAGES_PER_PAIR,
+    )
+    return cluster, result
+
+
+def _uplink(cluster, nic_name):
+    (switch,) = cluster.topology.adjacency[nic_name]
+    return switch, nic_name
+
+
+class TestIncastContention:
+    def test_sink_ingress_carries_every_frame(self, incast_run):
+        cluster, result = incast_run
+        switch, sink_nic = _uplink(cluster, cluster.nodes[0].nic.name)
+        ingress = result["link_stats"][f"{switch}->{sink_nic}"]
+        assert ingress["frames"] == result["messages"]
+
+    def test_sender_uplinks_carry_only_their_own_frames(self, incast_run):
+        cluster, result = incast_run
+        for node in cluster.nodes[1:]:
+            switch, nic = _uplink(cluster, node.nic.name)
+            uplink = result["link_stats"][f"{nic}->{switch}"]
+            assert uplink["frames"] == MESSAGES_PER_PAIR, node.name
+
+    def test_shared_path_dominates_busy_time(self, incast_run):
+        cluster, result = incast_run
+        stats = result["link_stats"]
+        switch, sink_nic = _uplink(cluster, cluster.nodes[0].nic.name)
+        ingress = stats[f"{switch}->{sink_nic}"]
+        # All 12 frames serialise through the one last-hop cable.
+        assert ingress["busy_ns"] == pytest.approx(
+            result["messages"] * PAYLOAD / BANDWIDTH
+        )
+        per_sender_busy = [
+            stats[f"{nic}->{sw}"]["busy_ns"]
+            for node in cluster.nodes[1:]
+            for sw, nic in [_uplink(cluster, node.nic.name)]
+        ]
+        assert ingress["busy_ns"] > max(per_sender_busy)
+        # The campaign roll-up points at the shared path, not a sender.
+        busiest = result["link_busiest_link"]
+        assert busiest.endswith(f"->{sink_nic}") or busiest.endswith(f"->{switch}")
+        assert result["link_busiest_link_busy_ns"] == ingress["busy_ns"]
+
+    def test_queueing_observed_on_the_shared_path(self, incast_run):
+        cluster, result = incast_run
+        switch, sink_nic = _uplink(cluster, cluster.nodes[0].nic.name)
+        ingress = result["link_stats"][f"{switch}->{sink_nic}"]
+        assert ingress["peak_inflight"] >= 2
+        assert result["link_peak_inflight"] >= ingress["peak_inflight"]
+
+    def test_frame_conservation_across_the_fabric(self, incast_run):
+        cluster, result = incast_run
+        stats = result["link_stats"]
+        # Host edges: data frames into the sink, ACK frames back out.
+        switch, sink_nic = _uplink(cluster, cluster.nodes[0].nic.name)
+        assert stats[f"{sink_nic}->{switch}"]["frames"] == result["messages"]
+        # The run ends when the sink has every payload; the final ACKs
+        # may still be in flight, so sender downlinks show at most one
+        # ACK short of the full count.
+        for node in cluster.nodes[1:]:
+            sw, nic = _uplink(cluster, node.nic.name)
+            arrived = stats[f"{sw}->{nic}"]["frames"]
+            assert MESSAGES_PER_PAIR - 1 <= arrived <= MESSAGES_PER_PAIR, node.name
+        assert result["link_total_frames"] == sum(
+            entry["frames"] for entry in stats.values()
+        )

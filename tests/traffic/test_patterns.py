@@ -1,0 +1,86 @@
+"""Pattern generators are pure, deterministic and self-send-free."""
+
+import pytest
+
+from repro.traffic.patterns import (
+    PATTERNS,
+    all_to_all_pattern,
+    incast_pattern,
+    make_pattern,
+    outcast_pattern,
+    permutation_pattern,
+    summarize_link_stats,
+    uniform_random_pattern,
+)
+
+
+class TestPermutation:
+    def test_cyclic_shift(self):
+        assert permutation_pattern(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+        assert permutation_pattern(4, shift=2) == [(0, 2), (1, 3), (2, 0), (3, 1)]
+
+    def test_identity_shift_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_pattern(4, shift=0)
+        with pytest.raises(ValueError):
+            permutation_pattern(4, shift=4)
+
+
+class TestUniformRandom:
+    def test_deterministic_for_seed(self):
+        assert uniform_random_pattern(8, seed=7) == uniform_random_pattern(8, seed=7)
+        assert uniform_random_pattern(8, seed=7) != uniform_random_pattern(8, seed=8)
+
+    def test_no_self_sends_and_full_coverage(self):
+        pairs = uniform_random_pattern(16, pairs_per_rank=3)
+        assert len(pairs) == 48
+        assert all(src != dst for src, dst in pairs)
+        assert all(0 <= dst < 16 for _, dst in pairs)
+        assert {src for src, _ in pairs} == set(range(16))
+
+
+class TestHotspots:
+    def test_incast_converges_on_sink(self):
+        assert incast_pattern(4, sink=2) == [(0, 2), (1, 2), (3, 2)]
+
+    def test_outcast_fans_out(self):
+        assert outcast_pattern(4, source=1) == [(1, 0), (1, 2), (1, 3)]
+
+    def test_all_to_all_is_every_ordered_pair(self):
+        pairs = all_to_all_pattern(4)
+        assert len(pairs) == 12
+        assert len(set(pairs)) == 12
+        assert all(src != dst for src, dst in pairs)
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_registry_round_trips(self, name):
+        pairs = make_pattern(name, 4)
+        assert pairs and all(src != dst for src, dst in pairs)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            make_pattern("teleport", 4)
+
+    def test_too_few_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            incast_pattern(1)
+
+
+class TestSummary:
+    def test_rolls_up_and_finds_busiest(self):
+        stats = {
+            "a->b": {"frames": 3, "busy_ns": 10.0, "peak_inflight": 1},
+            "b->c": {"frames": 5, "busy_ns": 40.0, "peak_inflight": 4},
+        }
+        summary = summarize_link_stats(stats)
+        assert summary["links"] == 2
+        assert summary["total_frames"] == 8
+        assert summary["total_busy_ns"] == 50.0
+        assert summary["peak_inflight"] == 4
+        assert summary["busiest_link"] == "b->c"
+        assert summary["busiest_link_frames"] == 5
+
+    def test_empty_snapshot(self):
+        summary = summarize_link_stats({})
+        assert summary["links"] == 0
+        assert summary["busiest_link"] is None
