@@ -1,0 +1,150 @@
+"""Serving-tier performance — what the what-if tier actually buys.
+
+Records into ``BENCH_sim.json`` (same run-indexed history as the
+simulator benchmarks):
+
+* ``serve_surrogate`` — in-envelope surrogate answer latency vs a full
+  simulation of the same query, with the speedup asserted >= 100x (the
+  PR's acceptance bar) and the sampled-verifier error asserted <= 5%;
+* ``serve_store`` — store hit rate over a replayed query mix: the
+  first pass pays simulations, the replay must answer entirely from
+  the content-addressed store.
+"""
+
+import pathlib
+import sys
+import time
+import timeit
+
+from repro.campaign.spec import apply_config_overrides
+from repro.campaign.workloads import get_workload
+from repro.node import SystemConfig
+from repro.serve import Query, SampledVerifier, ServeTier
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from test_simulator_performance import _record  # noqa: E402
+
+BASE = SystemConfig.paper_testbed(deterministic=True)
+
+#: In-envelope query points (payload, switch hops) on the DMA plateau.
+IN_ENVELOPE = [(1536, 1), (2048, 2), (3072, 3), (2560, 1), (4000, 2)]
+
+
+def _fit_tier(tmp_path, fraction: float) -> ServeTier:
+    tier = ServeTier(
+        tmp_path / "store",
+        base_config=BASE,
+        verifier=SampledVerifier(fraction=fraction),
+    )
+    tier.fit(
+        "put_oneway_latency",
+        axes={"payload_bytes": (1024, 4096), "network.switch_count": (1, 3)},
+    )
+    return tier
+
+
+def test_surrogate_answer_latency_vs_simulation(tmp_path):
+    """An in-envelope surrogate answer must beat simulation by >= 100x."""
+    tier = _fit_tier(tmp_path, fraction=0.0)
+    (surrogate,) = tier.surrogates
+    workload = get_workload("put_oneway_latency")
+
+    def simulate_once() -> None:
+        for payload, hops in IN_ENVELOPE:
+            workload(
+                apply_config_overrides(BASE, {"network.switch_count": hops}),
+                payload_bytes=payload,
+            )
+
+    def predict_once() -> None:
+        for payload, hops in IN_ENVELOPE:
+            surrogate.predict(
+                {"payload_bytes": payload}, {"network.switch_count": hops}
+            )
+
+    sim_rounds, predict_rounds = 3, 50
+    sim_s = min(
+        timeit.repeat(simulate_once, number=1, repeat=sim_rounds)
+    ) / len(IN_ENVELOPE)
+    predict_s = min(
+        timeit.repeat(predict_once, number=predict_rounds, repeat=3)
+    ) / (predict_rounds * len(IN_ENVELOPE))
+    speedup = sim_s / predict_s if predict_s else 0.0
+
+    # The accuracy half of the bargain: audit every one of those
+    # answers against a fresh simulation through the sampled verifier.
+    audited = _fit_tier(tmp_path / "audited", fraction=1.0)
+    errors = []
+    for payload, hops in IN_ENVELOPE:
+        answer = audited.query(
+            "put_oneway_latency",
+            {"payload_bytes": payload},
+            {"network.switch_count": hops},
+        )
+        assert answer.source == "surrogate"
+        assert answer.verification is not None
+        errors.append(answer.verification.max_relative_error)
+    worst_error = max(errors)
+
+    _record(
+        "serve_surrogate",
+        {
+            "workload": "put_oneway_latency",
+            "queries": len(IN_ENVELOPE),
+            "simulation_s_per_query": sim_s,
+            "surrogate_s_per_query": predict_s,
+            "speedup": speedup,
+            "verified_answers": len(errors),
+            "max_relative_error": worst_error,
+        },
+    )
+    assert speedup >= 100.0, (
+        f"surrogate answered in {predict_s * 1e6:.1f} us vs "
+        f"{sim_s * 1e3:.2f} ms simulated — only {speedup:.0f}x"
+    )
+    assert worst_error <= 0.05, (
+        f"verifier measured {worst_error:.2%} surrogate error (margin 5%)"
+    )
+
+
+def test_store_hit_rate_under_replayed_mix(tmp_path):
+    """A replayed query mix must answer entirely from the store."""
+    mix = [
+        Query("put_oneway_latency", {"payload_bytes": payload})
+        for payload in (8, 64, 256, 1024, 4096, 8192)
+    ] + [
+        Query("put_oneway_latency", {"payload_bytes": 64}, {"nic.txq_depth": 4}),
+        Query("am_lat", {"iterations": 50, "warmup": 10}),
+    ]
+    tier = ServeTier(
+        tmp_path / "store",
+        base_config=BASE,
+        verifier=SampledVerifier(fraction=0.0),
+    )
+
+    t0 = time.perf_counter()
+    first = tier.query_batch(mix)
+    first_s = time.perf_counter() - t0
+    assert all(answer.ok for answer in first)
+    cold_stats = tier.stats()
+
+    t1 = time.perf_counter()
+    replay = tier.query_batch(mix)
+    replay_s = time.perf_counter() - t1
+    assert [a.measurements for a in replay] == [a.measurements for a in first]
+    warm_stats = tier.stats()
+
+    replay_hits = warm_stats["store_hits"] - cold_stats["store_hits"]
+    replay_hit_rate = replay_hits / len(mix)
+    _record(
+        "serve_store",
+        {
+            "mix_queries": len(mix),
+            "cold_wall_s": first_s,
+            "replay_wall_s": replay_s,
+            "cold_hit_rate": cold_stats["rates"]["store_hit"],
+            "replay_hit_rate": replay_hit_rate,
+            "replay_speedup": first_s / replay_s if replay_s else 0.0,
+        },
+    )
+    assert replay_hit_rate == 1.0

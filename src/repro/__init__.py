@@ -49,6 +49,8 @@ from repro.network.topology import TopologySpec
 from repro.node.cluster import Cluster
 from repro.node.config import SystemConfig, SystemConfigBuilder
 from repro.node.testbed import Testbed
+from repro.serve import ResultStore
+from repro.serve.service import Answer, Query, ServeTier
 from repro.trace import trace_session
 
 __version__ = "1.0.0"
@@ -56,6 +58,7 @@ __version__ = "1.0.0"
 #: The supported public surface.  Everything else under ``repro.*`` is
 #: importable but unsupported implementation detail.
 __all__ = [
+    "Answer",
     "CampaignSpec",
     "Category",
     "Cluster",
@@ -68,6 +71,9 @@ __all__ = [
     "LatencyModelLlp",
     "Metric",
     "OverallInjectionModel",
+    "Query",
+    "ResultStore",
+    "ServeTier",
     "SweepAxis",
     "SystemConfig",
     "SystemConfigBuilder",

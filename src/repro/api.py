@@ -33,7 +33,10 @@ from __future__ import annotations
 import dataclasses
 import inspect
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.serve.service import Answer, ServeTier
 
 from repro.campaign import CampaignResult, CampaignSpec, SweepAxis, run_campaign
 from repro.campaign.workloads import get_workload
@@ -262,6 +265,55 @@ class Experiment:
             **spec_kwargs,
         )
         return run_campaign(spec, jobs=jobs, cache_dir=cache_dir)
+
+    def serve(
+        self,
+        store: str | Any,
+        verify_fraction: float = 0.1,
+        margin: float = 0.05,
+        jobs: int = 1,
+    ) -> "ServeTier":
+        """A what-if serving tier over this experiment's config.
+
+        The returned :class:`~repro.serve.service.ServeTier` answers
+        queries from the content-addressed store at ``store``, from
+        surrogates fitted via its :meth:`~repro.serve.service.ServeTier.fit`,
+        and by simulation for everything else; a ``verify_fraction``
+        sample of surrogate answers is re-simulated and checked to the
+        ``margin`` (see :mod:`repro.serve`).  Campaigns pointed at the
+        same ``cache_dir`` share the store.
+        """
+        from repro.serve.service import ServeTier
+        from repro.serve.verify import SampledVerifier
+
+        return ServeTier(
+            store,
+            base_config=self.config,
+            verifier=SampledVerifier(fraction=verify_fraction, margin=margin),
+            jobs=jobs,
+        )
+
+    def query(
+        self,
+        store: str | Any,
+        workload: str,
+        config_overrides: dict[str, Any] | None = None,
+        **params: Any,
+    ) -> "Answer":
+        """One-shot what-if: serve ``workload`` through a throwaway tier.
+
+        Convenience for scripts that want a single answer without
+        managing a :class:`~repro.serve.service.ServeTier`; repeated
+        queries against the same ``store`` directory still hit the
+        content-addressed results of earlier ones.
+        """
+        tier = self.serve(store)
+        return tier.query(
+            workload,
+            self._resolved_params(workload, dict(params)),
+            config_overrides or {},
+            seed=self.config.seed,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         topo = self.config.network.topology

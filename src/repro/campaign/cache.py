@@ -1,10 +1,18 @@
 """On-disk result cache for completed sweep points.
 
-One JSON file per cache key.  A key digests everything that determines a
-point's measurements — workload name, resolved config, parameters, seed
-and the *code version* (a digest of every ``repro`` source file) — so a
-re-run after any code change recomputes, while a re-run of an unchanged
-campaign is served entirely from disk.
+The implementation lives in :mod:`repro.serve.store` — the serving
+tier's content-addressed result store absorbed this cache, so campaign
+sweeps, serve-tier queries and the sampled verifier all read and write
+one address space: a directory of ``<key>.json`` payloads keyed by the
+stable digest of (workload, resolved config, params, seed, code
+version).  Warming a campaign cache warms the serve tier and vice
+versa; a re-run after any code change recomputes, while a re-run of an
+unchanged campaign is served entirely from disk.
+
+Writes are atomic (unique temp file + ``os.replace``), so any number
+of concurrent workers — including workers of *different* campaigns
+sharing one cache directory — can write without a reader ever seeing
+a torn file.
 
 Only successful records are cached: a crashed point is recorded in the
 campaign output but retried on the next invocation.
@@ -12,95 +20,19 @@ campaign output but retried on the next invocation.
 
 from __future__ import annotations
 
-import functools
-import json
-import os
-import pathlib
-import tempfile
 from typing import Any
 
-import repro
-from repro.sim.hashing import stable_digest
+from repro.serve.store import ResultStore, code_version, query_key
 
-__all__ = ["ResultCache", "code_version"]
-
-
-@functools.lru_cache(maxsize=1)
-def code_version() -> str:
-    """Digest of the installed ``repro`` package's source text.
-
-    Any edit to any module changes the digest, invalidating every cache
-    entry keyed with it — stale results can never survive a code change.
-    """
-    root = pathlib.Path(repro.__file__).parent
-    sources = sorted(root.rglob("*.py"))
-    import hashlib
-
-    digest = hashlib.sha256()
-    for path in sources:
-        digest.update(str(path.relative_to(root)).encode("utf-8"))
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()[:16]
+__all__ = ["ResultCache", "code_version", "point_cache_key"]
 
 
 def point_cache_key(
     workload: str, config: Any, params: dict[str, Any], seed: int
 ) -> str:
-    """The cache key of one sweep point."""
-    return stable_digest(
-        {
-            "workload": workload,
-            "config": config,
-            "params": params,
-            "seed": seed,
-            "code": code_version(),
-        }
-    )
+    """The cache key of one sweep point (= the serve tier's query key)."""
+    return query_key(workload, config, params, seed)
 
 
-class ResultCache:
-    """A directory of ``<key>.json`` record payloads."""
-
-    def __init__(self, directory: str | os.PathLike) -> None:
-        self.directory = pathlib.Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-
-    def _path(self, key: str) -> pathlib.Path:
-        return self.directory / f"{key}.json"
-
-    def get(self, key: str) -> dict[str, Any] | None:
-        """The cached record payload for ``key``, or None."""
-        path = self._path(key)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                return json.load(handle)
-        except FileNotFoundError:
-            return None
-        except (json.JSONDecodeError, OSError):
-            # A torn write from a killed worker must not poison reruns.
-            return None
-
-    def put(self, key: str, payload: dict[str, Any]) -> None:
-        """Store ``payload`` under ``key`` atomically (write + rename)."""
-        path = self._path(key)
-        fd, temp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=f".{key}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<ResultCache {self.directory} entries={len(self)}>"
+class ResultCache(ResultStore):
+    """The campaign-facing name of the content-addressed result store."""

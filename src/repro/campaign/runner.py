@@ -5,16 +5,19 @@ The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into a
 
 1. every point is first looked up in the on-disk result cache (when a
    ``cache_dir`` is given) — hits cost one JSON read;
-2. misses execute through a ``multiprocessing`` pool (``jobs > 1``) or
-   inline (``jobs == 1``).  Pending points are dealt into one strided
-   chunk per worker up front, so each worker receives a single task and
-   the per-point dispatch/pickle round-trips through the pool queue are
-   amortised across the whole campaign.  A point that raises is
-   captured as an ``error`` record — with type, message and traceback —
-   and the rest of the campaign continues.  A spec-level ``timeout_s``
-   arms a SIGALRM watchdog around each point, so a hung simulation
-   becomes a timeout record instead of a wedged campaign, and
-   ``retries`` re-attempts errored points with exponential backoff;
+2. misses execute through a work-stealing executor (``jobs > 1``; see
+   :class:`repro.serve.executor.WorkStealingExecutor`) or inline
+   (``jobs == 1``).  Pending points sit in one shared queue and each
+   worker steals the next one the moment it finishes its previous
+   point, so the schedule balances itself even when per-point costs
+   are wildly uneven — a worker stuck on a 64-rank collective no
+   longer strands the short points that a strided pre-deal would have
+   pinned behind it.  A point that raises is captured as an ``error``
+   record — with type, message and traceback — and the rest of the
+   campaign continues.  A spec-level ``timeout_s`` arms a SIGALRM
+   watchdog around each point, so a hung simulation becomes a timeout
+   record instead of a wedged campaign, and ``retries`` re-attempts
+   errored points with exponential backoff;
 3. successful records are written back to the cache *by the worker that
    produced them*, point by point, so a campaign killed halfway resumes
    from its last completed point on the next run.
@@ -39,6 +42,7 @@ from repro.campaign.cache import ResultCache, point_cache_key
 from repro.campaign.records import STATUS_ERROR, STATUS_OK, CampaignResult, RunRecord
 from repro.campaign.spec import CampaignSpec, SweepPoint
 from repro.campaign.workloads import get_workload
+from repro.serve.executor import WorkStealingExecutor
 from repro.sim.hashing import canonicalize
 
 __all__ = ["PointTimeout", "run_campaign"]
@@ -168,16 +172,6 @@ def _execute_point(payload: tuple) -> dict[str, Any]:
     return record
 
 
-def _execute_chunk(chunk: list[tuple]) -> list[dict[str, Any]]:
-    """Run one worker's slice of the pending points, in order.
-
-    Top-level so it pickles.  Executing a whole slice per pool task
-    keeps workers busy between points instead of round-tripping through
-    the pool's task queue once per point.
-    """
-    return [_execute_point(payload) for payload in chunk]
-
-
 def _point_payload(
     spec: CampaignSpec,
     point: SweepPoint,
@@ -199,12 +193,6 @@ def _point_payload(
         spec.retry_backoff_s,
         cache_dir,
     )
-
-
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Fork where available (fast, shares the loaded registry); else spawn."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
 def run_campaign(
@@ -250,16 +238,13 @@ def run_campaign(
     if pending:
         if jobs > 1 and len(pending) > 1:
             workers = min(jobs, len(pending))
-            # Strided deal: point i goes to worker i % workers, so long
-            # and short points interleave evenly across workers and each
-            # worker gets exactly one pool task for the whole campaign.
-            chunks = [pending[offset::workers] for offset in range(workers)]
-            with _pool_context().Pool(workers) as pool:
-                outcomes = [
-                    outcome
-                    for chunk_outcomes in pool.map(_execute_chunk, chunks, chunksize=1)
-                    for outcome in chunk_outcomes
-                ]
+            # Work stealing: every pending point sits in one shared
+            # queue and each worker pulls the next the moment it
+            # finishes — the schedule balances itself even when
+            # per-point costs are uneven.  _execute_point never raises
+            # (errors become the record), so map cannot abort early.
+            with WorkStealingExecutor(_execute_point, workers) as executor:
+                outcomes = executor.map(pending)
         else:
             outcomes = [_execute_point(payload) for payload in pending]
         # Workers already wrote their own successes into the cache

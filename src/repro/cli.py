@@ -214,6 +214,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_uniform_flags(trace)
 
+    serve = sub.add_parser(
+        "serve",
+        help="answer a what-if query batch (store -> surrogate -> simulation)",
+        epilog=(
+            "QUERIES.json is either a bare array of query objects "
+            '({"workload": ..., "params": {...}}) or an object with '
+            '"fit" (surrogate-fitting campaigns) and "queries" lists; '
+            "see docs/serving.md and examples/serve_queries.json. "
+            "Dotted --param entries override the base config; plain "
+            "ones become default workload parameters for every query."
+        ),
+    )
+    serve.add_argument("queries", metavar="QUERIES.json")
+    serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="content-addressed result store directory (shared with "
+             "campaign --cache-dir)",
+    )
+    serve.add_argument(
+        "--out", default=None, metavar="ANSWERS.json",
+        help="write answers + provenance + serve stats as JSON",
+    )
+    serve.add_argument(
+        "--verify-fraction", type=float, default=0.1, dest="verify_fraction",
+        help="fraction of surrogate answers re-simulated and audited "
+             "(0 disables, 1 audits every answer)",
+    )
+    serve.add_argument(
+        "--margin", type=float, default=0.05,
+        help="max tolerated surrogate relative error before quarantine",
+    )
+    _add_uniform_flags(serve)
+
     faults = sub.add_parser(
         "faults", help="list fault-injection sites or validate a plan file"
     )
@@ -603,6 +636,132 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    """Batch what-ifs: fit surrogates, answer queries, report provenance."""
+    import json
+
+    from repro.serve.service import Query, ServeTier
+    from repro.serve.verify import SampledVerifier
+
+    if not _check_jobs(args, out):
+        return 2
+    split = _split_params(args.param, out)
+    if split is None:
+        return 2
+    default_params, overrides = split
+    config = SystemConfig.paper_testbed(
+        seed=args.seed, deterministic=args.deterministic
+    )
+    if overrides:
+        maybe = _apply_overrides(config, overrides, out)
+        if maybe is None:
+            return 2
+        config = maybe
+
+    try:
+        with open(args.queries, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read queries file {args.queries!r}: {exc}", file=out)
+        return 2
+    if isinstance(payload, list):
+        fits, entries = [], payload
+    elif isinstance(payload, dict):
+        fits = payload.get("fit", [])
+        entries = payload.get("queries", [])
+    else:
+        print(f"queries file {args.queries!r}: expected a list or object", file=out)
+        return 2
+
+    try:
+        verifier = SampledVerifier(fraction=args.verify_fraction, margin=args.margin)
+    except ValueError as exc:
+        print(f"bad verifier settings: {exc}", file=out)
+        return 2
+    tier = ServeTier(args.store, base_config=config, verifier=verifier, jobs=args.jobs)
+
+    for spec in (*fits, *entries):
+        name = spec.get("workload") if isinstance(spec, dict) else None
+        if name is not None and _resolve_workload(name, out) is None:
+            return 2
+
+    try:
+        for fit in fits:
+            surrogate = tier.fit(
+                workload=fit["workload"],
+                axes={name: tuple(values) for name, values in fit["axes"].items()},
+                params={**default_params, **fit.get("params", {})},
+                seeds=tuple(fit.get("seeds", (args.seed,))),
+                free_params=tuple(fit.get("free_params", ())),
+                name=fit.get("name"),
+            )
+            print(
+                f"fit: {surrogate.name} from {surrogate.fitted_points} "
+                f"simulated points, envelope "
+                f"{ {k: list(v) for k, v in surrogate.envelope.axes.items()} }",
+                file=out,
+            )
+        queries = [
+            Query.from_dict(
+                {**entry, "params": {**default_params, **entry.get("params", {})}}
+            )
+            for entry in entries
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"bad queries file {args.queries!r}: {exc}", file=out)
+        return 2
+
+    answers = tier.query_batch(queries)
+    failed = 0
+    for answer in answers:
+        inputs = {**answer.query.config_overrides, **answer.query.params}
+        compact = ", ".join(f"{k}={v}" for k, v in sorted(inputs.items()))
+        if not answer.ok:
+            failed += 1
+            print(
+                f"[{answer.source}] {answer.query.workload}({compact}): "
+                f"{answer.error}",
+                file=out,
+            )
+            continue
+        body = ", ".join(
+            f"{k}={v:.2f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(answer.measurements.items())
+        )
+        suffix = f" via {answer.surrogate}" if answer.surrogate else ""
+        if answer.verification is not None:
+            suffix += (
+                f" (verified, err "
+                f"{answer.verification.max_relative_error * 100:.2f}%)"
+                if answer.verification.passed
+                else " (audit FAILED, served simulation)"
+            )
+        print(
+            f"[{answer.source}] {answer.query.workload}({compact}): {body}{suffix}",
+            file=out,
+        )
+    stats = tier.stats()
+    rates = stats["rates"]
+    print(
+        f"serve: {stats['queries']} queries — "
+        f"store {rates['store_hit']:.0%}, "
+        f"surrogate {rates['surrogate_hit']:.0%}, "
+        f"simulated {rates['simulation']:.0%}, "
+        f"verified {stats['verifier']['verifications']}, "
+        f"quarantined {stats['verifier']['quarantines']}",
+        file=out,
+    )
+    if args.out:
+        document = {
+            "answers": [answer.to_dict(include_host=False) for answer in answers],
+            "stats": stats,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print(f"answers -> {args.out}", file=out)
+    return 1 if failed else 0
+
+
 def _cmd_trace(args: argparse.Namespace, out) -> int:
     workload = _resolve_workload(args.workload, out)
     if workload is None:
@@ -754,6 +913,8 @@ def _dispatch(args: argparse.Namespace, out, times: ComponentTimes) -> int:
         return _cmd_bench(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command == "faults":
         return _cmd_faults(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,197 @@
+"""A work-stealing process executor for simulation jobs.
+
+The campaign runner used to deal pending points into one strided chunk
+per pool worker.  That amortised the pool's per-task dispatch cost, but
+froze the schedule at submission time: a worker that drew the short
+chunk idled while another ground through the long one, and ``--jobs``
+barely scaled.  Here the schedule is dynamic instead — every pending
+task sits in one shared queue and each worker *steals* the next one the
+moment it finishes its previous task, so the load balances itself no
+matter how uneven the per-task costs are, and the dispatch cost is one
+queue operation per task (microseconds) instead of one pool round-trip.
+
+The executor is deliberately small: a picklable top-level function, a
+task queue, a result queue and ``jobs`` worker processes.  Tasks are
+identified by monotonically increasing tickets, so results can be
+collected out of order and reassembled; :meth:`map` returns results in
+submission order regardless of which worker ran what.  Exceptions
+raised by the function travel back as ``(ticket, None, error_text)``
+triples and re-raise (for :meth:`map`) or resolve the corresponding
+job (for :class:`repro.serve.queue.JobQueue`).
+
+Used by :func:`repro.campaign.runner.run_campaign` for sweep fan-out
+and by :class:`repro.serve.queue.JobQueue` for serving-tier cache
+misses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.context
+import queue as queue_module
+import traceback
+from collections.abc import Callable, Sequence
+from typing import Any
+
+__all__ = ["ExecutorError", "WorkStealingExecutor", "pool_context"]
+
+#: Seconds between liveness checks while waiting on the result queue.
+_POLL_S = 0.5
+
+
+class ExecutorError(RuntimeError):
+    """A task raised in a worker, or the worker pool died."""
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (fast, shares the loaded registry); else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_loop(fn: Callable[[Any], Any], tasks: Any, results: Any) -> None:
+    """Steal tasks until the ``None`` sentinel arrives.
+
+    Top-level so it pickles under the spawn start method.  Every task
+    produces exactly one result triple — success or error — so the
+    parent can account for completions.
+    """
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        ticket, payload = item
+        try:
+            results.put((ticket, fn(payload), None))
+        except BaseException:  # noqa: BLE001 - error travels to the parent
+            results.put((ticket, None, traceback.format_exc()))
+
+
+class WorkStealingExecutor:
+    """``jobs`` worker processes pulling tasks from one shared queue.
+
+    Parameters
+    ----------
+    fn:
+        A picklable top-level callable applied to each submitted
+        payload in a worker process.
+    jobs:
+        Worker process count (>= 1).
+    context:
+        A multiprocessing context; defaults to fork when available.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: int,
+        context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        ctx = context or pool_context()
+        self._tasks: Any = ctx.Queue()
+        self._results: Any = ctx.Queue()
+        self._workers = [
+            ctx.Process(
+                target=_worker_loop,
+                args=(fn, self._tasks, self._results),
+                daemon=True,
+                name=f"steal-worker-{index}",
+            )
+            for index in range(jobs)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._next_ticket = 0
+        self._outstanding = 0
+        self._closed = False
+
+    @property
+    def jobs(self) -> int:
+        """The worker process count."""
+        return len(self._workers)
+
+    # -- submission --------------------------------------------------------
+    def submit(self, payload: Any) -> int:
+        """Enqueue one task; returns its ticket."""
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._outstanding += 1
+        self._tasks.put((ticket, payload))
+        return ticket
+
+    # -- collection --------------------------------------------------------
+    def next_result(self, timeout: float | None = None) -> tuple[int, Any, str | None]:
+        """The next completed ``(ticket, result, error)`` in completion order.
+
+        Blocks until a result arrives (polling worker liveness so a
+        dead pool raises instead of hanging forever).  ``timeout`` of
+        ``None`` waits indefinitely; otherwise ``queue.Empty`` surfaces
+        after roughly that many seconds without a completion.
+        """
+        if self._outstanding <= 0:
+            raise RuntimeError("no outstanding tasks to collect")
+        waited = 0.0
+        while True:
+            try:
+                ticket, value, error = self._results.get(timeout=_POLL_S)
+            except queue_module.Empty:
+                if not any(worker.is_alive() for worker in self._workers):
+                    raise ExecutorError(
+                        f"all {len(self._workers)} executor workers died with "
+                        f"{self._outstanding} task(s) outstanding"
+                    ) from None
+                waited += _POLL_S
+                if timeout is not None and waited >= timeout:
+                    raise
+                continue
+            self._outstanding -= 1
+            return ticket, value, error
+
+    def map(self, payloads: Sequence[Any]) -> list[Any]:
+        """Run every payload; results in submission order.
+
+        The first task error aborts the batch with :class:`ExecutorError`
+        carrying the worker-side traceback.
+        """
+        tickets = [self.submit(payload) for payload in payloads]
+        collected: dict[int, Any] = {}
+        while len(collected) < len(tickets):
+            ticket, value, error = self.next_result()
+            if error is not None:
+                raise ExecutorError(error)
+            collected[ticket] = value
+        return [collected[ticket] for ticket in tickets]
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Send each worker its sentinel and join them."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._tasks.put(None)
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+        for worker in self._workers:
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=5.0)
+        self._tasks.close()
+        self._results.close()
+
+    def __enter__(self) -> "WorkStealingExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"<WorkStealingExecutor jobs={len(self._workers)} "
+            f"outstanding={self._outstanding} {state}>"
+        )

@@ -1,0 +1,141 @@
+"""Async job queue: futures over the work-stealing executor.
+
+The serving tier answers store hits and in-envelope queries
+immediately, but a cache miss outside every envelope needs a real
+simulation — milliseconds to minutes.  The :class:`JobQueue` turns
+those misses into :class:`Job` futures: ``submit`` returns instantly,
+a background collector thread drains the executor's completion stream
+as it happens (completion order, not submission order — work stealing
+end to end), and ``Job.result()`` blocks only the caller that actually
+needs that answer.
+
+The queue is thin on purpose: process-level fan-out, liveness and
+error transport live in :class:`~repro.serve.executor.WorkStealingExecutor`;
+this module only adds the future surface and the collector thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from typing import Any
+
+from repro.serve.executor import ExecutorError, WorkStealingExecutor
+
+__all__ = ["Job", "JobQueue"]
+
+
+class Job:
+    """A pending result; resolved by the queue's collector thread."""
+
+    def __init__(self, ticket: int, payload: Any) -> None:
+        self.ticket = ticket
+        self.payload = payload
+        self._done = threading.Event()
+        self._value: Any = None
+        self._error: str | None = None
+
+    def _resolve(self, value: Any, error: str | None) -> None:
+        self._value = value
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        """True once the worker finished (successfully or not)."""
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block until resolved; the task's return value.
+
+        Raises :class:`TimeoutError` if the job is still running after
+        ``timeout`` seconds, and :class:`ExecutorError` (carrying the
+        worker-side traceback) if the task raised or the pool died.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.ticket} not done after {timeout}s")
+        if self._error is not None:
+            raise ExecutorError(self._error)
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return f"<Job ticket={self.ticket} {state}>"
+
+
+class JobQueue:
+    """Submit payloads, get :class:`Job` futures back.
+
+    Parameters mirror :class:`~repro.serve.executor.WorkStealingExecutor`:
+    a picklable top-level ``fn`` applied to each payload in one of
+    ``jobs`` worker processes.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], jobs: int = 1) -> None:
+        self._executor = WorkStealingExecutor(fn, jobs)
+        self._jobs: dict[int, Job] = {}
+        self._lock = threading.Lock()
+        # One token per submitted job plus one shutdown token: the
+        # collector wakes exactly once per thing it must observe.
+        self._tokens = threading.Semaphore(0)
+        self._closing = False
+        self._collector = threading.Thread(
+            target=self._collect, name="jobqueue-collector", daemon=True
+        )
+        self._collector.start()
+
+    @property
+    def jobs(self) -> int:
+        """The worker process count."""
+        return self._executor.jobs
+
+    def submit(self, payload: Any) -> Job:
+        """Enqueue one payload; returns its future immediately."""
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("queue is closed")
+            ticket = self._executor.submit(payload)
+            job = Job(ticket, payload)
+            self._jobs[ticket] = job
+        self._tokens.release()
+        return job
+
+    def _collect(self) -> None:
+        while True:
+            self._tokens.acquire()
+            with self._lock:
+                if not self._jobs and self._closing:
+                    return
+            try:
+                ticket, value, error = self._executor.next_result()
+            except ExecutorError as exc:
+                # The pool died: every unresolved future gets the error.
+                with self._lock:
+                    orphans = list(self._jobs.values())
+                    self._jobs.clear()
+                for job in orphans:
+                    job._resolve(None, str(exc))
+                return
+            with self._lock:
+                job = self._jobs.pop(ticket)
+            job._resolve(value, error)
+
+    def close(self) -> None:
+        """Drain outstanding jobs, stop the collector, shut the pool down."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+        self._tokens.release()
+        self._collector.join()
+        self._executor.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            pending = len(self._jobs)
+        return f"<JobQueue jobs={self.jobs} pending={pending}>"

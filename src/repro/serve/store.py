@@ -1,0 +1,158 @@
+"""Content-addressed result store: the serving tier's source of truth.
+
+One JSON file per key under one directory.  A key digests everything
+that determines a result — the workload name, the fully resolved
+:class:`~repro.node.config.SystemConfig` (via its canonical stable
+hash), the workload parameters, the seed and the *code version* (a
+digest of every ``repro`` source file) — so results computed by any
+producer (a campaign sweep, a serve-tier cache miss, a verifier
+re-simulation) land in the same address space and are interchangeable.
+
+Concurrency
+-----------
+The store is safe under any number of concurrent writers and readers
+on one filesystem, without locks:
+
+* every ``put`` writes to a unique temp file in the store directory and
+  publishes it with ``os.replace`` — an atomic rename, so a reader
+  sees either the complete old payload or the complete new one, never
+  a torn write;
+* writers of the *same* key race benignly: last rename wins, and both
+  payloads were complete;
+* a reader that does catch a malformed file (a temp file orphaned by a
+  killed writer, manual tampering) treats it as a miss rather than
+  poisoning the run.
+
+:class:`repro.campaign.cache.ResultCache` is this class — the campaign
+layer's on-disk cache was absorbed into the serving store, so warming
+a campaign cache warms the serve tier and vice versa.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Iterator
+
+from repro.sim.hashing import stable_digest
+
+__all__ = ["ResultStore", "code_version", "query_key"]
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the installed ``repro`` package's source text.
+
+    Any edit to any module changes the digest, invalidating every store
+    entry keyed with it — stale results can never survive a code change.
+    """
+    import repro  # deferred: the store imports before the package finishes
+
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def query_key(workload: str, config: Any, params: dict[str, Any], seed: int) -> str:
+    """The content address of one (workload, config, params, seed) result.
+
+    The config contributes through :func:`repro.sim.hashing.stable_digest`
+    canonicalization, so two configs hash equal iff every nested field is
+    equal; the code version contributes so results never outlive the
+    simulator that produced them.
+    """
+    return stable_digest(
+        {
+            "workload": workload,
+            "config": config,
+            "params": params,
+            "seed": seed,
+            "code": code_version(),
+        }
+    )
+
+
+class ResultStore:
+    """A directory of ``<key>.json`` record payloads, concurrency-safe."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Host-side access counters (this handle only, not the directory).
+        self.gets = 0
+        self.hits = 0
+        self.puts = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or None."""
+        self.gets += 1
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A torn or tampered file must not poison reruns.
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` atomically (write + rename).
+
+        Concurrent writers of the same key race benignly: each writes a
+        complete temp file and the last rename wins.
+        """
+        path = self._path(key)
+        fd, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """Every key currently present, in no particular order."""
+        for path in self.directory.glob("*.json"):
+            yield path.stem
+
+    def stats(self) -> dict[str, Any]:
+        """This handle's access counters plus the directory's entry count."""
+        return {
+            "entries": len(self),
+            "gets": self.gets,
+            "hits": self.hits,
+            "misses": self.gets - self.hits,
+            "puts": self.puts,
+            "hit_rate": self.hits / self.gets if self.gets else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.directory} entries={len(self)}>"

@@ -1,0 +1,529 @@
+"""Surrogate models: answer in-envelope what-ifs without simulating.
+
+Two families, both honest about where they are valid:
+
+* :class:`InterpolatedSurrogate` — fitted over the swept axes of a
+  completed campaign (message size, TxQ depth, switch hops, ranks...).
+  Multilinear interpolation over the rectilinear grid of simulated
+  points, averaging across seeds.  The paper's own curves are piecewise
+  linear in these axes over useful ranges (e.g. +108 ns per switch
+  hop, §4.3), which is exactly when interpolation is trustworthy.
+* :class:`AnalyticSurrogate` — the paper's §6 analytic composition
+  (Equations 1–2 and the latency models of §4.3/§6) evaluated
+  directly.  Valid only where the models themselves were validated:
+  small messages on the default testbed.
+
+Every surrogate carries an explicit :class:`Envelope`.  A query inside
+the envelope is answered in microseconds; a query outside it raises
+:class:`OutOfEnvelope`, and the serving tier falls back to simulation
+instead of extrapolating.  The sampled verifier
+(:mod:`repro.serve.verify`) re-simulates a fraction of in-envelope
+answers and *quarantines* a surrogate whose error exceeds the margin —
+a quarantined surrogate stops answering until refitted.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from repro.node.config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.campaign.records import CampaignResult
+
+__all__ = [
+    "AnalyticSurrogate",
+    "Envelope",
+    "InterpolatedSurrogate",
+    "OutOfEnvelope",
+    "fit_surrogate",
+]
+
+
+class OutOfEnvelope(Exception):
+    """A query fell outside a surrogate's validity envelope."""
+
+
+def normalized_config_hash(config: SystemConfig) -> str:
+    """The config's stable hash with seed/determinism pinned.
+
+    Surrogates predict the deterministic mean, which is independent of
+    the noise seed and of whether jitter is armed — so envelope
+    matching must not fail on those two fields.
+    """
+    return config.evolve(seed=0, deterministic=True).stable_hash()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Where a surrogate is allowed to answer.
+
+    A query matches when the workload name and (normalized) base config
+    agree, every fitted axis value lies inside its closed range, every
+    non-axis parameter equals the fitted constant, and no config
+    override outside the fitted axes is present.
+    """
+
+    workload: str
+    #: ``axis name -> (lo, hi)`` closed ranges over the fitted grid.
+    axes: dict[str, tuple[float, float]]
+    #: Non-axis workload parameters the fit held constant.
+    fixed_params: dict[str, Any]
+    #: :func:`normalized_config_hash` of the base config the fit ran on.
+    config_hash: str
+    #: Workload parameters allowed to vary without affecting the
+    #: prediction (measurement-length knobs like ``iterations``).
+    free_params: tuple[str, ...] = ()
+
+    def check(
+        self,
+        params: dict[str, Any],
+        config_overrides: dict[str, Any],
+        config_hash: str,
+    ) -> None:
+        """Raise :class:`OutOfEnvelope` unless the query is answerable."""
+        if config_hash != self.config_hash:
+            raise OutOfEnvelope(
+                f"base config {config_hash} differs from fitted {self.config_hash}"
+            )
+        merged = {**params, **config_overrides}
+        for name, (lo, hi) in self.axes.items():
+            if name not in merged:
+                raise OutOfEnvelope(f"query omits fitted axis {name!r}")
+            value = merged.pop(name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise OutOfEnvelope(f"axis {name!r} value {value!r} is not numeric")
+            if not lo <= float(value) <= hi:
+                raise OutOfEnvelope(
+                    f"axis {name!r}={value} outside fitted range [{lo}, {hi}]"
+                )
+        for name, value in merged.items():
+            if name in self.free_params:
+                continue
+            if name not in self.fixed_params:
+                raise OutOfEnvelope(f"parameter {name!r} was not fitted")
+            if self.fixed_params[name] != value:
+                raise OutOfEnvelope(
+                    f"parameter {name!r}={value!r} differs from fitted "
+                    f"{self.fixed_params[name]!r}"
+                )
+
+    def contains(
+        self,
+        params: dict[str, Any],
+        config_overrides: dict[str, Any],
+        config_hash: str,
+    ) -> bool:
+        """True when :meth:`check` would pass."""
+        try:
+            self.check(params, config_overrides, config_hash)
+        except OutOfEnvelope:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-encodable form."""
+        return {
+            "workload": self.workload,
+            "axes": {name: list(rng) for name, rng in self.axes.items()},
+            "fixed_params": dict(self.fixed_params),
+            "config_hash": self.config_hash,
+            "free_params": list(self.free_params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Envelope":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            workload=payload["workload"],
+            axes={
+                name: (float(rng[0]), float(rng[1]))
+                for name, rng in payload["axes"].items()
+            },
+            fixed_params=dict(payload["fixed_params"]),
+            config_hash=payload["config_hash"],
+            free_params=tuple(payload.get("free_params", ())),
+        )
+
+
+@dataclass
+class InterpolatedSurrogate:
+    """Multilinear interpolation over a fitted rectilinear grid.
+
+    ``axis_names`` orders the axes; ``grid[i]`` is the sorted tuple of
+    values along axis *i*; ``values[metric]`` is the flat C-order
+    tensor of metric means over the cartesian grid (seeds averaged).
+    """
+
+    name: str
+    envelope: Envelope
+    axis_names: tuple[str, ...]
+    grid: tuple[tuple[float, ...], ...]
+    values: dict[str, list[float]]
+    #: Set by the verifier when a sampled re-simulation exceeded the
+    #: error margin; a quarantined surrogate stops answering.
+    quarantined: bool = False
+    #: How many simulated points the fit consumed.
+    fitted_points: int = 0
+
+    @property
+    def metrics(self) -> tuple[str, ...]:
+        """The measurement keys this surrogate predicts."""
+        return tuple(sorted(self.values))
+
+    def _flat_index(self, indices: tuple[int, ...]) -> int:
+        flat = 0
+        for axis, index in enumerate(indices):
+            flat = flat * len(self.grid[axis]) + index
+        return flat
+
+    def predict(
+        self,
+        params: dict[str, Any],
+        config_overrides: dict[str, Any] | None = None,
+    ) -> dict[str, float]:
+        """Metric predictions at one in-envelope point (microseconds).
+
+        Multilinear: for each axis, locate the bracketing grid values
+        and blend the 2^k corner values of the enclosing cell.
+        """
+        merged = {**params, **(config_overrides or {})}
+        position = []
+        for axis, name in enumerate(self.axis_names):
+            if name not in merged:
+                raise OutOfEnvelope(f"query omits fitted axis {name!r}")
+            position.append(float(merged[name]))
+
+        # Per axis: (lower index, fractional weight of the upper node).
+        brackets: list[tuple[int, float]] = []
+        for axis, value in enumerate(position):
+            nodes = self.grid[axis]
+            if not nodes[0] <= value <= nodes[-1]:
+                raise OutOfEnvelope(
+                    f"axis {self.axis_names[axis]!r}={value} outside "
+                    f"[{nodes[0]}, {nodes[-1]}]"
+                )
+            upper = bisect.bisect_left(nodes, value)
+            if upper == 0 or nodes[upper] == value:
+                brackets.append((upper, 0.0))
+            else:
+                lower = upper - 1
+                span = nodes[upper] - nodes[lower]
+                brackets.append((lower, (value - nodes[lower]) / span))
+
+        corners: list[tuple[int, ...]] = [()]
+        weights: list[float] = [1.0]
+        for axis, (lower, fraction) in enumerate(brackets):
+            next_corners: list[tuple[int, ...]] = []
+            next_weights: list[float] = []
+            nodes = self.grid[axis]
+            for corner, weight in zip(corners, weights):
+                if fraction == 0.0:
+                    next_corners.append(corner + (lower,))
+                    next_weights.append(weight)
+                else:
+                    next_corners.append(corner + (lower,))
+                    next_weights.append(weight * (1.0 - fraction))
+                    next_corners.append(corner + (lower + 1,))
+                    next_weights.append(weight * fraction)
+            corners, weights = next_corners, next_weights
+
+        prediction = {}
+        for metric, tensor in self.values.items():
+            prediction[metric] = sum(
+                weight * tensor[self._flat_index(corner)]
+                for corner, weight in zip(corners, weights)
+            )
+        return prediction
+
+    # -- persistence -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-encodable form (for provenance / reuse on disk)."""
+        return {
+            "kind": "interpolated",
+            "name": self.name,
+            "envelope": self.envelope.to_dict(),
+            "axis_names": list(self.axis_names),
+            "grid": [list(nodes) for nodes in self.grid],
+            "values": {metric: list(tensor) for metric, tensor in self.values.items()},
+            "quarantined": self.quarantined,
+            "fitted_points": self.fitted_points,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "InterpolatedSurrogate":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            name=payload["name"],
+            envelope=Envelope.from_dict(payload["envelope"]),
+            axis_names=tuple(payload["axis_names"]),
+            grid=tuple(tuple(float(v) for v in nodes) for nodes in payload["grid"]),
+            values={m: [float(v) for v in t] for m, t in payload["values"].items()},
+            quarantined=bool(payload.get("quarantined", False)),
+            fitted_points=int(payload.get("fitted_points", 0)),
+        )
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write :meth:`to_dict` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, sort_keys=True, indent=2)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "InterpolatedSurrogate":
+        """Read a surrogate written by :meth:`save`."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = "x".join(str(len(nodes)) for nodes in self.grid)
+        state = " QUARANTINED" if self.quarantined else ""
+        return (
+            f"<InterpolatedSurrogate {self.name!r} "
+            f"axes={list(self.axis_names)} grid={shape}{state}>"
+        )
+
+
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def fit_surrogate(
+    result: "CampaignResult",
+    axes: list[str] | tuple[str, ...],
+    base_config: SystemConfig,
+    metrics: list[str] | tuple[str, ...] | None = None,
+    name: str | None = None,
+    free_params: tuple[str, ...] = (),
+) -> InterpolatedSurrogate:
+    """Fit an :class:`InterpolatedSurrogate` from a completed campaign.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.campaign.records.CampaignResult` whose points
+        cover the full cartesian grid of ``axes`` (the runner's normal
+        output for a sweep over those axes).  Seeds are averaged.
+    axes:
+        Axis names, each a workload parameter or dotted config path
+        swept by the campaign; every axis needs numeric values.
+    base_config:
+        The campaign's base config — the envelope binds to its
+        :func:`normalized_config_hash`, so queries against a different
+        system fall back to simulation.
+    metrics:
+        Measurement keys to fit; defaults to every numeric key present
+        in all successful records.
+    free_params:
+        Parameters the envelope lets vary freely (see
+        :class:`Envelope.free_params`).
+
+    Raises
+    ------
+    ValueError
+        On failed points, non-numeric axis values, an incomplete grid,
+        or fixed parameters that vary across records.
+    """
+    axes = tuple(axes)
+    if not axes:
+        raise ValueError("a surrogate needs at least one axis")
+    records = result.ok_records
+    if not records:
+        raise ValueError(f"campaign {result.name!r} has no successful records")
+    if result.failures:
+        raise ValueError(
+            f"campaign {result.name!r} has {len(result.failures)} failed "
+            f"point(s); fit from a clean campaign"
+        )
+
+    def axis_value(record: Any, axis: str) -> float:
+        merged = {**record.params, **record.config_overrides}
+        if axis not in merged:
+            raise ValueError(f"record {record.index} lacks axis {axis!r}")
+        value = merged[axis]
+        if not _numeric(value):
+            raise ValueError(f"axis {axis!r} value {value!r} is not numeric")
+        return float(value)
+
+    grid = tuple(
+        tuple(sorted({axis_value(record, axis) for record in records}))
+        for axis in axes
+    )
+
+    if metrics is None:
+        metrics = sorted(
+            key
+            for key, value in records[0].measurements.items()
+            if _numeric(value)
+            and all(_numeric(r.measurements.get(key)) for r in records)
+        )
+    if not metrics:
+        raise ValueError("no numeric metrics to fit")
+
+    fixed_params: dict[str, Any] = {}
+    for record in records:
+        for key, value in record.params.items():
+            if key in axes or key in free_params:
+                continue
+            if key in fixed_params and fixed_params[key] != value:
+                raise ValueError(
+                    f"non-axis parameter {key!r} varies across records "
+                    f"({fixed_params[key]!r} vs {value!r}); sweep it as an "
+                    f"axis or list it in free_params"
+                )
+            fixed_params[key] = value
+        for key in record.config_overrides:
+            if key not in axes:
+                raise ValueError(
+                    f"config override {key!r} is not a fitted axis; fit from "
+                    f"a campaign whose only config overrides are the axes"
+                )
+
+    # Mean over seeds at every grid point; every cell must be covered.
+    sums: dict[tuple[float, ...], dict[str, float]] = {}
+    counts: dict[tuple[float, ...], int] = {}
+    for record in records:
+        coordinate = tuple(axis_value(record, axis) for axis in axes)
+        cell = sums.setdefault(coordinate, {metric: 0.0 for metric in metrics})
+        for metric in metrics:
+            if metric not in record.measurements:
+                raise ValueError(
+                    f"record {record.index} lacks metric {metric!r}"
+                )
+            cell[metric] += float(record.measurements[metric])
+        counts[coordinate] = counts.get(coordinate, 0) + 1
+
+    values: dict[str, list[float]] = {metric: [] for metric in metrics}
+    for coordinate in itertools.product(*grid):
+        if coordinate not in sums:
+            raise ValueError(
+                f"incomplete grid: no record at "
+                f"{dict(zip(axes, coordinate))} — fit needs the full "
+                f"cartesian product of axis values"
+            )
+        for metric in metrics:
+            values[metric].append(sums[coordinate][metric] / counts[coordinate])
+
+    envelope = Envelope(
+        workload=result.workload,
+        axes={axis: (nodes[0], nodes[-1]) for axis, nodes in zip(axes, grid)},
+        fixed_params=fixed_params,
+        config_hash=normalized_config_hash(base_config),
+        free_params=tuple(free_params),
+    )
+    return InterpolatedSurrogate(
+        name=name or f"{result.workload}[{','.join(axes)}]",
+        envelope=envelope,
+        axis_names=axes,
+        grid=grid,
+        values=values,
+        fitted_points=len(records),
+    )
+
+
+@dataclass
+class AnalyticSurrogate:
+    """The paper's §4.2–§6 analytic composition as a surrogate.
+
+    Supported workloads:
+
+    * ``am_lat`` — §4.3's LLP latency model, exactly what the am_lat
+      microbenchmark observes (validated within ~1% at 8–16 B); the
+      envelope stops at 16 B because the model's linear RC-to-MEM
+      interpolation diverges from the measured mov-staircase beyond
+      that (≈7% at 32 B — the sampled verifier would quarantine it,
+      and should if the envelope is widened).
+    * ``put_bw`` — Equation 2's overall injection overhead.  Accurate
+      at the paper's operating point (long measurement windows); short
+      windows under-amortise the busy-post term, which makes this the
+      canonical quarantine-demonstration surrogate.
+
+    ``times`` defaults to the paper's published Table-1 values.
+    """
+
+    workload: str
+    times: Any = None
+    name: str = ""
+    quarantined: bool = False
+    envelope: Envelope = field(init=False)
+
+    #: workload -> (envelope axes, fixed params, free params).
+    _SUPPORTED = {
+        "am_lat": (
+            {"payload_bytes": (8.0, 16.0)},
+            {"completion_mode": "polling"},
+            ("iterations", "warmup"),
+        ),
+        "put_bw": (
+            {"payload_bytes": (8.0, 16.0)},
+            {},
+            ("n_messages", "warmup", "poll_interval"),
+        ),
+    }
+
+    def __post_init__(self) -> None:
+        from repro.core.components import ComponentTimes
+
+        if self.workload not in self._SUPPORTED:
+            raise ValueError(
+                f"no analytic model for workload {self.workload!r}; "
+                f"supported: {', '.join(sorted(self._SUPPORTED))}"
+            )
+        if self.times is None:
+            self.times = ComponentTimes.paper()
+        if not self.name:
+            self.name = f"analytic:{self.workload}"
+        axes, fixed, free = self._SUPPORTED[self.workload]
+        self.envelope = Envelope(
+            workload=self.workload,
+            axes=dict(axes),
+            fixed_params=dict(fixed),
+            config_hash=normalized_config_hash(SystemConfig.paper_testbed()),
+            free_params=free,
+        )
+
+    @property
+    def metrics(self) -> tuple[str, ...]:
+        """The measurement keys this surrogate predicts."""
+        if self.workload == "am_lat":
+            return ("observed_latency_ns", "round_trip_ns")
+        return ("mean_injection_overhead_ns", "message_rate_per_s")
+
+    def predict(
+        self,
+        params: dict[str, Any],
+        config_overrides: dict[str, Any] | None = None,
+    ) -> dict[str, float]:
+        """Evaluate the closed-form model at the queried point."""
+        from repro.core.models import LatencyModelLlp, OverallInjectionModel
+
+        if self.workload == "am_lat":
+            payload = int(params.get("payload_bytes", 8))
+            latency = LatencyModelLlp(self.times, payload_bytes=payload).predicted_ns
+            return {
+                "observed_latency_ns": latency,
+                "round_trip_ns": 2.0 * latency,
+            }
+        overhead = OverallInjectionModel(self.times).predicted_ns
+        return {
+            "mean_injection_overhead_ns": overhead,
+            "message_rate_per_s": 1e9 / overhead,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-encodable provenance form."""
+        return {
+            "kind": "analytic",
+            "name": self.name,
+            "workload": self.workload,
+            "envelope": self.envelope.to_dict(),
+            "quarantined": self.quarantined,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " QUARANTINED" if self.quarantined else ""
+        return f"<AnalyticSurrogate {self.name!r}{state}>"

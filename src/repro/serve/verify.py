@@ -1,0 +1,147 @@
+"""Sampled verification: keep surrogates honest without paying full price.
+
+A surrogate answer is cheap *because* it skips the simulator — which
+means nothing in the answer itself says whether the surrogate has
+drifted out of touch with the code it was fitted against.  The
+:class:`SampledVerifier` closes that loop: a deterministic fraction of
+in-envelope answers is re-simulated, the surrogate's prediction is
+compared metric by metric against the fresh simulation, and a
+surrogate whose worst relative error exceeds the margin (5% by
+default, matching the repo-wide model-vs-simulation acceptance bar) is
+**quarantined** — it stops answering, and every subsequent query it
+would have served falls back to simulation until it is refitted.
+
+Sampling is counter-based, not random: with ``fraction=0.1`` the 1st,
+11th, 21st... sampled decisions verify.  Determinism keeps serve runs
+reproducible (the same query batch always verifies the same queries)
+and guarantees the *first* answer of every fresh surrogate is audited,
+so a badly fitted surrogate is caught on query one, not query N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+__all__ = ["SampledVerifier", "Verification"]
+
+
+class _Quarantinable(Protocol):
+    name: str
+    quarantined: bool
+
+
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass
+class Verification:
+    """Outcome of one surrogate-vs-simulation comparison."""
+
+    surrogate: str
+    #: Worst relative error across the compared metrics.
+    max_relative_error: float
+    #: ``metric -> (predicted, simulated)`` for every compared metric.
+    compared: dict[str, tuple[float, float]]
+    passed: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-encodable form (answer provenance)."""
+        return {
+            "surrogate": self.surrogate,
+            "max_relative_error": self.max_relative_error,
+            "compared": {k: list(v) for k, v in self.compared.items()},
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class SampledVerifier:
+    """Deterministically re-simulate a fraction of surrogate answers.
+
+    Parameters
+    ----------
+    fraction:
+        Target fraction of surrogate answers to verify, in ``[0, 1]``.
+        ``0`` disables verification entirely; ``1`` verifies every
+        answer.  Intermediate values verify every ``round(1/fraction)``-th
+        answer, starting with the first.
+    margin:
+        Maximum tolerated relative error per metric; one metric beyond
+        the margin quarantines the surrogate.
+    """
+
+    fraction: float = 0.1
+    margin: float = 0.05
+    #: Sampling decisions taken so far (verified or skipped).
+    decisions: int = field(default=0, init=False)
+    #: Verifications actually performed.
+    verifications: int = field(default=0, init=False)
+    #: Verifications that exceeded the margin.
+    quarantines: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+        if self.margin <= 0.0:
+            raise ValueError(f"margin must be > 0, got {self.margin}")
+        self._stride = round(1.0 / self.fraction) if self.fraction > 0 else 0
+
+    def should_verify(self) -> bool:
+        """Take one sampling decision (counter-based, deterministic)."""
+        if self._stride == 0:
+            return False
+        decision = self.decisions % self._stride == 0
+        self.decisions += 1
+        return decision
+
+    def check(
+        self,
+        surrogate: _Quarantinable,
+        predicted: dict[str, Any],
+        simulated: dict[str, Any],
+    ) -> Verification:
+        """Judge one prediction against a fresh simulation.
+
+        Only metrics present and numeric on *both* sides are compared —
+        a surrogate predicts a subset of the workload's measurements
+        (e.g. not the echoed parameter values).  A failure flips the
+        surrogate's ``quarantined`` flag as a side effect.
+        """
+        compared: dict[str, tuple[float, float]] = {}
+        worst = 0.0
+        for metric, guess in predicted.items():
+            truth = simulated.get(metric)
+            if not (_numeric(guess) and _numeric(truth)):
+                continue
+            scale = abs(truth) if truth else 1.0
+            error = abs(float(guess) - float(truth)) / scale
+            compared[metric] = (float(guess), float(truth))
+            worst = max(worst, error)
+        if not compared:
+            raise ValueError(
+                f"surrogate {surrogate.name!r} and the simulation share no "
+                f"numeric metrics — nothing to verify"
+            )
+        passed = worst <= self.margin
+        self.verifications += 1
+        if not passed:
+            surrogate.quarantined = True
+            self.quarantines += 1
+        return Verification(
+            surrogate=surrogate.name,
+            max_relative_error=worst,
+            compared=compared,
+            passed=passed,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Counter snapshot for the serve tier's stats block."""
+        return {
+            "fraction": self.fraction,
+            "margin": self.margin,
+            "decisions": self.decisions,
+            "verifications": self.verifications,
+            "quarantines": self.quarantines,
+        }

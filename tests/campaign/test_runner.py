@@ -98,8 +98,8 @@ class TestCaching:
         assert result.values("value") == [9.0]
 
 
-class TestChunkedDispatch:
-    """jobs>1 deals pending points into one strided chunk per worker."""
+class TestWorkStealingDispatch:
+    """jobs>1 feeds pending points through the work-stealing executor."""
 
     def test_more_jobs_than_points_still_completes(self):
         spec = _selftest_spec(axes=(SweepAxis("value", (1.0, 2.0)),))
@@ -107,11 +107,12 @@ class TestChunkedDispatch:
         assert result.values("value") == [1.0, 2.0]
         assert not result.failures
 
-    def test_chunk_preserves_point_order_and_isolates_failures(self):
-        from repro.campaign.runner import _execute_chunk, _point_payload
+    def test_executor_preserves_point_order_and_isolates_failures(self):
+        from repro.campaign.runner import _execute_point, _point_payload
+        from repro.serve.executor import WorkStealingExecutor
 
         spec = CampaignSpec(
-            name="chunk-order",
+            name="steal-order",
             workload="selftest",
             base_config=SystemConfig.paper_testbed(),
             axes=(SweepAxis("fail", (False, True, False)),),
@@ -120,7 +121,8 @@ class TestChunkedDispatch:
             _point_payload(spec, point, key=f"key{point.index}", cache_dir=None)
             for point in spec.points()
         ]
-        outcomes = _execute_chunk(payloads)
+        with WorkStealingExecutor(_execute_point, jobs=2) as executor:
+            outcomes = executor.map(payloads)
         assert [outcome["index"] for outcome in outcomes] == [0, 1, 2]
         assert [outcome["status"] for outcome in outcomes] == ["ok", "error", "ok"]
 

@@ -1,0 +1,181 @@
+"""Property-based tests for the serving tier (repro.serve).
+
+The load-bearing properties from the PR's acceptance criteria:
+
+* every in-envelope surrogate answer is within 5% of a fresh
+  simulation, across randomly drawn query points;
+* out-of-envelope queries *always* fall back to simulation — the
+  surrogate never extrapolates;
+* multilinear interpolation is a convex combination of its cell's
+  corner values (so predictions can never leave the fitted value range)
+  and reproduces grid nodes exactly;
+* the sampled verifier's decision stream is deterministic and hits its
+  configured fraction.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import CampaignSpec, SweepAxis, run_campaign
+from repro.campaign.spec import apply_config_overrides
+from repro.campaign.workloads import get_workload
+from repro.node import SystemConfig
+from repro.serve import SampledVerifier, ServeTier
+from repro.serve.surrogate import fit_surrogate, normalized_config_hash
+
+BASE = SystemConfig.paper_testbed(deterministic=True)
+
+#: The fitted region: the DoorBell+DMA latency plateau crossed with the
+#: switch hop count — the simulator is multilinear here, which is the
+#: regime interpolation is *supposed* to serve.
+PAYLOAD_LO, PAYLOAD_HI = 1024, 6144
+HOPS_LO, HOPS_HI = 1, 4
+
+
+@pytest.fixture(scope="module")
+def surrogate():
+    result = run_campaign(
+        CampaignSpec(
+            name="prop-fit",
+            workload="put_oneway_latency",
+            base_config=BASE,
+            axes=(
+                SweepAxis("payload_bytes", (PAYLOAD_LO, PAYLOAD_HI)),
+                SweepAxis("network.switch_count", (HOPS_LO, 2, HOPS_HI)),
+            ),
+        )
+    )
+    return fit_surrogate(
+        result,
+        axes=["payload_bytes", "network.switch_count"],
+        base_config=BASE,
+    )
+
+
+class TestInEnvelopeAccuracy:
+    @given(
+        payload=st.integers(min_value=PAYLOAD_LO, max_value=PAYLOAD_HI),
+        hops=st.integers(min_value=HOPS_LO, max_value=HOPS_HI),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_within_five_percent_of_fresh_simulation(self, surrogate, payload, hops):
+        config = apply_config_overrides(BASE, {"network.switch_count": hops})
+        truth = get_workload("put_oneway_latency")(config, payload_bytes=payload)
+        guess = surrogate.predict(
+            {"payload_bytes": payload}, {"network.switch_count": hops}
+        )
+        error = abs(
+            guess["one_way_latency_ns"] - truth["one_way_latency_ns"]
+        ) / truth["one_way_latency_ns"]
+        assert error <= 0.05
+
+    @given(
+        payload=st.integers(min_value=PAYLOAD_LO, max_value=PAYLOAD_HI),
+        hops=st.integers(min_value=HOPS_LO, max_value=HOPS_HI),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_in_envelope_points_are_accepted(self, surrogate, payload, hops):
+        assert surrogate.envelope.contains(
+            {"payload_bytes": payload},
+            {"network.switch_count": hops},
+            normalized_config_hash(BASE),
+        )
+
+
+class TestOutOfEnvelopeFallback:
+    @given(
+        payload=st.one_of(
+            st.integers(min_value=8, max_value=PAYLOAD_LO - 1),
+            st.integers(min_value=PAYLOAD_HI + 1, max_value=8192),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_payload_outside_range_is_rejected(self, surrogate, payload):
+        assert not surrogate.envelope.contains(
+            {"payload_bytes": payload},
+            {"network.switch_count": 2},
+            normalized_config_hash(BASE),
+        )
+
+    @given(
+        payload=st.sampled_from((8, 64, 512, 7168, 8192)),
+        hops=st.integers(min_value=HOPS_LO, max_value=HOPS_HI),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_tier_simulates_out_of_envelope_queries(
+        self, surrogate, tmp_path_factory, payload, hops
+    ):
+        tier = ServeTier(
+            tmp_path_factory.mktemp("store"),
+            base_config=BASE,
+            verifier=SampledVerifier(fraction=0.0),
+        )
+        tier.add_surrogate(surrogate)
+        answer = tier.query(
+            "put_oneway_latency",
+            {"payload_bytes": payload},
+            {"network.switch_count": hops},
+        )
+        # Never a surrogate answer: the envelope excludes the payload.
+        assert answer.source == "simulation"
+        assert answer.surrogate is None
+        truth = get_workload("put_oneway_latency")(
+            apply_config_overrides(BASE, {"network.switch_count": hops}),
+            payload_bytes=payload,
+        )
+        assert answer.measurements["one_way_latency_ns"] == pytest.approx(
+            truth["one_way_latency_ns"]
+        )
+
+
+class TestInterpolationInvariants:
+    @given(
+        payload=st.floats(
+            min_value=PAYLOAD_LO, max_value=PAYLOAD_HI, allow_nan=False
+        ),
+        hops=st.floats(min_value=HOPS_LO, max_value=HOPS_HI, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_prediction_is_a_convex_combination(self, surrogate, payload, hops):
+        """Multilinear interpolation can never leave the fitted range."""
+        tensor = surrogate.values["one_way_latency_ns"]
+        guess = surrogate.predict(
+            {"payload_bytes": payload}, {"network.switch_count": hops}
+        )["one_way_latency_ns"]
+        assert min(tensor) - 1e-9 <= guess <= max(tensor) + 1e-9
+        assert math.isfinite(guess)
+
+    def test_grid_nodes_reproduce_exactly(self, surrogate):
+        for i, payload in enumerate(surrogate.grid[0]):
+            for j, hops in enumerate(surrogate.grid[1]):
+                flat = i * len(surrogate.grid[1]) + j
+                guess = surrogate.predict(
+                    {"payload_bytes": payload}, {"network.switch_count": hops}
+                )["one_way_latency_ns"]
+                assert guess == pytest.approx(
+                    surrogate.values["one_way_latency_ns"][flat]
+                )
+
+
+class TestVerifierSamplingProperties:
+    @given(fraction=st.sampled_from((0.05, 0.1, 0.2, 0.25, 0.5, 1.0)),
+           n=st.integers(min_value=1, max_value=400))
+    @settings(max_examples=100)
+    def test_fraction_is_respected(self, fraction, n):
+        verifier = SampledVerifier(fraction=fraction)
+        verified = sum(verifier.should_verify() for _ in range(n))
+        stride = round(1.0 / fraction)
+        assert verified == math.ceil(n / stride)
+
+    @given(fraction=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+           n=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=100)
+    def test_decision_stream_is_deterministic(self, fraction, n):
+        a = SampledVerifier(fraction=fraction)
+        b = SampledVerifier(fraction=fraction)
+        assert [a.should_verify() for _ in range(n)] == [
+            b.should_verify() for _ in range(n)
+        ]

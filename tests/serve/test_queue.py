@@ -1,0 +1,99 @@
+"""Async job queue (repro.serve.queue) and the executor it wraps."""
+
+import time
+
+import pytest
+
+from repro.serve.executor import ExecutorError, WorkStealingExecutor
+from repro.serve.queue import JobQueue
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(payload):
+    value, delay = payload
+    time.sleep(delay)
+    return value * value
+
+
+def _explode(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestExecutor:
+    def test_map_preserves_submission_order(self):
+        with WorkStealingExecutor(_square, jobs=3) as executor:
+            assert executor.map([3, 1, 2]) == [9, 1, 4]
+
+    def test_uneven_tasks_still_all_complete(self):
+        payloads = [(1, 0.2), (2, 0.0), (3, 0.0), (4, 0.0)]
+        with WorkStealingExecutor(_slow_square, jobs=2) as executor:
+            assert executor.map(payloads) == [1, 4, 9, 16]
+
+    def test_task_error_raises_with_worker_traceback(self):
+        with WorkStealingExecutor(_explode, jobs=1) as executor:
+            with pytest.raises(ExecutorError, match="boom 7"):
+                executor.map([7])
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            WorkStealingExecutor(_square, jobs=0)
+
+    def test_submit_after_close_rejected(self):
+        executor = WorkStealingExecutor(_square, jobs=1)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.submit(1)
+
+    def test_collect_without_outstanding_rejected(self):
+        with WorkStealingExecutor(_square, jobs=1) as executor:
+            with pytest.raises(RuntimeError, match="outstanding"):
+                executor.next_result()
+
+
+class TestJobQueue:
+    def test_submit_returns_future_immediately(self):
+        with JobQueue(_slow_square, jobs=1) as queue:
+            job = queue.submit((5, 0.05))
+            assert not job.done()
+            assert job.result(timeout=10.0) == 25
+            assert job.done()
+
+    def test_many_jobs_resolve_independently(self):
+        with JobQueue(_square, jobs=2) as queue:
+            jobs = [queue.submit(n) for n in range(6)]
+            assert [job.result(timeout=10.0) for job in jobs] == [
+                0, 1, 4, 9, 16, 25,
+            ]
+
+    def test_task_error_surfaces_on_result(self):
+        with JobQueue(_explode, jobs=1) as queue:
+            job = queue.submit(3)
+            with pytest.raises(ExecutorError, match="boom 3"):
+                job.result(timeout=10.0)
+
+    def test_result_timeout(self):
+        with JobQueue(_slow_square, jobs=1) as queue:
+            job = queue.submit((1, 0.5))
+            with pytest.raises(TimeoutError):
+                job.result(timeout=0.01)
+            assert job.result(timeout=10.0) == 1
+
+    def test_close_drains_outstanding_jobs(self):
+        queue = JobQueue(_slow_square, jobs=2)
+        jobs = [queue.submit((n, 0.05)) for n in range(4)]
+        queue.close()
+        assert [job.result(timeout=0.0) for job in jobs] == [0, 1, 4, 9]
+
+    def test_submit_after_close_rejected(self):
+        queue = JobQueue(_square, jobs=1)
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.submit(1)
+
+    def test_close_twice_is_harmless(self):
+        queue = JobQueue(_square, jobs=1)
+        queue.close()
+        queue.close()

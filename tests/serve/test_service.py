@@ -1,0 +1,289 @@
+"""End-to-end serving tier (repro.serve.service + repro.serve.verify)."""
+
+import pytest
+
+from repro.node import SystemConfig
+from repro.serve import Answer, Query, ResultStore, SampledVerifier, ServeTier
+from repro.serve.surrogate import AnalyticSurrogate
+
+BASE = SystemConfig.paper_testbed(deterministic=True)
+
+
+def _tier(tmp_path, fraction=0.0, **kwargs) -> ServeTier:
+    kwargs.setdefault("base_config", BASE)
+    return ServeTier(
+        tmp_path / "store",
+        verifier=SampledVerifier(fraction=fraction),
+        **kwargs,
+    )
+
+
+class TestVerifierSampling:
+    def test_fraction_zero_never_verifies(self):
+        verifier = SampledVerifier(fraction=0.0)
+        assert not any(verifier.should_verify() for _ in range(20))
+
+    def test_fraction_one_always_verifies(self):
+        verifier = SampledVerifier(fraction=1.0)
+        assert all(verifier.should_verify() for _ in range(20))
+
+    def test_stride_sampling_is_deterministic_and_first_inclusive(self):
+        verifier = SampledVerifier(fraction=0.25)
+        decisions = [verifier.should_verify() for _ in range(8)]
+        assert decisions == [True, False, False, False, True, False, False, False]
+        again = SampledVerifier(fraction=0.25)
+        assert [again.should_verify() for _ in range(8)] == decisions
+
+    def test_check_quarantines_beyond_margin(self):
+        verifier = SampledVerifier(fraction=1.0, margin=0.05)
+        surrogate = AnalyticSurrogate("am_lat")
+        record = verifier.check(
+            surrogate, {"observed_latency_ns": 110.0}, {"observed_latency_ns": 100.0}
+        )
+        assert not record.passed
+        assert record.max_relative_error == pytest.approx(0.10)
+        assert surrogate.quarantined
+        assert verifier.quarantines == 1
+
+    def test_check_passes_within_margin(self):
+        verifier = SampledVerifier(fraction=1.0, margin=0.05)
+        surrogate = AnalyticSurrogate("am_lat")
+        record = verifier.check(
+            surrogate, {"observed_latency_ns": 101.0}, {"observed_latency_ns": 100.0}
+        )
+        assert record.passed
+        assert not surrogate.quarantined
+
+    def test_no_shared_metrics_rejected(self):
+        verifier = SampledVerifier(fraction=1.0)
+        with pytest.raises(ValueError, match="no .*metrics"):
+            verifier.check(AnalyticSurrogate("am_lat"), {"a": 1.0}, {"b": 2.0})
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            SampledVerifier(fraction=1.5)
+
+
+class TestQuery:
+    def test_dotted_params_become_config_overrides(self):
+        q = Query("put_oneway_latency", {"payload_bytes": 64, "nic.txq_depth": 4})
+        assert q.params == {"payload_bytes": 64}
+        assert q.config_overrides == {"nic.txq_depth": 4}
+
+    def test_round_trips_through_dict(self):
+        q = Query("am_lat", {"payload_bytes": 8}, seed=7)
+        assert Query.from_dict(q.to_dict()) == q
+
+
+class TestTierFlow:
+    def test_miss_simulates_then_hits_store(self, tmp_path):
+        tier = _tier(tmp_path)
+        first = tier.query("put_oneway_latency", {"payload_bytes": 64})
+        assert first.source == "simulation"
+        assert first.measurements["one_way_latency_ns"] > 0
+        second = tier.query("put_oneway_latency", {"payload_bytes": 64})
+        assert second.source == "store"
+        assert second.measurements == first.measurements
+        assert tier.counters["store_hits"] == 1
+        assert tier.counters["simulations"] == 1
+
+    def test_campaign_cache_serves_tier_queries(self, tmp_path):
+        """A campaign and the serve tier share one address space."""
+        from repro.campaign import CampaignSpec, SweepAxis, run_campaign
+
+        store_dir = tmp_path / "store"
+        run_campaign(
+            CampaignSpec(
+                name="warm",
+                workload="put_oneway_latency",
+                base_config=BASE,
+                axes=(SweepAxis("payload_bytes", (64, 128)),),
+            ),
+            cache_dir=store_dir,
+        )
+        tier = ServeTier(store_dir, base_config=BASE)
+        answer = tier.query("put_oneway_latency", {"payload_bytes": 128})
+        assert answer.source == "store"
+
+    def test_in_envelope_surrogate_answers_without_simulating(self, tmp_path):
+        tier = _tier(tmp_path)
+        tier.fit(
+            "put_oneway_latency",
+            axes={"payload_bytes": (1024, 4096), "network.switch_count": (1, 3)},
+        )
+        simulations_after_fit = tier.counters["simulations"]
+        answer = tier.query(
+            "put_oneway_latency",
+            {"payload_bytes": 2048},
+            {"network.switch_count": 2},
+        )
+        assert answer.source == "surrogate"
+        assert answer.surrogate is not None
+        assert tier.counters["simulations"] == simulations_after_fit
+
+    def test_fit_warms_the_store_for_grid_points(self, tmp_path):
+        tier = _tier(tmp_path)
+        tier.fit("put_oneway_latency", axes={"payload_bytes": (1024, 4096)})
+        answer = tier.query("put_oneway_latency", {"payload_bytes": 1024})
+        assert answer.source == "store"
+
+    def test_out_of_envelope_falls_back_to_simulation(self, tmp_path):
+        tier = _tier(tmp_path)
+        tier.fit("put_oneway_latency", axes={"payload_bytes": (1024, 4096)})
+        answer = tier.query("put_oneway_latency", {"payload_bytes": 8192})
+        assert answer.source == "simulation"
+        assert tier.counters["out_of_envelope"] == 1
+
+    def test_failed_simulation_becomes_error_answer(self, tmp_path):
+        tier = _tier(tmp_path)
+        answer = tier.query("selftest", {"fail": True})
+        assert not answer.ok
+        assert answer.source == "error"
+        assert "asked to fail" in answer.error
+        assert tier.counters["errors"] == 1
+        # Failures are never stored: a retry re-simulates.
+        again = tier.query("selftest", {"fail": True})
+        assert again.source == "error"
+        assert tier.counters["store_hits"] == 0
+
+    def test_mismatched_surrogate_config_rejected(self, tmp_path):
+        tier = _tier(tmp_path)
+        other = ServeTier(
+            tmp_path / "other",
+            base_config=SystemConfig.builder().nic(txq_depth=2).build(),
+        )
+        surrogate = other.fit("put_oneway_latency", axes={"payload_bytes": (64, 128)})
+        with pytest.raises(ValueError, match="fitted against"):
+            tier.add_surrogate(surrogate)
+
+
+class TestVerification:
+    def test_sampled_answer_is_audited_and_passes(self, tmp_path):
+        tier = _tier(tmp_path, fraction=1.0)
+        tier.fit(
+            "put_oneway_latency",
+            axes={"payload_bytes": (1024, 4096), "network.switch_count": (1, 3)},
+        )
+        answer = tier.query(
+            "put_oneway_latency",
+            {"payload_bytes": 2048},
+            {"network.switch_count": 2},
+        )
+        assert answer.source == "surrogate"
+        assert answer.verification is not None
+        assert answer.verification.passed
+        assert answer.verification.max_relative_error <= 0.05
+        assert tier.verifier.verifications == 1
+
+    def test_verification_simulation_lands_in_the_store(self, tmp_path):
+        tier = _tier(tmp_path, fraction=1.0)
+        tier.fit(
+            "put_oneway_latency",
+            axes={"payload_bytes": (1024, 4096), "network.switch_count": (1, 3)},
+        )
+        query = Query(
+            "put_oneway_latency",
+            {"payload_bytes": 2048},
+            {"network.switch_count": 2},
+        )
+        tier.query(query)
+        # The audit simulated the point, so a repeat is a store hit.
+        assert tier.query(query).source == "store"
+
+    def test_bad_surrogate_quarantined_and_truth_served(self, tmp_path):
+        """put_bw's analytic model under-amortises short measurement
+        windows — exactly the drift the sampled verifier must catch."""
+        tier = ServeTier(
+            tmp_path / "store",
+            verifier=SampledVerifier(fraction=1.0),
+        )
+        surrogate = AnalyticSurrogate("put_bw")
+        tier.add_surrogate(surrogate)
+        answer = tier.query("put_bw", {"n_messages": 300, "warmup": 100})
+        assert answer.source == "simulation"
+        assert answer.verification is not None
+        assert not answer.verification.passed
+        assert surrogate.quarantined
+        assert tier.verifier.quarantines == 1
+        # Quarantined: the next in-envelope query goes straight to
+        # simulation (here, the store — the audit already ran it).
+        repeat = tier.query("put_bw", {"n_messages": 300, "warmup": 100})
+        assert repeat.source == "store"
+        assert tier.counters["surrogate_hits"] == 0
+
+    def test_good_analytic_surrogate_survives_audit(self, tmp_path):
+        tier = ServeTier(
+            tmp_path / "store",
+            verifier=SampledVerifier(fraction=1.0),
+        )
+        tier.add_surrogate(AnalyticSurrogate("am_lat"))
+        answer = tier.query("am_lat", {"payload_bytes": 8, "iterations": 100})
+        assert answer.source == "surrogate"
+        assert answer.verification.passed
+
+
+class TestBatch:
+    def test_batch_order_and_sources(self, tmp_path):
+        tier = _tier(tmp_path)
+        tier.fit("put_oneway_latency", axes={"payload_bytes": (1024, 4096)})
+        queries = [
+            Query("put_oneway_latency", {"payload_bytes": 1024}),  # store (fit)
+            Query("put_oneway_latency", {"payload_bytes": 2048}),  # surrogate
+            Query("put_oneway_latency", {"payload_bytes": 8192}),  # simulation
+        ]
+        answers = tier.query_batch(queries)
+        assert [a.query for a in answers] == queries
+        assert [a.source for a in answers] == ["store", "surrogate", "simulation"]
+
+    def test_parallel_batch_matches_serial(self, tmp_path):
+        tier_a = _tier(tmp_path / "a")
+        tier_b = _tier(tmp_path / "b")
+        queries = [
+            Query("put_oneway_latency", {"payload_bytes": size})
+            for size in (8, 64, 256, 1024)
+        ]
+        serial = tier_a.query_batch(queries, jobs=1)
+        parallel = tier_b.query_batch(queries, jobs=4)
+        assert [a.measurements for a in serial] == [
+            a.measurements for a in parallel
+        ]
+        assert all(a.source == "simulation" for a in parallel)
+
+    def test_answer_json_without_host_fields_is_deterministic(self, tmp_path):
+        import json
+
+        queries = [Query("put_oneway_latency", {"payload_bytes": 64})]
+        first = _tier(tmp_path / "x").query_batch(queries)
+        second = _tier(tmp_path / "y").query_batch(queries)
+        dump = lambda answers: json.dumps(  # noqa: E731
+            [a.to_dict(include_host=False) for a in answers], sort_keys=True
+        )
+        assert dump(first) == dump(second)
+        assert "duration_s" not in first[0].to_dict(include_host=False)
+        assert "duration_s" in first[0].to_dict()
+
+
+class TestStats:
+    def test_rates_reflect_counters(self, tmp_path):
+        tier = _tier(tmp_path)
+        tier.query("put_oneway_latency", {"payload_bytes": 64})
+        tier.query("put_oneway_latency", {"payload_bytes": 64})
+        stats = tier.stats()
+        assert stats["queries"] == 2
+        assert stats["rates"]["store_hit"] == 0.5
+        assert stats["rates"]["simulation"] == 0.5
+        assert stats["store"]["entries"] == 1
+        assert stats["verifier"]["fraction"] == 0.0
+
+    def test_surrogate_inventory_listed(self, tmp_path):
+        tier = _tier(tmp_path)
+        tier.fit("put_oneway_latency", axes={"payload_bytes": (1024, 4096)})
+        (entry,) = tier.stats()["surrogates"]
+        assert entry["workload"] == "put_oneway_latency"
+        assert entry["quarantined"] is False
+
+
+class TestPublicSurface:
+    def test_answer_is_exported_dataclass(self):
+        assert Answer.__dataclass_fields__  # noqa: SLF001
+        assert ResultStore is not None

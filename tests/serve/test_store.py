@@ -1,0 +1,171 @@
+"""Content-addressed result store (repro.serve.store).
+
+The concurrency tests exercise the store the way campaigns actually
+hit it: many worker processes writing into one directory at once, some
+of them racing on the same key.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.node import SystemConfig
+from repro.serve.store import ResultStore, code_version, query_key
+
+
+class TestQueryKey:
+    def test_stable_across_calls(self):
+        config = SystemConfig.paper_testbed()
+        key = query_key("am_lat", config, {"payload_bytes": 8}, 2019)
+        assert key == query_key("am_lat", config, {"payload_bytes": 8}, 2019)
+
+    def test_every_input_contributes(self):
+        config = SystemConfig.paper_testbed()
+        base = query_key("am_lat", config, {"payload_bytes": 8}, 2019)
+        assert base != query_key("put_bw", config, {"payload_bytes": 8}, 2019)
+        assert base != query_key("am_lat", config, {"payload_bytes": 16}, 2019)
+        assert base != query_key("am_lat", config, {"payload_bytes": 8}, 2020)
+        assert base != query_key(
+            "am_lat",
+            SystemConfig.builder().nic(txq_depth=2).build(),
+            {"payload_bytes": 8},
+            2019,
+        )
+
+    def test_code_version_is_cached_and_hexish(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+        int(code_version(), 16)
+
+
+class TestStoreBasics:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", {"measurements": {"x": 1.5}, "status": "ok"})
+        assert store.get("k1") == {"measurements": {"x": 1.5}, "status": "ok"}
+        assert "k1" in store
+        assert len(store) == 1
+        assert list(store.keys()) == ["k1"]
+
+    def test_missing_key_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("nope") is None
+        assert "nope" not in store
+
+    def test_overwrite_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"v": 1})
+        store.put("k", {"v": 2})
+        assert store.get("k") == {"v": 2}
+        assert len(store) == 1
+
+    def test_torn_file_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (tmp_path / "torn.json").write_text('{"half": ')
+        assert store.get("torn") is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for index in range(10):
+            store.put(f"k{index}", {"v": index})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_stats_track_this_handle(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"v": 1})
+        store.get("k")
+        store.get("absent")
+        stats = store.stats()
+        assert stats == {
+            "entries": 1,
+            "gets": 2,
+            "hits": 1,
+            "misses": 1,
+            "puts": 1,
+            "hit_rate": 0.5,
+        }
+
+
+def _hammer(args):
+    """Write ``writes`` payloads into one shared store directory."""
+    directory, worker, writes, shared_keys = args
+    store = ResultStore(directory)
+    for index in range(writes):
+        # Even indices race on keys shared across every worker; odd
+        # indices are private to this worker.
+        if index % 2 == 0:
+            key = f"shared-{index % shared_keys}"
+        else:
+            key = f"w{worker}-{index}"
+        store.put(key, {"worker": worker, "index": index, "pad": "x" * 512})
+    return worker
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_never_tear(self, tmp_path):
+        workers, writes, shared_keys = 4, 30, 3
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(workers) as pool:
+            done = pool.map(
+                _hammer,
+                [(str(tmp_path), w, writes, shared_keys) for w in range(workers)],
+            )
+        assert sorted(done) == list(range(workers))
+        store = ResultStore(tmp_path)
+        keys = list(store.keys())
+        # shared keys + per-worker odd-index keys, every one readable.
+        assert len(keys) == shared_keys + workers * (writes // 2)
+        for key in keys:
+            payload = store.get(key)
+            assert payload is not None
+            assert payload["pad"] == "x" * 512
+        # Shared keys hold one complete payload from *some* writer.
+        for shared in range(shared_keys):
+            assert store.get(f"shared-{shared}")["worker"] in range(workers)
+
+    def test_reader_during_writes_sees_complete_payloads(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(2) as pool:
+            async_result = pool.map_async(
+                _hammer, [(str(tmp_path), w, 20, 1) for w in range(2)]
+            )
+            while not async_result.ready():
+                payload = store.get("shared-0")
+                if payload is not None:
+                    assert payload["pad"] == "x" * 512
+            async_result.get()
+
+
+class TestCampaignAbsorption:
+    def test_result_cache_is_the_store(self):
+        from repro.campaign import ResultCache
+
+        assert issubclass(ResultCache, ResultStore)
+
+    def test_point_cache_key_is_query_key(self):
+        from repro.campaign.cache import point_cache_key
+
+        config = SystemConfig.paper_testbed()
+        assert point_cache_key(
+            "am_lat", config, {"payload_bytes": 8}, 2019
+        ) == query_key("am_lat", config, {"payload_bytes": 8}, 2019)
+
+    def test_store_payloads_are_sorted_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"b": 1, "a": 2})
+        raw = (tmp_path / "k.json").read_text()
+        assert raw == json.dumps({"a": 2, "b": 1}, sort_keys=True)
+
+
+class TestCodeVersionInvalidation:
+    def test_key_depends_on_code_version(self, monkeypatch):
+        import repro.serve.store as store_module
+
+        config = SystemConfig.paper_testbed()
+        before = query_key("am_lat", config, {}, 2019)
+        monkeypatch.setattr(store_module, "code_version", lambda: "f" * 16)
+        after = store_module.query_key("am_lat", config, {}, 2019)
+        assert before != after

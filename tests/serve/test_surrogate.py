@@ -1,0 +1,285 @@
+"""Surrogate models (repro.serve.surrogate): fit, predict, envelope.
+
+The interpolated surrogate is exercised over the region where the
+simulator is genuinely (multi)linear — the DoorBell+DMA latency
+plateau crossed with the per-switch-hop wire delay — so interpolation
+error at off-grid points is a property of the method, not luck.  The
+analytic surrogates are checked against the §4.3/§6 models they wrap.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, SweepAxis, run_campaign
+from repro.node import SystemConfig
+from repro.serve.surrogate import (
+    AnalyticSurrogate,
+    Envelope,
+    InterpolatedSurrogate,
+    OutOfEnvelope,
+    fit_surrogate,
+    normalized_config_hash,
+)
+
+BASE = SystemConfig.paper_testbed(deterministic=True)
+
+
+def _dma_campaign(seeds=(2019,)):
+    """payload (flat DMA plateau) x switch hops (exactly +108 ns/hop)."""
+    return run_campaign(
+        CampaignSpec(
+            name="fit-dma",
+            workload="put_oneway_latency",
+            base_config=BASE,
+            axes=(
+                SweepAxis("payload_bytes", (1024, 4096)),
+                SweepAxis("network.switch_count", (1, 3)),
+            ),
+            seeds=seeds,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def dma_surrogate():
+    return fit_surrogate(
+        _dma_campaign(),
+        axes=["payload_bytes", "network.switch_count"],
+        base_config=BASE,
+    )
+
+
+class TestFit:
+    def test_grid_and_envelope_from_campaign(self, dma_surrogate):
+        s = dma_surrogate
+        assert s.axis_names == ("payload_bytes", "network.switch_count")
+        assert s.grid == ((1024.0, 4096.0), (1.0, 3.0))
+        assert s.envelope.axes == {
+            "payload_bytes": (1024.0, 4096.0),
+            "network.switch_count": (1.0, 3.0),
+        }
+        assert s.envelope.workload == "put_oneway_latency"
+        assert s.fitted_points == 4
+        assert "one_way_latency_ns" in s.metrics
+
+    def test_grid_points_reproduced_exactly(self, dma_surrogate):
+        result = _dma_campaign()
+        for record in result.ok_records:
+            predicted = dma_surrogate.predict(
+                record.params, record.config_overrides
+            )
+            assert predicted["one_way_latency_ns"] == pytest.approx(
+                record.measurements["one_way_latency_ns"]
+            )
+
+    def test_seeds_are_averaged(self):
+        multi = fit_surrogate(
+            _dma_campaign(seeds=(2019, 2020)),
+            axes=["payload_bytes", "network.switch_count"],
+            base_config=BASE,
+        )
+        assert multi.fitted_points == 8
+        assert len(multi.values["one_way_latency_ns"]) == 4
+
+    def test_incomplete_grid_rejected(self):
+        result = _dma_campaign()
+        pruned = type(result)(
+            name=result.name,
+            workload=result.workload,
+            records=result.records[:-1],
+        )
+        with pytest.raises(ValueError, match="incomplete grid"):
+            fit_surrogate(
+                pruned,
+                axes=["payload_bytes", "network.switch_count"],
+                base_config=BASE,
+            )
+
+    def test_failed_campaign_rejected(self):
+        failed = run_campaign(
+            CampaignSpec(
+                name="fit-failed",
+                workload="selftest",
+                base_config=BASE,
+                axes=(SweepAxis("fail", (False, True)),),
+            )
+        )
+        with pytest.raises(ValueError, match="failed"):
+            fit_surrogate(failed, axes=["fail"], base_config=BASE)
+
+    def test_varying_non_axis_param_rejected(self):
+        result = run_campaign(
+            CampaignSpec(
+                name="fit-vary",
+                workload="selftest",
+                base_config=BASE,
+                axes=(
+                    SweepAxis("value", (1.0, 2.0)),
+                    SweepAxis("sleep_s", (0.0, 0.001)),
+                ),
+            )
+        )
+        with pytest.raises(ValueError, match="sleep_s"):
+            fit_surrogate(result, axes=["value"], base_config=BASE)
+
+
+class TestPredict:
+    def test_off_grid_hop_interpolation_is_exact(self, dma_surrogate):
+        """+108 ns per switch hop is linear, so the midpoint is exact."""
+        lo = dma_surrogate.predict(
+            {"payload_bytes": 2048}, {"network.switch_count": 1}
+        )["one_way_latency_ns"]
+        hi = dma_surrogate.predict(
+            {"payload_bytes": 2048}, {"network.switch_count": 3}
+        )["one_way_latency_ns"]
+        mid = dma_surrogate.predict(
+            {"payload_bytes": 2048}, {"network.switch_count": 2}
+        )["one_way_latency_ns"]
+        assert mid == pytest.approx((lo + hi) / 2.0)
+        assert hi - lo == pytest.approx(2 * 108.0)
+
+    def test_off_grid_matches_fresh_simulation_within_margin(self, dma_surrogate):
+        from repro.campaign.spec import apply_config_overrides
+        from repro.campaign.workloads import get_workload
+
+        workload = get_workload("put_oneway_latency")
+        for payload, hops in ((2048, 2), (1536, 1), (4096, 2)):
+            cfg = apply_config_overrides(BASE, {"network.switch_count": hops})
+            truth = workload(cfg, payload_bytes=payload)["one_way_latency_ns"]
+            guess = dma_surrogate.predict(
+                {"payload_bytes": payload}, {"network.switch_count": hops}
+            )["one_way_latency_ns"]
+            assert abs(guess - truth) / truth <= 0.05
+
+    def test_outside_grid_raises(self, dma_surrogate):
+        with pytest.raises(OutOfEnvelope):
+            dma_surrogate.predict(
+                {"payload_bytes": 8192}, {"network.switch_count": 2}
+            )
+
+    def test_missing_axis_raises(self, dma_surrogate):
+        with pytest.raises(OutOfEnvelope, match="omits"):
+            dma_surrogate.predict({"payload_bytes": 2048})
+
+
+class TestEnvelope:
+    def _hash(self):
+        return normalized_config_hash(BASE)
+
+    def test_contains_in_range_point(self, dma_surrogate):
+        assert dma_surrogate.envelope.contains(
+            {"payload_bytes": 2000},
+            {"network.switch_count": 2},
+            self._hash(),
+        )
+
+    def test_rejects_other_config(self, dma_surrogate):
+        from repro.campaign.spec import apply_config_overrides
+
+        other = normalized_config_hash(
+            apply_config_overrides(BASE, {"nic.txq_depth": 2})
+        )
+        assert not dma_surrogate.envelope.contains(
+            {"payload_bytes": 2000}, {"network.switch_count": 2}, other
+        )
+
+    def test_seed_and_determinism_do_not_break_the_match(self):
+        noisy = SystemConfig.paper_testbed(seed=7, deterministic=False)
+        assert normalized_config_hash(noisy) == self._hash()
+
+    def test_rejects_unfitted_parameter(self, dma_surrogate):
+        assert not dma_surrogate.envelope.contains(
+            {"payload_bytes": 2000, "mystery_knob": 1},
+            {"network.switch_count": 2},
+            self._hash(),
+        )
+
+    def test_rejects_axis_out_of_range(self, dma_surrogate):
+        assert not dma_surrogate.envelope.contains(
+            {"payload_bytes": 9000}, {"network.switch_count": 2}, self._hash()
+        )
+
+    def test_fixed_param_mismatch_rejected(self):
+        envelope = Envelope(
+            workload="am_lat",
+            axes={"payload_bytes": (8.0, 16.0)},
+            fixed_params={"completion_mode": "polling"},
+            config_hash=self._hash(),
+        )
+        assert not envelope.contains(
+            {"payload_bytes": 8, "completion_mode": "interrupt"}, {}, self._hash()
+        )
+        assert envelope.contains(
+            {"payload_bytes": 8, "completion_mode": "polling"}, {}, self._hash()
+        )
+
+    def test_free_params_may_vary(self):
+        envelope = Envelope(
+            workload="am_lat",
+            axes={"payload_bytes": (8.0, 16.0)},
+            fixed_params={},
+            config_hash=self._hash(),
+            free_params=("iterations",),
+        )
+        assert envelope.contains(
+            {"payload_bytes": 8, "iterations": 12345}, {}, self._hash()
+        )
+
+
+class TestPersistence:
+    def test_json_round_trip(self, dma_surrogate, tmp_path):
+        path = tmp_path / "surrogate.json"
+        dma_surrogate.save(path)
+        loaded = InterpolatedSurrogate.load(path)
+        assert loaded.envelope == dma_surrogate.envelope
+        assert loaded.grid == dma_surrogate.grid
+        point = ({"payload_bytes": 2222}, {"network.switch_count": 2})
+        assert loaded.predict(*point) == dma_surrogate.predict(*point)
+        # The file is plain sorted JSON — diffable provenance.
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "interpolated"
+
+    def test_quarantine_flag_round_trips(self, dma_surrogate, tmp_path):
+        dma_surrogate.quarantined = True
+        try:
+            rebuilt = InterpolatedSurrogate.from_dict(dma_surrogate.to_dict())
+        finally:
+            dma_surrogate.quarantined = False
+        assert rebuilt.quarantined
+
+
+class TestAnalytic:
+    def test_am_lat_matches_simulation_within_one_percent(self):
+        from repro.campaign.workloads import get_workload
+
+        surrogate = AnalyticSurrogate("am_lat")
+        workload = get_workload("am_lat")
+        config = SystemConfig.paper_testbed(deterministic=True)
+        for payload in (8, 16):
+            truth = workload(config, iterations=100, warmup=10, payload_bytes=payload)
+            guess = surrogate.predict({"payload_bytes": payload})
+            error = abs(
+                guess["observed_latency_ns"] - truth["observed_latency_ns"]
+            ) / truth["observed_latency_ns"]
+            assert error <= 0.01
+
+    def test_am_lat_envelope_stops_at_16_bytes(self):
+        surrogate = AnalyticSurrogate("am_lat")
+        config_hash = normalized_config_hash(SystemConfig.paper_testbed())
+        assert surrogate.envelope.contains({"payload_bytes": 16}, {}, config_hash)
+        assert not surrogate.envelope.contains({"payload_bytes": 32}, {}, config_hash)
+
+    def test_put_bw_predicts_equation_two(self):
+        from repro.core.components import ComponentTimes
+        from repro.core.models import OverallInjectionModel
+
+        surrogate = AnalyticSurrogate("put_bw")
+        predicted = surrogate.predict({"payload_bytes": 8})
+        expected = OverallInjectionModel(ComponentTimes.paper()).predicted_ns
+        assert predicted["mean_injection_overhead_ns"] == pytest.approx(expected)
+        assert predicted["message_rate_per_s"] == pytest.approx(1e9 / expected)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="no analytic model"):
+            AnalyticSurrogate("osu_mr")

@@ -123,3 +123,36 @@ class TestConfigEquivalence:
             )
         )
         assert via_api.stable_hash() == manual.stable_hash()
+
+
+class TestServe:
+    def test_serve_builds_a_tier_over_the_experiment_config(self, tmp_path):
+        exp = Experiment(deterministic=True)
+        tier = exp.serve(tmp_path / "store", verify_fraction=0.0)
+        assert tier.base_config == exp.config
+        answer = tier.query("put_oneway_latency", {"payload_bytes": 64})
+        assert answer.source == "simulation"
+        assert tier.query(
+            "put_oneway_latency", {"payload_bytes": 64}
+        ).source == "store"
+
+    def test_query_one_shot_hits_the_shared_store(self, tmp_path):
+        exp = Experiment(deterministic=True)
+        store = tmp_path / "store"
+        first = exp.query(store, "put_oneway_latency", payload_bytes=64)
+        second = exp.query(store, "put_oneway_latency", payload_bytes=64)
+        assert first.source == "simulation"
+        assert second.source == "store"
+        assert second.measurements == first.measurements
+
+    def test_sweep_cache_feeds_serve_queries(self, tmp_path):
+        """Experiment.sweep(cache_dir=X) warms Experiment.serve(X)."""
+        exp = Experiment(deterministic=True)
+        store = tmp_path / "store"
+        exp.sweep(
+            "put_oneway_latency",
+            axes={"payload_bytes": (64, 128)},
+            cache_dir=str(store),
+        )
+        answer = exp.query(store, "put_oneway_latency", payload_bytes=128)
+        assert answer.source == "store"

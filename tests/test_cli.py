@@ -1,6 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
 import io
+import json
 
 import pytest
 
@@ -369,3 +370,112 @@ class TestBenchCollectives:
         )
         assert code == 0
         assert "ok=1" in text and "n_nodes=4" in text
+
+
+class TestServeCommand:
+    def _queries(self, tmp_path, payload):
+        path = tmp_path / "queries.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_bare_array_simulates_and_reports(self, tmp_path):
+        queries = self._queries(
+            tmp_path,
+            [{"workload": "put_oneway_latency", "params": {"payload_bytes": 64}}],
+        )
+        code, text = run_cli(
+            "serve", queries, "--store", str(tmp_path / "store"), "--deterministic"
+        )
+        assert code == 0
+        assert "[simulation] put_oneway_latency(payload_bytes=64)" in text
+        assert "serve: 1 queries" in text
+
+    def test_fit_then_surrogate_then_store(self, tmp_path):
+        queries = self._queries(
+            tmp_path,
+            {
+                "fit": [
+                    {
+                        "workload": "put_oneway_latency",
+                        "axes": {"payload_bytes": [1024, 4096]},
+                    }
+                ],
+                "queries": [
+                    {"workload": "put_oneway_latency", "params": {"payload_bytes": 1024}},
+                    {"workload": "put_oneway_latency", "params": {"payload_bytes": 2048}},
+                ],
+            },
+        )
+        store = str(tmp_path / "store")
+        code, text = run_cli(
+            "serve", queries, "--store", store, "--deterministic",
+            "--verify-fraction", "0",
+        )
+        assert code == 0
+        assert "fit: " in text
+        assert "[store]" in text
+        assert "[surrogate]" in text
+
+    def test_out_file_carries_answers_and_stats(self, tmp_path):
+        queries = self._queries(
+            tmp_path,
+            [{"workload": "put_oneway_latency", "params": {"payload_bytes": 64}}],
+        )
+        out_path = tmp_path / "answers.json"
+        code, _ = run_cli(
+            "serve", queries, "--store", str(tmp_path / "store"),
+            "--deterministic", "--out", str(out_path),
+        )
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        (answer,) = document["answers"]
+        assert answer["source"] == "simulation"
+        assert "duration_s" not in answer
+        assert document["stats"]["queries"] == 1
+
+    def test_failing_workload_reports_and_exits_nonzero(self, tmp_path):
+        queries = self._queries(
+            tmp_path, [{"workload": "selftest", "params": {"fail": True}}]
+        )
+        code, text = run_cli(
+            "serve", queries, "--store", str(tmp_path / "store")
+        )
+        assert code == 1
+        assert "[error] selftest(fail=True)" in text
+
+    def test_missing_queries_file_reports(self, tmp_path):
+        code, text = run_cli(
+            "serve", str(tmp_path / "absent.json"),
+            "--store", str(tmp_path / "store"),
+        )
+        assert code == 2
+        assert "cannot read queries file" in text
+
+    def test_malformed_entry_reports(self, tmp_path):
+        queries = self._queries(tmp_path, [{"params": {}}])
+        code, text = run_cli(
+            "serve", queries, "--store", str(tmp_path / "store")
+        )
+        assert code == 2
+        assert "bad queries file" in text
+
+    def test_unknown_workload_lists_registry(self, tmp_path):
+        queries = self._queries(tmp_path, [{"workload": "no_such_workload"}])
+        code, text = run_cli(
+            "serve", queries, "--store", str(tmp_path / "store")
+        )
+        assert code == 2
+        assert "unknown workload 'no_such_workload'" in text
+        assert "put_oneway_latency" in text  # the registered list is shown
+
+    def test_dotted_param_overrides_base_config(self, tmp_path):
+        queries = self._queries(
+            tmp_path,
+            [{"workload": "put_oneway_latency", "params": {"payload_bytes": 64}}],
+        )
+        code, text = run_cli(
+            "serve", queries, "--store", str(tmp_path / "store"),
+            "--deterministic", "--param", "network.switch_count=3",
+        )
+        assert code == 0
+        assert "[simulation]" in text
