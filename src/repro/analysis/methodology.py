@@ -201,8 +201,12 @@ def measure_hardware(
     (hardware dict, injection-overhead distribution summary)
     """
     # PCIe + the injection distribution come from one put_bw trace.
+    # The raw analyzer records are the measurement here, so the run
+    # must replay in full — fast-forward synthesizes no trace.
     put_result = run_put_bw(
-        config=config.evolve(seed=config.seed + 200), n_messages=n_messages
+        config=config.evolve(seed=config.seed + 200),
+        n_messages=n_messages,
+        fast_forward=False,
     )
     records = put_result.testbed.analyzer.records
     round_trips = mwr_ack_round_trips(records)

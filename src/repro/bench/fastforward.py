@@ -1,0 +1,492 @@
+"""Analytic fast-forward for the ``put_bw`` steady state (kernel tier 3).
+
+The ``put_bw`` sender is a closed loop: post → (busy-spin on progress
+when the TxQ is full) → occasional poll → measurement update.  On a
+fault-free, uncontended, untraced testbed every hardware leg of a post
+is a fixed left-to-right float fold (PCIe TLP latency, compiled fabric
+route, RC-to-MEM), so the whole run can be advanced by a scalar state
+machine instead of the event calendar — the §6 composition models,
+executed directly.
+
+The model is *replay-exact by construction and by verification*:
+
+* construction — it performs the identical floating-point additions, in
+  the identical order, that the event-driven stack performs (including
+  per-draw jitter sampling from the same named RNG stream), so every
+  timestamp it produces is bit-identical to full replay;
+* verification — before trusting the model for a large run, the driver
+  replays two small *probe* runs through the real event kernel and
+  compares them against the model **bitwise**: measured window, busy
+  posts, every per-message stamp journal, per-segment CPU accounts and
+  the final virtual time.  Any mismatch (or any credit stall observed
+  in a probe) falls back to full replay of the real run.
+
+What a fast-forwarded run does *not* synthesize: PCIe-analyzer records
+(the trace is empty; the arrival timestamps the benchmark derives from
+it are computed directly), target-side mailbox contents, wire
+``peak_inflight`` statistics, and per-event journal entries.  In the
+exact-mean regime the model also skips the per-draw RNG round-trip a
+replay performs (the draws are bit-identical either way), so the
+sender core's generator may end in a different state.  Event counts
+are credited as a replay-equivalent *estimate* calibrated from the
+probes — virtual times are exact, the ``events_fast_forwarded`` tally
+is an extrapolation.
+
+Fallback triggers (any one forces full replay): a fault plan armed, a
+tracer installed, profiling regions active, finite PCIe or network
+bandwidth, multi-rail transport, TLP corruption, a non-compiled fabric
+route, degenerate benchmark parameters, or a probe mismatch.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.cpu.core import SegmentAccount
+from repro.nic.descriptor import Message, MessageOp
+from repro.sim.rng import JitterModel, RandomStreams
+from repro.transport.nicrail import PcieNicTransport
+
+__all__ = [
+    "PutBwTrajectory",
+    "RouteFolds",
+    "apply_trajectory",
+    "plan_put_bw",
+    "simulate_put_bw",
+    "trajectory_matches_replay",
+]
+
+#: The CPU segments a put_bw sender executes, in steady-state order.
+#: Used to cross-check the model's accounting against probe replays.
+SENDER_SEGMENTS = (
+    "md_setup",
+    "barrier_md",
+    "barrier_dbc",
+    "pio_copy_64b",
+    "llp_post_misc",
+    "busy_post",
+    "llp_prog",
+    "llp_prog_empty",
+    "measurement_update",
+)
+
+
+@dataclass(frozen=True)
+class RouteFolds:
+    """Pre-extracted constants for one eligible put_bw configuration.
+
+    Every field is a term of the left-to-right float folds the event
+    kernel would perform; the model adds them in the same order.
+    """
+
+    chunks: int
+    pio_mean_ns: float
+    rc_mmio_ns: float
+    l_pio_ns: float
+    tx_processing_ns: float
+    fwd_deltas: tuple[float, ...]
+    ack_turnaround_ns: float
+    rev_deltas: tuple[float, ...]
+    l_cqe_ns: float
+    rc_mem_cqe_ns: float
+    rx_processing_ns: float
+    l_payload_ns: float
+    rc_mem_payload_ns: float
+    txq_depth: int
+    #: Compiled fabric routes (kept for endpoint-stat mirroring).
+    fwd_route: Any
+    rev_route: Any
+
+
+@dataclass
+class PutBwTrajectory:
+    """Everything a fast-forwarded put_bw run needs to synthesize."""
+
+    t_start: float
+    t_end: float
+    final_ns: float
+    busy_posts: int
+    total_posts: int
+    progress_calls: int
+    empty_progress_calls: int
+    cq_consumed: int
+    #: Stamp journals for the posts whose analyzer records survive the
+    #: warmup clear (what ``PutBwResult.messages`` is built from).
+    survivor_stamps: list[dict[str, float]]
+    #: Survivor arrival timestamps within the measured window.
+    measured_arrivals: np.ndarray
+    #: Per-segment (count, total_ns) as the sender CPU would account.
+    segment_totals: dict[str, tuple[int, float]]
+    #: Total CPU busy time, accumulated in global draw order (the
+    #: same float-addition sequence ``CpuCore.busy_ns`` performs).
+    busy_ns: float
+
+
+def _compiled_route(fabric: Any, src: str, dst: str) -> Any:
+    try:
+        return fabric._compiled[(src, dst)]
+    except KeyError:
+        return fabric._compile_path(src, dst)
+
+
+def plan_put_bw(tb: Any, iface: Any, ep: Any, payload_bytes: int) -> RouteFolds | None:
+    """Extract the fold constants, or None when the run must replay.
+
+    ``tb`` must be a freshly built testbed that has executed nothing:
+    fast-forward synthesizes its terminal state from t=0.
+    """
+    config = tb.config
+    env = tb.env
+    if config.faults is not None or tb.faults.enabled:
+        return None
+    if env.tracer.enabled:
+        return None
+    if env.now != 0.0 or env.events_executed or env.events_fast_forwarded:
+        return None
+    node1, node2 = tb.initiator, tb.target
+    if len(node1.rails) != 1 or len(node2.rails) != 1 or len(iface.qps) != 1:
+        return None
+    if not isinstance(ep.transport, PcieNicTransport):
+        return None
+    if iface.qp.moderation.signal_period != 1:
+        return None
+    if iface.completion_callbacks or iface.am_handler is not None:
+        return None
+    if node1.nic.reliability is not None or node2.nic.reliability is not None:
+        return None
+    pcie = config.pcie
+    if not math.isinf(pcie.bandwidth_bytes_per_ns) or pcie.tlp_corruption_prob > 0:
+        return None
+    nic_cfg = config.nic
+    if not 0 <= payload_bytes <= nic_cfg.inline_max_bytes:
+        return None  # put_short would raise; let the replay path do it
+    fwd = _compiled_route(tb.fabric, node1.nic.name, node2.nic.name)
+    rev = _compiled_route(tb.fabric, node2.nic.name, node1.nic.name)
+    if fwd is None or rev is None:
+        return None
+    chunks = math.ceil(
+        (nic_cfg.wqe_header_bytes + payload_bytes) / nic_cfg.pio_chunk_bytes
+    )
+    return RouteFolds(
+        chunks=chunks,
+        pio_mean_ns=chunks * config.costs.pio_copy_64b,
+        rc_mmio_ns=pcie.rc_mmio_processing_ns,
+        l_pio_ns=pcie.tlp_latency(chunks * nic_cfg.pio_chunk_bytes),
+        tx_processing_ns=nic_cfg.tx_processing_ns,
+        fwd_deltas=tuple(fwd.deltas),
+        ack_turnaround_ns=tb.fabric.config.ack_turnaround_ns,
+        rev_deltas=tuple(rev.deltas),
+        l_cqe_ns=pcie.tlp_latency(nic_cfg.cqe_bytes),
+        rc_mem_cqe_ns=pcie.rc_to_mem(nic_cfg.cqe_bytes),
+        rx_processing_ns=nic_cfg.rx_processing_ns,
+        l_payload_ns=pcie.tlp_latency(payload_bytes),
+        rc_mem_payload_ns=pcie.rc_to_mem(payload_bytes),
+        txq_depth=nic_cfg.txq_depth,
+        fwd_route=fwd,
+        rev_route=rev,
+    )
+
+
+def simulate_put_bw(
+    folds: RouteFolds,
+    config: Any,
+    n_messages: int,
+    warmup: int,
+    poll_interval: int,
+    jitter: JitterModel | None = None,
+    rng: np.random.Generator | None = None,
+    cpu: Any = None,
+) -> PutBwTrajectory | None:
+    """Run the scalar put_bw model; None means "regime not modelled".
+
+    ``jitter``/``rng`` default to the sender-core stream a fresh testbed
+    of ``config`` would use (``node1.cpu0``), so a validation pass draws
+    the exact noise sequence a replay would.  Pass ``cpu`` (the fresh
+    testbed's sender core) on the synthesis pass to mirror its
+    per-segment accounts and ``busy_ns``.
+
+    The only unmodelled regime is a warmup clear that leaves analyzer
+    records from posts *before* the final warmup post alive — possible
+    when the post's misc/jitter tail exceeds the PCIe latency — which
+    returns None (full replay handles it).
+    """
+    if warmup < 1 or n_messages < 1 or poll_interval < 1:
+        return None
+    if jitter is None:
+        jitter = config.effective_jitter()
+    if rng is None:
+        rng = RandomStreams(config.seed).child("node1").get("cpu0")
+    # In the exact-mean regime every sample equals its mean bit-for-bit
+    # (unit body gain, no tails), so the RNG round-trip is skippable.
+    exact = (
+        jitter.cv == 0.0 and jitter.medium_prob == 0.0 and jitter.outlier_prob == 0.0
+    )
+    sample = jitter.sample
+    costs = config.costs
+    means = {
+        "md_setup": costs.md_setup,
+        "barrier_md": costs.barrier_md,
+        "barrier_dbc": costs.barrier_dbc,
+        "pio_copy_64b": folds.pio_mean_ns,
+        "llp_post_misc": costs.llp_post_misc,
+        "busy_post": costs.busy_post,
+        "llp_prog": costs.llp_prog,
+        "llp_prog_empty": costs.llp_prog_empty,
+        "measurement_update": costs.measurement_update,
+    }
+    counts = {segment: 0 for segment in means}
+    totals = {segment: 0.0 for segment in means}
+    record_samples = cpu is not None and cpu.record_samples
+    busy_acc = 0.0
+
+    def draw(segment: str) -> float:
+        nonlocal busy_acc
+        mean = means[segment]
+        duration = mean if exact else sample(mean, rng)
+        counts[segment] += 1
+        totals[segment] += duration
+        busy_acc += duration
+        if record_samples:
+            cpu.accounts.setdefault(segment, SegmentAccount()).samples.append(
+                duration
+            )
+        return duration
+
+    depth = folds.txq_depth
+    rc_mmio = folds.rc_mmio_ns
+    total = warmup + n_messages
+    t = 0.0
+    txq_occ = 0
+    pending: deque[float] = deque()
+    busy = 0
+    progress_calls = 0
+    empty_calls = 0
+    consumed = 0
+    arrivals_all: list[float] = []
+    stamps: list[dict[str, float]] = []
+    t_clear = 0.0
+
+    def progress() -> int:
+        nonlocal t, txq_occ, progress_calls, empty_calls, consumed
+        progress_calls += 1
+        events = 0
+        if pending and pending[0] <= t:
+            pending.popleft()
+            consumed += 1
+            t += draw("llp_prog")
+            txq_occ -= 1
+            events = 1
+        if events == 0:
+            empty_calls += 1
+            t += draw("llp_prog_empty")
+        return events
+
+    posted = 0
+    while posted < total:
+        while True:
+            if txq_occ < depth:
+                # Successful post: the §4.1 cost sequence, then the
+                # hardware folds the event kernel would schedule.
+                txq_occ += 1
+                posted_at = t
+                t += draw("md_setup")
+                t += draw("barrier_md")
+                t += draw("barrier_dbc")
+                t += draw("pio_copy_64b")
+                p = t
+                a = p
+                if rc_mmio > 0:
+                    a = a + rc_mmio
+                a = a + folds.l_pio_ns
+                wire_out = a + folds.tx_processing_ns
+                w = wire_out
+                for delta in folds.fwd_deltas:
+                    w = w + delta
+                x = w + folds.ack_turnaround_ns
+                for delta in folds.rev_deltas:
+                    x = x + delta
+                v = (x + folds.l_cqe_ns) + folds.rc_mem_cqe_ns
+                pv = (
+                    (w + folds.rx_processing_ns) + folds.l_payload_ns
+                ) + folds.rc_mem_payload_ns
+                arrivals_all.append(a)
+                pending.append(v)
+                if posted >= warmup - 1:
+                    stamps.append(
+                        {
+                            "posted": posted_at,
+                            "pio_written": p,
+                            "nic_arrival": a,
+                            "wire_out": wire_out,
+                            "target_nic": w,
+                            "payload_visible": pv,
+                            "ack_rx": x,
+                            "cqe_visible": v,
+                        }
+                    )
+                t += draw("llp_post_misc")
+                break
+            busy += 1
+            t += draw("busy_post")
+            while progress() == 0:
+                pass
+        posted += 1
+        if posted == warmup:
+            t_clear = t
+            if posted >= 2 and arrivals_all[posted - 2] > t_clear:
+                # A pre-warmup arrival would outlive the analyzer clear:
+                # the survivor set is no longer a suffix starting at the
+                # final warmup post.  Rare (a jittered misc tail beyond
+                # the PCIe latency); not worth modelling.
+                return None
+        if posted % poll_interval == 0:
+            progress()
+        t += draw("measurement_update")
+    t_end = t
+    while txq_occ > 0:
+        progress()
+
+    # The analyzer clear wipes records timestamped <= t_clear (a record
+    # exactly at the clear instant was appended before the clear ran).
+    survivors = [s for s in stamps if s["nic_arrival"] > t_clear]
+    measured = np.array(
+        [s["nic_arrival"] for s in survivors if s["nic_arrival"] <= t_end]
+    )
+    if cpu is not None:
+        for segment in SENDER_SEGMENTS:
+            if counts[segment] == 0:
+                continue
+            account = cpu.accounts.setdefault(segment, SegmentAccount())
+            account.count += counts[segment]
+            account.total_ns += totals[segment]
+        cpu.busy_ns += busy_acc
+    return PutBwTrajectory(
+        t_start=t_clear,
+        t_end=t_end,
+        final_ns=t,
+        busy_posts=busy,
+        total_posts=total,
+        progress_calls=progress_calls,
+        empty_progress_calls=empty_calls,
+        cq_consumed=consumed,
+        survivor_stamps=survivors,
+        measured_arrivals=measured,
+        segment_totals={s: (counts[s], totals[s]) for s in SENDER_SEGMENTS},
+        busy_ns=busy_acc,
+    )
+
+
+def trajectory_matches_replay(traj: PutBwTrajectory, result: Any) -> bool:
+    """Bitwise comparison of a model trajectory against a replayed run.
+
+    Checks the measured window, busy posts, inter-arrival deltas, every
+    per-message stamp journal, the sender core's per-segment accounts
+    and the final virtual time.  Also rejects any run that saw a PCIe
+    credit stall (a regime the model does not cover).
+    """
+    tb = result.testbed
+    for link in (tb.initiator.link, tb.target.link):
+        for direction in link.tlps_delivered:
+            if link.credit_stalls(direction):
+                return False
+    if result.total_ns != traj.t_end - traj.t_start:
+        return False
+    if result.busy_posts != traj.busy_posts:
+        return False
+    if tb.env.now != traj.final_ns:
+        return False
+    expected_deltas = (
+        np.diff(traj.measured_arrivals)
+        if traj.measured_arrivals.size >= 2
+        else np.array([])
+    )
+    if not np.array_equal(result.observed_injection_overheads_ns, expected_deltas):
+        return False
+    if len(result.messages) != len(traj.survivor_stamps):
+        return False
+    for message, stamps in zip(result.messages, traj.survivor_stamps):
+        if message.timestamps != stamps:
+            return False
+    cpu = tb.initiator.cpu
+    for segment in SENDER_SEGMENTS:
+        count, total_ns = traj.segment_totals[segment]
+        account = cpu.accounts.get(segment)
+        if account is None:
+            if count:
+                return False
+            continue
+        if account.count != count or account.total_ns != total_ns:
+            return False
+    if cpu.busy_ns != traj.busy_ns:
+        return False
+    return True
+
+
+def apply_trajectory(
+    tb: Any,
+    worker: Any,
+    iface: Any,
+    ep: Any,
+    traj: PutBwTrajectory,
+    folds: RouteFolds,
+    payload_bytes: int,
+    skipped_events: int,
+) -> list[Message]:
+    """Install a validated trajectory onto a fresh testbed.
+
+    Jumps the clock, mirrors every counter the event-driven run would
+    have advanced (queues, NICs, RCs, links, fabric endpoints, worker
+    stats), and returns the synthesized survivor messages.  CPU
+    accounts were already mirrored by the synthesis model pass.
+    """
+    from repro.pcie.link import Direction
+
+    total = traj.total_posts
+    qp = iface.qp
+    messages = [
+        Message(
+            op=MessageOp.PUT,
+            payload_bytes=payload_bytes,
+            inline=True,
+            pio=True,
+            signaled=True,
+            recv_target=ep.remote_recv_target,
+            dst_nic=ep.remote_nic_for(0),
+            qp=qp,
+            timestamps=dict(stamps),
+        )
+        for stamps in traj.survivor_stamps
+    ]
+    iface.busy_posts += traj.busy_posts
+    iface.successful_posts += total
+    if messages:
+        iface.last_message = messages[-1]
+    worker.progress_calls += traj.progress_calls
+    worker.empty_progress_calls += traj.empty_progress_calls
+    qp.txq.total_posts += total
+    qp.cq.consumed += traj.cq_consumed
+    qp.cqes_written += total
+    ep.rail_cursor += total
+    initiator, target = tb.initiator, tb.target
+    initiator.nic.messages_transmitted += total
+    target.nic.messages_received += total
+    initiator.rc.mmio_writes += total
+    initiator.rc.dma_writes += total  # CQE writes into the sender CQ
+    target.rc.dma_writes += total  # payload writes into target memory
+    initiator.link.tlps_delivered[Direction.DOWNSTREAM] += total
+    initiator.link.tlps_delivered[Direction.UPSTREAM] += total
+    target.link.tlps_delivered[Direction.UPSTREAM] += total
+    tb.fabric.frames_delivered += total
+    tb.fabric.acks_delivered += total
+    for route in (folds.fwd_route, folds.rev_route):
+        for wire in route.wires:
+            wire.frames_carried += total
+        for switch in route.switches:
+            switch.frames_forwarded += total
+    tb.env.fast_forward(to=traj.final_ns, skipped_events=skipped_events)
+    return messages

@@ -10,6 +10,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.bench.fastforward import (
+    apply_trajectory,
+    plan_put_bw,
+    simulate_put_bw,
+    trajectory_matches_replay,
+)
 from repro.llp.profiling import UcsProfiler
 from repro.llp.uct import UCS_OK, UctWorker
 from repro.nic.descriptor import Message
@@ -89,6 +95,7 @@ def run_put_bw(
     payload_bytes: int = 8,
     poll_interval: int = 16,
     profile_regions: frozenset[str] | set[str] | None = frozenset(),
+    fast_forward: bool | str = "auto",
 ) -> PutBwResult:
     """Run the RDMA-write injection-rate benchmark (§4.2).
 
@@ -113,7 +120,29 @@ def run_put_bw(
         pass e.g. ``{"llp_post"}`` for methodology runs.  ``None``
         measures every region simultaneously (discouraged: nesting
         inflates outer regions, which is why the paper never does it).
+    fast_forward:
+        ``"auto"`` (default) replaces long eligible runs with the
+        analytic steady-state model of :mod:`repro.bench.fastforward`,
+        after validating it bitwise against two short replayed probes;
+        short runs, prepared testbeds and every ineligible regime
+        (faults, tracer, profiling, finite bandwidth, ...) replay in
+        full.  ``True`` forces the model whenever eligible (probes
+        still gate it); ``False`` always replays.  Fast-forwarded
+        results carry no PCIe-analyzer records — pass ``False`` when
+        the raw trace matters.
     """
+    if testbed is None and fast_forward:
+        result = _fast_forward_put_bw(
+            config or SystemConfig.paper_testbed(),
+            n_messages=n_messages,
+            warmup=warmup,
+            payload_bytes=payload_bytes,
+            poll_interval=poll_interval,
+            profile_regions=profile_regions,
+            force=fast_forward is True,
+        )
+        if result is not None:
+            return result
     tb = testbed or Testbed(config or SystemConfig.paper_testbed())
     env = tb.env
     node1 = tb.initiator
@@ -181,6 +210,107 @@ def run_put_bw(
         total_ns=marks["t_end"] - marks["t_start"],
         n_measured=n_messages,
         busy_posts=iface.busy_posts - busy_before,
+        observed_injection_overheads_ns=deltas,
+    )
+
+
+def _fast_forward_put_bw(
+    config: SystemConfig,
+    n_messages: int,
+    warmup: int,
+    payload_bytes: int,
+    poll_interval: int,
+    profile_regions: frozenset[str] | set[str] | None,
+    force: bool,
+) -> PutBwResult | None:
+    """Attempt the analytic fast-forward; None means "replay instead".
+
+    Two short probe runs replay through the real event kernel and must
+    match the model bitwise (measured window, busy posts, per-message
+    stamp journals, CPU accounts, final virtual time, zero credit
+    stalls) before the model's terminal state is installed on a fresh
+    testbed.  The probes also calibrate the skipped-event credit: the
+    event count is linear in the message count in steady state, so two
+    probe sizes pin the per-message slope (the credited total is a
+    replay-equivalent estimate; the exactness guarantee is on virtual
+    times, not event counts).
+    """
+    if profile_regions is None or len(profile_regions) != 0:
+        return None  # profiling reads the virtual timer: replay
+    if warmup < 1 or n_messages < 1 or poll_interval < 1:
+        return None
+    # Probe sizes: multiples of poll_interval (so the poll cadence
+    # divides both) spanning at least a few TxQ drain periods.
+    delta = 2 * poll_interval
+    n1 = max(delta, -(-32 // delta) * delta)
+    n2 = n1 + delta
+    if not force and n_messages < max(1000, 4 * (warmup + n2)):
+        return None  # too short for the probes to pay for themselves
+    tb = Testbed(config)
+    if tb.initiator.cpu.record_samples:
+        return None  # per-draw sample journals are a replay artefact
+    profiler = UcsProfiler(tb.initiator.timer, enabled=True)
+    profiler.enable_only(profile_regions)
+    worker = UctWorker(tb.initiator, profiler)
+    iface = worker.create_iface(signal_period=1)
+    target_worker = UctWorker(tb.target)
+    target_iface = target_worker.create_iface()
+    ep = iface.create_ep(target_iface)
+    del target_worker, target_iface
+    folds = plan_put_bw(tb, iface, ep, payload_bytes)
+    if folds is None:
+        return None
+    effective_events = []
+    for n_probe in (n1, n2):
+        traj = simulate_put_bw(folds, config, n_probe, warmup, poll_interval)
+        if traj is None:
+            return None
+        replay = run_put_bw(
+            config=config,
+            n_messages=n_probe,
+            warmup=warmup,
+            payload_bytes=payload_bytes,
+            poll_interval=poll_interval,
+            profile_regions=profile_regions,
+            fast_forward=False,
+        )
+        if not trajectory_matches_replay(traj, replay):
+            return None
+        env = replay.testbed.env
+        effective_events.append(env.events_executed + env.events_fast_forwarded)
+    per_message = (effective_events[1] - effective_events[0]) / (n2 - n1)
+    skipped = int(round(effective_events[1] + per_message * (n_messages - n2)))
+    # The synthesis pass draws from the testbed's own sender-core
+    # stream and mirrors its accounts; it cannot diverge from the
+    # validated probes because the warmup prefix (where the model can
+    # bail) is identical for every message count.
+    traj = simulate_put_bw(
+        folds,
+        config,
+        n_messages,
+        warmup,
+        poll_interval,
+        jitter=tb.initiator.cpu.jitter,
+        rng=tb.initiator.cpu.rng,
+        cpu=tb.initiator.cpu,
+    )
+    if traj is None:  # pragma: no cover - warmup prefix already probed
+        return None
+    messages = apply_trajectory(
+        tb, worker, iface, ep, traj, folds, payload_bytes, skipped
+    )
+    deltas = (
+        np.diff(traj.measured_arrivals)
+        if traj.measured_arrivals.size >= 2
+        else np.array([])
+    )
+    return PutBwResult(
+        testbed=tb,
+        profiler=profiler,
+        messages=messages,
+        total_ns=traj.t_end - traj.t_start,
+        n_measured=n_messages,
+        busy_posts=traj.busy_posts,
         observed_injection_overheads_ns=deltas,
     )
 

@@ -226,11 +226,20 @@ def _build_parser() -> argparse.ArgumentParser:
             "ones become default workload parameters for every query."
         ),
     )
-    serve.add_argument("queries", metavar="QUERIES.json")
+    serve.add_argument(
+        "queries", nargs="?", default=None, metavar="QUERIES.json",
+        help="query batch to answer (omit with --gc)",
+    )
     serve.add_argument(
         "--store", required=True, metavar="DIR",
         help="content-addressed result store directory (shared with "
              "campaign --cache-dir)",
+    )
+    serve.add_argument(
+        "--gc", action="store_true",
+        help="garbage-collect the store instead of serving: evict every "
+             "entry whose recorded code version no longer matches the "
+             "running simulator, report count and bytes reclaimed",
     )
     serve.add_argument(
         "--out", default=None, metavar="ANSWERS.json",
@@ -496,9 +505,12 @@ def _write_trace(session, path: str, out) -> dict:
     """Write the Chrome trace and print the one-line summary."""
     session.write_chrome_trace(path)
     summary = session.summary()
+    events = summary["events"]
     print(
         f"trace: {summary['spans']} spans, {summary['instants']} instants "
-        f"({summary['tracers']} tracer(s), {summary['dropped_spans']} dropped) "
+        f"({summary['tracers']} tracer(s), {summary['dropped_spans']} dropped; "
+        f"kernel {events['executed']} executed "
+        f"+ {events['fast_forwarded']} fast-forwarded events) "
         f"-> {path}",
         file=out,
     )
@@ -643,6 +655,21 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     from repro.serve.service import Query, ServeTier
     from repro.serve.verify import SampledVerifier
 
+    if args.gc:
+        from repro.serve.store import ResultStore, code_version
+
+        report = ResultStore(args.store).prune()
+        print(
+            f"serve --gc: scanned {report['scanned']} entries, "
+            f"kept {report['kept']}, evicted {report['removed']} "
+            f"({report['bytes_reclaimed']} bytes reclaimed; "
+            f"current code version {code_version()})",
+            file=out,
+        )
+        return 0
+    if args.queries is None:
+        print("serve: QUERIES.json is required unless --gc is given", file=out)
+        return 2
     if not _check_jobs(args, out):
         return 2
     split = _split_params(args.param, out)

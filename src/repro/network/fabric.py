@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Protocol
 
@@ -82,6 +83,76 @@ class NicPort(Protocol):
         """Called when a frame (data or ack) arrives at this NIC."""
 
 
+class _CompiledPath:
+    """One fabric path pre-compiled to a single calendar entry.
+
+    Built once per (config, path) when the path is *uncontended and
+    unobserved*: every wire has infinite bandwidth (no serialiser),
+    every switch forwards without egress serialisation, and no fault
+    site targets the network.  The per-hop delays are folded
+    left-to-right at launch time, so the terminal timestamp is
+    bit-identical to the hop-by-hop schedule the legacy path produces;
+    per-stage statistics (frames carried/forwarded, wire occupancy) are
+    maintained at the endpoints.  ``peak_inflight`` on a compiled wire
+    counts frames on the whole remaining path (they decrement at final
+    delivery rather than per hop) — equal or higher than per-hop
+    accounting, never lower.
+
+    Compiled launches are only taken while the tracer is disabled, so
+    traced (golden-timeline) runs replay the full per-hop chains.
+    """
+
+    __slots__ = ("env", "deltas", "wires", "switches", "deliver", "elided")
+
+    def __init__(
+        self,
+        env: Environment,
+        deltas: list[float],
+        wires: list[Wire],
+        switches: list[Switch],
+        deliver: Any,
+    ) -> None:
+        self.env = env
+        self.deltas = deltas
+        self.wires = wires
+        self.switches = switches
+        self.deliver = deliver
+        #: Calendar entries the legacy chain would have used, minus the
+        #: one this path actually schedules.
+        self.elided = len(deltas) - 1
+
+    def launch(self, frame: NetworkFrame) -> None:
+        self.launch_at(frame, self.env.now)
+
+    def launch_at(self, frame: NetworkFrame, start: float) -> None:
+        """Launch ``frame`` as if transmitted at ``start`` (>= now).
+
+        Lets upstream stages (NIC tx processing, ACK turnaround) fold
+        their own fixed delay into the same single calendar entry: the
+        terminal time is the identical left-to-right float sum the
+        hop-by-hop chain would have produced.
+        """
+        env = self.env
+        when = start
+        for delta in self.deltas:
+            when = when + delta
+        for wire in self.wires:
+            wire.inflight += 1
+            if wire.inflight > wire.peak_inflight:
+                wire.peak_inflight = wire.inflight
+        if self.elided:
+            env.credit_fast_forwarded(self.elided)
+        env.defer_at(self._arrive, when, args=(frame,))
+
+    def _arrive(self, frame: NetworkFrame) -> None:
+        for wire in self.wires:
+            wire.inflight -= 1
+            wire.frames_carried += 1
+        for switch in self.switches:
+            switch.frames_forwarded += 1
+        self.deliver(frame)
+
+
 class Fabric:
     """Bidirectional interconnect between attached NIC ports.
 
@@ -120,6 +191,14 @@ class Fabric:
         self._paths: dict[tuple[str, str], list[Any]] = {}
         self._links: dict[tuple[str, str], Wire] = {}
         self._switches: dict[str, Switch] = {}
+        #: A fault rule on any path stage disables path compilation
+        #: outright: compiled launches skip the per-stage decide() hooks.
+        #: (ACK-drop rules are checked separately at the ACK entry
+        #: points, so they don't force data frames onto the slow path.)
+        self._has_faults = (
+            self._wire_faults is not None or self._switch_faults is not None
+        )
+        self._compiled: dict[tuple[str, str], _CompiledPath | None] = {}
         self.frames_delivered = 0
         self.acks_delivered = 0
         self.acks_dropped = 0
@@ -289,8 +368,57 @@ class Fabric:
         self.acks_delivered = 0
         self.acks_dropped = 0
 
+    def _compile_path(self, src: str, dst: str) -> _CompiledPath | None:
+        """Build (or reject) the flat single-entry route for ``src→dst``.
+
+        Compilation requires: no fault plan armed on the fabric, every
+        wire at infinite bandwidth, and every switch forwarding without
+        egress serialisation.  Anything else caches ``None`` and the
+        pair keeps the per-hop path for the fabric's lifetime — stage
+        configs are fixed after construction, so the decision never
+        needs revisiting.
+        """
+        compiled: _CompiledPath | None = None
+        if not self._has_faults:
+            try:
+                stages = self.path_stages(src, dst)
+            except (KeyError, SimulationError):
+                stages = []  # let transmit() raise the routing error
+            if stages:
+                wires = [s for s in stages if isinstance(s, Wire)]
+                switches = [s for s in stages if isinstance(s, Switch)]
+                eligible = all(
+                    math.isinf(w.config.bandwidth_bytes_per_ns) for w in wires
+                ) and all(sw.egress_serialization_ns == 0 for sw in switches)
+                if eligible:
+                    deltas = [
+                        s.config.wire_latency_ns
+                        if isinstance(s, Wire)
+                        else s.config.switch_latency_ns
+                        for s in stages
+                    ]
+                    compiled = _CompiledPath(
+                        self.env, deltas, wires, switches, self._make_deliver(dst)
+                    )
+        self._compiled[(src, dst)] = compiled
+        return compiled
+
     def transmit(self, frame: NetworkFrame) -> None:
-        """Launch ``frame`` from its source port (non-blocking)."""
+        """Launch ``frame`` from its source port (non-blocking).
+
+        Uncontended, fault-free routes take the compiled single-entry
+        path whenever the tracer is disabled; traced runs (and any
+        ineligible route) replay the full per-hop chain.
+        """
+        if not self.env.tracer.enabled:
+            key = (frame.src, frame.dst)
+            try:
+                compiled = self._compiled[key]
+            except KeyError:
+                compiled = self._compile_path(frame.src, frame.dst)
+            if compiled is not None:
+                compiled.launch(frame)
+                return
         if self.topology is not None:
             try:
                 nxt = self.topology.next_hop(frame.src, frame.dst)
@@ -323,6 +451,55 @@ class Fabric:
         )
         self.transmit(frame)
         return frame
+
+    def try_send_data_at(
+        self,
+        src: str,
+        dst: str,
+        message: Any,
+        size_bytes: int,
+        kind: FrameKind,
+        when: float,
+    ) -> bool:
+        """Compiled-only deferred launch: transmit as if sent at ``when``.
+
+        Returns False when the route is not compiled (traced run, fault
+        plan, contention possible) — the caller must then schedule its
+        own delay and call :meth:`send_data` at the right time.  On
+        success the caller's fixed pre-send delay has been folded into
+        the route's single calendar entry.
+        """
+        if self.env.tracer.enabled:
+            return False
+        key = (src, dst)
+        try:
+            compiled = self._compiled[key]
+        except KeyError:
+            compiled = self._compile_path(src, dst)
+        if compiled is None:
+            return False
+        frame = NetworkFrame(
+            kind=kind, src=src, dst=dst, size_bytes=size_bytes, message=message
+        )
+        compiled.launch_at(frame, when)
+        return True
+
+    def try_send_ack_at(self, data_frame: NetworkFrame, when: float) -> bool:
+        """Compiled-only deferred ACK for ``data_frame`` at ``when``.
+
+        The ACK-fault site must be unarmed: compiled ACKs skip the
+        per-frame drop decision entirely.
+        """
+        if self._ack_faults is not None:
+            return False
+        return self.try_send_data_at(
+            data_frame.dst,
+            data_frame.src,
+            data_frame.message,
+            0,
+            FrameKind.ACK,
+            when,
+        )
 
     def send_ack(self, data_frame: NetworkFrame) -> NetworkFrame:
         """Build and transmit the link-level ACK for ``data_frame``.

@@ -178,10 +178,30 @@ class Nic:
         return False
 
     def _schedule_transmit(self, message: Message) -> None:
-        """Queue the adapter's tx processing, then launch (§2 step 4)."""
+        """Queue the adapter's tx processing, then launch (§2 step 4).
+
+        Fast path: with no tracer, no transport state and no tx faults,
+        the tx-processing delay folds into the fabric route's compiled
+        calendar entry — one event instead of one per stage.
+        """
         if self.fabric is None:
             raise SimulationError(f"{self.name}: no fabric attached")
         tracer = self.env.tracer
+        if (
+            not tracer.enabled
+            and self.reliability is None
+            and self._tx_faults is None
+        ):
+            destination = message.dst_nic or self.peer_name
+            size, kind = self._frame_plan(message)
+            wire_out = self.env.now + self.config.tx_processing_ns
+            if self.fabric.try_send_data_at(
+                self.name, destination, message, size, kind, wire_out
+            ):
+                message.stamp("wire_out", wire_out)
+                self.messages_transmitted += 1
+                self.env.credit_fast_forwarded(1)
+                return
         tspan = (
             tracer.begin("nic", "nic_tx", track=self.name, msg=message.msg_id)
             if tracer.enabled
@@ -284,9 +304,18 @@ class Nic:
         self.messages_received += 1
         if self.fabric is None:  # pragma: no cover - attach precedes traffic
             raise SimulationError(f"{self.name}: no fabric attached")
-        self.env.defer(
-            self._emit_fabric_ack, self.fabric.config.ack_turnaround_ns, args=(frame,)
-        )
+        # Fast path: fold the ACK turnaround into the reverse route's
+        # compiled entry (one event for turnaround + every return hop).
+        if self.fabric.try_send_ack_at(
+            frame, self.env.now + self.fabric.config.ack_turnaround_ns
+        ):
+            self.env.credit_fast_forwarded(1)
+        else:
+            self.env.defer(
+                self._emit_fabric_ack,
+                self.fabric.config.ack_turnaround_ns,
+                args=(frame,),
+            )
         tracer = self.env.tracer
         tspan = (
             tracer.begin("nic", "nic_rx", track=self.name, msg=message.msg_id)

@@ -73,6 +73,10 @@ class RootComplex:
         self.mmio_writes = 0
         self.dma_writes = 0
         self.dma_reads = 0
+        #: Per-size memoisation of the RC-to-MEM latency curve: the
+        #: config interpolates per call, but a run touches only a
+        #: handful of distinct payload sizes.
+        self._rc_to_mem_ns: dict[int, float] = {}
         link.set_receiver(Direction.UPSTREAM, self._on_upstream_tlp)
 
     # -- CPU-facing side -------------------------------------------------------
@@ -113,11 +117,12 @@ class RootComplex:
                     msg=_traced_msg_id(tlp), purpose=tlp.purpose,
                     bytes=tlp.payload_bytes,
                 )
-            self.env.defer(
-                self._dma_write_done,
-                self.config.rc_to_mem(tlp.payload_bytes),
-                args=(tlp, tspan),
-            )
+            size = tlp.payload_bytes
+            delay = self._rc_to_mem_ns.get(size)
+            if delay is None:
+                delay = self.config.rc_to_mem(size)
+                self._rc_to_mem_ns[size] = delay
+            self.env.defer(self._dma_write_done, delay, args=(tlp, tspan))
         elif tlp.kind is TlpType.MRD:
             tracer = self.env.tracer
             tspan = None

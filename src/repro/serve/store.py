@@ -42,6 +42,11 @@ from repro.sim.hashing import stable_digest
 
 __all__ = ["ResultStore", "code_version", "query_key"]
 
+#: Reserved payload key holding the producing code version.  Stamped by
+#: :meth:`ResultStore.put`, stripped by :meth:`ResultStore.get`, consumed
+#: by :meth:`ResultStore.prune` — never visible to store clients.
+CODE_STAMP = "__code__"
+
 
 @functools.lru_cache(maxsize=1)
 def code_version() -> str:
@@ -108,6 +113,8 @@ class ResultStore:
             # A torn or tampered file must not poison reruns.
             return None
         self.hits += 1
+        if isinstance(payload, dict):
+            payload.pop(CODE_STAMP, None)
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
@@ -115,6 +122,13 @@ class ResultStore:
 
         Concurrent writers of the same key race benignly: each writes a
         complete temp file and the last rename wins.
+
+        The payload is stamped with the producing :func:`code_version`
+        (under :data:`CODE_STAMP`, stripped again on read) so a later
+        :meth:`prune` can evict entries the current simulator can no
+        longer vouch for.  Keys already embed the code version, which
+        makes stale entries unreachable — the stamp is what lets the
+        garbage collector *find* them.
         """
         path = self._path(key)
         fd, temp_name = tempfile.mkstemp(
@@ -122,7 +136,9 @@ class ResultStore:
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
+                json.dump(
+                    {**payload, CODE_STAMP: code_version()}, handle, sort_keys=True
+                )
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -131,6 +147,59 @@ class ResultStore:
                 pass
             raise
         self.puts += 1
+
+    def prune(self) -> dict[str, Any]:
+        """Evict every entry the current code version cannot vouch for.
+
+        Because :func:`code_version` participates in the key, a code
+        change makes old entries *unreachable* rather than wrong — they
+        sit on disk forever unless collected.  This walks the directory
+        and deletes entries whose :data:`CODE_STAMP` differs from the
+        running version, plus anything unvouchable at all: malformed
+        JSON, entries missing the stamp (pre-stamp producers), and
+        orphaned writer temp files.
+
+        Safe to run while producers are active: a concurrent ``put`` of
+        a live entry re-publishes it atomically with the current stamp,
+        and deletion races are tolerated (a file that vanishes between
+        stat and unlink counts as someone else's work).
+
+        Returns ``{"scanned", "kept", "removed", "bytes_reclaimed"}``.
+        """
+        current = code_version()
+        scanned = kept = removed = reclaimed = 0
+        candidates = list(self.directory.glob("*.json")) + [
+            path for path in self.directory.glob(".*.tmp") if path.is_file()
+        ]
+        for path in candidates:
+            scanned += 1
+            stale = True
+            if path.suffix == ".json":
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    stale = (
+                        not isinstance(payload, dict)
+                        or payload.get(CODE_STAMP) != current
+                    )
+                except (json.JSONDecodeError, OSError):
+                    stale = True
+            if not stale:
+                kept += 1
+                continue
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue  # lost a race with another collector/writer
+            removed += 1
+            reclaimed += size
+        return {
+            "scanned": scanned,
+            "kept": kept,
+            "removed": removed,
+            "bytes_reclaimed": reclaimed,
+        }
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

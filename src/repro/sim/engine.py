@@ -1,24 +1,46 @@
 """Event loop and process primitives for the simulation kernel.
 
-The engine follows the classic event-calendar design: a binary heap of
-``(time, priority, sequence, item, args)`` tuples.  Ties at the same
-simulated time are broken first by an explicit priority (URGENT before
-NORMAL) and then by insertion order, which keeps runs fully
-deterministic.
+The calendar orders ``[time, priority, sequence, item, args]`` entries:
+ties at the same simulated time are broken first by an explicit
+priority (URGENT before NORMAL) and then by insertion order, which
+keeps runs fully deterministic.
 
-The kernel is **two-tier**:
+Since the three-tier refactor the calendar is a **bucketed time wheel**
+rather than a single binary heap:
+
+- near-future entries (the dominant case: fixed hardware delays in the
+  10 ns – 10 µs range) land in one of ``_WHEEL_SLOTS`` buckets of
+  ``_WHEEL_GRAIN_NS`` each, keyed by ``int(time / grain)``.  A bucket
+  is sorted only when the cursor reaches it, so the common
+  push/pop pair costs an append plus an amortised-linear drain instead
+  of two ``O(log n)`` sift operations;
+- far-future entries (beyond the wheel's horizon: watchdogs, replay
+  timers) overflow into a ``heapq`` tier and migrate into the wheel as
+  the cursor advances;
+- entries are **slab-allocated**: processed entry lists go onto a free
+  list and are recycled by later pushes, so the steady state allocates
+  no per-event objects at all.
+
+The execution model on top of the calendar is itself three tiers:
 
 - the :class:`Process` tier wraps Python generators for stateful actors
   (progress engines, benchmark drivers) that block, wait on events and
   get interrupted;
 - the **callback tier** (:meth:`Environment.defer` /
-  :meth:`Environment.chain`) schedules plain callables directly on the
-  calendar with no :class:`Event`, generator or :class:`Process`
-  allocation.  The per-packet hardware machinery (TLP delivery, ACK
-  DLLPs, wire propagation, switch forwarding, DMA engines) runs on this
-  tier; it is several times cheaper per occurrence.
+  :meth:`Environment.defer_at` / :meth:`Environment.chain`) schedules
+  plain callables directly on the calendar with no :class:`Event`,
+  generator or :class:`Process` allocation.  The per-packet hardware
+  machinery (TLP delivery, ACK DLLPs, wire propagation, switch
+  forwarding, DMA engines) runs on this tier, increasingly as
+  *compiled chains*: one calendar entry at a precomputed absolute time
+  standing in for a whole per-hop sequence (the elided entries are
+  accounted in :attr:`Environment.events_fast_forwarded`);
+- the **analytic fast-forward** tier skips the calendar entirely for
+  detected steady-state phases: a driver validates a closed-form model
+  against a probe window and then calls :meth:`Environment.fast_forward`
+  to jump the clock to the synthesised terminal time.
 
-Both tiers share one calendar, one clock and one tie-breaking order, so
+All tiers share one calendar, one clock and one tie-breaking order, so
 mixing them cannot reorder simultaneous work nondeterministically.
 
 Time is a ``float`` measured in **nanoseconds** throughout the project;
@@ -30,6 +52,7 @@ femtosecond.
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from collections.abc import Callable, Generator, Iterable
 from typing import Any
 
@@ -496,6 +519,21 @@ class AnyOf(_Condition):
         return self._outstanding < self._total or self._total == 0
 
 
+#: Wheel bucket width in nanoseconds.  A power of two, so scaling by
+#: ``1 / grain`` is exact and bucket indexing can never disagree with a
+#: float comparison against the bucket boundary.  512 ns comfortably
+#: exceeds the typical fixed hardware delay (10–500 ns), so most pushes
+#: land in the active bucket (one C-level ``insort``) or its immediate
+#: successors, and bucket advances stay rare.
+_WHEEL_GRAIN_NS = 512.0
+_WHEEL_INV_GRAIN = 1.0 / _WHEEL_GRAIN_NS
+#: Number of wheel slots; the wheel spans ~2.1 ms ahead of the cursor.
+#: Only watchdog/replay timers overflow to the far-future heap.
+_WHEEL_SLOTS = 4096
+#: Virtual-time span covered by the wheel ahead of the cursor.
+_WHEEL_SPAN_NS = _WHEEL_GRAIN_NS * _WHEEL_SLOTS
+
+
 class Environment:
     """The simulation clock, event calendar and scheduler.
 
@@ -507,12 +545,31 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        #: The calendar.  ``item`` is an :class:`Event` when ``args`` is
-        #: ``None``, otherwise a plain callable invoked as
-        #: ``item(*args)`` (the callback fast tier).
-        self._queue: list[tuple[float, int, int, Any, tuple | None]] = []
+        # -- the bucketed time-wheel calendar -----------------------------
+        # Entries are slab-allocated mutable lists
+        # ``[time, priority, sequence, item, args]``; ``item`` is an
+        # :class:`Event` when ``args`` is ``None``, otherwise a plain
+        # callable invoked as ``item(*args)`` (the callback fast tier).
+        # List comparison never reaches ``item``: ``sequence`` is unique.
+        self._wheel: list[list[list]] = [[] for _ in range(_WHEEL_SLOTS)]
+        self._wheel_count = 0
+        #: Bucket index (``int(time / grain)``) of the bucket currently
+        #: being drained through ``_active``.  Invariant: every wheel
+        #: entry has a bucket index in ``(cursor, cursor + _WHEEL_SLOTS)``
+        #: — index == cursor entries go straight into ``_active``.
+        self._cursor = int(self._now * _WHEEL_INV_GRAIN)
+        #: The active bucket, sorted ascending, consumed via
+        #: ``_active_pos`` (same-bucket pushes insort behind the pos).
+        self._active: list[list] = []
+        self._active_pos = 0
+        #: Far-future tier: a plain heap for entries beyond the wheel's
+        #: horizon; migrated into the wheel as the cursor advances.
+        self._overflow: list[list] = []
+        #: Slab free list: processed entries are recycled here.
+        self._free: list[list] = []
         self._sequence = 0
         self._processed_events = 0
+        self._fast_forwarded_events = 0
         self._active_process: Process | None = None
         #: Observability hook: every instrumented component reads spans
         #: through here.  A no-op unless a tracer factory is installed
@@ -535,6 +592,32 @@ class Environment:
     def processed_events(self) -> int:
         """Total events processed since creation (throughput metric)."""
         return self._processed_events
+
+    @property
+    def events_executed(self) -> int:
+        """Calendar entries actually popped and run (same as
+        :attr:`processed_events`; the name pairs with
+        :attr:`events_fast_forwarded` for speedup audits)."""
+        return self._processed_events
+
+    @property
+    def events_fast_forwarded(self) -> int:
+        """Events *not* replayed: per-hop entries elided by compiled
+        chains plus entries skipped by analytic fast-forward jumps.
+
+        ``events_executed + events_fast_forwarded`` is the effective
+        event count a pre-refactor replay of the same scenario would
+        have processed — the numerator of "effective events/s"."""
+        return self._fast_forwarded_events
+
+    def credit_fast_forwarded(self, count: int) -> None:
+        """Account ``count`` calendar entries as elided, not executed.
+
+        Called by compiled chains (one entry standing in for a per-hop
+        sequence) and by :meth:`fast_forward`.  Keeping the split
+        explicit makes speedup claims auditable from any run.
+        """
+        self._fast_forwarded_events += count
 
     @property
     def active_process(self) -> Process | None:
@@ -567,16 +650,45 @@ class Environment:
         return AnyOf(self, events)
 
     # -- scheduling ----------------------------------------------------------
+    def _push(self, time: float, priority: int, item: Any, args: tuple | None) -> None:
+        """Insert one calendar entry at absolute ``time`` (>= now)."""
+        self._sequence += 1
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = time
+            entry[1] = priority
+            entry[2] = self._sequence
+            entry[3] = item
+            entry[4] = args
+        else:
+            entry = [time, priority, self._sequence, item, args]
+        if time - self._now > _WHEEL_SPAN_NS:
+            # Far future (or non-finite): the overflow heap.  Slightly
+            # conservative versus the exact window check — harmless,
+            # migration pulls it into the wheel once in range.
+            heapq.heappush(self._overflow, entry)
+            return
+        index = int(time * _WHEEL_INV_GRAIN)
+        offset = index - self._cursor
+        if offset <= 0:
+            # The bucket being drained (or, pathologically, behind it —
+            # impossible for monotone time, but insort stays correct):
+            # keep the active run sorted behind the consumption point.
+            insort(self._active, entry, lo=self._active_pos)
+        elif offset < _WHEEL_SLOTS:
+            self._wheel[index % _WHEEL_SLOTS].append(entry)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._overflow, entry)
+
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         if delay < 0:
             raise SimulationError(
                 f"cannot schedule {event!r} into the past: "
                 f"delay={delay!r} at now={self._now!r}"
             )
-        self._sequence += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._sequence, event, None)
-        )
+        self._push(self._now + delay, priority, event, None)
 
     def defer(
         self,
@@ -587,7 +699,7 @@ class Environment:
     ) -> None:
         """Schedule ``fn(*args)`` on the calendar ``delay`` ns from now.
 
-        The callback fast tier: one heap entry, no :class:`Event` or
+        The callback fast tier: one calendar entry, no :class:`Event` or
         generator allocation.  The callable runs exactly as an event at
         the same ``(time, priority, insertion order)`` would — both
         tiers share one calendar and one tie-break rule.  Exceptions
@@ -602,10 +714,28 @@ class Environment:
                 f"cannot defer {fn!r} into the past: "
                 f"delay={delay!r} at now={self._now!r}"
             )
-        self._sequence += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._sequence, fn, args)
-        )
+        self._push(self._now + delay, priority, fn, args)
+
+    def defer_at(
+        self,
+        fn: Callable[..., Any],
+        at: float,
+        priority: int = NORMAL,
+        args: tuple = (),
+    ) -> None:
+        """Schedule ``fn(*args)`` at the absolute time ``at``.
+
+        The compiled-chain primitive: a caller that has pre-folded a
+        per-hop delay sequence into one terminal timestamp (summing
+        left-to-right, so the float result is bit-identical to hop-by-hop
+        scheduling) lands the whole chain as a single calendar entry.
+        """
+        if at < self._now:
+            raise SimulationError(
+                f"cannot defer {fn!r} into the past: "
+                f"at={at!r} before now={self._now!r}"
+            )
+        self._push(at, priority, fn, args)
 
     def chain(
         self,
@@ -634,11 +764,76 @@ class Environment:
 
         self.defer(advance, steps[0][0], priority)
 
+    def _ensure_active(self) -> bool:
+        """Advance the wheel until the active bucket holds the next entry.
+
+        Returns False when the whole calendar (active run, wheel and
+        overflow) is empty.  Runs no callbacks — semantically pure, so
+        :meth:`peek` can call it safely.
+        """
+        while True:
+            if self._active_pos < len(self._active):
+                return True
+            if self._active:
+                self._active.clear()
+                self._active_pos = 0
+            overflow = self._overflow
+            if self._wheel_count == 0 and not overflow:
+                return False
+            if overflow:
+                if self._wheel_count == 0:
+                    head = overflow[0][0]
+                    if head == float("inf"):
+                        # Non-finite times can't be bucketed; drain them
+                        # straight through the active run, heap-ordered.
+                        self._active = [heapq.heappop(overflow)]
+                        self._active_pos = 0
+                        return True
+                    # Nothing in range: jump the cursor straight to the
+                    # earliest overflow entry's bucket.
+                    jump = int(head * _WHEEL_INV_GRAIN)
+                    if jump > self._cursor:
+                        self._cursor = jump
+                # Migrate everything now inside the window.  The limit is
+                # exact: grain is a power of two, so the comparison
+                # agrees bitwise with the bucket-index arithmetic.
+                limit = (self._cursor + _WHEEL_SLOTS) * _WHEEL_GRAIN_NS
+                wheel = self._wheel
+                while overflow and overflow[0][0] < limit:
+                    entry = heapq.heappop(overflow)
+                    wheel[int(entry[0] * _WHEEL_INV_GRAIN) % _WHEEL_SLOTS].append(entry)
+                    self._wheel_count += 1
+            if self._wheel_count:
+                wheel = self._wheel
+                cursor = self._cursor
+                for ahead in range(_WHEEL_SLOTS):
+                    slot = (cursor + ahead) % _WHEEL_SLOTS
+                    bucket = wheel[slot]
+                    if bucket:
+                        self._cursor = cursor + ahead
+                        bucket.sort()
+                        self._active = bucket
+                        wheel[slot] = []
+                        self._active_pos = 0
+                        self._wheel_count -= len(bucket)
+                        break
+            # Loop: the overflow may still hold entries beyond the (now
+            # advanced) window, or the active run is ready.
+
     def step(self) -> None:
         """Process exactly one entry from the calendar."""
-        if not self._queue:
+        if self._active_pos >= len(self._active) and not self._ensure_active():
             raise SimulationError("attempt to step an empty event calendar")
-        when, _priority, _seq, item, args = heapq.heappop(self._queue)
+        entry = self._active[self._active_pos]
+        self._active_pos += 1
+        when = entry[0]
+        item = entry[3]
+        args = entry[4]
+        # Recycle before running: the callback may push new entries and
+        # immediately reuse this slab slot (locals hold what we need).
+        entry[3] = None
+        entry[4] = None
+        self._free.append(entry)
         self._now = when
         self._processed_events += 1
         if self.on_event is not None:
@@ -650,7 +845,52 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._ensure_active():
+            return self._active[self._active_pos][0]
+        return float("inf")
+
+    def fast_forward(self, to: float, skipped_events: int = 0) -> int:
+        """Jump the clock to ``to``, discarding every pending entry.
+
+        The analytic fast-forward tier's terminal operation: a driver
+        that has validated a closed-form steady-state model synthesises
+        the final virtual time and calls this instead of replaying the
+        remaining events.  All discarded calendar entries plus
+        ``skipped_events`` (the driver's count of events that were never
+        scheduled at all) are accounted in
+        :attr:`events_fast_forwarded`.  Returns the total credited.
+        """
+        if to < self._now:
+            raise SimulationError(
+                f"cannot fast-forward to {to!r}, clock is already at {self._now!r}"
+            )
+        dropped = (
+            len(self._active) - self._active_pos
+            + self._wheel_count
+            + len(self._overflow)
+        )
+        self._active.clear()
+        self._active_pos = 0
+        if self._wheel_count:
+            for bucket in self._wheel:
+                bucket.clear()
+            self._wheel_count = 0
+        self._overflow.clear()
+        self._now = to
+        cursor = int(to * _WHEEL_INV_GRAIN)
+        if cursor > self._cursor:
+            self._cursor = cursor
+        credited = dropped + skipped_events
+        self._fast_forwarded_events += credited
+        return credited
+
+    def _pending_count(self) -> int:
+        """Number of calendar entries not yet processed (all tiers)."""
+        return (
+            len(self._active) - self._active_pos
+            + self._wheel_count
+            + len(self._overflow)
+        )
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.
@@ -668,13 +908,13 @@ class Environment:
                 value (or raising its exception).
         """
         if until is None:
-            while self._queue:
+            while self._ensure_active():
                 self.step()
             return None
 
         if isinstance(until, Event):
             while not until._processed:
-                if not self._queue:
+                if not self._ensure_active():
                     raise SimulationError(
                         "event calendar drained before the awaited event fired "
                         "(deadlock: some process is waiting forever)"
@@ -689,7 +929,7 @@ class Environment:
             raise SimulationError(
                 f"cannot run until {horizon!r}, clock is already at {self._now!r}"
             )
-        while self._queue and self._queue[0][0] < horizon:
+        while self._ensure_active() and self._active[self._active_pos][0] < horizon:
             self.step()
         # The clock always ends at the horizon, even when the calendar
         # drained before reaching it: time passes whether or not events
@@ -698,4 +938,4 @@ class Environment:
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Environment t={self._now:.2f}ns queued={len(self._queue)}>"
+        return f"<Environment t={self._now:.2f}ns queued={self._pending_count()}>"

@@ -154,6 +154,7 @@ class TraceSession:
             "spans": 0,
             "instants": 0,
             "dropped_spans": 0,
+            "events": {"executed": 0, "fast_forwarded": 0},
             "per_layer": {},
             "counters": {},
         }
@@ -162,6 +163,8 @@ class TraceSession:
             merged["spans"] += digest["spans"]
             merged["instants"] += digest["instants"]
             merged["dropped_spans"] += digest["dropped_spans"]
+            merged["events"]["executed"] += digest["events"]["executed"]
+            merged["events"]["fast_forwarded"] += digest["events"]["fast_forwarded"]
             for layer, stats in digest["per_layer"].items():
                 into = merged["per_layer"].setdefault(
                     layer, {"spans": 0, "total_ns": 0.0, "instants": 0}

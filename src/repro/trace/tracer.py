@@ -198,12 +198,27 @@ class Tracer:
         return self._closed_total - len(self._spans)
 
     def summary(self) -> dict[str, Any]:
-        """JSON-encodable digest: totals, drops and per-layer metrics."""
+        """JSON-encodable digest: totals, drops and per-layer metrics.
+
+        ``events`` reports the bound environment's kernel work split:
+        entries the event loop actually executed versus entries credited
+        by the analytic fast-forward (which never reach the tracer — a
+        fast-forwarded span count of zero with a large credit is the
+        expected shape, not a tracing bug).
+        """
+        executed = fast_forwarded = 0
+        if self._env is not None:
+            executed = getattr(self._env, "events_executed", 0)
+            fast_forwarded = getattr(self._env, "events_fast_forwarded", 0)
         return {
             "spans": self._closed_total,
             "instants": self._instant_total,
             "dropped_spans": self.dropped_spans,
             "open_spans": len(self.open_spans()),
+            "events": {
+                "executed": executed,
+                "fast_forwarded": fast_forwarded,
+            },
             "per_layer": self.metrics.per_layer(),
             "counters": self.metrics.counters(),
         }

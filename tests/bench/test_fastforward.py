@@ -1,0 +1,187 @@
+"""Fast-forwarded put_bw runs must reproduce full replay exactly.
+
+The acceptance bar for the analytic fast-forward is bitwise equality
+of every virtual time a replay would produce: the measured window, the
+final clock, the analyzer-derived inter-arrival deltas and each
+message's full timestamp journal.  ``fast_forward=True`` forces the
+model (probe validation still gates it); ``fast_forward=False`` forces
+replay on the identical parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench.fastforward import plan_put_bw, simulate_put_bw
+from repro.bench.perftest import run_put_bw
+from repro.node.config import SystemConfig
+from repro.node.testbed import Testbed
+
+
+def assert_matches_replay(config: SystemConfig, **kwargs) -> None:
+    ff = run_put_bw(config=config, fast_forward=True, **kwargs)
+    full = run_put_bw(config=config, fast_forward=False, **kwargs)
+    assert ff.total_ns == full.total_ns
+    assert ff.busy_posts == full.busy_posts
+    assert ff.n_measured == full.n_measured
+    assert ff.testbed.env.now == full.testbed.env.now
+    assert np.array_equal(
+        ff.observed_injection_overheads_ns, full.observed_injection_overheads_ns
+    )
+    assert len(ff.messages) == len(full.messages)
+    for synthesized, replayed in zip(ff.messages, full.messages):
+        assert synthesized.timestamps == replayed.timestamps
+    cpu_ff = ff.testbed.initiator.cpu
+    cpu_full = full.testbed.initiator.cpu
+    assert cpu_ff.busy_ns == cpu_full.busy_ns
+    for segment, account in cpu_full.accounts.items():
+        assert cpu_ff.account(segment).count == account.count
+        assert cpu_ff.account(segment).total_ns == account.total_ns
+
+
+class TestFastForwardExactness:
+    def test_deterministic_defaults(self):
+        assert_matches_replay(
+            SystemConfig.paper_testbed(deterministic=True),
+            n_messages=400,
+            warmup=64,
+        )
+
+    def test_noisy_paper_seed(self):
+        assert_matches_replay(
+            SystemConfig.paper_testbed(), n_messages=400, warmup=64
+        )
+
+    def test_noisy_other_seed_and_poll(self):
+        assert_matches_replay(
+            SystemConfig.paper_testbed(seed=7),
+            n_messages=350,
+            warmup=130,
+            poll_interval=5,
+        )
+
+    def test_two_chunk_payload(self):
+        # 32 B payload: ceil((48+32)/64) = 2 PIO chunks, different folds.
+        assert_matches_replay(
+            SystemConfig.paper_testbed(deterministic=True),
+            n_messages=300,
+            warmup=40,
+            payload_bytes=32,
+            poll_interval=8,
+        )
+
+    def test_warmup_smaller_than_txq(self):
+        # Warmup below the TxQ depth: busy posts begin mid-measurement.
+        assert_matches_replay(
+            SystemConfig.paper_testbed(seed=11), n_messages=300, warmup=8
+        )
+
+
+class TestFastForwardEngagement:
+    def test_auto_engages_on_long_default_run(self):
+        result = run_put_bw(n_messages=2000)
+        env = result.testbed.env
+        assert env.events_executed == 0
+        assert env.events_fast_forwarded > 0
+
+    def test_auto_replays_short_runs(self):
+        result = run_put_bw(n_messages=200, warmup=32)
+        env = result.testbed.env
+        assert env.events_executed > 0
+        # Short runs keep their analyzer trace.
+        assert result.testbed.analyzer.records
+
+    def test_false_always_replays(self):
+        result = run_put_bw(n_messages=2000, fast_forward=False)
+        assert result.testbed.env.events_executed > 0
+        assert result.testbed.analyzer.records
+
+    def test_event_credit_is_replay_scale(self):
+        ff = run_put_bw(n_messages=2000)
+        full = run_put_bw(n_messages=2000, fast_forward=False)
+        env = full.testbed.env
+        effective = env.events_executed + env.events_fast_forwarded
+        credited = ff.testbed.env.events_fast_forwarded
+        assert credited == pytest.approx(effective, rel=0.05)
+
+
+class TestFastForwardFallbacks:
+    def test_prepared_testbed_replays(self):
+        tb = Testbed(SystemConfig.paper_testbed(deterministic=True))
+        result = run_put_bw(testbed=tb, n_messages=2000)
+        assert result.testbed.env.events_executed > 0
+
+    def test_profiled_run_replays(self):
+        result = run_put_bw(
+            config=SystemConfig.paper_testbed(deterministic=True),
+            n_messages=2000,
+            profile_regions={"llp_post"},
+            fast_forward=True,
+        )
+        assert result.testbed.env.events_executed > 0
+        assert result.profiler.stats("llp_post").count > 0
+
+    def test_fault_plan_replays(self):
+        from repro.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="network.wire", kind="nth", occurrences=(100000,)),
+            )
+        )
+        config = dataclasses.replace(
+            SystemConfig.paper_testbed(deterministic=True), faults=plan
+        )
+        result = run_put_bw(config=config, n_messages=2000, fast_forward=True)
+        assert result.testbed.env.events_executed > 0
+
+    def test_finite_wire_bandwidth_replays(self):
+        base = SystemConfig.paper_testbed(deterministic=True)
+        config = dataclasses.replace(
+            base,
+            network=dataclasses.replace(base.network, bandwidth_bytes_per_ns=25.0),
+        )
+        result = run_put_bw(config=config, n_messages=1500, fast_forward=True)
+        assert result.testbed.env.events_executed > 0
+
+
+class TestPlanner:
+    def build(self, config):
+        from repro.llp.uct import UctWorker
+
+        tb = Testbed(config)
+        worker = UctWorker(tb.initiator)
+        iface = worker.create_iface(signal_period=1)
+        target = UctWorker(tb.target).create_iface()
+        ep = iface.create_ep(target)
+        return tb, iface, ep
+
+    def test_paper_testbed_is_eligible(self):
+        tb, iface, ep = self.build(SystemConfig.paper_testbed())
+        folds = plan_put_bw(tb, iface, ep, 8)
+        assert folds is not None
+        assert folds.chunks == 1
+        # Forward route: wire + one switch.
+        assert folds.fwd_deltas == (
+            tb.config.network.wire_latency_ns,
+            tb.config.network.switch_latency_ns,
+        )
+
+    def test_oversize_payload_rejected(self):
+        tb, iface, ep = self.build(SystemConfig.paper_testbed())
+        assert plan_put_bw(tb, iface, ep, 4096) is None
+
+    def test_dirty_environment_rejected(self):
+        tb, iface, ep = self.build(SystemConfig.paper_testbed())
+        tb.env.defer(lambda: None, 1.0)
+        tb.env.run(until=2.0)
+        assert plan_put_bw(tb, iface, ep, 8) is None
+
+    def test_model_bails_outside_modelled_regime(self):
+        tb, iface, ep = self.build(SystemConfig.paper_testbed())
+        folds = plan_put_bw(tb, iface, ep, 8)
+        assert simulate_put_bw(folds, tb.config, 10, 0, 16) is None
+        assert simulate_put_bw(folds, tb.config, 0, 4, 16) is None

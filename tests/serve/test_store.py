@@ -157,7 +157,9 @@ class TestCampaignAbsorption:
         store = ResultStore(tmp_path)
         store.put("k", {"b": 1, "a": 2})
         raw = (tmp_path / "k.json").read_text()
-        assert raw == json.dumps({"a": 2, "b": 1}, sort_keys=True)
+        assert raw == json.dumps(
+            {"__code__": code_version(), "a": 2, "b": 1}, sort_keys=True
+        )
 
 
 class TestCodeVersionInvalidation:
@@ -169,3 +171,56 @@ class TestCodeVersionInvalidation:
         monkeypatch.setattr(store_module, "code_version", lambda: "f" * 16)
         after = store_module.query_key("am_lat", config, {}, 2019)
         assert before != after
+
+
+class TestPrune:
+    def test_current_entries_survive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", {"v": 1})
+        store.put("k2", {"v": 2})
+        report = store.prune()
+        assert report == {
+            "scanned": 2,
+            "kept": 2,
+            "removed": 0,
+            "bytes_reclaimed": 0,
+        }
+        assert store.get("k1") == {"v": 1}
+
+    def test_stale_code_version_is_evicted(self, tmp_path, monkeypatch):
+        import repro.serve.store as store_module
+
+        store = ResultStore(tmp_path)
+        monkeypatch.setattr(store_module, "code_version", lambda: "0" * 16)
+        store.put("old", {"v": 1})
+        monkeypatch.undo()
+        store.put("new", {"v": 2})
+
+        stale_bytes = (tmp_path / "old.json").stat().st_size
+        report = store.prune()
+        assert report["removed"] == 1
+        assert report["kept"] == 1
+        assert report["bytes_reclaimed"] == stale_bytes
+        assert store.get("old") is None
+        assert store.get("new") == {"v": 2}
+
+    def test_unvouchable_files_are_evicted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("live", {"v": 1})
+        # Pre-stamp producer, torn write, orphaned writer temp file.
+        (tmp_path / "unstamped.json").write_text('{"v": 3}')
+        (tmp_path / "torn.json").write_text('{"half": ')
+        (tmp_path / ".orphan.abc.tmp").write_text('{"v": 4}')
+
+        report = store.prune()
+        assert report["scanned"] == 4
+        assert report["removed"] == 3
+        assert report["bytes_reclaimed"] > 0
+        assert [p.name for p in tmp_path.iterdir()] == ["live.json"]
+
+    def test_get_strips_the_stamp(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"v": 1})
+        payload = store.get("k")
+        assert payload == {"v": 1}
+        assert "__code__" not in payload

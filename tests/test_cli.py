@@ -451,6 +451,28 @@ class TestServeCommand:
         assert code == 2
         assert "cannot read queries file" in text
 
+    def test_gc_evicts_stale_entries(self, tmp_path, monkeypatch):
+        import repro.serve.store as store_module
+        from repro.serve.store import ResultStore
+
+        store_dir = tmp_path / "store"
+        store = ResultStore(store_dir)
+        monkeypatch.setattr(store_module, "code_version", lambda: "0" * 16)
+        store.put("stale", {"v": 1})
+        monkeypatch.undo()
+        store.put("live", {"v": 2})
+
+        code, text = run_cli("serve", "--gc", "--store", str(store_dir))
+        assert code == 0
+        assert "kept 1, evicted 1" in text
+        assert "bytes reclaimed" in text
+        assert ResultStore(store_dir).get("live") == {"v": 2}
+
+    def test_queries_required_without_gc(self, tmp_path):
+        code, text = run_cli("serve", "--store", str(tmp_path / "store"))
+        assert code == 2
+        assert "required unless --gc" in text
+
     def test_malformed_entry_reports(self, tmp_path):
         queries = self._queries(tmp_path, [{"params": {}}])
         code, text = run_cli(

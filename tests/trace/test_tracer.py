@@ -151,6 +151,21 @@ class TestTraceSession:
         with pytest.raises(RuntimeError):
             session.tracer
 
+    def test_summary_reports_kernel_events_split(self):
+        with trace_session() as session:
+            env = Environment()
+            env.defer(lambda: None, 1.0)
+            env.run(until=2.0)
+            env.fast_forward(to=10.0, skipped_events=123)
+        summary = session.summary()
+        assert summary["events"] == {"executed": 1, "fast_forwarded": 123}
+
+    def test_unbound_tracer_reports_zero_events(self):
+        assert Tracer().summary()["events"] == {
+            "executed": 0,
+            "fast_forwarded": 0,
+        }
+
     def test_summary_merges_tracers(self):
         with trace_session() as session:
             for _ in range(2):
