@@ -140,3 +140,76 @@ def test_recursive_doubling_allreduce_1024_ranks(report_dir):
     # Ten dependency rounds of ~one end-to-end latency each: the run
     # must land in the tens of microseconds, not milliseconds.
     assert 0 < result.total_ns < 100_000
+
+
+def test_nic_offload_barrier_and_bcast_64_nodes(report_dir):
+    """Host-bypass acceptance: offloaded barrier/bcast at 64 ranks.
+
+    The same 64-node fat-tree runs each collective twice — host
+    algorithms (PR-5) vs NIC-resident descriptors (``offload="nic"``) —
+    and the offloaded variant must win outright while staying within 5%
+    of its zero-load model.  The win is the per-hop host critical path
+    (LLP post, two PCIe crossings, RC-to-MEM, CQ poll) that interior
+    hops no longer pay.
+    """
+    from repro.collectives import run_collective
+    from repro.collectives.model import (
+        predicted_nic_barrier_ns,
+        predicted_nic_tree_broadcast_ns,
+    )
+
+    config = (
+        SystemConfig.builder().deterministic().topology("fat_tree:4").build()
+    )
+    lines = [f"NIC-offloaded collectives, {N_NODES} ranks on fat_tree:4:"]
+    for op in ("barrier", "bcast"):
+        host_cluster = Cluster(N_NODES, config=config)
+        host = run_collective(op, host_cluster, iterations=1)
+
+        nic_cluster = Cluster(N_NODES, config=config)
+        t0 = time.perf_counter()
+        nic = run_collective(op, nic_cluster, offload="nic", iterations=1)
+        wall_s = time.perf_counter() - t0
+
+        if op == "barrier":
+            model = predicted_nic_barrier_ns(
+                N_NODES, config, nic_cluster.topology
+            )
+        else:
+            model = predicted_nic_tree_broadcast_ns(
+                N_NODES, config, nic_cluster.topology
+            )
+        error = abs(nic.total_ns - model) / model
+        saving = 1.0 - nic.total_ns / host.total_ns
+        events = nic_cluster.env.processed_events
+        lines += [
+            f"  {op}:",
+            f"    host    : {host.total_ns:>12.1f} ns",
+            f"    nic     : {nic.total_ns:>12.1f} ns"
+            f" ({saving:.1%} host-bypass saving)",
+            f"    model   : {model:>12.1f} ns (error {error:.2%})",
+            f"    engine  : {events} events in {wall_s:.3f} s",
+        ]
+        _record(
+            "collectives_offload",
+            {
+                "workload": op,
+                "offload": "nic",
+                "n_nodes": N_NODES,
+                "topology": "fat_tree:4",
+                "host_ns": host.total_ns,
+                "nic_ns": nic.total_ns,
+                "saving": saving,
+                "model_ns": model,
+                "model_error": error,
+                "events_processed": events,
+                "wall_s": wall_s,
+            },
+        )
+
+        assert nic.total_ns < host.total_ns, (
+            f"offloaded {op} must beat the host algorithm"
+        )
+        assert error < 0.05
+
+    write_report(report_dir, "collectives_offload", "\n".join(lines))

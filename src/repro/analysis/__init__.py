@@ -17,8 +17,21 @@ exactly the paper's techniques —
 The flagship entry point is :func:`measure_component_times`, which runs
 the whole campaign and returns a
 :class:`~repro.core.components.ComponentTimes` ready for the models.
+
+:mod:`repro.analysis.latency_tolerance` inverts the question the rest
+of the package answers: instead of *where did the time go*, *how much
+could each component slow down before the total moves* — per-component
+slack over the span dependency graph of a recorded trace, validated by
+brute-force re-simulation.
 """
 
+from repro.analysis.latency_tolerance import (
+    ComponentTolerance,
+    LatencyToleranceReport,
+    latency_tolerance,
+    perturbed_config,
+    validate_tolerance,
+)
 from repro.analysis.stats import DistributionSummary, summarize
 from repro.analysis.traces import (
     arrival_deltas,
@@ -38,12 +51,17 @@ from repro.analysis.methodology import (
 )
 
 __all__ = [
+    "ComponentTolerance",
     "DistributionSummary",
+    "LatencyToleranceReport",
     "MeasurementCampaign",
     "ReplicationStudy",
     "SystemComparison",
     "compare_systems",
+    "latency_tolerance",
+    "perturbed_config",
     "run_replication_study",
+    "validate_tolerance",
     "arrival_deltas",
     "measure_component_times",
     "measure_hardware",

@@ -1,0 +1,427 @@
+"""Latency-tolerance analysis: per-component slack from a recorded trace.
+
+The paper's breakdown says where one message's nanoseconds *went*; this
+module answers the follow-on question LLAMP poses for MPI programs: how
+much could each component's latency **grow** before the end-to-end time
+moves?  A component whose spans sit on the critical dependency chain
+has zero slack — every added nanosecond surfaces at the finish line —
+while one hidden behind overlap can absorb latency for free.
+
+The analysis is purely structural, over spans recorded by
+:mod:`repro.trace`:
+
+1. **Nodes.**  Hardware spans become nodes whole (network ``wire`` /
+   ``switch``, PCIe ``tlp`` / ``rc_to_mem``, ``nic``-layer engine
+   spans).  CPU tracks (``*.cpu*``) are sliced at every span boundary
+   into non-overlapping segments attributed to the innermost covering
+   span — component ``"host"`` — so nested LLP/HLP instrumentation
+   never double-counts time.  Network ACK spans are excluded: fabric
+   acknowledgements are reliability traffic, not completion
+   dependencies.
+2. **Edges.**  Program order chains consecutive segments of each CPU
+   track.  Message order connects same-``msg`` nodes ``u → v``
+   whenever ``u`` ends before ``v`` starts — the launch
+   (CPU → PCIe → wire → switch → … → RC-to-MEM → CPU) chain every
+   traced layer tags with the message id.
+3. **Sensitivity.**  The longest weighted path through that DAG is the
+   structural critical path ``L(0)``.  Inflating every span of
+   component *c* by ``δ`` and re-running the longest-path DP gives
+   ``L_c(δ)``; the *slack* is the largest ``δ`` with
+   ``L_c(δ) = L(0)`` (found by bisection — growth is piecewise-linear
+   and convex, so bisection is exact to tolerance), and the
+   *sensitivity* ``L_c(1) − L(0)`` counts how many of the component's
+   spans sit on the perturbed critical path.
+
+Predictions are **delta-based**: ``predicted_total_ns`` adds the
+modelled growth to the *measured* baseline, so any structural
+under-coverage of the DAG cancels out.  :func:`validate_tolerance`
+closes the loop by re-simulating the same workload with the matching
+config knob raised (:data:`COMPONENT_OVERRIDES`) and comparing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.node.config import SystemConfig
+from repro.trace.tracer import Span, Tracer
+
+__all__ = [
+    "COMPONENT_OVERRIDES",
+    "ComponentTolerance",
+    "LatencyGraph",
+    "LatencyToleranceReport",
+    "build_dependency_graph",
+    "latency_tolerance",
+    "perturbed_config",
+    "tolerance_report_text",
+    "validate_tolerance",
+]
+
+_EPS = 1e-6
+
+#: Component → ``(config section, additive latency attribute)`` — the
+#: knob whose increase by ``δ`` inflates every span of that component
+#: by ``δ``, which is exactly the perturbation the DAG models.  ``nic``
+#: and ``host`` have no single additive knob (NIC processing defaults
+#: to 0 and host time is split across cost constants), so they are
+#: analysed but not brute-force validated.
+COMPONENT_OVERRIDES: dict[str, tuple[str, str]] = {
+    "wire": ("network", "wire_latency_ns"),
+    "switch": ("network", "switch_latency_ns"),
+    "pcie": ("pcie", "base_latency_ns"),
+    "rc_to_mem": ("pcie", "rc_to_mem_base_ns"),
+}
+
+
+def _hardware_component(span: Span) -> str | None:
+    """The latency component a non-CPU span belongs to, or ``None``."""
+    if span.layer == "network":
+        if span.attrs.get("kind") == "ack":
+            return None
+        if span.name == "wire":
+            return "wire"
+        if span.name == "switch":
+            return "switch"
+        return None
+    if span.layer == "pcie":
+        if span.name == "tlp":
+            return "pcie"
+        if span.name == "rc_to_mem":
+            return "rc_to_mem"
+        return None
+    if span.layer == "nic":
+        return "nic"
+    return None
+
+
+def _is_cpu_track(track: str | None) -> bool:
+    return track is not None and ".cpu" in track
+
+
+@dataclass(frozen=True)
+class _Node:
+    """One unit of attributable time in the dependency graph."""
+
+    component: str
+    t0: float
+    t1: float
+    msg: Any
+    track: str | None
+    label: str
+
+    @property
+    def duration_ns(self) -> float:
+        return self.t1 - self.t0
+
+
+def _cpu_segments(track: str, spans: list[Span]) -> list[_Node]:
+    """Slice one CPU track into innermost-attributed segments.
+
+    Boundary points are every span start/end on the track; each
+    inter-boundary interval covered by at least one span becomes a
+    segment owned by the innermost (latest-starting) covering span.
+    Gaps — the CPU blocked on an event — become no node at all, which
+    is what gives downstream components their slack.
+    """
+    points = sorted({s.t0 for s in spans} | {s.t1 for s in spans})
+    segments: list[_Node] = []
+    for a, b in zip(points, points[1:]):
+        if b - a <= _EPS:
+            continue
+        covering = [s for s in spans if s.t0 <= a + _EPS and s.t1 >= b - _EPS]
+        if not covering:
+            continue
+        covering.sort(key=lambda s: (s.t0, -s.t1))
+        inner = covering[-1]
+        msg = next(
+            (
+                s.attrs.get("msg")
+                for s in reversed(covering)
+                if s.attrs.get("msg") is not None
+            ),
+            None,
+        )
+        segments.append(
+            _Node(
+                component="host",
+                t0=a,
+                t1=b,
+                msg=msg,
+                track=track,
+                label=inner.name,
+            )
+        )
+    return segments
+
+
+@dataclass
+class LatencyGraph:
+    """The span dependency DAG, ready for longest-path queries.
+
+    ``nodes`` are in topological (time) order; ``preds[i]`` lists the
+    indices of node ``i``'s dependency predecessors.
+    """
+
+    nodes: list[_Node]
+    preds: list[list[int]]
+    makespan_ns: float
+
+    def longest_path_ns(self, component: str | None = None, delta_ns: float = 0.0) -> float:
+        """Longest weighted path; spans of ``component`` inflated by ``delta_ns``."""
+        best = 0.0
+        dist = [0.0] * len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            weight = node.duration_ns
+            if component is not None and node.component == component:
+                weight += delta_ns
+            arrive = max((dist[p] for p in self.preds[i]), default=0.0)
+            dist[i] = arrive + weight
+            best = max(best, dist[i])
+        return best
+
+
+def build_dependency_graph(spans: Iterable[Span]) -> LatencyGraph:
+    """Nodes + edges from closed spans (see the module docstring)."""
+    closed = [s for s in spans if s.t1 is not None]
+    nodes: list[_Node] = []
+    by_track: dict[str, list[Span]] = {}
+    for span in closed:
+        if _is_cpu_track(span.track):
+            by_track.setdefault(span.track or "", []).append(span)
+            continue
+        component = _hardware_component(span)
+        if component is None:
+            continue
+        nodes.append(
+            _Node(
+                component=component,
+                t0=span.t0,
+                t1=span.t1,
+                msg=span.attrs.get("msg"),
+                track=span.track,
+                label=span.name,
+            )
+        )
+    track_segments: dict[str, list[int]] = {}
+    for track, track_spans in by_track.items():
+        segments = _cpu_segments(track, track_spans)
+        base = len(nodes)
+        nodes.extend(segments)
+        track_segments[track] = list(range(base, base + len(segments)))
+
+    order = sorted(range(len(nodes)), key=lambda i: (nodes[i].t0, nodes[i].t1))
+    rank = {old: new for new, old in enumerate(order)}
+    nodes = [nodes[i] for i in order]
+    preds: list[list[int]] = [[] for _ in nodes]
+
+    # Program order: consecutive segments of one CPU track.
+    for indices in track_segments.values():
+        for u, v in zip(indices, indices[1:]):
+            preds[rank[v]].append(rank[u])
+
+    # Message order: u → v whenever u ends before v starts.  All-pairs
+    # within a message's (small) span group, so a perturbation that
+    # promotes a different predecessor to critical is still modelled.
+    by_msg: dict[Any, list[int]] = {}
+    for i, node in enumerate(nodes):
+        if node.msg is not None:
+            by_msg.setdefault(node.msg, []).append(i)
+    for group in by_msg.values():
+        for vi, v in enumerate(group):
+            for u in group[:vi]:
+                if nodes[u].t1 <= nodes[v].t0 + _EPS and u != v:
+                    preds[v].append(u)
+
+    makespan = max((n.t1 for n in nodes), default=0.0) - min(
+        (n.t0 for n in nodes), default=0.0
+    )
+    return LatencyGraph(nodes=nodes, preds=preds, makespan_ns=makespan)
+
+
+@dataclass
+class ComponentTolerance:
+    """One component's exposure to added latency."""
+
+    component: str
+    span_count: int
+    total_ns: float
+    #: End-to-end growth per nanosecond of component growth (the number
+    #: of the component's spans on the perturbed critical path); 0 means
+    #: fully hidden by overlap at current latencies.
+    sensitivity: float
+    #: Largest per-span latency increase that leaves the end-to-end time
+    #: unchanged; ``inf`` when no perturbation within the search bound
+    #: reaches the critical path, 0 when the component is already on it.
+    slack_ns: float
+
+
+@dataclass
+class LatencyToleranceReport:
+    """Per-component slack plus the graph it was computed from."""
+
+    graph: LatencyGraph
+    critical_path_ns: float
+    components: dict[str, ComponentTolerance]
+
+    @property
+    def makespan_ns(self) -> float:
+        return self.graph.makespan_ns
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the traced makespan the critical path explains."""
+        if self.graph.makespan_ns <= 0:
+            return 0.0
+        return self.critical_path_ns / self.graph.makespan_ns
+
+    def growth_ns(self, component: str, delta_ns: float) -> float:
+        """Modelled end-to-end growth when ``component`` gains ``delta_ns``/span."""
+        return (
+            self.graph.longest_path_ns(component, delta_ns) - self.critical_path_ns
+        )
+
+    def predicted_total_ns(
+        self, component: str, delta_ns: float, baseline_ns: float | None = None
+    ) -> float:
+        """Predicted end-to-end time at the perturbed latency.
+
+        Delta-based: modelled growth on top of the measured baseline
+        (default: the traced makespan), so structural under-coverage of
+        the DAG cancels instead of biasing the prediction.
+        """
+        base = self.makespan_ns if baseline_ns is None else baseline_ns
+        return base + self.growth_ns(component, delta_ns)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "makespan_ns": self.makespan_ns,
+            "critical_path_ns": self.critical_path_ns,
+            "coverage": self.coverage,
+            "components": {
+                name: {
+                    "span_count": tol.span_count,
+                    "total_ns": tol.total_ns,
+                    "sensitivity": tol.sensitivity,
+                    "slack_ns": None if math.isinf(tol.slack_ns) else tol.slack_ns,
+                }
+                for name, tol in sorted(self.components.items())
+            },
+        }
+
+
+def latency_tolerance(
+    source: Tracer | Iterable[Span],
+    msg_id: Any = None,
+    tol_ns: float = 1e-3,
+    max_delta_ns: float = 1e7,
+) -> LatencyToleranceReport:
+    """Per-component latency slack of one traced run.
+
+    ``source`` is a tracer or spans reloaded from an exported trace
+    (:func:`repro.trace.perfetto.spans_from_chrome`).  ``msg_id``
+    restricts the analysis to one message's spans.  ``tol_ns`` is the
+    end-to-end growth treated as "unchanged" by the slack bisection;
+    ``max_delta_ns`` bounds the search (beyond it slack reports ∞).
+    """
+    spans = source.spans() if isinstance(source, Tracer) else list(source)
+    if msg_id is not None:
+        spans = [s for s in spans if s.attrs.get("msg") == msg_id]
+    graph = build_dependency_graph(spans)
+    base = graph.longest_path_ns()
+    components: dict[str, ComponentTolerance] = {}
+    present = sorted({node.component for node in graph.nodes})
+    for component in present:
+        count = sum(1 for n in graph.nodes if n.component == component)
+        total = sum(n.duration_ns for n in graph.nodes if n.component == component)
+        sensitivity = graph.longest_path_ns(component, 1.0) - base
+        if graph.longest_path_ns(component, max_delta_ns) - base <= tol_ns:
+            slack = math.inf
+        else:
+            lo, hi = 0.0, max_delta_ns
+            while hi - lo > tol_ns:
+                mid = (lo + hi) / 2.0
+                if graph.longest_path_ns(component, mid) - base <= tol_ns:
+                    lo = mid
+                else:
+                    hi = mid
+            slack = lo
+        components[component] = ComponentTolerance(
+            component=component,
+            span_count=count,
+            total_ns=total,
+            sensitivity=sensitivity,
+            slack_ns=slack,
+        )
+    return LatencyToleranceReport(
+        graph=graph, critical_path_ns=base, components=components
+    )
+
+
+def perturbed_config(
+    config: SystemConfig, component: str, delta_ns: float
+) -> SystemConfig:
+    """The config with ``component``'s additive latency raised by ``delta_ns``."""
+    try:
+        section, attr = COMPONENT_OVERRIDES[component]
+    except KeyError:
+        raise ValueError(
+            f"component {component!r} has no config override; "
+            f"registered: {', '.join(sorted(COMPONENT_OVERRIDES))}"
+        ) from None
+    sub = getattr(config, section)
+    replaced = dataclasses.replace(sub, **{attr: getattr(sub, attr) + delta_ns})
+    return config.evolve(**{section: replaced})
+
+
+def validate_tolerance(
+    report: LatencyToleranceReport,
+    simulate: Callable[[SystemConfig], float],
+    config: SystemConfig,
+    component: str,
+    deltas_ns: Iterable[float],
+) -> list[dict[str, float]]:
+    """Brute-force check: re-simulate at perturbed latencies and compare.
+
+    ``simulate(config)`` must re-run the traced workload and return its
+    measured end-to-end time.  For each ``δ`` the report's delta-based
+    prediction (graph growth on top of the *simulated* baseline) is
+    compared against the re-simulated total; ``error`` is the relative
+    disagreement.  The CI smoke and the tests assert ``error < 0.05``.
+    """
+    baseline = simulate(config)
+    rows: list[dict[str, float]] = []
+    for delta in deltas_ns:
+        predicted = report.predicted_total_ns(component, delta, baseline_ns=baseline)
+        simulated = simulate(perturbed_config(config, component, delta))
+        rows.append(
+            {
+                "delta_ns": delta,
+                "predicted_ns": predicted,
+                "simulated_ns": simulated,
+                "error": abs(predicted - simulated) / simulated if simulated else 0.0,
+            }
+        )
+    return rows
+
+
+def tolerance_report_text(report: LatencyToleranceReport) -> str:
+    """Human-readable per-component table (CLI output)."""
+    lines = [
+        f"critical path {report.critical_path_ns:.2f} ns over "
+        f"{len(report.graph.nodes)} dependency nodes "
+        f"(coverage {report.coverage * 100.0:.1f}% of "
+        f"{report.makespan_ns:.2f} ns makespan)",
+        f"  {'component':<10} {'spans':>6} {'total ns':>11} "
+        f"{'sensitivity':>11} {'slack ns':>11}",
+    ]
+    for name, tol in sorted(report.components.items()):
+        slack = "inf" if math.isinf(tol.slack_ns) else f"{tol.slack_ns:.2f}"
+        lines.append(
+            f"  {name:<10} {tol.span_count:>6} {tol.total_ns:>11.2f} "
+            f"{tol.sensitivity:>11.2f} {slack:>11}"
+        )
+    return "\n".join(lines)

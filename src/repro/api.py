@@ -231,6 +231,55 @@ class Experiment:
             trace_summary=trace_summary,
         )
 
+    def analyze(
+        self,
+        workload: str,
+        what: str = "latency-tolerance",
+        msg_id: Any = None,
+        **params: Any,
+    ) -> Any:
+        """Run one workload traced and analyse the recorded spans.
+
+        ``what`` selects the analysis (same registry as ``python -m
+        repro analyze``): ``"latency-tolerance"`` returns a
+        :class:`repro.analysis.latency_tolerance.LatencyToleranceReport`,
+        ``"critical-path"`` the
+        :class:`~repro.core.breakdown.Breakdown` of ``msg_id`` (or the
+        last complete message), ``"recovery"`` the fault/recovery event
+        counts.  Tracing is forced on for the underlying run regardless
+        of the experiment's ``trace`` flag.
+        """
+        from repro.cli import TRACE_ANALYSES
+        from repro.trace import trace_session
+
+        if what not in TRACE_ANALYSES:
+            raise ValueError(
+                f"unknown analysis {what!r}; registered: "
+                f"{', '.join(TRACE_ANALYSES)}"
+            )
+        resolved_params = self._resolved_params(workload, params)
+        fn = get_workload(workload)
+        with trace_session() as session:
+            fn(self.config, **resolved_params)
+        spans = session.spans()
+        if what == "latency-tolerance":
+            from repro.analysis.latency_tolerance import latency_tolerance
+
+            return latency_tolerance(spans, msg_id=msg_id)
+        if what == "critical-path":
+            from repro.trace import critical_path_breakdown, pick_breakdown_message
+
+            chosen = msg_id if msg_id is not None else pick_breakdown_message(spans)
+            if chosen is None:
+                raise ValueError(
+                    "no message with a complete forward path in the trace; "
+                    "give msg_id"
+                )
+            return critical_path_breakdown(spans, chosen)
+        from repro.trace import recovery_summary
+
+        return recovery_summary(session.instants())
+
     def sweep(
         self,
         workload: str,

@@ -34,6 +34,12 @@ Commands
     actions.  With a plan file: validate it and print its rules (exit 2
     with a message on schema errors); add ``--workload`` to also run
     one registered workload under the plan.  See docs/faults.md.
+``analyze TRACE.json [--what ANALYSIS] [--msg-id N]``
+    Analyse a recorded trace export offline.  ``--what`` selects
+    ``latency-tolerance`` (per-component slack, the default),
+    ``critical-path`` (the Fig-10 breakdown of one message) or
+    ``recovery`` (fault/recovery event counts); unknown analyses exit 2
+    with the registered list.  See docs/tracing.md.
 
 Uniform run flags
 -----------------
@@ -84,6 +90,10 @@ PAPER_OBSERVATIONS = {
     "overall_injection_overhead": 263.91,
     "end_to_end_latency": 1336.0,
 }
+
+#: Registered trace analyses for ``analyze --what`` (and
+#: :meth:`repro.api.Experiment.analyze`).
+TRACE_ANALYSES = ("latency-tolerance", "critical-path", "recovery")
 
 _BREAKDOWNS = {
     "fig4": exp.experiment_fig4,
@@ -255,6 +265,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="max tolerated surrogate relative error before quarantine",
     )
     _add_uniform_flags(serve)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="analyse a recorded trace export (latency tolerance, "
+             "critical path, recovery)",
+        epilog=(
+            "examples: 'trace barrier --param n_nodes=4 --out t.json' then "
+            "'analyze t.json' (per-component latency slack), "
+            "'analyze t.json --what critical-path --msg-id 3'"
+        ),
+    )
+    analyze.add_argument("trace", metavar="TRACE.json",
+                         help="Chrome trace-event JSON written by --trace/trace")
+    analyze.add_argument(
+        "--what", default="latency-tolerance", metavar="ANALYSIS",
+        help=f"analysis to run: {', '.join(TRACE_ANALYSES)} "
+             "(default latency-tolerance)",
+    )
+    analyze.add_argument(
+        "--msg-id", type=int, default=None, dest="msg_id", metavar="N",
+        help="restrict the analysis to one traced message id",
+    )
 
     faults = sub.add_parser(
         "faults", help="list fault-injection sites or validate a plan file"
@@ -814,7 +846,7 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
         config = maybe
     out_path = args.trace_out or args.out
 
-    from repro.trace import critical_path_breakdown, critical_path_report, trace_session
+    from repro.trace import critical_path_report, pick_breakdown_message, trace_session
 
     with trace_session() as session:
         measurements = workload(config, **params)
@@ -835,23 +867,85 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
     # Critical path of the last message with a complete forward path
     # (workloads that never cross the fabric simply skip this report).
     spans = session.spans()
-    posted = [
-        s.attrs.get("msg")
-        for s in spans
-        if s.layer == "llp" and s.name == "llp_post"
-    ]
-    for msg_id in reversed(posted):
-        breakdown = critical_path_breakdown(spans, msg_id)
-        if breakdown.value("rc_to_mem") > 0 and breakdown.value("wire") > 0:
-            print("", file=out)
-            print(critical_path_report(spans, msg_id), file=out)
-            break
+    msg_id = pick_breakdown_message(spans)
+    if msg_id is not None:
+        print("", file=out)
+        print(critical_path_report(spans, msg_id), file=out)
 
     if args.timeline > 0:
         from repro.reporting import render_timeline
 
         print("", file=out)
         print(render_timeline(spans, limit=args.timeline), file=out)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    """Offline analyses over an exported trace file."""
+    import json
+
+    if args.what not in TRACE_ANALYSES:
+        print(
+            f"unknown analysis {args.what!r}; registered: "
+            f"{', '.join(TRACE_ANALYSES)}",
+            file=out,
+        )
+        return 2
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read trace file {args.trace!r}: {exc}", file=out)
+        return 2
+
+    from repro.trace import instants_from_chrome, spans_from_chrome
+
+    try:
+        spans = spans_from_chrome(payload)
+        marks = instants_from_chrome(payload)
+    except (KeyError, TypeError) as exc:
+        print(
+            f"trace file {args.trace!r} is not a repro trace export: {exc}",
+            file=out,
+        )
+        return 2
+
+    if args.what == "latency-tolerance":
+        from repro.analysis.latency_tolerance import (
+            latency_tolerance,
+            tolerance_report_text,
+        )
+
+        report = latency_tolerance(spans, msg_id=args.msg_id)
+        if not report.graph.nodes:
+            print("trace contains no attributable spans", file=out)
+            return 2
+        print(tolerance_report_text(report), file=out)
+        return 0
+
+    if args.what == "critical-path":
+        from repro.trace import critical_path_report, pick_breakdown_message
+
+        msg_id = args.msg_id
+        if msg_id is None:
+            msg_id = pick_breakdown_message(spans)
+        if msg_id is None:
+            print(
+                "no message with a complete forward path in the trace; "
+                "give --msg-id",
+                file=out,
+            )
+            return 2
+        print(critical_path_report(spans, msg_id), file=out)
+        return 0
+
+    from repro.trace import recovery_summary
+
+    counts = recovery_summary(marks)
+    total = sum(counts.values())
+    print(f"recovery events: {total}", file=out)
+    for name, count in sorted(counts.items()):
+        print(f"  {name:<16} {count}", file=out)
     return 0
 
 
@@ -942,6 +1036,8 @@ def _dispatch(args: argparse.Namespace, out, times: ComponentTimes) -> int:
         return _cmd_trace(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
+    if args.command == "analyze":
+        return _cmd_analyze(args, out)
     if args.command == "faults":
         return _cmd_faults(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

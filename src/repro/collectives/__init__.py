@@ -13,6 +13,14 @@ Each algorithm returns a :class:`CollectiveResult`; the matching
 analytic predictions built from the paper's per-message latency
 components live in :mod:`repro.collectives.model`.
 
+:func:`run_collective` is the single dispatch surface — op name plus
+``algorithm=`` and ``offload=`` keywords — and is what the workloads,
+:meth:`repro.api.Experiment.run` and the CLI call.  The named
+functions (:func:`ring_allreduce` etc.) remain as thin wrappers over
+it.  ``offload="nic"`` selects the NIC-resident barrier/broadcast from
+:mod:`repro.collectives.offload`, which run their interior hops
+entirely on the adapters.
+
 Quickstart::
 
     from repro.api import Experiment
@@ -27,11 +35,14 @@ from repro.collectives.algorithms import (
     barrier,
     recursive_doubling_allreduce,
     ring_allreduce,
+    run_collective,
     tree_broadcast,
 )
 from repro.collectives.model import (
     path_end_to_end_ns,
     predicted_barrier_ns,
+    predicted_nic_barrier_ns,
+    predicted_nic_tree_broadcast_ns,
     predicted_recursive_doubling_ns,
     predicted_ring_allreduce_ns,
     predicted_tree_broadcast_ns,
@@ -42,10 +53,13 @@ __all__ = [
     "barrier",
     "path_end_to_end_ns",
     "predicted_barrier_ns",
+    "predicted_nic_barrier_ns",
+    "predicted_nic_tree_broadcast_ns",
     "predicted_recursive_doubling_ns",
     "predicted_ring_allreduce_ns",
     "predicted_tree_broadcast_ns",
     "recursive_doubling_allreduce",
     "ring_allreduce",
+    "run_collective",
     "tree_broadcast",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "barrier",
     "recursive_doubling_allreduce",
     "ring_allreduce",
+    "run_collective",
     "tree_broadcast",
 ]
 
@@ -50,6 +51,10 @@ class CollectiveResult:
     steps: int
     #: Ranks per node the run was placed with.
     processes_per_node: int = 1
+    #: Where the algorithm ran: "host" (the MPI stack drives every
+    #: hop) or "nic" (interior hops are NIC-resident, see
+    #: :mod:`repro.collectives.offload`).
+    offload: str = "host"
 
     @property
     def time_per_iteration_ns(self) -> float:
@@ -98,7 +103,7 @@ def _validate(n_nodes: int, iterations: int, reduce_compute_ns: float) -> None:
         raise ValueError(f"reduce_compute_ns must be >= 0, got {reduce_compute_ns}")
 
 
-def ring_allreduce(
+def _ring_allreduce_impl(
     cluster: Cluster,
     payload_bytes: int = 8,
     reduce_compute_ns: float = 20.0,
@@ -154,7 +159,7 @@ def ring_allreduce(
     )
 
 
-def recursive_doubling_allreduce(
+def _recursive_doubling_allreduce_impl(
     cluster: Cluster,
     payload_bytes: int = 8,
     reduce_compute_ns: float = 20.0,
@@ -212,7 +217,7 @@ def _bcast_rounds(n_nodes: int) -> int:
     return (n_nodes - 1).bit_length()
 
 
-def tree_broadcast(
+def _tree_broadcast_impl(
     cluster: Cluster,
     payload_bytes: int = 8,
     iterations: int = 1,
@@ -279,7 +284,7 @@ def tree_broadcast(
     )
 
 
-def barrier(
+def _barrier_impl(
     cluster: Cluster,
     iterations: int = 1,
     signal_period: int = 64,
@@ -326,4 +331,156 @@ def barrier(
         total_ns=env.now,
         steps=rounds,
         processes_per_node=cluster.processes_per_node,
+    )
+
+# -- the unified call surface ------------------------------------------------
+
+#: Default algorithm per operation (what MPI implementations pick for
+#: small messages at these scales).
+_DEFAULT_ALGORITHM = {
+    "allreduce": "ring",
+    "bcast": "binomial_tree",
+    "barrier": "dissemination",
+}
+
+
+def _nic_barrier(cluster: Cluster, **params: object) -> CollectiveResult:
+    from repro.collectives.offload import nic_barrier
+
+    return nic_barrier(cluster, **params)  # type: ignore[arg-type]
+
+
+def _nic_tree_broadcast(cluster: Cluster, **params: object) -> CollectiveResult:
+    from repro.collectives.offload import nic_tree_broadcast
+
+    return nic_tree_broadcast(cluster, **params)  # type: ignore[arg-type]
+
+
+#: (op, algorithm, offload) -> implementation.  The offloaded variants
+#: import lazily so the host-only path never loads the offload engine.
+_IMPLEMENTATIONS = {
+    ("allreduce", "ring", "host"): _ring_allreduce_impl,
+    ("allreduce", "recursive_doubling", "host"): _recursive_doubling_allreduce_impl,
+    ("bcast", "binomial_tree", "host"): _tree_broadcast_impl,
+    ("barrier", "dissemination", "host"): _barrier_impl,
+    ("bcast", "binomial_tree", "nic"): _nic_tree_broadcast,
+    ("barrier", "dissemination", "nic"): _nic_barrier,
+}
+
+
+def run_collective(
+    op: str,
+    cluster: Cluster,
+    *,
+    algorithm: str | None = None,
+    offload: str = "host",
+    **params: object,
+) -> CollectiveResult:
+    """Run one collective operation — the single entry point.
+
+    ``op`` is ``"allreduce"``, ``"bcast"`` or ``"barrier"``;
+    ``algorithm`` defaults per operation (ring / binomial_tree /
+    dissemination); ``offload="nic"`` selects the NIC-resident variants
+    of barrier and bcast (:mod:`repro.collectives.offload`).  Remaining
+    keyword arguments (``payload_bytes``, ``iterations``,
+    ``reduce_compute_ns``, ``signal_period``, ``root``) pass through to
+    the implementation.  The legacy per-algorithm functions
+    (:func:`ring_allreduce` and friends) are thin wrappers over this.
+    """
+    if op not in _DEFAULT_ALGORITHM:
+        raise ValueError(
+            f"unknown collective op {op!r}; registered: "
+            f"{', '.join(sorted(_DEFAULT_ALGORITHM))}"
+        )
+    if offload not in ("host", "nic"):
+        raise ValueError(
+            f"unknown offload mode {offload!r}; choose 'host' or 'nic'"
+        )
+    chosen = algorithm if algorithm is not None else _DEFAULT_ALGORITHM[op]
+    impl = _IMPLEMENTATIONS.get((op, chosen, offload))
+    if impl is None:
+        available = sorted(
+            a for (o, a, f) in _IMPLEMENTATIONS if o == op and f == offload
+        )
+        if not available:
+            raise ValueError(
+                f"{op!r} has no offload={offload!r} implementation — "
+                f"NIC offload covers 'barrier' and 'bcast'"
+            )
+        raise ValueError(
+            f"unknown {op} algorithm {chosen!r} for offload={offload!r}; "
+            f"registered: {', '.join(available)}"
+        )
+    return impl(cluster, **params)  # type: ignore[arg-type]
+
+
+# -- legacy entry points (thin wrappers over run_collective) -----------------
+
+def ring_allreduce(
+    cluster: Cluster,
+    payload_bytes: int = 8,
+    reduce_compute_ns: float = 20.0,
+    iterations: int = 20,
+    signal_period: int = 64,
+) -> CollectiveResult:
+    """Ring allreduce (see :func:`run_collective`, ``algorithm="ring"``)."""
+    return run_collective(
+        "allreduce",
+        cluster,
+        algorithm="ring",
+        payload_bytes=payload_bytes,
+        reduce_compute_ns=reduce_compute_ns,
+        iterations=iterations,
+        signal_period=signal_period,
+    )
+
+
+def recursive_doubling_allreduce(
+    cluster: Cluster,
+    payload_bytes: int = 8,
+    reduce_compute_ns: float = 20.0,
+    iterations: int = 1,
+    signal_period: int = 64,
+) -> CollectiveResult:
+    """Recursive-doubling allreduce (``algorithm="recursive_doubling"``)."""
+    return run_collective(
+        "allreduce",
+        cluster,
+        algorithm="recursive_doubling",
+        payload_bytes=payload_bytes,
+        reduce_compute_ns=reduce_compute_ns,
+        iterations=iterations,
+        signal_period=signal_period,
+    )
+
+
+def tree_broadcast(
+    cluster: Cluster,
+    payload_bytes: int = 8,
+    iterations: int = 1,
+    root: int = 0,
+    signal_period: int = 64,
+) -> CollectiveResult:
+    """Binomial-tree broadcast (see :func:`run_collective`, op ``bcast``)."""
+    return run_collective(
+        "bcast",
+        cluster,
+        payload_bytes=payload_bytes,
+        iterations=iterations,
+        root=root,
+        signal_period=signal_period,
+    )
+
+
+def barrier(
+    cluster: Cluster,
+    iterations: int = 1,
+    signal_period: int = 64,
+) -> CollectiveResult:
+    """Dissemination barrier (see :func:`run_collective`, op ``barrier``)."""
+    return run_collective(
+        "barrier",
+        cluster,
+        iterations=iterations,
+        signal_period=signal_period,
     )

@@ -17,6 +17,8 @@ queueing on shared links.
 
 from __future__ import annotations
 
+import math
+
 from repro.core.components import ComponentTimes
 from repro.core.models import EndToEndLatencyModel
 from repro.network.topology import Topology
@@ -25,6 +27,8 @@ from repro.node.config import SystemConfig
 __all__ = [
     "path_end_to_end_ns",
     "predicted_barrier_ns",
+    "predicted_nic_barrier_ns",
+    "predicted_nic_tree_broadcast_ns",
     "predicted_recursive_doubling_ns",
     "predicted_ring_allreduce_ns",
     "predicted_tree_broadcast_ns",
@@ -163,6 +167,137 @@ def predicted_tree_broadcast_ns(
         arrival[rel] = arrival[parent_rel] + (sends_before + 1) * e2e
         latest = max(latest, arrival[rel])
     return latest
+
+
+def _offload_entry_ns(config: SystemConfig, payload_bytes: int) -> float:
+    """Host arm to NIC arrival: the §4.1 entry without a queue pair.
+
+    MD setup + two store barriers + the chunked PIO copy on the CPU,
+    then the MWr's RC processing and link transit.  Built from the
+    config's own costs (not the paper constants) so ablated configs
+    predict correctly.
+    """
+    nic = config.nic
+    costs = config.costs
+    chunks = math.ceil((nic.wqe_header_bytes + payload_bytes) / nic.pio_chunk_bytes)
+    cpu_ns = (
+        costs.md_setup
+        + costs.barrier_md
+        + costs.barrier_dbc
+        + chunks * costs.pio_copy_64b
+    )
+    return (
+        cpu_ns
+        + config.pcie.rc_mmio_processing_ns
+        + config.pcie.tlp_latency(chunks * nic.pio_chunk_bytes)
+    )
+
+
+def _offload_exit_ns(config: SystemConfig) -> float:
+    """Final descriptor completion to host visibility: the notify DMA."""
+    cqe = config.nic.cqe_bytes
+    return (
+        config.nic.offload_forward_ns
+        + config.pcie.tlp_latency(cqe)
+        + config.pcie.rc_to_mem(cqe)
+    )
+
+
+def predicted_nic_barrier_ns(
+    n_nodes: int,
+    config: SystemConfig,
+    topology: Topology | None = None,
+    iterations: int = 1,
+) -> float:
+    """NIC-resident dissemination barrier (zero-load, exact recurrence).
+
+    Per rank and round: the round-``r`` descriptor completes once its
+    own round ``r-1`` is done *and* the peer's token — sent
+    ``offload_forward_ns`` after the peer finished round ``r-1`` — has
+    crossed the routed network path.  Entry and exit each pay one PCIe
+    crossing; interior hops pay only forward + network, which is the
+    entire host-bypass saving.
+    """
+    rounds = (n_nodes - 1).bit_length()
+    hosts = topology.hosts if topology is not None else None
+    entry = _offload_entry_ns(config, 8)
+    exit_ns = _offload_exit_ns(config)
+    forward = config.nic.offload_forward_ns
+
+    def net(src: int, dst: int) -> float:
+        if topology is None or hosts is None:
+            return config.network.one_way_latency()
+        return topology.path_network_latency_ns(
+            hosts[src], hosts[dst], config.network
+        )
+
+    start = [0.0] * n_nodes
+    total = 0.0
+    for _ in range(iterations):
+        done = [start[i] + entry for i in range(n_nodes)]
+        for r in range(rounds):
+            previous = done
+            done = [
+                max(
+                    previous[i],
+                    previous[(i - (1 << r)) % n_nodes]
+                    + forward
+                    + net((i - (1 << r)) % n_nodes, i),
+                )
+                for i in range(n_nodes)
+            ]
+        start = [done[i] + exit_ns for i in range(n_nodes)]
+        total = max(start)
+    return total
+
+
+def predicted_nic_tree_broadcast_ns(
+    n_nodes: int,
+    config: SystemConfig,
+    topology: Topology | None = None,
+    payload_bytes: int = 8,
+    root: int = 0,
+    iterations: int = 1,
+) -> float:
+    """NIC-forwarded binomial tree: latest payload-at-NIC time.
+
+    The root's entry post seeds the tree; each NIC forwards to its
+    children serially at ``offload_forward_ns`` per frame, so a child
+    spawned after ``p`` earlier sends waits ``(p+1) × forward`` plus
+    its routed path.  Iterations serialise on global completion (the
+    harness's measurement barrier), matching the simulation.
+    """
+    rounds = (n_nodes - 1).bit_length()
+    hosts = topology.hosts if topology is not None else None
+    entry = _offload_entry_ns(config, payload_bytes)
+    forward = config.nic.offload_forward_ns
+
+    def net(src: int, dst: int) -> float:
+        if topology is None or hosts is None:
+            return config.network.one_way_latency()
+        return topology.path_network_latency_ns(
+            hosts[src], hosts[dst], config.network
+        )
+
+    start = 0.0
+    for _ in range(iterations):
+        arrival = {0: start + entry}
+        latest = arrival[0]
+        for rel in range(1, n_nodes):
+            recv_round = rel.bit_length() - 1
+            parent_rel = rel - (1 << recv_round)
+            parent_recv_round = parent_rel.bit_length() - 1 if parent_rel else -1
+            sends_before = recv_round - parent_recv_round - 1
+            src = (parent_rel + root) % n_nodes
+            dst = (rel + root) % n_nodes
+            arrival[rel] = (
+                arrival[parent_rel]
+                + (sends_before + 1) * forward
+                + net(src, dst)
+            )
+            latest = max(latest, arrival[rel])
+        start = latest
+    return start
 
 
 def predicted_barrier_ns(

@@ -1,0 +1,258 @@
+"""NIC-offloaded barrier and broadcast (``offload="nic"``).
+
+The host-based PR-5 algorithms pay the full §4.1/§6 per-message path on
+every hop of every round: LLP_post, two PCIe crossings, RC-to-MEM and
+a CQ poll.  The offloaded variants arm persistent
+:class:`~repro.nic.offload.OffloadDescriptor` chains on each rank's NIC
+before the run starts, so the protocol's interior hops are entirely
+NIC-resident — a rank's host CPU touches PCIe exactly once to enter
+(one PIO post) and, for the barrier, once to learn the result (one
+notification DMA).  Broadcast payloads stay on the NIC: non-root ranks
+run no host process at all and record zero PCIe or CQ-poll spans,
+which is the trace-level proof of the host bypass.
+
+Protocol sketches (tags are ``(op, iteration, round)`` tuples):
+
+* **barrier** — dissemination on NICs.  The entry post completes an
+  ``("bar", k, "entry")`` descriptor whose completion sends the round-0
+  token to rank ``i+1`` and chains a local credit; round ``r``'s
+  descriptor waits for two credits (peer token + own previous round),
+  then forwards the round ``r+1`` token to ``(i + 2^(r+1)) mod N``.
+  The final round's completion DMAs a notification to the host.
+* **bcast** — binomial tree on NICs.  Every rank posts one descriptor
+  per iteration expecting the payload once; on arrival the NIC
+  forwards serially to its children's NICs.  The root's host enters
+  via PIO; completion is payload-at-NIC (no notification), marked by
+  zero-cost harness bookkeeping.
+
+Iterations of the barrier pipeline naturally (each rank re-enters
+after its own notification); broadcasts serialise on global completion
+— a harness choice that keeps one iteration's frames from overtaking
+the measurement, documented in ``docs/collectives.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Generator
+
+from repro.collectives.algorithms import CollectiveResult, _bcast_rounds, _validate
+from repro.cpu.core import CpuCore
+from repro.nic.offload import OffloadDescriptor, OffloadToken
+from repro.node.cluster import Cluster
+from repro.node.node import Node
+from repro.pcie.packets import Tlp, TlpType
+from repro.sim.engine import Event
+
+__all__ = ["nic_barrier", "nic_tree_broadcast"]
+
+_TOKEN_BYTES = 8
+
+
+def _require_one_rank_per_node(cluster: Cluster, op: str) -> None:
+    if cluster.processes_per_node != 1:
+        raise ValueError(
+            f"NIC-offloaded {op} needs one rank per node (the offload "
+            f"engine is per-adapter); got processes_per_node="
+            f"{cluster.processes_per_node}"
+        )
+
+
+def _post_offload(node: Node, core: CpuCore, token: OffloadToken) -> Generator:
+    """The §4.1 entry sequence for one offload arm (PIO+inline post).
+
+    Identical cost structure to the transport's ``post_short`` — MD
+    setup, two store barriers, the chunked PIO copy, then the MMIO —
+    but the MWr is an ``offload_post`` routed to the NIC's offload
+    engine instead of a queue-pair descriptor.
+    """
+    nic_cfg = node.config.nic
+    tracer = node.env.tracer
+    tspan = tracer.begin(
+        "llp", "llp_post", track=core.name,
+        msg=token.msg_id, op="offload_arm", bytes=token.payload_bytes,
+    )
+    with tracer.span("llp", "md_setup", track=core.name, msg=token.msg_id):
+        yield from core.execute("md_setup")
+    with tracer.span("llp", "barrier_md", track=core.name, msg=token.msg_id):
+        yield from core.execute("barrier_md")
+    with tracer.span("llp", "barrier_dbc", track=core.name, msg=token.msg_id):
+        yield from core.execute("barrier_dbc")
+    wqe_bytes = nic_cfg.wqe_header_bytes + token.payload_bytes
+    chunks = math.ceil(wqe_bytes / nic_cfg.pio_chunk_bytes)
+    with tracer.span(
+        "llp", "pio_copy", track=core.name, msg=token.msg_id, chunks=chunks
+    ):
+        yield from core.execute("pio_copy_64b", mean=chunks * core.costs.pio_copy_64b)
+    node.rails[0].rc.mmio_write(
+        Tlp(
+            kind=TlpType.MWR,
+            payload_bytes=chunks * nic_cfg.pio_chunk_bytes,
+            purpose="offload_post",
+            message=token,
+        )
+    )
+    yield from core.execute("llp_post_misc")
+    tracer.end(tspan)
+
+
+def nic_barrier(
+    cluster: Cluster, iterations: int = 1, signal_period: int = 64
+) -> CollectiveResult:
+    """Dissemination barrier with every round resident on the NICs.
+
+    Same ``ceil(log2 N)``-round token schedule as the host barrier;
+    each hop costs ``offload_forward_ns`` + the routed network path
+    instead of the host's full per-message critical path.
+    ``signal_period`` is accepted for signature parity with the host
+    algorithm and ignored — there is no CQ to moderate.
+    """
+    del signal_period
+    n_nodes = cluster.n_ranks
+    _validate(n_nodes, iterations, 0.0)
+    _require_one_rank_per_node(cluster, "barrier")
+    rounds = _bcast_rounds(n_nodes)
+    env = cluster.env
+    nodes = [cluster.node_for_rank(i) for i in range(n_nodes)]
+    nics = [node.rails[0].nic for node in nodes]
+
+    for i in range(n_nodes):
+        engine = nics[i].offload
+        for k in range(iterations):
+            engine.post(
+                OffloadDescriptor(
+                    tag=("bar", k, "entry"),
+                    expected=1,
+                    forward_to=((nics[(i + 1) % n_nodes].name, ("bar", k, 0)),),
+                    payload_bytes=_TOKEN_BYTES,
+                    chain_to=("bar", k, 0),
+                )
+            )
+            for r in range(rounds):
+                if r + 1 < rounds:
+                    peer = nics[(i + (1 << (r + 1))) % n_nodes].name
+                    engine.post(
+                        OffloadDescriptor(
+                            tag=("bar", k, r),
+                            expected=2,
+                            forward_to=((peer, ("bar", k, r + 1)),),
+                            payload_bytes=_TOKEN_BYTES,
+                            chain_to=("bar", k, r + 1),
+                        )
+                    )
+                else:
+                    engine.post(
+                        OffloadDescriptor(
+                            tag=("bar", k, r),
+                            expected=2,
+                            notify_mailbox="offload.barrier",
+                        )
+                    )
+
+    def rank(index: int) -> Generator:
+        node = nodes[index]
+        core = cluster.core_for_rank(index)
+        mailbox = node.memory.mailbox("offload.barrier")
+        for k in range(iterations):
+            token = OffloadToken(tag=("bar", k, "entry"), payload_bytes=_TOKEN_BYTES)
+            yield from _post_offload(node, core, token)
+            yield mailbox.get()
+
+    processes = [
+        env.process(rank(index), name=f"nic_barrier.rank{index}")
+        for index in range(n_nodes)
+    ]
+    env.run(until=env.all_of(processes))
+    return CollectiveResult(
+        cluster=cluster,
+        algorithm="barrier",
+        n_nodes=n_nodes,
+        payload_bytes=_TOKEN_BYTES,
+        reduce_compute_ns=0.0,
+        iterations=iterations,
+        total_ns=env.now,
+        steps=rounds,
+        processes_per_node=cluster.processes_per_node,
+        offload="nic",
+    )
+
+
+def nic_tree_broadcast(
+    cluster: Cluster,
+    payload_bytes: int = 8,
+    iterations: int = 1,
+    root: int = 0,
+    signal_period: int = 64,
+) -> CollectiveResult:
+    """Binomial-tree broadcast forwarded NIC-to-NIC.
+
+    Completion is payload-at-NIC on every rank — non-root hosts never
+    wake, so their nodes record zero PCIe and zero CQ-poll spans.
+    ``signal_period`` is accepted for signature parity and ignored.
+    """
+    del signal_period
+    n_nodes = cluster.n_ranks
+    _validate(n_nodes, iterations, 0.0)
+    _require_one_rank_per_node(cluster, "bcast")
+    if not 0 <= root < n_nodes:
+        raise ValueError(f"root {root} out of range for {n_nodes} ranks")
+    rounds = _bcast_rounds(n_nodes)
+    env = cluster.env
+    nodes = [cluster.node_for_rank(i) for i in range(n_nodes)]
+    nics = [node.rails[0].nic for node in nodes]
+
+    done: list[Event] = [Event(env) for _ in range(iterations)]
+    remaining = [n_nodes] * iterations
+
+    def make_mark(k: int):
+        def mark(_when: float) -> None:
+            remaining[k] -= 1
+            if remaining[k] == 0:
+                done[k].succeed(env.now)
+
+        return mark
+
+    for i in range(n_nodes):
+        rel = (i - root) % n_nodes
+        recv_round = rel.bit_length() - 1 if rel else -1
+        children = [
+            ((rel + (1 << r)) + root) % n_nodes
+            for r in range(recv_round + 1, rounds)
+            if rel + (1 << r) < n_nodes
+        ]
+        engine = nics[i].offload
+        for k in range(iterations):
+            engine.post(
+                OffloadDescriptor(
+                    tag=("bcast", k),
+                    expected=1,
+                    forward_to=tuple(
+                        (nics[child].name, ("bcast", k)) for child in children
+                    ),
+                    payload_bytes=payload_bytes,
+                    on_complete=make_mark(k),
+                )
+            )
+
+    def root_rank() -> Generator:
+        node = nodes[root]
+        core = cluster.core_for_rank(root)
+        for k in range(iterations):
+            token = OffloadToken(tag=("bcast", k), payload_bytes=payload_bytes)
+            yield from _post_offload(node, core, token)
+            yield done[k]
+
+    process = env.process(root_rank(), name=f"nic_bcast.rank{root}")
+    env.run(until=env.all_of([process]))
+    return CollectiveResult(
+        cluster=cluster,
+        algorithm="tree_broadcast",
+        n_nodes=n_nodes,
+        payload_bytes=payload_bytes,
+        reduce_compute_ns=0.0,
+        iterations=iterations,
+        total_ns=env.now,
+        steps=rounds,
+        processes_per_node=cluster.processes_per_node,
+        offload="nic",
+    )

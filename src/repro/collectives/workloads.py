@@ -39,6 +39,7 @@ def _common(result: algorithms.CollectiveResult, predicted_ns: float) -> dict[st
     measured = result.time_per_iteration_ns
     return {
         "algorithm": result.algorithm,
+        "offload": result.offload,
         "n_nodes": result.n_nodes,
         "processes_per_node": result.processes_per_node,
         "steps": result.steps,
@@ -63,6 +64,7 @@ def allreduce_workload(
     iterations: int = 1,
     signal_period: int = 64,
     processes_per_node: int = 1,
+    offload: str = "host",
 ) -> dict[str, Any]:
     """N-node allreduce (``algorithm`` = ``ring`` | ``recursive_doubling``).
 
@@ -70,39 +72,34 @@ def allreduce_workload(
     ``n_nodes × processes_per_node`` and same-node neighbour pairs ride
     the shared-memory transport; the closed-form model only covers the
     one-rank-per-node case, so ``model_ns`` is reported as 0 otherwise.
+    Allreduce has no NIC-offloaded variant (the engine forwards, it
+    does not yet reduce), so ``offload`` must stay ``"host"``.
     """
     config = _with_topology(config, topology)
     cluster = Cluster(n_nodes, config=config, processes_per_node=processes_per_node)
     built: Topology | None = cluster.topology
-    if algorithm == "ring":
-        result = algorithms.ring_allreduce(
-            cluster,
-            payload_bytes=payload_bytes,
-            reduce_compute_ns=reduce_compute_ns,
-            iterations=iterations,
-            signal_period=signal_period,
-        )
+    result = algorithms.run_collective(
+        "allreduce",
+        cluster,
+        algorithm=algorithm,
+        offload=offload,
+        payload_bytes=payload_bytes,
+        reduce_compute_ns=reduce_compute_ns,
+        iterations=iterations,
+        signal_period=signal_period,
+    )
+    if processes_per_node != 1:
+        predicted = 0.0
+    elif algorithm == "ring":
         predicted = model.predicted_ring_allreduce_ns(
             n_nodes, config, built,
             reduce_compute_ns=reduce_compute_ns, iterations=iterations,
-        ) / iterations if processes_per_node == 1 else 0.0
-    elif algorithm == "recursive_doubling":
-        result = algorithms.recursive_doubling_allreduce(
-            cluster,
-            payload_bytes=payload_bytes,
-            reduce_compute_ns=reduce_compute_ns,
-            iterations=iterations,
-            signal_period=signal_period,
-        )
+        ) / iterations
+    else:
         predicted = model.predicted_recursive_doubling_ns(
             n_nodes, config, built,
             reduce_compute_ns=reduce_compute_ns, iterations=iterations,
-        ) / iterations if processes_per_node == 1 else 0.0
-    else:
-        raise ValueError(
-            f"unknown allreduce algorithm {algorithm!r}; "
-            "choose 'ring' or 'recursive_doubling'"
-        )
+        ) / iterations
     return {**_common(result, predicted), "payload_bytes": payload_bytes}
 
 
@@ -115,26 +112,40 @@ def bcast_workload(
     iterations: int = 1,
     signal_period: int = 64,
     processes_per_node: int = 1,
+    offload: str = "host",
 ) -> dict[str, Any]:
-    """Binomial-tree broadcast across N nodes (× processes_per_node ranks)."""
+    """Binomial-tree broadcast across N nodes (× processes_per_node ranks).
+
+    ``offload="nic"`` forwards NIC-to-NIC
+    (:func:`repro.collectives.offload.nic_tree_broadcast`): non-root
+    hosts never wake and the model check extends via
+    :func:`repro.collectives.model.predicted_nic_tree_broadcast_ns`.
+    """
     config = _with_topology(config, topology)
     cluster = Cluster(n_nodes, config=config, processes_per_node=processes_per_node)
-    result = algorithms.tree_broadcast(
+    result = algorithms.run_collective(
+        "bcast",
         cluster,
+        offload=offload,
         payload_bytes=payload_bytes,
         iterations=iterations,
         root=root,
         signal_period=signal_period,
     )
-    # Single-operation prediction; with iterations > 1 broadcasts
-    # pipeline and time_per_iteration_ns dips below it.
-    predicted = (
-        model.predicted_tree_broadcast_ns(
+    # Host prediction is per single operation (iterations > 1 pipeline
+    # below it); the offloaded variant serialises on completion, so its
+    # prediction is exact per iteration.
+    if processes_per_node != 1:
+        predicted = 0.0
+    elif offload == "nic":
+        predicted = model.predicted_nic_tree_broadcast_ns(
+            n_nodes, config, cluster.topology,
+            payload_bytes=payload_bytes, root=root, iterations=iterations,
+        ) / iterations
+    else:
+        predicted = model.predicted_tree_broadcast_ns(
             n_nodes, config, cluster.topology, root=root
         )
-        if processes_per_node == 1
-        else 0.0
-    )
     return {**_common(result, predicted), "payload_bytes": payload_bytes, "root": root}
 
 
@@ -145,14 +156,31 @@ def barrier_workload(
     iterations: int = 1,
     signal_period: int = 64,
     processes_per_node: int = 1,
+    offload: str = "host",
 ) -> dict[str, Any]:
-    """Dissemination barrier across N nodes (× processes_per_node ranks)."""
+    """Dissemination barrier across N nodes (× processes_per_node ranks).
+
+    ``offload="nic"`` runs every token round on the adapters
+    (:func:`repro.collectives.offload.nic_barrier`); hosts touch PCIe
+    once to enter and once to learn the result.
+    """
     config = _with_topology(config, topology)
     cluster = Cluster(n_nodes, config=config, processes_per_node=processes_per_node)
-    result = algorithms.barrier(
-        cluster, iterations=iterations, signal_period=signal_period
+    result = algorithms.run_collective(
+        "barrier",
+        cluster,
+        offload=offload,
+        iterations=iterations,
+        signal_period=signal_period,
     )
-    predicted = model.predicted_barrier_ns(
-        n_nodes, config, cluster.topology, iterations=iterations
-    ) / iterations if processes_per_node == 1 else 0.0
+    if processes_per_node != 1:
+        predicted = 0.0
+    elif offload == "nic":
+        predicted = model.predicted_nic_barrier_ns(
+            n_nodes, config, cluster.topology, iterations=iterations
+        ) / iterations
+    else:
+        predicted = model.predicted_barrier_ns(
+            n_nodes, config, cluster.topology, iterations=iterations
+        ) / iterations
     return _common(result, predicted)

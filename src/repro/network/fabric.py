@@ -51,6 +51,10 @@ class FrameKind(enum.Enum):
     #: RDMA atomic request (fetch-add class): operand out, old value
     #: returned via READ_RESPONSE.
     ATOMIC_REQUEST = "atomic_request"
+    #: NIC-resident collective token/payload: matched against posted
+    #: offload descriptors at the receiving adapter, never DMA-written
+    #: to host memory on interior hops (see :mod:`repro.nic.offload`).
+    COLLECTIVE = "collective"
 
 
 @dataclass

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["NicConfig"]
 
@@ -55,6 +55,16 @@ class NicConfig:
     #: Retransmissions before the transport gives up and surfaces an
     #: error CQE (IB's Retry Count is a 3-bit field; 7 is the maximum).
     retry_budget: int = 7
+    #: Collective-offload engine: adapter pipeline time to match one
+    #: completed descriptor and emit one outgoing frame (or the host
+    #: notification DMA).  Well under the host's per-hop LLP_post +
+    #: 2×PCIe + RC-to-MEM + CQ-poll cost — that gap is exactly the
+    #: host-bypass saving the offloaded collectives quantify.  Elided
+    #: from stable hashes at its default so pre-offload cache keys and
+    #: goldens are unchanged.
+    offload_forward_ns: float = field(
+        default=100.0, metadata={"elide_default_from_hash": True}
+    )
 
     def __post_init__(self) -> None:
         if self.txq_depth <= 0:
@@ -65,6 +75,8 @@ class NicConfig:
                 raise ValueError(f"{name} must be positive")
         if self.tx_processing_ns < 0 or self.rx_processing_ns < 0:
             raise ValueError("processing times must be >= 0")
+        if self.offload_forward_ns < 0:
+            raise ValueError("offload_forward_ns must be >= 0")
         if self.retransmit_timeout_ns <= 0:
             raise ValueError("retransmit_timeout_ns must be positive")
         if self.retransmit_backoff < 1.0:

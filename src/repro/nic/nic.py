@@ -26,6 +26,7 @@ from repro.sim.engine import Environment, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.inject import FaultInjector
+    from repro.nic.offload import OffloadEngine
 
 __all__ = ["Nic"]
 
@@ -63,6 +64,9 @@ class Nic:
         self.frames_discarded = 0
         self.frames_dropped_tx = 0
         self.transport_errors = 0
+        #: Collective offload engine, created on first use so runs that
+        #: never offload pay nothing (see :mod:`repro.nic.offload`).
+        self._offload: "OffloadEngine | None" = None
         link.set_receiver(Direction.DOWNSTREAM, self._on_downstream_tlp)
 
     # -- topology ----------------------------------------------------------------
@@ -89,6 +93,15 @@ class Nic:
         moderation = CompletionModeration(signal_period)
         return QueuePair(txq, cq, moderation, name=qp_name)
 
+    @property
+    def offload(self) -> "OffloadEngine":
+        """The collective offload engine (created on first access)."""
+        if self._offload is None:
+            from repro.nic.offload import OffloadEngine
+
+            self._offload = OffloadEngine(self)
+        return self._offload
+
     # -- PCIe side (initiator data path) ----------------------------------------------
     def _on_downstream_tlp(self, tlp: Tlp) -> None:
         if tlp.kind is TlpType.MWR:
@@ -96,6 +109,8 @@ class Nic:
                 self._on_pio_post(tlp.message)
             elif tlp.purpose == "doorbell":
                 self._on_doorbell(tlp.message)
+            elif tlp.purpose == "offload_post":
+                self.offload.on_host_post(tlp.message)
             # Other MWr purposes (e.g. config writes) are timing-neutral.
         elif tlp.kind is TlpType.CPLD:
             self._on_completion_data(tlp)
@@ -277,6 +292,10 @@ class Nic:
             self._on_atomic_request(frame)
         elif frame.kind is FrameKind.READ_RESPONSE:
             self._on_read_response(frame)
+        elif frame.kind is FrameKind.COLLECTIVE:
+            # NIC-resident collectives: match against posted offload
+            # descriptors, never wake the host (see repro.nic.offload).
+            self.offload.on_frame(frame)
         else:
             self._on_ack_frame(frame)
 

@@ -1,0 +1,261 @@
+"""NIC-resident collective offload (PAPERS.md: NIC-based barrier/bcast).
+
+The host's per-hop price for a collective step is the full §4.1 path:
+LLP_post, a PIO MWr across PCIe, the payload DMA up through the target
+RC, and a CQ poll before the rank can even look at the token.  A
+collective-aware adapter elides all of it on interior hops: the NIC
+matches inbound :class:`~repro.network.fabric.FrameKind.COLLECTIVE`
+frames against *offload descriptors* posted ahead of time and forwards
+(or combines) them on the callback tier — no doorbell, no CQ poll, no
+MMIO until the final result must become host-visible.
+
+The engine is deliberately small:
+
+* an :class:`OffloadDescriptor` waits for ``expected`` credits — one
+  per matching frame arrival or local chain credit;
+* on completion it forwards tokens to peer NICs (serialised at
+  ``NicConfig.offload_forward_ns`` per frame, the adapter pipeline
+  cost), optionally credits a local descriptor (round chaining), and
+  optionally DMA-writes a host notification (the *only* PCIe traffic
+  an offloaded collective generates besides the entry post);
+* frames that arrive before their descriptor is posted are buffered as
+  early credits, so pipelined iterations cannot race the protocol.
+
+Descriptors are posted by :mod:`repro.collectives.offload` before the
+run starts, which costs no simulated time — the model is persistent
+descriptors armed once per operation, as in the NIC-based collective
+protocols this reproduces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.network.fabric import FrameKind, NetworkFrame
+from repro.pcie.link import Direction
+from repro.pcie.packets import Tlp, TlpType
+from repro.sim.engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nic.nic import Nic
+
+__all__ = ["OffloadDescriptor", "OffloadEngine", "OffloadToken"]
+
+_token_ids = itertools.count(1)
+
+
+@dataclass
+class OffloadToken:
+    """What a COLLECTIVE frame (or the entry PIO post) carries.
+
+    The ``tag`` routes the token to the matching descriptor at the
+    receiving adapter; ``msg_id`` exists so traced frames identify
+    themselves like any other message on the fabric.
+    """
+
+    tag: Hashable
+    payload_bytes: int = 8
+    msg_id: int = field(default_factory=lambda: next(_token_ids))
+
+
+@dataclass
+class OffloadDescriptor:
+    """One pre-posted match+forward rule in a NIC's offload engine."""
+
+    tag: Hashable
+    #: Credits (frame arrivals + local chain credits) to wait for.
+    expected: int = 1
+    #: ``(destination NIC name, token tag at the destination)`` pairs to
+    #: forward to on completion, serialised at ``offload_forward_ns``.
+    forward_to: tuple[tuple[str, Hashable], ...] = ()
+    #: Payload carried by each forwarded frame.
+    payload_bytes: int = 8
+    #: Local descriptor tag to credit on completion (round chaining).
+    chain_to: Hashable | None = None
+    #: Host mailbox to DMA a notification into on completion; None
+    #: keeps the result NIC-resident (zero PCIe traffic).
+    notify_mailbox: str | None = None
+    #: Bookkeeping hook called with the completion time (no simulated
+    #: cost; used by the harness to mark per-rank completion).
+    on_complete: Callable[[float], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.expected <= 0:
+            raise ValueError(f"expected must be positive, got {self.expected}")
+        if self.payload_bytes <= 0:
+            raise ValueError(
+                f"payload_bytes must be positive, got {self.payload_bytes}"
+            )
+
+
+class OffloadEngine:
+    """Per-NIC descriptor store and matcher, created lazily by the NIC."""
+
+    def __init__(self, nic: "Nic") -> None:
+        self.nic = nic
+        self.env = nic.env
+        self._descriptors: dict[Hashable, OffloadDescriptor] = {}
+        self._remaining: dict[Hashable, int] = {}
+        #: Credits that arrived before their descriptor was posted.
+        self._early: dict[Hashable, int] = {}
+        self.descriptors_posted = 0
+        self.descriptors_completed = 0
+        self.frames_matched = 0
+        self.frames_forwarded = 0
+        self.notifications = 0
+
+    # -- posting ------------------------------------------------------------
+    def post(self, descriptor: OffloadDescriptor) -> None:
+        """Arm one descriptor (host-side setup, no simulated time)."""
+        tag = descriptor.tag
+        if tag in self._descriptors:
+            raise SimulationError(
+                f"{self.nic.name}: offload descriptor {tag!r} already posted"
+            )
+        self._descriptors[tag] = descriptor
+        self._remaining[tag] = descriptor.expected
+        self.descriptors_posted += 1
+        while self._early.get(tag, 0) and tag in self._descriptors:
+            self._early[tag] -= 1
+            if not self._early[tag]:
+                del self._early[tag]
+            self.credit(tag)
+
+    # -- credit flow --------------------------------------------------------
+    def credit(self, tag: Hashable) -> None:
+        """Account one arrival (frame, entry post or chain credit)."""
+        remaining = self._remaining.get(tag)
+        if remaining is None:
+            self._early[tag] = self._early.get(tag, 0) + 1
+            return
+        remaining -= 1
+        if remaining > 0:
+            self._remaining[tag] = remaining
+            return
+        descriptor = self._descriptors.pop(tag)
+        del self._remaining[tag]
+        self._complete(descriptor)
+
+    def on_frame(self, frame: NetworkFrame) -> None:
+        """A COLLECTIVE frame reached this adapter: match, never DMA."""
+        token: OffloadToken = frame.message
+        self.frames_matched += 1
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "nic", "offload_match", track=self.nic.name,
+                msg=token.msg_id, tag=repr(token.tag),
+            )
+        self.credit(token.tag)
+
+    def on_host_post(self, token: OffloadToken) -> None:
+        """The entry PIO post arrived over PCIe: arm/credit its tag."""
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "nic", "offload_arm", track=self.nic.name,
+                msg=token.msg_id, tag=repr(token.tag),
+            )
+        self.credit(token.tag)
+
+    # -- completion actions -------------------------------------------------
+    def _complete(self, descriptor: OffloadDescriptor) -> None:
+        self.descriptors_completed += 1
+        now = self.env.now
+        if descriptor.on_complete is not None:
+            descriptor.on_complete(now)
+        if descriptor.chain_to is not None:
+            self.credit(descriptor.chain_to)
+        forward_ns = self.nic.config.offload_forward_ns
+        tracer = self.env.tracer
+        delay = 0.0
+        for destination, tag in descriptor.forward_to:
+            token = OffloadToken(tag=tag, payload_bytes=descriptor.payload_bytes)
+            if tracer.enabled and forward_ns > 0:
+                # Traced runs make the adapter pipeline time visible as
+                # one nic-track span per forwarded frame.
+                self.env.defer(
+                    self._forward_begin, delay, args=(destination, token)
+                )
+            else:
+                self.env.defer(
+                    self._forward, delay + forward_ns, args=(destination, token, None)
+                )
+            delay += forward_ns
+        if descriptor.notify_mailbox is not None:
+            if tracer.enabled and forward_ns > 0:
+                self.env.defer(self._notify_begin, delay, args=(descriptor,))
+            else:
+                self.env.defer(
+                    self._notify, delay + forward_ns, args=(descriptor, None)
+                )
+
+    def _forward_begin(self, destination: str, token: OffloadToken) -> None:
+        tspan = self.env.tracer.begin(
+            "nic", "offload_forward", track=self.nic.name,
+            msg=token.msg_id, dst=destination,
+        )
+        self.env.defer(
+            self._forward,
+            self.nic.config.offload_forward_ns,
+            args=(destination, token, tspan),
+        )
+
+    def _forward(self, destination: str, token: OffloadToken, tspan: Any) -> None:
+        if tspan is not None:
+            self.env.tracer.end(tspan)
+        fabric = self.nic.fabric
+        if fabric is None:  # pragma: no cover - attach precedes traffic
+            raise SimulationError(f"{self.nic.name}: no fabric attached")
+        self.frames_forwarded += 1
+        fabric.send_data(
+            self.nic.name,
+            destination,
+            token,
+            token.payload_bytes,
+            kind=FrameKind.COLLECTIVE,
+        )
+
+    def _notify_begin(self, descriptor: OffloadDescriptor) -> None:
+        tspan = self.env.tracer.begin(
+            "nic", "offload_notify", track=self.nic.name, tag=repr(descriptor.tag)
+        )
+        self.env.defer(
+            self._notify,
+            self.nic.config.offload_forward_ns,
+            args=(descriptor, tspan),
+        )
+
+    def _notify(self, descriptor: OffloadDescriptor, tspan: Any) -> None:
+        """DMA the completion up to the host (the exit's only MMIO/DMA)."""
+        if tspan is not None:
+            self.env.tracer.end(tspan)
+        assert descriptor.notify_mailbox is not None
+        self.notifications += 1
+        mailbox = self.nic.memory.mailbox(descriptor.notify_mailbox)
+        token = OffloadToken(
+            tag=descriptor.tag, payload_bytes=self.nic.config.cqe_bytes
+        )
+
+        def deliver(message: OffloadToken, when: float) -> None:
+            mailbox.try_put(message)
+
+        self.nic.link.send(
+            Direction.UPSTREAM,
+            Tlp(
+                kind=TlpType.MWR,
+                payload_bytes=self.nic.config.cqe_bytes,
+                purpose="offload_cqe",
+                message=token,
+                deliver_to=deliver,
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OffloadEngine {self.nic.name!r} posted={self.descriptors_posted}"
+            f" matched={self.frames_matched} forwarded={self.frames_forwarded}>"
+        )

@@ -40,6 +40,7 @@ from repro.trace.critical_path import (
     critical_path,
     critical_path_breakdown,
     critical_path_report,
+    pick_breakdown_message,
     recovery_events,
     recovery_summary,
 )
@@ -47,6 +48,7 @@ from repro.trace.golden import timeline_digest, timeline_lines
 from repro.trace.metrics import DurationHistogram, LayerMetrics
 from repro.trace.perfetto import (
     chrome_trace,
+    instants_from_chrome,
     span_forest,
     spans_from_chrome,
     write_chrome_trace,
@@ -66,6 +68,8 @@ __all__ = [
     "critical_path",
     "critical_path_breakdown",
     "critical_path_report",
+    "instants_from_chrome",
+    "pick_breakdown_message",
     "recovery_events",
     "recovery_summary",
     "span_forest",

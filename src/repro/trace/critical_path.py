@@ -28,6 +28,7 @@ __all__ = [
     "critical_path",
     "critical_path_breakdown",
     "critical_path_report",
+    "pick_breakdown_message",
     "recovery_events",
     "recovery_summary",
 ]
@@ -90,6 +91,26 @@ def critical_path_breakdown(
     for span in critical_path(source, msg_id):
         totals[classify_span(span)] += span.duration_ns
     return Breakdown.build(f"Latency (traced, msg {msg_id})", totals)
+
+
+def pick_breakdown_message(source: Tracer | Iterable[Span]) -> Any | None:
+    """The last traced message with a complete forward path, if any.
+
+    "Complete" means its breakdown saw both a wire crossing and the
+    final RC-to-MEM DMA — the default message the CLI's ``trace`` and
+    ``analyze --what critical-path`` commands report on.
+    """
+    spans = source.spans() if isinstance(source, Tracer) else list(source)
+    posted = [
+        s.attrs.get("msg")
+        for s in spans
+        if s.layer == "llp" and s.name == "llp_post"
+    ]
+    for msg_id in reversed(posted):
+        breakdown = critical_path_breakdown(spans, msg_id)
+        if breakdown.value("rc_to_mem") > 0 and breakdown.value("wire") > 0:
+            return msg_id
+    return None
 
 
 #: Instant-event names emitted by the fault-injection/recovery machinery

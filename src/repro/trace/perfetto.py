@@ -23,6 +23,7 @@ from repro.trace.tracer import Span, Tracer
 
 __all__ = [
     "chrome_trace",
+    "instants_from_chrome",
     "spans_from_chrome",
     "span_forest",
     "write_chrome_trace",
@@ -145,6 +146,40 @@ def spans_from_chrome(payload: dict[str, Any]) -> list[Span]:
         span.t1 = t0 + event.get("dur", 0.0) * 1e3
         spans.append(span)
     return spans
+
+
+def instants_from_chrome(payload: dict[str, Any]) -> list[Span]:
+    """Rebuild instant events (``"ph": "i"``) from loaded trace JSON.
+
+    The complement of :func:`spans_from_chrome`, for analyses over
+    point events — e.g. fault/recovery marks
+    (:func:`repro.trace.critical_path.recovery_summary`).
+    """
+    track_names: dict[int, str] = {}
+    for event in payload["traceEvents"]:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            track_names[event["tid"]] = event["args"]["name"]
+
+    marks: list[Span] = []
+    for event in payload["traceEvents"]:
+        if event.get("ph") != "i":
+            continue
+        args = dict(event.get("args", {}))
+        span_id = args.pop("span_id")
+        parent_id = args.pop("parent", None)
+        t0 = event["ts"] * 1e3
+        mark = Span(
+            span_id=span_id,
+            parent_id=parent_id,
+            layer=event.get("cat", ""),
+            name=event["name"],
+            track=track_names.get(event["tid"], str(event["tid"])),
+            t0=t0,
+            attrs=args,
+        )
+        mark.t1 = t0
+        marks.append(mark)
+    return marks
 
 
 def span_forest(

@@ -1,0 +1,141 @@
+"""Latency tolerance: slack properties and brute-force validation."""
+
+import math
+
+import pytest
+
+from repro.analysis.latency_tolerance import (
+    COMPONENT_OVERRIDES,
+    build_dependency_graph,
+    latency_tolerance,
+    perturbed_config,
+    tolerance_report_text,
+    validate_tolerance,
+)
+from repro.collectives.workloads import barrier_workload
+from repro.node.config import SystemConfig
+from repro.trace import trace_session
+from repro.trace.tracer import Tracer
+
+DET = SystemConfig.paper_testbed(deterministic=True)
+
+
+def _traced_barrier(config=DET, **kw):
+    kw.setdefault("n_nodes", 4)
+    kw.setdefault("iterations", 1)
+    with trace_session() as session:
+        result = barrier_workload(config, **kw)
+    return result, session.spans()
+
+
+class TestReportProperties:
+    def test_all_slacks_are_non_negative(self):
+        _, spans = _traced_barrier()
+        report = latency_tolerance(spans)
+        for tolerance in report.components.values():
+            assert tolerance.slack_ns >= 0.0
+            assert tolerance.sensitivity >= 0.0
+            assert tolerance.span_count > 0
+
+    def test_critical_component_has_zero_slack_and_positive_sensitivity(self):
+        _, spans = _traced_barrier()
+        report = latency_tolerance(spans)
+        host = report.components["host"]
+        assert host.slack_ns == pytest.approx(0.0, abs=0.01)
+        assert host.sensitivity > 0
+
+    def test_coverage_explains_the_makespan(self):
+        # Deterministic lockstep barrier: the dependency DAG should
+        # explain essentially the whole traced interval.
+        _, spans = _traced_barrier()
+        report = latency_tolerance(spans)
+        assert report.coverage > 0.9
+        assert report.critical_path_ns <= report.makespan_ns * 1.001
+
+    def test_accepts_tracer_and_msg_filter(self):
+        tracer = Tracer()
+        span = tracer.begin("llp", "llp_post", track="n.cpu0", msg=1)
+        tracer.end(span)
+        report = latency_tolerance(tracer, msg_id=999)
+        assert report.components == {}
+
+    def test_report_text_and_dict(self):
+        _, spans = _traced_barrier()
+        report = latency_tolerance(spans)
+        text = tolerance_report_text(report)
+        assert "critical path" in text and "slack" in text
+        document = report.to_dict()
+        assert set(document["components"]) == set(report.components)
+        for row in document["components"].values():
+            assert row["slack_ns"] is None or row["slack_ns"] >= 0.0
+
+
+class TestSyntheticGraphs:
+    def _span(self, layer, name, track, t0, t1, **attrs):
+        span = Tracer().begin(layer, name, track=track, **attrs)
+        span.t0, span.t1 = t0, t1
+        return span
+
+    def test_off_critical_component_gets_its_overlap_as_slack(self):
+        # wire A (0-100, msg 1) feeds a sink at 100; wire B (0-40,
+        # msg 2) feeds the same sink epoch but ends 60 earlier: B can
+        # absorb 60 ns before the end-to-end time moves.
+        spans = [
+            self._span("network", "wire", "w1", 0.0, 100.0, msg=1, kind="data"),
+            self._span("network", "switch", "s1", 0.0, 40.0, msg=2, kind="data"),
+        ]
+        report = latency_tolerance(spans)
+        assert report.critical_path_ns == pytest.approx(100.0)
+        assert report.components["wire"].slack_ns == pytest.approx(0.0, abs=0.01)
+        assert report.components["switch"].slack_ns == pytest.approx(60.0, abs=0.01)
+        assert math.isinf(report.components["switch"].slack_ns) is False
+
+    def test_message_chain_orders_dependencies(self):
+        spans = [
+            self._span("network", "wire", "w", 0.0, 50.0, msg=7, kind="data"),
+            self._span("pcie", "tlp", "l.down", 50.0, 80.0, msg=7, purpose="x"),
+        ]
+        graph = build_dependency_graph(spans)
+        assert graph.longest_path_ns() == pytest.approx(80.0)
+        # Serial chain: inflating either component moves the total.
+        assert graph.longest_path_ns("wire", 10.0) == pytest.approx(90.0)
+        assert graph.longest_path_ns("pcie", 10.0) == pytest.approx(90.0)
+
+    def test_ack_spans_are_excluded(self):
+        spans = [
+            self._span("network", "wire", "w", 0.0, 50.0, msg=1, kind="data"),
+            self._span("network", "wire", "w", 50.0, 500.0, msg=1, kind="ack"),
+        ]
+        graph = build_dependency_graph(spans)
+        assert graph.longest_path_ns() == pytest.approx(50.0)
+
+
+class TestBruteForceValidation:
+    """Analytic slack vs re-simulation at perturbed latencies (<5%)."""
+
+    @pytest.mark.parametrize("component", sorted(COMPONENT_OVERRIDES))
+    def test_prediction_matches_resimulation(self, component):
+        _, spans = _traced_barrier()
+        report = latency_tolerance(spans)
+
+        def simulate(config):
+            return barrier_workload(config, n_nodes=4, iterations=1)["total_ns"]
+
+        rows = validate_tolerance(
+            report, simulate, DET, component, deltas_ns=(50.0, 200.0, 1000.0)
+        )
+        assert len(rows) == 3
+        for row in rows:
+            assert row["error"] < 0.05, (component, row)
+
+    def test_perturbed_config_unknown_component(self):
+        with pytest.raises(ValueError, match="registered"):
+            perturbed_config(DET, "warp_drive", 10.0)
+
+    def test_perturbed_config_shifts_the_knob(self):
+        perturbed = perturbed_config(DET, "wire", 25.0)
+        assert perturbed.network.wire_latency_ns == pytest.approx(
+            DET.network.wire_latency_ns + 25.0
+        )
+        # Original untouched (configs are value objects).
+        assert DET.network.wire_latency_ns == pytest.approx(274.81)

@@ -156,3 +156,29 @@ class TestServe:
         )
         answer = exp.query(store, "put_oneway_latency", payload_bytes=128)
         assert answer.source == "store"
+
+
+class TestAnalyze:
+    def test_latency_tolerance_report(self):
+        exp = Experiment(nodes=4, deterministic=True)
+        report = exp.analyze("barrier", iterations=1)
+        assert report.critical_path_ns > 0
+        assert {"host", "wire", "switch"} <= set(report.components)
+        for tolerance in report.components.values():
+            assert tolerance.slack_ns >= 0.0
+
+    def test_critical_path_breakdown(self):
+        exp = Experiment(nodes=2, deterministic=True)
+        breakdown = exp.analyze("barrier", what="critical-path")
+        assert breakdown.value("wire") > 0
+        assert breakdown.value("rc_to_mem") > 0
+
+    def test_recovery_counts(self):
+        exp = Experiment(nodes=2, deterministic=True)
+        counts = exp.analyze("barrier", what="recovery")
+        assert sum(counts.values()) == 0
+
+    def test_unknown_analysis_lists_registered(self):
+        exp = Experiment(nodes=2, deterministic=True)
+        with pytest.raises(ValueError, match="registered: latency-tolerance"):
+            exp.analyze("barrier", what="nope")

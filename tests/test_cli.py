@@ -501,3 +501,61 @@ class TestServeCommand:
         )
         assert code == 0
         assert "[simulation]" in text
+
+
+class TestAnalyzeCommand:
+    def _record(self, tmp_path):
+        path = tmp_path / "trace.json"
+        code, _ = run_cli(
+            "trace", "barrier", "--param", "n_nodes=4",
+            "--deterministic", "--out", str(path),
+        )
+        assert code == 0
+        return str(path)
+
+    def test_latency_tolerance_is_the_default_analysis(self, tmp_path):
+        trace = self._record(tmp_path)
+        code, text = run_cli("analyze", trace)
+        assert code == 0
+        assert "critical path" in text
+        assert "slack" in text
+        for component in ("host", "wire", "switch", "pcie", "rc_to_mem"):
+            assert component in text
+
+    def test_critical_path_analysis(self, tmp_path):
+        trace = self._record(tmp_path)
+        code, text = run_cli("analyze", trace, "--what", "critical-path")
+        assert code == 0
+        assert "rc_to_mem" in text and "wire" in text
+
+    def test_msg_id_selects_one_message(self, tmp_path):
+        trace = self._record(tmp_path)
+        code, text = run_cli(
+            "analyze", trace, "--what", "critical-path", "--msg-id", "1"
+        )
+        assert code == 0
+        assert "message 1" in text
+
+    def test_recovery_analysis_counts_events(self, tmp_path):
+        trace = self._record(tmp_path)
+        code, text = run_cli("analyze", trace, "--what", "recovery")
+        assert code == 0
+        assert "recovery events: 0" in text
+
+    def test_unknown_analysis_exits_2_with_registered_list(self, tmp_path):
+        trace = self._record(tmp_path)
+        code, text = run_cli("analyze", trace, "--what", "frobnicate")
+        assert code == 2
+        assert "registered: latency-tolerance, critical-path, recovery" in text
+
+    def test_missing_trace_file_exits_2(self, tmp_path):
+        code, text = run_cli("analyze", str(tmp_path / "nope.json"))
+        assert code == 2
+        assert "cannot read trace file" in text
+
+    def test_non_trace_json_exits_2(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": 1}')
+        code, text = run_cli("analyze", str(bogus))
+        assert code == 2
+        assert "not a repro trace export" in text
